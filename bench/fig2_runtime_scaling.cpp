@@ -1,0 +1,116 @@
+// Figure 2 — runtime scaling (google-benchmark).
+//
+// Reproduces the complexity-analysis section: the weighted maze search is
+// near-linear in routed area, and the full incremental router stays
+// polynomial with bounded rip-up (the termination guarantee) as instance
+// size grows. Absolute times are machine-specific; the claim is the growth
+// *shape*, which benchmark's BigO fit reports directly.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_suite/suite.hpp"
+#include "channel/channel_incremental.hpp"
+#include "channel/channel_routers.hpp"
+#include "core/incremental_router.hpp"
+#include "maze/maze_router.hpp"
+
+using namespace gridroute;
+
+namespace {
+
+/// One corner-to-corner connection on an empty n x n grid: pure search
+/// cost, Theta(nodes) = Theta(n^2) for Dijkstra with bounded degree.
+void BM_MazeSearchEmptyGrid(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Problem problem{Region(n, n)};
+  problem.add_net("x");
+  RoutingGrid grid(problem.region(), 1);
+  PinBlocks pins(problem);
+  WeightedMazeRouter router(grid, pins);
+  SearchRequest req;
+  req.net = 0;
+  req.sources = {{{0, 0}, Layer::kMetal1}};
+  req.targets = {{{n - 1, n - 1}, Layer::kMetal1}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.route(req));
+  }
+  state.SetComplexityN(n * n);
+}
+BENCHMARK(BM_MazeSearchEmptyGrid)
+    ->RangeMultiplier(2)
+    ->Range(16, 256)
+    ->Complexity(benchmark::oN);
+
+/// Lee BFS on the same query — the 1961 baseline's cost curve.
+void BM_LeeSearchEmptyGrid(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Problem problem{Region(n, n)};
+  problem.add_net("x");
+  RoutingGrid grid(problem.region(), 1);
+  PinBlocks pins(problem);
+  LeeRouter router(grid, pins);
+  SearchRequest req;
+  req.net = 0;
+  req.sources = {{{0, 0}, Layer::kMetal1}};
+  req.targets = {{{n - 1, n - 1}, Layer::kMetal1}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.route(req));
+  }
+  state.SetComplexityN(n * n);
+}
+BENCHMARK(BM_LeeSearchEmptyGrid)
+    ->RangeMultiplier(2)
+    ->Range(16, 256)
+    ->Complexity(benchmark::oN);
+
+/// Full incremental routing of a random switchbox whose side length and
+/// net count grow together (fixed fill fraction): end-to-end scaling.
+void BM_IncrementalRouterSwitchbox(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const SwitchboxSpec spec =
+      suite::random_switchbox(1234, n, (3 * n) / 4, n, 4, 0.5);
+  const Problem problem = spec.to_problem();
+  for (auto _ : state) {
+    IncrementalRouter router(problem);
+    benchmark::DoNotOptimize(router.run());
+  }
+  state.SetComplexityN(problem.connection_count());
+  state.counters["nets"] = static_cast<double>(problem.net_count());
+}
+BENCHMARK(BM_IncrementalRouterSwitchbox)
+    ->RangeMultiplier(2)
+    ->Range(8, 64)
+    ->Complexity();
+
+/// Channel routing at fixed density with growing length: the per-column
+/// cost of the classic one-pass routers vs. the incremental router.
+void BM_GreedyChannelScaling(benchmark::State& state) {
+  const int cols = static_cast<int>(state.range(0));
+  const ChannelSpec spec = suite::deutsch_class_channel(99, cols, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(route_greedy(spec));
+  }
+  state.SetComplexityN(cols);
+}
+BENCHMARK(BM_GreedyChannelScaling)
+    ->RangeMultiplier(2)
+    ->Range(32, 256)
+    ->Complexity();
+
+void BM_IncrementalChannelScaling(benchmark::State& state) {
+  const int cols = static_cast<int>(state.range(0));
+  const ChannelSpec spec = suite::deutsch_class_channel(99, cols, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        route_channel_incremental(spec, channel_router_options(), 4));
+  }
+  state.SetComplexityN(cols);
+}
+BENCHMARK(BM_IncrementalChannelScaling)
+    ->RangeMultiplier(2)
+    ->Range(32, 256)
+    ->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

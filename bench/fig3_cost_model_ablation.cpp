@@ -1,0 +1,110 @@
+// Figure 3 — cost-model sensitivity (design-choice ablation).
+//
+// Sweeps the via penalty and the bend penalty of the weighted search over
+// the switchbox suite and reports via counts and wirelength. Reproduces
+// the design-section claim that cost shaping, not hard layer reservation,
+// gives the router its layer discipline: raising the via cost trades vias
+// for wirelength smoothly, without hurting completion.
+
+#include <iostream>
+
+#include "bench_suite/suite.hpp"
+#include "core/incremental_router.hpp"
+#include "io/table.hpp"
+#include "verify/verify.hpp"
+
+using namespace gridroute;
+
+namespace {
+
+struct SweepPoint {
+  int completed = 0;
+  int routable = 0;
+  int wire = 0;
+  int vias = 0;
+};
+
+SweepPoint run_suite(const CostModel& costs) {
+  SweepPoint pt;
+  for (const auto& [name, spec] : suite::switchbox_suite()) {
+    const Problem problem = spec.to_problem();
+    RouterOptions options;
+    options.costs = costs;
+    IncrementalRouter router(problem, options);
+    router.run();
+    const VerifyReport report = verify(problem, router.grid());
+    pt.completed += report.completed_net_count;
+    pt.routable += report.routable_net_count;
+    pt.wire += report.total_wire_nodes;
+    pt.vias += report.total_vias;
+  }
+  return pt;
+}
+
+void print_sweep(const std::string& title, Table& table) {
+  std::cout << title << "\n\n";
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Figure 3 (as data): cost-model ablation over the switchbox "
+               "suite.\n\n";
+
+  {
+    Table table({"via cost", "completion %", "total vias", "total wire"});
+    for (const int via : {0, 2, 4, 8, 16, 32, 64}) {
+      CostModel costs;
+      costs.via = via;
+      const SweepPoint pt = run_suite(costs);
+      table.add_row({
+          std::to_string(via),
+          Table::num(100.0 * pt.completed / pt.routable, 1),
+          std::to_string(pt.vias),
+          std::to_string(pt.wire),
+      });
+    }
+    print_sweep("(a) via-penalty sweep (default 8):", table);
+  }
+
+  {
+    Table table({"bend cost", "completion %", "total vias", "total wire"});
+    for (const int bend : {0, 1, 2, 4, 8, 16}) {
+      CostModel costs;
+      costs.bend = bend;
+      const SweepPoint pt = run_suite(costs);
+      table.add_row({
+          std::to_string(bend),
+          Table::num(100.0 * pt.completed / pt.routable, 1),
+          std::to_string(pt.vias),
+          std::to_string(pt.wire),
+      });
+    }
+    print_sweep("(b) bend-penalty sweep (default 2):", table);
+  }
+
+  {
+    Table table(
+        {"wrong-way cost", "completion %", "total vias", "total wire"});
+    for (const int ww : {0, 1, 2, 4, 8}) {
+      CostModel costs;
+      costs.wrong_way = ww;
+      const SweepPoint pt = run_suite(costs);
+      table.add_row({
+          std::to_string(ww),
+          Table::num(100.0 * pt.completed / pt.routable, 1),
+          std::to_string(pt.vias),
+          std::to_string(pt.wire),
+      });
+    }
+    print_sweep("(c) wrong-way (layer-preference) sweep (default 1):", table);
+  }
+
+  std::cout << "Reading: vias fall monotonically as the via penalty rises, "
+               "paid for in\nwirelength; completion is insensitive across "
+               "the sweeps — the cost model\nshapes wire quality, the "
+               "modification stages own completion.\n";
+  return 0;
+}

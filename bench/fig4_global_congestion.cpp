@@ -1,0 +1,72 @@
+// Figure 4 — global routing: overflow vs. fabric capacity, and the value
+// of congestion negotiation (the rip-up idea applied one level up).
+//
+// A fixed 16x16 macro floorplan with 36 crossing nets is routed at boundary
+// capacities 1..6, once with the first pass only and once with full
+// negotiation. Reproduces the coarse-level claim of the rip-up lineage:
+// iterated rip-up-and-reroute drains congestion hotspots that one-shot
+// routing leaves oversubscribed, and both converge to legal routings once
+// the fabric is wide enough.
+
+#include <iostream>
+
+#include "global/global_router.hpp"
+#include "io/table.hpp"
+
+using namespace gridroute;
+
+namespace {
+
+std::pair<GlobalGrid, std::vector<GlobalNet>> instance(int capacity) {
+  GlobalGrid grid(16, 16, capacity, capacity);
+  grid.block({{3, 3}, {6, 6}});
+  grid.block({{9, 9}, {12, 12}});
+  grid.block({{9, 3}, {12, 5}});
+  std::vector<GlobalNet> nets;
+  for (int i = 0; i < 12; ++i)
+    nets.push_back({"h" + std::to_string(i), {{0, i}, {15, (i + 9) % 16}}});
+  for (int i = 0; i < 12; ++i)
+    nets.push_back({"v" + std::to_string(i), {{i, 0}, {(i + 11) % 16, 15}}});
+  for (int i = 0; i < 12; ++i)
+    nets.push_back({"x" + std::to_string(i),
+                    {{1, (i * 5) % 16}, {14, (i * 7) % 16}, {8, 7}}});
+  return {std::move(grid), std::move(nets)};
+}
+
+GlobalStats run(int capacity, int max_iterations) {
+  auto [grid, nets] = instance(capacity);
+  GlobalRouterOptions options;
+  options.max_iterations = max_iterations;
+  GlobalRouter router(std::move(grid), nets, options);
+  const GlobalResult res = router.run();
+  const auto issues = verify_global(router.grid(), nets, res.routes);
+  for (const auto& issue : issues) std::cerr << "audit: " << issue << '\n';
+  return res.stats;
+}
+
+}  // namespace
+
+int main() {
+  Table table({"capacity", "overflow (1 pass)", "overflow (negotiated)",
+               "reroutes", "wirelength (negotiated)"});
+  for (int capacity = 1; capacity <= 6; ++capacity) {
+    const GlobalStats single = run(capacity, 1);
+    const GlobalStats nego = run(capacity, 12);
+    table.add_row({
+        std::to_string(capacity),
+        std::to_string(single.overflow),
+        std::to_string(nego.overflow),
+        std::to_string(nego.reroutes),
+        std::to_string(nego.wirelength),
+    });
+  }
+
+  std::cout << "Figure 4 (as data): global-routing overflow vs. boundary "
+               "capacity,\n16x16 gcell floorplan, 36 nets, 3 macros.\n\n";
+  table.print(std::cout);
+  std::cout << "\nReading: negotiation (iterated rip-up with history costs) "
+               "dominates the single\npass at every capacity and reaches "
+               "zero overflow with a narrower fabric —\nthe same story the "
+               "detailed tables tell, one abstraction level up.\n";
+  return 0;
+}

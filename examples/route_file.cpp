@@ -1,0 +1,165 @@
+// File-driven routing front end: reads a problem, channel, or switchbox
+// description (format auto-detected from the header keyword), routes it,
+// and prints the layout, statistics and — optionally — the solution in the
+// round-trippable text format.
+//
+//   ./build/examples/route_file examples/data/switchbox.txt
+//   ./build/examples/route_file examples/data/channel.txt
+//   ./build/examples/route_file examples/data/macrocell.txt --solution
+//   ./build/examples/route_file                 # runs a built-in demo
+//
+// Flags: --improve N (clean-up passes, default 2), --solution (dump the
+// solution text), --quiet (suppress the ASCII layout).
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "channel/channel_analysis.hpp"
+#include "channel/channel_incremental.hpp"
+#include "core/incremental_router.hpp"
+#include "io/ascii_art.hpp"
+#include "io/solution_format.hpp"
+#include "io/text_format.hpp"
+#include "verify/verify.hpp"
+
+using namespace gridroute;
+
+namespace {
+
+struct Options {
+  std::string path;
+  int improve_passes = 2;
+  bool dump_solution = false;
+  bool quiet = false;
+};
+
+constexpr const char* kDemoProblem = R"(# built-in demo: notched region
+region 14 9
+subtract 0 7 3 8
+obstacle 6 3 8 5 both
+net a
+pin 0 0 any
+pin 13 8 any
+net b
+pin 4 8 any
+pin 13 0 any
+net c
+pin 0 4 any
+pin 13 4 any
+)";
+
+/// First keyword of the text decides the format.
+std::string first_keyword(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line.substr(0, line.find('#')));
+    std::string tok;
+    if (ls >> tok) return tok;
+  }
+  return {};
+}
+
+int route_and_report(const Problem& problem, const Options& options) {
+  const auto issues = problem.validate();
+  for (const std::string& issue : issues)
+    std::cerr << "invalid problem: " << issue << '\n';
+  if (!issues.empty()) return 2;
+
+  IncrementalRouter router(problem);
+  const RouteOutcome outcome = router.run();
+  if (options.improve_passes > 0) router.improve(options.improve_passes);
+  const VerifyReport report = verify(problem, router.grid());
+
+  std::cout << "nets completed: " << report.completed_net_count << "/"
+            << report.routable_net_count << "  wire cells: "
+            << report.total_wire_nodes << "  vias: " << report.total_vias
+            << "\nmodifications: " << outcome.stats.weak_modifications
+            << " weak, " << outcome.stats.strong_ripups
+            << " strong rip-ups  (search expansions: "
+            << outcome.stats.expansions << ")\n";
+  for (const NetId id : outcome.failed)
+    std::cout << "unrouted: " << problem.net(id).name << '\n';
+  for (const std::string& v : report.violations)
+    std::cerr << "DRC: " << v << '\n';
+
+  if (!options.quiet) std::cout << '\n' << render(problem, router.grid());
+  if (options.dump_solution)
+    std::cout << '\n' << solution_to_string(problem, router.grid());
+  return report.drc_clean() ? (report.all_ok() ? 0 : 1) : 2;
+}
+
+int route_channel_file(const ChannelSpec& spec, const Options& options) {
+  const ChannelAnalysis analysis(spec);
+  std::cout << "channel: " << spec.columns() << " columns, "
+            << analysis.intervals().size() << " nets, density "
+            << analysis.density() << '\n';
+  const IncrementalChannelResult res = route_channel_incremental(spec);
+  if (!res.success) {
+    std::cout << "could not route within the track search window\n";
+    return 1;
+  }
+  std::cout << "routed in " << res.tracks << " tracks ("
+            << res.stats.weak_modifications << " weak, "
+            << res.stats.strong_ripups << " strong modifications)\n";
+  // Re-route at the found width for the printable layout.
+  const Problem problem = spec.to_problem(res.tracks);
+  IncrementalRouter router(problem, channel_router_options());
+  router.run();
+  if (options.improve_passes > 0) router.improve(options.improve_passes);
+  if (!options.quiet) std::cout << '\n' << render(problem, router.grid());
+  if (options.dump_solution)
+    std::cout << '\n' << solution_to_string(problem, router.grid());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--improve" && i + 1 < argc) {
+      options.improve_passes = std::atoi(argv[++i]);
+    } else if (arg == "--solution") {
+      options.dump_solution = true;
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown flag " << arg << '\n';
+      return 2;
+    } else {
+      options.path = arg;
+    }
+  }
+
+  std::string text;
+  if (options.path.empty()) {
+    std::cout << "(no input file: routing the built-in demo problem)\n\n";
+    text = kDemoProblem;
+  } else {
+    std::ifstream file(options.path);
+    if (!file) {
+      std::cerr << "cannot open " << options.path << '\n';
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << file.rdbuf();
+    text = buf.str();
+  }
+
+  try {
+    const std::string kind = first_keyword(text);
+    if (kind == "region") return route_and_report(parse_problem_string(text), options);
+    if (kind == "channel") return route_channel_file(parse_channel_string(text), options);
+    if (kind == "switchbox")
+      return route_and_report(parse_switchbox_string(text).to_problem(),
+                              options);
+    std::cerr << "unrecognized input (expected region/channel/switchbox)\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+}

@@ -1,0 +1,302 @@
+#include "bench_suite/suite.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace gridroute::suite {
+
+// ---------------------------------------------------------------------------
+// Hand-crafted instances
+// ---------------------------------------------------------------------------
+
+ChannelSpec simple_channel() {
+  // Density 2, acyclic VCG (2 above 3 at col 2; 4 above 3 at col 5).
+  return {{1, 2, 2, 3, 0, 4},   // top
+          {1, 0, 3, 0, 4, 3}};  // bottom
+}
+
+ChannelSpec vcg_cycle_channel() {
+  // Pure two-net constraint cycle with detour room at both ends:
+  // col 1 wants 1 above 2, col 2 wants 2 above 1. Both nets are two-pin,
+  // so doglegging cannot break the cycle either.
+  return {{0, 1, 2, 0},   // top
+          {0, 2, 1, 0}};  // bottom
+}
+
+ChannelSpec constraint_chain_channel() {
+  // LEA sees the cycle 1->2 (col 0) and 2->1 (col 2); the middle pin of
+  // net 1 lets the dogleg router split it and place the pieces on separate
+  // tracks. The textbook dogleg motivation, three columns wide.
+  return {{1, 0, 2},   // top
+          {2, 1, 1}};  // bottom
+}
+
+ChannelSpec dense_channel() {
+  // Deterministic mid-size instance from the interval-packing generator:
+  // 24 columns, target density 6.
+  return deutsch_class_channel(2718, 24, 6);
+}
+
+SwitchboxSpec cross_switchbox() {
+  // 5x4: two straight crossing nets plus an L-shaped third.
+  //        top:   . 1 . 3 .
+  //   left: 2 . . .         right: . 2 . .
+  //        bottom:. 1 3 . .
+  return {{0, 1, 0, 3, 0},   // top (x = 0..4)
+          {0, 1, 3, 0, 0},   // bottom
+          {0, 2, 0, 0},      // left (y = 0..3)
+          {0, 0, 2, 0}};     // right
+}
+
+SwitchboxSpec dense_switchbox() {
+  // 8x8 full-reversal box: the six nets entering the top leave the bottom
+  // in reversed order, so every pair of nets crosses every other. Routable
+  // on two layers, but only after substantial weak and strong modification
+  // — the canonical stress pattern for rip-up routers.
+  return {
+      {1, 2, 3, 4, 5, 6, 0, 0},  // top
+      {6, 5, 4, 3, 2, 1, 0, 0},  // bottom
+      {0, 0, 0, 0, 0, 0, 0, 0},  // left (y = 0 bottom .. 7 top)
+      {0, 0, 0, 0, 0, 0, 0, 0}   // right
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Seeded generators
+// ---------------------------------------------------------------------------
+
+ChannelSpec deutsch_class_channel(std::uint64_t seed, int columns,
+                                  int tracks) {
+  Rng rng(seed);
+  ChannelSpec spec;
+  spec.top.assign(static_cast<size_t>(columns), 0);
+  spec.bottom.assign(static_cast<size_t>(columns), 0);
+
+  auto side_of = [&](bool top) -> std::vector<int>& {
+    return top ? spec.top : spec.bottom;
+  };
+  auto slot_free = [&](bool top, int col) {
+    return side_of(top)[static_cast<size_t>(col)] == 0;
+  };
+  auto claim = [&](bool top, int col, int net) {
+    side_of(top)[static_cast<size_t>(col)] = net;
+  };
+
+  // Claims a pin at `col` or, failing that, up to `slack` columns toward
+  // `dir`; returns the column used, or -1.
+  auto place_near = [&](int col, int dir, int slack, int net) -> int {
+    for (int k = 0; k <= slack; ++k) {
+      const int c = col + dir * k;
+      if (c < 0 || c >= columns) break;
+      const bool first_top = rng.next_bool(0.5);
+      for (const bool top : {first_top, !first_top})
+        if (slot_free(top, c)) {
+          claim(top, c, net);
+          return c;
+        }
+    }
+    return -1;
+  };
+
+  // Pack net intervals into `tracks` lanes: within a lane, intervals are
+  // disjoint, so the column density can never exceed `tracks`, and the
+  // packing itself is a witness that a `tracks`-track trunk assignment
+  // exists (ignoring vertical constraints). Interval lengths scale with the
+  // lane count so that total pin demand (2 per net) stays below the 2 slots
+  // per column the boundary offers — otherwise endpoint collisions thin the
+  // packing and the achieved density falls short of the target.
+  const int min_len = std::max(4, (6 * tracks) / 5);
+  const int max_len = std::max(8, (5 * tracks) / 2);
+  int next_net = 1;
+  for (int lane = 0; lane < tracks; ++lane) {
+    int pos = static_cast<int>(rng.next_below(3));
+    while (pos < columns - 3) {
+      const int len = rng.next_int(min_len, max_len);
+      const int left = pos;
+      const int right = std::min(pos + len - 1, columns - 1);
+      pos = right + 2 + static_cast<int>(rng.next_below(2));
+
+      const int net = next_net;
+      const int l = place_near(left, +1, 3, net);
+      if (l < 0) continue;
+      const int r = place_near(right, -1, 3, net);
+      if (r < 0 || r <= l) {
+        // Could not pin the right end: demote to a single-pin stub by
+        // withdrawing the net (clear the left pin).
+        for (const bool top : {true, false})
+          if (side_of(top)[static_cast<size_t>(l)] == net)
+            side_of(top)[static_cast<size_t>(l)] = 0;
+        continue;
+      }
+      // Optional interior pins: long nets in the difficult channels are
+      // multi-terminal.
+      const int interior = rng.next_int(0, (r - l) / 6);
+      for (int k = 0; k < interior; ++k) {
+        const int c = rng.next_int(l + 1, r - 1);
+        const bool top = rng.next_bool(0.5);
+        if (slot_free(top, c)) claim(top, c, net);
+      }
+      ++next_net;
+    }
+  }
+  return spec;
+}
+
+SwitchboxSpec burstein_class_switchbox(std::uint64_t seed, int width,
+                                       int height, int nets) {
+  Rng rng(seed);
+  SwitchboxSpec spec;
+  spec.top.assign(static_cast<size_t>(width), 0);
+  spec.bottom.assign(static_cast<size_t>(width), 0);
+  spec.left.assign(static_cast<size_t>(height), 0);
+  spec.right.assign(static_cast<size_t>(height), 0);
+
+  // Unique boundary slots: corners belong to top/bottom only, so a corner
+  // can never carry two different nets.
+  struct Slot {
+    std::vector<int>* side;
+    int index;
+  };
+  std::vector<Slot> slots;
+  for (int x = 0; x < width; ++x) {
+    slots.push_back({&spec.top, x});
+    slots.push_back({&spec.bottom, x});
+  }
+  for (int y = 1; y < height - 1; ++y) {
+    slots.push_back({&spec.left, y});
+    slots.push_back({&spec.right, y});
+  }
+  // Fisher-Yates shuffle with our deterministic generator.
+  for (std::size_t i = slots.size(); i > 1; --i)
+    std::swap(slots[i - 1], slots[rng.next_below(i)]);
+
+  // Deal pins round-robin: net k gets 2 + (k mod 3) pins — the 2/3/4-pin
+  // mix of the classic difficult switchboxes.
+  std::size_t cursor = 0;
+  for (int net = 1; net <= nets; ++net) {
+    const int pins = 2 + (net - 1) % 3;
+    for (int p = 0; p < pins && cursor < slots.size(); ++p, ++cursor)
+      (*slots[cursor].side)[static_cast<size_t>(slots[cursor].index)] = net;
+  }
+  return spec;
+}
+
+SwitchboxSpec random_switchbox(std::uint64_t seed, int width, int height,
+                               int nets, int max_pins_per_net, double fill) {
+  Rng rng(seed);
+  SwitchboxSpec spec;
+  spec.top.assign(static_cast<size_t>(width), 0);
+  spec.bottom.assign(static_cast<size_t>(width), 0);
+  spec.left.assign(static_cast<size_t>(height), 0);
+  spec.right.assign(static_cast<size_t>(height), 0);
+
+  struct Slot {
+    std::vector<int>* side;
+    int index;
+  };
+  std::vector<Slot> slots;
+  for (int x = 0; x < width; ++x) {
+    slots.push_back({&spec.top, x});
+    slots.push_back({&spec.bottom, x});
+  }
+  for (int y = 1; y < height - 1; ++y) {
+    slots.push_back({&spec.left, y});
+    slots.push_back({&spec.right, y});
+  }
+  for (std::size_t i = slots.size(); i > 1; --i)
+    std::swap(slots[i - 1], slots[rng.next_below(i)]);
+
+  const auto budget = static_cast<std::size_t>(
+      fill * static_cast<double>(slots.size()));
+  std::size_t cursor = 0;
+  int net = 1;
+  while (cursor < budget && net <= nets) {
+    const int pins = rng.next_int(2, max_pins_per_net);
+    for (int p = 0; p < pins && cursor < slots.size(); ++p, ++cursor)
+      (*slots[cursor].side)[static_cast<size_t>(slots[cursor].index)] = net;
+    ++net;
+  }
+  return spec;
+}
+
+Problem macrocell_region(std::uint64_t seed, int width, int height,
+                         int nets) {
+  Rng rng(seed);
+  Region region(width, height);
+  // Notch a corner (rectilinear outline) and drop two full obstacles plus
+  // an M1-only strap, the shape of a macro-cell routing pocket.
+  region.subtract({{0, height - height / 4}, {width / 5, height - 1}});
+  region.add_obstacle(
+      {{width / 4, height / 3}, {width / 4 + width / 6, height / 3 + 2}});
+  region.add_obstacle(
+      {{(2 * width) / 3, height / 2}, {(2 * width) / 3 + 2, height - 3}});
+  region.add_obstacle({{0, height / 6}, {width - 1, height / 6}},
+                      Layer::kMetal1);
+
+  Problem problem{std::move(region)};
+  std::set<Point> used;
+  auto free_spot = [&]() -> Point {
+    for (int tries = 0; tries < 1000; ++tries) {
+      const Point p{rng.next_int(0, width - 1), rng.next_int(0, height - 1)};
+      if (used.contains(p)) continue;
+      if (!problem.region().in_region(p)) continue;
+      if (!problem.region().routable({p, Layer::kMetal1}) &&
+          !problem.region().routable({p, Layer::kMetal2}))
+        continue;
+      used.insert(p);
+      return p;
+    }
+    return {-1, -1};
+  };
+  for (int k = 0; k < nets; ++k) {
+    Net net;
+    net.name = "m";
+    net.name += std::to_string(k + 1);
+    const int pins = rng.next_int(2, 4);
+    for (int p = 0; p < pins; ++p) {
+      const Point spot = free_spot();
+      if (spot.x < 0) break;
+      net.pins.push_back({spot, Layer::kMetal1, /*any_layer=*/true});
+    }
+    if (net.pins.size() >= 2) problem.add_net(std::move(net));
+  }
+  return problem;
+}
+
+// ---------------------------------------------------------------------------
+// Named suites
+// ---------------------------------------------------------------------------
+
+std::vector<NamedChannel> channel_suite() {
+  return {
+      {"simple", simple_channel()},
+      {"vcg-cycle", vcg_cycle_channel()},
+      {"chain", constraint_chain_channel()},
+      {"dense-24", dense_channel()},
+      {"deutsch-class-a", deutsch_class_channel(1976, 174, 19)},
+      {"deutsch-class-b", deutsch_class_channel(1977, 174, 19)},
+      {"deutsch-class-half", deutsch_class_channel(1978, 87, 12)},
+      {"packed-60", deutsch_class_channel(42, 60, 10)},
+      {"wide-low-120", deutsch_class_channel(7, 120, 5)},
+      {"narrow-dense-40", deutsch_class_channel(8, 40, 14)},
+  };
+}
+
+std::vector<NamedSwitchbox> switchbox_suite() {
+  return {
+      {"cross", cross_switchbox()},
+      {"dense-8x8", dense_switchbox()},
+      {"burstein-class-a", burstein_class_switchbox(1983)},
+      {"burstein-class-b", burstein_class_switchbox(1984)},
+      {"burstein-class-c", burstein_class_switchbox(1985)},
+      {"sparse-16", random_switchbox(11, 16, 12, 10, 3, 0.35)},
+      {"mid-16", random_switchbox(12, 16, 12, 14, 4, 0.55)},
+      {"full-12", random_switchbox(13, 12, 10, 12, 4, 0.75)},
+      {"wide-24", random_switchbox(14, 24, 8, 14, 3, 0.45)},
+      {"tall-10", random_switchbox(15, 10, 20, 12, 4, 0.5)},
+  };
+}
+
+}  // namespace gridroute::suite

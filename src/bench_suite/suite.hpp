@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "problem/problem.hpp"
+
+namespace gridroute::suite {
+
+// ---------------------------------------------------------------------------
+// Hand-crafted classic-style instances (exact, deterministic)
+// ---------------------------------------------------------------------------
+
+/// Small textbook channel: density 2, acyclic VCG — every router must route
+/// it in density.
+ChannelSpec simple_channel();
+
+/// The canonical 2-net vertical-constraint cycle (top: 1 2 / bottom: 2 1).
+/// Left-Edge must fail; dogleg, greedy, and the incremental router must
+/// route it.
+ChannelSpec vcg_cycle_channel();
+
+/// A channel whose VCG chain is longer than its density, so dogleg-free
+/// routing needs more than density tracks. Separates LEA from dogleg.
+ChannelSpec constraint_chain_channel();
+
+/// A mid-size dense channel (density 6) with multi-terminal nets.
+ChannelSpec dense_channel();
+
+/// Minimal switchbox with crossing straight nets (routable on two layers
+/// with zero modification).
+SwitchboxSpec cross_switchbox();
+
+/// Hand-built dense 8x8 switchbox that forces the incremental router into
+/// weak/strong modification but is fully routable.
+SwitchboxSpec dense_switchbox();
+
+// ---------------------------------------------------------------------------
+// Seeded benchmark families (substitutes for unpublishable classic data —
+// see DESIGN.md "Substitutions")
+// ---------------------------------------------------------------------------
+
+/// Channels with the shape parameters of Deutsch's Difficult Example:
+/// long (default 174 columns), high density (default 19), long
+/// multi-terminal nets. Built by packing net intervals into `tracks` lanes,
+/// so a solution at `tracks` trunk-tracks exists by construction and the
+/// instance's density equals (or is close to) `tracks`.
+ChannelSpec deutsch_class_channel(std::uint64_t seed = 1976,
+                                  int columns = 174, int tracks = 19);
+
+/// Switchboxes with the shape of Burstein's difficult switchbox: default
+/// 23x15 with 24 nets and a near-saturated boundary.
+SwitchboxSpec burstein_class_switchbox(std::uint64_t seed = 1983,
+                                       int width = 23, int height = 15,
+                                       int nets = 24);
+
+/// Uniform random switchbox; `fill` is the fraction of boundary slots
+/// carrying pins (congestion knob for the completion-rate sweeps).
+SwitchboxSpec random_switchbox(std::uint64_t seed, int width, int height,
+                               int nets, int max_pins_per_net = 4,
+                               double fill = 0.6);
+
+/// Irregular macro-cell style region: a notched rectangle with obstacles on
+/// both layers plus an M1-only strap, pins on the boundary and inside.
+Problem macrocell_region(std::uint64_t seed = 7, int width = 40,
+                         int height = 28, int nets = 18);
+
+// ---------------------------------------------------------------------------
+// Named suites driven by the benchmark tables
+// ---------------------------------------------------------------------------
+
+struct NamedChannel {
+  std::string name;
+  ChannelSpec spec;
+};
+std::vector<NamedChannel> channel_suite();
+
+struct NamedSwitchbox {
+  std::string name;
+  SwitchboxSpec spec;
+};
+std::vector<NamedSwitchbox> switchbox_suite();
+
+}  // namespace gridroute::suite

@@ -1,0 +1,144 @@
+#include "channel/channel_analysis.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+namespace gridroute {
+
+ChannelAnalysis::ChannelAnalysis(const ChannelSpec& spec) : spec_(spec) {
+  // Intervals.
+  std::map<int, NetInterval> by_net;
+  auto feed = [&](const std::vector<int>& row) {
+    for (int col = 0; col < static_cast<int>(row.size()); ++col) {
+      const int n = row[static_cast<size_t>(col)];
+      if (n == 0) continue;
+      auto [it, inserted] = by_net.emplace(n, NetInterval{n, col, col});
+      if (!inserted) {
+        it->second.left = std::min(it->second.left, col);
+        it->second.right = std::max(it->second.right, col);
+      }
+    }
+  };
+  feed(spec_.top);
+  feed(spec_.bottom);
+  intervals_.reserve(by_net.size());
+  for (const auto& [net, iv] : by_net) intervals_.push_back(iv);
+  std::sort(intervals_.begin(), intervals_.end(),
+            [](const NetInterval& a, const NetInterval& b) {
+              return std::pair{a.left, a.net} < std::pair{b.left, b.net};
+            });
+  for (std::size_t i = 0; i < intervals_.size(); ++i)
+    index_of_[intervals_[i].net] = i;
+
+  // Density profile.
+  column_density_.assign(static_cast<size_t>(spec_.columns()), 0);
+  for (const NetInterval& iv : intervals_)
+    for (int c = iv.left; c <= iv.right; ++c)
+      ++column_density_[static_cast<size_t>(c)];
+  density_ = column_density_.empty()
+                 ? 0
+                 : *std::max_element(column_density_.begin(),
+                                     column_density_.end());
+
+  // Vertical constraints.
+  for (int col = 0; col < spec_.columns(); ++col) {
+    const int t = spec_.top[static_cast<size_t>(col)];
+    const int b = spec_.bottom[static_cast<size_t>(col)];
+    if (t != 0 && b != 0 && t != b) {
+      auto& below = vcg_[t];
+      if (std::find(below.begin(), below.end(), b) == below.end())
+        below.push_back(b);
+    }
+  }
+}
+
+std::vector<ChannelAnalysis::Zone> ChannelAnalysis::zones() const {
+  // S(c) = nets spanning column c. The maximal cliques of an interval
+  // graph are exactly the column sets S(c) that are not contained in a
+  // neighbouring column's set; scanning left to right and keeping the
+  // columns where S(c) is about to lose a member yields them in order.
+  auto column_set = [&](int c) {
+    std::vector<int> nets;
+    for (const NetInterval& iv : intervals_)
+      if (iv.spans(c)) nets.push_back(iv.net);
+    return nets;  // sorted: intervals_ iteration is by left edge, but
+                  // membership order does not matter — sort for stability
+  };
+
+  std::vector<Zone> zones;
+  int zone_start = 0;
+  for (int c = 0; c < spec_.columns(); ++c) {
+    std::vector<int> cur = column_set(c);
+    std::sort(cur.begin(), cur.end());
+    if (cur.empty()) {
+      zone_start = c + 1;
+      continue;
+    }
+    // Keep this column's set if it is not a subset of the next column's.
+    std::vector<int> next;
+    if (c + 1 < spec_.columns()) {
+      next = column_set(c + 1);
+      std::sort(next.begin(), next.end());
+    }
+    const bool subset_of_next =
+        std::includes(next.begin(), next.end(), cur.begin(), cur.end());
+    if (subset_of_next) continue;
+    // Contiguity of intervals makes the immediately previous zone the only
+    // earlier clique that could contain cur; fold such columns into it.
+    if (!zones.empty() &&
+        std::includes(zones.back().nets.begin(), zones.back().nets.end(),
+                      cur.begin(), cur.end())) {
+      zones.back().column_hi = c;
+      zone_start = c + 1;
+      continue;
+    }
+    zones.push_back({zone_start, c, std::move(cur)});
+    zone_start = c + 1;
+  }
+  return zones;
+}
+
+std::vector<int> ChannelAnalysis::must_be_above(int net) const {
+  std::vector<int> parents;
+  for (const auto& [a, below] : vcg_)
+    if (std::find(below.begin(), below.end(), net) != below.end())
+      parents.push_back(a);
+  return parents;
+}
+
+bool ChannelAnalysis::vcg_has_cycle() const {
+  return vcg_longest_path() < 0;
+}
+
+int ChannelAnalysis::vcg_longest_path() const {
+  // Iterative DFS with colours; depth[v] = longest path (edges) from v.
+  enum class Colour { kWhite, kGrey, kBlack };
+  std::map<int, Colour> colour;
+  std::map<int, int> depth;
+  for (const NetInterval& iv : intervals_) colour[iv.net] = Colour::kWhite;
+
+  bool cyclic = false;
+  std::function<int(int)> dfs = [&](int v) -> int {
+    if (colour[v] == Colour::kGrey) {
+      cyclic = true;
+      return 0;
+    }
+    if (colour[v] == Colour::kBlack) return depth[v];
+    colour[v] = Colour::kGrey;
+    int best = 0;
+    if (auto it = vcg_.find(v); it != vcg_.end())
+      for (int w : it->second) best = std::max(best, dfs(w) + 1);
+    colour[v] = Colour::kBlack;
+    depth[v] = best;
+    return best;
+  };
+  int longest = 0;
+  for (const NetInterval& iv : intervals_) {
+    longest = std::max(longest, dfs(iv.net));
+    if (cyclic) return -1;
+  }
+  return longest;
+}
+
+}  // namespace gridroute

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "problem/problem.hpp"
+
+namespace gridroute {
+
+/// Horizontal extent of one net in a channel (columns of its leftmost and
+/// rightmost pins, inclusive).
+struct NetInterval {
+  int net = 0;  ///< net number as written in the spec
+  int left = 0;
+  int right = 0;
+
+  bool spans(int col) const { return left <= col && col <= right; }
+  /// Trunks on the same track need a free cell between them.
+  bool overlaps(const NetInterval& o) const {
+    return left <= o.right && o.left <= right;
+  }
+
+  friend bool operator==(const NetInterval&, const NetInterval&) = default;
+};
+
+/// Static analysis of a channel instance: intervals, density profile, and
+/// the vertical constraint graph (VCG). Every classic channel router starts
+/// from these three objects; the density is also the provable lower bound
+/// each benchmark table compares track counts against.
+class ChannelAnalysis {
+ public:
+  explicit ChannelAnalysis(const ChannelSpec& spec);
+
+  const ChannelSpec& spec() const { return spec_; }
+
+  /// One interval per net, sorted by left edge (ties: by net number).
+  const std::vector<NetInterval>& intervals() const { return intervals_; }
+  const NetInterval& interval_of(int net) const {
+    return intervals_[index_of_.at(net)];
+  }
+
+  /// Local density at each column (nets whose interval spans it).
+  const std::vector<int>& column_density() const { return column_density_; }
+  /// Channel density: max over columns — the track lower bound.
+  int density() const { return density_; }
+
+  /// Vertical constraint graph over net numbers: an edge a -> b means the
+  /// trunk of a must lie on a strictly higher track than the trunk of b
+  /// (because some column has a's pin on top and b's on the bottom).
+  const std::map<int, std::vector<int>>& vcg() const { return vcg_; }
+  /// Nets that must be placed above `net` (its VCG parents).
+  std::vector<int> must_be_above(int net) const;
+
+  /// A zone of the channel: a maximal clique of mutually overlapping net
+  /// intervals (Yoshimura–Kuh zone representation). `nets` lists the member
+  /// net numbers; [column_lo, column_hi] is the column range over which
+  /// exactly this clique is live.
+  struct Zone {
+    int column_lo = 0;
+    int column_hi = 0;
+    std::vector<int> nets;
+
+    friend bool operator==(const Zone&, const Zone&) = default;
+  };
+
+  /// The zone table, left to right. Every net appears in at least one zone;
+  /// the largest zone's size equals density(). Classic channel routers use
+  /// zones to reason about track sharing — two nets may share a track iff
+  /// they never share a zone.
+  std::vector<Zone> zones() const;
+
+  /// True when the VCG contains a directed cycle — the case that defeats
+  /// single-trunk routers (Left-Edge) and motivates doglegs.
+  bool vcg_has_cycle() const;
+
+  /// Longest path length (in edges) through the VCG; a second lower bound
+  /// on tracks for dogleg-free routing. Returns -1 on a cyclic graph.
+  int vcg_longest_path() const;
+
+ private:
+  ChannelSpec spec_;
+  std::vector<NetInterval> intervals_;
+  std::map<int, std::size_t> index_of_;
+  std::vector<int> column_density_;
+  int density_ = 0;
+  std::map<int, std::vector<int>> vcg_;  // a -> nets that must be below a
+};
+
+}  // namespace gridroute

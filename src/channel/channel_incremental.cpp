@@ -1,0 +1,37 @@
+#include "channel/channel_incremental.hpp"
+
+#include <algorithm>
+
+#include "channel/channel_analysis.hpp"
+
+namespace gridroute {
+
+RouterOptions channel_router_options() {
+  return RouterOptions{};
+}
+
+IncrementalChannelResult route_channel_incremental(const ChannelSpec& spec,
+                                                   RouterOptions options,
+                                                   int max_extra_tracks) {
+  IncrementalChannelResult result;
+  const int density = ChannelAnalysis(spec).density();
+  const int floor_tracks = std::max(density, 1);
+  for (int tracks = floor_tracks; tracks <= floor_tracks + max_extra_tracks;
+       ++tracks) {
+    const Problem problem = spec.to_problem(tracks);
+    IncrementalRouter router(problem, options);
+    const RouteOutcome outcome = router.run();
+    if (!outcome.complete()) continue;
+    const VerifyReport report = verify(problem, router.grid());
+    if (!report.all_ok()) continue;
+    result.success = true;
+    result.tracks = tracks;
+    result.stats = outcome.stats;
+    result.wire_nodes = report.total_wire_nodes;
+    result.vias = report.total_vias;
+    return result;
+  }
+  return result;
+}
+
+}  // namespace gridroute

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <optional>
+
+#include "core/incremental_router.hpp"
+#include "problem/problem.hpp"
+#include "verify/verify.hpp"
+
+namespace gridroute {
+
+/// Result of routing a channel with the incremental rip-up router at the
+/// smallest feasible track count.
+struct IncrementalChannelResult {
+  bool success = false;
+  int tracks = 0;          ///< smallest track count that routed completely
+  RouteStats stats;        ///< effort counters at the successful width
+  int wire_nodes = 0;
+  int vias = 0;
+};
+
+/// RouterOptions tuned for channel problems. Currently identical to the
+/// defaults: with victim-freezing probe retries and conflict-history costs
+/// in place, the default most-constrained-first ordering reaches the
+/// density bound on every suite channel (see bench/table4, section (a) —
+/// earlier revisions needed largest-first here to avoid trunk thrash).
+/// Kept as the single place channel-specific tuning would live.
+RouterOptions channel_router_options();
+
+/// Routes the channel with the incremental router, searching upward from
+/// the density lower bound for the smallest track count that completes and
+/// verifies. This is the procedure behind the "routed difficult channels in
+/// density" comparison row: tracks == density means optimal.
+IncrementalChannelResult route_channel_incremental(
+    const ChannelSpec& spec, RouterOptions options = channel_router_options(),
+    int max_extra_tracks = 10);
+
+}  // namespace gridroute

@@ -1,0 +1,45 @@
+#pragma once
+
+#include "channel/channel_analysis.hpp"
+#include "channel/track_solution.hpp"
+
+namespace gridroute {
+
+/// Classic (constrained) Left-Edge channel router: one trunk per net,
+/// tracks filled top-down by left edge, vertical constraints respected.
+/// Fails — honestly, with a reason — on VCG cycles, which is precisely the
+/// limitation that motivated doglegs and, later, rip-up routers.
+ChannelResult route_left_edge(const ChannelSpec& spec);
+
+/// Dogleg channel router (Deutsch-style): nets are split at their pin
+/// columns into two-pin subnets, which the constrained left-edge engine
+/// then places independently. Breaks most VCG cycles and typically lands
+/// near density.
+ChannelResult route_dogleg(const ChannelSpec& spec);
+
+/// Yoshimura–Kuh channel router: the classic 1982 net-merging algorithm.
+/// Nets that never share a zone are merged to share tracks, choosing merges
+/// that least lengthen the critical vertical-constraint chain; merged
+/// groups are then layered by constraint level. Like all single-trunk
+/// routers it fails (with a reason) on VCG cycles.
+ChannelResult route_yoshimura_kuh(const ChannelSpec& spec);
+
+struct GreedyOptions {
+  /// Extra tracks to try beyond channel density before giving up
+  /// (the attempt loop runs tracks = density .. density + max_extra_tracks).
+  int max_extra_tracks = 12;
+  /// Columns the router may append past the right channel edge to collapse
+  /// nets that are still split there.
+  int max_extra_columns = 24;
+  /// Split nets further apart than this are jogged together preemptively.
+  int collapse_distance = 4;
+};
+
+/// Greedy channel router (Rivest–Fiduccia-style): sweeps the channel column
+/// by column, bringing pins onto tracks with minimal jogs, collapsing split
+/// nets, and steering nets toward their next pin. Unlike left-edge routers
+/// it never fails on constraint cycles; it pays with occasional extra tracks
+/// or extra end columns.
+ChannelResult route_greedy(const ChannelSpec& spec, GreedyOptions options = {});
+
+}  // namespace gridroute

@@ -1,0 +1,348 @@
+#include <algorithm>
+#include <climits>
+#include <map>
+#include <vector>
+
+#include "channel/channel_routers.hpp"
+
+namespace gridroute {
+
+namespace {
+
+/// One attempt at routing the channel with a fixed number of tracks.
+/// Returns success/failure plus the solution; the caller widens the channel
+/// and retries on failure (a simpler, equivalent formulation of the classic
+/// router's "add a track in the middle" move — the metric, minimum feasible
+/// tracks, is identical).
+class GreedyAttempt {
+ public:
+  GreedyAttempt(const ChannelSpec& spec, int tracks,
+                const GreedyOptions& options)
+      : spec_(spec), tracks_(tracks), options_(options) {
+    track_net_.assign(static_cast<size_t>(tracks_) + 2, 0);
+    h_open_.assign(static_cast<size_t>(tracks_) + 2, -1);
+    for (int col = 0; col < spec_.columns(); ++col)
+      for (const int n : {spec_.top[static_cast<size_t>(col)],
+                          spec_.bottom[static_cast<size_t>(col)]})
+        if (n != 0) last_pin_col_[n] = col;  // columns scanned left to right
+  }
+
+  bool run(TrackSolution* out) {
+    for (col_ = 0; col_ < spec_.columns(); ++col_) {
+      col_vsegs_.clear();
+      if (!bring_in_pins()) return false;
+      collapse_split_nets();
+      reduce_ranges();
+      close_completed_nets();
+    }
+    // Still-split nets get extra pin-free columns to finish collapsing.
+    int extra = 0;
+    while (any_split_net() && extra < options_.max_extra_columns) {
+      col_ = spec_.columns() + extra;
+      ++extra;
+      col_vsegs_.clear();
+      collapse_split_nets();
+      reduce_ranges();
+      close_completed_nets();
+    }
+    if (any_split_net()) return false;
+
+    // Close any trunk that is still open (single-track nets whose last
+    // junction was their final pin column are already closed; this catches
+    // none in practice but keeps the invariant airtight).
+    const int last_col = extra > 0 ? col_ : std::max(col_ - 1, 0);
+    for (int r = 1; r <= tracks_; ++r)
+      if (track_net_[static_cast<size_t>(r)] != 0) close_track(r, last_col);
+
+    out->tracks = tracks_;
+    out->extra_columns = extra;
+    out->horizontals = horizontals_;
+    out->verticals = verticals_;
+    return true;
+  }
+
+ private:
+  // -- vertical bookkeeping for the current column ---------------------------
+
+  bool v_free(int net, int r0, int r1) const {
+    for (const VSeg& v : col_vsegs_)
+      if (v.net != net && r0 <= v.r1 && v.r0 <= r1) return false;
+    return true;
+  }
+
+  void add_vseg(int net, int r0, int r1) {
+    col_vsegs_.push_back({net, col_, r0, r1});
+    verticals_.push_back({net, col_, r0, r1});
+  }
+
+  // -- track bookkeeping ------------------------------------------------------
+
+  std::vector<int> tracks_of(int net) const {
+    std::vector<int> rows;
+    for (int r = 1; r <= tracks_; ++r)
+      if (track_net_[static_cast<size_t>(r)] == net) rows.push_back(r);
+    return rows;
+  }
+
+  void open_track(int row, int net) {
+    track_net_[static_cast<size_t>(row)] = net;
+    h_open_[static_cast<size_t>(row)] = col_;
+  }
+
+  void close_track(int row, int end_col) {
+    const int net = track_net_[static_cast<size_t>(row)];
+    horizontals_.push_back(
+        {net, row, h_open_[static_cast<size_t>(row)], end_col});
+    track_net_[static_cast<size_t>(row)] = 0;
+    h_open_[static_cast<size_t>(row)] = -1;
+  }
+
+  // -- the three per-column phases --------------------------------------------
+
+  /// Connects this column's boundary pins to tracks with minimal jogs:
+  /// nearest own track first, else nearest empty track, scanning inward
+  /// from the pin's side of the channel.
+  bool bring_in(int net, bool from_top) {
+    const int pin_row = from_top ? tracks_ + 1 : 0;
+    auto reachable = [&](int row) {
+      const auto [lo, hi] = std::minmax(pin_row, row);
+      return v_free(net, lo, hi);
+    };
+    int chosen = 0;
+    // Own tracks, nearest to the pin first.
+    {
+      int best_d = INT_MAX;
+      for (const int r : tracks_of(net)) {
+        const int d = std::abs(pin_row - r);
+        if (d < best_d && reachable(r)) {
+          best_d = d;
+          chosen = r;
+        }
+      }
+    }
+    // Else the first reachable empty track scanning from the pin inward.
+    if (chosen == 0) {
+      if (from_top) {
+        for (int r = tracks_; r >= 1 && chosen == 0; --r)
+          if (track_net_[static_cast<size_t>(r)] == 0 && reachable(r))
+            chosen = r;
+      } else {
+        for (int r = 1; r <= tracks_ && chosen == 0; ++r)
+          if (track_net_[static_cast<size_t>(r)] == 0 && reachable(r))
+            chosen = r;
+      }
+      if (chosen != 0) open_track(chosen, net);
+    }
+    if (chosen == 0) return false;
+    const auto [lo, hi] = std::minmax(pin_row, chosen);
+    add_vseg(net, lo, hi);
+    return true;
+  }
+
+  /// Candidate landing tracks for a pin of `net`: its own tracks plus the
+  /// currently empty tracks. `own` flags which, so the chooser can charge a
+  /// split penalty for landing on an empty track.
+  struct Candidate {
+    int row = 0;
+    bool own = false;
+  };
+  std::vector<Candidate> landing_candidates(int net) const {
+    std::vector<Candidate> cands;
+    for (int r = 1; r <= tracks_; ++r) {
+      const int occupant = track_net_[static_cast<size_t>(r)];
+      if (occupant == net)
+        cands.push_back({r, true});
+      else if (occupant == 0)
+        cands.push_back({r, false});
+    }
+    return cands;
+  }
+
+  void commit_landing(int net, const Candidate& c, int pin_row) {
+    if (!c.own && track_net_[static_cast<size_t>(c.row)] == 0)
+      open_track(c.row, net);
+    const auto [lo, hi] = std::minmax(pin_row, c.row);
+    add_vseg(net, lo, hi);
+  }
+
+  /// Both sides pinned by different nets: their verticals share this column
+  /// and must not overlap, so the top net has to land strictly above the
+  /// bottom net. Choosing the pair jointly (minimal jogs, split penalised)
+  /// is what lets the greedy router absorb vertical-constraint cycles that
+  /// defeat the left-edge family.
+  bool bring_in_both(int t, int b) {
+    const int top_row = tracks_ + 1;
+    const auto top_cands = landing_candidates(t);
+    const auto bottom_cands = landing_candidates(b);
+    const Candidate* best_t = nullptr;
+    const Candidate* best_b = nullptr;
+    int best_cost = INT_MAX;
+    for (const Candidate& ct : top_cands)
+      for (const Candidate& cb : bottom_cands) {
+        if (ct.row <= cb.row) continue;  // verticals would overlap
+        const int cost = (top_row - ct.row) + cb.row +
+                         (ct.own ? 0 : tracks_) + (cb.own ? 0 : tracks_);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_t = &ct;
+          best_b = &cb;
+        }
+      }
+    if (best_t == nullptr) return false;
+    commit_landing(t, *best_t, top_row);
+    commit_landing(b, *best_b, 0);
+    return true;
+  }
+
+  bool bring_in_pins() {
+    const int t = spec_.top[static_cast<size_t>(col_)];
+    const int b = spec_.bottom[static_cast<size_t>(col_)];
+    if (t != 0 && t == b) {
+      // Same net on both sides: a through-vertical serves both pins and
+      // every incident track; the net still needs at least one track if it
+      // continues to the right.
+      if (!v_free(t, 0, tracks_ + 1)) return false;
+      if (tracks_of(t).empty()) {
+        int chosen = 0;
+        for (int r = 1; r <= tracks_ && chosen == 0; ++r)
+          if (track_net_[static_cast<size_t>(r)] == 0) chosen = r;
+        if (chosen == 0) return false;
+        open_track(chosen, t);
+      }
+      add_vseg(t, 0, tracks_ + 1);
+      return true;
+    }
+    if (t != 0 && b != 0) return bring_in_both(t, b);
+    if (t != 0) return bring_in(t, /*from_top=*/true);
+    if (b != 0) return bring_in(b, /*from_top=*/false);
+    return true;
+  }
+
+  /// Joins pairs of tracks held by the same net with free verticals,
+  /// releasing one track per join. The kept track is the one nearer the
+  /// side of the net's next pin (a small amount of steering for free).
+  void collapse_split_nets() {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (int net : nets_on_tracks()) {
+        const std::vector<int> rows = tracks_of(net);
+        if (rows.size() < 2) continue;
+        for (std::size_t i = 0; i + 1 < rows.size(); ++i) {
+          const int r_low = rows[i];
+          const int r_high = rows[i + 1];
+          if (!v_free(net, r_low, r_high)) continue;
+          add_vseg(net, r_low, r_high);
+          const int drop = prefer_high_side(net) ? r_low : r_high;
+          close_track(drop, col_);
+          progress = true;
+          break;  // track set changed; recompute
+        }
+      }
+    }
+  }
+
+  /// Classic "reduce the range of split nets": a split net that could not
+  /// fully collapse jogs its outermost tracks inward onto free tracks,
+  /// shrinking the gap so a later column can finish the merge.
+  void reduce_ranges() {
+    for (int net : nets_on_tracks()) {
+      const std::vector<int> rows = tracks_of(net);
+      if (rows.size() < 2) continue;
+      const int r_lo = rows.front();
+      const int r_hi = rows.back();
+      if (r_hi - r_lo <= options_.collapse_distance) continue;
+      // Jog the low end up as far as a free, vertically reachable track
+      // strictly inside the current range allows (and symmetrically the
+      // high end down). One jog per net per column keeps verticals short.
+      auto jog = [&](int from, int towards) {
+        const int step = towards > from ? 1 : -1;
+        int best = 0;
+        for (int r = from + step; r != towards; r += step) {
+          if (track_net_[static_cast<size_t>(r)] != 0) continue;
+          const auto [lo, hi] = std::minmax(from, r);
+          if (!v_free(net, lo, hi)) break;  // a farther jog only gets worse
+          best = r;
+        }
+        if (best == 0) return false;
+        const auto [lo, hi] = std::minmax(from, best);
+        add_vseg(net, lo, hi);
+        open_track(best, net);
+        close_track(from, col_);
+        return true;
+      };
+      if (!jog(r_lo, r_hi)) jog(r_hi, r_lo);
+    }
+  }
+
+  /// True when the net's next pin (strictly right of this column) is on the
+  /// top edge — used to pick which track survives a collapse.
+  bool prefer_high_side(int net) const {
+    for (int c = col_ + 1; c < spec_.columns(); ++c) {
+      if (spec_.top[static_cast<size_t>(c)] == net) return true;
+      if (spec_.bottom[static_cast<size_t>(c)] == net) return false;
+    }
+    return false;
+  }
+
+  void close_completed_nets() {
+    for (int net : nets_on_tracks()) {
+      auto it = last_pin_col_.find(net);
+      if (it == last_pin_col_.end() || it->second > col_) continue;
+      const std::vector<int> rows = tracks_of(net);
+      if (rows.size() != 1) continue;  // still split: keep collapsing
+      close_track(rows.front(), col_);
+    }
+  }
+
+  std::vector<int> nets_on_tracks() const {
+    std::vector<int> nets;
+    for (int r = 1; r <= tracks_; ++r) {
+      const int n = track_net_[static_cast<size_t>(r)];
+      if (n != 0 && std::find(nets.begin(), nets.end(), n) == nets.end())
+        nets.push_back(n);
+    }
+    return nets;
+  }
+
+  bool any_split_net() const {
+    for (int net : nets_on_tracks())
+      if (tracks_of(net).size() > 1) return true;
+    return false;
+  }
+
+  const ChannelSpec& spec_;
+  const int tracks_;
+  const GreedyOptions options_;
+  int col_ = 0;
+  std::vector<int> track_net_;  // rows 1..tracks_; 0 = free
+  std::vector<int> h_open_;
+  std::map<int, int> last_pin_col_;
+  std::vector<VSeg> col_vsegs_;
+  std::vector<HSeg> horizontals_;
+  std::vector<VSeg> verticals_;
+};
+
+}  // namespace
+
+ChannelResult route_greedy(const ChannelSpec& spec, GreedyOptions options) {
+  ChannelResult result;
+  result.router = "greedy";
+  const int density = ChannelAnalysis(spec).density();
+  const int floor_tracks = std::max(density, 1);
+  for (int tracks = floor_tracks;
+       tracks <= floor_tracks + options.max_extra_tracks; ++tracks) {
+    GreedyAttempt attempt(spec, tracks, options);
+    TrackSolution sol;
+    if (attempt.run(&sol)) {
+      result.success = true;
+      result.solution = std::move(sol);
+      return result;
+    }
+  }
+  result.reason = "no feasible width within density + " +
+                  std::to_string(options.max_extra_tracks) + " tracks";
+  return result;
+}
+
+}  // namespace gridroute

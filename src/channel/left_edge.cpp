@@ -1,0 +1,228 @@
+#include <algorithm>
+#include <climits>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "channel/channel_routers.hpp"
+
+namespace gridroute {
+
+namespace {
+
+/// An interval to be placed by the constrained left-edge engine. `key`
+/// identifies the item (net number for LEA, subnet id for dogleg); `net`
+/// is the owning net (same-net items may share a track).
+struct Item {
+  int key = 0;
+  int net = 0;
+  int left = 0;
+  int right = 0;
+};
+
+/// Constrained left-edge track assignment. `above` lists (a, b) pairs
+/// meaning item-key a must land on a strictly higher track than item-key b.
+/// Returns track ordinals (0 = topmost) per key, or nullopt when the
+/// constraints are cyclic.
+std::optional<std::map<int, int>> assign_tracks(
+    std::vector<Item> items, const std::vector<std::pair<int, int>>& above) {
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    return std::tuple{a.left, a.right, a.key} <
+           std::tuple{b.left, b.right, b.key};
+  });
+
+  // parents[k] = keys that must sit strictly above k.
+  std::map<int, std::vector<int>> parents;
+  for (const auto& [a, b] : above) parents[b].push_back(a);
+
+  std::map<int, int> ordinal;  // key -> assigned track ordinal
+  std::set<int> unplaced;
+  for (const Item& it : items) unplaced.insert(it.key);
+
+  for (int track = 0; !unplaced.empty(); ++track) {
+    bool placed_any = false;
+    int last_right = INT_MIN;
+    int last_net = 0;
+    for (const Item& it : items) {
+      if (!unplaced.contains(it.key)) continue;
+      // Horizontal fit: a free cell between different-net trunks; same-net
+      // trunks may merge (abut or overlap).
+      const bool fits =
+          it.net == last_net ? it.left >= last_right : it.left > last_right;
+      if (!fits) continue;
+      // Vertical fit: every parent already on a strictly higher track.
+      bool ok = true;
+      if (auto p = parents.find(it.key); p != parents.end())
+        for (int a : p->second) {
+          auto o = ordinal.find(a);
+          if (o == ordinal.end() || o->second >= track) {
+            ok = false;
+            break;
+          }
+        }
+      if (!ok) continue;
+      ordinal[it.key] = track;
+      unplaced.erase(it.key);
+      last_right = std::max(last_right, it.right);
+      last_net = it.net;
+      placed_any = true;
+    }
+    if (!placed_any) return std::nullopt;  // constraint cycle
+  }
+  return ordinal;
+}
+
+int track_count(const std::map<int, int>& ordinals) {
+  int t = 0;
+  for (const auto& [key, ord] : ordinals) t = std::max(t, ord + 1);
+  return t;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Left-Edge
+// ---------------------------------------------------------------------------
+
+ChannelResult route_left_edge(const ChannelSpec& spec) {
+  ChannelResult result;
+  result.router = "left-edge";
+  const ChannelAnalysis analysis(spec);
+
+  std::vector<Item> items;
+  for (const NetInterval& iv : analysis.intervals())
+    items.push_back({iv.net, iv.net, iv.left, iv.right});
+  std::vector<std::pair<int, int>> above;
+  for (const auto& [a, below] : analysis.vcg())
+    for (int b : below) above.emplace_back(a, b);
+
+  const auto ordinals = assign_tracks(items, above);
+  if (!ordinals) {
+    result.reason = "vertical constraint cycle (left-edge cannot dogleg)";
+    return result;
+  }
+
+  const int tracks = track_count(*ordinals);
+  result.solution.tracks = tracks;
+  // Ordinal 0 (top) -> grid row `tracks`; pin rows are 0 and tracks+1.
+  auto row_of = [&](int net) { return tracks - ordinals->at(net); };
+
+  for (const NetInterval& iv : analysis.intervals())
+    result.solution.horizontals.push_back(
+        {iv.net, row_of(iv.net), iv.left, iv.right});
+  for (int col = 0; col < spec.columns(); ++col) {
+    if (const int t = spec.top[static_cast<size_t>(col)]; t != 0)
+      result.solution.verticals.push_back({t, col, row_of(t), tracks + 1});
+    if (const int b = spec.bottom[static_cast<size_t>(col)]; b != 0)
+      result.solution.verticals.push_back({b, col, 0, row_of(b)});
+  }
+  result.success = true;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Dogleg
+// ---------------------------------------------------------------------------
+
+ChannelResult route_dogleg(const ChannelSpec& spec) {
+  ChannelResult result;
+  result.router = "dogleg";
+  const ChannelAnalysis analysis(spec);
+
+  // Split every net at its pin columns into consecutive two-pin subnets.
+  struct Subnet {
+    int id;
+    int net;
+    int left;
+    int right;
+  };
+  std::vector<Subnet> subnets;
+  std::map<int, std::vector<int>> pin_cols;  // net -> sorted pin columns
+  for (int col = 0; col < spec.columns(); ++col)
+    for (const int n : {spec.top[static_cast<size_t>(col)],
+                        spec.bottom[static_cast<size_t>(col)]})
+      if (n != 0) {
+        auto& cols = pin_cols[n];
+        if (cols.empty() || cols.back() != col) cols.push_back(col);
+      }
+  int next_id = 0;
+  std::map<int, std::vector<int>> net_subnets;  // net -> subnet ids
+  for (const auto& [net, cols] : pin_cols)
+    for (std::size_t i = 0; i + 1 < cols.size(); ++i) {
+      subnets.push_back({next_id, net, cols[i], cols[i + 1]});
+      net_subnets[net].push_back(next_id);
+      ++next_id;
+    }
+
+  // Vertical constraints between subnets incident at constrained columns.
+  std::vector<std::pair<int, int>> above;
+  auto incident = [&](int net, int col) {
+    std::vector<int> ids;
+    for (const int sid : net_subnets[net]) {
+      const Subnet& s = subnets[static_cast<size_t>(sid)];
+      if (s.left == col || s.right == col) ids.push_back(sid);
+    }
+    return ids;
+  };
+  for (int col = 0; col < spec.columns(); ++col) {
+    const int t = spec.top[static_cast<size_t>(col)];
+    const int b = spec.bottom[static_cast<size_t>(col)];
+    if (t == 0 || b == 0 || t == b) continue;
+    for (const int sa : incident(t, col))
+      for (const int sb : incident(b, col)) above.emplace_back(sa, sb);
+  }
+
+  std::vector<Item> items;
+  for (const Subnet& s : subnets)
+    items.push_back({s.id, s.net, s.left, s.right});
+  const auto ordinals = assign_tracks(items, above);
+  if (!ordinals) {
+    result.reason = "constraint cycle survives doglegging";
+    return result;
+  }
+
+  const int tracks = std::max(track_count(*ordinals), 1);
+  result.solution.tracks = tracks;
+  auto row_of = [&](int sid) { return tracks - ordinals->at(sid); };
+
+  for (const Subnet& s : subnets)
+    result.solution.horizontals.push_back(
+        {s.net, row_of(s.id), s.left, s.right});
+
+  // Verticals: at each pin column, span from the pin row to the farthest
+  // incident trunk (covering every incident trunk on the way).
+  for (int col = 0; col < spec.columns(); ++col) {
+    const int t = spec.top[static_cast<size_t>(col)];
+    const int b = spec.bottom[static_cast<size_t>(col)];
+    auto trunk_rows = [&](int net) {
+      std::vector<int> rows;
+      for (const int sid : incident(net, col)) rows.push_back(row_of(sid));
+      return rows;
+    };
+    if (t != 0 && t == b) {
+      // Same net touches both sides here: one full-height vertical serves
+      // the pins and any incident trunks.
+      result.solution.verticals.push_back({t, col, 0, tracks + 1});
+      continue;
+    }
+    if (t != 0) {
+      const auto rows = trunk_rows(t);
+      // A single-pin net has no subnets; the pin cell itself is its wire.
+      const int lowest = rows.empty()
+                             ? tracks + 1
+                             : *std::min_element(rows.begin(), rows.end());
+      result.solution.verticals.push_back({t, col, lowest, tracks + 1});
+    }
+    if (b != 0) {
+      const auto rows = trunk_rows(b);
+      const int highest =
+          rows.empty() ? 0 : *std::max_element(rows.begin(), rows.end());
+      result.solution.verticals.push_back({b, col, 0, highest});
+    }
+  }
+  result.success = true;
+  return result;
+}
+
+}  // namespace gridroute

@@ -1,0 +1,73 @@
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "channel/track_solution.hpp"
+
+namespace gridroute {
+
+namespace {
+
+/// Net-number -> NetId map for a channel problem, recovered from the net
+/// names ("n<number>") so it can never drift from ChannelSpec::to_problem.
+std::map<int, NetId> net_ids(const Problem& problem) {
+  std::map<int, NetId> ids;
+  for (NetId id = 0; id < problem.net_count(); ++id) {
+    const std::string& name = problem.net(id).name;
+    ids[std::stoi(name.substr(1))] = id;
+  }
+  return ids;
+}
+
+}  // namespace
+
+RealizedChannel realize(const ChannelSpec& spec, const TrackSolution& sol) {
+  ChannelSpec padded = spec;
+  padded.top.resize(padded.top.size() + static_cast<size_t>(sol.extra_columns),
+                    0);
+  padded.bottom.resize(
+      padded.bottom.size() + static_cast<size_t>(sol.extra_columns), 0);
+
+  Problem problem = padded.to_problem(sol.tracks);
+  RoutingGrid grid(problem.region(), problem.net_count());
+  const std::map<int, NetId> ids = net_ids(problem);
+
+  auto claim = [&](GridPoint g, int net_number) {
+    const NetId id = ids.at(net_number);
+    if (grid.owner(g) == id) return;  // same-net overlap: merge silently
+    if (!grid.occupy(g, id)) {
+      std::ostringstream msg;
+      msg << "channel solution overlap: net " << net_number
+          << " cannot claim " << g << " (owner: "
+          << (grid.owner(g) == kNoNet ? std::string("blocked")
+                                      : problem.net(grid.owner(g)).name)
+          << ")";
+      throw std::logic_error(msg.str());
+    }
+  };
+
+  for (const HSeg& h : sol.horizontals) {
+    const auto [c0, c1] = std::minmax(h.c0, h.c1);
+    for (int c = c0; c <= c1; ++c)
+      claim({{c, h.row}, Layer::kMetal1}, h.net);
+  }
+  for (const VSeg& v : sol.verticals) {
+    const auto [r0, r1] = std::minmax(v.r0, v.r1);
+    for (int r = r0; r <= r1; ++r)
+      claim({{v.col, r}, Layer::kMetal2}, v.net);
+  }
+
+  // Same-net stacked cells become vias: never a short, always a junction.
+  const Rect& b = problem.region().bounds();
+  for (int y = b.lo.y; y <= b.hi.y; ++y)
+    for (int x = b.lo.x; x <= b.hi.x; ++x) {
+      const NetId m1 = grid.owner({{x, y}, Layer::kMetal1});
+      if (m1 != kNoNet && m1 == grid.owner({{x, y}, Layer::kMetal2}))
+        grid.add_via({x, y}, m1);
+    }
+
+  return {std::move(problem), std::move(grid)};
+}
+
+}  // namespace gridroute

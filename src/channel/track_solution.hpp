@@ -1,0 +1,69 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "grid/routing_grid.hpp"
+#include "problem/problem.hpp"
+
+namespace gridroute {
+
+/// Horizontal trunk piece: net `net` occupies row `row` (a track index in
+/// grid coordinates, 1..tracks) from column c0 to c1 inclusive, on METAL1.
+struct HSeg {
+  int net = 0;
+  int row = 0;
+  int c0 = 0;
+  int c1 = 0;
+
+  friend bool operator==(const HSeg&, const HSeg&) = default;
+};
+
+/// Vertical branch piece: net `net` occupies column `col` from row r0 to r1
+/// inclusive, on METAL2 (rows 0 and tracks+1 are the pin rows).
+struct VSeg {
+  int net = 0;
+  int col = 0;
+  int r0 = 0;
+  int r1 = 0;
+
+  friend bool operator==(const VSeg&, const VSeg&) = default;
+};
+
+/// The abstract output of a channel router: a reserved-layer HV layout as
+/// segment lists, independent of any grid realization.
+struct TrackSolution {
+  int tracks = 0;
+  /// Columns appended beyond the pinned channel (the greedy router may need
+  /// them to collapse still-split nets at the right edge).
+  int extra_columns = 0;
+  std::vector<HSeg> horizontals;
+  std::vector<VSeg> verticals;
+};
+
+/// Outcome of a channel-routing attempt.
+struct ChannelResult {
+  bool success = false;
+  std::string router;   ///< algorithm name, for tables
+  std::string reason;   ///< failure explanation when !success
+  TrackSolution solution;
+
+  int tracks() const { return solution.tracks; }
+};
+
+/// A realized channel layout: the grid problem (with the solution's track
+/// count and any extra columns padded in) plus the occupied grid. Always
+/// run the verifier on `grid` — realization refuses nothing, it just lays
+/// the segments down and lets verification be the judge.
+struct RealizedChannel {
+  Problem problem;
+  RoutingGrid grid;
+};
+
+/// Materializes a TrackSolution on a grid. Vias are dropped at every cell
+/// where the net holds both layers (same-net extra vias are electrically
+/// harmless and guarantee all HV junctions connect). Throws std::logic_error
+/// if two different nets claim one node — routers must not emit overlaps.
+RealizedChannel realize(const ChannelSpec& spec, const TrackSolution& sol);
+
+}  // namespace gridroute

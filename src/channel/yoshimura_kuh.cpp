@@ -1,0 +1,255 @@
+#include <algorithm>
+#include <functional>
+#include <climits>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "channel/channel_routers.hpp"
+
+namespace gridroute {
+
+namespace {
+
+/// Net-merging state for the Yoshimura–Kuh algorithm: nets that never
+/// coexist in a zone may be merged to share one track, provided the merge
+/// keeps the vertical constraint graph acyclic. The heuristic picks the
+/// merge that least lengthens the critical constraint chain.
+class MergeGraph {
+ public:
+  explicit MergeGraph(const ChannelAnalysis& analysis) {
+    for (const NetInterval& iv : analysis.intervals()) group_[iv.net] = iv.net;
+    for (const auto& [a, below] : analysis.vcg())
+      for (const int b : below) edges_.insert({a, b});
+  }
+
+  int group_of(int net) const { return group_.at(net); }
+
+  /// All nets currently represented by `g`.
+  std::vector<int> members(int g) const {
+    std::vector<int> nets;
+    for (const auto& [net, rep] : group_)
+      if (rep == g) nets.push_back(net);
+    return nets;
+  }
+
+  std::set<int> groups() const {
+    std::set<int> gs;
+    for (const auto& [net, rep] : group_) gs.insert(rep);
+    return gs;
+  }
+
+  /// Group-level edges (a's group must be above b's group).
+  std::set<std::pair<int, int>> group_edges() const {
+    std::set<std::pair<int, int>> es;
+    for (const auto& [a, b] : edges_) {
+      const int ga = group_.at(a);
+      const int gb = group_.at(b);
+      if (ga != gb) es.insert({ga, gb});
+    }
+    return es;
+  }
+
+  bool reachable(int from, int to) const {
+    const auto es = group_edges();
+    std::set<int> seen{from};
+    std::vector<int> stack{from};
+    while (!stack.empty()) {
+      const int g = stack.back();
+      stack.pop_back();
+      if (g == to) return true;
+      for (const auto& [a, b] : es)
+        if (a == g && seen.insert(b).second) stack.push_back(b);
+    }
+    return false;
+  }
+
+  bool mergeable(int ga, int gb) const {
+    return ga != gb && !reachable(ga, gb) && !reachable(gb, ga);
+  }
+
+  /// Longest chain (in edges) ending at / starting from a group.
+  int up_depth(int g) const { return depth(g, /*upwards=*/true); }
+  int down_depth(int g) const { return depth(g, /*upwards=*/false); }
+
+  /// Merges gb into ga (ga becomes the representative).
+  void merge(int ga, int gb) {
+    for (auto& [net, rep] : group_)
+      if (rep == gb) rep = ga;
+  }
+
+  bool has_cycle() const {
+    // Kahn over group edges.
+    const auto es = group_edges();
+    std::map<int, int> indeg;
+    for (const int g : groups()) indeg[g] = 0;
+    for (const auto& [a, b] : es) ++indeg[b];
+    std::vector<int> ready;
+    for (const auto& [g, d] : indeg)
+      if (d == 0) ready.push_back(g);
+    std::size_t seen = 0;
+    while (!ready.empty()) {
+      const int g = ready.back();
+      ready.pop_back();
+      ++seen;
+      for (const auto& [a, b] : es)
+        if (a == g && --indeg[b] == 0) ready.push_back(b);
+    }
+    return seen != indeg.size();
+  }
+
+ private:
+  int depth(int g, bool upwards) const {
+    const auto es = group_edges();
+    // Memoless DFS; group counts are small (channel nets).
+    int best = 0;
+    for (const auto& [a, b] : es) {
+      if (upwards && b == g) best = std::max(best, depth(a, true) + 1);
+      if (!upwards && a == g) best = std::max(best, depth(b, false) + 1);
+    }
+    return best;
+  }
+
+  std::map<int, int> group_;              // net -> representative net
+  std::set<std::pair<int, int>> edges_;  // net-level VCG
+};
+
+}  // namespace
+
+ChannelResult route_yoshimura_kuh(const ChannelSpec& spec) {
+  ChannelResult result;
+  result.router = "yoshimura-kuh";
+  const ChannelAnalysis analysis(spec);
+
+  if (analysis.vcg_has_cycle()) {
+    result.reason = "vertical constraint cycle (single-trunk router)";
+    return result;
+  }
+
+  MergeGraph mg(analysis);
+  const auto zones = analysis.zones();
+
+  // Sweep zone boundaries: nets whose interval ended stay in the candidate
+  // pool; each net starting in the next zone tries to merge with the pool
+  // member that least lengthens the constraint chain through the pair.
+  std::set<int> pool;
+  std::set<int> seen_nets;
+  for (std::size_t z = 0; z + 1 < zones.size(); ++z) {
+    const auto& cur = zones[z].nets;
+    const auto& next = zones[z + 1].nets;
+    seen_nets.insert(cur.begin(), cur.end());
+    for (const int net : cur)
+      if (std::find(next.begin(), next.end(), net) == next.end())
+        pool.insert(mg.group_of(net));
+    for (const int net : next) {
+      if (seen_nets.contains(net)) continue;  // continuing net, not new
+      const int gv = mg.group_of(net);
+      int best_u = 0;
+      int best_cost = INT_MAX;
+      for (const int gu : pool) {
+        if (!mg.mergeable(gu, gv)) continue;
+        // Chain through the merged node if u sits above and v below.
+        const int cost = mg.up_depth(gu) + mg.down_depth(gv);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_u = gu;
+        }
+      }
+      if (best_u != 0) {
+        pool.erase(best_u);
+        mg.merge(best_u, gv);  // keep v's id: it is the live end
+      }
+    }
+  }
+
+  if (mg.has_cycle()) {
+    result.reason = "merge created a constraint cycle (heuristic bug)";
+    return result;
+  }
+
+  // Track assignment: topological levels of the merged constraint graph,
+  // then greedy level compaction is implicit — groups on the same level
+  // never overlap horizontally only if they avoid each other; levels alone
+  // do not guarantee that, so pack levels with a left-edge pass per level.
+  const auto es = mg.group_edges();
+  std::map<int, int> level;
+  std::function<int(int)> lvl = [&](int g) -> int {
+    if (auto it = level.find(g); it != level.end()) return it->second;
+    int best = 0;
+    for (const auto& [a, b] : es)
+      if (b == g) best = std::max(best, lvl(a) + 1);
+    level[g] = best;
+    return best;
+  };
+  for (const int g : mg.groups()) lvl(g);
+
+  // Groups ordered by level, then packed onto tracks left-edge style with
+  // the level order preserved (a group may share a track with a group of
+  // the same level when their member intervals do not collide).
+  struct GroupItem {
+    int id;
+    int lv;
+    std::vector<NetInterval> spans;
+  };
+  std::vector<GroupItem> items;
+  for (const int g : mg.groups()) {
+    GroupItem item{g, level[g], {}};
+    for (const int net : mg.members(g))
+      item.spans.push_back(analysis.interval_of(net));
+    items.push_back(item);
+  }
+  std::sort(items.begin(), items.end(), [](const GroupItem& a,
+                                           const GroupItem& b) {
+    return std::pair{a.lv, a.id} < std::pair{b.lv, b.id};
+  });
+
+  // One track per level batch, splitting a level over several tracks when
+  // member intervals collide within it.
+  std::vector<std::vector<const GroupItem*>> tracks;
+  std::vector<int> track_level;
+  auto collides = [](const std::vector<const GroupItem*>& track,
+                     const GroupItem& cand) {
+    for (const GroupItem* g : track)
+      for (const NetInterval& a : g->spans)
+        for (const NetInterval& b : cand.spans)
+          if (a.left <= b.right + 1 && b.left <= a.right + 1) return true;
+    return false;
+  };
+  for (const GroupItem& item : items) {
+    bool placed = false;
+    for (std::size_t t = 0; t < tracks.size() && !placed; ++t) {
+      if (track_level[t] != item.lv) continue;  // strict level layering
+      if (collides(tracks[t], item)) continue;
+      tracks[t].push_back(&item);
+      placed = true;
+    }
+    if (!placed) {
+      tracks.push_back({&item});
+      track_level.push_back(item.lv);
+    }
+  }
+
+  const int n_tracks = static_cast<int>(tracks.size());
+  result.solution.tracks = std::max(n_tracks, 1);
+  // Track 0 in `tracks` is the topmost level; grid row = tracks - index.
+  std::map<int, int> net_row;
+  for (std::size_t t = 0; t < tracks.size(); ++t)
+    for (const GroupItem* g : tracks[t])
+      for (const NetInterval& iv : g->spans)
+        net_row[iv.net] = n_tracks - static_cast<int>(t);
+
+  for (const NetInterval& iv : analysis.intervals())
+    result.solution.horizontals.push_back(
+        {iv.net, net_row.at(iv.net), iv.left, iv.right});
+  for (int col = 0; col < spec.columns(); ++col) {
+    if (const int t = spec.top[static_cast<size_t>(col)]; t != 0)
+      result.solution.verticals.push_back(
+          {t, col, net_row.at(t), n_tracks + 1});
+    if (const int b = spec.bottom[static_cast<size_t>(col)]; b != 0)
+      result.solution.verticals.push_back({b, col, 0, net_row.at(b)});
+  }
+  result.success = true;
+  return result;
+}
+
+}  // namespace gridroute

@@ -1,0 +1,574 @@
+#include "core/incremental_router.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <climits>
+#include <deque>
+#include <ostream>
+#include <set>
+#include <unordered_map>
+
+#include "util/disjoint_set.hpp"
+#include "util/rng.hpp"
+#include "verify/verify.hpp"
+
+namespace gridroute {
+
+IncrementalRouter::IncrementalRouter(const Problem& problem,
+                                     RouterOptions options)
+    : problem_(problem),
+      options_(options),
+      grid_(problem.region(), problem.net_count()),
+      pins_(problem),
+      search_(grid_, pins_, options.costs),
+      ripup_count_(static_cast<size_t>(problem.net_count()), 0),
+      history_(static_cast<size_t>(problem.region().width()) *
+                   static_cast<size_t>(problem.region().height()),
+               0) {
+  // Lay down every net's pre-wire before any routing happens. Problems
+  // with conflicting or unroutable pre-wire are rejected here (validate()
+  // reports the same conflicts with friendlier messages).
+  for (NetId id = 0; id < problem_.net_count(); ++id) apply_prewire(id);
+  grid_.commit();
+}
+
+void IncrementalRouter::apply_prewire(NetId id) {
+  const Net& net = problem_.net(id);
+  for (const GridPoint& g : prewire_nodes(net)) {
+    if (grid_.owner(g) == id) continue;  // junction duplicate
+    if (!grid_.occupy(g, id))
+      throw std::invalid_argument("net '" + net.name +
+                                  "': pre-wire conflicts with the region or "
+                                  "another net (run Problem::validate)");
+  }
+  for (const Point& v : net.previas) {
+    if (grid_.via_owner(v) == id) continue;
+    if (!grid_.add_via(v, id))
+      throw std::invalid_argument("net '" + net.name +
+                                  "': pre-via not anchored on both layers");
+  }
+}
+
+void IncrementalRouter::rip_routable_wire(NetId id) {
+  grid_.rip_net(id);
+  apply_prewire(id);  // pre-wire is permanent
+}
+
+void IncrementalRouter::bump_history(Point p) {
+  const Rect& b = problem_.region().bounds();
+  history_[static_cast<size_t>((p.y - b.lo.y) * b.width() + (p.x - b.lo.x))] +=
+      std::max(options_.costs.push / 4, 1);
+}
+
+std::vector<GridPoint> IncrementalRouter::pin_nodes(const Pin& pin) const {
+  std::vector<GridPoint> nodes;
+  if (pin.any_layer) {
+    for (Layer l : {Layer::kMetal1, Layer::kMetal2})
+      if (problem_.region().routable({pin.pos, l}))
+        nodes.push_back({pin.pos, l});
+  } else if (problem_.region().routable({pin.pos, pin.layer})) {
+    nodes.push_back({pin.pos, pin.layer});
+  }
+  return nodes;
+}
+
+std::vector<Pin> IncrementalRouter::ordered_pins(NetId id) const {
+  std::vector<Pin> pins = problem_.net(id).pins;
+  if (pins.size() <= 2) return pins;
+  // Greedy nearest-neighbour chain: grow the routing tree towards whichever
+  // pin is currently closest, which keeps pin-to-tree connections short.
+  std::vector<Pin> ordered;
+  ordered.reserve(pins.size());
+  auto start = std::min_element(pins.begin(), pins.end(),
+                                [](const Pin& a, const Pin& b) {
+                                  return std::pair{a.pos.x, a.pos.y} <
+                                         std::pair{b.pos.x, b.pos.y};
+                                });
+  ordered.push_back(*start);
+  pins.erase(start);
+  while (!pins.empty()) {
+    auto best = pins.begin();
+    int best_d = INT_MAX;
+    for (auto it = pins.begin(); it != pins.end(); ++it) {
+      int d = INT_MAX;  // distance of *it to the already-chosen set
+      for (const Pin& chosen : ordered)
+        d = std::min(d, manhattan(it->pos, chosen.pos));
+      if (d < best_d) {
+        best_d = d;
+        best = it;
+      }
+    }
+    ordered.push_back(*best);
+    pins.erase(best);
+  }
+  return ordered;
+}
+
+int IncrementalRouter::net_span(NetId id) const {
+  const Net& net = problem_.net(id);
+  if (net.pins.empty()) return 0;
+  Rect box{net.pins.front().pos, net.pins.front().pos};
+  for (const Pin& p : net.pins)
+    box = box.bounding_union({p.pos, p.pos});
+  return box.width() + box.height();
+}
+
+std::vector<std::vector<GridPoint>> IncrementalRouter::wire_components(
+    NetId id) const {
+  const auto& nodes = grid_.net_nodes(id);
+  std::unordered_map<GridPoint, std::size_t> index;
+  index.reserve(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) index.emplace(nodes[i], i);
+  DisjointSet ds(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const GridPoint g = nodes[i];
+    for (const Point d : {Point{1, 0}, Point{0, 1}}) {
+      auto it = index.find({g.pos + d, g.layer});
+      if (it != index.end()) ds.unite(i, it->second);
+    }
+    if (g.layer == Layer::kMetal1 && grid_.via_owner(g.pos) == id) {
+      auto it = index.find({g.pos, Layer::kMetal2});
+      if (it != index.end()) ds.unite(i, it->second);
+    }
+  }
+  std::unordered_map<std::size_t, std::size_t> root_to_comp;
+  std::vector<std::vector<GridPoint>> comps;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const std::size_t root = ds.find(i);
+    auto [it, inserted] = root_to_comp.emplace(root, comps.size());
+    if (inserted) comps.emplace_back();
+    comps[it->second].push_back(nodes[i]);
+  }
+  return comps;
+}
+
+bool IncrementalRouter::repair_net(NetId victim) {
+  const Net& net = problem_.net(victim);
+  std::ostream* log = options_.log;
+  for (int step = 0; step < options_.max_repair_steps; ++step) {
+    if (net_routed_ok(problem_, grid_, victim)) return true;
+
+    const auto comps = wire_components(victim);
+    // Locate each pin's component (-1 = pin not on wire).
+    auto comp_of_pin = [&](const Pin& pin) -> int {
+      for (std::size_t c = 0; c < comps.size(); ++c)
+        for (const GridPoint& g : comps[c]) {
+          if (g.pos != pin.pos) continue;
+          if (pin.any_layer || g.layer == pin.layer)
+            return static_cast<int>(c);
+        }
+      return -1;
+    };
+
+    // Main component: the one holding the most pins (largest on ties).
+    std::vector<int> pin_comp(net.pins.size(), -1);
+    std::vector<int> votes(comps.size(), 0);
+    for (std::size_t i = 0; i < net.pins.size(); ++i) {
+      pin_comp[i] = comp_of_pin(net.pins[i]);
+      if (pin_comp[i] >= 0) ++votes[static_cast<size_t>(pin_comp[i])];
+    }
+    int main_comp = -1;
+    for (std::size_t c = 0; c < comps.size(); ++c) {
+      if (main_comp < 0 ||
+          votes[c] > votes[static_cast<size_t>(main_comp)] ||
+          (votes[c] == votes[static_cast<size_t>(main_comp)] &&
+           comps[c].size() > comps[static_cast<size_t>(main_comp)].size()))
+        main_comp = static_cast<int>(c);
+    }
+
+    // Pick a pin outside the main component and pull it (plus whatever
+    // fragment it sits on) back in. No pushing here: weak repair must not
+    // cascade into further victims.
+    SearchRequest req;
+    req.net = victim;
+    req.allow_push = false;
+    std::size_t detached = net.pins.size();
+    for (std::size_t i = 0; i < net.pins.size(); ++i)
+      if (pin_comp[i] != main_comp || main_comp < 0) {
+        detached = i;
+        break;
+      }
+    if (detached == net.pins.size()) {
+      // All pins sit in main_comp yet the net is not ok — cannot happen
+      // given the definitions; bail out defensively.
+      return false;
+    }
+    req.sources = pin_nodes(net.pins[detached]);
+    if (pin_comp[detached] >= 0) {
+      const auto& frag = comps[static_cast<size_t>(pin_comp[detached])];
+      req.sources.insert(req.sources.end(), frag.begin(), frag.end());
+    }
+    if (main_comp >= 0) {
+      req.targets = comps[static_cast<size_t>(main_comp)];
+    } else {
+      // No wire with pins at all: aim for another pin directly.
+      for (std::size_t i = 0; i < net.pins.size(); ++i) {
+        if (i == detached) continue;
+        const auto t = pin_nodes(net.pins[i]);
+        req.targets.insert(req.targets.end(), t.begin(), t.end());
+      }
+    }
+    if (req.sources.empty() || req.targets.empty()) return false;
+
+    SearchResult res = search_.route(req);
+    stats_.expansions += search_.last_expansions();
+    if (!res.found) {
+      if (log)
+        *log << "    repair of '" << net.name << "': pin " << detached
+             << " cannot rejoin main component\n";
+      return false;
+    }
+    const bool applied = grid_.apply_path(res.path, victim);
+    assert(applied);
+    (void)applied;
+  }
+  return net_routed_ok(problem_, grid_, victim);
+}
+
+bool IncrementalRouter::apply_with_push(NetId id, const SearchResult& probe) {
+  const RoutingGrid::Mark mark = grid_.mark();
+
+  std::set<NetId> victims;
+  for (const GridPoint& g : probe.crossed) victims.insert(grid_.owner(g));
+  for (const GridPoint& g : probe.crossed) grid_.release(g);
+
+  if (!grid_.apply_path(probe.path, id)) {
+    grid_.rollback(mark);
+    return false;
+  }
+  for (const NetId v : victims) {
+    if (!repair_net(v)) {
+      if (options_.log)
+        *options_.log << "  weak: repair of victim '" << problem_.net(v).name
+                      << "' failed, rolling back\n";
+      grid_.rollback(mark);
+      return false;
+    }
+  }
+  if (options_.log)
+    *options_.log << "  weak: pushed through " << probe.crossed.size()
+                  << " node(s) of " << victims.size() << " victim(s)\n";
+  return true;
+}
+
+bool IncrementalRouter::route_connection(NetId id,
+                                         const std::vector<GridPoint>& sources,
+                                         const std::vector<GridPoint>& targets,
+                                         std::vector<NetId>* requeue) {
+  SearchRequest req;
+  req.sources = sources;
+  req.targets = targets;
+  req.net = id;
+
+  auto apply_clean = [&](const Path& path) {
+    const bool applied = grid_.apply_path(path, id);
+    assert(applied);
+    (void)applied;
+  };
+
+  // Stage 1: clean shortest path.
+  SearchResult res = search_.route(req);
+  stats_.expansions += search_.last_expansions();
+  if (res.found) {
+    apply_clean(res.path);
+    return true;
+  }
+  if (!options_.enable_weak && !options_.enable_strong) return false;
+
+  req.allow_push = true;
+  req.push_history = &history_;
+
+  // Stage 2: weak modification. Each failed attempt freezes its victim set
+  // and charges the contested cells, so the next probe proposes a different
+  // crossing instead of re-proposing the one that cannot be repaired.
+  if (options_.enable_weak) {
+    for (int attempt = 0; attempt < options_.weak_probe_retries; ++attempt) {
+      SearchResult probe = search_.route(req);
+      stats_.expansions += search_.last_expansions();
+      if (options_.log)
+        *options_.log << "net '" << problem_.net(id).name
+                      << "': blocked; push probe "
+                      << (probe.found ? "found" : "failed") << ", crosses "
+                      << probe.crossed.size() << " node(s)\n";
+      if (!probe.found) break;
+      if (probe.crossed.empty()) {
+        apply_clean(probe.path);
+        return true;
+      }
+      ++stats_.weak_attempts;
+      if (apply_with_push(id, probe)) {
+        ++stats_.weak_modifications;
+        return true;
+      }
+      for (const GridPoint& g : probe.crossed) {
+        bump_history(g.pos);
+        const NetId v = grid_.owner(g);
+        if (std::find(req.frozen.begin(), req.frozen.end(), v) ==
+            req.frozen.end())
+          req.frozen.push_back(v);
+      }
+    }
+    req.frozen.clear();
+  }
+
+  // Stage 3: strong modification — rip the blockers up and re-queue them.
+  // Nets whose budget is spent are frozen so the probe only ever proposes
+  // evictable victims; with every budget exhausted the probe fails and so
+  // does the connection, which is what bounds the whole algorithm.
+  if (options_.enable_strong && requeue != nullptr) {
+    for (NetId v = 0; v < problem_.net_count(); ++v)
+      if (v != id &&
+          ripup_count_[static_cast<size_t>(v)] >= options_.max_ripups_per_net)
+        req.frozen.push_back(v);
+    SearchResult probe = search_.route(req);
+    stats_.expansions += search_.last_expansions();
+    if (options_.log)
+      *options_.log << "net '" << problem_.net(id).name
+                    << "': blocked; push probe "
+                    << (probe.found ? "found" : "failed")
+                    << " (strong stage), crosses " << probe.crossed.size()
+                    << " node(s)\n";
+    if (!probe.found) return false;
+    if (probe.crossed.empty()) {
+      apply_clean(probe.path);
+      return true;
+    }
+    std::set<NetId> victims;
+    for (const GridPoint& g : probe.crossed) {
+      victims.insert(grid_.owner(g));
+      bump_history(g.pos);
+    }
+    for (const NetId v : victims) {
+      if (options_.log)
+        *options_.log << "  strong: ripping '" << problem_.net(v).name
+                      << "' (rip #" << ripup_count_[static_cast<size_t>(v)] + 1
+                      << ")\n";
+      rip_routable_wire(v);
+      ++ripup_count_[static_cast<size_t>(v)];
+      ++stats_.strong_ripups;
+      requeue->push_back(v);
+    }
+    // The probe path is now clear by construction; prefer a fresh clean
+    // search (often shorter), with the probe as fallback witness.
+    req.allow_push = false;
+    res = search_.route(req);
+    stats_.expansions += search_.last_expansions();
+    apply_clean(res.found ? res.path : probe.path);
+    return true;
+  }
+  return false;
+}
+
+bool IncrementalRouter::route_net(NetId id) {
+  // Fixed nets are never (re)routed; they are as routed as their pre-wire.
+  if (problem_.net(id).fixed) return net_routed_ok(problem_, grid_, id);
+  std::vector<NetId> requeue;
+  bool ok = true;
+  std::deque<NetId> work{id};
+  while (!work.empty()) {
+    const NetId cur = work.front();
+    work.pop_front();
+    ++stats_.nets_attempted;
+    rip_routable_wire(cur);
+
+    const std::vector<Pin> pins = ordered_pins(cur);
+    bool net_ok = true;
+    for (std::size_t i = 1; i < pins.size(); ++i) {
+      ++stats_.connections_attempted;
+      std::vector<GridPoint> sources = pin_nodes(pins[i]);
+      std::vector<GridPoint> targets;
+      if (i == 1) {
+        targets = pin_nodes(pins[0]);
+      } else {
+        targets = grid_.net_nodes(cur);
+      }
+      requeue.clear();
+      if (!route_connection(cur, sources, targets, &requeue)) {
+        net_ok = false;
+        break;
+      }
+      ++stats_.connections_routed;
+      for (const NetId v : requeue) work.push_back(v);
+    }
+    if (!net_ok) {
+      rip_routable_wire(cur);  // leave only the permanent pre-wire behind
+      if (cur == id) ok = false;
+    }
+    grid_.commit();
+  }
+  return ok;
+}
+
+int IncrementalRouter::improve(int passes) {
+  int improved = 0;
+  for (int pass = 0; pass < passes; ++pass) {
+    bool any = false;
+    for (NetId id = 0; id < problem_.net_count(); ++id) {
+      const Net& net = problem_.net(id);
+      if (net.fixed || net.pins.size() < 2) continue;
+      if (!net_routed_ok(problem_, grid_, id)) continue;
+
+      auto wire_cost = [&] {
+        return grid_.node_count(id) * options_.costs.step +
+               grid_.via_count(id) * options_.costs.via;
+      };
+      const int old_cost = wire_cost();
+      const RoutingGrid::Mark mark = grid_.mark();
+      rip_routable_wire(id);
+
+      // Plain re-route only: clean-up must not disturb other nets.
+      const std::vector<Pin> pins = ordered_pins(id);
+      bool ok = true;
+      for (std::size_t i = 1; i < pins.size() && ok; ++i) {
+        SearchRequest req;
+        req.net = id;
+        req.sources = pin_nodes(pins[i]);
+        req.targets = i == 1 ? pin_nodes(pins[0]) : grid_.net_nodes(id);
+        const SearchResult res = search_.route(req);
+        stats_.expansions += search_.last_expansions();
+        if (!res.found) {
+          ok = false;
+          break;
+        }
+        const bool applied = grid_.apply_path(res.path, id);
+        assert(applied);
+        (void)applied;
+      }
+      if (!ok || !net_routed_ok(problem_, grid_, id) ||
+          wire_cost() >= old_cost) {
+        grid_.rollback(mark);
+      } else {
+        ++improved;
+        any = true;
+      }
+    }
+    grid_.commit();
+    if (!any) break;
+  }
+  return improved;
+}
+
+RouteOutcome IncrementalRouter::run() {
+  std::deque<NetId> queue;
+  for (NetId id = 0; id < problem_.net_count(); ++id)
+    if (problem_.net(id).pins.size() >= 2 && !problem_.net(id).fixed)
+      queue.push_back(id);
+  const int multi_pin = static_cast<int>(queue.size());
+
+  auto by_span = [this](NetId a, NetId b) {
+    return std::pair{net_span(a), a} < std::pair{net_span(b), b};
+  };
+  switch (options_.ordering) {
+    case RouterOptions::Ordering::kMostConstrainedFirst:
+      std::sort(queue.begin(), queue.end(), by_span);
+      break;
+    case RouterOptions::Ordering::kLargestFirst:
+      std::sort(queue.begin(), queue.end(),
+                [&](NetId a, NetId b) { return by_span(b, a); });
+      break;
+    case RouterOptions::Ordering::kAsGiven:
+      break;
+    case RouterOptions::Ordering::kShuffled: {
+      Rng rng(options_.shuffle_seed);
+      for (std::size_t i = queue.size(); i > 1; --i)
+        std::swap(queue[i - 1], queue[rng.next_below(i)]);
+      break;
+    }
+  }
+
+  // Every multi-pin net starts unrouted. `routed` tracks live completions
+  // so the best state seen can be checkpointed: rip-up is allowed to pass
+  // through worse states, but must never *end* in one. The whole run stays
+  // journaled (no commit) to make the final best-state rollback possible.
+  std::set<NetId> routed;
+  std::set<NetId> failed;
+  std::size_t best_routed = 0;
+  RoutingGrid::Mark best_mark = grid_.mark();
+
+  auto drain = [&](std::deque<NetId> work) {
+    while (!work.empty()) {
+      const NetId id = work.front();
+      work.pop_front();
+      ++stats_.nets_attempted;
+      rip_routable_wire(id);
+      routed.erase(id);
+
+      const std::vector<Pin> pins = ordered_pins(id);
+      bool net_ok = true;
+      std::vector<NetId> requeue;
+      for (std::size_t i = 1; i < pins.size(); ++i) {
+        ++stats_.connections_attempted;
+        std::vector<GridPoint> sources = pin_nodes(pins[i]);
+        std::vector<GridPoint> targets =
+            i == 1 ? pin_nodes(pins[0]) : grid_.net_nodes(id);
+        requeue.clear();
+        if (!route_connection(id, sources, targets, &requeue)) {
+          net_ok = false;
+          break;
+        }
+        ++stats_.connections_routed;
+        for (const NetId v : requeue) {
+          work.push_back(v);
+          failed.erase(v);
+          routed.erase(v);  // its wire is gone until re-routed
+        }
+      }
+      if (net_ok) {
+        failed.erase(id);
+        routed.insert(id);
+      } else {
+        rip_routable_wire(id);  // leave only the permanent pre-wire behind
+        failed.insert(id);
+      }
+      if (routed.size() > best_routed) {
+        best_routed = routed.size();
+        best_mark = grid_.mark();
+      }
+    }
+  };
+
+  drain(queue);
+  for (int pass = 0; pass < options_.retry_passes && !failed.empty(); ++pass)
+    drain({failed.begin(), failed.end()});
+
+  // Land on the best state the run ever reached.
+  if (routed.size() < best_routed) grid_.rollback(best_mark);
+  grid_.commit();
+
+  RouteOutcome outcome;
+  for (NetId id = 0; id < problem_.net_count(); ++id)
+    if (problem_.net(id).pins.size() >= 2 && !problem_.net(id).fixed &&
+        !net_routed_ok(problem_, grid_, id))
+      outcome.failed.push_back(id);
+  stats_.nets_routed = multi_pin - static_cast<int>(outcome.failed.size());
+  outcome.stats = stats_;
+  return outcome;
+}
+
+RoutedDesign route(const Problem& problem, RouterOptions options) {
+  IncrementalRouter router(problem, options);
+  RouteOutcome outcome = router.run();
+  return {std::move(router.grid()), std::move(outcome)};
+}
+
+RoutedDesign route_best_of(const Problem& problem, int extra_attempts,
+                           RouterOptions options) {
+  RoutedDesign best = route(problem, options);
+  auto score = [](const RoutedDesign& d) {
+    // Higher is better: completions dominate, then compact layouts.
+    return std::pair{d.outcome.stats.nets_routed,
+                     -(d.grid.total_nodes() + 4 * d.grid.total_vias())};
+  };
+  for (int attempt = 1; attempt <= extra_attempts; ++attempt) {
+    if (best.outcome.complete()) break;  // cannot do better
+    RouterOptions shuffled = options;
+    shuffled.ordering = RouterOptions::Ordering::kShuffled;
+    shuffled.shuffle_seed = static_cast<std::uint64_t>(attempt);
+    RoutedDesign candidate = route(problem, shuffled);
+    if (score(candidate) > score(best)) best = std::move(candidate);
+  }
+  return best;
+}
+
+}  // namespace gridroute

@@ -1,0 +1,177 @@
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "grid/routing_grid.hpp"
+#include "maze/maze_router.hpp"
+#include "problem/problem.hpp"
+
+namespace gridroute {
+
+/// Knobs of the incremental router. The defaults are the configuration the
+/// benchmark tables report as "full router"; the ablation benches toggle
+/// the modification stages.
+struct RouterOptions {
+  CostModel costs;
+
+  /// Stage 2: weak modification — push segments of blocking nets aside
+  /// (sever locally, repair around the new wire).
+  bool enable_weak = true;
+  /// Stage 3: strong modification — rip blocking nets up entirely and
+  /// re-queue them.
+  bool enable_strong = true;
+
+  /// Per-net strong-modification budget. Together with the finite net count
+  /// this bounds the total number of rip-ups, giving the guaranteed
+  /// termination the original paper proves for its algorithm.
+  int max_ripups_per_net = 8;
+  /// Cap on reconnection searches inside one weak repair.
+  int max_repair_steps = 16;
+  /// Push probes per blocked connection: after a probe's victims prove
+  /// unrepairable they are frozen and the search proposes a different
+  /// crossing, up to this many times.
+  int weak_probe_retries = 3;
+  /// After the main loop, failed nets get this many whole extra passes.
+  int retry_passes = 1;
+
+  enum class Ordering {
+    kMostConstrainedFirst,  ///< short bounding half-perimeter first (default)
+    kLargestFirst,          ///< long nets first
+    kAsGiven,               ///< netlist order (stress test for rip-up)
+    kShuffled,              ///< deterministic shuffle from `shuffle_seed`
+  };
+  Ordering ordering = Ordering::kMostConstrainedFirst;
+  /// Seed for Ordering::kShuffled (ignored otherwise). Multi-start routing
+  /// (route_best_of) varies this to explore different net orders.
+  std::uint64_t shuffle_seed = 1;
+
+  /// When set, the router narrates every modification decision (weak
+  /// probes, victim repairs, rip-ups) to this stream. Diagnostic aid; no
+  /// effect on routing.
+  std::ostream* log = nullptr;
+};
+
+/// Aggregate effort/result counters for one routing run.
+struct RouteStats {
+  int nets_attempted = 0;
+  int nets_routed = 0;
+  int connections_attempted = 0;
+  int connections_routed = 0;
+  int weak_modifications = 0;   ///< successful segment pushes
+  int weak_attempts = 0;        ///< weak probes (successful or not)
+  int strong_ripups = 0;        ///< victim nets ripped and re-queued
+  long long expansions = 0;     ///< maze-search node pops (work measure)
+};
+
+struct RouteOutcome {
+  RouteStats stats;
+  std::vector<NetId> failed;  ///< multi-pin nets left unrouted
+
+  bool complete() const { return failed.empty(); }
+};
+
+/// The library's core: a general two-layer detailed router for channels,
+/// switchboxes, and irregular, partially blocked regions.
+///
+/// It routes nets incrementally with a weighted maze search and, when a
+/// connection is blocked, escalates through two modification stages:
+///
+///   1. plain attempt   — shortest clean path, no disturbance;
+///   2. weak (push)     — probe a path through foreign wire at a penalty,
+///                        sever exactly the crossed nodes, and locally
+///                        repair each victim around the new wire (all under
+///                        a journal, rolled back atomically on failure);
+///   3. strong (rip-up) — evict the blocking nets entirely and re-queue
+///                        them, bounded by a per-net rip-up budget.
+///
+/// The budget makes termination unconditional; the stats expose how much
+/// of each stage a run needed.
+class IncrementalRouter {
+ public:
+  explicit IncrementalRouter(const Problem& problem, RouterOptions options = {});
+
+  /// Routes every multi-pin net. Call once.
+  RouteOutcome run();
+
+  /// Routes one net on the current state (used by examples/tests to build
+  /// scenarios step by step). No strong modification is triggered by this
+  /// entry point unless the victim budget allows re-queuing — victims that
+  /// get ripped are routed again immediately.
+  bool route_net(NetId id);
+
+  /// Post-routing clean-up: re-routes each completed net in the context of
+  /// the finished layout and keeps the new wire only when strictly cheaper
+  /// (cells weighted by step cost, vias by via cost). Rip-up and pushing
+  /// leave detours behind; a few passes of this recovers most of them.
+  /// Never un-completes a net (journal rollback on regression). Returns the
+  /// number of successful re-routes across all passes.
+  int improve(int passes = 1);
+
+  const RoutingGrid& grid() const { return grid_; }
+  RoutingGrid& grid() { return grid_; }
+  const RouteStats& stats() const { return stats_; }
+  const Problem& problem() const { return problem_; }
+
+ private:
+  /// All grid nodes a pin may attach on (filters unroutable layers).
+  std::vector<GridPoint> pin_nodes(const Pin& pin) const;
+  /// Orders a net's pins for tree growth (nearest-unrouted-first).
+  std::vector<Pin> ordered_pins(NetId id) const;
+
+  /// Routes one pin-to-tree connection, escalating through the stages.
+  /// On strong modification, victims are appended to *requeue.
+  bool route_connection(NetId id, const std::vector<GridPoint>& sources,
+                        const std::vector<GridPoint>& targets,
+                        std::vector<NetId>* requeue);
+
+  /// Applies a pushing path: severs crossed foreign nodes, lays the new
+  /// wire, then repairs every victim. Atomic (journal rollback on failure).
+  bool apply_with_push(NetId id, const SearchResult& probe);
+
+  /// Reconnects a severed net with plain (non-pushing) searches.
+  bool repair_net(NetId victim);
+
+  /// Partitions the net's current wire into electrically connected pieces.
+  std::vector<std::vector<GridPoint>> wire_components(NetId id) const;
+
+  /// Ordering key: bounding half-perimeter of the net's pins.
+  int net_span(NetId id) const;
+
+  /// Charges a conflicted planar cell in the PathFinder-style history map.
+  void bump_history(Point p);
+
+  /// Lays the net's pre-wire onto the grid (throws std::invalid_argument on
+  /// conflicts — validate() reports the same problems non-fatally).
+  void apply_prewire(NetId id);
+  /// Rips the net's routed wire but restores its permanent pre-wire.
+  void rip_routable_wire(NetId id);
+
+  const Problem& problem_;
+  RouterOptions options_;
+  RoutingGrid grid_;
+  PinBlocks pins_;
+  WeightedMazeRouter search_;
+  RouteStats stats_;
+  std::vector<int> ripup_count_;
+  /// Per-planar-cell conflict surcharge fed into push probes.
+  std::vector<int> history_;
+};
+
+/// Convenience one-shot: route `problem` and return the outcome plus grid.
+struct RoutedDesign {
+  RoutingGrid grid;
+  RouteOutcome outcome;
+};
+RoutedDesign route(const Problem& problem, RouterOptions options = {});
+
+/// Multi-start routing: the base ordering plus `extra_attempts` shuffled
+/// orderings, keeping the best result (most nets completed; ties broken by
+/// fewer wire cells + vias). Net order is the one input the incremental
+/// algorithm is genuinely sensitive to on near-saturated instances, and
+/// restarts are the classic cheap remedy. Deterministic.
+RoutedDesign route_best_of(const Problem& problem, int extra_attempts,
+                           RouterOptions options = {});
+
+}  // namespace gridroute

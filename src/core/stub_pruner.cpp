@@ -1,0 +1,63 @@
+#include "core/stub_pruner.hpp"
+
+#include <deque>
+#include <unordered_set>
+
+namespace gridroute {
+
+namespace {
+
+/// Number of electrical neighbours of g within its own net.
+int degree(const RoutingGrid& grid, GridPoint g, NetId id) {
+  int deg = 0;
+  for (const Point d : {Point{1, 0}, Point{-1, 0}, Point{0, 1}, Point{0, -1}})
+    if (grid.owner({g.pos + d, g.layer}) == id) ++deg;
+  if (grid.via_owner(g.pos) == id &&
+      grid.owner({g.pos, other_layer(g.layer)}) == id)
+    ++deg;
+  return deg;
+}
+
+bool on_pin(const Problem& problem, GridPoint g, NetId id) {
+  for (const Pin& pin : problem.net(id).pins) {
+    if (pin.pos != g.pos) continue;
+    if (pin.any_layer || pin.layer == g.layer) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int prune_stubs(const Problem& problem, RoutingGrid& grid, NetId id) {
+  int removed = 0;
+  // Seed with all current leaf candidates, then chase each removal's
+  // neighbours — classic topological peel, O(nodes) per net.
+  std::deque<GridPoint> candidates(grid.net_nodes(id).begin(),
+                                   grid.net_nodes(id).end());
+  while (!candidates.empty()) {
+    const GridPoint g = candidates.front();
+    candidates.pop_front();
+    if (grid.owner(g) != id) continue;  // already peeled
+    if (on_pin(problem, g, id)) continue;
+    if (degree(grid, g, id) > 1) continue;
+    // Collect neighbours before the release so they can be re-examined.
+    for (const Point d :
+         {Point{1, 0}, Point{-1, 0}, Point{0, 1}, Point{0, -1}})
+      if (grid.owner({g.pos + d, g.layer}) == id)
+        candidates.push_back({g.pos + d, g.layer});
+    if (grid.via_owner(g.pos) == id)
+      candidates.push_back({g.pos, other_layer(g.layer)});
+    grid.release(g);
+    ++removed;
+  }
+  return removed;
+}
+
+int prune_all_stubs(const Problem& problem, RoutingGrid& grid) {
+  int removed = 0;
+  for (NetId id = 0; id < problem.net_count(); ++id)
+    removed += prune_stubs(problem, grid, id);
+  return removed;
+}
+
+}  // namespace gridroute

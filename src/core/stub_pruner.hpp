@@ -1,0 +1,25 @@
+#pragma once
+
+#include "grid/routing_grid.hpp"
+#include "problem/problem.hpp"
+
+namespace gridroute {
+
+/// Post-routing cleanup: removes dangling wire ("antenna stubs").
+///
+/// Weak modification can strand fragments of a pushed net that no longer
+/// carry signal — a severed tail that the repair reconnected around, or a
+/// dead-end spur of a rerouted connection. A stub node is one with at most
+/// one electrical neighbour (planar same-net neighbour, or via partner)
+/// that does not sit on a pin of its net. Pruning iterates until fixpoint,
+/// so whole dead branches and isolated pin-free fragments with free ends
+/// disappear.
+///
+/// Returns the number of nodes removed. Never changes electrical
+/// connectivity of pins: only degree<=1 non-pin nodes are eligible.
+int prune_stubs(const Problem& problem, RoutingGrid& grid, NetId id);
+
+/// Prunes every net; returns total nodes removed.
+int prune_all_stubs(const Problem& problem, RoutingGrid& grid);
+
+}  // namespace gridroute

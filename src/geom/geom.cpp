@@ -1,0 +1,28 @@
+#include <ostream>
+
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+
+namespace gridroute {
+
+std::ostream& operator<<(std::ostream& os, Point p) {
+  return os << '(' << p.x << ',' << p.y << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, Layer l) {
+  return os << (l == Layer::kMetal1 ? "M1" : "M2");
+}
+
+std::ostream& operator<<(std::ostream& os, GridPoint g) {
+  return os << g.pos << '/' << g.layer;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << '[' << r.lo << ".." << r.hi << ']';
+}
+
+std::ostream& operator<<(std::ostream& os, const Segment& s) {
+  return os << s.a << '-' << s.b;
+}
+
+}  // namespace gridroute

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <iosfwd>
+
+namespace gridroute {
+
+/// A point on the routing grid plane. Coordinates are signed so that
+/// off-by-one arithmetic at region boundaries stays well-defined.
+struct Point {
+  int x = 0;
+  int y = 0;
+
+  friend auto operator<=>(const Point&, const Point&) = default;
+
+  Point operator+(Point o) const { return {x + o.x, y + o.y}; }
+  Point operator-(Point o) const { return {x - o.x, y - o.y}; }
+};
+
+/// Rectilinear (L1) distance — the natural wirelength metric on a grid.
+inline int manhattan(Point a, Point b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+std::ostream& operator<<(std::ostream& os, Point p);
+
+/// Routing layer of a two-layer technology. Layer 0 (METAL1) prefers
+/// horizontal wires; layer 1 (METAL2) prefers vertical wires. The router
+/// treats the preference as a soft cost, not a hard rule (unreserved model),
+/// matching the general two-dimensional routers this library reproduces.
+enum class Layer : std::uint8_t { kMetal1 = 0, kMetal2 = 1 };
+
+constexpr int kLayerCount = 2;
+
+inline Layer other_layer(Layer l) {
+  return l == Layer::kMetal1 ? Layer::kMetal2 : Layer::kMetal1;
+}
+
+inline int layer_index(Layer l) { return static_cast<int>(l); }
+
+std::ostream& operator<<(std::ostream& os, Layer l);
+
+/// A grid node: a planar point plus its layer. This is the vertex type of
+/// the routing graph searched by the maze routers.
+struct GridPoint {
+  Point pos;
+  Layer layer = Layer::kMetal1;
+
+  friend auto operator<=>(const GridPoint&, const GridPoint&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, GridPoint g);
+
+}  // namespace gridroute
+
+template <>
+struct std::hash<gridroute::Point> {
+  std::size_t operator()(gridroute::Point p) const noexcept {
+    // Szudzik-style mix; fine for grid coordinates.
+    auto ux = static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.x));
+    auto uy = static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.y));
+    std::uint64_t v = (ux << 32) | uy;
+    v ^= v >> 33;
+    v *= 0xff51afd7ed558ccdULL;
+    v ^= v >> 33;
+    return static_cast<std::size_t>(v);
+  }
+};
+
+template <>
+struct std::hash<gridroute::GridPoint> {
+  std::size_t operator()(const gridroute::GridPoint& g) const noexcept {
+    std::size_t h = std::hash<gridroute::Point>{}(g.pos);
+    return h * 3 + static_cast<std::size_t>(g.layer);
+  }
+};

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <algorithm>
+#include <iosfwd>
+
+#include "geom/point.hpp"
+
+namespace gridroute {
+
+/// Axis-aligned rectangle over grid cells, inclusive of both corners:
+/// it covers every cell (x, y) with lo.x <= x <= hi.x and lo.y <= y <= hi.y.
+/// Inclusive semantics match grid-cell reasoning (a 1x1 rect is one cell).
+struct Rect {
+  Point lo;
+  Point hi;
+
+  friend auto operator<=>(const Rect&, const Rect&) = default;
+
+  /// Builds the normalized rectangle spanning two arbitrary corners.
+  static Rect spanning(Point a, Point b) {
+    return {{std::min(a.x, b.x), std::min(a.y, b.y)},
+            {std::max(a.x, b.x), std::max(a.y, b.y)}};
+  }
+
+  bool valid() const { return lo.x <= hi.x && lo.y <= hi.y; }
+
+  int width() const { return hi.x - lo.x + 1; }
+  int height() const { return hi.y - lo.y + 1; }
+  long long area() const {
+    return static_cast<long long>(width()) * height();
+  }
+
+  bool contains(Point p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  bool contains(const Rect& r) const {
+    return contains(r.lo) && contains(r.hi);
+  }
+
+  bool intersects(const Rect& r) const {
+    return lo.x <= r.hi.x && r.lo.x <= hi.x && lo.y <= r.hi.y &&
+           r.lo.y <= hi.y;
+  }
+
+  /// Smallest rectangle containing both this and r.
+  Rect bounding_union(const Rect& r) const {
+    return {{std::min(lo.x, r.lo.x), std::min(lo.y, r.lo.y)},
+            {std::max(hi.x, r.hi.x), std::max(hi.y, r.hi.y)}};
+  }
+
+  /// Intersection; result is !valid() when the rectangles are disjoint.
+  Rect intersection(const Rect& r) const {
+    return {{std::max(lo.x, r.lo.x), std::max(lo.y, r.lo.y)},
+            {std::min(hi.x, r.hi.x), std::min(hi.y, r.hi.y)}};
+  }
+
+  /// Rectangle grown by d cells on every side (shrunk for negative d).
+  Rect inflated(int d) const {
+    return {{lo.x - d, lo.y - d}, {hi.x + d, hi.y + d}};
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const Rect& r);
+
+/// One straight run of wire on a single layer: axis-parallel, inclusive of
+/// both endpoints. Degenerate (single-cell) segments are allowed — they
+/// represent a stub or a via landing.
+struct Segment {
+  GridPoint a;
+  GridPoint b;
+
+  friend auto operator<=>(const Segment&, const Segment&) = default;
+
+  bool axis_parallel() const {
+    return a.layer == b.layer && (a.pos.x == b.pos.x || a.pos.y == b.pos.y);
+  }
+
+  bool horizontal() const { return a.pos.y == b.pos.y; }
+  bool vertical() const { return a.pos.x == b.pos.x; }
+
+  /// Number of grid cells covered (length in cells, not edges).
+  int cell_count() const { return manhattan(a.pos, b.pos) + 1; }
+};
+
+std::ostream& operator<<(std::ostream& os, const Segment& s);
+
+}  // namespace gridroute

@@ -1,0 +1,103 @@
+#include "global/global_grid.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gridroute {
+
+GlobalGrid::GlobalGrid(int cols, int rows, int h_capacity, int v_capacity)
+    : cols_(cols),
+      rows_(rows),
+      blocked_(static_cast<size_t>(cols) * static_cast<size_t>(rows), 0),
+      h_count_((cols - 1) * rows) {
+  assert(cols >= 1 && rows >= 1);
+  const int v_count = cols * (rows - 1);
+  cap_.assign(static_cast<size_t>(h_count_ + v_count), 0);
+  use_.assign(cap_.size(), 0);
+  for (int i = 0; i < h_count_; ++i) cap_[static_cast<size_t>(i)] = h_capacity;
+  for (int i = 0; i < v_count; ++i)
+    cap_[static_cast<size_t>(h_count_ + i)] = v_capacity;
+}
+
+int GlobalGrid::edge_slot(Point a, Point b) const {
+  if (!in_bounds(a) || !in_bounds(b)) return -1;
+  if (a.y == b.y && std::abs(a.x - b.x) == 1)
+    return h_index({std::min(a.x, b.x), a.y});
+  if (a.x == b.x && std::abs(a.y - b.y) == 1)
+    return h_count_ + v_index({a.x, std::min(a.y, b.y)});
+  return -1;
+}
+
+void GlobalGrid::block(const Rect& gcells) {
+  for (int y = std::max(gcells.lo.y, 0); y <= std::min(gcells.hi.y, rows_ - 1);
+       ++y)
+    for (int x = std::max(gcells.lo.x, 0);
+         x <= std::min(gcells.hi.x, cols_ - 1); ++x) {
+      blocked_[static_cast<size_t>(x + y * cols_)] = 1;
+      const Point g{x, y};
+      for (const Point d : {Point{1, 0}, Point{-1, 0}, Point{0, 1},
+                            Point{0, -1}}) {
+        const int slot = edge_slot(g, g + d);
+        if (slot >= 0) cap_[static_cast<size_t>(slot)] = 0;
+      }
+    }
+}
+
+bool GlobalGrid::blocked(Point g) const {
+  return in_bounds(g) && blocked_[static_cast<size_t>(g.x + g.y * cols_)];
+}
+
+int GlobalGrid::capacity(Point a, Point b) const {
+  const int slot = edge_slot(a, b);
+  return slot < 0 ? 0 : cap_[static_cast<size_t>(slot)];
+}
+
+int GlobalGrid::usage(Point a, Point b) const {
+  const int slot = edge_slot(a, b);
+  return slot < 0 ? 0 : use_[static_cast<size_t>(slot)];
+}
+
+void GlobalGrid::set_capacity(Point a, Point b, int capacity) {
+  const int slot = edge_slot(a, b);
+  assert(slot >= 0);
+  cap_[static_cast<size_t>(slot)] = capacity;
+}
+
+void GlobalGrid::add_usage(Point a, Point b, int delta) {
+  const int slot = edge_slot(a, b);
+  assert(slot >= 0);
+  use_[static_cast<size_t>(slot)] += delta;
+  assert(use_[static_cast<size_t>(slot)] >= 0);
+}
+
+int GlobalGrid::overflow(Point a, Point b) const {
+  return std::max(usage(a, b) - capacity(a, b), 0);
+}
+
+int GlobalGrid::total_overflow() const {
+  int total = 0;
+  for (std::size_t i = 0; i < cap_.size(); ++i)
+    total += std::max(use_[i] - cap_[i], 0);
+  return total;
+}
+
+int GlobalGrid::total_usage() const {
+  int total = 0;
+  for (const int u : use_) total += u;
+  return total;
+}
+
+std::vector<std::pair<Point, Point>> GlobalGrid::edges() const {
+  std::vector<std::pair<Point, Point>> result;
+  for (int y = 0; y < rows_; ++y)
+    for (int x = 0; x + 1 < cols_; ++x)
+      if (cap_[static_cast<size_t>(h_index({x, y}))] > 0)
+        result.push_back({{x, y}, {x + 1, y}});
+  for (int y = 0; y + 1 < rows_; ++y)
+    for (int x = 0; x < cols_; ++x)
+      if (cap_[static_cast<size_t>(h_count_ + v_index({x, y}))] > 0)
+        result.push_back({{x, y}, {x, y + 1}});
+  return result;
+}
+
+}  // namespace gridroute

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+
+namespace gridroute {
+
+/// Coarse routing fabric for macro-cell designs: the chip is tiled into
+/// gcells; wires cross between adjacent gcells over boundary *edges* with
+/// finite capacity (the number of routing tracks the boundary offers).
+/// Macro blocks consume gcells outright. This is the substrate a
+/// macro-cell flow routes over before any detailed router sees a channel.
+class GlobalGrid {
+ public:
+  /// cols x rows gcells; every horizontal boundary starts with capacity
+  /// h_capacity, every vertical boundary with v_capacity.
+  GlobalGrid(int cols, int rows, int h_capacity, int v_capacity);
+
+  int cols() const { return cols_; }
+  int rows() const { return rows_; }
+  bool in_bounds(Point g) const {
+    return g.x >= 0 && g.x < cols_ && g.y >= 0 && g.y < rows_;
+  }
+
+  /// Marks every gcell in the rectangle as a macro block: all its boundary
+  /// edges drop to capacity zero.
+  void block(const Rect& gcells);
+  bool blocked(Point g) const;
+
+  /// Capacity / current usage of the edge between two *adjacent* gcells.
+  /// Queries for non-adjacent or out-of-bounds pairs return 0 capacity.
+  int capacity(Point a, Point b) const;
+  int usage(Point a, Point b) const;
+  void set_capacity(Point a, Point b, int capacity);
+
+  /// Adds (or removes, delta = -1) one wire crossing the edge.
+  void add_usage(Point a, Point b, int delta);
+
+  /// usage - capacity, clamped at 0: the congestion overflow of one edge.
+  int overflow(Point a, Point b) const;
+  /// Sum of overflow over all edges — the global-routing quality metric.
+  int total_overflow() const;
+  /// Sum of usage over all edges (total routed wirelength in gcell steps).
+  int total_usage() const;
+
+  /// All (a, b) gcell pairs with a positive-capacity edge, in scan order.
+  std::vector<std::pair<Point, Point>> edges() const;
+
+ private:
+  // Horizontal edges: (x,y)-(x+1,y), indexed x + y*(cols-1), x < cols-1.
+  // Vertical edges:   (x,y)-(x,y+1), indexed x + y*cols, y < rows-1.
+  int h_index(Point left) const { return left.x + left.y * (cols_ - 1); }
+  int v_index(Point below) const { return below.x + below.y * cols_; }
+  /// Classifies (a, b): returns pointer to cap/use slot or nullptr.
+  int edge_slot(Point a, Point b) const;  // -1 if not adjacent/in bounds
+
+  int cols_;
+  int rows_;
+  std::vector<int> cap_;   // horizontal edges then vertical edges
+  std::vector<int> use_;
+  std::vector<char> blocked_;
+  int h_count_;
+};
+
+/// A net at the global level: terminals are gcell coordinates (where the
+/// net's pins fall after floorplanning).
+struct GlobalNet {
+  std::string name;
+  std::vector<Point> terminals;
+};
+
+}  // namespace gridroute

@@ -1,0 +1,267 @@
+#include "global/global_router.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <climits>
+#include <map>
+#include <queue>
+#include <sstream>
+
+#include "util/disjoint_set.hpp"
+
+namespace gridroute {
+
+namespace {
+
+GlobalEdge normalized(Point a, Point b) {
+  if (std::pair{a.y, a.x} > std::pair{b.y, b.x}) std::swap(a, b);
+  return {a, b};
+}
+
+constexpr Point kSteps[4] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+
+}  // namespace
+
+GlobalRouter::GlobalRouter(GlobalGrid grid, std::vector<GlobalNet> nets,
+                           GlobalRouterOptions options)
+    : grid_(std::move(grid)),
+      nets_(std::move(nets)),
+      options_(options),
+      routes_(nets_.size()) {}
+
+int GlobalRouter::edge_cost(Point a, Point b) const {
+  const int cap = grid_.capacity(a, b);
+  if (cap <= 0) return -1;  // hard blockage (macro boundary)
+  int cost = 1;
+  const int would_overflow = grid_.usage(a, b) + 1 - cap;
+  if (would_overflow > 0) cost += options_.overflow_penalty * would_overflow;
+  if (auto it = edge_history_.find(normalized(a, b));
+      it != edge_history_.end())
+    cost += it->second;
+  return cost;
+}
+
+bool GlobalRouter::route_net(std::size_t index) {
+  const GlobalNet& net = nets_[index];
+  GlobalRoute& route = routes_[index];
+  route.edges.clear();
+  route.routed = false;
+  if (net.terminals.empty()) {
+    route.routed = true;
+    return true;
+  }
+
+  // Grow a tree over the terminals, nearest-first like the detailed router.
+  std::set<Point> tree{net.terminals.front()};
+  std::vector<Point> todo(net.terminals.begin() + 1, net.terminals.end());
+
+  const int n = grid_.cols() * grid_.rows();
+  std::vector<int> dist(static_cast<size_t>(n));
+  std::vector<int> parent(static_cast<size_t>(n));
+  auto id = [&](Point g) { return g.x + g.y * grid_.cols(); };
+  auto pt = [&](int i) { return Point{i % grid_.cols(), i / grid_.cols()}; };
+
+  while (!todo.empty()) {
+    // Dijkstra from the whole current tree to the nearest pending terminal.
+    std::fill(dist.begin(), dist.end(), INT_MAX);
+    std::fill(parent.begin(), parent.end(), -1);
+    using QE = std::pair<int, int>;
+    std::priority_queue<QE, std::vector<QE>, std::greater<>> queue;
+    for (const Point g : tree) {
+      dist[static_cast<size_t>(id(g))] = 0;
+      queue.push({0, id(g)});
+    }
+    std::set<Point> targets(todo.begin(), todo.end());
+    int goal = -1;
+    while (!queue.empty()) {
+      const auto [d, u] = queue.top();
+      queue.pop();
+      if (d != dist[static_cast<size_t>(u)]) continue;
+      const Point gu = pt(u);
+      if (targets.contains(gu)) {
+        goal = u;
+        break;
+      }
+      for (const Point step : kSteps) {
+        const Point gv = gu + step;
+        const int c = edge_cost(gu, gv);
+        if (c < 0) continue;
+        const int v = id(gv);
+        if (d + c < dist[static_cast<size_t>(v)]) {
+          dist[static_cast<size_t>(v)] = d + c;
+          parent[static_cast<size_t>(v)] = u;
+          queue.push({d + c, v});
+        }
+      }
+    }
+    if (goal < 0) return false;  // terminal in a sealed pocket
+
+    // Commit the path into the tree.
+    for (int u = goal; parent[static_cast<size_t>(u)] >= 0;
+         u = parent[static_cast<size_t>(u)]) {
+      const Point a = pt(u);
+      const Point b = pt(parent[static_cast<size_t>(u)]);
+      grid_.add_usage(a, b, +1);
+      route.edges.push_back(normalized(a, b));
+      tree.insert(a);
+      tree.insert(b);
+    }
+    tree.insert(pt(goal));
+    todo.erase(std::remove(todo.begin(), todo.end(), pt(goal)), todo.end());
+  }
+  std::sort(route.edges.begin(), route.edges.end());
+  route.routed = true;
+  return true;
+}
+
+void GlobalRouter::rip_net(std::size_t index) {
+  for (const GlobalEdge& e : routes_[index].edges)
+    grid_.add_usage(e.a, e.b, -1);
+  routes_[index].edges.clear();
+  routes_[index].routed = false;
+}
+
+GlobalResult GlobalRouter::run() {
+  // First pass: nets by ascending terminal-bounding-box size, the same
+  // most-constrained-first instinct as the detailed router.
+  std::vector<std::size_t> order(nets_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  auto span = [&](std::size_t i) {
+    const auto& ts = nets_[i].terminals;
+    if (ts.empty()) return 0;
+    Rect box{ts.front(), ts.front()};
+    for (const Point t : ts) box = box.bounding_union({t, t});
+    return box.width() + box.height();
+  };
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return std::pair{span(a), a} < std::pair{span(b), b};
+  });
+
+  for (const std::size_t i : order)
+    if (!route_net(i)) ++stats_.nets_failed;
+
+  // Track the best state seen: negotiation is a heuristic and may wander
+  // through worse configurations; like the detailed router, it must never
+  // *end* in one.
+  std::vector<GlobalRoute> best_routes = routes_;
+  int best_overflow = grid_.total_overflow();
+  int best_failed = stats_.nets_failed;
+
+  // Negotiation: charge overflowed edges, rip every net crossing one, and
+  // try again with the higher prices in place.
+  for (stats_.iterations = 1; stats_.iterations < options_.max_iterations &&
+                              grid_.total_overflow() > 0;
+       ++stats_.iterations) {
+    std::set<GlobalEdge> hot;
+    for (const auto& [a, b] : grid_.edges())
+      if (grid_.overflow(a, b) > 0) hot.insert(normalized(a, b));
+    for (const GlobalEdge& e : hot)
+      edge_history_[e] += options_.history_increment;
+
+    std::vector<std::size_t> victims;
+    for (std::size_t i = 0; i < nets_.size(); ++i) {
+      if (!routes_[i].routed) continue;
+      for (const GlobalEdge& e : routes_[i].edges)
+        if (hot.contains(e)) {
+          victims.push_back(i);
+          break;
+        }
+    }
+    for (const std::size_t i : victims) rip_net(i);
+    for (const std::size_t i : victims) {
+      ++stats_.reroutes;
+      if (!route_net(i)) ++stats_.nets_failed;
+    }
+    if (grid_.total_overflow() < best_overflow) {
+      best_overflow = grid_.total_overflow();
+      best_routes = routes_;
+      best_failed = stats_.nets_failed;
+    }
+  }
+
+  // Land on the best state: rebuild usage from the winning snapshot.
+  if (grid_.total_overflow() > best_overflow) {
+    for (std::size_t i = 0; i < nets_.size(); ++i)
+      if (routes_[i].routed) rip_net(i);
+    routes_ = std::move(best_routes);
+    for (const GlobalRoute& r : routes_)
+      for (const GlobalEdge& e : r.edges) grid_.add_usage(e.a, e.b, +1);
+    stats_.nets_failed = best_failed;
+  }
+
+  stats_.overflow = grid_.total_overflow();
+  stats_.wirelength = grid_.total_usage();
+  stats_.nets_routed = 0;
+  for (const GlobalRoute& r : routes_)
+    if (r.routed) ++stats_.nets_routed;
+
+  GlobalResult result;
+  result.routes = routes_;
+  result.stats = stats_;
+  return result;
+}
+
+std::vector<std::string> verify_global(const GlobalGrid& grid,
+                                       const std::vector<GlobalNet>& nets,
+                                       const std::vector<GlobalRoute>& routes) {
+  std::vector<std::string> issues;
+  std::ostringstream msg;
+  auto flag = [&]() {
+    issues.push_back(msg.str());
+    msg.str({});
+  };
+
+  // Usage accounting: the grid's counters must equal the routes' edges.
+  std::map<GlobalEdge, int> counted;
+  for (const GlobalRoute& r : routes)
+    for (const GlobalEdge& e : r.edges) ++counted[e];
+  for (const auto& [a, b] : grid.edges()) {
+    const GlobalEdge e = normalized(a, b);
+    const int expected = counted.contains(e) ? counted.at(e) : 0;
+    if (grid.usage(a, b) != expected) {
+      msg << "edge " << a << '-' << b << ": grid says usage "
+          << grid.usage(a, b) << ", routes say " << expected;
+      flag();
+    }
+  }
+
+  // Per net: routed trees must connect all terminals through real edges.
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    const GlobalNet& net = nets[i];
+    const GlobalRoute& route = routes[i];
+    if (!route.routed) continue;
+    std::map<Point, std::size_t> node_id;
+    auto node = [&](Point p) {
+      auto [it, inserted] = node_id.emplace(p, node_id.size());
+      return it->second;
+    };
+    for (const GlobalEdge& e : route.edges) {
+      if (manhattan(e.a, e.b) != 1) {
+        msg << "net '" << net.name << "': edge " << e.a << '-' << e.b
+            << " is not between adjacent gcells";
+        flag();
+      }
+      if (grid.capacity(e.a, e.b) <= 0) {
+        msg << "net '" << net.name << "': edge " << e.a << '-' << e.b
+            << " crosses a zero-capacity boundary";
+        flag();
+      }
+      node(e.a);
+      node(e.b);
+    }
+    for (const Point t : net.terminals) node(t);
+    DisjointSet ds(node_id.size());
+    for (const GlobalEdge& e : route.edges)
+      ds.unite(node_id.at(e.a), node_id.at(e.b));
+    for (const Point t : net.terminals)
+      if (!net.terminals.empty() &&
+          !ds.connected(node_id.at(net.terminals.front()), node_id.at(t))) {
+        msg << "net '" << net.name << "': terminal " << t
+            << " is not connected to the tree";
+        flag();
+      }
+  }
+  return issues;
+}
+
+}  // namespace gridroute

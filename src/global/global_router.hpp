@@ -1,0 +1,95 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "global/global_grid.hpp"
+
+namespace gridroute {
+
+/// Gcell-to-gcell edge of a routed global tree, endpoints normalized so
+/// a < b in scan order.
+struct GlobalEdge {
+  Point a;
+  Point b;
+
+  friend auto operator<=>(const GlobalEdge&, const GlobalEdge&) = default;
+};
+
+/// One net's global route: a set of gcell edges forming a tree (or forest
+/// fragment when routing failed) over the net's terminals.
+struct GlobalRoute {
+  std::vector<GlobalEdge> edges;
+  bool routed = false;
+
+  int wirelength() const { return static_cast<int>(edges.size()); }
+};
+
+struct GlobalRouterOptions {
+  /// Negotiation iterations: after the first pass, nets through overflowed
+  /// edges are ripped and re-routed with those edges' history charged.
+  int max_iterations = 12;
+  /// Cost of entering an edge already at or over capacity, per unit of
+  /// overflow it would cause.
+  int overflow_penalty = 16;
+  /// History increment per overflowed edge per iteration (PathFinder-style
+  /// pressure that accumulates until someone moves).
+  int history_increment = 4;
+};
+
+struct GlobalStats {
+  int iterations = 0;
+  int overflow = 0;        ///< final total overflow (0 = legal routing)
+  int wirelength = 0;      ///< total gcell edges used
+  int nets_routed = 0;
+  int nets_failed = 0;     ///< terminals unreachable (blocked pockets)
+  int reroutes = 0;        ///< nets ripped during negotiation
+};
+
+struct GlobalResult {
+  std::vector<GlobalRoute> routes;  ///< parallel to the input net list
+  GlobalStats stats;
+
+  bool legal() const { return stats.overflow == 0 && stats.nets_failed == 0; }
+};
+
+/// Congestion-negotiating global router over a GlobalGrid: the coarse-level
+/// mirror of the detailed router's rip-up strategy. Each net is routed as a
+/// Steiner tree by repeated terminal-to-tree Dijkstra over the gcell graph;
+/// edge costs combine base length, an overflow penalty, and accumulated
+/// history, so iterating rip-up-and-reroute drains congestion hotspots.
+class GlobalRouter {
+ public:
+  GlobalRouter(GlobalGrid grid, std::vector<GlobalNet> nets,
+               GlobalRouterOptions options = {});
+
+  GlobalResult run();
+
+  const GlobalGrid& grid() const { return grid_; }
+
+ private:
+  /// Routes one net as a tree, updating usage. Returns false when some
+  /// terminal is unreachable.
+  bool route_net(std::size_t index);
+  void rip_net(std::size_t index);
+  /// Cost of pushing one more wire over the edge (a, b).
+  int edge_cost(Point a, Point b) const;
+
+  GlobalGrid grid_;
+  std::vector<GlobalNet> nets_;
+  GlobalRouterOptions options_;
+  std::vector<GlobalRoute> routes_;
+  std::map<GlobalEdge, int> edge_history_;  ///< negotiation pressure
+  GlobalStats stats_;
+};
+
+/// Independent audit of a global routing: per-net tree connectivity over
+/// terminals, usage consistency, and overflow recomputation. Returns
+/// human-readable violations (empty = consistent).
+std::vector<std::string> verify_global(const GlobalGrid& grid,
+                                       const std::vector<GlobalNet>& nets,
+                                       const std::vector<GlobalRoute>& routes);
+
+}  // namespace gridroute

@@ -1,0 +1,146 @@
+#include "grid/routing_grid.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gridroute {
+
+bool Path::well_formed() const {
+  for (size_t i = 1; i < nodes.size(); ++i)
+    if (!is_grid_step(nodes[i - 1], nodes[i])) return false;
+  return true;
+}
+
+int Path::via_count() const {
+  int v = 0;
+  for (size_t i = 1; i < nodes.size(); ++i)
+    if (nodes[i - 1].layer != nodes[i].layer) ++v;
+  return v;
+}
+
+RoutingGrid::RoutingGrid(const Region& region, int net_count)
+    : region_(region),
+      owners_(static_cast<size_t>(region.width()) *
+                  static_cast<size_t>(region.height()) * kLayerCount,
+              kNoNet),
+      vias_(static_cast<size_t>(region.width()) *
+                static_cast<size_t>(region.height()),
+            kNoNet),
+      net_nodes_(static_cast<size_t>(net_count)),
+      via_counts_(static_cast<size_t>(net_count), 0) {}
+
+int RoutingGrid::total_nodes() const {
+  int n = 0;
+  for (const auto& v : net_nodes_) n += static_cast<int>(v.size());
+  return n;
+}
+
+int RoutingGrid::total_vias() const {
+  int n = 0;
+  for (int v : via_counts_) n += v;
+  return n;
+}
+
+bool RoutingGrid::occupy(GridPoint g, NetId id) {
+  if (!region_.routable(g) || owners_[node_index(g)] != kNoNet) return false;
+  owners_[node_index(g)] = id;
+  net_nodes_[static_cast<size_t>(id)].push_back(g);
+  journal_.push_back({Op::kOccupy, g, id});
+  return true;
+}
+
+void RoutingGrid::erase_net_node(NetId id, GridPoint g) {
+  auto& nodes = net_nodes_[static_cast<size_t>(id)];
+  auto it = std::find(nodes.begin(), nodes.end(), g);
+  assert(it != nodes.end());
+  *it = nodes.back();
+  nodes.pop_back();
+}
+
+bool RoutingGrid::release(GridPoint g) {
+  if (!in_bounds(g.pos)) return false;
+  const NetId id = owners_[node_index(g)];
+  if (id == kNoNet) return false;
+  remove_via(g.pos);  // a via cannot outlive either of its landing nodes
+  owners_[node_index(g)] = kNoNet;
+  erase_net_node(id, g);
+  journal_.push_back({Op::kRelease, g, id});
+  return true;
+}
+
+bool RoutingGrid::add_via(Point p, NetId id) {
+  if (!in_bounds(p) || vias_[cell_index(p)] != kNoNet) return false;
+  if (owners_[node_index({p, Layer::kMetal1})] != id ||
+      owners_[node_index({p, Layer::kMetal2})] != id)
+    return false;
+  vias_[cell_index(p)] = id;
+  ++via_counts_[static_cast<size_t>(id)];
+  journal_.push_back({Op::kAddVia, {p, Layer::kMetal1}, id});
+  return true;
+}
+
+bool RoutingGrid::remove_via(Point p) {
+  if (!in_bounds(p)) return false;
+  const NetId id = vias_[cell_index(p)];
+  if (id == kNoNet) return false;
+  vias_[cell_index(p)] = kNoNet;
+  --via_counts_[static_cast<size_t>(id)];
+  journal_.push_back({Op::kRemoveVia, {p, Layer::kMetal1}, id});
+  return true;
+}
+
+bool RoutingGrid::apply_path(const Path& path, NetId id) {
+  assert(path.well_formed());
+  const Mark start = mark();
+  for (const GridPoint& g : path.nodes) {
+    if (owner(g) == id) continue;  // landing on the net's existing tree
+    if (!occupy(g, id)) {
+      rollback(start);
+      return false;
+    }
+  }
+  for (size_t i = 1; i < path.nodes.size(); ++i) {
+    if (path.nodes[i - 1].layer == path.nodes[i].layer) continue;
+    const Point p = path.nodes[i].pos;
+    if (!has_via(p) && !add_via(p, id)) {
+      rollback(start);
+      return false;
+    }
+  }
+  return true;
+}
+
+int RoutingGrid::rip_net(NetId id) {
+  // Copy: release() mutates the per-net node list we iterate.
+  const std::vector<GridPoint> nodes = net_nodes_[static_cast<size_t>(id)];
+  for (const GridPoint& g : nodes) release(g);
+  return static_cast<int>(nodes.size());
+}
+
+void RoutingGrid::rollback(Mark m) {
+  assert(m <= journal_.size());
+  while (journal_.size() > m) {
+    const Entry e = journal_.back();
+    journal_.pop_back();
+    switch (e.op) {
+      case Op::kOccupy:
+        owners_[node_index(e.node)] = kNoNet;
+        erase_net_node(e.net, e.node);
+        break;
+      case Op::kRelease:
+        owners_[node_index(e.node)] = e.net;
+        net_nodes_[static_cast<size_t>(e.net)].push_back(e.node);
+        break;
+      case Op::kAddVia:
+        vias_[cell_index(e.node.pos)] = kNoNet;
+        --via_counts_[static_cast<size_t>(e.net)];
+        break;
+      case Op::kRemoveVia:
+        vias_[cell_index(e.node.pos)] = e.net;
+        ++via_counts_[static_cast<size_t>(e.net)];
+        break;
+    }
+  }
+}
+
+}  // namespace gridroute

@@ -1,0 +1,141 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "problem/problem.hpp"
+
+namespace gridroute {
+
+/// A routed connection: a walk over grid nodes in which consecutive nodes
+/// are either planar-adjacent on the same layer or the same planar cell on
+/// different layers (a via).
+struct Path {
+  std::vector<GridPoint> nodes;
+
+  bool empty() const { return nodes.empty(); }
+  int length() const { return static_cast<int>(nodes.size()); }
+
+  /// True when every consecutive pair is a legal grid step.
+  bool well_formed() const;
+  /// Number of layer changes along the walk.
+  int via_count() const;
+};
+
+/// Mutable two-layer occupancy state over a Region.
+///
+/// Ground truth is the per-node owner map plus an explicit per-cell via
+/// owner: two same-net nodes stacked on different layers are electrically
+/// connected only where a via is recorded, so same-net crossings without a
+/// via stay disconnected — exactly the distinction a rip-up router must
+/// preserve when it severs and repairs nets.
+///
+/// Every mutation is journaled; mark()/rollback() give the cheap
+/// checkpointing that tentative weak/strong modification needs.
+class RoutingGrid {
+ public:
+  explicit RoutingGrid(const Region& region, int net_count);
+
+  const Region& region() const { return region_; }
+  int width() const { return region_.width(); }
+  int height() const { return region_.height(); }
+  int net_count() const { return static_cast<int>(net_nodes_.size()); }
+
+  // -- queries --------------------------------------------------------------
+
+  /// kNoNet when free; otherwise the owning net. Blocked nodes answer
+  /// kNoNet (ownership is only about wire).
+  NetId owner(GridPoint g) const {
+    return in_bounds(g.pos) ? owners_[node_index(g)] : kNoNet;
+  }
+  bool free(GridPoint g) const {
+    return region_.routable(g) && owner(g) == kNoNet;
+  }
+  /// Net owning the via at planar cell p, or kNoNet.
+  NetId via_owner(Point p) const {
+    return in_bounds(p) ? vias_[cell_index(p)] : kNoNet;
+  }
+  bool has_via(Point p) const { return via_owner(p) != kNoNet; }
+
+  /// All nodes currently owned by the net (unordered).
+  const std::vector<GridPoint>& net_nodes(NetId id) const {
+    return net_nodes_[static_cast<size_t>(id)];
+  }
+  /// Number of wire nodes owned by the net.
+  int node_count(NetId id) const {
+    return static_cast<int>(net_nodes_[static_cast<size_t>(id)].size());
+  }
+  int via_count(NetId id) const {
+    return via_counts_[static_cast<size_t>(id)];
+  }
+  int total_nodes() const;
+  int total_vias() const;
+
+  // -- mutations (all journaled) ---------------------------------------------
+
+  /// Claims a free routable node for a net. Returns false (no change) if the
+  /// node is blocked or already owned — by anyone, including `id` itself.
+  bool occupy(GridPoint g, NetId id);
+  /// Releases a node. Any via at the cell is removed first (a wire end
+  /// cannot keep a via alive on its own). Returns false if not owned.
+  bool release(GridPoint g);
+  /// Records a via at p for net id. Requires the net to own p on both
+  /// layers. Returns false otherwise.
+  bool add_via(Point p, NetId id);
+  bool remove_via(Point p);
+
+  /// Occupies every node of the path for the net and drops vias at layer
+  /// changes. Nodes already owned by the same net are skipped (paths are
+  /// allowed to land on the net's existing tree). Returns false — rolling
+  /// back its own partial work — if any node is blocked or foreign-owned.
+  bool apply_path(const Path& path, NetId id);
+
+  /// Removes every node and via of the net. Returns the number of nodes
+  /// released.
+  int rip_net(NetId id);
+
+  // -- journal ----------------------------------------------------------------
+
+  using Mark = std::size_t;
+  Mark mark() const { return journal_.size(); }
+  /// Undoes all mutations performed after the mark, most recent first.
+  void rollback(Mark m);
+  /// Drops undo history (state keeps). Call at stable points to bound memory.
+  void commit() { journal_.clear(); }
+
+ private:
+  bool in_bounds(Point p) const { return region_.bounds().contains(p); }
+  std::size_t cell_index(Point p) const {
+    const Rect& b = region_.bounds();
+    return static_cast<size_t>((p.y - b.lo.y) * b.width() + (p.x - b.lo.x));
+  }
+  std::size_t node_index(GridPoint g) const {
+    return cell_index(g.pos) * kLayerCount +
+           static_cast<size_t>(layer_index(g.layer));
+  }
+
+  void erase_net_node(NetId id, GridPoint g);
+
+  enum class Op : std::uint8_t { kOccupy, kRelease, kAddVia, kRemoveVia };
+  struct Entry {
+    Op op;
+    GridPoint node;  // for via entries only node.pos is meaningful
+    NetId net;
+  };
+
+  Region region_;
+  std::vector<NetId> owners_;               // node-indexed
+  std::vector<NetId> vias_;                 // cell-indexed
+  std::vector<std::vector<GridPoint>> net_nodes_;
+  std::vector<int> via_counts_;
+  std::vector<Entry> journal_;
+};
+
+/// True when a->b is one legal grid step (planar move or layer change).
+inline bool is_grid_step(GridPoint a, GridPoint b) {
+  if (a.layer == b.layer) return manhattan(a.pos, b.pos) == 1;
+  return a.pos == b.pos;
+}
+
+}  // namespace gridroute

@@ -1,0 +1,67 @@
+#include "io/ascii_art.hpp"
+
+#include <sstream>
+
+namespace gridroute {
+
+char net_symbol(NetId id) {
+  if (id < 0) return '?';
+  if (id < 10) return static_cast<char>('0' + id);
+  if (id < 36) return static_cast<char>('a' + id - 10);
+  if (id < 62) return static_cast<char>('A' + id - 36);
+  return '?';
+}
+
+namespace {
+
+char cell_char(const Region& region, const RoutingGrid& grid, GridPoint g) {
+  if (region.blocked(g)) return '#';
+  const NetId o = grid.owner(g);
+  return o == kNoNet ? '.' : net_symbol(o);
+}
+
+}  // namespace
+
+std::string render_layer(const Problem& problem, const RoutingGrid& grid,
+                         Layer layer) {
+  const Region& region = problem.region();
+  const Rect& b = region.bounds();
+  std::ostringstream out;
+  for (int y = b.hi.y; y >= b.lo.y; --y) {
+    for (int x = b.lo.x; x <= b.hi.x; ++x)
+      out << cell_char(region, grid, {{x, y}, layer});
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string render(const Problem& problem, const RoutingGrid& grid) {
+  const Region& region = problem.region();
+  const Rect& b = region.bounds();
+  std::ostringstream out;
+  out << "M1 (horizontal pref)" << std::string(
+             static_cast<size_t>(std::max(b.width() - 18, 3)), ' ')
+      << "M2 (vertical pref)" << std::string(
+             static_cast<size_t>(std::max(b.width() - 16, 3)), ' ')
+      << "vias\n";
+  for (int y = b.hi.y; y >= b.lo.y; --y) {
+    for (int x = b.lo.x; x <= b.hi.x; ++x)
+      out << cell_char(region, grid, {{x, y}, Layer::kMetal1});
+    out << "   ";
+    for (int x = b.lo.x; x <= b.hi.x; ++x)
+      out << cell_char(region, grid, {{x, y}, Layer::kMetal2});
+    out << "   ";
+    for (int x = b.lo.x; x <= b.hi.x; ++x) {
+      const NetId v = grid.via_owner({x, y});
+      out << (v == kNoNet ? '.' : net_symbol(v));
+    }
+    out << '\n';
+  }
+  out << "nets:";
+  for (NetId id = 0; id < problem.net_count(); ++id)
+    out << ' ' << net_symbol(id) << '=' << problem.net(id).name;
+  out << '\n';
+  return out.str();
+}
+
+}  // namespace gridroute

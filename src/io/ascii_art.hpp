@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+
+#include "grid/routing_grid.hpp"
+#include "problem/problem.hpp"
+
+namespace gridroute {
+
+/// One printable symbol per net: 0-9, then a-z, then A-Z, then '?'.
+char net_symbol(NetId id);
+
+/// Renders one layer as ASCII, top row first. Cell legend:
+///   '.' free   '#' blocked/outside   '0'..'Z' wire of that net
+/// A '*' suffix row is not used; vias are visible in render() only.
+std::string render_layer(const Problem& problem, const RoutingGrid& grid,
+                         Layer layer);
+
+/// Renders both layers side by side plus a via map and a legend — the
+/// debugging view used throughout the examples. In the via map, a net
+/// symbol marks a via of that net; '.' means no via.
+std::string render(const Problem& problem, const RoutingGrid& grid);
+
+}  // namespace gridroute

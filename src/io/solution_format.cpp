@@ -1,0 +1,179 @@
+#include "io/solution_format.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace gridroute {
+
+namespace {
+
+const char* layer_name(Layer l) {
+  return l == Layer::kMetal1 ? "m1" : "m2";
+}
+
+/// Emits maximal straight runs covering every node of the net on `layer`.
+/// Horizontal runs cover every cell with a horizontal neighbour; vertical
+/// runs likewise; isolated cells become one-cell runs. Junction cells may
+/// appear in two runs — harmless, same net.
+void write_runs(std::ostream& out, const RoutingGrid& grid, NetId id,
+                Layer layer) {
+  const Rect& b = grid.region().bounds();
+  auto mine = [&](int x, int y) {
+    return grid.owner({{x, y}, layer}) == id;
+  };
+  for (int y = b.lo.y; y <= b.hi.y; ++y) {
+    for (int x = b.lo.x; x <= b.hi.x; ++x) {
+      if (!mine(x, y) || mine(x - 1, y)) continue;  // not a run start
+      int end = x;
+      while (mine(end + 1, y)) ++end;
+      if (end > x)
+        out << "seg " << x << ' ' << y << ' ' << end << ' ' << y << ' '
+            << layer_name(layer) << '\n';
+    }
+  }
+  for (int x = b.lo.x; x <= b.hi.x; ++x) {
+    for (int y = b.lo.y; y <= b.hi.y; ++y) {
+      if (!mine(x, y) || mine(x, y - 1)) continue;
+      int end = y;
+      while (mine(x, end + 1)) ++end;
+      if (end > y) {
+        out << "seg " << x << ' ' << y << ' ' << x << ' ' << end << ' '
+            << layer_name(layer) << '\n';
+      } else if (!mine(x - 1, y) && !mine(x + 1, y)) {
+        out << "seg " << x << ' ' << y << ' ' << x << ' ' << y << ' '
+            << layer_name(layer) << '\n';  // isolated cell
+      }
+    }
+  }
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line.substr(0, line.find('#')));
+  std::string tok;
+  while (in >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::runtime_error("solution line " + std::to_string(line) + ": " +
+                           what);
+}
+
+int to_int(const std::string& tok, int line) {
+  try {
+    std::size_t used = 0;
+    const int v = std::stoi(tok, &used);
+    if (used != tok.size()) fail(line, "bad integer '" + tok + "'");
+    return v;
+  } catch (const std::logic_error&) {
+    fail(line, "bad integer '" + tok + "'");
+  }
+}
+
+}  // namespace
+
+void write_solution(std::ostream& out, const Problem& problem,
+                    const RoutingGrid& grid) {
+  out << "solution\n";
+  for (NetId id = 0; id < problem.net_count(); ++id) {
+    if (grid.node_count(id) == 0) continue;
+    out << "net " << problem.net(id).name << '\n';
+    write_runs(out, grid, id, Layer::kMetal1);
+    write_runs(out, grid, id, Layer::kMetal2);
+    // Vias, ordered for determinism.
+    std::vector<Point> vias;
+    for (const GridPoint& g : grid.net_nodes(id))
+      if (g.layer == Layer::kMetal1 && grid.via_owner(g.pos) == id)
+        vias.push_back(g.pos);
+    std::sort(vias.begin(), vias.end());
+    for (const Point& v : vias) out << "via " << v.x << ' ' << v.y << '\n';
+  }
+}
+
+std::string solution_to_string(const Problem& problem,
+                               const RoutingGrid& grid) {
+  std::ostringstream out;
+  write_solution(out, problem, grid);
+  return out.str();
+}
+
+RoutingGrid parse_solution(std::istream& in, const Problem& problem) {
+  RoutingGrid grid(problem.region(), problem.net_count());
+  std::map<std::string, NetId> by_name;
+  for (NetId id = 0; id < problem.net_count(); ++id)
+    by_name[problem.net(id).name] = id;
+
+  std::string line;
+  int line_no = 0;
+  bool seen_header = false;
+  NetId open_net = kNoNet;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    if (!seen_header) {
+      if (tokens.size() != 1 || tokens[0] != "solution")
+        fail(line_no, "expected 'solution'");
+      seen_header = true;
+      continue;
+    }
+    const std::string& kw = tokens[0];
+    if (kw == "net") {
+      if (tokens.size() != 2) fail(line_no, "net needs a name");
+      auto it = by_name.find(tokens[1]);
+      if (it == by_name.end())
+        fail(line_no, "unknown net '" + tokens[1] + "'");
+      open_net = it->second;
+    } else if (kw == "seg") {
+      if (open_net == kNoNet) fail(line_no, "seg before net");
+      if (tokens.size() != 6) fail(line_no, "seg needs X0 Y0 X1 Y1 LAYER");
+      Layer layer;
+      if (tokens[5] == "m1") {
+        layer = Layer::kMetal1;
+      } else if (tokens[5] == "m2") {
+        layer = Layer::kMetal2;
+      } else {
+        fail(line_no, "seg layer must be m1 or m2");
+      }
+      const Point a{to_int(tokens[1], line_no), to_int(tokens[2], line_no)};
+      const Point b{to_int(tokens[3], line_no), to_int(tokens[4], line_no)};
+      if (a.x != b.x && a.y != b.y) fail(line_no, "seg must be straight");
+      const Point step{a.x == b.x ? 0 : (b.x > a.x ? 1 : -1),
+                       a.y == b.y ? 0 : (b.y > a.y ? 1 : -1)};
+      Point p = a;
+      while (true) {
+        const GridPoint g{p, layer};
+        if (grid.owner(g) != open_net && !grid.occupy(g, open_net))
+          fail(line_no, "wire conflicts with region or another net");
+        if (p == b) break;
+        p = p + step;
+      }
+    } else if (kw == "via") {
+      if (open_net == kNoNet) fail(line_no, "via before net");
+      if (tokens.size() != 3) fail(line_no, "via needs X Y");
+      const Point v{to_int(tokens[1], line_no), to_int(tokens[2], line_no)};
+      if (grid.via_owner(v) != open_net && !grid.add_via(v, open_net))
+        fail(line_no, "via not anchored on both layers by its net");
+    } else {
+      fail(line_no, "unknown keyword '" + kw + "'");
+    }
+  }
+  if (!seen_header) throw std::runtime_error("no 'solution' header");
+  grid.commit();
+  return grid;
+}
+
+RoutingGrid parse_solution_string(const std::string& text,
+                                  const Problem& problem) {
+  std::istringstream in(text);
+  return parse_solution(in, problem);
+}
+
+}  // namespace gridroute

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "grid/routing_grid.hpp"
+#include "problem/problem.hpp"
+
+namespace gridroute {
+
+/// Plain-text routed-layout format, round-trippable against a Problem:
+///
+///   solution
+///   net a
+///   seg 0 3 7 3 m1       # maximal straight run, inclusive endpoints
+///   seg 4 3 4 5 m2
+///   via 4 3
+///   net b
+///   ...
+///
+/// Nets are matched by name. write_solution() emits maximal straight runs
+/// (overlaps at junctions are fine — they belong to the same net), so
+/// parse_solution() reconstructs the exact node and via sets.
+void write_solution(std::ostream& out, const Problem& problem,
+                    const RoutingGrid& grid);
+std::string solution_to_string(const Problem& problem,
+                               const RoutingGrid& grid);
+
+/// Rebuilds a grid state from solution text. Throws std::runtime_error on
+/// syntax errors, unknown net names, or wire that conflicts with the
+/// region, another net, or itself inconsistently.
+RoutingGrid parse_solution(std::istream& in, const Problem& problem);
+RoutingGrid parse_solution_string(const std::string& text,
+                                  const Problem& problem);
+
+}  // namespace gridroute

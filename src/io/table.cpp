@@ -1,0 +1,56 @@
+#include "io/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace gridroute {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      out << "| " << cells[c]
+          << std::string(widths[c] - cells[c].size() + 1, ' ');
+    out << "|\n";
+  };
+  line(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    out << "|-" << std::string(widths[c] + 1, '-');
+  out << "|\n";
+  for (const auto& row : rows_) line(row);
+}
+
+void Table::print_csv(std::ostream& out) const {
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      out << cells[c] << (c + 1 < cells.size() ? "," : "");
+    out << '\n';
+  };
+  line(headers_);
+  for (const auto& row : rows_) line(row);
+}
+
+std::string Table::num(double value, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << value;
+  return out.str();
+}
+
+std::string Table::num(long long value) { return std::to_string(value); }
+
+}  // namespace gridroute

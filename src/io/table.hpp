@@ -1,0 +1,32 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gridroute {
+
+/// Column-aligned plain-text table, the output device of every benchmark
+/// harness. Also emits CSV so results can be post-processed.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Pretty-printed with aligned columns and a header rule.
+  void print(std::ostream& out) const;
+  /// Comma-separated, one line per row, header first.
+  void print_csv(std::ostream& out) const;
+
+  /// Formats a double with fixed precision (locale-independent).
+  static std::string num(double value, int precision = 2);
+  static std::string num(long long value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gridroute

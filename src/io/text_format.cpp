@@ -1,0 +1,296 @@
+#include "io/text_format.hpp"
+
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace gridroute {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::runtime_error("line " + std::to_string(line) + ": " + what);
+}
+
+/// Splits a line into whitespace tokens, dropping '#' comments.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line.substr(0, line.find('#')));
+  std::string tok;
+  while (in >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+int to_int(const std::string& tok, int line) {
+  try {
+    std::size_t used = 0;
+    const int v = std::stoi(tok, &used);
+    if (used != tok.size()) fail(line, "bad integer '" + tok + "'");
+    return v;
+  } catch (const std::logic_error&) {
+    fail(line, "bad integer '" + tok + "'");
+  }
+}
+
+std::vector<int> to_ints(const std::vector<std::string>& tokens,
+                         std::size_t from, int line) {
+  std::vector<int> values;
+  for (std::size_t i = from; i < tokens.size(); ++i)
+    values.push_back(to_int(tokens[i], line));
+  return values;
+}
+
+}  // namespace
+
+Problem parse_problem(std::istream& in) {
+  std::string line;
+  int line_no = 0;
+  Problem problem;
+  bool have_region = false;
+  Net* open_net = nullptr;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& kw = tokens[0];
+
+    if (kw == "region") {
+      if (tokens.size() != 3) fail(line_no, "region needs W H");
+      const int w = to_int(tokens[1], line_no);
+      const int h = to_int(tokens[2], line_no);
+      if (w <= 0 || h <= 0) fail(line_no, "region dimensions must be > 0");
+      problem = Problem{Region(w, h)};
+      have_region = true;
+      open_net = nullptr;
+    } else if (kw == "subtract" || kw == "obstacle") {
+      if (!have_region) fail(line_no, kw + " before region");
+      const bool is_obstacle = kw == "obstacle";
+      const std::size_t want = is_obstacle ? 6 : 5;
+      if (tokens.size() != want)
+        fail(line_no, kw + " needs lo.x lo.y hi.x hi.y" +
+                          (is_obstacle ? " layer" : ""));
+      const Rect r{{to_int(tokens[1], line_no), to_int(tokens[2], line_no)},
+                   {to_int(tokens[3], line_no), to_int(tokens[4], line_no)}};
+      if (!r.valid()) fail(line_no, "rectangle corners out of order");
+      if (!is_obstacle) {
+        problem.region().subtract(r);
+      } else if (tokens[5] == "m1") {
+        problem.region().add_obstacle(r, Layer::kMetal1);
+      } else if (tokens[5] == "m2") {
+        problem.region().add_obstacle(r, Layer::kMetal2);
+      } else if (tokens[5] == "both") {
+        problem.region().add_obstacle(r);
+      } else {
+        fail(line_no, "obstacle layer must be m1, m2 or both");
+      }
+    } else if (kw == "net") {
+      if (!have_region) fail(line_no, "net before region");
+      if (tokens.size() != 2) fail(line_no, "net needs a name");
+      const NetId id = problem.add_net(tokens[1]);
+      open_net = &problem.net(id);
+    } else if (kw == "pin") {
+      if (open_net == nullptr) fail(line_no, "pin before net");
+      if (tokens.size() != 4) fail(line_no, "pin needs X Y LAYER");
+      Pin pin;
+      pin.pos = {to_int(tokens[1], line_no), to_int(tokens[2], line_no)};
+      if (tokens[3] == "m1") {
+        pin.layer = Layer::kMetal1;
+      } else if (tokens[3] == "m2") {
+        pin.layer = Layer::kMetal2;
+      } else if (tokens[3] == "any") {
+        pin.any_layer = true;
+      } else {
+        fail(line_no, "pin layer must be m1, m2 or any");
+      }
+      open_net->pins.push_back(pin);
+    } else if (kw == "wire") {
+      if (open_net == nullptr) fail(line_no, "wire before net");
+      if (tokens.size() != 6) fail(line_no, "wire needs X0 Y0 X1 Y1 LAYER");
+      Layer layer;
+      if (tokens[5] == "m1") {
+        layer = Layer::kMetal1;
+      } else if (tokens[5] == "m2") {
+        layer = Layer::kMetal2;
+      } else {
+        fail(line_no, "wire layer must be m1 or m2");
+      }
+      const Segment seg{
+          {{to_int(tokens[1], line_no), to_int(tokens[2], line_no)}, layer},
+          {{to_int(tokens[3], line_no), to_int(tokens[4], line_no)}, layer}};
+      if (!seg.axis_parallel()) fail(line_no, "wire must be axis-parallel");
+      open_net->prewire.push_back(seg);
+    } else if (kw == "via") {
+      if (open_net == nullptr) fail(line_no, "via before net");
+      if (tokens.size() != 3) fail(line_no, "via needs X Y");
+      open_net->previas.push_back(
+          {to_int(tokens[1], line_no), to_int(tokens[2], line_no)});
+    } else if (kw == "fixed") {
+      if (open_net == nullptr) fail(line_no, "fixed before net");
+      if (tokens.size() != 1) fail(line_no, "fixed takes no arguments");
+      open_net->fixed = true;
+    } else {
+      fail(line_no, "unknown keyword '" + kw + "'");
+    }
+  }
+  if (!have_region) throw std::runtime_error("no region in problem text");
+  return problem;
+}
+
+Problem parse_problem_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_problem(in);
+}
+
+namespace {
+
+/// Shared reader for the channel/switchbox side-row formats.
+std::map<std::string, std::vector<int>> parse_sides(
+    std::istream& in, const std::string& header,
+    const std::vector<std::string>& required) {
+  std::string line;
+  int line_no = 0;
+  bool seen_header = false;
+  std::map<std::string, std::vector<int>> sides;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    if (!seen_header) {
+      if (tokens.size() != 1 || tokens[0] != header)
+        fail(line_no, "expected '" + header + "'");
+      seen_header = true;
+      continue;
+    }
+    bool known = false;
+    for (const std::string& side : required) known |= tokens[0] == side;
+    if (!known) fail(line_no, "unknown side '" + tokens[0] + "'");
+    sides[tokens[0]] = to_ints(tokens, 1, line_no);
+  }
+  for (const std::string& side : required)
+    if (!sides.contains(side))
+      throw std::runtime_error("missing side '" + side + "'");
+  return sides;
+}
+
+}  // namespace
+
+ChannelSpec parse_channel(std::istream& in) {
+  auto sides = parse_sides(in, "channel", {"top", "bottom"});
+  ChannelSpec spec{std::move(sides["top"]), std::move(sides["bottom"])};
+  if (spec.top.size() != spec.bottom.size())
+    throw std::runtime_error("top and bottom rows differ in length");
+  return spec;
+}
+
+ChannelSpec parse_channel_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_channel(in);
+}
+
+SwitchboxSpec parse_switchbox(std::istream& in) {
+  auto sides = parse_sides(in, "switchbox", {"top", "bottom", "left", "right"});
+  SwitchboxSpec spec{std::move(sides["top"]), std::move(sides["bottom"]),
+                     std::move(sides["left"]), std::move(sides["right"])};
+  if (spec.top.size() != spec.bottom.size())
+    throw std::runtime_error("top and bottom rows differ in length");
+  if (spec.left.size() != spec.right.size())
+    throw std::runtime_error("left and right rows differ in length");
+  return spec;
+}
+
+SwitchboxSpec parse_switchbox_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_switchbox(in);
+}
+
+void write_problem(std::ostream& out, const Problem& problem) {
+  const Region& region = problem.region();
+  out << "region " << region.width() << ' ' << region.height() << '\n';
+  const Rect& b = region.bounds();
+  for (int y = b.lo.y; y <= b.hi.y; ++y)
+    for (int x = b.lo.x; x <= b.hi.x; ++x) {
+      const Point p{x, y};
+      if (!region.in_region(p)) {
+        out << "subtract " << x << ' ' << y << ' ' << x << ' ' << y << '\n';
+        continue;
+      }
+      const bool m1 = region.blocked({p, Layer::kMetal1});
+      const bool m2 = region.blocked({p, Layer::kMetal2});
+      if (m1 && m2)
+        out << "obstacle " << x << ' ' << y << ' ' << x << ' ' << y
+            << " both\n";
+      else if (m1)
+        out << "obstacle " << x << ' ' << y << ' ' << x << ' ' << y
+            << " m1\n";
+      else if (m2)
+        out << "obstacle " << x << ' ' << y << ' ' << x << ' ' << y
+            << " m2\n";
+    }
+  for (const Net& net : problem.nets()) {
+    out << "net " << net.name << '\n';
+    if (net.fixed) out << "fixed\n";
+    for (const Pin& pin : net.pins) {
+      out << "pin " << pin.pos.x << ' ' << pin.pos.y << ' ';
+      if (pin.any_layer)
+        out << "any";
+      else
+        out << (pin.layer == Layer::kMetal1 ? "m1" : "m2");
+      out << '\n';
+    }
+    for (const Segment& seg : net.prewire)
+      out << "wire " << seg.a.pos.x << ' ' << seg.a.pos.y << ' '
+          << seg.b.pos.x << ' ' << seg.b.pos.y << ' '
+          << (seg.a.layer == Layer::kMetal1 ? "m1" : "m2") << '\n';
+    for (const Point& v : net.previas)
+      out << "via " << v.x << ' ' << v.y << '\n';
+  }
+}
+
+std::string problem_to_string(const Problem& problem) {
+  std::ostringstream out;
+  write_problem(out, problem);
+  return out.str();
+}
+
+namespace {
+
+void write_row(std::ostream& out, const std::string& name,
+               const std::vector<int>& row) {
+  out << name;
+  for (int v : row) out << ' ' << v;
+  out << '\n';
+}
+
+}  // namespace
+
+void write_channel(std::ostream& out, const ChannelSpec& spec) {
+  out << "channel\n";
+  write_row(out, "top   ", spec.top);
+  write_row(out, "bottom", spec.bottom);
+}
+
+std::string channel_to_string(const ChannelSpec& spec) {
+  std::ostringstream out;
+  write_channel(out, spec);
+  return out.str();
+}
+
+void write_switchbox(std::ostream& out, const SwitchboxSpec& spec) {
+  out << "switchbox\n";
+  write_row(out, "top   ", spec.top);
+  write_row(out, "bottom", spec.bottom);
+  write_row(out, "left  ", spec.left);
+  write_row(out, "right ", spec.right);
+}
+
+std::string switchbox_to_string(const SwitchboxSpec& spec) {
+  std::ostringstream out;
+  write_switchbox(out, spec);
+  return out.str();
+}
+
+}  // namespace gridroute

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "problem/problem.hpp"
+
+namespace gridroute {
+
+/// Plain-text problem format, round-trippable. Example:
+///
+///   region 12 8
+///   subtract 0 6 2 7          # rect lo.x lo.y hi.x hi.y
+///   obstacle 4 2 6 3 both     # layer: m1 | m2 | both
+///   net a
+///   pin 0 3 m1
+///   pin 11 5 any
+///   net b
+///   pin 2 0 m2
+///
+/// Lines starting with '#' (or inline '#' tails) are comments. Keywords:
+/// region W H; subtract/obstacle rects; net NAME opens a net; pin X Y LAYER
+/// adds to the open net.
+///
+/// Channel format (parse_channel):
+///
+///   channel
+///   top    1 0 2 2 0 1
+///   bottom 2 1 0 1 2 0
+///
+/// Switchbox format (parse_switchbox):
+///
+///   switchbox
+///   top    1 2 0 3
+///   bottom 3 0 2 1
+///   left   0 1 2
+///   right  2 3 0
+///
+/// Parse errors throw std::runtime_error with a line number.
+Problem parse_problem(std::istream& in);
+Problem parse_problem_string(const std::string& text);
+ChannelSpec parse_channel(std::istream& in);
+ChannelSpec parse_channel_string(const std::string& text);
+SwitchboxSpec parse_switchbox(std::istream& in);
+SwitchboxSpec parse_switchbox_string(const std::string& text);
+
+/// Writers producing text the parsers accept. Region writers emit the
+/// bounding rectangle plus per-cell subtract/obstacle rows (cell granular:
+/// correct, if not minimal, for arbitrary rectilinear shapes).
+void write_problem(std::ostream& out, const Problem& problem);
+std::string problem_to_string(const Problem& problem);
+void write_channel(std::ostream& out, const ChannelSpec& spec);
+std::string channel_to_string(const ChannelSpec& spec);
+void write_switchbox(std::ostream& out, const SwitchboxSpec& spec);
+std::string switchbox_to_string(const SwitchboxSpec& spec);
+
+}  // namespace gridroute

@@ -1,0 +1,35 @@
+#pragma once
+
+namespace gridroute {
+
+/// Cost weights for the weighted maze search. All costs are in abstract
+/// units per grid step; they only matter relative to each other.
+///
+/// The defaults reproduce the classic detailed-router trade-off: vias are
+/// expensive (they consume both layers and hurt yield), bends mildly so,
+/// and wiring against a layer's preferred direction is discouraged but not
+/// forbidden (unreserved layer model). `push` is the penalty for stepping
+/// onto a node owned by another net — the entry ticket for weak
+/// modification; it must dwarf ordinary detour costs so pushing only
+/// happens when no clean path exists.
+struct CostModel {
+  int step = 2;            ///< base cost of one planar grid step
+  int via = 8;             ///< cost of a layer change
+  int bend = 2;            ///< extra cost when a planar step turns 90 deg
+  int wrong_way = 1;       ///< extra per-step cost against layer preference
+  int push = 120;          ///< extra cost to cross a foreign wire node
+  int push_via_extra = 40; ///< additional cost when that node anchors a via
+
+  /// A cost model with every shaping weight switched off: pure shortest
+  /// path in steps, the behaviour of the Lee baseline.
+  static CostModel unit() {
+    CostModel m;
+    m.step = 1;
+    m.via = 1;
+    m.bend = 0;
+    m.wrong_way = 0;
+    return m;
+  }
+};
+
+}  // namespace gridroute

@@ -1,0 +1,310 @@
+#include "maze/maze_router.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <queue>
+
+namespace gridroute {
+
+PinBlocks::PinBlocks(const Problem& problem) {
+  bounds_ = problem.region().bounds();
+  map_.assign(static_cast<size_t>(bounds_.width()) *
+                  static_cast<size_t>(bounds_.height()) * kLayerCount,
+              kNoNet);
+  for (NetId id = 0; id < problem.net_count(); ++id) {
+    for (const Pin& pin : problem.net(id).pins) {
+      if (pin.any_layer) {
+        map_[index({pin.pos, Layer::kMetal1})] = id;
+        map_[index({pin.pos, Layer::kMetal2})] = id;
+      } else {
+        map_[index({pin.pos, pin.layer})] = id;
+      }
+    }
+    // Pre-wire is as immovable as a pin: reserve its nodes so no probe can
+    // propose pushing or burying it.
+    for (const GridPoint& g : prewire_nodes(problem.net(id)))
+      map_[index(g)] = id;
+  }
+}
+
+namespace {
+
+/// Shared node indexing for both routers.
+struct NodeCodec {
+  Rect bounds;
+
+  std::size_t count() const {
+    return static_cast<size_t>(bounds.width()) *
+           static_cast<size_t>(bounds.height()) * kLayerCount;
+  }
+  std::size_t encode(GridPoint g) const {
+    const auto cell =
+        static_cast<size_t>(g.pos.y - bounds.lo.y) *
+            static_cast<size_t>(bounds.width()) +
+        static_cast<size_t>(g.pos.x - bounds.lo.x);
+    return cell * kLayerCount + static_cast<size_t>(layer_index(g.layer));
+  }
+  GridPoint decode(std::size_t idx) const {
+    const auto layer = static_cast<Layer>(idx % kLayerCount);
+    const auto cell = idx / kLayerCount;
+    const int w = bounds.width();
+    return {{bounds.lo.x + static_cast<int>(cell) % w,
+             bounds.lo.y + static_cast<int>(cell) / w},
+            layer};
+  }
+};
+
+constexpr Point kPlanarSteps[4] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+
+bool node_usable(const RoutingGrid& grid, const PinBlocks& pins, GridPoint g,
+                 const SearchRequest& req) {
+  if (!grid.region().routable(g)) return false;
+  if (!pins.admissible(g, req.net)) return false;
+  const NetId o = grid.owner(g);
+  if (o == kNoNet || o == req.net) return true;
+  if (!req.allow_push) return false;
+  return std::find(req.frozen.begin(), req.frozen.end(), o) ==
+         req.frozen.end();
+}
+
+std::vector<GridPoint> collect_crossed(const RoutingGrid& grid,
+                                       const Path& path, NetId net) {
+  std::vector<GridPoint> crossed;
+  for (const GridPoint& g : path.nodes) {
+    const NetId o = grid.owner(g);
+    if (o != kNoNet && o != net) crossed.push_back(g);
+  }
+  return crossed;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LeeRouter
+// ---------------------------------------------------------------------------
+
+LeeRouter::LeeRouter(const RoutingGrid& grid, const PinBlocks& pins)
+    : grid_(grid), pins_(pins) {
+  const NodeCodec codec{grid.region().bounds()};
+  stamp_.assign(codec.count(), 0);
+  parent_.assign(codec.count(), -1);
+  is_target_.assign(codec.count(), 0);
+  target_stamp_.assign(codec.count(), 0);
+}
+
+SearchResult LeeRouter::route(const SearchRequest& request) {
+  const NodeCodec codec{grid_.region().bounds()};
+  ++epoch_;
+  SearchResult result;
+
+  SearchRequest plain = request;
+  plain.allow_push = false;
+  for (const GridPoint& t : request.targets) {
+    if (!node_usable(grid_, pins_, t, plain)) continue;
+    const std::size_t ti = codec.encode(t);
+    is_target_[ti] = 1;
+    target_stamp_[ti] = epoch_;
+  }
+
+  std::deque<std::size_t> frontier;
+  for (const GridPoint& s : request.sources) {
+    if (!node_usable(grid_, pins_, s, plain)) continue;
+    const std::size_t si = codec.encode(s);
+    if (stamp_[si] == epoch_) continue;
+    stamp_[si] = epoch_;
+    parent_[si] = -1;
+    frontier.push_back(si);
+  }
+
+  std::size_t goal = SIZE_MAX;
+  // A source may itself be a target (tree already touches the pin).
+  for (std::size_t si : frontier)
+    if (is_target_[si] && target_stamp_[si] == epoch_) goal = si;
+
+  while (goal == SIZE_MAX && !frontier.empty()) {
+    const std::size_t ci = frontier.front();
+    frontier.pop_front();
+    const GridPoint cur = codec.decode(ci);
+
+    auto try_step = [&](GridPoint nxt) {
+      if (!node_usable(grid_, pins_, nxt, plain)) return;
+      const std::size_t ni = codec.encode(nxt);
+      if (stamp_[ni] == epoch_) return;
+      stamp_[ni] = epoch_;
+      parent_[ni] = static_cast<std::int32_t>(ci);
+      if (is_target_[ni] && target_stamp_[ni] == epoch_) {
+        goal = ni;
+        return;
+      }
+      frontier.push_back(ni);
+    };
+
+    for (const Point d : kPlanarSteps) {
+      if (goal != SIZE_MAX) break;
+      try_step({cur.pos + d, cur.layer});
+    }
+    if (goal == SIZE_MAX) try_step({cur.pos, other_layer(cur.layer)});
+  }
+
+  if (goal == SIZE_MAX) return result;
+
+  result.found = true;
+  for (std::int64_t i = static_cast<std::int64_t>(goal); i >= 0;
+       i = parent_[static_cast<std::size_t>(i)]) {
+    result.path.nodes.push_back(codec.decode(static_cast<std::size_t>(i)));
+    if (parent_[static_cast<std::size_t>(i)] < 0) break;
+  }
+  std::reverse(result.path.nodes.begin(), result.path.nodes.end());
+  result.cost = result.path.length() - 1;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// WeightedMazeRouter
+// ---------------------------------------------------------------------------
+
+WeightedMazeRouter::WeightedMazeRouter(const RoutingGrid& grid,
+                                       const PinBlocks& pins, CostModel model)
+    : grid_(grid), pins_(pins), model_(model) {
+  const NodeCodec codec{grid.region().bounds()};
+  stamp_.assign(codec.count() * kDirs, 0);
+  best_.assign(codec.count() * kDirs, 0);
+  parent_.assign(codec.count() * kDirs, -1);
+  is_target_.assign(codec.count(), 0);
+  target_stamp_.assign(codec.count(), 0);
+}
+
+std::size_t WeightedMazeRouter::node_index(GridPoint g) const {
+  return NodeCodec{grid_.region().bounds()}.encode(g);
+}
+
+SearchResult WeightedMazeRouter::route(const SearchRequest& request) {
+  const NodeCodec codec{grid_.region().bounds()};
+  ++epoch_;
+  last_expansions_ = 0;
+  SearchResult result;
+
+  for (const GridPoint& t : request.targets) {
+    if (!node_usable(grid_, pins_, t, request)) continue;
+    const std::size_t ti = codec.encode(t);
+    is_target_[ti] = 1;
+    target_stamp_[ti] = epoch_;
+  }
+
+  // A* heuristic: base-step-cost times Manhattan distance to the target
+  // bounding box. Zero when disabled or when there are no usable targets.
+  Rect target_box{{0, 0}, {-1, -1}};
+  if (use_heuristic_) {
+    for (const GridPoint& t : request.targets) {
+      const Rect cell{t.pos, t.pos};
+      target_box = target_box.valid() ? target_box.bounding_union(cell) : cell;
+    }
+  }
+  auto heuristic = [&](std::size_t ni) -> std::int64_t {
+    if (!target_box.valid()) return 0;
+    const GridPoint g = codec.decode(ni);
+    const int dx = std::max({target_box.lo.x - g.pos.x,
+                             g.pos.x - target_box.hi.x, 0});
+    const int dy = std::max({target_box.lo.y - g.pos.y,
+                             g.pos.y - target_box.hi.y, 0});
+    return static_cast<std::int64_t>(model_.step) * (dx + dy);
+  };
+
+  // (g + h, state) min-heap. State = node * kDirs + incoming direction,
+  // direction 0 meaning "fresh" (search start or just after a via).
+  // best_/stamp_ store g-costs; the heuristic only orders the heap.
+  using QEntry = std::pair<std::int64_t, std::size_t>;
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> queue;
+
+  auto relax = [&](std::size_t state, std::int64_t cost,
+                   std::int32_t from_state) {
+    if (stamp_[state] == epoch_ && best_[state] <= cost) return;
+    stamp_[state] = epoch_;
+    best_[state] = static_cast<std::int32_t>(cost);
+    parent_[state] = from_state;
+    queue.push({cost + heuristic(state / kDirs), state});
+  };
+
+  const Rect& bounds = grid_.region().bounds();
+  auto enter_penalty = [&](GridPoint g) -> int {
+    const NetId o = grid_.owner(g);
+    if (o == kNoNet || o == request.net) return 0;
+    int c = model_.push;
+    const NetId v = grid_.via_owner(g.pos);
+    if (v != kNoNet && v != request.net) c += model_.push_via_extra;
+    if (request.push_history != nullptr) {
+      const auto cell = static_cast<std::size_t>(
+          (g.pos.y - bounds.lo.y) * bounds.width() + (g.pos.x - bounds.lo.x));
+      if (cell < request.push_history->size())
+        c += (*request.push_history)[cell];
+    }
+    return c;
+  };
+
+  for (const GridPoint& s : request.sources) {
+    if (!node_usable(grid_, pins_, s, request)) continue;
+    relax(codec.encode(s) * kDirs, 0, -1);
+  }
+
+  std::size_t goal_state = SIZE_MAX;
+  while (!queue.empty()) {
+    const auto [priority, state] = queue.top();
+    queue.pop();
+    const std::int64_t cost = priority - heuristic(state / kDirs);
+    if (stamp_[state] != epoch_ || best_[state] != cost) continue;  // stale
+    ++last_expansions_;
+
+    const std::size_t ni = state / kDirs;
+    const int dir = static_cast<int>(state % kDirs);
+    if (is_target_[ni] && target_stamp_[ni] == epoch_) {
+      goal_state = state;
+      break;
+    }
+    const GridPoint cur = codec.decode(ni);
+
+    // Planar steps. Direction ids: 1=E, 2=W, 3=N, 4=S.
+    for (int d = 0; d < 4; ++d) {
+      const GridPoint nxt{cur.pos + kPlanarSteps[d], cur.layer};
+      if (!node_usable(grid_, pins_, nxt, request)) continue;
+      const int ndir = d + 1;
+      std::int64_t c = cost + model_.step + enter_penalty(nxt);
+      const bool step_is_vertical = d >= 2;
+      const bool prefers_horizontal = cur.layer == Layer::kMetal1;
+      if (step_is_vertical == prefers_horizontal) c += model_.wrong_way;
+      if (dir != 0 && dir != ndir) c += model_.bend;
+      relax(codec.encode(nxt) * kDirs + static_cast<size_t>(ndir), c,
+            static_cast<std::int32_t>(state));
+    }
+
+    // Via step: resets direction state (no bend charged after a via).
+    {
+      const GridPoint nxt{cur.pos, other_layer(cur.layer)};
+      if (node_usable(grid_, pins_, nxt, request)) {
+        const std::int64_t c = cost + model_.via + enter_penalty(nxt);
+        relax(codec.encode(nxt) * kDirs, c,
+              static_cast<std::int32_t>(state));
+      }
+    }
+  }
+
+  if (goal_state == SIZE_MAX) return result;
+
+  result.found = true;
+  result.cost = best_[goal_state];
+  for (std::int64_t s = static_cast<std::int64_t>(goal_state); s >= 0;
+       s = parent_[static_cast<std::size_t>(s)]) {
+    result.path.nodes.push_back(
+        codec.decode(static_cast<std::size_t>(s) / kDirs));
+    if (parent_[static_cast<std::size_t>(s)] < 0) break;
+  }
+  std::reverse(result.path.nodes.begin(), result.path.nodes.end());
+  // The backtrace may revisit a node when entering it with two directions;
+  // collapse exact consecutive repeats (can occur at the start state).
+  auto& nodes = result.path.nodes;
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  result.crossed = collect_crossed(grid_, result.path, request.net);
+  return result;
+}
+
+}  // namespace gridroute

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/routing_grid.hpp"
+#include "maze/cost_model.hpp"
+#include "maze/pin_blocks.hpp"
+
+namespace gridroute {
+
+/// One shortest-connection query against the current grid state.
+struct SearchRequest {
+  /// Entry nodes (cost 0). Typically one pin, or the whole routed tree of
+  /// the net when extending it to the next pin.
+  std::vector<GridPoint> sources;
+  /// Goal nodes; the search stops at the first one reached.
+  std::vector<GridPoint> targets;
+  /// The net being routed; its own wire is free to ride on.
+  NetId net = kNoNet;
+  /// When set, nodes owned by *other* nets are traversable at CostModel::push
+  /// penalty (weak-modification probing). Foreign pins stay impassable.
+  bool allow_push = false;
+  /// Nets that remain impassable even in push mode — victims whose repair
+  /// just failed, or nets whose rip-up budget is spent. Lets the router ask
+  /// for an alternative victim set.
+  std::vector<NetId> frozen;
+  /// Optional per-planar-cell surcharge (indexed y*width+x) added when
+  /// entering a foreign-owned node in push mode. The incremental router
+  /// feeds rip-up history through this, PathFinder-style, so repeated
+  /// conflicts over the same cells diversify instead of thrashing.
+  const std::vector<int>* push_history = nullptr;
+};
+
+struct SearchResult {
+  bool found = false;
+  Path path;                         ///< source node ... target node
+  int cost = 0;                      ///< total path cost under the model
+  std::vector<GridPoint> crossed;    ///< foreign-owned nodes on the path
+};
+
+/// Classic Lee router: breadth-first wavefront over free nodes, unit cost
+/// per step (planar or via), no cost shaping, no pushing. The 1961 baseline
+/// every incremental router is measured against.
+class LeeRouter {
+ public:
+  LeeRouter(const RoutingGrid& grid, const PinBlocks& pins);
+
+  SearchResult route(const SearchRequest& request);
+
+ private:
+  const RoutingGrid& grid_;
+  const PinBlocks& pins_;
+  // Epoch-stamped visit state reused across queries.
+  std::vector<std::uint32_t> stamp_;
+  std::vector<std::int32_t> parent_;
+  std::vector<std::uint8_t> is_target_;
+  std::vector<std::uint32_t> target_stamp_;
+  std::uint32_t epoch_ = 0;
+};
+
+/// Weighted maze search (A* over (node, incoming-direction) states)
+/// implementing the full cost model: via cost, bend cost, preferred-direction
+/// bias, and — when allowed — finite penalties for crossing foreign wire.
+/// Direction is part of the search state so bend costs are exact.
+///
+/// The heuristic is the Manhattan distance to the bounding box of the
+/// target set times the base step cost — admissible (every planar step
+/// costs at least CostModel::step) and consistent (1-Lipschitz in planar
+/// moves, constant across vias), so results are cost-optimal and identical
+/// to plain Dijkstra, only with fewer expansions. set_heuristic(false)
+/// recovers Dijkstra exactly (used by tests and the search benchmarks).
+class WeightedMazeRouter {
+ public:
+  WeightedMazeRouter(const RoutingGrid& grid, const PinBlocks& pins,
+                     CostModel model = {});
+
+  const CostModel& cost_model() const { return model_; }
+  void set_cost_model(CostModel m) { model_ = m; }
+
+  bool heuristic_enabled() const { return use_heuristic_; }
+  void set_heuristic(bool enabled) { use_heuristic_ = enabled; }
+
+  SearchResult route(const SearchRequest& request);
+
+  /// Nodes popped from the queue in the last route() call (effort metric).
+  long long last_expansions() const { return last_expansions_; }
+
+ private:
+  static constexpr int kDirs = 5;  // 0 = start/after-via, 1..4 = E,W,N,S
+
+  std::size_t node_index(GridPoint g) const;
+  std::size_t state_index(GridPoint g, int dir) const {
+    return node_index(g) * kDirs + static_cast<size_t>(dir);
+  }
+
+  const RoutingGrid& grid_;
+  const PinBlocks& pins_;
+  CostModel model_;
+  std::vector<std::uint32_t> stamp_;
+  std::vector<std::int32_t> best_;
+  std::vector<std::int32_t> parent_;
+  std::vector<std::uint8_t> is_target_;
+  std::vector<std::uint32_t> target_stamp_;
+  std::uint32_t epoch_ = 0;
+  long long last_expansions_ = 0;
+  bool use_heuristic_ = true;
+};
+
+}  // namespace gridroute

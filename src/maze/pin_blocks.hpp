@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "grid/routing_grid.hpp"
+#include "problem/problem.hpp"
+
+namespace gridroute {
+
+/// Exclusive-use map derived from a Problem's pins: a node reserved for a
+/// pin of net N may only carry wire of net N. Routers consult this so that
+/// neither a detouring net nor a pushed victim can ever bury a foreign
+/// terminal — a pin, unlike a wire segment, cannot be moved out of the way.
+///
+/// A single-layer pin reserves only its own layer (the other layer above a
+/// terminal is legitimate routing resource); an any-layer pin reserves the
+/// planar cell on both layers.
+class PinBlocks {
+ public:
+  PinBlocks() = default;
+  explicit PinBlocks(const Problem& problem);
+
+  /// kNoNet when unreserved; otherwise the only net allowed on the node.
+  NetId reserved_for(GridPoint g) const {
+    if (map_.empty() || !bounds_.contains(g.pos)) return kNoNet;
+    return map_[index(g)];
+  }
+
+  /// True when net `id` may occupy node g as far as pins are concerned.
+  bool admissible(GridPoint g, NetId id) const {
+    const NetId r = reserved_for(g);
+    return r == kNoNet || r == id;
+  }
+
+ private:
+  std::size_t index(GridPoint g) const {
+    return (static_cast<size_t>(g.pos.y - bounds_.lo.y) *
+                static_cast<size_t>(bounds_.width()) +
+            static_cast<size_t>(g.pos.x - bounds_.lo.x)) *
+               kLayerCount +
+           static_cast<size_t>(layer_index(g.layer));
+  }
+
+  Rect bounds_{{0, 0}, {-1, -1}};
+  std::vector<NetId> map_;
+};
+
+}  // namespace gridroute

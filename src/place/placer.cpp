@@ -1,0 +1,157 @@
+#include "place/placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace gridroute {
+
+Placer::Placer(int cols, int rows, std::vector<Block> blocks,
+               std::vector<BlockNet> nets, PlacerOptions options)
+    : cols_(cols),
+      rows_(rows),
+      blocks_(std::move(blocks)),
+      nets_(std::move(nets)),
+      options_(options) {
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (!inside(blocks_[i]))
+      throw std::invalid_argument("block '" + blocks_[i].name +
+                                  "' does not fit the floorplan");
+    if (!legal(blocks_[i], i))
+      throw std::invalid_argument("block '" + blocks_[i].name +
+                                  "' overlaps another block initially");
+  }
+  for (const BlockNet& net : nets_)
+    for (const int b : net.blocks)
+      if (b < 0 || b >= static_cast<int>(blocks_.size()))
+        throw std::invalid_argument("net '" + net.name +
+                                    "' references a missing block");
+}
+
+bool Placer::inside(const Block& b) const {
+  const Rect fp = b.footprint();
+  return fp.lo.x >= 0 && fp.lo.y >= 0 && fp.hi.x < cols_ && fp.hi.y < rows_;
+}
+
+bool Placer::legal(const Block& candidate, std::size_t self) const {
+  if (!inside(candidate)) return false;
+  const Rect fp = candidate.footprint();
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (i == self) continue;
+    if (fp.intersects(blocks_[i].footprint())) return false;
+  }
+  return true;
+}
+
+long long Placer::hpwl(const std::vector<Block>& blocks) const {
+  long long total = 0;
+  for (const BlockNet& net : nets_) {
+    if (net.blocks.size() < 2) continue;
+    Rect box{blocks[static_cast<size_t>(net.blocks[0])].center(),
+             blocks[static_cast<size_t>(net.blocks[0])].center()};
+    for (const int b : net.blocks) {
+      const Point c = blocks[static_cast<size_t>(b)].center();
+      box = box.bounding_union({c, c});
+    }
+    total += (box.width() - 1) + (box.height() - 1);
+  }
+  return total;
+}
+
+PlacementResult Placer::run() {
+  Rng rng(options_.seed);
+  PlacementResult result;
+  result.initial_hpwl = hpwl(blocks_);
+
+  std::vector<std::size_t> movable;
+  for (std::size_t i = 0; i < blocks_.size(); ++i)
+    if (!blocks_[i].fixed) movable.push_back(i);
+
+  long long cost = result.initial_hpwl;
+  double temperature = options_.initial_temperature;
+
+  if (!movable.empty()) {
+    for (int step = 0; step < options_.steps; ++step) {
+      const int moves = options_.moves_per_block_per_step *
+                        static_cast<int>(movable.size());
+      for (int m = 0; m < moves; ++m) {
+        ++result.moves_tried;
+        const std::size_t who = movable[rng.next_below(movable.size())];
+        const Block saved_a = blocks_[who];
+
+        // Two move kinds: displace to a random legal spot, or swap the
+        // positions of two movable blocks (when shapes permit).
+        const bool swap_move =
+            movable.size() >= 2 && rng.next_bool(0.3);
+        std::size_t other = who;
+        Block saved_b = saved_a;
+        if (swap_move) {
+          do {
+            other = movable[rng.next_below(movable.size())];
+          } while (other == who);
+          saved_b = blocks_[other];
+          blocks_[who].position = saved_b.position;
+          blocks_[other].position = saved_a.position;
+          if (!legal(blocks_[who], who) || !legal(blocks_[other], other)) {
+            blocks_[who] = saved_a;
+            blocks_[other] = saved_b;
+            continue;
+          }
+        } else {
+          blocks_[who].position = {
+              rng.next_int(0, cols_ - blocks_[who].width),
+              rng.next_int(0, rows_ - blocks_[who].height)};
+          if (!legal(blocks_[who], who)) {
+            blocks_[who] = saved_a;
+            continue;
+          }
+        }
+
+        const long long new_cost = hpwl(blocks_);
+        const long long delta = new_cost - cost;
+        const bool accept =
+            delta <= 0 ||
+            rng.next_double() <
+                std::exp(-static_cast<double>(delta) / temperature);
+        if (accept) {
+          cost = new_cost;
+          ++result.moves_accepted;
+        } else {
+          blocks_[who] = saved_a;
+          if (swap_move) blocks_[other] = saved_b;
+        }
+      }
+      temperature *= options_.cooling;
+    }
+  }
+
+  result.blocks = blocks_;
+  result.final_hpwl = cost;
+  result.overlap_violations = 0;
+  for (std::size_t i = 0; i < blocks_.size(); ++i)
+    if (!legal(blocks_[i], i)) ++result.overlap_violations;
+  return result;
+}
+
+std::vector<std::string> verify_placement(int cols, int rows,
+                                          const std::vector<Block>& original,
+                                          const std::vector<Block>& placed) {
+  std::vector<std::string> issues;
+  for (std::size_t i = 0; i < placed.size(); ++i) {
+    const Rect fp = placed[i].footprint();
+    if (fp.lo.x < 0 || fp.lo.y < 0 || fp.hi.x >= cols || fp.hi.y >= rows)
+      issues.push_back("block '" + placed[i].name + "' out of bounds");
+    for (std::size_t j = i + 1; j < placed.size(); ++j)
+      if (fp.intersects(placed[j].footprint()))
+        issues.push_back("blocks '" + placed[i].name + "' and '" +
+                         placed[j].name + "' overlap");
+  }
+  for (std::size_t i = 0; i < placed.size() && i < original.size(); ++i)
+    if (original[i].fixed && !(placed[i].position == original[i].position))
+      issues.push_back("fixed block '" + original[i].name + "' moved");
+  return issues;
+}
+
+}  // namespace gridroute

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+
+namespace gridroute {
+
+/// A macro block to place: a rigid w x h rectangle of gcells. `fixed`
+/// blocks (pads, pre-placed macros) keep their given position.
+struct Block {
+  std::string name;
+  int width = 1;
+  int height = 1;
+  Point position{0, 0};  ///< lower-left gcell; input = initial/fixed spot
+  bool fixed = false;
+
+  Rect footprint() const {
+    return {position, {position.x + width - 1, position.y + height - 1}};
+  }
+  Point center() const {
+    return {position.x + width / 2, position.y + height / 2};
+  }
+};
+
+/// A connection between blocks for the placement objective: indices into
+/// the block list. Cost = half-perimeter of the bounding box of the member
+/// blocks' centers (HPWL), the classic placement wirelength estimate.
+struct BlockNet {
+  std::string name;
+  std::vector<int> blocks;
+};
+
+struct PlacerOptions {
+  /// Simulated-annealing schedule: moves per temperature step scale with
+  /// block count; temperature decays geometrically from hot to cold.
+  double initial_temperature = 40.0;
+  double cooling = 0.9;
+  int steps = 60;
+  int moves_per_block_per_step = 12;
+  std::uint64_t seed = 1;
+};
+
+struct PlacementResult {
+  std::vector<Block> blocks;   ///< with final positions
+  long long initial_hpwl = 0;
+  long long final_hpwl = 0;
+  int overlap_violations = 0;  ///< 0 in any accepted result
+  long long moves_tried = 0;
+  long long moves_accepted = 0;
+};
+
+/// Simulated-annealing macro placer on a cols x rows gcell floorplan —
+/// the placement substrate of the macro-cell design style this router
+/// family serves (TimberWolf-era formulation: displace/swap moves, HPWL
+/// objective, hard no-overlap constraint maintained throughout).
+///
+/// Deterministic for a given seed. Throws std::invalid_argument when the
+/// blocks cannot legally exist (out of bounds, fixed blocks overlapping).
+class Placer {
+ public:
+  Placer(int cols, int rows, std::vector<Block> blocks,
+         std::vector<BlockNet> nets, PlacerOptions options = {});
+
+  PlacementResult run();
+
+  /// HPWL of the given placement under this placer's net list.
+  long long hpwl(const std::vector<Block>& blocks) const;
+
+ private:
+  bool legal(const Block& candidate, std::size_t self) const;
+  bool inside(const Block& b) const;
+
+  int cols_;
+  int rows_;
+  std::vector<Block> blocks_;
+  std::vector<BlockNet> nets_;
+  PlacerOptions options_;
+};
+
+/// Audits a placement: in-bounds, pairwise non-overlapping, fixed blocks
+/// unmoved relative to `original`. Returns violations (empty = legal).
+std::vector<std::string> verify_placement(int cols, int rows,
+                                          const std::vector<Block>& original,
+                                          const std::vector<Block>& placed);
+
+}  // namespace gridroute

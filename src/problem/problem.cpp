@@ -1,0 +1,295 @@
+#include "problem/problem.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace gridroute {
+
+Region::Region(int width, int height) {
+  bounds_ = {{0, 0}, {width - 1, height - 1}};
+  mask_.assign(static_cast<size_t>(width) * static_cast<size_t>(height), 0);
+}
+
+void Region::subtract(const Rect& r) {
+  const Rect clipped = r.intersection(bounds_);
+  if (!clipped.valid()) return;
+  for (int y = clipped.lo.y; y <= clipped.hi.y; ++y)
+    for (int x = clipped.lo.x; x <= clipped.hi.x; ++x)
+      mask_[static_cast<size_t>(index({x, y}))] |= kOutside;
+}
+
+void Region::add_obstacle(const Rect& r, Layer layer) {
+  const Rect clipped = r.intersection(bounds_);
+  if (!clipped.valid()) return;
+  const std::uint8_t bit = layer == Layer::kMetal1 ? kBlockM1 : kBlockM2;
+  for (int y = clipped.lo.y; y <= clipped.hi.y; ++y)
+    for (int x = clipped.lo.x; x <= clipped.hi.x; ++x)
+      mask_[static_cast<size_t>(index({x, y}))] |= bit;
+}
+
+void Region::add_obstacle(const Rect& r) {
+  add_obstacle(r, Layer::kMetal1);
+  add_obstacle(r, Layer::kMetal2);
+}
+
+bool Region::in_region(Point p) const {
+  if (!bounds_.contains(p)) return false;
+  return (mask_[static_cast<size_t>(index(p))] & kOutside) == 0;
+}
+
+bool Region::blocked(GridPoint g) const {
+  if (!bounds_.contains(g.pos)) return true;
+  const std::uint8_t m = mask_[static_cast<size_t>(index(g.pos))];
+  if (m & kOutside) return true;
+  return (m & (g.layer == Layer::kMetal1 ? kBlockM1 : kBlockM2)) != 0;
+}
+
+long long Region::routable_node_count() const {
+  long long n = 0;
+  for (int y = bounds_.lo.y; y <= bounds_.hi.y; ++y)
+    for (int x = bounds_.lo.x; x <= bounds_.hi.x; ++x) {
+      if (routable({{x, y}, Layer::kMetal1})) ++n;
+      if (routable({{x, y}, Layer::kMetal2})) ++n;
+    }
+  return n;
+}
+
+NetId Problem::add_net(Net net) {
+  nets_.push_back(std::move(net));
+  return static_cast<NetId>(nets_.size()) - 1;
+}
+
+NetId Problem::add_net(std::string name) {
+  Net net;
+  net.name = std::move(name);
+  return add_net(std::move(net));
+}
+
+std::vector<GridPoint> prewire_nodes(const Net& net) {
+  std::vector<GridPoint> nodes;
+  for (const Segment& seg : net.prewire) {
+    const Point step{seg.b.pos.x == seg.a.pos.x
+                         ? 0
+                         : (seg.b.pos.x > seg.a.pos.x ? 1 : -1),
+                     seg.b.pos.y == seg.a.pos.y
+                         ? 0
+                         : (seg.b.pos.y > seg.a.pos.y ? 1 : -1)};
+    Point p = seg.a.pos;
+    while (true) {
+      nodes.push_back({p, seg.a.layer});
+      if (p == seg.b.pos) break;
+      p = p + step;
+    }
+  }
+  return nodes;
+}
+
+std::vector<std::string> Problem::validate() const {
+  std::vector<std::string> issues;
+  std::map<Point, NetId> seen;  // planar position -> owning net
+  std::map<GridPoint, NetId> wire_seen;
+  for (NetId id = 0; id < net_count(); ++id) {
+    const Net& n = net(id);
+
+    // Pre-wire: axis-parallel, routable, and exclusively owned.
+    for (const Segment& seg : n.prewire)
+      if (!seg.axis_parallel())
+        issues.push_back("net '" + n.name +
+                         "': pre-wire segment is not a single-layer "
+                         "axis-parallel run");
+    for (const GridPoint& g : prewire_nodes(n)) {
+      if (!region_.routable(g)) {
+        std::ostringstream msg;
+        msg << "net '" << n.name << "': pre-wire at " << g
+            << " is outside the region or on an obstacle";
+        issues.push_back(msg.str());
+        continue;
+      }
+      auto [it, inserted] = wire_seen.emplace(g, id);
+      if (!inserted && it->second != id) {
+        std::ostringstream msg;
+        msg << "net '" << n.name << "': pre-wire at " << g
+            << " overlaps pre-wire of net '" << net(it->second).name << "'";
+        issues.push_back(msg.str());
+      }
+    }
+    for (const Point& v : n.previas) {
+      const bool m1 = wire_seen.count({v, Layer::kMetal1}) &&
+                      wire_seen.at({v, Layer::kMetal1}) == id;
+      const bool m2 = wire_seen.count({v, Layer::kMetal2}) &&
+                      wire_seen.at({v, Layer::kMetal2}) == id;
+      if (!m1 || !m2) {
+        std::ostringstream msg;
+        msg << "net '" << n.name << "': pre-via at " << v
+            << " is not anchored by pre-wire on both layers";
+        issues.push_back(msg.str());
+      }
+    }
+    if (n.fixed && n.pins.size() >= 2 && n.prewire.empty())
+      issues.push_back("net '" + n.name +
+                       "': fixed but has no pre-wire to connect its pins");
+
+    for (const Pin& pin : n.pins) {
+      std::ostringstream where;
+      where << "net '" << n.name << "' pin " << pin.pos;
+      if (!region_.in_region(pin.pos)) {
+        issues.push_back(where.str() + ": outside routing region");
+        continue;
+      }
+      const bool reachable =
+          pin.any_layer
+              ? (region_.routable({pin.pos, Layer::kMetal1}) ||
+                 region_.routable({pin.pos, Layer::kMetal2}))
+              : region_.routable({pin.pos, pin.layer});
+      if (!reachable)
+        issues.push_back(where.str() + ": on an obstructed node");
+      auto [it, inserted] = seen.emplace(pin.pos, id);
+      if (!inserted && it->second != id)
+        issues.push_back(where.str() + ": collides with a pin of net '" +
+                         net(it->second).name + "'");
+    }
+  }
+
+  // Pre-wire of one net must not bury another net's pin.
+  for (NetId id = 0; id < net_count(); ++id) {
+    for (const Pin& pin : net(id).pins) {
+      for (Layer l : {Layer::kMetal1, Layer::kMetal2}) {
+        if (!pin.any_layer && l != pin.layer) continue;
+        auto it = wire_seen.find({pin.pos, l});
+        if (it != wire_seen.end() && it->second != id) {
+          std::ostringstream msg;
+          msg << "net '" << net(it->second).name << "': pre-wire at "
+              << GridPoint{pin.pos, l} << " buries a pin of net '"
+              << net(id).name << "'";
+          issues.push_back(msg.str());
+        }
+      }
+    }
+  }
+  return issues;
+}
+
+int Problem::connection_count() const {
+  int c = 0;
+  for (const Net& n : nets_)
+    if (n.pins.size() > 1) c += static_cast<int>(n.pins.size()) - 1;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// ChannelSpec
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Leftmost/rightmost pin column of every net number appearing in a channel.
+std::map<int, std::pair<int, int>> net_spans(const ChannelSpec& c) {
+  std::map<int, std::pair<int, int>> span;
+  auto feed = [&](const std::vector<int>& row) {
+    for (int i = 0; i < static_cast<int>(row.size()); ++i) {
+      const int n = row[static_cast<size_t>(i)];
+      if (n == 0) continue;
+      auto [it, inserted] = span.emplace(n, std::pair{i, i});
+      if (!inserted) {
+        it->second.first = std::min(it->second.first, i);
+        it->second.second = std::max(it->second.second, i);
+      }
+    }
+  };
+  feed(c.top);
+  feed(c.bottom);
+  return span;
+}
+
+}  // namespace
+
+int ChannelSpec::density() const {
+  const auto spans = net_spans(*this);
+  int best = 0;
+  for (int col = 0; col < columns(); ++col) {
+    int crossing = 0;
+    for (const auto& [net, span] : spans)
+      if (span.first <= col && col <= span.second) ++crossing;
+    best = std::max(best, crossing);
+  }
+  return best;
+}
+
+std::vector<int> ChannelSpec::net_numbers() const {
+  std::set<int> nums;
+  for (int n : top)
+    if (n != 0) nums.insert(n);
+  for (int n : bottom)
+    if (n != 0) nums.insert(n);
+  return {nums.begin(), nums.end()};
+}
+
+Problem ChannelSpec::to_problem(int tracks) const {
+  const int w = columns();
+  const int h = tracks + 2;
+  Problem p{Region(w, h)};
+  std::map<int, NetId> ids;
+  auto net_for = [&](int number) {
+    auto it = ids.find(number);
+    if (it != ids.end()) return it->second;
+    Net n;
+    n.name = "n";
+    n.name += std::to_string(number);
+    const NetId id = p.add_net(std::move(n));
+    ids.emplace(number, id);
+    return id;
+  };
+  for (int col = 0; col < w; ++col) {
+    if (const int n = bottom[static_cast<size_t>(col)]; n != 0)
+      p.net(net_for(n)).pins.push_back({{col, 0}, Layer::kMetal2, false});
+    if (const int n = top[static_cast<size_t>(col)]; n != 0)
+      p.net(net_for(n)).pins.push_back({{col, h - 1}, Layer::kMetal2, false});
+  }
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// SwitchboxSpec
+// ---------------------------------------------------------------------------
+
+std::vector<int> SwitchboxSpec::net_numbers() const {
+  std::set<int> nums;
+  for (const auto* side : {&top, &bottom, &left, &right})
+    for (int n : *side)
+      if (n != 0) nums.insert(n);
+  return {nums.begin(), nums.end()};
+}
+
+Problem SwitchboxSpec::to_problem() const {
+  const int w = width();
+  const int h = height();
+  Problem p{Region(w, h)};
+  std::map<int, NetId> ids;
+  auto net_for = [&](int number) {
+    auto it = ids.find(number);
+    if (it != ids.end()) return it->second;
+    Net n;
+    n.name = "n";
+    n.name += std::to_string(number);
+    const NetId id = p.add_net(std::move(n));
+    ids.emplace(number, id);
+    return id;
+  };
+  auto add_pin = [&](int number, Point pos) {
+    if (number == 0) return;
+    p.net(net_for(number)).pins.push_back({pos, Layer::kMetal1, true});
+  };
+  for (int col = 0; col < w; ++col) {
+    add_pin(bottom[static_cast<size_t>(col)], {col, 0});
+    add_pin(top[static_cast<size_t>(col)], {col, h - 1});
+  }
+  for (int row = 0; row < h; ++row) {
+    add_pin(left[static_cast<size_t>(row)], {0, row});
+    add_pin(right[static_cast<size_t>(row)], {w - 1, row});
+  }
+  return p;
+}
+
+}  // namespace gridroute

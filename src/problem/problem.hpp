@@ -1,0 +1,183 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+
+namespace gridroute {
+
+/// Nets are referenced by dense indices into Problem::nets().
+using NetId = int;
+constexpr NetId kNoNet = -1;
+
+/// A terminal of a net. Pins may be committed to one layer (typical for
+/// boundary terminals of a channel) or connectable on either layer
+/// (typical for pins inside a macro-cell region).
+struct Pin {
+  Point pos;
+  Layer layer = Layer::kMetal1;
+  bool any_layer = false;
+
+  friend bool operator==(const Pin&, const Pin&) = default;
+};
+
+struct Net {
+  std::string name;
+  std::vector<Pin> pins;
+
+  /// Wire the net already owns when the problem is posed ("partially routed
+  /// areas"): axis-parallel single-layer segments, applied to the grid
+  /// before routing starts. Pre-wire is permanent — the router extends it,
+  /// other nets can neither cross nor displace it, and it survives rip-up
+  /// of its own net.
+  std::vector<Segment> prewire;
+  /// Vias already present in the pre-wire (the net must own both layers of
+  /// each listed cell through `prewire`).
+  std::vector<Point> previas;
+  /// A fixed net is entirely pre-routed (power strap, previously committed
+  /// net): the router never routes, pushes, or rips it. Its pre-wire must
+  /// already connect its pins — the verifier audits that like any net.
+  bool fixed = false;
+};
+
+/// The routing region: a rectilinear area carved out of a bounding
+/// rectangle, with optional per-layer obstructions of any rectilinear shape.
+/// This is the "very general region" the routers accept — boundaries given
+/// by rectilinear chains, obstructions of any shape and size, pins on the
+/// boundary or inside.
+class Region {
+ public:
+  Region() = default;
+  /// A full rectangular region of the given cell dimensions, origin (0,0).
+  Region(int width, int height);
+
+  const Rect& bounds() const { return bounds_; }
+  int width() const { return bounds_.width(); }
+  int height() const { return bounds_.height(); }
+
+  /// Removes a rectangle from the region (carves a notch / L-shape etc.).
+  /// Cells outside the region are unroutable on every layer.
+  void subtract(const Rect& r);
+
+  /// Blocks a rectangle on one layer only (e.g. a pre-routed power strap).
+  void add_obstacle(const Rect& r, Layer layer);
+
+  /// Blocks a rectangle on both layers (e.g. a macro-cell the wires must
+  /// route around).
+  void add_obstacle(const Rect& r);
+
+  bool in_bounds(Point p) const { return bounds_.contains(p); }
+  /// True when p lies inside the rectilinear region outline.
+  bool in_region(Point p) const;
+  /// True when the node cannot carry wire: outside region or obstructed.
+  bool blocked(GridPoint g) const;
+  /// True when wire may be placed at the node.
+  bool routable(GridPoint g) const { return !blocked(g); }
+
+  /// Number of routable nodes summed over both layers.
+  long long routable_node_count() const;
+
+ private:
+  int index(Point p) const {
+    return (p.y - bounds_.lo.y) * bounds_.width() + (p.x - bounds_.lo.x);
+  }
+
+  static constexpr std::uint8_t kBlockM1 = 1;
+  static constexpr std::uint8_t kBlockM2 = 2;
+  static constexpr std::uint8_t kOutside = 4;
+
+  Rect bounds_{{0, 0}, {-1, -1}};  // !valid() until constructed with a size
+  std::vector<std::uint8_t> mask_;
+};
+
+/// Expands a net's pre-wire segments into the grid nodes they cover
+/// (inclusive of both segment endpoints, duplicates possible at junctions).
+std::vector<GridPoint> prewire_nodes(const Net& net);
+
+/// A complete detailed-routing problem: a region plus the nets to connect.
+class Problem {
+ public:
+  Problem() = default;
+  explicit Problem(Region region) : region_(std::move(region)) {}
+
+  const Region& region() const { return region_; }
+  Region& region() { return region_; }
+
+  /// Adds a net and returns its id. Empty and single-pin nets are legal
+  /// (they route trivially) so callers can translate sparse netlists 1:1.
+  NetId add_net(Net net);
+  /// Convenience: adds an empty net with just a name.
+  NetId add_net(std::string name);
+
+  int net_count() const { return static_cast<int>(nets_.size()); }
+  const Net& net(NetId id) const { return nets_[static_cast<size_t>(id)]; }
+  Net& net(NetId id) { return nets_[static_cast<size_t>(id)]; }
+  const std::vector<Net>& nets() const { return nets_; }
+
+  /// Validates structural sanity. Returns a list of human-readable
+  /// violations; empty means the problem is well-formed. Checks: every pin
+  /// inside the region and not on an obstacle; no two pins of *different*
+  /// nets on the same grid node (same-net duplicates are allowed).
+  std::vector<std::string> validate() const;
+
+  /// Sum over nets of (pin_count - 1): the number of point-to-point
+  /// connections a router must realize.
+  int connection_count() const;
+
+ private:
+  Region region_;
+  std::vector<Net> nets_;
+};
+
+// ---------------------------------------------------------------------------
+// Channel problems
+// ---------------------------------------------------------------------------
+
+/// Classic channel-routing instance: two facing rows of terminals.
+/// top[i] / bottom[i] give the net number at column i, 0 meaning no pin.
+/// Net numbers are arbitrary positive ints (as in the published benchmark
+/// tables); to_problem() maps them densely onto NetIds.
+struct ChannelSpec {
+  std::vector<int> top;
+  std::vector<int> bottom;
+
+  int columns() const { return static_cast<int>(top.size()); }
+
+  /// Lower bound on tracks: the channel density (max over columns of the
+  /// number of nets whose pin interval spans that column boundary).
+  int density() const;
+
+  /// Distinct non-zero net numbers.
+  std::vector<int> net_numbers() const;
+
+  /// Materializes a grid problem with the given number of routing tracks.
+  /// Grid: columns() wide, tracks + 2 tall; row 0 carries the bottom pins,
+  /// row tracks+1 the top pins, rows 1..tracks are the routing tracks.
+  /// Pins are committed to METAL2 (the vertical layer), the convention of
+  /// two-layer HV channel routers.
+  Problem to_problem(int tracks) const;
+};
+
+/// Switchbox instance: terminals on all four sides of a fixed rectangle.
+/// left[i]/right[i] index rows bottom-to-top; top[i]/bottom[i] index columns
+/// left-to-right. 0 = no pin. The routing area is fixed (that is what makes
+/// switchboxes hard: no extra tracks can be added).
+struct SwitchboxSpec {
+  std::vector<int> top;     // size = width
+  std::vector<int> bottom;  // size = width
+  std::vector<int> left;    // size = height
+  std::vector<int> right;   // size = height
+
+  int width() const { return static_cast<int>(top.size()); }
+  int height() const { return static_cast<int>(left.size()); }
+
+  std::vector<int> net_numbers() const;
+
+  /// Materializes the grid problem. The grid is width() x height(); side
+  /// pins sit on the boundary cells of that grid. Pins are any-layer.
+  Problem to_problem() const;
+};
+
+}  // namespace gridroute

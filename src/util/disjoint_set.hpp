@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace gridroute {
+
+/// Union-find with path halving and union by size. Used by the verifier to
+/// prove net connectivity and by the maze substrate to build net spanning
+/// trees.
+class DisjointSet {
+ public:
+  explicit DisjointSet(std::size_t n = 0) { reset(n); }
+
+  void reset(std::size_t n) {
+    parent_.resize(n);
+    std::iota(parent_.begin(), parent_.end(), 0);
+    size_.assign(n, 1);
+    component_count_ = n;
+  }
+
+  std::size_t size() const { return parent_.size(); }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets containing a and b; returns true if they were distinct.
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    --component_count_;
+    return true;
+  }
+
+  bool connected(std::size_t a, std::size_t b) { return find(a) == find(b); }
+
+  /// Number of elements in the set containing x.
+  std::size_t component_size(std::size_t x) { return size_[find(x)]; }
+
+  /// Total number of disjoint components.
+  std::size_t component_count() const { return component_count_; }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t component_count_ = 0;
+};
+
+}  // namespace gridroute

@@ -1,0 +1,169 @@
+#include "verify/verify.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/disjoint_set.hpp"
+
+namespace gridroute {
+
+namespace {
+
+/// True when the pin is covered by wire of its net in the grid.
+bool pin_covered(const RoutingGrid& grid, const Pin& pin, NetId id) {
+  if (pin.any_layer)
+    return grid.owner({pin.pos, Layer::kMetal1}) == id ||
+           grid.owner({pin.pos, Layer::kMetal2}) == id;
+  return grid.owner({pin.pos, pin.layer}) == id;
+}
+
+/// Union-find over the net's nodes: planar neighbours on the same layer are
+/// merged; the two layers of a cell merge only across a via owned by the
+/// net. Returns true when all covered pins end up in one component.
+bool single_component_covering_pins(const RoutingGrid& grid, const Net& net,
+                                    NetId id) {
+  const auto& nodes = grid.net_nodes(id);
+  if (nodes.empty()) return net.pins.size() < 2;
+
+  std::unordered_map<GridPoint, std::size_t> index;
+  index.reserve(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) index.emplace(nodes[i], i);
+
+  DisjointSet ds(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const GridPoint g = nodes[i];
+    // Right and up neighbours suffice: the left/down pairs are found when
+    // those nodes run the same scan.
+    for (const Point d : {Point{1, 0}, Point{0, 1}}) {
+      auto it = index.find({g.pos + d, g.layer});
+      if (it != index.end()) ds.unite(i, it->second);
+    }
+    if (g.layer == Layer::kMetal1 && grid.via_owner(g.pos) == id) {
+      auto it = index.find({g.pos, Layer::kMetal2});
+      if (it != index.end()) ds.unite(i, it->second);
+    }
+  }
+
+  // All pins must fall in one component.
+  std::size_t root = SIZE_MAX;
+  for (const Pin& pin : net.pins) {
+    std::size_t pin_node = SIZE_MAX;
+    if (pin.any_layer) {
+      for (Layer l : {Layer::kMetal1, Layer::kMetal2}) {
+        auto it = index.find({pin.pos, l});
+        if (it != index.end()) {
+          pin_node = it->second;
+          break;
+        }
+      }
+    } else {
+      auto it = index.find({pin.pos, pin.layer});
+      if (it != index.end()) pin_node = it->second;
+    }
+    if (pin_node == SIZE_MAX) return false;  // pin not on wire at all
+    const std::size_t r = ds.find(pin_node);
+    if (root == SIZE_MAX) root = r;
+    if (r != root) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool net_routed_ok(const Problem& problem, const RoutingGrid& grid,
+                   NetId id) {
+  const Net& net = problem.net(id);
+  if (net.pins.size() < 2) return true;
+  for (const Pin& pin : net.pins)
+    if (!pin_covered(grid, pin, id)) return false;
+  return single_component_covering_pins(grid, net, id);
+}
+
+VerifyReport verify(const Problem& problem, const RoutingGrid& grid) {
+  VerifyReport report;
+  const Region& region = problem.region();
+  std::ostringstream msg;
+  auto flag = [&report, &msg]() {
+    report.violations.push_back(msg.str());
+    msg.str({});
+  };
+
+  // Pin exclusivity map, rebuilt independently of the router's PinBlocks.
+  std::unordered_map<GridPoint, NetId> reserved;
+  for (NetId id = 0; id < problem.net_count(); ++id)
+    for (const Pin& pin : problem.net(id).pins) {
+      if (pin.any_layer) {
+        reserved[{pin.pos, Layer::kMetal1}] = id;
+        reserved[{pin.pos, Layer::kMetal2}] = id;
+      } else {
+        reserved[{pin.pos, pin.layer}] = id;
+      }
+    }
+
+  for (NetId id = 0; id < problem.net_count(); ++id) {
+    const Net& net = problem.net(id);
+    NetReport nr;
+    nr.id = id;
+    nr.wire_nodes = grid.node_count(id);
+    nr.vias = grid.via_count(id);
+    report.total_wire_nodes += nr.wire_nodes;
+    report.total_vias += nr.vias;
+
+    for (const GridPoint& g : grid.net_nodes(id)) {
+      if (!region.routable(g)) {
+        msg << "net '" << net.name << "': wire at " << g
+            << " is outside the region or on an obstacle";
+        flag();
+      }
+      if (grid.owner(g) != id) {
+        msg << "net '" << net.name << "': node list and owner map disagree at "
+            << g;
+        flag();
+      }
+      if (auto it = reserved.find(g); it != reserved.end() &&
+                                      it->second != id) {
+        msg << "net '" << net.name << "': wire at " << g
+            << " buries a pin of net '" << problem.net(it->second).name
+            << "'";
+        flag();
+      }
+    }
+
+    nr.pins_covered = true;
+    for (const Pin& pin : net.pins)
+      if (!pin_covered(grid, pin, id)) {
+        nr.pins_covered = false;
+        break;
+      }
+    nr.connected =
+        nr.pins_covered && single_component_covering_pins(grid, net, id);
+
+    if (net.pins.size() >= 2) {
+      ++report.routable_net_count;
+      if (nr.ok()) ++report.completed_net_count;
+    } else {
+      nr.pins_covered = true;
+      nr.connected = true;
+    }
+    report.nets.push_back(nr);
+  }
+
+  // Via legality over the whole plane.
+  const Rect& b = region.bounds();
+  for (int y = b.lo.y; y <= b.hi.y; ++y)
+    for (int x = b.lo.x; x <= b.hi.x; ++x) {
+      const NetId v = grid.via_owner({x, y});
+      if (v == kNoNet) continue;
+      if (grid.owner({{x, y}, Layer::kMetal1}) != v ||
+          grid.owner({{x, y}, Layer::kMetal2}) != v) {
+        msg << "via at (" << x << ',' << y
+            << ") is not anchored by its net on both layers";
+        flag();
+      }
+    }
+
+  return report;
+}
+
+}  // namespace gridroute

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "grid/routing_grid.hpp"
+#include "problem/problem.hpp"
+
+namespace gridroute {
+
+/// Per-net verification outcome.
+struct NetReport {
+  NetId id = kNoNet;
+  bool pins_covered = false;  ///< every pin lands on wire of this net
+  bool connected = false;     ///< wire + vias form one electrical component
+  int wire_nodes = 0;
+  int vias = 0;
+
+  /// Routed-and-correct: what "completed" means in every table.
+  bool ok() const { return pins_covered && connected; }
+};
+
+/// Full independent audit of a grid state against its problem. The verifier
+/// shares no code with the routers: it re-derives connectivity from raw
+/// occupancy with a union-find, so router bugs cannot vouch for themselves.
+struct VerifyReport {
+  std::vector<std::string> violations;  ///< DRC-style rule breaks
+  std::vector<NetReport> nets;
+
+  int routable_net_count = 0;  ///< nets with >= 2 pins
+  int completed_net_count = 0;
+  int total_wire_nodes = 0;
+  int total_vias = 0;
+
+  bool drc_clean() const { return violations.empty(); }
+  /// Everything routed and clean.
+  bool all_ok() const {
+    return drc_clean() && completed_net_count == routable_net_count;
+  }
+  /// Fraction of multi-pin nets completed, in [0, 1].
+  double completion_rate() const {
+    return routable_net_count == 0
+               ? 1.0
+               : static_cast<double>(completed_net_count) /
+                     routable_net_count;
+  }
+};
+
+/// Audits the grid: region/obstacle violations, via legality, pin
+/// exclusivity, pin coverage, and per-net single-component connectivity.
+VerifyReport verify(const Problem& problem, const RoutingGrid& grid);
+
+/// True when the given net, in the current grid state, covers all its pins
+/// with a single connected component. The fast path the router itself uses
+/// after each repair.
+bool net_routed_ok(const Problem& problem, const RoutingGrid& grid, NetId id);
+
+}  // namespace gridroute

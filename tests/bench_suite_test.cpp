@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bench_suite/suite.hpp"
+#include "channel/channel_analysis.hpp"
+
+namespace gridroute {
+namespace {
+
+TEST(HandInstances, SimpleChannelShape) {
+  const ChannelSpec c = suite::simple_channel();
+  EXPECT_EQ(c.columns(), 6);
+  EXPECT_EQ(c.density(), 2);
+  EXPECT_FALSE(ChannelAnalysis(c).vcg_has_cycle());
+  EXPECT_TRUE(c.to_problem(2).validate().empty());
+}
+
+TEST(HandInstances, CycleChannelReallyCycles) {
+  EXPECT_TRUE(ChannelAnalysis(suite::vcg_cycle_channel()).vcg_has_cycle());
+}
+
+TEST(HandInstances, ChainChannelCyclesOnlyAtNetLevel) {
+  // The whole point of this instance: net-level VCG has a cycle, but the
+  // middle pin of net 1 lets doglegs break it (see channel_test).
+  const ChannelSpec c = suite::constraint_chain_channel();
+  EXPECT_TRUE(ChannelAnalysis(c).vcg_has_cycle());
+  // Net 1 has three pins, net 2 has two.
+  const Problem p = c.to_problem(2);
+  int three_pin = 0, two_pin = 0;
+  for (const Net& n : p.nets()) {
+    if (n.pins.size() == 3) ++three_pin;
+    if (n.pins.size() == 2) ++two_pin;
+  }
+  EXPECT_EQ(three_pin, 1);
+  EXPECT_EQ(two_pin, 1);
+}
+
+TEST(HandInstances, SwitchboxesValidate) {
+  EXPECT_TRUE(suite::cross_switchbox().to_problem().validate().empty());
+  EXPECT_TRUE(suite::dense_switchbox().to_problem().validate().empty());
+}
+
+TEST(DeutschClassGenerator, Deterministic) {
+  const ChannelSpec a = suite::deutsch_class_channel(7, 60, 8);
+  const ChannelSpec b = suite::deutsch_class_channel(7, 60, 8);
+  EXPECT_EQ(a.top, b.top);
+  EXPECT_EQ(a.bottom, b.bottom);
+  const ChannelSpec c = suite::deutsch_class_channel(8, 60, 8);
+  EXPECT_NE(a.top, c.top);  // different seed, different instance
+}
+
+TEST(DeutschClassGenerator, HitsTargetShape) {
+  const ChannelSpec spec = suite::deutsch_class_channel(1976, 174, 19);
+  EXPECT_EQ(spec.columns(), 174);
+  const int density = ChannelAnalysis(spec).density();
+  EXPECT_GE(density, 16);  // close to the target of 19...
+  EXPECT_LE(density, 19);  // ...and never above it (lane packing bound)
+}
+
+TEST(DeutschClassGenerator, DensityBoundedByLanes) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const ChannelSpec spec = suite::deutsch_class_channel(seed, 60, 7);
+    EXPECT_LE(ChannelAnalysis(spec).density(), 7) << "seed " << seed;
+  }
+}
+
+TEST(DeutschClassGenerator, ProblemsValidate) {
+  const ChannelSpec spec = suite::deutsch_class_channel(123, 100, 10);
+  EXPECT_TRUE(spec.to_problem(12).validate().empty());
+}
+
+TEST(DeutschClassGenerator, HasMultiTerminalNets) {
+  const ChannelSpec spec = suite::deutsch_class_channel(1976, 174, 19);
+  const Problem p = spec.to_problem(19);
+  int multi = 0;
+  for (const Net& n : p.nets())
+    if (n.pins.size() > 2) ++multi;
+  EXPECT_GT(multi, 0);
+}
+
+TEST(BursteinClassGenerator, ShapeAndValidity) {
+  const SwitchboxSpec s = suite::burstein_class_switchbox(1983);
+  EXPECT_EQ(s.width(), 23);
+  EXPECT_EQ(s.height(), 15);
+  EXPECT_EQ(s.net_numbers().size(), 24u);
+  EXPECT_TRUE(s.to_problem().validate().empty());
+}
+
+TEST(BursteinClassGenerator, NearSaturatedBoundary) {
+  const SwitchboxSpec s = suite::burstein_class_switchbox(1983);
+  int pins = 0;
+  for (const auto* side : {&s.top, &s.bottom, &s.left, &s.right})
+    for (int v : *side)
+      if (v != 0) ++pins;
+  // 24 nets with 2+3+4 pin mix: 72 of 98 distinct slots.
+  EXPECT_GE(pins, 60);
+}
+
+TEST(BursteinClassGenerator, CornersNeverDoubleBooked) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const SwitchboxSpec s = suite::burstein_class_switchbox(seed);
+    EXPECT_EQ(s.left.front(), 0) << seed;
+    EXPECT_EQ(s.left.back(), 0) << seed;
+    EXPECT_EQ(s.right.front(), 0) << seed;
+    EXPECT_EQ(s.right.back(), 0) << seed;
+    EXPECT_TRUE(s.to_problem().validate().empty()) << seed;
+  }
+}
+
+TEST(RandomSwitchbox, FillControlsPinCount) {
+  const SwitchboxSpec sparse = suite::random_switchbox(5, 16, 12, 20, 4, 0.3);
+  const SwitchboxSpec full = suite::random_switchbox(5, 16, 12, 20, 4, 0.9);
+  auto count = [](const SwitchboxSpec& s) {
+    int pins = 0;
+    for (const auto* side : {&s.top, &s.bottom, &s.left, &s.right})
+      for (int v : *side)
+        if (v != 0) ++pins;
+    return pins;
+  };
+  EXPECT_LT(count(sparse), count(full));
+  EXPECT_TRUE(sparse.to_problem().validate().empty());
+  EXPECT_TRUE(full.to_problem().validate().empty());
+}
+
+TEST(RandomSwitchbox, EveryNetHasAtLeastTwoPins) {
+  const SwitchboxSpec s = suite::random_switchbox(9, 14, 10, 12, 4, 0.6);
+  const Problem p = s.to_problem();
+  for (const Net& n : p.nets()) EXPECT_GE(n.pins.size(), 2u) << n.name;
+}
+
+TEST(MacrocellRegion, ValidatesAndHasIrregularShape) {
+  const Problem p = suite::macrocell_region(7);
+  EXPECT_TRUE(p.validate().empty());
+  EXPECT_GT(p.net_count(), 10);
+  // The notch really is outside the region.
+  EXPECT_FALSE(p.region().in_region({0, p.region().height() - 1}));
+  // Obstacles really block.
+  long long nodes = p.region().routable_node_count();
+  EXPECT_LT(nodes, 2LL * p.region().width() * p.region().height());
+}
+
+TEST(MacrocellRegion, Deterministic) {
+  const Problem a = suite::macrocell_region(11);
+  const Problem b = suite::macrocell_region(11);
+  ASSERT_EQ(a.net_count(), b.net_count());
+  for (NetId id = 0; id < a.net_count(); ++id)
+    EXPECT_EQ(a.net(id).pins, b.net(id).pins);
+}
+
+TEST(Suites, NonEmptyAndUniquelyNamed) {
+  std::set<std::string> channel_names;
+  for (const auto& [name, spec] : suite::channel_suite()) {
+    EXPECT_TRUE(channel_names.insert(name).second) << name;
+    EXPECT_GT(spec.columns(), 0);
+  }
+  EXPECT_GE(channel_names.size(), 6u);
+
+  std::set<std::string> box_names;
+  for (const auto& [name, spec] : suite::switchbox_suite()) {
+    EXPECT_TRUE(box_names.insert(name).second) << name;
+    EXPECT_TRUE(spec.to_problem().validate().empty()) << name;
+  }
+  EXPECT_GE(box_names.size(), 6u);
+}
+
+}  // namespace
+}  // namespace gridroute

@@ -1,0 +1,398 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bench_suite/suite.hpp"
+#include "channel/channel_analysis.hpp"
+#include "channel/channel_incremental.hpp"
+#include "channel/channel_routers.hpp"
+#include "verify/verify.hpp"
+
+namespace gridroute {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Analysis
+// ---------------------------------------------------------------------------
+
+TEST(ChannelAnalysis, IntervalsSortedByLeftEdge) {
+  const ChannelSpec spec{{2, 0, 1, 0, 1}, {0, 2, 0, 0, 0}};
+  const ChannelAnalysis a(spec);
+  ASSERT_EQ(a.intervals().size(), 2u);
+  EXPECT_EQ(a.intervals()[0].net, 2);
+  EXPECT_EQ(a.intervals()[0].left, 0);
+  EXPECT_EQ(a.intervals()[0].right, 1);
+  EXPECT_EQ(a.intervals()[1].net, 1);
+  EXPECT_EQ(a.intervals()[1].left, 2);
+  EXPECT_EQ(a.intervals()[1].right, 4);
+  EXPECT_EQ(a.interval_of(1).left, 2);
+}
+
+TEST(ChannelAnalysis, ColumnDensityProfile) {
+  const ChannelSpec spec{{1, 2, 3, 1, 0}, {0, 0, 2, 0, 3}};
+  const ChannelAnalysis a(spec);
+  EXPECT_EQ(a.column_density(), (std::vector<int>{1, 2, 3, 2, 1}));
+  EXPECT_EQ(a.density(), 3);
+  EXPECT_EQ(a.density(), spec.density());  // two implementations agree
+}
+
+TEST(ChannelAnalysis, VcgEdgesFromSharedColumns) {
+  const ChannelSpec spec{{1, 0, 2}, {2, 0, 1}};
+  const ChannelAnalysis a(spec);
+  ASSERT_TRUE(a.vcg().contains(1));
+  EXPECT_EQ(a.vcg().at(1), std::vector<int>{2});
+  ASSERT_TRUE(a.vcg().contains(2));
+  EXPECT_EQ(a.vcg().at(2), std::vector<int>{1});
+  EXPECT_EQ(a.must_be_above(2), std::vector<int>{1});
+  EXPECT_TRUE(a.vcg_has_cycle());
+  EXPECT_EQ(a.vcg_longest_path(), -1);
+}
+
+TEST(ChannelAnalysis, SameNetColumnMakesNoConstraint) {
+  const ChannelSpec spec{{1, 2}, {1, 0}};
+  const ChannelAnalysis a(spec);
+  EXPECT_TRUE(a.vcg().empty());
+  EXPECT_FALSE(a.vcg_has_cycle());
+  EXPECT_EQ(a.vcg_longest_path(), 0);
+}
+
+TEST(ChannelAnalysis, ChainLengthMeasured) {
+  // 1 above 2 above 3: chain of two edges.
+  const ChannelSpec spec{{1, 2, 0}, {2, 3, 0}};
+  const ChannelAnalysis a(spec);
+  EXPECT_FALSE(a.vcg_has_cycle());
+  EXPECT_EQ(a.vcg_longest_path(), 2);
+}
+
+TEST(ChannelAnalysis, HandInstancesHaveDocumentedShape) {
+  EXPECT_FALSE(ChannelAnalysis(suite::simple_channel()).vcg_has_cycle());
+  EXPECT_EQ(ChannelAnalysis(suite::simple_channel()).density(), 2);
+  EXPECT_TRUE(ChannelAnalysis(suite::vcg_cycle_channel()).vcg_has_cycle());
+  EXPECT_TRUE(
+      ChannelAnalysis(suite::constraint_chain_channel()).vcg_has_cycle());
+}
+
+TEST(ChannelZones, SingleNetSingleZone) {
+  const ChannelSpec spec{{1, 0, 1}, {0, 0, 0}};
+  const auto zones = ChannelAnalysis(spec).zones();
+  ASSERT_EQ(zones.size(), 1u);
+  EXPECT_EQ(zones[0].nets, std::vector<int>{1});
+  EXPECT_EQ(zones[0].column_lo, 0);
+  EXPECT_EQ(zones[0].column_hi, 2);
+}
+
+TEST(ChannelZones, MaximalCliquesOnly) {
+  // A[0,5], B[0,1], C[3,5]: cliques {A,B} and {A,C}; the middle column
+  // where only A lives must not become its own zone.
+  const ChannelSpec spec{{1, 2, 0, 3, 0, 1}, {2, 0, 0, 0, 3, 0}};
+  const auto zones = ChannelAnalysis(spec).zones();
+  ASSERT_EQ(zones.size(), 2u);
+  EXPECT_EQ(zones[0].nets, (std::vector<int>{1, 2}));
+  EXPECT_EQ(zones[1].nets, (std::vector<int>{1, 3}));
+  // The columns partition the busy span.
+  EXPECT_EQ(zones[0].column_lo, 0);
+  EXPECT_EQ(zones[1].column_hi, 5);
+}
+
+TEST(ChannelZones, TrailingSubsetFoldsIntoPreviousZone) {
+  // A[0,5], B[0,1]: after B ends, {A} alone is not a new maximal clique.
+  const ChannelSpec spec{{1, 2, 0, 0, 0, 1}, {2, 0, 0, 0, 0, 0}};
+  const auto zones = ChannelAnalysis(spec).zones();
+  ASSERT_EQ(zones.size(), 1u);
+  EXPECT_EQ(zones[0].nets, (std::vector<int>{1, 2}));
+  EXPECT_EQ(zones[0].column_hi, 5);
+}
+
+TEST(ChannelZones, GapSplitsZones) {
+  const ChannelSpec spec{{1, 1, 0, 2, 2}, {0, 0, 0, 0, 0}};
+  const auto zones = ChannelAnalysis(spec).zones();
+  ASSERT_EQ(zones.size(), 2u);
+  EXPECT_EQ(zones[0].nets, std::vector<int>{1});
+  EXPECT_EQ(zones[1].nets, std::vector<int>{2});
+  EXPECT_EQ(zones[1].column_lo, 3);
+}
+
+TEST(ChannelZones, LargestZoneEqualsDensity) {
+  for (const auto& [name, spec] :
+       std::vector<suite::NamedChannel>{suite::channel_suite()}) {
+    const ChannelAnalysis analysis(spec);
+    std::size_t largest = 0;
+    std::set<int> covered;
+    for (const auto& z : analysis.zones()) {
+      largest = std::max(largest, z.nets.size());
+      covered.insert(z.nets.begin(), z.nets.end());
+    }
+    EXPECT_EQ(static_cast<int>(largest), analysis.density()) << name;
+    // Every net shows up in some zone.
+    EXPECT_EQ(covered.size(), analysis.intervals().size()) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Left-Edge
+// ---------------------------------------------------------------------------
+
+TEST(LeftEdge, RoutesSimpleChannelInDensity) {
+  const ChannelSpec spec = suite::simple_channel();
+  const ChannelResult res = route_left_edge(spec);
+  ASSERT_TRUE(res.success);
+  EXPECT_EQ(res.tracks(), ChannelAnalysis(spec).density());
+  RealizedChannel real = realize(spec, res.solution);
+  EXPECT_TRUE(verify(real.problem, real.grid).all_ok());
+}
+
+TEST(LeftEdge, FailsOnCycleWithReason) {
+  const ChannelResult res = route_left_edge(suite::vcg_cycle_channel());
+  EXPECT_FALSE(res.success);
+  EXPECT_NE(res.reason.find("cycle"), std::string::npos);
+}
+
+TEST(LeftEdge, RespectsVerticalConstraints) {
+  // 1 must be above 2 (column 1).
+  const ChannelSpec spec{{0, 1, 1, 0}, {2, 2, 0, 0}};
+  const ChannelResult res = route_left_edge(spec);
+  ASSERT_TRUE(res.success);
+  int row1 = -1, row2 = -1;
+  for (const HSeg& h : res.solution.horizontals) {
+    if (h.net == 1) row1 = h.row;
+    if (h.net == 2) row2 = h.row;
+  }
+  EXPECT_GT(row1, row2);
+  RealizedChannel real = realize(spec, res.solution);
+  EXPECT_TRUE(verify(real.problem, real.grid).all_ok());
+}
+
+TEST(LeftEdge, MergesDisjointIntervalsOnOneTrack) {
+  // Two non-overlapping nets without constraints share a track.
+  const ChannelSpec spec{{1, 1, 0, 2, 2}, {0, 0, 0, 0, 0}};
+  const ChannelResult res = route_left_edge(spec);
+  ASSERT_TRUE(res.success);
+  EXPECT_EQ(res.tracks(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Dogleg
+// ---------------------------------------------------------------------------
+
+TEST(Dogleg, BreaksCycleLeftEdgeCannot) {
+  const ChannelSpec spec = suite::constraint_chain_channel();
+  EXPECT_FALSE(route_left_edge(spec).success);
+  const ChannelResult res = route_dogleg(spec);
+  ASSERT_TRUE(res.success) << res.reason;
+  RealizedChannel real = realize(spec, res.solution);
+  EXPECT_TRUE(verify(real.problem, real.grid).all_ok());
+}
+
+TEST(Dogleg, StillFailsOnTwoPinCycle) {
+  // Doglegs split nets at pins; a 2-pin cycle offers no split point.
+  const ChannelResult res = route_dogleg(suite::vcg_cycle_channel());
+  EXPECT_FALSE(res.success);
+}
+
+TEST(Dogleg, MatchesLeftEdgeOnEasyChannel) {
+  const ChannelSpec spec = suite::simple_channel();
+  const ChannelResult lea = route_left_edge(spec);
+  const ChannelResult dog = route_dogleg(spec);
+  ASSERT_TRUE(lea.success);
+  ASSERT_TRUE(dog.success);
+  EXPECT_LE(dog.tracks(), lea.tracks() + 1);
+  RealizedChannel real = realize(spec, dog.solution);
+  EXPECT_TRUE(verify(real.problem, real.grid).all_ok());
+}
+
+TEST(Dogleg, SameNetBothSidesColumn) {
+  const ChannelSpec spec{{1, 2, 1}, {1, 0, 2}};
+  const ChannelResult res = route_dogleg(spec);
+  ASSERT_TRUE(res.success) << res.reason;
+  RealizedChannel real = realize(spec, res.solution);
+  EXPECT_TRUE(verify(real.problem, real.grid).all_ok());
+}
+
+// ---------------------------------------------------------------------------
+// Yoshimura-Kuh
+// ---------------------------------------------------------------------------
+
+TEST(YoshimuraKuh, RoutesSimpleChannelInDensity) {
+  const ChannelSpec spec = suite::simple_channel();
+  const ChannelResult res = route_yoshimura_kuh(spec);
+  ASSERT_TRUE(res.success) << res.reason;
+  EXPECT_EQ(res.tracks(), ChannelAnalysis(spec).density());
+  RealizedChannel real = realize(spec, res.solution);
+  EXPECT_TRUE(verify(real.problem, real.grid).all_ok());
+}
+
+TEST(YoshimuraKuh, FailsOnCycleWithReason) {
+  const ChannelResult res = route_yoshimura_kuh(suite::vcg_cycle_channel());
+  EXPECT_FALSE(res.success);
+  EXPECT_NE(res.reason.find("cycle"), std::string::npos);
+}
+
+TEST(YoshimuraKuh, MergesDisjointNetsOntoOneTrack) {
+  // Three chained disjoint nets with no constraints: one track suffices.
+  const ChannelSpec spec{{1, 1, 0, 2, 2, 0, 3, 3}, {0, 0, 0, 0, 0, 0, 0, 0}};
+  const ChannelResult res = route_yoshimura_kuh(spec);
+  ASSERT_TRUE(res.success) << res.reason;
+  EXPECT_EQ(res.tracks(), 1);
+}
+
+TEST(YoshimuraKuh, NeverWorseThanOneTrackPerNet) {
+  for (const auto& [name, spec] : suite::channel_suite()) {
+    const ChannelResult yk = route_yoshimura_kuh(spec);
+    const ChannelResult lea = route_left_edge(spec);
+    if (!yk.success) {
+      EXPECT_FALSE(lea.success) << name;  // both die on cycles only
+      continue;
+    }
+    EXPECT_LE(yk.tracks(),
+              static_cast<int>(ChannelAnalysis(spec).intervals().size()))
+        << name;
+    RealizedChannel real = realize(spec, yk.solution);
+    EXPECT_TRUE(verify(real.problem, real.grid).all_ok()) << name;
+  }
+}
+
+TEST(YoshimuraKuh, RespectsConstraintsAcrossMerges) {
+  // 1 above 2 at col 0; net 3 disjoint from both, mergeable with either.
+  const ChannelSpec spec{{1, 1, 0, 3, 0}, {2, 2, 0, 0, 3}};
+  const ChannelResult res = route_yoshimura_kuh(spec);
+  ASSERT_TRUE(res.success) << res.reason;
+  RealizedChannel real = realize(spec, res.solution);
+  EXPECT_TRUE(verify(real.problem, real.grid).all_ok());
+  int row1 = 0, row2 = 0;
+  for (const HSeg& h : res.solution.horizontals) {
+    if (h.net == 1) row1 = h.row;
+    if (h.net == 2) row2 = h.row;
+  }
+  EXPECT_GT(row1, row2);
+}
+
+// ---------------------------------------------------------------------------
+// Greedy
+// ---------------------------------------------------------------------------
+
+TEST(Greedy, RoutesSimpleChannelNearDensity) {
+  const ChannelSpec spec = suite::simple_channel();
+  const ChannelResult res = route_greedy(spec);
+  ASSERT_TRUE(res.success) << res.reason;
+  EXPECT_LE(res.tracks(), ChannelAnalysis(spec).density() + 2);
+  RealizedChannel real = realize(spec, res.solution);
+  EXPECT_TRUE(verify(real.problem, real.grid).all_ok());
+}
+
+TEST(Greedy, AbsorbsTwoPinCycle) {
+  const ChannelSpec spec = suite::vcg_cycle_channel();
+  const ChannelResult res = route_greedy(spec);
+  ASSERT_TRUE(res.success) << res.reason;
+  RealizedChannel real = realize(spec, res.solution);
+  EXPECT_TRUE(verify(real.problem, real.grid).all_ok());
+}
+
+TEST(Greedy, HandlesThroughPins) {
+  // Net on both sides of the same column plus a crossing net.
+  const ChannelSpec spec{{1, 2, 0, 2}, {1, 0, 2, 0}};
+  const ChannelResult res = route_greedy(spec);
+  ASSERT_TRUE(res.success) << res.reason;
+  RealizedChannel real = realize(spec, res.solution);
+  EXPECT_TRUE(verify(real.problem, real.grid).all_ok());
+}
+
+TEST(Greedy, CollapsesSplitNetsInExtraColumns) {
+  // A net whose two pins sit at the far left, top and bottom, next to a
+  // dense blockade: greedy may finish the collapse after the last column.
+  const ChannelSpec spec{{1, 2, 3, 4, 1}, {2, 3, 4, 1, 0}};
+  const ChannelResult res = route_greedy(spec);
+  ASSERT_TRUE(res.success) << res.reason;
+  RealizedChannel real = realize(spec, res.solution);
+  EXPECT_TRUE(verify(real.problem, real.grid).all_ok());
+}
+
+TEST(Greedy, EmptyChannelTrivial) {
+  const ChannelSpec spec{{0, 0, 0}, {0, 0, 0}};
+  const ChannelResult res = route_greedy(spec);
+  EXPECT_TRUE(res.success);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental router on channels
+// ---------------------------------------------------------------------------
+
+TEST(ChannelIncremental, RoutesSimpleChannelInDensity) {
+  const ChannelSpec spec = suite::simple_channel();
+  const IncrementalChannelResult res = route_channel_incremental(spec);
+  ASSERT_TRUE(res.success);
+  EXPECT_EQ(res.tracks, ChannelAnalysis(spec).density());
+}
+
+TEST(ChannelIncremental, AbsorbsCycleNearDensity) {
+  const ChannelSpec spec = suite::vcg_cycle_channel();
+  const IncrementalChannelResult res = route_channel_incremental(spec);
+  ASSERT_TRUE(res.success);
+  EXPECT_LE(res.tracks, ChannelAnalysis(spec).density() + 2);
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized sweep over the whole channel suite
+// ---------------------------------------------------------------------------
+
+class ChannelSuiteTest
+    : public ::testing::TestWithParam<suite::NamedChannel> {};
+
+TEST_P(ChannelSuiteTest, GreedySolutionsVerify) {
+  const ChannelSpec& spec = GetParam().spec;
+  const ChannelResult res = route_greedy(spec);
+  ASSERT_TRUE(res.success) << GetParam().name << ": " << res.reason;
+  EXPECT_GE(res.tracks(), ChannelAnalysis(spec).density());
+  RealizedChannel real = realize(spec, res.solution);
+  EXPECT_TRUE(verify(real.problem, real.grid).all_ok()) << GetParam().name;
+}
+
+TEST_P(ChannelSuiteTest, DoglegSolutionsVerifyWhenFeasible) {
+  const ChannelSpec& spec = GetParam().spec;
+  const ChannelResult res = route_dogleg(spec);
+  if (!res.success) {
+    EXPECT_TRUE(ChannelAnalysis(spec).vcg_has_cycle())
+        << GetParam().name << ": dogleg failed without a cycle excuse";
+    return;
+  }
+  RealizedChannel real = realize(spec, res.solution);
+  EXPECT_TRUE(verify(real.problem, real.grid).all_ok()) << GetParam().name;
+}
+
+TEST_P(ChannelSuiteTest, YoshimuraKuhSolutionsVerifyWhenFeasible) {
+  const ChannelSpec& spec = GetParam().spec;
+  const ChannelResult res = route_yoshimura_kuh(spec);
+  if (!res.success) {
+    EXPECT_TRUE(ChannelAnalysis(spec).vcg_has_cycle()) << GetParam().name;
+    return;
+  }
+  EXPECT_GE(res.tracks(), ChannelAnalysis(spec).density());
+  RealizedChannel real = realize(spec, res.solution);
+  EXPECT_TRUE(verify(real.problem, real.grid).all_ok()) << GetParam().name;
+}
+
+TEST_P(ChannelSuiteTest, LeftEdgeSolutionsVerifyWhenFeasible) {
+  const ChannelSpec& spec = GetParam().spec;
+  const ChannelResult res = route_left_edge(spec);
+  if (!res.success) return;  // cycles are expected failures for LEA
+  EXPECT_GE(res.tracks(), ChannelAnalysis(spec).density());
+  RealizedChannel real = realize(spec, res.solution);
+  EXPECT_TRUE(verify(real.problem, real.grid).all_ok()) << GetParam().name;
+}
+
+TEST_P(ChannelSuiteTest, ProblemsAreWellFormed) {
+  const Problem p = GetParam().spec.to_problem(
+      std::max(ChannelAnalysis(GetParam().spec).density(), 1));
+  EXPECT_TRUE(p.validate().empty()) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, ChannelSuiteTest, ::testing::ValuesIn(suite::channel_suite()),
+    [](const ::testing::TestParamInfo<suite::NamedChannel>& info) {
+      std::string name = info.param.name;
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+}  // namespace
+}  // namespace gridroute

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include "core/incremental_router.hpp"
+#include "core/stub_pruner.hpp"
+#include "verify/verify.hpp"
+
+namespace gridroute {
+namespace {
+
+Pin pin(int x, int y) { return {{x, y}, Layer::kMetal1, true}; }
+
+Problem straight_pair(int w = 8, int h = 6) {
+  Problem p{Region(w, h)};
+  const NetId a = p.add_net("a");
+  p.net(a).pins = {pin(0, 2), pin(w - 1, 2)};
+  return p;
+}
+
+TEST(IncrementalRouter, RoutesTrivialNet) {
+  const Problem p = straight_pair();
+  IncrementalRouter router(p);
+  const RouteOutcome out = router.run();
+  EXPECT_TRUE(out.complete());
+  EXPECT_TRUE(verify(p, router.grid()).all_ok());
+  EXPECT_EQ(out.stats.connections_attempted, 1);
+  EXPECT_EQ(out.stats.connections_routed, 1);
+  EXPECT_EQ(out.stats.weak_modifications, 0);
+  EXPECT_EQ(out.stats.strong_ripups, 0);
+}
+
+TEST(IncrementalRouter, RoutesEmptyProblem) {
+  Problem p{Region(4, 4)};
+  IncrementalRouter router(p);
+  const RouteOutcome out = router.run();
+  EXPECT_TRUE(out.complete());
+  EXPECT_EQ(out.stats.nets_attempted, 0);
+}
+
+TEST(IncrementalRouter, SkipsSingleAndZeroPinNets) {
+  Problem p{Region(6, 6)};
+  p.add_net("empty");
+  const NetId s = p.add_net("single");
+  p.net(s).pins = {pin(2, 2)};
+  IncrementalRouter router(p);
+  const RouteOutcome out = router.run();
+  EXPECT_TRUE(out.complete());
+  EXPECT_EQ(out.stats.nets_attempted, 0);
+  EXPECT_TRUE(verify(p, router.grid()).all_ok());
+}
+
+TEST(IncrementalRouter, MultiTerminalNetBecomesOneTree) {
+  Problem p{Region(12, 12)};
+  const NetId a = p.add_net("a");
+  p.net(a).pins = {pin(0, 0), pin(11, 0), pin(0, 11), pin(11, 11), pin(6, 6)};
+  IncrementalRouter router(p);
+  const RouteOutcome out = router.run();
+  EXPECT_TRUE(out.complete());
+  const VerifyReport r = verify(p, router.grid());
+  EXPECT_TRUE(r.all_ok());
+  EXPECT_EQ(out.stats.connections_attempted, 4);
+}
+
+TEST(IncrementalRouter, TwoCrossingNetsUseLayers) {
+  // A vertical and a horizontal net crossing in the middle: two layers make
+  // this routable with zero modification.
+  Problem p{Region(9, 9)};
+  const NetId h = p.add_net("h");
+  p.net(h).pins = {pin(0, 4), pin(8, 4)};
+  const NetId v = p.add_net("v");
+  p.net(v).pins = {pin(4, 0), pin(4, 8)};
+  IncrementalRouter router(p);
+  const RouteOutcome out = router.run();
+  EXPECT_TRUE(out.complete());
+  EXPECT_TRUE(verify(p, router.grid()).all_ok());
+  EXPECT_EQ(out.stats.weak_modifications + out.stats.strong_ripups, 0);
+}
+
+TEST(IncrementalRouter, RoutesAroundObstacles) {
+  Problem p{Region(10, 10)};
+  p.region().add_obstacle({{4, 0}, {5, 7}});  // both layers
+  const NetId a = p.add_net("a");
+  p.net(a).pins = {pin(0, 3), pin(9, 3)};
+  IncrementalRouter router(p);
+  const RouteOutcome out = router.run();
+  EXPECT_TRUE(out.complete());
+  const VerifyReport r = verify(p, router.grid());
+  EXPECT_TRUE(r.all_ok());
+  // The wire must detour above the wall (y >= 8 at the crossing).
+  for (const GridPoint& g : router.grid().net_nodes(a)) {
+    if (g.pos.x == 4 || g.pos.x == 5) {
+      EXPECT_GE(g.pos.y, 8);
+    }
+  }
+}
+
+TEST(IncrementalRouter, HonoursSingleLayerObstacle) {
+  Problem p{Region(10, 4)};
+  p.region().add_obstacle({{5, 0}, {5, 3}}, Layer::kMetal1);
+  const NetId a = p.add_net("a");
+  p.net(a).pins = {{{0, 1}, Layer::kMetal1, false},
+                   {{9, 1}, Layer::kMetal1, false}};
+  IncrementalRouter router(p);
+  EXPECT_TRUE(router.run().complete());
+  const VerifyReport r = verify(p, router.grid());
+  EXPECT_TRUE(r.all_ok());
+  EXPECT_GE(r.nets[0].vias, 2);  // had to duck onto M2
+}
+
+TEST(IncrementalRouter, ReportsHonestFailureWhenImpossible) {
+  // A full-height double-layer wall separates the two pins: unroutable.
+  Problem p{Region(8, 8)};
+  p.region().add_obstacle({{4, 0}, {4, 7}});
+  const NetId a = p.add_net("a");
+  p.net(a).pins = {pin(0, 0), pin(7, 7)};
+  IncrementalRouter router(p);
+  const RouteOutcome out = router.run();
+  EXPECT_FALSE(out.complete());
+  ASSERT_EQ(out.failed.size(), 1u);
+  EXPECT_EQ(out.failed[0], a);
+  // Failed nets leave no litter.
+  EXPECT_EQ(router.grid().node_count(a), 0);
+}
+
+TEST(IncrementalRouter, PinOnBothLayersPicksRoutableOne) {
+  Problem p{Region(6, 6)};
+  p.region().add_obstacle({{0, 2}, {0, 2}}, Layer::kMetal1);
+  const NetId a = p.add_net("a");
+  p.net(a).pins = {pin(0, 2), pin(5, 2)};  // any-layer pin on obstacle cell
+  IncrementalRouter router(p);
+  EXPECT_TRUE(router.run().complete());
+  EXPECT_TRUE(verify(p, router.grid()).all_ok());
+  EXPECT_EQ(router.grid().owner({{0, 2}, Layer::kMetal2}), a);
+}
+
+TEST(IncrementalRouter, DuplicatePinsHandled) {
+  Problem p{Region(6, 6)};
+  const NetId a = p.add_net("a");
+  p.net(a).pins = {pin(1, 1), pin(1, 1), pin(4, 4)};
+  IncrementalRouter router(p);
+  EXPECT_TRUE(router.run().complete());
+  EXPECT_TRUE(verify(p, router.grid()).all_ok());
+}
+
+TEST(IncrementalRouter, OrderingOptionsAllComplete) {
+  for (const auto ordering : {RouterOptions::Ordering::kMostConstrainedFirst,
+                              RouterOptions::Ordering::kLargestFirst,
+                              RouterOptions::Ordering::kAsGiven}) {
+    Problem p{Region(10, 10)};
+    for (int i = 0; i < 4; ++i) {
+      const NetId id = p.add_net("n" + std::to_string(i));
+      p.net(id).pins = {pin(0, i * 2 + 1), pin(9, i * 2 + 1)};
+    }
+    RouterOptions opts;
+    opts.ordering = ordering;
+    IncrementalRouter router(p, opts);
+    EXPECT_TRUE(router.run().complete());
+    EXPECT_TRUE(verify(p, router.grid()).all_ok());
+  }
+}
+
+TEST(IncrementalRouter, RouteNetEntryPointRoutesOne) {
+  Problem p{Region(8, 8)};
+  const NetId a = p.add_net("a");
+  p.net(a).pins = {pin(0, 0), pin(7, 7)};
+  const NetId b = p.add_net("b");
+  p.net(b).pins = {pin(0, 7), pin(7, 0)};
+  IncrementalRouter router(p);
+  EXPECT_TRUE(router.route_net(a));
+  EXPECT_TRUE(net_routed_ok(p, router.grid(), a));
+  EXPECT_FALSE(net_routed_ok(p, router.grid(), b));  // untouched
+  EXPECT_TRUE(router.route_net(b));
+  EXPECT_TRUE(verify(p, router.grid()).all_ok());
+}
+
+TEST(IncrementalRouter, ConvenienceRouteFunction) {
+  const Problem p = straight_pair();
+  const RoutedDesign design = route(p);
+  EXPECT_TRUE(design.outcome.complete());
+  EXPECT_TRUE(verify(p, design.grid).all_ok());
+}
+
+TEST(IncrementalRouter, StatsExposeSearchEffort) {
+  const Problem p = straight_pair(20, 10);
+  IncrementalRouter router(p);
+  router.run();
+  EXPECT_GT(router.stats().expansions, 0);
+}
+
+TEST(StubPruner, RemovesDanglingTail) {
+  Problem p{Region(8, 4)};
+  const NetId a = p.add_net("a");
+  p.net(a).pins = {pin(0, 1), pin(4, 1)};
+  RoutingGrid g(p.region(), p.net_count());
+  for (int x = 0; x <= 6; ++x) g.occupy({{x, 1}, Layer::kMetal1}, a);
+  // Cells x=5,6 dangle past the last pin.
+  EXPECT_EQ(prune_stubs(p, g, a), 2);
+  EXPECT_EQ(g.node_count(a), 5);
+  EXPECT_TRUE(net_routed_ok(p, g, a));
+}
+
+TEST(StubPruner, KeepsPinStubs) {
+  Problem p{Region(8, 4)};
+  const NetId a = p.add_net("a");
+  p.net(a).pins = {pin(0, 1), pin(6, 1)};  // pin at the very end
+  RoutingGrid g(p.region(), p.net_count());
+  for (int x = 0; x <= 6; ++x) g.occupy({{x, 1}, Layer::kMetal1}, a);
+  EXPECT_EQ(prune_stubs(p, g, a), 0);
+}
+
+TEST(StubPruner, PeelsWholeDeadBranch) {
+  Problem p{Region(10, 10)};
+  const NetId a = p.add_net("a");
+  p.net(a).pins = {pin(0, 0), pin(5, 0)};
+  RoutingGrid g(p.region(), p.net_count());
+  for (int x = 0; x <= 5; ++x) g.occupy({{x, 0}, Layer::kMetal1}, a);
+  for (int y = 1; y <= 4; ++y) g.occupy({{3, y}, Layer::kMetal1}, a);  // spur
+  EXPECT_EQ(prune_stubs(p, g, a), 4);
+  EXPECT_TRUE(net_routed_ok(p, g, a));
+}
+
+TEST(StubPruner, RemovesOrphanViaStub) {
+  Problem p{Region(6, 6)};
+  const NetId a = p.add_net("a");
+  p.net(a).pins = {pin(0, 0), pin(3, 0)};
+  RoutingGrid g(p.region(), p.net_count());
+  for (int x = 0; x <= 3; ++x) g.occupy({{x, 0}, Layer::kMetal1}, a);
+  g.occupy({{2, 0}, Layer::kMetal2}, a);
+  g.add_via({2, 0}, a);
+  g.occupy({{2, 1}, Layer::kMetal2}, a);  // M2 spur through the via
+  EXPECT_EQ(prune_stubs(p, g, a), 2);
+  EXPECT_FALSE(g.has_via({2, 0}));
+  EXPECT_TRUE(net_routed_ok(p, g, a));
+}
+
+TEST(StubPruner, PruneAllCoversEveryNet) {
+  Problem p{Region(8, 8)};
+  const NetId a = p.add_net("a");
+  p.net(a).pins = {pin(0, 0), pin(3, 0)};
+  const NetId b = p.add_net("b");
+  p.net(b).pins = {pin(0, 7), pin(3, 7)};
+  RoutingGrid g(p.region(), p.net_count());
+  for (int x = 0; x <= 5; ++x) {
+    g.occupy({{x, 0}, Layer::kMetal1}, a);  // 2 dangling
+    g.occupy({{x, 7}, Layer::kMetal1}, b);  // 2 dangling
+  }
+  EXPECT_EQ(prune_all_stubs(p, g), 4);
+}
+
+}  // namespace
+}  // namespace gridroute

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bench_suite/suite.hpp"
+#include "channel/channel_analysis.hpp"
+#include "channel/channel_incremental.hpp"
+#include "channel/channel_routers.hpp"
+#include "core/incremental_router.hpp"
+#include "io/ascii_art.hpp"
+#include "io/table.hpp"
+#include "verify/verify.hpp"
+
+namespace gridroute {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Channel edge and failure paths
+// ---------------------------------------------------------------------------
+
+TEST(ChannelEdges, EmptyChannelEverywhere) {
+  const ChannelSpec empty{{0, 0, 0}, {0, 0, 0}};
+  EXPECT_EQ(empty.density(), 0);
+  EXPECT_TRUE(ChannelAnalysis(empty).zones().empty());
+  EXPECT_TRUE(route_left_edge(empty).success);
+  EXPECT_TRUE(route_dogleg(empty).success);
+  EXPECT_TRUE(route_yoshimura_kuh(empty).success);
+  EXPECT_TRUE(route_greedy(empty).success);
+}
+
+TEST(ChannelEdges, SingleColumnThroughNet) {
+  const ChannelSpec spec{{7}, {7}};
+  EXPECT_EQ(spec.density(), 1);
+  const ChannelResult res = route_greedy(spec);
+  ASSERT_TRUE(res.success) << res.reason;
+  RealizedChannel real = realize(spec, res.solution);
+  EXPECT_TRUE(verify(real.problem, real.grid).all_ok());
+}
+
+TEST(ChannelEdges, SparseNetNumbersSurvive) {
+  // Net numbers need not be dense or small.
+  const ChannelSpec spec{{500, 0, 99}, {99, 0, 500}};
+  const ChannelResult res = route_greedy(spec);
+  ASSERT_TRUE(res.success) << res.reason;
+  RealizedChannel real = realize(spec, res.solution);
+  EXPECT_TRUE(verify(real.problem, real.grid).all_ok());
+  EXPECT_EQ(spec.net_numbers(), (std::vector<int>{99, 500}));
+}
+
+TEST(ChannelEdges, GreedyReportsReasonWhenWindowTooSmall) {
+  GreedyOptions tight;
+  tight.max_extra_tracks = 0;
+  tight.max_extra_columns = 0;
+  // The pure 2-net cycle cannot be done in density tracks by a greedy sweep
+  // without extra room.
+  const ChannelResult res = route_greedy(suite::vcg_cycle_channel(), tight);
+  if (!res.success) {
+    EXPECT_FALSE(res.reason.empty());
+    EXPECT_NE(res.reason.find("tracks"), std::string::npos);
+  }
+}
+
+TEST(ChannelEdges, RealizeRejectsOverlappingSolutions) {
+  const ChannelSpec spec{{1, 2}, {0, 0}};
+  TrackSolution bogus;
+  bogus.tracks = 1;
+  bogus.horizontals = {{1, 1, 0, 1}, {2, 1, 1, 1}};  // both claim (1,1)
+  EXPECT_THROW(realize(spec, bogus), std::logic_error);
+}
+
+TEST(ChannelEdges, IncrementalWindowRespected) {
+  const ChannelSpec spec = suite::simple_channel();
+  const IncrementalChannelResult res =
+      route_channel_incremental(spec, channel_router_options(), 0);
+  ASSERT_TRUE(res.success);
+  EXPECT_EQ(res.tracks, ChannelAnalysis(spec).density());
+}
+
+// ---------------------------------------------------------------------------
+// Router diagnostics
+// ---------------------------------------------------------------------------
+
+TEST(RouterLog, NarratesModificationDecisions) {
+  Problem p{Region(9, 5)};
+  p.region().add_obstacle({{0, 2}, {8, 2}}, Layer::kMetal2);
+  const NetId a = p.add_net("trunk");
+  p.net(a).pins = {{{0, 2}, Layer::kMetal1, false},
+                   {{8, 2}, Layer::kMetal1, false}};
+  const NetId b = p.add_net("cross");
+  p.net(b).pins = {{{2, 1}, Layer::kMetal1, false},
+                   {{2, 3}, Layer::kMetal1, false}};
+
+  std::ostringstream log;
+  RouterOptions opts;
+  opts.log = &log;
+  opts.enable_weak = false;  // force the strong path for a rip-up line
+  IncrementalRouter router(p, opts);
+  ASSERT_TRUE(router.route_net(a));
+  ASSERT_TRUE(router.route_net(b));
+  const std::string text = log.str();
+  EXPECT_NE(text.find("blocked; push probe"), std::string::npos);
+  EXPECT_NE(text.find("strong: ripping 'trunk'"), std::string::npos);
+}
+
+TEST(RouterLog, SilentByDefault) {
+  const Problem p = suite::dense_switchbox().to_problem();
+  IncrementalRouter router(p);  // no log stream: must not crash on nullptr
+  EXPECT_TRUE(router.run().complete());
+}
+
+// ---------------------------------------------------------------------------
+// Rendering details
+// ---------------------------------------------------------------------------
+
+TEST(Render, ViaMapShowsNetSymbols) {
+  Problem p{Region(3, 3)};
+  const NetId a = p.add_net("a");
+  RoutingGrid g(p.region(), 1);
+  g.occupy({{1, 1}, Layer::kMetal1}, a);
+  g.occupy({{1, 1}, Layer::kMetal2}, a);
+  g.add_via({1, 1}, a);
+  const std::string art = render(p, g);
+  // The via column block contains the net symbol '0' in the middle row.
+  EXPECT_NE(art.find("0"), std::string::npos);
+  const std::string m1 = render_layer(p, g, Layer::kMetal1);
+  EXPECT_EQ(m1, "...\n.0.\n...\n");
+}
+
+TEST(Render, ObstaclesOnOneLayerOnly) {
+  Problem p{Region(3, 2)};
+  p.region().add_obstacle({{0, 0}, {2, 0}}, Layer::kMetal2);
+  RoutingGrid g(p.region(), 0);
+  EXPECT_EQ(render_layer(p, g, Layer::kMetal1), "...\n...\n");
+  EXPECT_EQ(render_layer(p, g, Layer::kMetal2), "...\n###\n");
+}
+
+// ---------------------------------------------------------------------------
+// Cost model and regions
+// ---------------------------------------------------------------------------
+
+TEST(CostModel, UnitModelIsFlat) {
+  const CostModel unit = CostModel::unit();
+  EXPECT_EQ(unit.step, 1);
+  EXPECT_EQ(unit.via, 1);
+  EXPECT_EQ(unit.bend, 0);
+  EXPECT_EQ(unit.wrong_way, 0);
+}
+
+TEST(Region, RoutableNodeCountMixesLayerBlocks) {
+  Region r(4, 4);  // 32 nodes
+  r.add_obstacle({{0, 0}, {1, 1}}, Layer::kMetal1);  // -4
+  r.subtract({{3, 3}, {3, 3}});                      // -2
+  EXPECT_EQ(r.routable_node_count(), 32 - 4 - 2);
+}
+
+TEST(Region, InBoundsVersusInRegion) {
+  Region r(4, 4);
+  r.subtract({{0, 0}, {0, 0}});
+  EXPECT_TRUE(r.in_bounds({0, 0}));
+  EXPECT_FALSE(r.in_region({0, 0}));
+  EXPECT_FALSE(r.in_bounds({4, 0}));
+}
+
+TEST(Path, CountsEveryLayerChange) {
+  Path p;
+  p.nodes = {{{0, 0}, Layer::kMetal1}, {{0, 0}, Layer::kMetal2},
+             {{0, 1}, Layer::kMetal2}, {{0, 1}, Layer::kMetal1},
+             {{1, 1}, Layer::kMetal1}, {{1, 1}, Layer::kMetal2}};
+  EXPECT_TRUE(p.well_formed());
+  EXPECT_EQ(p.via_count(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Table edge cases and suite determinism
+// ---------------------------------------------------------------------------
+
+TEST(TableEdges, EmptyTableStillPrintsHeader) {
+  Table t({"only", "headers"});
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("only"), std::string::npos);
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_EQ(csv.str(), "only,headers\n");
+  EXPECT_EQ(t.row_count(), 0u);
+}
+
+TEST(SuiteDeterminism, NamedSuitesAreStable) {
+  const auto a = suite::switchbox_suite();
+  const auto b = suite::switchbox_suite();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].spec.top, b[i].spec.top);
+    EXPECT_EQ(a[i].spec.left, b[i].spec.left);
+  }
+  const auto c = suite::channel_suite();
+  const auto d = suite::channel_suite();
+  ASSERT_EQ(c.size(), d.size());
+  for (std::size_t i = 0; i < c.size(); ++i)
+    EXPECT_EQ(c[i].spec.top, d[i].spec.top);
+}
+
+// ---------------------------------------------------------------------------
+// Yoshimura-Kuh merge quality spot checks
+// ---------------------------------------------------------------------------
+
+TEST(YoshimuraKuhQuality, BeatsLeftEdgeOnMergeFriendlyChannel) {
+  // Four short chained nets under one long net: LEA needs a track per
+  // constraint level; merging shares tracks among the disjoint short nets.
+  const ChannelSpec spec{{1, 1, 2, 2, 3, 3, 4, 4},
+                         {5, 5, 5, 5, 5, 5, 5, 5}};
+  const ChannelResult lea = route_left_edge(spec);
+  const ChannelResult yk = route_yoshimura_kuh(spec);
+  ASSERT_TRUE(lea.success);
+  ASSERT_TRUE(yk.success) << yk.reason;
+  EXPECT_LE(yk.tracks(), lea.tracks());
+  RealizedChannel real = realize(spec, yk.solution);
+  EXPECT_TRUE(verify(real.problem, real.grid).all_ok());
+}
+
+}  // namespace
+}  // namespace gridroute

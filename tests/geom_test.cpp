@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+#include "grid/routing_grid.hpp"  // is_grid_step
+
+namespace gridroute {
+namespace {
+
+TEST(Point, ArithmeticAndComparison) {
+  const Point a{2, 3};
+  const Point b{-1, 5};
+  EXPECT_EQ(a + b, (Point{1, 8}));
+  EXPECT_EQ(a - b, (Point{3, -2}));
+  EXPECT_LT(b, a);  // lexicographic on (x, y)
+  EXPECT_EQ(a, (Point{2, 3}));
+}
+
+TEST(Point, ManhattanDistance) {
+  EXPECT_EQ(manhattan({0, 0}, {0, 0}), 0);
+  EXPECT_EQ(manhattan({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(manhattan({-2, -3}, {2, 3}), 10);
+  EXPECT_EQ(manhattan({5, 1}, {1, 5}), 8);
+}
+
+TEST(Point, StreamOutput) {
+  std::ostringstream os;
+  os << Point{4, -2};
+  EXPECT_EQ(os.str(), "(4,-2)");
+}
+
+TEST(Point, HashDistributesDistinctPoints) {
+  std::unordered_set<Point> set;
+  for (int x = -10; x <= 10; ++x)
+    for (int y = -10; y <= 10; ++y) set.insert({x, y});
+  EXPECT_EQ(set.size(), 21u * 21u);
+}
+
+TEST(Layer, OtherLayerIsInvolution) {
+  EXPECT_EQ(other_layer(Layer::kMetal1), Layer::kMetal2);
+  EXPECT_EQ(other_layer(Layer::kMetal2), Layer::kMetal1);
+  EXPECT_EQ(other_layer(other_layer(Layer::kMetal1)), Layer::kMetal1);
+}
+
+TEST(GridPoint, OrderingIncludesLayer) {
+  const GridPoint a{{1, 1}, Layer::kMetal1};
+  const GridPoint b{{1, 1}, Layer::kMetal2};
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+}
+
+TEST(GridPoint, HashSeparatesLayers) {
+  std::unordered_set<GridPoint> set;
+  for (int x = 0; x < 8; ++x)
+    for (int y = 0; y < 8; ++y)
+      for (Layer l : {Layer::kMetal1, Layer::kMetal2}) set.insert({{x, y}, l});
+  EXPECT_EQ(set.size(), 128u);
+}
+
+TEST(Rect, SpanningNormalizesCorners) {
+  const Rect r = Rect::spanning({5, 1}, {2, 7});
+  EXPECT_EQ(r.lo, (Point{2, 1}));
+  EXPECT_EQ(r.hi, (Point{5, 7}));
+  EXPECT_TRUE(r.valid());
+}
+
+TEST(Rect, DimensionsAreInclusive) {
+  const Rect r{{0, 0}, {0, 0}};
+  EXPECT_EQ(r.width(), 1);
+  EXPECT_EQ(r.height(), 1);
+  EXPECT_EQ(r.area(), 1);
+  const Rect r2{{1, 2}, {4, 3}};
+  EXPECT_EQ(r2.width(), 4);
+  EXPECT_EQ(r2.height(), 2);
+  EXPECT_EQ(r2.area(), 8);
+}
+
+TEST(Rect, ContainsPointsAndRects) {
+  const Rect r{{0, 0}, {4, 4}};
+  EXPECT_TRUE(r.contains(Point{0, 0}));
+  EXPECT_TRUE(r.contains(Point{4, 4}));
+  EXPECT_FALSE(r.contains(Point{5, 4}));
+  EXPECT_FALSE(r.contains(Point{-1, 0}));
+  EXPECT_TRUE(r.contains(Rect{{1, 1}, {3, 3}}));
+  EXPECT_FALSE(r.contains(Rect{{1, 1}, {5, 3}}));
+}
+
+TEST(Rect, IntersectionAndDisjointness) {
+  const Rect a{{0, 0}, {4, 4}};
+  const Rect b{{3, 3}, {7, 7}};
+  EXPECT_TRUE(a.intersects(b));
+  const Rect i = a.intersection(b);
+  EXPECT_EQ(i, (Rect{{3, 3}, {4, 4}}));
+  const Rect c{{5, 0}, {6, 2}};
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_FALSE(a.intersection(c).valid());
+}
+
+TEST(Rect, EdgeTouchingRectsIntersect) {
+  // Inclusive coordinates: sharing a column means sharing cells.
+  const Rect a{{0, 0}, {2, 2}};
+  const Rect b{{2, 0}, {4, 2}};
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_EQ(a.intersection(b), (Rect{{2, 0}, {2, 2}}));
+}
+
+TEST(Rect, BoundingUnion) {
+  const Rect a{{0, 0}, {1, 1}};
+  const Rect b{{5, -2}, {6, 0}};
+  EXPECT_EQ(a.bounding_union(b), (Rect{{0, -2}, {6, 1}}));
+}
+
+TEST(Rect, Inflation) {
+  const Rect r{{2, 2}, {3, 3}};
+  EXPECT_EQ(r.inflated(1), (Rect{{1, 1}, {4, 4}}));
+  EXPECT_EQ(r.inflated(-1), (Rect{{3, 3}, {2, 2}}));
+  EXPECT_FALSE(r.inflated(-1).valid());
+}
+
+TEST(Segment, AxisParallelAndLength) {
+  const Segment h{{{1, 2}, Layer::kMetal1}, {{5, 2}, Layer::kMetal1}};
+  EXPECT_TRUE(h.axis_parallel());
+  EXPECT_TRUE(h.horizontal());
+  EXPECT_EQ(h.cell_count(), 5);
+
+  const Segment v{{{3, 0}, Layer::kMetal2}, {{3, 4}, Layer::kMetal2}};
+  EXPECT_TRUE(v.axis_parallel());
+  EXPECT_TRUE(v.vertical());
+  EXPECT_EQ(v.cell_count(), 5);
+
+  const Segment diag{{{0, 0}, Layer::kMetal1}, {{1, 1}, Layer::kMetal1}};
+  EXPECT_FALSE(diag.axis_parallel());
+
+  const Segment cross_layer{{{0, 0}, Layer::kMetal1}, {{0, 0}, Layer::kMetal2}};
+  EXPECT_FALSE(cross_layer.axis_parallel());
+}
+
+TEST(Segment, DegenerateSingleCell) {
+  const Segment s{{{2, 2}, Layer::kMetal1}, {{2, 2}, Layer::kMetal1}};
+  EXPECT_TRUE(s.axis_parallel());
+  EXPECT_EQ(s.cell_count(), 1);
+}
+
+TEST(GridStep, LegalMoves) {
+  const GridPoint a{{2, 2}, Layer::kMetal1};
+  EXPECT_TRUE(is_grid_step(a, {{3, 2}, Layer::kMetal1}));
+  EXPECT_TRUE(is_grid_step(a, {{2, 1}, Layer::kMetal1}));
+  EXPECT_TRUE(is_grid_step(a, {{2, 2}, Layer::kMetal2}));   // via
+  EXPECT_FALSE(is_grid_step(a, {{3, 3}, Layer::kMetal1}));  // diagonal
+  EXPECT_FALSE(is_grid_step(a, {{4, 2}, Layer::kMetal1}));  // jump
+  EXPECT_FALSE(is_grid_step(a, {{3, 2}, Layer::kMetal2}));  // move + layer
+  EXPECT_FALSE(is_grid_step(a, a));                         // no-op
+}
+
+}  // namespace
+}  // namespace gridroute

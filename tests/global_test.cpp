@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include "global/global_router.hpp"
+#include <climits>
+
+#include "util/rng.hpp"
+
+namespace gridroute {
+namespace {
+
+// ---------------------------------------------------------------------------
+// GlobalGrid
+// ---------------------------------------------------------------------------
+
+TEST(GlobalGrid, CapacitiesInitialized) {
+  const GlobalGrid g(4, 3, 5, 7);
+  EXPECT_EQ(g.capacity({0, 0}, {1, 0}), 5);  // horizontal boundary
+  EXPECT_EQ(g.capacity({2, 1}, {2, 2}), 7);  // vertical boundary
+  EXPECT_EQ(g.capacity({0, 0}, {2, 0}), 0);  // not adjacent
+  EXPECT_EQ(g.capacity({3, 2}, {4, 2}), 0);  // out of bounds
+  EXPECT_EQ(g.usage({0, 0}, {1, 0}), 0);
+}
+
+TEST(GlobalGrid, EdgeQueriesAreSymmetric) {
+  GlobalGrid g(3, 3, 2, 2);
+  g.add_usage({1, 1}, {2, 1}, 1);
+  EXPECT_EQ(g.usage({2, 1}, {1, 1}), 1);
+  EXPECT_EQ(g.capacity({1, 2}, {1, 1}), g.capacity({1, 1}, {1, 2}));
+}
+
+TEST(GlobalGrid, BlockZeroesBoundaryCapacities) {
+  GlobalGrid g(5, 5, 3, 3);
+  g.block({{2, 2}, {3, 3}});
+  EXPECT_TRUE(g.blocked({2, 2}));
+  EXPECT_FALSE(g.blocked({1, 2}));
+  EXPECT_EQ(g.capacity({1, 2}, {2, 2}), 0);  // into the macro
+  EXPECT_EQ(g.capacity({2, 2}, {3, 2}), 0);  // inside the macro
+  EXPECT_EQ(g.capacity({0, 0}, {1, 0}), 3);  // far away untouched
+}
+
+TEST(GlobalGrid, OverflowArithmetic) {
+  GlobalGrid g(2, 1, 2, 2);
+  EXPECT_EQ(g.overflow({0, 0}, {1, 0}), 0);
+  g.add_usage({0, 0}, {1, 0}, 3);
+  EXPECT_EQ(g.overflow({0, 0}, {1, 0}), 1);
+  EXPECT_EQ(g.total_overflow(), 1);
+  EXPECT_EQ(g.total_usage(), 3);
+}
+
+TEST(GlobalGrid, EdgesEnumerationSkipsBlocked) {
+  GlobalGrid g(3, 1, 1, 1);
+  EXPECT_EQ(g.edges().size(), 2u);
+  g.block({{1, 0}, {1, 0}});
+  EXPECT_EQ(g.edges().size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// GlobalRouter
+// ---------------------------------------------------------------------------
+
+GlobalResult route(GlobalGrid grid, std::vector<GlobalNet> nets,
+                   GlobalRouterOptions options = {},
+                   const GlobalGrid** final_grid = nullptr) {
+  GlobalRouter router(std::move(grid), nets, options);
+  GlobalResult result = router.run();
+  const auto issues = verify_global(router.grid(), nets, result.routes);
+  for (const auto& issue : issues) ADD_FAILURE() << issue;
+  if (final_grid != nullptr) *final_grid = &router.grid();
+  return result;
+}
+
+TEST(GlobalRouter, TwoPinNetTakesShortestTree) {
+  const GlobalResult res =
+      route(GlobalGrid(8, 8, 4, 4), {{"a", {{0, 0}, {5, 0}}}});
+  EXPECT_TRUE(res.legal());
+  EXPECT_EQ(res.routes[0].wirelength(), 5);
+}
+
+TEST(GlobalRouter, CollinearTerminalsShareOneTrunk) {
+  const GlobalResult res =
+      route(GlobalGrid(9, 9, 4, 4), {{"a", {{0, 4}, {8, 4}, {4, 4}}}});
+  EXPECT_TRUE(res.legal());
+  EXPECT_EQ(res.routes[0].wirelength(), 8);  // one trunk, no duplicates
+}
+
+TEST(GlobalRouter, SteinerTreeWithinBounds) {
+  // T-shape terminals: the optimal Steiner tree is 12 edges; three
+  // independent two-pin paths would cost 16. The tree-growth router must
+  // land in [optimum, star] and stay a single tree.
+  const GlobalResult res =
+      route(GlobalGrid(9, 9, 4, 4), {{"a", {{0, 4}, {8, 4}, {4, 0}}}});
+  EXPECT_TRUE(res.legal());
+  EXPECT_GE(res.routes[0].wirelength(), 12);
+  EXPECT_LE(res.routes[0].wirelength(), 16);
+}
+
+TEST(GlobalRouter, RoutesAroundMacros) {
+  GlobalGrid grid(9, 9, 2, 2);
+  grid.block({{3, 0}, {5, 6}});  // tall macro with a gap at the top
+  const GlobalResult res = route(std::move(grid), {{"a", {{0, 3}, {8, 3}}}});
+  EXPECT_TRUE(res.legal());
+  EXPECT_GT(res.routes[0].wirelength(), 8);  // forced over the macro
+}
+
+TEST(GlobalRouter, FailsHonestlyOnSealedTerminal) {
+  GlobalGrid grid(7, 7, 2, 2);
+  // Wall off the right column completely.
+  grid.block({{5, 0}, {5, 6}});
+  const GlobalResult res = route(std::move(grid), {{"a", {{0, 0}, {6, 3}}}});
+  EXPECT_FALSE(res.legal());
+  EXPECT_EQ(res.stats.nets_failed, 1);
+  EXPECT_FALSE(res.routes[0].routed);
+}
+
+TEST(GlobalRouter, CapacityOneForcesDisjointPaths) {
+  // Two nets between the same rows: with capacity 1 per boundary they must
+  // use different columns. Legal iff negotiation spreads them out.
+  GlobalGrid grid(4, 2, 1, 1);
+  const GlobalResult res = route(
+      std::move(grid),
+      {{"a", {{0, 0}, {0, 1}}}, {"b", {{1, 0}, {1, 1}}}});
+  EXPECT_TRUE(res.legal());
+}
+
+TEST(GlobalRouter, CongestionCostSpreadsIdenticalNets) {
+  // Four nets all wanting the same vertical run, vertical capacity 1: the
+  // proactive congestion cost spreads them over four columns with zero
+  // overflow, with or without negotiation.
+  GlobalGrid grid(8, 4, 4, 1);
+  std::vector<GlobalNet> nets;
+  for (int i = 0; i < 4; ++i)
+    nets.push_back({"n" + std::to_string(i), {{0, 0}, {0, 3}}});
+  const GlobalResult res = route(std::move(grid), nets);
+  EXPECT_EQ(res.stats.overflow, 0);
+}
+
+TEST(GlobalRouter, NegotiationNeverWorseThanSinglePass) {
+  // A congested random-ish instance: many nets crossing a capacity-1
+  // fabric. Negotiation must end with overflow <= the single-pass result
+  // (and in this instance it strictly helps).
+  auto build = [] {
+    GlobalGrid grid(12, 12, 1, 1);
+    std::vector<GlobalNet> nets;
+    for (int i = 0; i < 12; ++i)
+      nets.push_back({"h" + std::to_string(i), {{0, i}, {11, (i + 5) % 12}}});
+    for (int i = 0; i < 12; ++i)
+      nets.push_back({"v" + std::to_string(i), {{i, 0}, {(i + 7) % 12, 11}}});
+    return std::pair{std::move(grid), std::move(nets)};
+  };
+
+  auto [g1, n1] = build();
+  GlobalRouterOptions single;
+  single.max_iterations = 1;  // first pass only
+  GlobalRouter first_pass(std::move(g1), n1, single);
+  const GlobalResult base = first_pass.run();
+
+  auto [g2, n2] = build();
+  GlobalRouter negotiated(std::move(g2), n2);
+  const GlobalResult full = negotiated.run();
+  EXPECT_TRUE(verify_global(negotiated.grid(), n2, full.routes).empty());
+
+  EXPECT_LE(full.stats.overflow, base.stats.overflow);
+  if (base.stats.overflow > 0) {
+    EXPECT_GE(full.stats.reroutes, 1);
+  }
+}
+
+TEST(GlobalRouter, OverflowReportedWhenUnavoidable) {
+  // Two nets, one possible cut of capacity 1 and no alternative: overflow
+  // must be reported, not hidden.
+  GlobalGrid grid(1, 4, 1, 1);
+  const GlobalResult res = route(
+      std::move(grid),
+      {{"a", {{0, 0}, {0, 3}}}, {"b", {{0, 0}, {0, 3}}}});
+  EXPECT_GT(res.stats.overflow, 0);
+  EXPECT_FALSE(res.legal());
+  EXPECT_EQ(res.stats.nets_routed, 2);  // both routed, fabric oversubscribed
+}
+
+TEST(GlobalRouter, EmptyAndSingleTerminalNets) {
+  const GlobalResult res = route(GlobalGrid(4, 4, 2, 2),
+                                 {{"empty", {}}, {"single", {{2, 2}}}});
+  EXPECT_TRUE(res.legal());
+  EXPECT_EQ(res.routes[0].wirelength(), 0);
+  EXPECT_EQ(res.routes[1].wirelength(), 0);
+}
+
+TEST(GlobalRouter, Deterministic) {
+  auto build = [] {
+    GlobalGrid grid(10, 10, 2, 2);
+    grid.block({{4, 4}, {6, 6}});
+    std::vector<GlobalNet> nets;
+    for (int i = 0; i < 8; ++i)
+      nets.push_back({"n" + std::to_string(i),
+                      {{i, 0}, {9 - i, 9}, {(i * 3) % 10, 5}}});
+    return std::pair{std::move(grid), std::move(nets)};
+  };
+  auto [g1, n1] = build();
+  auto [g2, n2] = build();
+  GlobalRouter r1(std::move(g1), n1), r2(std::move(g2), n2);
+  const GlobalResult a = r1.run();
+  const GlobalResult b = r2.run();
+  EXPECT_EQ(a.stats.wirelength, b.stats.wirelength);
+  EXPECT_EQ(a.stats.overflow, b.stats.overflow);
+  for (std::size_t i = 0; i < a.routes.size(); ++i)
+    EXPECT_EQ(a.routes[i].edges, b.routes[i].edges);
+}
+
+TEST(GlobalRouter, WirelengthMatchesUsage) {
+  GlobalGrid grid(12, 12, 3, 3);
+  std::vector<GlobalNet> nets;
+  for (int i = 0; i < 10; ++i)
+    nets.push_back({"n" + std::to_string(i), {{0, i}, {11, 11 - i}}});
+  GlobalRouter router(std::move(grid), nets);
+  const GlobalResult res = router.run();
+  int total = 0;
+  for (const GlobalRoute& r : res.routes) total += r.wirelength();
+  EXPECT_EQ(total, res.stats.wirelength);
+  EXPECT_TRUE(verify_global(router.grid(), nets, res.routes).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Seeded property sweep
+// ---------------------------------------------------------------------------
+
+class GlobalProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GlobalProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST_P(GlobalProperty, RandomInstancesAlwaysAudit) {
+  Rng rng(GetParam() * 977 + 5);
+  GlobalGrid grid(14, 14, 2, 2);
+  // Random macros (may seal pockets — failures are then legitimate).
+  for (int m = 0; m < 2; ++m) {
+    const Point lo{rng.next_int(1, 9), rng.next_int(1, 9)};
+    grid.block({lo, lo + Point{rng.next_int(1, 3), rng.next_int(1, 3)}});
+  }
+  std::vector<GlobalNet> nets;
+  for (int i = 0; i < 15; ++i) {
+    GlobalNet net{"n" + std::to_string(i), {}};
+    const int terminals = rng.next_int(2, 4);
+    for (int t = 0; t < terminals; ++t) {
+      Point p{rng.next_int(0, 13), rng.next_int(0, 13)};
+      if (!grid.blocked(p)) net.terminals.push_back(p);
+    }
+    if (net.terminals.size() >= 2) nets.push_back(std::move(net));
+  }
+  GlobalRouter router(std::move(grid), nets);
+  const GlobalResult res = router.run();
+  const auto issues = verify_global(router.grid(), nets, res.routes);
+  for (const auto& issue : issues) ADD_FAILURE() << issue;
+  // Stats bookkeeping is self-consistent.
+  int routed = 0;
+  for (const GlobalRoute& r : res.routes)
+    if (r.routed) ++routed;
+  EXPECT_EQ(routed, res.stats.nets_routed);
+  EXPECT_EQ(res.stats.overflow, router.grid().total_overflow());
+}
+
+TEST_P(GlobalProperty, NegotiationMonotoneInIterations) {
+  Rng rng(GetParam() * 31 + 11);
+  auto build = [&] {
+    GlobalGrid grid(10, 10, 1, 1);
+    std::vector<GlobalNet> nets;
+    Rng local(GetParam() * 131 + 7);
+    for (int i = 0; i < 16; ++i)
+      nets.push_back({"n" + std::to_string(i),
+                      {{local.next_int(0, 9), local.next_int(0, 9)},
+                       {local.next_int(0, 9), local.next_int(0, 9)}}});
+    return std::pair{std::move(grid), std::move(nets)};
+  };
+  int prev = INT_MAX;
+  for (const int iters : {1, 4, 12}) {
+    auto [grid, nets] = build();
+    GlobalRouterOptions options;
+    options.max_iterations = iters;
+    GlobalRouter router(std::move(grid), nets, options);
+    const int overflow = router.run().stats.overflow;
+    EXPECT_LE(overflow, prev) << "iterations " << iters;
+    prev = overflow;
+  }
+}
+
+TEST(VerifyGlobal, CatchesTamperedRoutes) {
+  GlobalGrid grid(4, 4, 2, 2);
+  std::vector<GlobalNet> nets{{"a", {{0, 0}, {3, 0}}}};
+  GlobalRouter router(std::move(grid), nets);
+  GlobalResult res = router.run();
+  ASSERT_TRUE(verify_global(router.grid(), nets, res.routes).empty());
+  // Drop an edge: usage mismatch + disconnection must both surface.
+  res.routes[0].edges.pop_back();
+  EXPECT_FALSE(verify_global(router.grid(), nets, res.routes).empty());
+}
+
+}  // namespace
+}  // namespace gridroute

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "grid/routing_grid.hpp"
+#include "util/rng.hpp"
+
+namespace gridroute {
+namespace {
+
+/// Trivially-correct reference implementation of the RoutingGrid contract:
+/// plain maps, no journal tricks, no per-net caches. The fuzz tests drive
+/// the real grid and this model with identical operation streams and demand
+/// observational equivalence — including across journal rollbacks, which
+/// the model implements by brute-force snapshot.
+struct ModelGrid {
+  explicit ModelGrid(const Region* region) : region(region) {}
+
+  const Region* region;
+  std::map<GridPoint, NetId> owners;
+  std::map<Point, NetId> vias;
+
+  NetId owner(GridPoint g) const {
+    auto it = owners.find(g);
+    return it == owners.end() ? kNoNet : it->second;
+  }
+  NetId via_owner(Point p) const {
+    auto it = vias.find(p);
+    return it == vias.end() ? kNoNet : it->second;
+  }
+
+  bool occupy(GridPoint g, NetId id) {
+    if (!region->routable(g) || owners.contains(g)) return false;
+    owners[g] = id;
+    return true;
+  }
+  bool release(GridPoint g) {
+    auto it = owners.find(g);
+    if (it == owners.end()) return false;
+    vias.erase(g.pos);
+    owners.erase(it);
+    return true;
+  }
+  bool add_via(Point p, NetId id) {
+    if (vias.contains(p)) return false;
+    if (owner({p, Layer::kMetal1}) != id || owner({p, Layer::kMetal2}) != id)
+      return false;
+    vias[p] = id;
+    return true;
+  }
+  bool remove_via(Point p) { return vias.erase(p) > 0; }
+  int rip_net(NetId id) {
+    int released = 0;
+    for (auto it = owners.begin(); it != owners.end();) {
+      if (it->second == id) {
+        vias.erase(it->first.pos);
+        it = owners.erase(it);
+        ++released;
+      } else {
+        ++it;
+      }
+    }
+    return released;
+  }
+};
+
+void expect_equivalent(const RoutingGrid& grid, const ModelGrid& model,
+                       const Region& region, int nets) {
+  const Rect& b = region.bounds();
+  for (int y = b.lo.y; y <= b.hi.y; ++y)
+    for (int x = b.lo.x; x <= b.hi.x; ++x) {
+      for (Layer l : {Layer::kMetal1, Layer::kMetal2}) {
+        const GridPoint g{{x, y}, l};
+        ASSERT_EQ(grid.owner(g), model.owner(g)) << g;
+      }
+      ASSERT_EQ(grid.via_owner({x, y}), model.via_owner({x, y}))
+          << '(' << x << ',' << y << ')';
+    }
+  // Aggregates and per-net caches agree with ground truth.
+  int model_nodes = 0;
+  std::map<NetId, int> model_count;
+  for (const auto& [g, id] : model.owners) {
+    ++model_nodes;
+    ++model_count[id];
+  }
+  EXPECT_EQ(grid.total_nodes(), model_nodes);
+  EXPECT_EQ(grid.total_vias(), static_cast<int>(model.vias.size()));
+  for (NetId id = 0; id < nets; ++id)
+    EXPECT_EQ(grid.node_count(id),
+              model_count.contains(id) ? model_count[id] : 0);
+}
+
+class GridFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST_P(GridFuzz, RandomOpsMatchReferenceModel) {
+  Rng rng(GetParam() * 0x9e37 + 17);
+  Region region(10, 8);
+  region.add_obstacle({{3, 3}, {4, 4}}, Layer::kMetal1);
+  region.subtract({{9, 7}, {9, 7}});
+  const int nets = 4;
+  RoutingGrid grid(region, nets);
+  ModelGrid model(&region);
+
+  for (int op = 0; op < 600; ++op) {
+    const GridPoint g{{rng.next_int(0, 9), rng.next_int(0, 7)},
+                      rng.next_bool(0.5) ? Layer::kMetal1 : Layer::kMetal2};
+    const NetId id = static_cast<NetId>(rng.next_below(nets));
+    switch (rng.next_below(5)) {
+      case 0:
+        ASSERT_EQ(grid.occupy(g, id), model.occupy(g, id)) << "op " << op;
+        break;
+      case 1:
+        ASSERT_EQ(grid.release(g), model.release(g)) << "op " << op;
+        break;
+      case 2:
+        ASSERT_EQ(grid.add_via(g.pos, id), model.add_via(g.pos, id))
+            << "op " << op;
+        break;
+      case 3:
+        ASSERT_EQ(grid.remove_via(g.pos), model.remove_via(g.pos))
+            << "op " << op;
+        break;
+      case 4:
+        if (rng.next_bool(0.2)) {
+          ASSERT_EQ(grid.rip_net(id), model.rip_net(id)) << "op " << op;
+        }
+        break;
+    }
+  }
+  expect_equivalent(grid, model, region, nets);
+}
+
+TEST_P(GridFuzz, RollbackRestoresModelSnapshot) {
+  Rng rng(GetParam() * 0x51ed + 3);
+  Region region(8, 8);
+  const int nets = 3;
+  RoutingGrid grid(region, nets);
+  ModelGrid model(&region);
+
+  auto random_ops = [&](int count, bool mirror_into_model) {
+    for (int op = 0; op < count; ++op) {
+      const GridPoint g{{rng.next_int(0, 7), rng.next_int(0, 7)},
+                        rng.next_bool(0.5) ? Layer::kMetal1
+                                           : Layer::kMetal2};
+      const NetId id = static_cast<NetId>(rng.next_below(nets));
+      switch (rng.next_below(5)) {
+        case 0:
+          grid.occupy(g, id);
+          if (mirror_into_model) model.occupy(g, id);
+          break;
+        case 1:
+          grid.release(g);
+          if (mirror_into_model) model.release(g);
+          break;
+        case 2:
+          grid.add_via(g.pos, id);
+          if (mirror_into_model) model.add_via(g.pos, id);
+          break;
+        case 3:
+          grid.remove_via(g.pos);
+          if (mirror_into_model) model.remove_via(g.pos);
+          break;
+        case 4:
+          grid.rip_net(id);
+          if (mirror_into_model) model.rip_net(id);
+          break;
+      }
+    }
+  };
+
+  random_ops(120, /*mirror_into_model=*/true);  // shared base state
+  const RoutingGrid::Mark mark = grid.mark();
+  random_ops(300, /*mirror_into_model=*/false);  // grid-only storm
+  grid.rollback(mark);                           // must land on the model
+  expect_equivalent(grid, model, region, nets);
+}
+
+}  // namespace
+}  // namespace gridroute

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "grid/routing_grid.hpp"
+
+namespace gridroute {
+namespace {
+
+RoutingGrid make_grid(int w = 6, int h = 6, int nets = 3) {
+  return RoutingGrid(Region(w, h), nets);
+}
+
+TEST(Path, WellFormedAcceptsPlanarAndViaSteps) {
+  Path p;
+  p.nodes = {{{0, 0}, Layer::kMetal1},
+             {{1, 0}, Layer::kMetal1},
+             {{1, 0}, Layer::kMetal2},
+             {{1, 1}, Layer::kMetal2}};
+  EXPECT_TRUE(p.well_formed());
+  EXPECT_EQ(p.via_count(), 1);
+}
+
+TEST(Path, WellFormedRejectsJumps) {
+  Path p;
+  p.nodes = {{{0, 0}, Layer::kMetal1}, {{2, 0}, Layer::kMetal1}};
+  EXPECT_FALSE(p.well_formed());
+  Path q;
+  q.nodes = {{{0, 0}, Layer::kMetal1}, {{1, 0}, Layer::kMetal2}};
+  EXPECT_FALSE(q.well_formed());
+}
+
+TEST(RoutingGrid, OccupyAndOwner) {
+  RoutingGrid g = make_grid();
+  const GridPoint n{{2, 3}, Layer::kMetal1};
+  EXPECT_TRUE(g.free(n));
+  EXPECT_TRUE(g.occupy(n, 1));
+  EXPECT_EQ(g.owner(n), 1);
+  EXPECT_FALSE(g.free(n));
+  EXPECT_EQ(g.owner({{2, 3}, Layer::kMetal2}), kNoNet);  // other layer free
+  EXPECT_EQ(g.node_count(1), 1);
+  EXPECT_EQ(g.net_nodes(1).front(), n);
+}
+
+TEST(RoutingGrid, OccupyRefusesOwnedAndBlocked) {
+  Region r(4, 4);
+  r.add_obstacle({{1, 1}, {1, 1}}, Layer::kMetal1);
+  RoutingGrid g(r, 2);
+  EXPECT_FALSE(g.occupy({{1, 1}, Layer::kMetal1}, 0));  // obstacle
+  EXPECT_TRUE(g.occupy({{1, 1}, Layer::kMetal2}, 0));
+  EXPECT_FALSE(g.occupy({{1, 1}, Layer::kMetal2}, 1));  // taken
+  EXPECT_FALSE(g.occupy({{1, 1}, Layer::kMetal2}, 0));  // even by itself
+  EXPECT_FALSE(g.occupy({{9, 9}, Layer::kMetal1}, 0));  // out of bounds
+}
+
+TEST(RoutingGrid, ReleaseFreesAndUpdatesNodeList) {
+  RoutingGrid g = make_grid();
+  const GridPoint n{{0, 0}, Layer::kMetal2};
+  g.occupy(n, 2);
+  EXPECT_TRUE(g.release(n));
+  EXPECT_TRUE(g.free(n));
+  EXPECT_EQ(g.node_count(2), 0);
+  EXPECT_FALSE(g.release(n));  // double release is a no-op
+}
+
+TEST(RoutingGrid, ViaRequiresBothLayersOwned) {
+  RoutingGrid g = make_grid();
+  const Point p{3, 3};
+  EXPECT_FALSE(g.add_via(p, 0));  // owns nothing
+  g.occupy({p, Layer::kMetal1}, 0);
+  EXPECT_FALSE(g.add_via(p, 0));  // owns one layer
+  g.occupy({p, Layer::kMetal2}, 0);
+  EXPECT_TRUE(g.add_via(p, 0));
+  EXPECT_EQ(g.via_owner(p), 0);
+  EXPECT_EQ(g.via_count(0), 1);
+  EXPECT_FALSE(g.add_via(p, 0));  // already there
+}
+
+TEST(RoutingGrid, ViaCannotBelongToForeignNet) {
+  RoutingGrid g = make_grid();
+  const Point p{1, 1};
+  g.occupy({p, Layer::kMetal1}, 0);
+  g.occupy({p, Layer::kMetal2}, 1);
+  EXPECT_FALSE(g.add_via(p, 0));
+  EXPECT_FALSE(g.add_via(p, 1));
+}
+
+TEST(RoutingGrid, ReleaseRemovesAnchoredVia) {
+  RoutingGrid g = make_grid();
+  const Point p{2, 2};
+  g.occupy({p, Layer::kMetal1}, 1);
+  g.occupy({p, Layer::kMetal2}, 1);
+  g.add_via(p, 1);
+  g.release({p, Layer::kMetal1});
+  EXPECT_FALSE(g.has_via(p));
+  EXPECT_EQ(g.via_count(1), 0);
+  EXPECT_EQ(g.owner({p, Layer::kMetal2}), 1);  // other layer untouched
+}
+
+TEST(RoutingGrid, ApplyPathOccupiesAndDropsVias) {
+  RoutingGrid g = make_grid();
+  Path path;
+  path.nodes = {{{0, 0}, Layer::kMetal2},
+                {{0, 1}, Layer::kMetal2},
+                {{0, 1}, Layer::kMetal1},
+                {{1, 1}, Layer::kMetal1}};
+  EXPECT_TRUE(g.apply_path(path, 0));
+  EXPECT_EQ(g.node_count(0), 4);
+  EXPECT_TRUE(g.has_via({0, 1}));
+  EXPECT_EQ(g.via_count(0), 1);
+}
+
+TEST(RoutingGrid, ApplyPathRollsBackOnCollision) {
+  RoutingGrid g = make_grid();
+  g.occupy({{1, 0}, Layer::kMetal1}, 1);
+  Path path;
+  path.nodes = {{{0, 0}, Layer::kMetal1},
+                {{1, 0}, Layer::kMetal1},   // collides with net 1
+                {{2, 0}, Layer::kMetal1}};
+  EXPECT_FALSE(g.apply_path(path, 0));
+  EXPECT_EQ(g.node_count(0), 0);  // partial occupation rolled back
+  EXPECT_EQ(g.owner({{1, 0}, Layer::kMetal1}), 1);
+}
+
+TEST(RoutingGrid, ApplyPathMayRideOwnTree) {
+  RoutingGrid g = make_grid();
+  g.occupy({{1, 0}, Layer::kMetal1}, 0);
+  Path path;
+  path.nodes = {{{0, 0}, Layer::kMetal1},
+                {{1, 0}, Layer::kMetal1},  // own wire: allowed, skipped
+                {{2, 0}, Layer::kMetal1}};
+  EXPECT_TRUE(g.apply_path(path, 0));
+  EXPECT_EQ(g.node_count(0), 3);
+}
+
+TEST(RoutingGrid, RipNetClearsEverything) {
+  RoutingGrid g = make_grid();
+  for (int x = 0; x < 4; ++x) g.occupy({{x, 1}, Layer::kMetal1}, 2);
+  g.occupy({{3, 1}, Layer::kMetal2}, 2);
+  g.add_via({3, 1}, 2);
+  g.occupy({{0, 0}, Layer::kMetal1}, 1);  // bystander
+  EXPECT_EQ(g.rip_net(2), 5);
+  EXPECT_EQ(g.node_count(2), 0);
+  EXPECT_EQ(g.via_count(2), 0);
+  EXPECT_FALSE(g.has_via({3, 1}));
+  EXPECT_EQ(g.owner({{0, 0}, Layer::kMetal1}), 1);  // untouched
+}
+
+TEST(RoutingGrid, JournalRollbackRestoresExactState) {
+  RoutingGrid g = make_grid();
+  g.occupy({{0, 0}, Layer::kMetal1}, 0);
+  g.occupy({{0, 0}, Layer::kMetal2}, 0);
+  g.add_via({0, 0}, 0);
+  const RoutingGrid::Mark m = g.mark();
+
+  // A burst of tentative edits...
+  g.occupy({{1, 0}, Layer::kMetal1}, 1);
+  g.release({{0, 0}, Layer::kMetal1});  // removes net 0's via too
+  g.occupy({{0, 0}, Layer::kMetal1}, 1);
+  g.occupy({{2, 0}, Layer::kMetal1}, 2);
+  EXPECT_EQ(g.owner({{0, 0}, Layer::kMetal1}), 1);
+  EXPECT_FALSE(g.has_via({0, 0}));
+
+  g.rollback(m);
+  EXPECT_EQ(g.owner({{0, 0}, Layer::kMetal1}), 0);
+  EXPECT_EQ(g.owner({{1, 0}, Layer::kMetal1}), kNoNet);
+  EXPECT_EQ(g.owner({{2, 0}, Layer::kMetal1}), kNoNet);
+  EXPECT_TRUE(g.has_via({0, 0}));
+  EXPECT_EQ(g.via_owner({0, 0}), 0);
+  EXPECT_EQ(g.node_count(0), 2);
+  EXPECT_EQ(g.node_count(1), 0);
+  EXPECT_EQ(g.node_count(2), 0);
+}
+
+TEST(RoutingGrid, NestedMarksUnwindInOrder) {
+  RoutingGrid g = make_grid();
+  const auto m0 = g.mark();
+  g.occupy({{0, 0}, Layer::kMetal1}, 0);
+  const auto m1 = g.mark();
+  g.occupy({{1, 0}, Layer::kMetal1}, 0);
+  g.rollback(m1);
+  EXPECT_EQ(g.node_count(0), 1);
+  g.rollback(m0);
+  EXPECT_EQ(g.node_count(0), 0);
+}
+
+TEST(RoutingGrid, CommitDropsHistoryKeepsState) {
+  RoutingGrid g = make_grid();
+  g.occupy({{0, 0}, Layer::kMetal1}, 0);
+  g.commit();
+  EXPECT_EQ(g.mark(), 0u);
+  EXPECT_EQ(g.owner({{0, 0}, Layer::kMetal1}), 0);
+}
+
+TEST(RoutingGrid, TotalsAggregateAcrossNets) {
+  RoutingGrid g = make_grid();
+  g.occupy({{0, 0}, Layer::kMetal1}, 0);
+  g.occupy({{0, 0}, Layer::kMetal2}, 0);
+  g.add_via({0, 0}, 0);
+  g.occupy({{1, 1}, Layer::kMetal1}, 1);
+  EXPECT_EQ(g.total_nodes(), 3);
+  EXPECT_EQ(g.total_vias(), 1);
+}
+
+TEST(RoutingGrid, RipAfterRollbackInterleaving) {
+  // Rip a net, roll it back, and check the via survives the round-trip.
+  RoutingGrid g = make_grid();
+  g.occupy({{2, 2}, Layer::kMetal1}, 1);
+  g.occupy({{2, 2}, Layer::kMetal2}, 1);
+  g.add_via({2, 2}, 1);
+  const auto m = g.mark();
+  g.rip_net(1);
+  EXPECT_EQ(g.node_count(1), 0);
+  g.rollback(m);
+  EXPECT_EQ(g.node_count(1), 2);
+  EXPECT_TRUE(g.has_via({2, 2}));
+}
+
+}  // namespace
+}  // namespace gridroute

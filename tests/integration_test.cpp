@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "bench_suite/suite.hpp"
+#include "channel/channel_analysis.hpp"
+#include "channel/channel_incremental.hpp"
+#include "channel/channel_routers.hpp"
+#include "core/incremental_router.hpp"
+#include "core/stub_pruner.hpp"
+#include "io/text_format.hpp"
+#include "verify/verify.hpp"
+
+namespace gridroute {
+namespace {
+
+// ---------------------------------------------------------------------------
+// End-to-end: every suite instance through the full router + verifier
+// ---------------------------------------------------------------------------
+
+class SwitchboxEndToEnd
+    : public ::testing::TestWithParam<suite::NamedSwitchbox> {};
+
+TEST_P(SwitchboxEndToEnd, RouterOutputAlwaysVerifies) {
+  const Problem p = GetParam().spec.to_problem();
+  ASSERT_TRUE(p.validate().empty());
+  IncrementalRouter router(p);
+  const RouteOutcome out = router.run();
+  const VerifyReport report = verify(p, router.grid());
+  // Core guarantee: whatever the router claims, the independent verifier
+  // agrees — no shorts, no buried pins, claimed nets really connected.
+  EXPECT_TRUE(report.drc_clean()) << GetParam().name;
+  const int claimed = out.stats.nets_routed;
+  EXPECT_EQ(claimed, report.completed_net_count) << GetParam().name;
+}
+
+TEST_P(SwitchboxEndToEnd, PruningNeverBreaksRoutedNets) {
+  const Problem p = GetParam().spec.to_problem();
+  IncrementalRouter router(p);
+  router.run();
+  const VerifyReport before = verify(p, router.grid());
+  prune_all_stubs(p, router.grid());
+  const VerifyReport after = verify(p, router.grid());
+  EXPECT_TRUE(after.drc_clean());
+  EXPECT_EQ(after.completed_net_count, before.completed_net_count);
+  EXPECT_LE(after.total_wire_nodes, before.total_wire_nodes);
+}
+
+TEST_P(SwitchboxEndToEnd, DeterministicAcrossRuns) {
+  const Problem p = GetParam().spec.to_problem();
+  IncrementalRouter first(p);
+  const RouteOutcome a = first.run();
+  IncrementalRouter second(p);
+  const RouteOutcome b = second.run();
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.stats.weak_modifications, b.stats.weak_modifications);
+  EXPECT_EQ(a.stats.strong_ripups, b.stats.strong_ripups);
+  EXPECT_EQ(first.grid().total_nodes(), second.grid().total_nodes());
+  EXPECT_EQ(first.grid().total_vias(), second.grid().total_vias());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, SwitchboxEndToEnd, ::testing::ValuesIn(suite::switchbox_suite()),
+    [](const ::testing::TestParamInfo<suite::NamedSwitchbox>& info) {
+      std::string name = info.param.name;
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Channels end to end
+// ---------------------------------------------------------------------------
+
+TEST(ChannelEndToEnd, IncrementalRoutesEverySuiteChannel) {
+  for (const auto& [name, spec] : suite::channel_suite()) {
+    const IncrementalChannelResult res =
+        route_channel_incremental(spec, channel_router_options(), 6);
+    EXPECT_TRUE(res.success) << name;
+    if (res.success) {
+      const int density = ChannelAnalysis(spec).density();
+      EXPECT_LE(res.tracks, density + 4) << name;
+    }
+  }
+}
+
+TEST(ChannelEndToEnd, IncrementalMatchesOrBeatsGreedyTracks) {
+  // The headline comparison: the rip-up router needs no more tracks than
+  // the greedy baseline on any suite channel it completes.
+  for (const auto& [name, spec] : suite::channel_suite()) {
+    const ChannelResult greedy = route_greedy(spec);
+    const IncrementalChannelResult inc =
+        route_channel_incremental(spec, channel_router_options(), 6);
+    if (greedy.success && inc.success) {
+      EXPECT_LE(inc.tracks, greedy.tracks()) << name;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Macro-cell regions (irregular boundaries, obstacles, inner pins)
+// ---------------------------------------------------------------------------
+
+TEST(MacrocellEndToEnd, RoutesIrregularRegions) {
+  for (const std::uint64_t seed : {7u, 8u, 9u}) {
+    const Problem p = suite::macrocell_region(seed);
+    ASSERT_TRUE(p.validate().empty());
+    IncrementalRouter router(p);
+    const RouteOutcome out = router.run();
+    const VerifyReport report = verify(p, router.grid());
+    EXPECT_TRUE(report.drc_clean()) << "seed " << seed;
+    EXPECT_GE(report.completion_rate(), 0.9) << "seed " << seed;
+    (void)out;
+  }
+}
+
+TEST(MacrocellEndToEnd, WiresRespectObstaclesAndOutline) {
+  const Problem p = suite::macrocell_region(7);
+  IncrementalRouter router(p);
+  router.run();
+  for (NetId id = 0; id < p.net_count(); ++id)
+    for (const GridPoint& g : router.grid().net_nodes(id)) {
+      EXPECT_TRUE(p.region().in_region(g.pos));
+      EXPECT_TRUE(p.region().routable(g));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Text round trip through the full pipeline
+// ---------------------------------------------------------------------------
+
+TEST(PipelineRoundTrip, SerializedProblemRoutesIdentically) {
+  const Problem original = suite::macrocell_region(12);
+  const Problem reparsed = parse_problem_string(problem_to_string(original));
+
+  IncrementalRouter r1(original);
+  IncrementalRouter r2(reparsed);
+  const RouteOutcome a = r1.run();
+  const RouteOutcome b = r2.run();
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(r1.grid().total_nodes(), r2.grid().total_nodes());
+}
+
+TEST(PipelineRoundTrip, SwitchboxSpecThroughTextThroughRouter) {
+  const SwitchboxSpec spec = suite::burstein_class_switchbox(50);
+  const SwitchboxSpec reparsed =
+      parse_switchbox_string(switchbox_to_string(spec));
+  const Problem p1 = spec.to_problem();
+  const Problem p2 = reparsed.to_problem();
+  IncrementalRouter r1(p1), r2(p2);
+  r1.run();
+  r2.run();
+  EXPECT_EQ(r1.grid().total_nodes(), r2.grid().total_nodes());
+}
+
+// ---------------------------------------------------------------------------
+// Cross-router agreement
+// ---------------------------------------------------------------------------
+
+TEST(CrossRouter, AllFourProduceVerifiedLayoutsOnSimpleChannel) {
+  const ChannelSpec spec = suite::simple_channel();
+  const int density = ChannelAnalysis(spec).density();
+
+  for (auto* routefn : {&route_left_edge, &route_dogleg}) {
+    const ChannelResult res = (*routefn)(spec);
+    ASSERT_TRUE(res.success);
+    RealizedChannel real = realize(spec, res.solution);
+    EXPECT_TRUE(verify(real.problem, real.grid).all_ok());
+  }
+  const ChannelResult greedy = route_greedy(spec);
+  ASSERT_TRUE(greedy.success);
+  RealizedChannel real = realize(spec, greedy.solution);
+  EXPECT_TRUE(verify(real.problem, real.grid).all_ok());
+
+  const IncrementalChannelResult inc = route_channel_incremental(spec);
+  EXPECT_TRUE(inc.success);
+  EXPECT_EQ(inc.tracks, density);
+}
+
+}  // namespace
+}  // namespace gridroute

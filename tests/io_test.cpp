@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "bench_suite/suite.hpp"
+#include "core/incremental_router.hpp"
+#include "io/ascii_art.hpp"
+#include "io/table.hpp"
+#include "io/text_format.hpp"
+
+namespace gridroute {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Problem text format
+// ---------------------------------------------------------------------------
+
+TEST(TextFormat, ParsesMinimalProblem) {
+  const Problem p = parse_problem_string(R"(
+region 6 4
+net a
+pin 0 0 m1
+pin 5 3 m2
+)");
+  EXPECT_EQ(p.region().width(), 6);
+  EXPECT_EQ(p.region().height(), 4);
+  ASSERT_EQ(p.net_count(), 1);
+  ASSERT_EQ(p.net(0).pins.size(), 2u);
+  EXPECT_EQ(p.net(0).pins[0].layer, Layer::kMetal1);
+  EXPECT_EQ(p.net(0).pins[1].layer, Layer::kMetal2);
+}
+
+TEST(TextFormat, ParsesObstaclesAndSubtractions) {
+  const Problem p = parse_problem_string(R"(
+region 8 8
+subtract 6 6 7 7
+obstacle 2 2 3 3 both
+obstacle 5 0 5 7 m2   # a strap
+)");
+  EXPECT_FALSE(p.region().in_region({7, 7}));
+  EXPECT_TRUE(p.region().blocked({{2, 2}, Layer::kMetal1}));
+  EXPECT_TRUE(p.region().blocked({{5, 4}, Layer::kMetal2}));
+  EXPECT_FALSE(p.region().blocked({{5, 4}, Layer::kMetal1}));
+}
+
+TEST(TextFormat, CommentsAndBlankLinesIgnored) {
+  const Problem p = parse_problem_string(
+      "# header\n\nregion 3 3   # inline\n\n# done\n");
+  EXPECT_EQ(p.region().width(), 3);
+}
+
+TEST(TextFormat, AnyLayerPin) {
+  const Problem p = parse_problem_string("region 3 3\nnet x\npin 1 1 any\n");
+  EXPECT_TRUE(p.net(0).pins[0].any_layer);
+}
+
+TEST(TextFormat, ErrorsCarryLineNumbers) {
+  EXPECT_THROW(parse_problem_string("region 3\n"), std::runtime_error);
+  EXPECT_THROW(parse_problem_string("pin 0 0 m1\n"), std::runtime_error);
+  EXPECT_THROW(parse_problem_string("region 3 3\npin 0 0 m1\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_problem_string("region 3 3\nfoo\n"), std::runtime_error);
+  EXPECT_THROW(parse_problem_string("region 3 3\nnet a\npin 0 0 m3\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_problem_string("region 0 3\n"), std::runtime_error);
+  EXPECT_THROW(parse_problem_string(""), std::runtime_error);
+  try {
+    parse_problem_string("region 3 3\nnet a\npin x 0 m1\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(TextFormat, ProblemRoundTrips) {
+  Problem original{Region(7, 5)};
+  original.region().subtract({{0, 4}, {1, 4}});
+  original.region().add_obstacle({{3, 1}, {4, 2}}, Layer::kMetal2);
+  const NetId a = original.add_net("alpha");
+  original.net(a).pins = {{{0, 0}, Layer::kMetal1, false},
+                          {{6, 4}, Layer::kMetal1, true}};
+
+  const Problem copy = parse_problem_string(problem_to_string(original));
+  EXPECT_EQ(copy.region().width(), original.region().width());
+  EXPECT_EQ(copy.net(0).name, "alpha");
+  EXPECT_EQ(copy.net(0).pins, original.net(0).pins);
+  for (int y = 0; y < 5; ++y)
+    for (int x = 0; x < 7; ++x)
+      for (Layer l : {Layer::kMetal1, Layer::kMetal2})
+        EXPECT_EQ(copy.region().blocked({{x, y}, l}),
+                  original.region().blocked({{x, y}, l}))
+            << x << ',' << y;
+}
+
+// ---------------------------------------------------------------------------
+// Channel / switchbox formats
+// ---------------------------------------------------------------------------
+
+TEST(TextFormat, ChannelRoundTrips) {
+  const ChannelSpec spec = suite::simple_channel();
+  const ChannelSpec copy = parse_channel_string(channel_to_string(spec));
+  EXPECT_EQ(copy.top, spec.top);
+  EXPECT_EQ(copy.bottom, spec.bottom);
+}
+
+TEST(TextFormat, SwitchboxRoundTrips) {
+  const SwitchboxSpec spec = suite::dense_switchbox();
+  const SwitchboxSpec copy = parse_switchbox_string(switchbox_to_string(spec));
+  EXPECT_EQ(copy.top, spec.top);
+  EXPECT_EQ(copy.bottom, spec.bottom);
+  EXPECT_EQ(copy.left, spec.left);
+  EXPECT_EQ(copy.right, spec.right);
+}
+
+TEST(TextFormat, ChannelRowLengthMismatchRejected) {
+  EXPECT_THROW(parse_channel_string("channel\ntop 1 2\nbottom 1\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_channel_string("channel\ntop 1 2\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_channel_string("top 1 2\nbottom 2 1\n"),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// ASCII rendering
+// ---------------------------------------------------------------------------
+
+TEST(AsciiArt, NetSymbolsCoverAlphabet) {
+  EXPECT_EQ(net_symbol(0), '0');
+  EXPECT_EQ(net_symbol(9), '9');
+  EXPECT_EQ(net_symbol(10), 'a');
+  EXPECT_EQ(net_symbol(35), 'z');
+  EXPECT_EQ(net_symbol(36), 'A');
+  EXPECT_EQ(net_symbol(61), 'Z');
+  EXPECT_EQ(net_symbol(62), '?');
+  EXPECT_EQ(net_symbol(kNoNet), '?');
+}
+
+TEST(AsciiArt, RenderShowsWireObstacleAndFree) {
+  Problem p{Region(4, 3)};
+  p.region().add_obstacle({{3, 0}, {3, 2}}, Layer::kMetal1);
+  const NetId a = p.add_net("a");
+  p.net(a).pins = {{{0, 1}, Layer::kMetal1, false},
+                   {{2, 1}, Layer::kMetal1, false}};
+  RoutingGrid g(p.region(), p.net_count());
+  for (int x = 0; x <= 2; ++x) g.occupy({{x, 1}, Layer::kMetal1}, a);
+
+  const std::string m1 = render_layer(p, g, Layer::kMetal1);
+  // Rows top-first: row y=2 "...#", y=1 "000#", y=0 "...#".
+  EXPECT_EQ(m1, "...#\n000#\n...#\n");
+  const std::string m2 = render_layer(p, g, Layer::kMetal2);
+  EXPECT_EQ(m2, "....\n....\n....\n");
+}
+
+TEST(AsciiArt, FullRenderMentionsNetNames) {
+  const Problem p = suite::cross_switchbox().to_problem();
+  IncrementalRouter router(p);
+  router.run();
+  const std::string art = render(p, router.grid());
+  EXPECT_NE(art.find("vias"), std::string::npos);
+  EXPECT_NE(art.find("n1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Tables
+// ---------------------------------------------------------------------------
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "tracks"});
+  t.add_row({"simple", "2"});
+  t.add_row({"deutsch-class-a", "19"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("| name "), std::string::npos);
+  EXPECT_NE(s.find("deutsch-class-a"), std::string::npos);
+  // Every line has the same length (alignment).
+  std::istringstream lines(s);
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(lines, line)) {
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len) << line;
+  }
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream out;
+  t.print_csv(out);
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  std::ostringstream out;
+  t.print_csv(out);
+  EXPECT_EQ(out.str(), "a,b,c\n1,,\n");
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(0.5, 0), "0" /* rounds to even */);
+  EXPECT_EQ(Table::num(static_cast<long long>(12345)), "12345");
+}
+
+}  // namespace
+}  // namespace gridroute

@@ -1,0 +1,366 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "maze/maze_router.hpp"
+
+namespace gridroute {
+namespace {
+
+/// Fixture building a problem + grid + pin map in one go.
+struct Maze : ::testing::Test {
+  void build(int w, int h, int nets = 2) {
+    problem = Problem{Region(w, h)};
+    for (int i = 0; i < nets; ++i)
+      problem.add_net("n" + std::to_string(i));
+    grid.emplace(problem.region(), problem.net_count());
+    pins = PinBlocks(problem);
+  }
+
+  SearchRequest req(GridPoint s, GridPoint t, NetId net = 0) {
+    SearchRequest r;
+    r.sources = {s};
+    r.targets = {t};
+    r.net = net;
+    return r;
+  }
+
+  Problem problem;
+  std::optional<RoutingGrid> grid;
+  PinBlocks pins;
+};
+
+struct LeeTest : Maze {};
+struct WeightedTest : Maze {};
+
+TEST_F(LeeTest, StraightLineIsShortest) {
+  build(8, 8);
+  LeeRouter lee(*grid, pins);
+  const auto res =
+      lee.route(req({{0, 3}, Layer::kMetal1}, {{6, 3}, Layer::kMetal1}));
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.path.length(), 7);
+  EXPECT_TRUE(res.path.well_formed());
+  EXPECT_EQ(res.cost, 6);
+}
+
+TEST_F(LeeTest, SourceEqualsTarget) {
+  build(4, 4);
+  LeeRouter lee(*grid, pins);
+  const auto res =
+      lee.route(req({{1, 1}, Layer::kMetal1}, {{1, 1}, Layer::kMetal1}));
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.path.length(), 1);
+  EXPECT_EQ(res.cost, 0);
+}
+
+TEST_F(LeeTest, DetoursAroundObstacle) {
+  build(7, 7);
+  // Wall on both layers across x=3, except a gap at y=6.
+  problem.region().add_obstacle({{3, 0}, {3, 5}});
+  grid.emplace(problem.region(), problem.net_count());
+  LeeRouter lee(*grid, pins);
+  const auto res =
+      lee.route(req({{0, 0}, Layer::kMetal1}, {{6, 0}, Layer::kMetal1}));
+  ASSERT_TRUE(res.found);
+  // Forced up to y=6 and back: 6 + 6 + 6 = 18 steps, 19 nodes.
+  EXPECT_EQ(res.path.length(), 19);
+  for (const GridPoint& g : res.path.nodes)
+    EXPECT_TRUE(problem.region().routable(g));
+}
+
+TEST_F(LeeTest, UsesViaWhenLayerBlocked) {
+  build(5, 5);
+  problem.region().add_obstacle({{2, 0}, {2, 4}}, Layer::kMetal1);
+  grid.emplace(problem.region(), problem.net_count());
+  LeeRouter lee(*grid, pins);
+  const auto res =
+      lee.route(req({{0, 2}, Layer::kMetal1}, {{4, 2}, Layer::kMetal1}));
+  ASSERT_TRUE(res.found);
+  EXPECT_GE(res.path.via_count(), 2);  // hop to M2 and back
+}
+
+TEST_F(LeeTest, ReportsUnreachable) {
+  build(5, 5);
+  problem.region().add_obstacle({{2, 0}, {2, 4}});  // both layers
+  grid.emplace(problem.region(), problem.net_count());
+  LeeRouter lee(*grid, pins);
+  const auto res =
+      lee.route(req({{0, 2}, Layer::kMetal1}, {{4, 2}, Layer::kMetal1}));
+  EXPECT_FALSE(res.found);
+}
+
+TEST_F(LeeTest, ForeignWireBlocks) {
+  build(5, 5);
+  LeeRouter lee(*grid, pins);
+  for (int y = 0; y < 5; ++y) {
+    grid->occupy({{2, y}, Layer::kMetal1}, 1);
+    grid->occupy({{2, y}, Layer::kMetal2}, 1);
+  }
+  const auto res =
+      lee.route(req({{0, 2}, Layer::kMetal1}, {{4, 2}, Layer::kMetal1}, 0));
+  EXPECT_FALSE(res.found);
+}
+
+TEST_F(LeeTest, OwnWireIsTraversable) {
+  build(5, 5);
+  LeeRouter lee(*grid, pins);
+  for (int y = 0; y < 5; ++y) {
+    grid->occupy({{2, y}, Layer::kMetal1}, 0);
+    grid->occupy({{2, y}, Layer::kMetal2}, 0);
+  }
+  const auto res =
+      lee.route(req({{0, 2}, Layer::kMetal1}, {{4, 2}, Layer::kMetal1}, 0));
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.path.length(), 5);
+}
+
+TEST_F(LeeTest, MultiSourceMultiTarget) {
+  build(9, 9);
+  LeeRouter lee(*grid, pins);
+  SearchRequest r;
+  r.net = 0;
+  r.sources = {{{0, 0}, Layer::kMetal1}, {{0, 8}, Layer::kMetal1}};
+  r.targets = {{{8, 8}, Layer::kMetal1}, {{2, 8}, Layer::kMetal1}};
+  const auto res = lee.route(r);
+  ASSERT_TRUE(res.found);
+  // Nearest pair is (0,8) -> (2,8): 3 nodes.
+  EXPECT_EQ(res.path.length(), 3);
+}
+
+TEST_F(WeightedTest, PrefersLayerDirection) {
+  build(10, 10);
+  WeightedMazeRouter router(*grid, pins);
+  // A purely horizontal run on M1 must stay on M1 (no via is cheaper).
+  const auto res =
+      router.route(req({{0, 5}, Layer::kMetal1}, {{9, 5}, Layer::kMetal1}));
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.path.via_count(), 0);
+  EXPECT_EQ(res.path.length(), 10);
+}
+
+TEST_F(WeightedTest, ChargesViaCost) {
+  build(6, 6);
+  CostModel m;
+  WeightedMazeRouter router(*grid, pins, m);
+  const auto res =
+      router.route(req({{0, 0}, Layer::kMetal1}, {{0, 0}, Layer::kMetal2}));
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.cost, m.via);
+  EXPECT_EQ(res.path.via_count(), 1);
+}
+
+TEST_F(WeightedTest, BendCostStraightensPaths) {
+  build(12, 12);
+  CostModel m;
+  m.via = 200;       // stay planar
+  m.bend = 10;       // make bends expensive
+  m.wrong_way = 0;   // isolate the bend effect
+  WeightedMazeRouter router(*grid, pins, m);
+  const auto res =
+      router.route(req({{0, 0}, Layer::kMetal1}, {{6, 6}, Layer::kMetal1}));
+  ASSERT_TRUE(res.found);
+  int bends = 0;
+  for (std::size_t i = 2; i < res.path.nodes.size(); ++i) {
+    const Point d1 = res.path.nodes[i - 1].pos - res.path.nodes[i - 2].pos;
+    const Point d2 = res.path.nodes[i].pos - res.path.nodes[i - 1].pos;
+    if (!(d1 == d2)) ++bends;
+  }
+  EXPECT_EQ(bends, 1);  // L-shape: the minimum possible for a diagonal pair
+}
+
+TEST_F(WeightedTest, WrongWayCostSwitchesLayers) {
+  build(8, 8);
+  CostModel m;
+  m.via = 3;
+  m.wrong_way = 5;  // vertical on M1 very expensive vs 2 vias
+  WeightedMazeRouter router(*grid, pins, m);
+  const auto res =
+      router.route(req({{4, 0}, Layer::kMetal1}, {{4, 7}, Layer::kMetal1}));
+  ASSERT_TRUE(res.found);
+  // Cheapest plan: via to M2, run vertically, via back.
+  EXPECT_EQ(res.path.via_count(), 2);
+}
+
+TEST_F(WeightedTest, NoPushMeansForeignBlocks) {
+  build(5, 5);
+  WeightedMazeRouter router(*grid, pins);
+  for (int y = 0; y < 5; ++y) {
+    grid->occupy({{2, y}, Layer::kMetal1}, 1);
+    grid->occupy({{2, y}, Layer::kMetal2}, 1);
+  }
+  auto r = req({{0, 2}, Layer::kMetal1}, {{4, 2}, Layer::kMetal1});
+  EXPECT_FALSE(router.route(r).found);
+}
+
+TEST_F(WeightedTest, PushModeCrossesForeignAtPenalty) {
+  build(5, 5);
+  CostModel m;
+  WeightedMazeRouter router(*grid, pins, m);
+  for (int y = 0; y < 5; ++y) {
+    grid->occupy({{2, y}, Layer::kMetal1}, 1);
+    grid->occupy({{2, y}, Layer::kMetal2}, 1);
+  }
+  auto r = req({{0, 2}, Layer::kMetal1}, {{4, 2}, Layer::kMetal1});
+  r.allow_push = true;
+  const auto res = router.route(r);
+  ASSERT_TRUE(res.found);
+  ASSERT_EQ(res.crossed.size(), 1u);
+  EXPECT_EQ(res.crossed[0].pos.x, 2);
+  EXPECT_GE(res.cost, m.push);  // the penalty is visible in the cost
+}
+
+TEST_F(WeightedTest, PushPicksCheapestVictimSet) {
+  build(7, 7, 3);
+  WeightedMazeRouter router(*grid, pins);
+  // Net 1: full wall. Net 2: wall with... both walls complete, but wall 2
+  // is two cells thick at one row only — crossing net 1 once is cheaper
+  // than crossing net 2 twice.
+  for (int y = 0; y < 7; ++y) {
+    grid->occupy({{2, y}, Layer::kMetal1}, 1);
+    grid->occupy({{2, y}, Layer::kMetal2}, 1);
+    grid->occupy({{4, y}, Layer::kMetal1}, 2);
+    grid->occupy({{4, y}, Layer::kMetal2}, 2);
+    grid->occupy({{5, y}, Layer::kMetal1}, 2);
+    grid->occupy({{5, y}, Layer::kMetal2}, 2);
+  }
+  auto r = req({{0, 3}, Layer::kMetal1}, {{3, 3}, Layer::kMetal1});
+  r.allow_push = true;
+  const auto res = router.route(r);
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.crossed.size(), 1u);  // only net 1 crossed, once
+}
+
+TEST_F(WeightedTest, PinBlocksProtectForeignTerminals) {
+  build(5, 5, 2);
+  // Net 1 has a pin right on the only corridor.
+  problem.net(1).pins.push_back({{2, 2}, Layer::kMetal1, true});
+  problem.region().add_obstacle({{2, 0}, {2, 1}});
+  problem.region().add_obstacle({{2, 3}, {2, 4}});
+  grid.emplace(problem.region(), problem.net_count());
+  pins = PinBlocks(problem);
+  WeightedMazeRouter router(*grid, pins);
+  auto r = req({{0, 2}, Layer::kMetal1}, {{4, 2}, Layer::kMetal1}, 0);
+  EXPECT_FALSE(router.route(r).found);
+  r.allow_push = true;  // pushing must not bury pins either
+  EXPECT_FALSE(router.route(r).found);
+  // The pin's owner itself may route through it.
+  auto own = req({{0, 2}, Layer::kMetal1}, {{4, 2}, Layer::kMetal1}, 1);
+  EXPECT_TRUE(router.route(own).found);
+}
+
+TEST_F(WeightedTest, FrozenNetsBlockPushing) {
+  build(5, 5, 3);
+  WeightedMazeRouter router(*grid, pins);
+  for (int y = 0; y < 5; ++y) {
+    grid->occupy({{2, y}, Layer::kMetal1}, 1);
+    grid->occupy({{2, y}, Layer::kMetal2}, 1);
+  }
+  auto r = req({{0, 2}, Layer::kMetal1}, {{4, 2}, Layer::kMetal1});
+  r.allow_push = true;
+  ASSERT_TRUE(router.route(r).found);
+  r.frozen = {1};  // the only wall net becomes untouchable
+  EXPECT_FALSE(router.route(r).found);
+  r.frozen = {2};  // freezing an uninvolved net changes nothing
+  EXPECT_TRUE(router.route(r).found);
+}
+
+TEST_F(WeightedTest, PushHistorySteersAwayFromChargedCells) {
+  build(7, 5, 2);
+  WeightedMazeRouter router(*grid, pins);
+  // A full-height double-layer wall: crossing is unavoidable, but the
+  // history surcharge decides *where*.
+  for (int y = 0; y < 5; ++y) {
+    grid->occupy({{3, y}, Layer::kMetal1}, 1);
+    grid->occupy({{3, y}, Layer::kMetal2}, 1);
+  }
+  auto r = req({{0, 2}, Layer::kMetal1}, {{6, 2}, Layer::kMetal1});
+  r.allow_push = true;
+  const auto straight = router.route(r);
+  ASSERT_TRUE(straight.found);
+  ASSERT_EQ(straight.crossed.size(), 1u);
+  EXPECT_EQ(straight.crossed[0].pos, (Point{3, 2}));
+
+  // Charge the straight crossing cell heavily: the probe must detour to a
+  // different crossing row.
+  std::vector<int> history(7 * 5, 0);
+  history[2 * 7 + 3] = 1000;  // cell (3,2)
+  r.push_history = &history;
+  const auto biased = router.route(r);
+  ASSERT_TRUE(biased.found);
+  ASSERT_EQ(biased.crossed.size(), 1u);
+  EXPECT_NE(biased.crossed[0].pos, (Point{3, 2}));
+}
+
+TEST_F(WeightedTest, HeuristicDoesNotChangeCosts) {
+  build(14, 14);
+  problem.region().add_obstacle({{6, 2}, {7, 11}});
+  grid.emplace(problem.region(), problem.net_count());
+  WeightedMazeRouter astar(*grid, pins);
+  WeightedMazeRouter dijkstra(*grid, pins);
+  dijkstra.set_heuristic(false);
+  EXPECT_TRUE(astar.heuristic_enabled());
+  EXPECT_FALSE(dijkstra.heuristic_enabled());
+  for (int trial = 0; trial < 8; ++trial) {
+    const GridPoint s{{trial, 0}, Layer::kMetal1};
+    const GridPoint t{{13 - trial, 13}, Layer::kMetal1};
+    const auto a = astar.route(req(s, t));
+    const auto d = dijkstra.route(req(s, t));
+    ASSERT_EQ(a.found, d.found);
+    if (a.found) {
+      EXPECT_EQ(a.cost, d.cost);
+    }
+  }
+}
+
+TEST_F(WeightedTest, HeuristicExpandsFewerNodes) {
+  build(32, 32);
+  WeightedMazeRouter astar(*grid, pins);
+  WeightedMazeRouter dijkstra(*grid, pins);
+  dijkstra.set_heuristic(false);
+  // A short hop in a big grid: A* should visit far less of it.
+  const auto r = req({{4, 16}, Layer::kMetal1}, {{10, 16}, Layer::kMetal1});
+  ASSERT_TRUE(astar.route(r).found);
+  const long long a = astar.last_expansions();
+  ASSERT_TRUE(dijkstra.route(r).found);
+  const long long d = dijkstra.last_expansions();
+  EXPECT_LT(a, d / 2);
+}
+
+TEST_F(WeightedTest, ExpansionCounterMoves) {
+  build(16, 16);
+  WeightedMazeRouter router(*grid, pins);
+  router.route(req({{0, 0}, Layer::kMetal1}, {{15, 15}, Layer::kMetal1}));
+  EXPECT_GT(router.last_expansions(), 16);
+}
+
+TEST_F(WeightedTest, RepeatedQueriesAreIndependent) {
+  build(8, 8);
+  WeightedMazeRouter router(*grid, pins);
+  const auto a =
+      router.route(req({{0, 0}, Layer::kMetal1}, {{7, 0}, Layer::kMetal1}));
+  const auto b =
+      router.route(req({{0, 7}, Layer::kMetal1}, {{7, 7}, Layer::kMetal1}));
+  ASSERT_TRUE(a.found);
+  ASSERT_TRUE(b.found);
+  EXPECT_EQ(a.path.length(), b.path.length());
+  EXPECT_EQ(a.cost, b.cost);
+}
+
+TEST_F(WeightedTest, UnitModelMatchesLee) {
+  build(11, 11);
+  problem.region().add_obstacle({{5, 0}, {5, 8}});
+  grid.emplace(problem.region(), problem.net_count());
+  LeeRouter lee(*grid, pins);
+  WeightedMazeRouter unit(*grid, pins, CostModel::unit());
+  const auto a =
+      lee.route(req({{1, 1}, Layer::kMetal1}, {{9, 1}, Layer::kMetal1}));
+  const auto b =
+      unit.route(req({{1, 1}, Layer::kMetal1}, {{9, 1}, Layer::kMetal1}));
+  ASSERT_TRUE(a.found);
+  ASSERT_TRUE(b.found);
+  EXPECT_EQ(a.path.length(), b.path.length());  // both shortest in steps
+}
+
+}  // namespace
+}  // namespace gridroute

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "bench_suite/suite.hpp"
+#include "core/incremental_router.hpp"
+#include "verify/verify.hpp"
+
+namespace gridroute {
+namespace {
+
+/// The canonical push scenario. Net `a` is routed first as a straight M1
+/// trunk across row 2; the matching M2 row is an obstacle, so net `b`
+/// (a short vertical at column 2) cannot cross row 2 anywhere without
+/// entering a's wire. With weak modification, b pushes through and a is
+/// repaired around it on M2; with only strong modification, a is ripped and
+/// re-routed; with neither, b must fail.
+struct PushScenario {
+  PushScenario() : problem{Region(9, 5)} {
+    problem.region().add_obstacle({{0, 2}, {8, 2}}, Layer::kMetal2);
+    a = problem.add_net("a");
+    problem.net(a).pins = {{{0, 2}, Layer::kMetal1, false},
+                           {{8, 2}, Layer::kMetal1, false}};
+    b = problem.add_net("b");
+    problem.net(b).pins = {{{2, 1}, Layer::kMetal1, false},
+                           {{2, 3}, Layer::kMetal1, false}};
+  }
+
+  Problem problem;
+  NetId a = kNoNet;
+  NetId b = kNoNet;
+};
+
+TEST(WeakModification, PushesBlockingSegmentAside) {
+  PushScenario s;
+  IncrementalRouter router(s.problem);
+  ASSERT_TRUE(router.route_net(s.a));
+  // a's trunk now owns the full row-2 corridor on M1.
+  EXPECT_EQ(router.grid().owner({{2, 2}, Layer::kMetal1}), s.a);
+
+  ASSERT_TRUE(router.route_net(s.b));
+  EXPECT_EQ(router.stats().weak_modifications, 1);
+  EXPECT_EQ(router.stats().strong_ripups, 0);
+  // b took the contested cell; a detoured around it.
+  EXPECT_EQ(router.grid().owner({{2, 2}, Layer::kMetal1}), s.b);
+  EXPECT_TRUE(verify(s.problem, router.grid()).all_ok());
+  // The victim's wire grew: its straight trunk now carries a detour.
+  EXPECT_GT(router.grid().node_count(s.a), 9);
+}
+
+TEST(WeakModification, VictimWireStaysConnectedAfterRepair) {
+  PushScenario s;
+  IncrementalRouter router(s.problem);
+  ASSERT_TRUE(router.route_net(s.a));
+  ASSERT_TRUE(router.route_net(s.b));
+  EXPECT_TRUE(net_routed_ok(s.problem, router.grid(), s.a));
+  EXPECT_TRUE(net_routed_ok(s.problem, router.grid(), s.b));
+}
+
+TEST(StrongModification, RipsAndRequeuesWhenWeakDisabled) {
+  PushScenario s;
+  RouterOptions opts;
+  opts.enable_weak = false;
+  IncrementalRouter router(s.problem, opts);
+  ASSERT_TRUE(router.route_net(s.a));
+  ASSERT_TRUE(router.route_net(s.b));  // re-routes a internally
+  EXPECT_EQ(router.stats().weak_modifications, 0);
+  EXPECT_EQ(router.stats().strong_ripups, 1);
+  EXPECT_TRUE(verify(s.problem, router.grid()).all_ok());
+}
+
+TEST(NoModification, BlockedConnectionFailsHonestly) {
+  PushScenario s;
+  RouterOptions opts;
+  opts.enable_weak = false;
+  opts.enable_strong = false;
+  IncrementalRouter router(s.problem, opts);
+  ASSERT_TRUE(router.route_net(s.a));
+  EXPECT_FALSE(router.route_net(s.b));
+  // a is untouched, b left no litter.
+  EXPECT_TRUE(net_routed_ok(s.problem, router.grid(), s.a));
+  EXPECT_EQ(router.grid().node_count(s.b), 0);
+}
+
+TEST(StrongModification, RespectsRipupBudget) {
+  PushScenario s;
+  RouterOptions opts;
+  opts.enable_weak = false;
+  opts.max_ripups_per_net = 0;  // budget exhausted from the start
+  IncrementalRouter router(s.problem, opts);
+  ASSERT_TRUE(router.route_net(s.a));
+  EXPECT_FALSE(router.route_net(s.b));
+  EXPECT_EQ(router.stats().strong_ripups, 0);
+}
+
+TEST(Run, FullRunResolvesPushScenarioRegardlessOfOrder) {
+  // run() orders by span (b first) which avoids the conflict; the AsGiven
+  // order routes a first and must trigger a modification. Both complete.
+  for (const auto ordering : {RouterOptions::Ordering::kMostConstrainedFirst,
+                              RouterOptions::Ordering::kAsGiven}) {
+    PushScenario s;
+    RouterOptions opts;
+    opts.ordering = ordering;
+    IncrementalRouter router(s.problem, opts);
+    EXPECT_TRUE(router.run().complete());
+    EXPECT_TRUE(verify(s.problem, router.grid()).all_ok());
+  }
+}
+
+TEST(Run, DenseSwitchboxNeedsModification) {
+  const Problem p = suite::dense_switchbox().to_problem();
+  ASSERT_TRUE(p.validate().empty());
+  IncrementalRouter router(p);
+  const RouteOutcome out = router.run();
+  EXPECT_TRUE(out.complete());
+  EXPECT_TRUE(verify(p, router.grid()).all_ok());
+}
+
+TEST(Run, ModificationBeatsPlainMazeOnDenseSwitchbox) {
+  const Problem p = suite::dense_switchbox().to_problem();
+  RouterOptions plain;
+  plain.enable_weak = false;
+  plain.enable_strong = false;
+  IncrementalRouter baseline(p, plain);
+  const RouteOutcome base_out = baseline.run();
+
+  IncrementalRouter full(p);
+  const RouteOutcome full_out = full.run();
+
+  EXPECT_GE(full_out.stats.nets_routed, base_out.stats.nets_routed);
+  EXPECT_TRUE(full_out.complete());
+}
+
+TEST(Run, TerminatesOnOverfullInstance) {
+  // More crossing nets than a 4x4 box can carry: the router must terminate
+  // (bounded rip-ups) and report failures rather than loop.
+  SwitchboxSpec spec;
+  spec.top = {1, 2, 3, 4};
+  spec.bottom = {4, 3, 2, 1};
+  spec.left = {0, 5, 6, 0};
+  spec.right = {0, 6, 5, 0};
+  const Problem p = spec.to_problem();
+  RouterOptions opts;
+  opts.max_ripups_per_net = 3;
+  IncrementalRouter router(p, opts);
+  const RouteOutcome out = router.run();  // must return
+  const VerifyReport report = verify(p, router.grid());
+  EXPECT_TRUE(report.drc_clean());
+  // Whatever got routed is really routed.
+  for (const NetReport& nr : report.nets) {
+    if (nr.ok()) {
+      EXPECT_TRUE(net_routed_ok(p, router.grid(), nr.id));
+    }
+  }
+  EXPECT_LE(out.stats.strong_ripups, p.net_count() * opts.max_ripups_per_net);
+}
+
+TEST(Run, RipupBudgetBoundsHold) {
+  const Problem p = suite::burstein_class_switchbox(99).to_problem();
+  RouterOptions opts;
+  opts.max_ripups_per_net = 2;
+  IncrementalRouter router(p, opts);
+  const RouteOutcome out = router.run();
+  EXPECT_LE(out.stats.strong_ripups,
+            p.net_count() * opts.max_ripups_per_net);
+}
+
+TEST(WeakModification, RollsBackAtomicallyWhenRepairImpossible) {
+  // Like PushScenario but reduced to an effective single layer of three
+  // rows: b's pins choke both detour rows, so the victim cannot be
+  // repaired. The weak attempt must fail and leave the victim untouched.
+  Problem problem{Region(9, 5)};
+  problem.region().add_obstacle({{0, 0}, {8, 4}}, Layer::kMetal2);
+  problem.region().add_obstacle({{0, 0}, {8, 0}}, Layer::kMetal1);
+  problem.region().add_obstacle({{0, 4}, {8, 4}}, Layer::kMetal1);
+  const NetId a = problem.add_net("a");
+  problem.net(a).pins = {{{0, 2}, Layer::kMetal1, false},
+                         {{8, 2}, Layer::kMetal1, false}};
+  const NetId b = problem.add_net("b");
+  problem.net(b).pins = {{{2, 1}, Layer::kMetal1, false},
+                         {{2, 3}, Layer::kMetal1, false}};
+  RouterOptions opts;
+  opts.enable_strong = false;  // isolate the weak stage
+  IncrementalRouter router(problem, opts);
+  ASSERT_TRUE(router.route_net(a));
+  const int a_nodes = router.grid().node_count(a);
+
+  EXPECT_FALSE(router.route_net(b));
+  EXPECT_GE(router.stats().weak_attempts, 1);
+  EXPECT_EQ(router.stats().weak_modifications, 0);
+  EXPECT_EQ(router.grid().node_count(a), a_nodes);  // untouched
+  EXPECT_TRUE(net_routed_ok(problem, router.grid(), a));
+}
+
+}  // namespace
+}  // namespace gridroute

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "bench_suite/suite.hpp"
+#include "core/incremental_router.hpp"
+#include "verify/verify.hpp"
+
+namespace gridroute {
+namespace {
+
+TEST(ShuffledOrdering, DeterministicPerSeed) {
+  const Problem p = suite::burstein_class_switchbox(31).to_problem();
+  RouterOptions opts;
+  opts.ordering = RouterOptions::Ordering::kShuffled;
+  opts.shuffle_seed = 7;
+  IncrementalRouter a(p, opts), b(p, opts);
+  const RouteOutcome ra = a.run();
+  const RouteOutcome rb = b.run();
+  EXPECT_EQ(ra.failed, rb.failed);
+  EXPECT_EQ(a.grid().total_nodes(), b.grid().total_nodes());
+}
+
+TEST(ShuffledOrdering, SeedsProduceDifferentOrders) {
+  // Different shuffles must (on a congested box) do *different work* —
+  // identical stats for all seeds would mean the seed is ignored.
+  const Problem p = suite::burstein_class_switchbox(32).to_problem();
+  long long first_expansions = -1;
+  bool any_difference = false;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    RouterOptions opts;
+    opts.ordering = RouterOptions::Ordering::kShuffled;
+    opts.shuffle_seed = seed;
+    IncrementalRouter router(p, opts);
+    router.run();
+    if (first_expansions < 0)
+      first_expansions = router.stats().expansions;
+    else if (router.stats().expansions != first_expansions)
+      any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(ShuffledOrdering, StillVerifies) {
+  const Problem p = suite::dense_switchbox().to_problem();
+  RouterOptions opts;
+  opts.ordering = RouterOptions::Ordering::kShuffled;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    opts.shuffle_seed = seed;
+    IncrementalRouter router(p, opts);
+    router.run();
+    EXPECT_TRUE(verify(p, router.grid()).drc_clean()) << "seed " << seed;
+  }
+}
+
+TEST(MultiStart, NeverWorseThanSingleRun) {
+  for (const auto& [name, spec] : suite::switchbox_suite()) {
+    const Problem p = spec.to_problem();
+    const RoutedDesign single = route(p);
+    const RoutedDesign multi = route_best_of(p, 4);
+    EXPECT_GE(multi.outcome.stats.nets_routed,
+              single.outcome.stats.nets_routed)
+        << name;
+    EXPECT_TRUE(verify(p, multi.grid).drc_clean()) << name;
+  }
+}
+
+TEST(MultiStart, StopsEarlyOnCompleteRouting) {
+  // A trivially routable problem: the first attempt completes, so restarts
+  // must not run (observable: identical layout to the single run).
+  const Problem p = suite::cross_switchbox().to_problem();
+  const RoutedDesign single = route(p);
+  const RoutedDesign multi = route_best_of(p, 50);
+  EXPECT_TRUE(multi.outcome.complete());
+  EXPECT_EQ(multi.grid.total_nodes(), single.grid.total_nodes());
+}
+
+TEST(MultiStart, ZeroExtraAttemptsEqualsPlainRoute) {
+  const Problem p = suite::dense_switchbox().to_problem();
+  const RoutedDesign a = route(p);
+  const RoutedDesign b = route_best_of(p, 0);
+  EXPECT_EQ(a.outcome.failed, b.outcome.failed);
+  EXPECT_EQ(a.grid.total_nodes(), b.grid.total_nodes());
+}
+
+}  // namespace
+}  // namespace gridroute

@@ -1,0 +1,131 @@
+// Cross-pipeline tests: chain independent subsystems end to end and let
+// the verifier and the serializers check each other. A bug in any link
+// (router, realization, text format, verifier) breaks the chain somewhere
+// visible.
+
+#include <gtest/gtest.h>
+
+#include "bench_suite/suite.hpp"
+#include "channel/channel_analysis.hpp"
+#include "channel/channel_routers.hpp"
+#include "core/incremental_router.hpp"
+#include "core/stub_pruner.hpp"
+#include "io/solution_format.hpp"
+#include "io/text_format.hpp"
+#include "verify/verify.hpp"
+
+namespace gridroute {
+namespace {
+
+/// Channel router -> grid realization -> solution text -> reparse -> audit.
+void channel_through_serializer(const ChannelSpec& spec,
+                                const ChannelResult& res,
+                                const std::string& who) {
+  ASSERT_TRUE(res.success) << who << ": " << res.reason;
+  RealizedChannel real = realize(spec, res.solution);
+  ASSERT_TRUE(verify(real.problem, real.grid).all_ok()) << who;
+
+  const std::string text = solution_to_string(real.problem, real.grid);
+  const RoutingGrid loaded = parse_solution_string(text, real.problem);
+  EXPECT_TRUE(verify(real.problem, loaded).all_ok()) << who;
+  EXPECT_EQ(loaded.total_nodes(), real.grid.total_nodes()) << who;
+  EXPECT_EQ(loaded.total_vias(), real.grid.total_vias()) << who;
+}
+
+TEST(Pipeline, EveryChannelRouterSurvivesSerialization) {
+  const ChannelSpec spec = suite::dense_channel();
+  channel_through_serializer(spec, route_left_edge(spec), "left-edge");
+  channel_through_serializer(spec, route_yoshimura_kuh(spec), "yk");
+  channel_through_serializer(spec, route_dogleg(spec), "dogleg");
+  channel_through_serializer(spec, route_greedy(spec), "greedy");
+}
+
+TEST(Pipeline, RouteImprovePruneSerializeVerify) {
+  // The full quality pipeline on an irregular region.
+  const Problem p = suite::macrocell_region(33);
+  IncrementalRouter router(p);
+  router.run();
+  router.improve(2);
+  prune_all_stubs(p, router.grid());
+  const VerifyReport before = verify(p, router.grid());
+  ASSERT_TRUE(before.drc_clean());
+
+  const RoutingGrid loaded =
+      parse_solution_string(solution_to_string(p, router.grid()), p);
+  const VerifyReport after = verify(p, loaded);
+  EXPECT_EQ(after.completed_net_count, before.completed_net_count);
+  EXPECT_EQ(after.total_wire_nodes, before.total_wire_nodes);
+  EXPECT_EQ(after.total_vias, before.total_vias);
+}
+
+TEST(Pipeline, ProblemTextSurvivesPrewireAndRoutes) {
+  // A problem with a fixed strap goes through the problem serializer, then
+  // routes identically on both sides of the round trip.
+  Problem original{Region(12, 8)};
+  const NetId strap = original.add_net("vdd");
+  original.net(strap).fixed = true;
+  original.net(strap).pins = {{{0, 4}, Layer::kMetal1, false},
+                              {{11, 4}, Layer::kMetal1, false}};
+  original.net(strap).prewire = {
+      {{{0, 4}, Layer::kMetal1}, {{11, 4}, Layer::kMetal1}}};
+  const NetId sig = original.add_net("sig");
+  original.net(sig).pins = {{{5, 0}, Layer::kMetal1, true},
+                            {{5, 7}, Layer::kMetal1, true}};
+  ASSERT_TRUE(original.validate().empty());
+
+  const Problem reparsed = parse_problem_string(problem_to_string(original));
+  ASSERT_TRUE(reparsed.validate().empty());
+
+  IncrementalRouter r1(original), r2(reparsed);
+  const RouteOutcome a = r1.run();
+  const RouteOutcome b = r2.run();
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(r1.grid().total_nodes(), r2.grid().total_nodes());
+  EXPECT_EQ(r1.grid().total_vias(), r2.grid().total_vias());
+  // The strap survived untouched in both.
+  EXPECT_EQ(r1.grid().node_count(strap), 12);
+  EXPECT_EQ(r2.grid().node_count(strap), 12);
+}
+
+TEST(Pipeline, SolutionReloadedIntoRouterAsPrewire) {
+  // A routed layout can be handed back as pre-wire: turn every net's
+  // solution into fixed pre-routes and confirm a fresh router accepts the
+  // state and verifies it — the "partially routed area" workflow end to
+  // end, through the serializer.
+  const Problem p = suite::cross_switchbox().to_problem();
+  IncrementalRouter first(p);
+  ASSERT_TRUE(first.run().complete());
+
+  Problem reloaded = p;  // copy pins/region; attach wire as prewire
+  for (NetId id = 0; id < p.net_count(); ++id) {
+    Net& net = reloaded.net(id);
+    net.fixed = true;
+    for (const GridPoint& g : first.grid().net_nodes(id))
+      net.prewire.push_back({g, g});  // degenerate one-cell segments
+    for (const GridPoint& g : first.grid().net_nodes(id))
+      if (g.layer == Layer::kMetal1 && first.grid().via_owner(g.pos) == id)
+        net.previas.push_back(g.pos);
+  }
+  ASSERT_TRUE(reloaded.validate().empty());
+
+  IncrementalRouter second(reloaded);
+  const RouteOutcome out = second.run();
+  EXPECT_TRUE(out.complete());
+  EXPECT_EQ(out.stats.nets_attempted, 0);  // nothing left to route
+  EXPECT_TRUE(verify(reloaded, second.grid()).all_ok());
+  EXPECT_EQ(second.grid().total_nodes(), first.grid().total_nodes());
+}
+
+TEST(Pipeline, MultiStartFeedsImproveAndSerializer) {
+  const Problem p = suite::burstein_class_switchbox(8).to_problem();
+  RoutedDesign design = route_best_of(p, 3);
+  const VerifyReport before = verify(p, design.grid);
+  ASSERT_TRUE(before.drc_clean());
+  const RoutingGrid loaded =
+      parse_solution_string(solution_to_string(p, design.grid), p);
+  EXPECT_EQ(verify(p, loaded).completed_net_count,
+            before.completed_net_count);
+}
+
+}  // namespace
+}  // namespace gridroute

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "place/placer.hpp"
+
+namespace gridroute {
+namespace {
+
+std::vector<Block> two_blocks() {
+  return {{"a", 2, 2, {0, 0}, false}, {"b", 2, 2, {5, 5}, false}};
+}
+
+TEST(Block, FootprintAndCenter) {
+  const Block b{"m", 4, 3, {2, 5}, false};
+  EXPECT_EQ(b.footprint(), (Rect{{2, 5}, {5, 7}}));
+  EXPECT_EQ(b.center(), (Point{4, 6}));
+}
+
+TEST(Placer, RejectsOutOfBoundsBlocks) {
+  EXPECT_THROW(Placer(4, 4, {{"big", 5, 1, {0, 0}, false}}, {}),
+               std::invalid_argument);
+  EXPECT_THROW(Placer(4, 4, {{"off", 2, 2, {3, 3}, false}}, {}),
+               std::invalid_argument);
+}
+
+TEST(Placer, RejectsInitialOverlap) {
+  EXPECT_THROW(Placer(8, 8,
+                      {{"a", 3, 3, {0, 0}, false},
+                       {"b", 3, 3, {2, 2}, false}},
+                      {}),
+               std::invalid_argument);
+}
+
+TEST(Placer, RejectsDanglingNetReference) {
+  EXPECT_THROW(Placer(8, 8, two_blocks(), {{"n", {0, 7}}}),
+               std::invalid_argument);
+}
+
+TEST(Placer, HpwlOfKnownPlacement) {
+  Placer placer(10, 10, two_blocks(), {{"n", {0, 1}}});
+  // Centers: (1,1) and (6,6): HPWL = 5 + 5.
+  EXPECT_EQ(placer.hpwl(two_blocks()), 10);
+}
+
+TEST(Placer, PullsConnectedBlocksTogether) {
+  // Two connected blocks starting in opposite corners of a large plan.
+  std::vector<Block> blocks{{"a", 2, 2, {0, 0}, false},
+                            {"b", 2, 2, {17, 17}, false}};
+  Placer placer(20, 20, blocks, {{"n", {0, 1}}});
+  const PlacementResult res = placer.run();
+  EXPECT_TRUE(verify_placement(20, 20, blocks, res.blocks).empty());
+  EXPECT_LT(res.final_hpwl, res.initial_hpwl);
+  EXPECT_LE(res.final_hpwl, 4);  // adjacent-ish
+}
+
+TEST(Placer, FixedBlocksNeverMove) {
+  std::vector<Block> blocks{{"pad", 1, 1, {0, 0}, true},
+                            {"m1", 3, 3, {10, 10}, false},
+                            {"m2", 3, 3, {5, 2}, false}};
+  std::vector<BlockNet> nets{{"n1", {0, 1}}, {"n2", {1, 2}}};
+  Placer placer(16, 16, blocks, nets);
+  const PlacementResult res = placer.run();
+  EXPECT_EQ(res.blocks[0].position, (Point{0, 0}));
+  EXPECT_TRUE(verify_placement(16, 16, blocks, res.blocks).empty());
+  EXPECT_LE(res.final_hpwl, res.initial_hpwl);
+}
+
+TEST(Placer, NoOverlapEverAccepted) {
+  // Dense instance: 6 blocks of 3x3 in a 12x12 plan, heavily connected.
+  std::vector<Block> blocks;
+  for (int i = 0; i < 6; ++i)
+    blocks.push_back({"m" + std::to_string(i), 3, 3,
+                      {(i % 3) * 4, (i / 3) * 4}, false});
+  std::vector<BlockNet> nets;
+  for (int i = 0; i < 6; ++i)
+    nets.push_back({"n" + std::to_string(i), {i, (i + 1) % 6}});
+  Placer placer(12, 12, blocks, nets);
+  const PlacementResult res = placer.run();
+  EXPECT_EQ(res.overlap_violations, 0);
+  EXPECT_TRUE(verify_placement(12, 12, blocks, res.blocks).empty());
+}
+
+TEST(Placer, DeterministicPerSeed) {
+  auto run_with = [](std::uint64_t seed) {
+    PlacerOptions opts;
+    opts.seed = seed;
+    std::vector<Block> blocks{{"a", 2, 3, {0, 0}, false},
+                              {"b", 3, 2, {8, 8}, false},
+                              {"c", 2, 2, {4, 9}, false}};
+    std::vector<BlockNet> nets{{"n1", {0, 1}}, {"n2", {1, 2}},
+                               {"n3", {0, 2}}};
+    return Placer(14, 14, blocks, nets, opts).run();
+  };
+  const PlacementResult a = run_with(5);
+  const PlacementResult b = run_with(5);
+  for (std::size_t i = 0; i < a.blocks.size(); ++i)
+    EXPECT_EQ(a.blocks[i].position, b.blocks[i].position);
+  EXPECT_EQ(a.final_hpwl, b.final_hpwl);
+}
+
+TEST(Placer, AllFixedIsANoOp) {
+  std::vector<Block> blocks{{"a", 2, 2, {0, 0}, true},
+                            {"b", 2, 2, {6, 6}, true}};
+  Placer placer(10, 10, blocks, {{"n", {0, 1}}});
+  const PlacementResult res = placer.run();
+  EXPECT_EQ(res.moves_tried, 0);
+  EXPECT_EQ(res.final_hpwl, res.initial_hpwl);
+}
+
+TEST(Placer, SingleBlockNetContributesNothing) {
+  Placer placer(10, 10, two_blocks(), {{"lonely", {0}}});
+  EXPECT_EQ(placer.hpwl(two_blocks()), 0);
+}
+
+TEST(VerifyPlacement, CatchesViolations) {
+  const std::vector<Block> original{{"a", 2, 2, {0, 0}, true}};
+  std::vector<Block> moved = original;
+  moved[0].position = {1, 1};
+  EXPECT_FALSE(verify_placement(8, 8, original, moved).empty());
+
+  const std::vector<Block> overlapping{{"a", 3, 3, {0, 0}, false},
+                                       {"b", 3, 3, {1, 1}, false}};
+  EXPECT_FALSE(
+      verify_placement(8, 8, overlapping, overlapping).empty());
+
+  const std::vector<Block> outside{{"a", 3, 3, {6, 6}, false}};
+  EXPECT_FALSE(verify_placement(8, 8, outside, outside).empty());
+}
+
+}  // namespace
+}  // namespace gridroute

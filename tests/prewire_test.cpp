@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/incremental_router.hpp"
+#include "io/text_format.hpp"
+#include "verify/verify.hpp"
+
+namespace gridroute {
+namespace {
+
+Segment hseg(int x0, int x1, int y, Layer l = Layer::kMetal1) {
+  return {{{x0, y}, l}, {{x1, y}, l}};
+}
+Segment vseg(int x, int y0, int y1, Layer l = Layer::kMetal2) {
+  return {{{x, y0}, l}, {{x, y1}, l}};
+}
+
+TEST(PrewireNodes, ExpandsSegmentsBothDirections) {
+  Net net;
+  net.prewire = {hseg(2, 0, 1)};  // right-to-left order
+  const auto nodes = prewire_nodes(net);
+  ASSERT_EQ(nodes.size(), 3u);
+  EXPECT_EQ(nodes[0], (GridPoint{{2, 1}, Layer::kMetal1}));
+  EXPECT_EQ(nodes[2], (GridPoint{{0, 1}, Layer::kMetal1}));
+}
+
+TEST(PrewireNodes, SingleCellSegment) {
+  Net net;
+  net.prewire = {hseg(3, 3, 3, Layer::kMetal2)};
+  EXPECT_EQ(prewire_nodes(net).size(), 1u);
+}
+
+TEST(PrewireValidate, AcceptsCleanPrewire) {
+  Problem p{Region(8, 8)};
+  const NetId a = p.add_net("a");
+  p.net(a).pins = {{{0, 4}, Layer::kMetal1, false},
+                   {{7, 4}, Layer::kMetal1, false}};
+  p.net(a).prewire = {hseg(0, 7, 4)};
+  p.net(a).fixed = true;
+  EXPECT_TRUE(p.validate().empty());
+}
+
+TEST(PrewireValidate, FlagsOffRegionAndObstacle) {
+  Problem p{Region(6, 6)};
+  p.region().add_obstacle({{3, 3}, {3, 3}}, Layer::kMetal1);
+  const NetId a = p.add_net("a");
+  p.net(a).prewire = {hseg(2, 4, 3)};  // crosses the obstacle cell
+  EXPECT_EQ(p.validate().size(), 1u);
+  p.net(a).prewire = {hseg(2, 9, 3)};  // runs off the region
+  EXPECT_GE(p.validate().size(), 1u);
+}
+
+TEST(PrewireValidate, FlagsCrossNetOverlap) {
+  Problem p{Region(6, 6)};
+  const NetId a = p.add_net("a");
+  const NetId b = p.add_net("b");
+  p.net(a).prewire = {hseg(0, 4, 2)};
+  p.net(b).prewire = {vseg(2, 0, 4, Layer::kMetal1)};  // same layer crossing
+  EXPECT_EQ(p.validate().size(), 1u);
+  // Different layers: legal.
+  p.net(b).prewire = {vseg(2, 0, 4, Layer::kMetal2)};
+  EXPECT_TRUE(p.validate().empty());
+}
+
+TEST(PrewireValidate, FlagsUnanchoredPrevia) {
+  Problem p{Region(6, 6)};
+  const NetId a = p.add_net("a");
+  p.net(a).prewire = {hseg(0, 3, 2)};
+  p.net(a).previas = {{2, 2}};  // M2 not covered
+  EXPECT_EQ(p.validate().size(), 1u);
+  p.net(a).prewire.push_back(vseg(2, 2, 2));  // degenerate M2 landing
+  EXPECT_TRUE(p.validate().empty());
+}
+
+TEST(PrewireValidate, FlagsDiagonalSegment) {
+  Problem p{Region(6, 6)};
+  const NetId a = p.add_net("a");
+  p.net(a).prewire = {{{{0, 0}, Layer::kMetal1}, {{2, 2}, Layer::kMetal1}}};
+  EXPECT_GE(p.validate().size(), 1u);
+}
+
+TEST(PrewireValidate, FlagsFixedNetWithoutWire) {
+  Problem p{Region(6, 6)};
+  const NetId a = p.add_net("a");
+  p.net(a).pins = {{{0, 0}, Layer::kMetal1, false},
+                   {{5, 5}, Layer::kMetal1, false}};
+  p.net(a).fixed = true;
+  EXPECT_EQ(p.validate().size(), 1u);
+}
+
+TEST(PrewireValidate, FlagsPrewireBuryingForeignPin) {
+  Problem p{Region(6, 6)};
+  const NetId a = p.add_net("a");
+  const NetId b = p.add_net("b");
+  p.net(a).prewire = {hseg(0, 5, 2)};
+  p.net(b).pins = {{{3, 2}, Layer::kMetal1, false},
+                   {{3, 5}, Layer::kMetal1, false}};
+  EXPECT_EQ(p.validate().size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Router behaviour
+// ---------------------------------------------------------------------------
+
+/// A fixed power strap across the middle: nets must route around/under it
+/// and may never displace it.
+struct StrapScenario {
+  StrapScenario() : problem{Region(10, 7)} {
+    strap = problem.add_net("vdd");
+    problem.net(strap).fixed = true;
+    problem.net(strap).pins = {{{0, 3}, Layer::kMetal1, false},
+                               {{9, 3}, Layer::kMetal1, false}};
+    problem.net(strap).prewire = {hseg(0, 9, 3)};
+
+    signal = problem.add_net("sig");
+    problem.net(signal).pins = {{{4, 0}, Layer::kMetal1, false},
+                                {{4, 6}, Layer::kMetal1, false}};
+  }
+  Problem problem;
+  NetId strap = kNoNet;
+  NetId signal = kNoNet;
+};
+
+TEST(FixedNets, AppliedToGridBeforeRouting) {
+  StrapScenario s;
+  IncrementalRouter router(s.problem);
+  EXPECT_EQ(router.grid().owner({{5, 3}, Layer::kMetal1}), s.strap);
+  EXPECT_TRUE(net_routed_ok(s.problem, router.grid(), s.strap));
+}
+
+TEST(FixedNets, SignalRoutesAroundStrap) {
+  StrapScenario s;
+  IncrementalRouter router(s.problem);
+  const RouteOutcome out = router.run();
+  EXPECT_TRUE(out.complete());
+  EXPECT_TRUE(verify(s.problem, router.grid()).all_ok());
+  // The strap is untouched: exactly its 10 pre-wire cells.
+  EXPECT_EQ(router.grid().node_count(s.strap), 10);
+  // The signal crossed on M2 (the only way over a fixed M1 strap).
+  EXPECT_EQ(router.grid().owner({{4, 3}, Layer::kMetal2}), s.signal);
+}
+
+TEST(FixedNets, NeverRippedEvenUnderPressure) {
+  // Make the crossing impossible: M2 blocked at the strap row, so the
+  // signal would need to push the strap — which is not allowed. It must
+  // fail and the strap must survive.
+  StrapScenario s;
+  s.problem.region().add_obstacle({{0, 3}, {9, 3}}, Layer::kMetal2);
+  IncrementalRouter router(s.problem);
+  const RouteOutcome out = router.run();
+  EXPECT_FALSE(out.complete());
+  EXPECT_EQ(router.grid().node_count(s.strap), 10);
+  EXPECT_TRUE(net_routed_ok(s.problem, router.grid(), s.strap));
+  EXPECT_EQ(out.stats.strong_ripups, 0);
+}
+
+TEST(FixedNets, RouteNetOnFixedIsANoOp) {
+  StrapScenario s;
+  IncrementalRouter router(s.problem);
+  EXPECT_TRUE(router.route_net(s.strap));
+  EXPECT_EQ(router.stats().nets_attempted, 0);
+}
+
+TEST(Prewire, NonFixedNetExtendsItsPrewire) {
+  Problem p{Region(10, 6)};
+  const NetId a = p.add_net("a");
+  p.net(a).pins = {{{0, 2}, Layer::kMetal1, false},
+                   {{9, 5}, Layer::kMetal1, false}};
+  p.net(a).prewire = {hseg(0, 5, 2)};  // covers the first pin already
+  ASSERT_TRUE(p.validate().empty());
+  IncrementalRouter router(p);
+  EXPECT_TRUE(router.run().complete());
+  EXPECT_TRUE(verify(p, router.grid()).all_ok());
+  // The pre-wire cells are all still owned.
+  for (int x = 0; x <= 5; ++x)
+    EXPECT_EQ(router.grid().owner({{x, 2}, Layer::kMetal1}), a);
+}
+
+TEST(Prewire, SurvivesStrongModificationOfItsNet) {
+  // Net a (with pre-wire) blocks net b's only corridor; strong modification
+  // rips a but its pre-wire must come straight back.
+  Problem p{Region(9, 5)};
+  p.region().add_obstacle({{0, 2}, {8, 2}}, Layer::kMetal2);
+  const NetId a = p.add_net("a");
+  p.net(a).pins = {{{0, 2}, Layer::kMetal1, false},
+                   {{8, 2}, Layer::kMetal1, false}};
+  p.net(a).prewire = {hseg(0, 1, 2)};  // a stub at the left edge
+  const NetId b = p.add_net("b");
+  p.net(b).pins = {{{4, 1}, Layer::kMetal1, false},
+                   {{4, 3}, Layer::kMetal1, false}};
+  RouterOptions opts;
+  opts.enable_weak = false;  // force the strong path
+  IncrementalRouter router(p, opts);
+  ASSERT_TRUE(router.route_net(a));
+  ASSERT_TRUE(router.route_net(b));
+  EXPECT_GE(router.stats().strong_ripups, 1);
+  EXPECT_TRUE(verify(p, router.grid()).all_ok());
+  EXPECT_EQ(router.grid().owner({{0, 2}, Layer::kMetal1}), a);
+  EXPECT_EQ(router.grid().owner({{1, 2}, Layer::kMetal1}), a);
+}
+
+TEST(Prewire, PushProbesCannotCrossForeignPrewire) {
+  // Same corridor geometry, but the trunk is entirely pre-wire: the blocked
+  // net must fail rather than sever it.
+  Problem p{Region(9, 5)};
+  p.region().add_obstacle({{0, 2}, {8, 2}}, Layer::kMetal2);
+  p.region().add_obstacle({{0, 0}, {8, 0}});  // no detour rows
+  p.region().add_obstacle({{0, 4}, {8, 4}});
+  const NetId a = p.add_net("a");
+  p.net(a).pins = {{{0, 2}, Layer::kMetal1, false},
+                   {{8, 2}, Layer::kMetal1, false}};
+  p.net(a).prewire = {hseg(0, 8, 2)};
+  p.net(a).fixed = true;
+  const NetId b = p.add_net("b");
+  p.net(b).pins = {{{4, 1}, Layer::kMetal1, false},
+                   {{4, 3}, Layer::kMetal1, false}};
+  IncrementalRouter router(p);
+  const RouteOutcome out = router.run();
+  EXPECT_FALSE(out.complete());
+  EXPECT_EQ(router.grid().node_count(a), 9);  // untouched
+}
+
+TEST(Prewire, ConflictingPrewireThrowsAtConstruction) {
+  Problem p{Region(6, 6)};
+  const NetId a = p.add_net("a");
+  const NetId b = p.add_net("b");
+  p.net(a).prewire = {hseg(0, 4, 2)};
+  p.net(b).prewire = {hseg(2, 5, 2)};  // overlaps on the same layer
+  EXPECT_FALSE(p.validate().empty());
+  EXPECT_THROW(IncrementalRouter router(p), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Text format round trip
+// ---------------------------------------------------------------------------
+
+TEST(PrewireText, ParsesWireViaFixed) {
+  const Problem p = parse_problem_string(R"(
+region 8 8
+net vdd
+fixed
+pin 0 3 m1
+pin 7 3 m1
+wire 0 3 7 3 m1
+wire 4 3 4 3 m2
+via 4 3
+)");
+  ASSERT_EQ(p.net_count(), 1);
+  EXPECT_TRUE(p.net(0).fixed);
+  EXPECT_EQ(p.net(0).prewire.size(), 2u);
+  EXPECT_EQ(p.net(0).previas.size(), 1u);
+  EXPECT_TRUE(p.validate().empty());
+}
+
+TEST(PrewireText, RoundTrips) {
+  Problem original{Region(8, 8)};
+  const NetId a = original.add_net("vdd");
+  original.net(a).fixed = true;
+  original.net(a).pins = {{{0, 3}, Layer::kMetal1, false}};
+  original.net(a).prewire = {hseg(0, 7, 3), vseg(4, 3, 3)};
+  original.net(a).previas = {{4, 3}};
+
+  const Problem copy = parse_problem_string(problem_to_string(original));
+  EXPECT_EQ(copy.net(0).fixed, original.net(0).fixed);
+  EXPECT_EQ(copy.net(0).prewire, original.net(0).prewire);
+  EXPECT_EQ(copy.net(0).previas, original.net(0).previas);
+}
+
+TEST(PrewireText, RejectsMalformedWire) {
+  EXPECT_THROW(parse_problem_string("region 4 4\nnet a\nwire 0 0 2 2 m1\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_problem_string("region 4 4\nnet a\nwire 0 0 2 0 m3\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_problem_string("region 4 4\nwire 0 0 2 0 m1\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_problem_string("region 4 4\nfixed\n"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gridroute

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "problem/problem.hpp"
+
+namespace gridroute {
+namespace {
+
+TEST(Region, FullRectangleIsRoutableEverywhere) {
+  const Region r(5, 4);
+  EXPECT_EQ(r.width(), 5);
+  EXPECT_EQ(r.height(), 4);
+  for (int y = 0; y < 4; ++y)
+    for (int x = 0; x < 5; ++x) {
+      EXPECT_TRUE(r.in_region({x, y}));
+      EXPECT_TRUE(r.routable({{x, y}, Layer::kMetal1}));
+      EXPECT_TRUE(r.routable({{x, y}, Layer::kMetal2}));
+    }
+  EXPECT_EQ(r.routable_node_count(), 5 * 4 * 2);
+}
+
+TEST(Region, OutOfBoundsIsBlocked) {
+  const Region r(3, 3);
+  EXPECT_FALSE(r.in_region({-1, 0}));
+  EXPECT_FALSE(r.in_region({3, 0}));
+  EXPECT_TRUE(r.blocked({{0, 3}, Layer::kMetal1}));
+  EXPECT_TRUE(r.blocked({{-1, -1}, Layer::kMetal2}));
+}
+
+TEST(Region, SubtractCarvesRectilinearOutline) {
+  Region r(6, 6);
+  r.subtract({{4, 4}, {5, 5}});  // notch the top-right corner
+  EXPECT_FALSE(r.in_region({4, 4}));
+  EXPECT_FALSE(r.in_region({5, 5}));
+  EXPECT_TRUE(r.in_region({3, 4}));
+  EXPECT_TRUE(r.in_region({4, 3}));
+  EXPECT_TRUE(r.blocked({{5, 4}, Layer::kMetal1}));
+  EXPECT_TRUE(r.blocked({{5, 4}, Layer::kMetal2}));
+  EXPECT_EQ(r.routable_node_count(), (36 - 4) * 2);
+}
+
+TEST(Region, PerLayerObstacleBlocksOnlyThatLayer) {
+  Region r(4, 4);
+  r.add_obstacle({{1, 1}, {2, 2}}, Layer::kMetal1);
+  EXPECT_TRUE(r.blocked({{1, 1}, Layer::kMetal1}));
+  EXPECT_FALSE(r.blocked({{1, 1}, Layer::kMetal2}));
+  EXPECT_TRUE(r.in_region({1, 1}));  // still inside the region outline
+}
+
+TEST(Region, BothLayerObstacle) {
+  Region r(4, 4);
+  r.add_obstacle({{0, 0}, {0, 3}});
+  for (int y = 0; y < 4; ++y) {
+    EXPECT_TRUE(r.blocked({{0, y}, Layer::kMetal1}));
+    EXPECT_TRUE(r.blocked({{0, y}, Layer::kMetal2}));
+  }
+}
+
+TEST(Region, ObstacleClippedToBounds) {
+  Region r(3, 3);
+  r.add_obstacle({{-5, -5}, {0, 0}});  // mostly outside
+  EXPECT_TRUE(r.blocked({{0, 0}, Layer::kMetal1}));
+  EXPECT_FALSE(r.blocked({{1, 1}, Layer::kMetal1}));
+}
+
+TEST(Problem, AddNetAssignsSequentialIds) {
+  Problem p{Region(4, 4)};
+  const NetId a = p.add_net("a");
+  const NetId b = p.add_net("b");
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(p.net_count(), 2);
+  EXPECT_EQ(p.net(a).name, "a");
+}
+
+TEST(Problem, ValidateAcceptsWellFormed) {
+  Problem p{Region(5, 5)};
+  const NetId a = p.add_net("a");
+  p.net(a).pins.push_back({{0, 0}, Layer::kMetal1, false});
+  p.net(a).pins.push_back({{4, 4}, Layer::kMetal2, false});
+  EXPECT_TRUE(p.validate().empty());
+}
+
+TEST(Problem, ValidateFlagsOutOfRegionPin) {
+  Problem p{Region(5, 5)};
+  const NetId a = p.add_net("a");
+  p.net(a).pins.push_back({{9, 0}, Layer::kMetal1, false});
+  const auto issues = p.validate();
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].find("outside"), std::string::npos);
+}
+
+TEST(Problem, ValidateFlagsPinOnObstacle) {
+  Problem p{Region(5, 5)};
+  p.region().add_obstacle({{2, 2}, {2, 2}}, Layer::kMetal1);
+  const NetId a = p.add_net("a");
+  p.net(a).pins.push_back({{2, 2}, Layer::kMetal1, false});
+  EXPECT_EQ(p.validate().size(), 1u);
+  // An any-layer pin survives a single-layer obstacle.
+  Problem q{Region(5, 5)};
+  q.region().add_obstacle({{2, 2}, {2, 2}}, Layer::kMetal1);
+  const NetId b = q.add_net("b");
+  q.net(b).pins.push_back({{2, 2}, Layer::kMetal1, true});
+  EXPECT_TRUE(q.validate().empty());
+}
+
+TEST(Problem, ValidateFlagsCrossNetPinCollision) {
+  Problem p{Region(5, 5)};
+  const NetId a = p.add_net("a");
+  const NetId b = p.add_net("b");
+  p.net(a).pins.push_back({{1, 1}, Layer::kMetal1, false});
+  p.net(b).pins.push_back({{1, 1}, Layer::kMetal2, false});
+  EXPECT_EQ(p.validate().size(), 1u);
+}
+
+TEST(Problem, SameNetDuplicatePinAllowed) {
+  Problem p{Region(5, 5)};
+  const NetId a = p.add_net("a");
+  p.net(a).pins.push_back({{1, 1}, Layer::kMetal1, false});
+  p.net(a).pins.push_back({{1, 1}, Layer::kMetal2, false});
+  EXPECT_TRUE(p.validate().empty());
+}
+
+TEST(Problem, ConnectionCountSumsPinsMinusOne) {
+  Problem p{Region(8, 8)};
+  const NetId a = p.add_net("a");  // 3 pins -> 2 connections
+  p.net(a).pins = {{{0, 0}, Layer::kMetal1, false},
+                   {{1, 1}, Layer::kMetal1, false},
+                   {{2, 2}, Layer::kMetal1, false}};
+  p.add_net("b");                  // 0 pins -> 0
+  const NetId c = p.add_net("c");  // 1 pin -> 0
+  p.net(c).pins = {{{3, 3}, Layer::kMetal1, false}};
+  EXPECT_EQ(p.connection_count(), 2);
+}
+
+TEST(ChannelSpec, DensityOfDisjointNetsIsOne) {
+  const ChannelSpec c{{1, 1, 0, 2, 2, 0}, {0, 0, 0, 0, 0, 0}};
+  EXPECT_EQ(c.density(), 1);
+}
+
+TEST(ChannelSpec, DensityCountsCrossingNets) {
+  // Net 1 spans [0,3], net 2 spans [1,2], net 3 spans [2,4].
+  const ChannelSpec c{{1, 2, 3, 1, 0}, {0, 0, 2, 0, 3}};
+  EXPECT_EQ(c.density(), 3);  // column 2 crossed by 1, 2 and 3
+}
+
+TEST(ChannelSpec, NetNumbersSortedDistinct) {
+  const ChannelSpec c{{3, 1, 0, 3}, {1, 0, 7, 0}};
+  EXPECT_EQ(c.net_numbers(), (std::vector<int>{1, 3, 7}));
+}
+
+TEST(ChannelSpec, ToProblemLaysOutPinRows) {
+  const ChannelSpec c{{1, 0, 2}, {2, 1, 0}};
+  const Problem p = c.to_problem(3);
+  EXPECT_EQ(p.region().width(), 3);
+  EXPECT_EQ(p.region().height(), 5);  // 3 tracks + 2 pin rows
+  EXPECT_EQ(p.net_count(), 2);
+  EXPECT_TRUE(p.validate().empty());
+  // Net numbering is dense in first-appearance order: bottom[0]=2 first.
+  EXPECT_EQ(p.net(0).name, "n2");
+  EXPECT_EQ(p.net(1).name, "n1");
+  // Pins of n1: bottom col 1 (row 0), top col 0 (row 4); committed to M2.
+  const Net& n1 = p.net(1);
+  ASSERT_EQ(n1.pins.size(), 2u);
+  for (const Pin& pin : n1.pins) {
+    EXPECT_EQ(pin.layer, Layer::kMetal2);
+    EXPECT_FALSE(pin.any_layer);
+  }
+}
+
+TEST(SwitchboxSpec, ToProblemPlacesAllFourSides) {
+  const SwitchboxSpec s{{0, 1, 0},   // top, w=3
+                        {0, 2, 0},   // bottom
+                        {0, 1, 0, 0},  // left, h=4
+                        {0, 0, 2, 0}}; // right
+  const Problem p = s.to_problem();
+  EXPECT_EQ(p.region().width(), 3);
+  EXPECT_EQ(p.region().height(), 4);
+  EXPECT_EQ(p.net_count(), 2);
+  EXPECT_TRUE(p.validate().empty());
+  int total_pins = 0;
+  for (const Net& n : p.nets()) total_pins += static_cast<int>(n.pins.size());
+  EXPECT_EQ(total_pins, 4);
+  for (const Net& n : p.nets())
+    for (const Pin& pin : n.pins) EXPECT_TRUE(pin.any_layer);
+}
+
+TEST(SwitchboxSpec, NetNumbersAcrossAllSides) {
+  const SwitchboxSpec s{{5, 0}, {0, 2}, {9, 0}, {0, 5}};
+  EXPECT_EQ(s.net_numbers(), (std::vector<int>{2, 5, 9}));
+}
+
+}  // namespace
+}  // namespace gridroute

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "bench_suite/suite.hpp"
+#include "channel/channel_analysis.hpp"
+#include "channel/channel_routers.hpp"
+#include "core/incremental_router.hpp"
+#include "core/stub_pruner.hpp"
+#include "maze/maze_router.hpp"
+#include "util/rng.hpp"
+#include "verify/verify.hpp"
+
+namespace gridroute {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Randomized invariants, parameterized over seeds (property-style sweeps).
+// ---------------------------------------------------------------------------
+
+class SeededProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+/// Invariant: anything the router produces passes the independent DRC, on
+/// any input, routable or not.
+TEST_P(SeededProperty, RouterNeverViolatesDrc) {
+  const SwitchboxSpec spec =
+      suite::random_switchbox(GetParam(), 14, 10, 12, 4, 0.6);
+  const Problem p = spec.to_problem();
+  IncrementalRouter router(p);
+  router.run();
+  const VerifyReport report = verify(p, router.grid());
+  EXPECT_TRUE(report.drc_clean());
+}
+
+/// Invariant: claimed completion equals verified completion.
+TEST_P(SeededProperty, ClaimedCompletionIsVerifiedCompletion) {
+  const SwitchboxSpec spec =
+      suite::random_switchbox(GetParam() * 7 + 1, 12, 12, 10, 3, 0.5);
+  const Problem p = spec.to_problem();
+  IncrementalRouter router(p);
+  const RouteOutcome out = router.run();
+  const VerifyReport report = verify(p, router.grid());
+  EXPECT_EQ(out.stats.nets_routed, report.completed_net_count);
+  for (const NetId id : out.failed) EXPECT_FALSE(report.nets[id].ok());
+}
+
+/// Invariant: rip-up counts never exceed the configured budget, so the
+/// algorithm provably terminates.
+TEST_P(SeededProperty, RipupBudgetRespected) {
+  const SwitchboxSpec spec =
+      suite::random_switchbox(GetParam() * 3 + 2, 10, 10, 14, 4, 0.8);
+  const Problem p = spec.to_problem();
+  RouterOptions opts;
+  opts.max_ripups_per_net = 3;
+  IncrementalRouter router(p, opts);
+  const RouteOutcome out = router.run();
+  EXPECT_LE(out.stats.strong_ripups, p.net_count() * opts.max_ripups_per_net);
+}
+
+/// Invariant: pruning is idempotent and preserves verified connectivity.
+TEST_P(SeededProperty, PruningIdempotentAndSafe) {
+  const SwitchboxSpec spec =
+      suite::random_switchbox(GetParam() + 100, 12, 10, 10, 4, 0.55);
+  const Problem p = spec.to_problem();
+  IncrementalRouter router(p);
+  router.run();
+  const VerifyReport before = verify(p, router.grid());
+  prune_all_stubs(p, router.grid());
+  const int second_pass = prune_all_stubs(p, router.grid());
+  EXPECT_EQ(second_pass, 0);  // idempotent
+  const VerifyReport after = verify(p, router.grid());
+  EXPECT_EQ(after.completed_net_count, before.completed_net_count);
+}
+
+/// Invariant: maze paths are well-formed walks whose cost respects the
+/// Manhattan lower bound, and push-free searches cross nothing.
+TEST_P(SeededProperty, MazePathsWellFormedAndBounded) {
+  Rng rng(GetParam() * 13 + 5);
+  Problem p{Region(20, 20)};
+  p.add_net("x");
+  RoutingGrid grid(p.region(), 1);
+  PinBlocks pins(p);
+  WeightedMazeRouter router(grid, pins);
+  const CostModel& m = router.cost_model();
+
+  for (int trial = 0; trial < 20; ++trial) {
+    const GridPoint s{{rng.next_int(0, 19), rng.next_int(0, 19)},
+                      Layer::kMetal1};
+    const GridPoint t{{rng.next_int(0, 19), rng.next_int(0, 19)},
+                      rng.next_bool(0.5) ? Layer::kMetal1 : Layer::kMetal2};
+    SearchRequest req;
+    req.sources = {s};
+    req.targets = {t};
+    req.net = 0;
+    const SearchResult res = router.route(req);
+    ASSERT_TRUE(res.found);
+    EXPECT_TRUE(res.path.well_formed());
+    EXPECT_TRUE(res.crossed.empty());
+    EXPECT_GE(res.cost, m.step * manhattan(s.pos, t.pos));
+    EXPECT_EQ(res.path.nodes.front(), s);
+    EXPECT_EQ(res.path.nodes.back().pos, t.pos);
+  }
+}
+
+/// Invariant: the Lee router finds a path exactly when the weighted router
+/// does (same reachability), and its step count is never beaten.
+TEST_P(SeededProperty, LeeIsStepOptimal) {
+  Rng rng(GetParam() * 29 + 3);
+  Problem p{Region(16, 16)};
+  // Sprinkle random both-layer obstacles.
+  for (int k = 0; k < 30; ++k) {
+    const Point o{rng.next_int(0, 15), rng.next_int(0, 15)};
+    p.region().add_obstacle({o, o});
+  }
+  p.add_net("x");
+  RoutingGrid grid(p.region(), 1);
+  PinBlocks pins(p);
+  LeeRouter lee(grid, pins);
+  WeightedMazeRouter weighted(grid, pins);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    SearchRequest req;
+    req.net = 0;
+    const GridPoint s{{rng.next_int(0, 15), rng.next_int(0, 15)},
+                      Layer::kMetal1};
+    const GridPoint t{{rng.next_int(0, 15), rng.next_int(0, 15)},
+                      Layer::kMetal1};
+    if (p.region().blocked(s) || p.region().blocked(t)) continue;
+    req.sources = {s};
+    req.targets = {t};
+    const SearchResult a = lee.route(req);
+    const SearchResult b = weighted.route(req);
+    EXPECT_EQ(a.found, b.found);
+    if (a.found && b.found) {
+      EXPECT_LE(a.path.length(), b.path.length());
+    }
+  }
+}
+
+/// Invariant: the grid journal makes any routing episode perfectly
+/// reversible.
+TEST_P(SeededProperty, JournalRoundTripsArbitraryEdits) {
+  Rng rng(GetParam() * 31 + 7);
+  Region region(12, 12);
+  RoutingGrid grid(region, 4);
+
+  // Phase 1: build a base state and commit it.
+  for (int k = 0; k < 40; ++k)
+    grid.occupy({{rng.next_int(0, 11), rng.next_int(0, 11)},
+                 rng.next_bool(0.5) ? Layer::kMetal1 : Layer::kMetal2},
+                static_cast<NetId>(rng.next_below(4)));
+  grid.commit();
+  const int base_nodes = grid.total_nodes();
+  const int base_vias = grid.total_vias();
+  const auto base_net0 = grid.net_nodes(0);
+
+  // Phase 2: a storm of random edits under a mark...
+  const RoutingGrid::Mark mark = grid.mark();
+  for (int k = 0; k < 200; ++k) {
+    const GridPoint g{{rng.next_int(0, 11), rng.next_int(0, 11)},
+                      rng.next_bool(0.5) ? Layer::kMetal1 : Layer::kMetal2};
+    switch (rng.next_below(4)) {
+      case 0:
+        grid.occupy(g, static_cast<NetId>(rng.next_below(4)));
+        break;
+      case 1:
+        grid.release(g);
+        break;
+      case 2:
+        grid.add_via(g.pos, grid.owner(g));
+        break;
+      case 3:
+        grid.rip_net(static_cast<NetId>(rng.next_below(4)));
+        break;
+    }
+  }
+  // ...then unwind.
+  grid.rollback(mark);
+  EXPECT_EQ(grid.total_nodes(), base_nodes);
+  EXPECT_EQ(grid.total_vias(), base_vias);
+  // Node lists may be reordered by the rollback, but as sets they match.
+  auto as_set = [](std::vector<GridPoint> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(as_set(grid.net_nodes(0)), as_set(base_net0));
+}
+
+/// Invariant: greedy channel solutions verify for arbitrary generated
+/// channels, and track counts never dip below density.
+TEST_P(SeededProperty, GreedyChannelSolutionsAlwaysVerify) {
+  const ChannelSpec spec =
+      suite::deutsch_class_channel(GetParam() * 17 + 11, 48, 6);
+  const ChannelResult res = route_greedy(spec);
+  ASSERT_TRUE(res.success) << res.reason;
+  EXPECT_GE(res.tracks(), ChannelAnalysis(spec).density());
+  RealizedChannel real = realize(spec, res.solution);
+  EXPECT_TRUE(verify(real.problem, real.grid).all_ok());
+}
+
+/// Invariant: dogleg solutions verify whenever doglegging claims success.
+TEST_P(SeededProperty, DoglegSolutionsAlwaysVerify) {
+  const ChannelSpec spec =
+      suite::deutsch_class_channel(GetParam() * 19 + 23, 48, 6);
+  const ChannelResult res = route_dogleg(spec);
+  if (!res.success) return;
+  RealizedChannel real = realize(spec, res.solution);
+  EXPECT_TRUE(verify(real.problem, real.grid).all_ok());
+}
+
+/// Invariant: disabling modification stages can only reduce (or keep equal)
+/// the number of completed nets — the ablation direction the paper claims.
+TEST_P(SeededProperty, ModificationMonotonicity) {
+  const SwitchboxSpec spec =
+      suite::random_switchbox(GetParam() * 41 + 13, 12, 10, 12, 3, 0.6);
+  const Problem p = spec.to_problem();
+
+  RouterOptions none;
+  none.enable_weak = false;
+  none.enable_strong = false;
+  RouterOptions weak_only;
+  weak_only.enable_strong = false;
+  RouterOptions full;
+
+  IncrementalRouter r_none(p, none);
+  IncrementalRouter r_weak(p, weak_only);
+  IncrementalRouter r_full(p, full);
+  const int c_none = r_none.run().stats.nets_routed;
+  const int c_weak = r_weak.run().stats.nets_routed;
+  const int c_full = r_full.run().stats.nets_routed;
+  EXPECT_GE(c_weak, c_none);
+  EXPECT_GE(c_full, c_none);
+}
+
+}  // namespace
+}  // namespace gridroute

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bench_suite/suite.hpp"
+#include "core/incremental_router.hpp"
+#include "io/solution_format.hpp"
+#include "verify/verify.hpp"
+
+namespace gridroute {
+namespace {
+
+/// Node/via sets of two grids match exactly, per net.
+void expect_same_layout(const Problem& p, const RoutingGrid& a,
+                        const RoutingGrid& b) {
+  ASSERT_EQ(a.total_nodes(), b.total_nodes());
+  ASSERT_EQ(a.total_vias(), b.total_vias());
+  for (NetId id = 0; id < p.net_count(); ++id) {
+    auto sorted = [](std::vector<GridPoint> v) {
+      std::sort(v.begin(), v.end());
+      return v;
+    };
+    EXPECT_EQ(sorted(a.net_nodes(id)), sorted(b.net_nodes(id)))
+        << p.net(id).name;
+    EXPECT_EQ(a.via_count(id), b.via_count(id)) << p.net(id).name;
+  }
+}
+
+TEST(SolutionFormat, RoundTripsRoutedSwitchbox) {
+  const Problem p = suite::dense_switchbox().to_problem();
+  IncrementalRouter router(p);
+  ASSERT_TRUE(router.run().complete());
+
+  const std::string text = solution_to_string(p, router.grid());
+  const RoutingGrid loaded = parse_solution_string(text, p);
+  expect_same_layout(p, router.grid(), loaded);
+  EXPECT_TRUE(verify(p, loaded).all_ok());
+}
+
+TEST(SolutionFormat, RoundTripsPartialLayouts) {
+  const Problem p = suite::burstein_class_switchbox(4).to_problem();
+  IncrementalRouter router(p);
+  router.run();  // completes or not — the layout must round-trip either way
+  const RoutingGrid loaded =
+      parse_solution_string(solution_to_string(p, router.grid()), p);
+  expect_same_layout(p, router.grid(), loaded);
+}
+
+TEST(SolutionFormat, RoundTripsIrregularRegion) {
+  const Problem p = suite::macrocell_region(21);
+  IncrementalRouter router(p);
+  router.run();
+  const RoutingGrid loaded =
+      parse_solution_string(solution_to_string(p, router.grid()), p);
+  expect_same_layout(p, router.grid(), loaded);
+}
+
+TEST(SolutionFormat, EmptySolutionIsLegal) {
+  const Problem p = suite::cross_switchbox().to_problem();
+  const RoutingGrid empty(p.region(), p.net_count());
+  const RoutingGrid loaded =
+      parse_solution_string(solution_to_string(p, empty), p);
+  EXPECT_EQ(loaded.total_nodes(), 0);
+}
+
+TEST(SolutionFormat, IsolatedCellAndStackedVia) {
+  Problem p{Region(4, 4)};
+  const NetId a = p.add_net("a");
+  RoutingGrid g(p.region(), 1);
+  g.occupy({{2, 2}, Layer::kMetal1}, a);
+  g.occupy({{2, 2}, Layer::kMetal2}, a);
+  g.add_via({2, 2}, a);
+  const RoutingGrid loaded =
+      parse_solution_string(solution_to_string(p, g), p);
+  expect_same_layout(p, g, loaded);
+  EXPECT_TRUE(loaded.has_via({2, 2}));
+}
+
+TEST(SolutionFormat, RejectsUnknownNet) {
+  const Problem p = suite::cross_switchbox().to_problem();
+  EXPECT_THROW(parse_solution_string("solution\nnet bogus\n", p),
+               std::runtime_error);
+}
+
+TEST(SolutionFormat, RejectsConflictingWire) {
+  Problem p{Region(4, 4)};
+  p.add_net("a");
+  p.add_net("b");
+  EXPECT_THROW(parse_solution_string(
+                   "solution\nnet a\nseg 0 0 3 0 m1\n"
+                   "net b\nseg 2 0 2 0 m1\n",
+                   p),
+               std::runtime_error);
+}
+
+TEST(SolutionFormat, RejectsDiagonalSegAndDanglingVia) {
+  Problem p{Region(4, 4)};
+  p.add_net("a");
+  EXPECT_THROW(parse_solution_string("solution\nnet a\nseg 0 0 2 2 m1\n", p),
+               std::runtime_error);
+  EXPECT_THROW(parse_solution_string("solution\nnet a\nvia 1 1\n", p),
+               std::runtime_error);
+}
+
+TEST(SolutionFormat, RejectsMissingHeaderAndStrayKeywords) {
+  Problem p{Region(4, 4)};
+  p.add_net("a");
+  EXPECT_THROW(parse_solution_string("net a\n", p), std::runtime_error);
+  EXPECT_THROW(parse_solution_string("solution\nseg 0 0 1 0 m1\n", p),
+               std::runtime_error);
+  EXPECT_THROW(parse_solution_string("", p), std::runtime_error);
+}
+
+TEST(SolutionFormat, OutputIsDeterministic) {
+  const Problem p = suite::dense_switchbox().to_problem();
+  IncrementalRouter r1(p), r2(p);
+  r1.run();
+  r2.run();
+  EXPECT_EQ(solution_to_string(p, r1.grid()),
+            solution_to_string(p, r2.grid()));
+}
+
+}  // namespace
+}  // namespace gridroute

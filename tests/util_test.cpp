@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/disjoint_set.hpp"
+#include "util/rng.hpp"
+
+namespace gridroute {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(77);
+  const auto first = a.next_u64();
+  a.next_u64();
+  a.reseed(77);
+  EXPECT_EQ(a.next_u64(), first);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.next_below(7), 7u);
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(11);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int v = rng.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo |= v == -3;
+    hit_hi |= v == 3;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, NextIntSingletonRange) {
+  Rng rng(13);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.next_int(4, 4), 4);
+}
+
+TEST(Rng, NextDoubleInHalfOpenUnitInterval) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);  // law of large numbers, loose
+}
+
+TEST(Rng, BernoulliApproximatesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.next_bool(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(DisjointSet, StartsFullyDisjoint) {
+  DisjointSet ds(5);
+  EXPECT_EQ(ds.component_count(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(ds.component_size(i), 1u);
+  EXPECT_FALSE(ds.connected(0, 4));
+}
+
+TEST(DisjointSet, UniteMergesAndReportsNovelty) {
+  DisjointSet ds(4);
+  EXPECT_TRUE(ds.unite(0, 1));
+  EXPECT_FALSE(ds.unite(1, 0));  // already together
+  EXPECT_TRUE(ds.unite(2, 3));
+  EXPECT_TRUE(ds.unite(0, 3));
+  EXPECT_FALSE(ds.unite(1, 2));
+  EXPECT_EQ(ds.component_count(), 1u);
+  EXPECT_EQ(ds.component_size(2), 4u);
+}
+
+TEST(DisjointSet, TransitiveConnectivity) {
+  DisjointSet ds(6);
+  ds.unite(0, 1);
+  ds.unite(1, 2);
+  ds.unite(3, 4);
+  EXPECT_TRUE(ds.connected(0, 2));
+  EXPECT_TRUE(ds.connected(3, 4));
+  EXPECT_FALSE(ds.connected(2, 3));
+  EXPECT_EQ(ds.component_count(), 3u);  // {0,1,2} {3,4} {5}
+}
+
+TEST(DisjointSet, ResetReinitializes) {
+  DisjointSet ds(3);
+  ds.unite(0, 1);
+  ds.reset(4);
+  EXPECT_EQ(ds.size(), 4u);
+  EXPECT_EQ(ds.component_count(), 4u);
+  EXPECT_FALSE(ds.connected(0, 1));
+}
+
+TEST(DisjointSet, ChainOfThousandStaysConsistent) {
+  const std::size_t n = 1000;
+  DisjointSet ds(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) ds.unite(i, i + 1);
+  EXPECT_EQ(ds.component_count(), 1u);
+  EXPECT_TRUE(ds.connected(0, n - 1));
+  EXPECT_EQ(ds.component_size(500), n);
+}
+
+}  // namespace
+}  // namespace gridroute

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "verify/verify.hpp"
+
+namespace gridroute {
+namespace {
+
+Problem two_pin_problem() {
+  Problem p{Region(6, 4)};
+  const NetId a = p.add_net("a");
+  p.net(a).pins.push_back({{0, 1}, Layer::kMetal1, false});
+  p.net(a).pins.push_back({{5, 1}, Layer::kMetal1, false});
+  return p;
+}
+
+TEST(Verify, EmptyGridOfUnroutedNetIsCleanButIncomplete) {
+  const Problem p = two_pin_problem();
+  const RoutingGrid g(p.region(), p.net_count());
+  const VerifyReport r = verify(p, g);
+  EXPECT_TRUE(r.drc_clean());
+  EXPECT_FALSE(r.all_ok());
+  EXPECT_EQ(r.routable_net_count, 1);
+  EXPECT_EQ(r.completed_net_count, 0);
+  EXPECT_DOUBLE_EQ(r.completion_rate(), 0.0);
+}
+
+TEST(Verify, StraightWireCompletesNet) {
+  const Problem p = two_pin_problem();
+  RoutingGrid g(p.region(), p.net_count());
+  for (int x = 0; x <= 5; ++x) g.occupy({{x, 1}, Layer::kMetal1}, 0);
+  const VerifyReport r = verify(p, g);
+  EXPECT_TRUE(r.all_ok());
+  EXPECT_EQ(r.nets[0].wire_nodes, 6);
+  EXPECT_TRUE(net_routed_ok(p, g, 0));
+}
+
+TEST(Verify, GapBreaksConnectivity) {
+  const Problem p = two_pin_problem();
+  RoutingGrid g(p.region(), p.net_count());
+  for (int x = 0; x <= 5; ++x)
+    if (x != 3) g.occupy({{x, 1}, Layer::kMetal1}, 0);
+  const VerifyReport r = verify(p, g);
+  EXPECT_TRUE(r.drc_clean());  // no rule broken, just not connected
+  EXPECT_FALSE(r.nets[0].connected);
+  EXPECT_TRUE(r.nets[0].pins_covered);
+  EXPECT_FALSE(net_routed_ok(p, g, 0));
+}
+
+TEST(Verify, StackedLayersWithoutViaAreNotConnected) {
+  const Problem p = [] {
+    Problem q{Region(4, 4)};
+    const NetId a = q.add_net("a");
+    q.net(a).pins.push_back({{0, 0}, Layer::kMetal1, false});
+    q.net(a).pins.push_back({{0, 0}, Layer::kMetal2, false});
+    return q;
+  }();
+  RoutingGrid g(p.region(), p.net_count());
+  g.occupy({{0, 0}, Layer::kMetal1}, 0);
+  g.occupy({{0, 0}, Layer::kMetal2}, 0);
+  EXPECT_FALSE(net_routed_ok(p, g, 0));  // no via: electrically separate
+  g.add_via({0, 0}, 0);
+  EXPECT_TRUE(net_routed_ok(p, g, 0));
+}
+
+TEST(Verify, ViaJoinsLayers) {
+  Problem p{Region(6, 6)};
+  const NetId a = p.add_net("a");
+  p.net(a).pins.push_back({{0, 0}, Layer::kMetal1, false});
+  p.net(a).pins.push_back({{2, 4}, Layer::kMetal2, false});
+  RoutingGrid g(p.region(), p.net_count());
+  for (int x = 0; x <= 2; ++x) g.occupy({{x, 0}, Layer::kMetal1}, a);
+  for (int y = 0; y <= 4; ++y) g.occupy({{2, y}, Layer::kMetal2}, a);
+  EXPECT_FALSE(net_routed_ok(p, g, a));
+  g.add_via({2, 0}, a);
+  EXPECT_TRUE(net_routed_ok(p, g, a));
+  EXPECT_TRUE(verify(p, g).all_ok());
+}
+
+TEST(Verify, AnyLayerPinCoveredByEitherLayer) {
+  Problem p{Region(4, 4)};
+  const NetId a = p.add_net("a");
+  p.net(a).pins.push_back({{0, 0}, Layer::kMetal1, true});
+  p.net(a).pins.push_back({{3, 0}, Layer::kMetal1, true});
+  RoutingGrid g(p.region(), p.net_count());
+  for (int x = 0; x <= 3; ++x) g.occupy({{x, 0}, Layer::kMetal2}, a);
+  EXPECT_TRUE(net_routed_ok(p, g, a));  // wire entirely on M2
+}
+
+TEST(Verify, SingleAndZeroPinNetsAreTriviallyOk) {
+  Problem p{Region(4, 4)};
+  p.add_net("empty");
+  const NetId s = p.add_net("single");
+  p.net(s).pins.push_back({{1, 1}, Layer::kMetal1, false});
+  const RoutingGrid g(p.region(), p.net_count());
+  const VerifyReport r = verify(p, g);
+  EXPECT_TRUE(r.all_ok());
+  EXPECT_EQ(r.routable_net_count, 0);
+  EXPECT_DOUBLE_EQ(r.completion_rate(), 1.0);
+}
+
+TEST(Verify, FlagsWireBuryingForeignPin) {
+  Problem p{Region(5, 5)};
+  const NetId a = p.add_net("a");
+  const NetId b = p.add_net("b");
+  p.net(a).pins.push_back({{0, 0}, Layer::kMetal1, false});
+  p.net(a).pins.push_back({{4, 0}, Layer::kMetal1, false});
+  p.net(b).pins.push_back({{2, 0}, Layer::kMetal1, false});
+  p.net(b).pins.push_back({{2, 4}, Layer::kMetal1, false});
+  RoutingGrid g(p.region(), p.net_count());
+  for (int x = 0; x <= 4; ++x) g.occupy({{x, 0}, Layer::kMetal1}, a);
+  const VerifyReport r = verify(p, g);
+  EXPECT_FALSE(r.drc_clean());
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_NE(r.violations[0].find("buries a pin"), std::string::npos);
+}
+
+TEST(Verify, PinOnOtherLayerAboveForeignPinIsFine) {
+  // A single-layer pin reserves only its own layer: wire may pass above.
+  Problem p{Region(5, 5)};
+  const NetId a = p.add_net("a");
+  const NetId b = p.add_net("b");
+  p.net(a).pins.push_back({{0, 0}, Layer::kMetal2, false});
+  p.net(a).pins.push_back({{4, 0}, Layer::kMetal2, false});
+  p.net(b).pins.push_back({{2, 0}, Layer::kMetal1, false});
+  p.net(b).pins.push_back({{2, 4}, Layer::kMetal1, false});
+  RoutingGrid g(p.region(), p.net_count());
+  for (int x = 0; x <= 4; ++x) g.occupy({{x, 0}, Layer::kMetal2}, a);
+  EXPECT_TRUE(verify(p, g).drc_clean());
+}
+
+TEST(Verify, TwoComponentsCoveringPinsSeparatelyFail) {
+  // Each pin covered, but by different components: must not count as done.
+  const Problem p = two_pin_problem();
+  RoutingGrid g(p.region(), p.net_count());
+  g.occupy({{0, 1}, Layer::kMetal1}, 0);
+  g.occupy({{5, 1}, Layer::kMetal1}, 0);
+  const VerifyReport r = verify(p, g);
+  EXPECT_TRUE(r.nets[0].pins_covered);
+  EXPECT_FALSE(r.nets[0].connected);
+}
+
+TEST(Verify, CompletionRateAveragesNets) {
+  Problem p{Region(8, 8)};
+  for (int i = 0; i < 4; ++i) {
+    const NetId id = p.add_net("n" + std::to_string(i));
+    p.net(id).pins.push_back({{0, i * 2}, Layer::kMetal1, false});
+    p.net(id).pins.push_back({{7, i * 2}, Layer::kMetal1, false});
+  }
+  RoutingGrid g(p.region(), p.net_count());
+  for (int i = 0; i < 3; ++i)  // route 3 of 4
+    for (int x = 0; x <= 7; ++x) g.occupy({{x, i * 2}, Layer::kMetal1}, i);
+  const VerifyReport r = verify(p, g);
+  EXPECT_EQ(r.completed_net_count, 3);
+  EXPECT_DOUBLE_EQ(r.completion_rate(), 0.75);
+}
+
+}  // namespace
+}  // namespace gridroute
