@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then the multi-start
+# concurrency tests again under ThreadSanitizer (GRIDROUTE_SANITIZE=thread).
+#
+#   scripts/tier1.sh                  # everything
+#   GRIDROUTE_SKIP_TSAN=1 scripts/tier1.sh   # plain build + ctest only
+#                                     (e.g. toolchains without libtsan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+if [ "${GRIDROUTE_SKIP_TSAN:-0}" != "1" ]; then
+  cmake -B build-tsan -S . -DGRIDROUTE_SANITIZE=thread
+  cmake --build build-tsan -j --target parallel_test multistart_test
+  ./build-tsan/tests/parallel_test
+  ./build-tsan/tests/multistart_test
+fi

@@ -221,6 +221,14 @@ SwitchboxSpec random_switchbox(std::uint64_t seed, int width, int height,
   return spec;
 }
 
+SwitchboxSpec overfilled_switchbox(std::uint64_t seed, int width, int height,
+                                   int nets) {
+  // 92% of the boundary slots carry pins — past what two layers can
+  // complete, so multi-start always exhausts its attempt budget. The
+  // speedup bench and the parallel determinism tests rely on that.
+  return random_switchbox(seed, width, height, nets, 4, 0.92);
+}
+
 Problem macrocell_region(std::uint64_t seed, int width, int height,
                          int nets) {
   Rng rng(seed);

@@ -61,6 +61,12 @@ SwitchboxSpec random_switchbox(std::uint64_t seed, int width, int height,
                                int nets, int max_pins_per_net = 4,
                                double fill = 0.6);
 
+/// Deliberately over-saturated switchbox (boundary ~92% full): no two-layer
+/// router completes it, so best-of-N multi-start runs every attempt. Used
+/// by the parallel-determinism tests and the multi-start speedup bench.
+SwitchboxSpec overfilled_switchbox(std::uint64_t seed = 5, int width = 12,
+                                   int height = 10, int nets = 16);
+
 /// Irregular macro-cell style region: a notched rectangle with obstacles on
 /// both layers plus an M1-only strap, pins on the boundary and inside.
 Problem macrocell_region(std::uint64_t seed = 7, int width = 40,

@@ -1,12 +1,16 @@
 #include "core/incremental_router.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
 #include <climits>
 #include <deque>
+#include <mutex>
 #include <ostream>
 #include <set>
+#include <thread>
 #include <unordered_map>
 
 #include "util/disjoint_set.hpp"
@@ -450,6 +454,7 @@ int IncrementalRouter::improve(int passes) {
 }
 
 RouteOutcome IncrementalRouter::run() {
+  const auto t0 = std::chrono::steady_clock::now();
   std::deque<NetId> queue;
   for (NetId id = 0; id < problem_.net_count(); ++id)
     if (problem_.net(id).pins.size() >= 2 && !problem_.net(id).fixed)
@@ -542,6 +547,9 @@ RouteOutcome IncrementalRouter::run() {
         !net_routed_ok(problem_, grid_, id))
       outcome.failed.push_back(id);
   stats_.nets_routed = multi_pin - static_cast<int>(outcome.failed.size());
+  stats_.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
   outcome.stats = stats_;
   return outcome;
 }
@@ -549,24 +557,127 @@ RouteOutcome IncrementalRouter::run() {
 RoutedDesign route(const Problem& problem, RouterOptions options) {
   IncrementalRouter router(problem, options);
   RouteOutcome outcome = router.run();
-  return {std::move(router.grid()), std::move(outcome)};
+  return {std::move(router.grid()), std::move(outcome), {}, 0, 0, 0};
 }
+
+namespace {
+
+/// Options for one multi-start attempt. Attempt 0 keeps the caller's
+/// ordering; restarts shuffle with a seed mixed from the base seed and the
+/// attempt index, so a kShuffled base run and every restart all explore
+/// distinct net orders even when the caller picked a small seed.
+RouterOptions attempt_options(const RouterOptions& base, int attempt) {
+  if (attempt == 0) return base;
+  RouterOptions shuffled = base;
+  shuffled.ordering = RouterOptions::Ordering::kShuffled;
+  shuffled.shuffle_seed =
+      mix_seeds(base.shuffle_seed, static_cast<std::uint64_t>(attempt));
+  return shuffled;
+}
+
+}  // namespace
 
 RoutedDesign route_best_of(const Problem& problem, int extra_attempts,
                            RouterOptions options) {
-  RoutedDesign best = route(problem, options);
+  const int total = std::max(extra_attempts, 0) + 1;
+  int workers = options.threads;
+  if (workers <= 0)
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min(workers, total);
+
+  // Each attempt is fully isolated: its own IncrementalRouter (grid, pin
+  // map, maze search, history) over the shared const Problem. Results land
+  // in per-attempt slots; nothing below mutates shared state except the
+  // work counter and the early-cancel watermark.
+  std::vector<std::optional<RoutedDesign>> results(
+      static_cast<std::size_t>(total));
+  std::atomic<int> next_attempt{0};
+  // Lowest attempt index that routed every net. Serial best-of stops after
+  // the first complete attempt; here that becomes a cancellation watermark:
+  // attempts above it are skipped, attempts at or below it still finish
+  // (one of them could be an even lower-index complete run).
+  std::atomic<int> first_complete{total};
+
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  auto worker = [&] {
+    for (;;) {
+      const int idx = next_attempt.fetch_add(1);
+      if (idx >= total) return;
+      if (idx > first_complete.load()) continue;  // cannot win; skip
+      try {
+        RoutedDesign attempt = route(problem, attempt_options(options, idx));
+        if (attempt.outcome.complete()) {
+          int seen = first_complete.load();
+          while (idx < seen &&
+                 !first_complete.compare_exchange_weak(seen, idx)) {
+          }
+        }
+        results[static_cast<std::size_t>(idx)] = std::move(attempt);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        first_complete.store(-1);  // drain remaining work
+        return;
+      }
+    }
+  };
+
+  if (workers <= 1) {
+    worker();  // serial reference path: same plan, same reduction
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  if (error) std::rethrow_exception(error);
+
+  // Deterministic reduction — an ascending scan identical to the historical
+  // serial loop: keep strictly-better scores (ties therefore break to the
+  // lower attempt index) and stop once the incumbent is complete. Every
+  // attempt the serial loop would have run is guaranteed present: index i
+  // is only skipped when some complete attempt c < i exists, and the scan
+  // never reads past the first complete attempt.
   auto score = [](const RoutedDesign& d) {
     // Higher is better: completions dominate, then compact layouts.
     return std::pair{d.outcome.stats.nets_routed,
                      -(d.grid.total_nodes() + 4 * d.grid.total_vias())};
   };
-  for (int attempt = 1; attempt <= extra_attempts; ++attempt) {
-    if (best.outcome.complete()) break;  // cannot do better
-    RouterOptions shuffled = options;
-    shuffled.ordering = RouterOptions::Ordering::kShuffled;
-    shuffled.shuffle_seed = static_cast<std::uint64_t>(attempt);
-    RoutedDesign candidate = route(problem, shuffled);
-    if (score(candidate) > score(best)) best = std::move(candidate);
+  int winner = 0;
+  for (int idx = 1; idx < total; ++idx) {
+    if (results[static_cast<std::size_t>(winner)]->outcome.complete()) break;
+    const auto& candidate = results[static_cast<std::size_t>(idx)];
+    if (!candidate.has_value()) continue;  // early-cancelled
+    if (score(*candidate) > score(*results[static_cast<std::size_t>(winner)]))
+      winner = idx;
+  }
+
+  RoutedDesign best = std::move(*results[static_cast<std::size_t>(winner)]);
+  best.winning_attempt = winner;
+  best.winning_seed = attempt_options(options, winner).shuffle_seed;
+  best.total_expansions = 0;
+  best.attempts.clear();
+  best.attempts.reserve(static_cast<std::size_t>(total));
+  for (int idx = 0; idx < total; ++idx) {
+    AttemptReport report;
+    report.index = idx;
+    report.seed = attempt_options(options, idx).shuffle_seed;
+    const RoutedDesign* r = nullptr;
+    if (idx == winner)
+      r = &best;
+    else if (results[static_cast<std::size_t>(idx)].has_value())
+      r = &*results[static_cast<std::size_t>(idx)];
+    if (r != nullptr) {
+      report.ran = true;
+      report.complete = r->outcome.complete();
+      report.nets_routed = r->outcome.stats.nets_routed;
+      report.expansions = r->outcome.stats.expansions;
+      report.wall_ms = r->outcome.stats.wall_ms;
+      best.total_expansions += report.expansions;
+    }
+    best.attempts.push_back(report);
   }
   return best;
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <vector>
@@ -44,8 +45,15 @@ struct RouterOptions {
   };
   Ordering ordering = Ordering::kMostConstrainedFirst;
   /// Seed for Ordering::kShuffled (ignored otherwise). Multi-start routing
-  /// (route_best_of) varies this to explore different net orders.
+  /// (route_best_of) mixes this with each attempt index, so restarts explore
+  /// orders distinct from each other and from a kShuffled base run.
   std::uint64_t shuffle_seed = 1;
+
+  /// Worker threads for route_best_of. 0 = one per hardware thread
+  /// (std::thread::hardware_concurrency, at least 1); 1 = run attempts
+  /// serially on the calling thread; n = a pool of n workers. The winner is
+  /// bit-identical for every value — threads only change wall-clock time.
+  int threads = 0;
 
   /// When set, the router narrates every modification decision (weak
   /// probes, victim repairs, rip-ups) to this stream. Diagnostic aid; no
@@ -63,6 +71,8 @@ struct RouteStats {
   int weak_attempts = 0;        ///< weak probes (successful or not)
   int strong_ripups = 0;        ///< victim nets ripped and re-queued
   long long expansions = 0;     ///< maze-search node pops (work measure)
+  double wall_ms = 0;           ///< wall-clock time of run() (observability
+                                ///< only; never feeds back into decisions)
 };
 
 struct RouteOutcome {
@@ -70,6 +80,17 @@ struct RouteOutcome {
   std::vector<NetId> failed;  ///< multi-pin nets left unrouted
 
   bool complete() const { return failed.empty(); }
+};
+
+/// One attempt of a multi-start run (route_best_of observability).
+struct AttemptReport {
+  int index = 0;           ///< 0 = base ordering, 1.. = shuffled restarts
+  std::uint64_t seed = 0;  ///< shuffle seed the attempt routed with
+  bool ran = false;        ///< false when early-cancelled before starting
+  bool complete = false;
+  int nets_routed = 0;
+  long long expansions = 0;
+  double wall_ms = 0;
 };
 
 /// The library's core: a general two-layer detailed router for channels,
@@ -163,14 +184,31 @@ class IncrementalRouter {
 struct RoutedDesign {
   RoutingGrid grid;
   RouteOutcome outcome;
+
+  // Multi-start observability — filled by route_best_of, empty after a
+  // plain route().
+  std::vector<AttemptReport> attempts;  ///< one per planned attempt
+  int winning_attempt = 0;              ///< index of the kept attempt
+  std::uint64_t winning_seed = 0;       ///< shuffle seed the winner used
+  long long total_expansions = 0;       ///< sum over attempts that ran
 };
 RoutedDesign route(const Problem& problem, RouterOptions options = {});
 
 /// Multi-start routing: the base ordering plus `extra_attempts` shuffled
 /// orderings, keeping the best result (most nets completed; ties broken by
-/// fewer wire cells + vias). Net order is the one input the incremental
-/// algorithm is genuinely sensitive to on near-saturated instances, and
-/// restarts are the classic cheap remedy. Deterministic.
+/// fewer wire cells + vias, then by attempt index). Net order is the one
+/// input the incremental algorithm is genuinely sensitive to on
+/// near-saturated instances, and restarts are the classic cheap remedy.
+///
+/// Attempts run on a worker pool of `options.threads` threads (see the
+/// knob's doc for the 0/1/n meaning), each one fully isolated: its own
+/// IncrementalRouter, grid, pin map, and maze search over the shared const
+/// Problem. Restart seeds are derived by mixing `options.shuffle_seed` with
+/// the attempt index. The reduction is deterministic — the winner is
+/// bit-identical to a serial ascending scan regardless of thread count or
+/// completion order — and an atomic early-cancel flag skips attempts whose
+/// index is above the lowest fully-complete one (a later attempt can never
+/// beat an earlier complete one). Negative `extra_attempts` clamps to 0.
 RoutedDesign route_best_of(const Problem& problem, int extra_attempts,
                            RouterOptions options = {});
 

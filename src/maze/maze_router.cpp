@@ -93,9 +93,18 @@ LeeRouter::LeeRouter(const RoutingGrid& grid, const PinBlocks& pins)
   target_stamp_.assign(codec.count(), 0);
 }
 
+void LeeRouter::advance_epoch() {
+  if (++epoch_ != 0) return;
+  // Wrapped: stamps written 2^32 searches ago would now read as fresh.
+  // Clearing them restores the "never visited" meaning of stamp 0.
+  std::fill(stamp_.begin(), stamp_.end(), 0u);
+  std::fill(target_stamp_.begin(), target_stamp_.end(), 0u);
+  epoch_ = 1;
+}
+
 SearchResult LeeRouter::route(const SearchRequest& request) {
   const NodeCodec codec{grid_.region().bounds()};
-  ++epoch_;
+  advance_epoch();
   SearchResult result;
 
   SearchRequest plain = request;
@@ -179,9 +188,18 @@ std::size_t WeightedMazeRouter::node_index(GridPoint g) const {
   return NodeCodec{grid_.region().bounds()}.encode(g);
 }
 
+void WeightedMazeRouter::advance_epoch() {
+  if (++epoch_ != 0) return;
+  // Wrapped: stamps written 2^32 searches ago would now read as fresh.
+  // Clearing them restores the "never visited" meaning of stamp 0.
+  std::fill(stamp_.begin(), stamp_.end(), 0u);
+  std::fill(target_stamp_.begin(), target_stamp_.end(), 0u);
+  epoch_ = 1;
+}
+
 SearchResult WeightedMazeRouter::route(const SearchRequest& request) {
   const NodeCodec codec{grid_.region().bounds()};
-  ++epoch_;
+  advance_epoch();
   last_expansions_ = 0;
   SearchResult result;
 
@@ -221,7 +239,7 @@ SearchResult WeightedMazeRouter::route(const SearchRequest& request) {
                    std::int32_t from_state) {
     if (stamp_[state] == epoch_ && best_[state] <= cost) return;
     stamp_[state] = epoch_;
-    best_[state] = static_cast<std::int32_t>(cost);
+    best_[state] = cost;
     parent_[state] = from_state;
     queue.push({cost + heuristic(state / kDirs), state});
   };

@@ -35,7 +35,10 @@ struct SearchRequest {
 struct SearchResult {
   bool found = false;
   Path path;                         ///< source node ... target node
-  int cost = 0;                      ///< total path cost under the model
+  /// Total path cost under the model. 64-bit: PathFinder-style history
+  /// surcharges accumulate across rip-up rounds and long pushed paths can
+  /// legitimately exceed 2^31 cost units.
+  std::int64_t cost = 0;
   std::vector<GridPoint> crossed;    ///< foreign-owned nodes on the path
 };
 
@@ -48,7 +51,13 @@ class LeeRouter {
 
   SearchResult route(const SearchRequest& request);
 
+  /// Test hook: primes the epoch counter so the 2^32-search wrap can be
+  /// exercised without running 2^32 queries.
+  void set_epoch(std::uint32_t epoch) { epoch_ = epoch; }
+
  private:
+  void advance_epoch();
+
   const RoutingGrid& grid_;
   const PinBlocks& pins_;
   // Epoch-stamped visit state reused across queries.
@@ -86,6 +95,10 @@ class WeightedMazeRouter {
   /// Nodes popped from the queue in the last route() call (effort metric).
   long long last_expansions() const { return last_expansions_; }
 
+  /// Test hook: primes the epoch counter so the 2^32-search wrap can be
+  /// exercised without running 2^32 queries.
+  void set_epoch(std::uint32_t epoch) { epoch_ = epoch; }
+
  private:
   static constexpr int kDirs = 5;  // 0 = start/after-via, 1..4 = E,W,N,S
 
@@ -93,12 +106,16 @@ class WeightedMazeRouter {
   std::size_t state_index(GridPoint g, int dir) const {
     return node_index(g) * kDirs + static_cast<size_t>(dir);
   }
+  void advance_epoch();
 
   const RoutingGrid& grid_;
   const PinBlocks& pins_;
   CostModel model_;
   std::vector<std::uint32_t> stamp_;
-  std::vector<std::int32_t> best_;
+  // g-costs are 64-bit: step/push/history weights are ints, but they sum
+  // over paths, and history-inflated push probes overflow 32 bits in
+  // practice on near-saturated instances.
+  std::vector<std::int64_t> best_;
   std::vector<std::int32_t> parent_;
   std::vector<std::uint8_t> is_target_;
   std::vector<std::uint32_t> target_stamp_;

@@ -75,4 +75,16 @@ class Rng {
   std::uint64_t state_[4]{};
 };
 
+/// Mixes two seeds into one well-distributed value (SplitMix64 finalizer).
+/// Used to derive per-attempt seeds in multi-start routing: mixing instead
+/// of adding keeps restart seeds distinct from each other *and* from any
+/// caller-chosen base seed (seed+index schemes collide whenever the caller
+/// picks a small seed).
+inline std::uint64_t mix_seeds(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t z = a + 0x9e3779b97f4a7c15ULL * (b + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace gridroute

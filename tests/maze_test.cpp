@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <optional>
+#include <vector>
 
 #include "maze/maze_router.hpp"
 
@@ -360,6 +362,90 @@ TEST_F(WeightedTest, UnitModelMatchesLee) {
   ASSERT_TRUE(a.found);
   ASSERT_TRUE(b.found);
   EXPECT_EQ(a.path.length(), b.path.length());  // both shortest in steps
+}
+
+// --- regressions: 64-bit path costs (best_ used to be int32 and silently
+// --- truncated, making every popped entry look stale past 2^31) -----------
+
+TEST_F(WeightedTest, CostsBeyondInt32SurviveLongPaths) {
+  build(40, 3);
+  CostModel m;
+  m.step = 100'000'000;  // 39 straight steps -> 3.9e9, past INT32_MAX
+  m.via = m.step;
+  m.bend = 0;
+  m.wrong_way = 0;
+  WeightedMazeRouter router(*grid, pins, m);
+  const auto res =
+      router.route(req({{0, 1}, Layer::kMetal1}, {{39, 1}, Layer::kMetal1}));
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.path.length(), 40);
+  EXPECT_EQ(res.cost, 39LL * 100'000'000);
+}
+
+TEST_F(WeightedTest, PushHistoryCostsBeyondInt32) {
+  // Net 1 walls off columns 1..31 on both layers and all rows; the only way
+  // through for net 0 is pushing across all 31 columns. A PathFinder-style
+  // history surcharge of 1e8 per cell drives the path cost past 2^31.
+  build(33, 3);
+  for (int x = 1; x <= 31; ++x)
+    for (int y = 0; y < 3; ++y)
+      for (Layer l : {Layer::kMetal1, Layer::kMetal2})
+        ASSERT_TRUE(grid->occupy({{x, y}, l}, 1));
+  WeightedMazeRouter router(*grid, pins);
+  const CostModel& m = router.cost_model();
+  std::vector<int> history(33 * 3, 100'000'000);
+  auto r = req({{0, 1}, Layer::kMetal1}, {{32, 1}, Layer::kMetal1});
+  r.allow_push = true;
+  r.push_history = &history;
+  const auto res = router.route(r);
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(static_cast<int>(res.crossed.size()), 31);
+  EXPECT_EQ(res.cost, 32LL * m.step + 31LL * (m.push + 100'000'000));
+}
+
+// --- regressions: epoch wrap (stamps from 2^32 searches ago read fresh) ---
+
+TEST_F(WeightedTest, EpochWrapOnFreshRouter) {
+  build(8, 8);
+  const auto request =
+      req({{0, 3}, Layer::kMetal1}, {{6, 3}, Layer::kMetal1});
+  WeightedMazeRouter control(*grid, pins);
+  const auto expected = control.route(request);
+  ASSERT_TRUE(expected.found);
+
+  WeightedMazeRouter wrapping(*grid, pins);
+  wrapping.set_epoch(std::numeric_limits<std::uint32_t>::max());
+  // The next search wraps the epoch to 0 — the value untouched stamps hold,
+  // so without the reset every state reads "already visited at cost 0".
+  const auto res = wrapping.route(request);
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.cost, expected.cost);
+}
+
+TEST_F(WeightedTest, SearchesStayFreshAcrossEpochWrap) {
+  build(8, 8);
+  const auto request =
+      req({{0, 3}, Layer::kMetal1}, {{6, 3}, Layer::kMetal1});
+  WeightedMazeRouter router(*grid, pins);
+  const auto before = router.route(request);
+  ASSERT_TRUE(before.found);
+  router.set_epoch(std::numeric_limits<std::uint32_t>::max() - 1);
+  for (int i = 0; i < 4; ++i) {  // crosses the wrap mid-sequence
+    const auto res = router.route(request);
+    ASSERT_TRUE(res.found) << "search " << i;
+    EXPECT_EQ(res.cost, before.cost) << "search " << i;
+  }
+}
+
+TEST_F(LeeTest, EpochWrapOnFreshRouter) {
+  build(8, 8);
+  const auto request =
+      req({{0, 3}, Layer::kMetal1}, {{6, 3}, Layer::kMetal1});
+  LeeRouter wrapping(*grid, pins);
+  wrapping.set_epoch(std::numeric_limits<std::uint32_t>::max());
+  const auto res = wrapping.route(request);
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.cost, 6);
 }
 
 }  // namespace

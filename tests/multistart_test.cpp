@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <set>
+
 #include "bench_suite/suite.hpp"
 #include "core/incremental_router.hpp"
 #include "verify/verify.hpp"
@@ -79,6 +82,52 @@ TEST(MultiStart, ZeroExtraAttemptsEqualsPlainRoute) {
   const RoutedDesign b = route_best_of(p, 0);
   EXPECT_EQ(a.outcome.failed, b.outcome.failed);
   EXPECT_EQ(a.grid.total_nodes(), b.grid.total_nodes());
+}
+
+TEST(MultiStart, NegativeExtraAttemptsClampToPlainRoute) {
+  // Negative counts used to silently mean 0; now they clamp explicitly and
+  // the attempt report shows exactly one (base) attempt.
+  const Problem p = suite::dense_switchbox().to_problem();
+  const RoutedDesign a = route(p);
+  const RoutedDesign b = route_best_of(p, -3);
+  EXPECT_EQ(a.outcome.failed, b.outcome.failed);
+  EXPECT_EQ(a.grid.total_nodes(), b.grid.total_nodes());
+  ASSERT_EQ(b.attempts.size(), 1u);
+  EXPECT_TRUE(b.attempts[0].ran);
+  EXPECT_EQ(b.winning_attempt, 0);
+}
+
+TEST(MultiStart, RestartSeedsDistinctFromShuffledBase) {
+  // With a kShuffled base at seed 1, the old scheme gave restart 1 the same
+  // seed (attempt index used verbatim) — base and restart explored the same
+  // order. Mixing the base seed with the attempt index keeps every seed
+  // distinct.
+  const Problem p = suite::overfilled_switchbox().to_problem();
+  RouterOptions opts;
+  opts.ordering = RouterOptions::Ordering::kShuffled;
+  opts.shuffle_seed = 1;
+  opts.threads = 1;
+  const RoutedDesign d = route_best_of(p, 4, opts);
+  ASSERT_EQ(d.attempts.size(), 5u);
+  std::set<std::uint64_t> seeds;
+  for (const AttemptReport& a : d.attempts) seeds.insert(a.seed);
+  EXPECT_EQ(seeds.size(), d.attempts.size());
+  EXPECT_EQ(d.attempts[0].seed, opts.shuffle_seed);  // base keeps its seed
+}
+
+TEST(MultiStart, RestartsDoDistinctWork) {
+  // Behavioral side of the seed fix: on a congested box, distinct orders
+  // must do measurably different work across the attempts.
+  const Problem p = suite::overfilled_switchbox().to_problem();
+  RouterOptions opts;
+  opts.ordering = RouterOptions::Ordering::kShuffled;
+  opts.shuffle_seed = 1;
+  opts.threads = 1;
+  const RoutedDesign d = route_best_of(p, 4, opts);
+  bool any_difference = false;
+  for (const AttemptReport& a : d.attempts)
+    if (a.expansions != d.attempts[0].expansions) any_difference = true;
+  EXPECT_TRUE(any_difference);
 }
 
 }  // namespace

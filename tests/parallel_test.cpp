@@ -1,0 +1,143 @@
+// Concurrency tests for the multi-start engine: the parallel reduction must
+// be bit-identical to the serial ascending scan for every thread count, and
+// independently constructed routers must be safely runnable from concurrent
+// threads over one shared const Problem. scripts/tier1.sh re-runs this
+// binary under ThreadSanitizer (GRIDROUTE_SANITIZE=thread).
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "bench_suite/suite.hpp"
+#include "core/incremental_router.hpp"
+#include "verify/verify.hpp"
+
+namespace gridroute {
+namespace {
+
+/// Bit-identical layout comparison: every node owner and every via owner.
+::testing::AssertionResult grids_identical(const Problem& p,
+                                           const RoutingGrid& a,
+                                           const RoutingGrid& b) {
+  const Rect& bounds = p.region().bounds();
+  for (int y = bounds.lo.y; y <= bounds.hi.y; ++y)
+    for (int x = bounds.lo.x; x <= bounds.hi.x; ++x) {
+      const Point pos{x, y};
+      if (a.via_owner(pos) != b.via_owner(pos))
+        return ::testing::AssertionFailure()
+               << "via owner differs at (" << x << "," << y << ")";
+      for (Layer l : {Layer::kMetal1, Layer::kMetal2})
+        if (a.owner({pos, l}) != b.owner({pos, l}))
+          return ::testing::AssertionFailure()
+                 << "node owner differs at (" << x << "," << y << ")";
+    }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(ParallelMultiStart, BitIdenticalToSerialOnSaturatedBox) {
+  const Problem p = suite::overfilled_switchbox().to_problem();
+  RouterOptions serial_opts;
+  serial_opts.threads = 1;
+  const RoutedDesign serial = route_best_of(p, 7, serial_opts);
+  // Saturated on purpose: no attempt completes, so nothing is cancelled and
+  // every one of the 8 attempts contributes to the reduction.
+  ASSERT_FALSE(serial.outcome.complete());
+
+  for (int threads : {2, 4, 8}) {
+    RouterOptions opts;
+    opts.threads = threads;
+    const RoutedDesign parallel = route_best_of(p, 7, opts);
+    EXPECT_TRUE(grids_identical(p, serial.grid, parallel.grid))
+        << threads << " threads";
+    EXPECT_EQ(serial.outcome.failed, parallel.outcome.failed)
+        << threads << " threads";
+    EXPECT_EQ(serial.winning_attempt, parallel.winning_attempt)
+        << threads << " threads";
+    EXPECT_EQ(serial.winning_seed, parallel.winning_seed)
+        << threads << " threads";
+    EXPECT_EQ(serial.total_expansions, parallel.total_expansions)
+        << threads << " threads";
+    EXPECT_TRUE(verify(p, parallel.grid).drc_clean()) << threads << " threads";
+  }
+}
+
+TEST(ParallelMultiStart, EarlyCancellationSkipsAttemptsPastFirstComplete) {
+  // Trivially routable: attempt 0 completes, so the watermark must cancel
+  // every later attempt — exactly what the serial loop did by breaking.
+  const Problem p = suite::cross_switchbox().to_problem();
+  for (int threads : {1, 4}) {
+    RouterOptions opts;
+    opts.threads = threads;
+    const RoutedDesign d = route_best_of(p, 50, opts);
+    EXPECT_TRUE(d.outcome.complete());
+    EXPECT_EQ(d.winning_attempt, 0);
+    ASSERT_EQ(d.attempts.size(), 51u);
+    EXPECT_TRUE(d.attempts[0].ran);
+    EXPECT_TRUE(d.attempts[0].complete);
+    int ran = 0;
+    for (const AttemptReport& a : d.attempts) ran += a.ran ? 1 : 0;
+    if (threads == 1) {
+      // One worker claims attempts in order: attempt 0 completes, the
+      // watermark drops, and nothing else may even start.
+      EXPECT_EQ(ran, 1);
+    } else {
+      // With a pool, only attempts claimed before the completion landed may
+      // have run; how many is timing-dependent, but the tail must be cut.
+      EXPECT_LT(ran, 51);
+    }
+  }
+}
+
+TEST(ParallelMultiStart, PerAttemptObservability) {
+  const Problem p = suite::overfilled_switchbox().to_problem();
+  RouterOptions opts;
+  opts.threads = 2;
+  const RoutedDesign d = route_best_of(p, 3, opts);
+  ASSERT_EQ(d.attempts.size(), 4u);
+  long long expansions = 0;
+  for (const AttemptReport& a : d.attempts) {
+    EXPECT_EQ(a.index, &a - d.attempts.data());
+    EXPECT_TRUE(a.ran);  // incomplete instance: nothing cancelled
+    EXPECT_GT(a.expansions, 0) << a.index;
+    EXPECT_GE(a.wall_ms, 0.0) << a.index;
+    expansions += a.expansions;
+  }
+  EXPECT_EQ(d.total_expansions, expansions);
+  EXPECT_EQ(d.winning_seed, d.attempts[static_cast<std::size_t>(
+                                            d.winning_attempt)].seed);
+}
+
+TEST(ParallelMultiStart, ConcurrentRoutersOnSharedProblem) {
+  // Stress the per-thread isolation claim directly: 8 routers, one shared
+  // const Problem, no synchronization between them. Any hidden shared state
+  // shows up as a TSan race or as diverging deterministic results.
+  const Problem p = suite::burstein_class_switchbox(31).to_problem();
+  constexpr int kThreads = 8;
+  std::vector<std::optional<RouteOutcome>> outcomes(kThreads);
+  std::vector<int> nodes(kThreads, -1);
+  std::vector<int> vias(kThreads, -1);
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&p, &outcomes, &nodes, &vias, t] {
+      IncrementalRouter router(p, RouterOptions{});
+      outcomes[static_cast<std::size_t>(t)] = router.run();
+      nodes[static_cast<std::size_t>(t)] = router.grid().total_nodes();
+      vias[static_cast<std::size_t>(t)] = router.grid().total_vias();
+    });
+  for (std::thread& t : pool) t.join();
+  for (int t = 0; t < kThreads; ++t)
+    ASSERT_TRUE(outcomes[static_cast<std::size_t>(t)].has_value()) << t;
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(outcomes[static_cast<std::size_t>(t)]->failed,
+              outcomes[0]->failed)
+        << t;
+    EXPECT_EQ(nodes[static_cast<std::size_t>(t)], nodes[0]) << t;
+    EXPECT_EQ(vias[static_cast<std::size_t>(t)], vias[0]) << t;
+  }
+}
+
+}  // namespace
+}  // namespace gridroute

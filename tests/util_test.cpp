@@ -128,5 +128,23 @@ TEST(DisjointSet, ChainOfThousandStaysConsistent) {
   EXPECT_EQ(ds.component_size(500), n);
 }
 
+TEST(MixSeeds, DistinctAcrossIndicesAndBases) {
+  // Multi-start derives restart seeds with mix_seeds(base, attempt); the
+  // whole point is that small bases and small indices never collide the way
+  // a seed+index scheme does.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base = 0; base < 8; ++base)
+    for (std::uint64_t attempt = 0; attempt < 64; ++attempt)
+      seen.insert(mix_seeds(base, attempt));
+  EXPECT_EQ(seen.size(), 8u * 64u);
+  // And mixing must not be the identity on either argument.
+  EXPECT_NE(mix_seeds(1, 1), 1u);
+  EXPECT_NE(mix_seeds(0, 5), 5u);
+}
+
+TEST(MixSeeds, Deterministic) {
+  EXPECT_EQ(mix_seeds(42, 7), mix_seeds(42, 7));
+}
+
 }  // namespace
 }  // namespace gridroute
