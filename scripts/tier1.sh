@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + test suite, then the multi-start
-# concurrency tests again under ThreadSanitizer (GRIDROUTE_SANITIZE=thread).
+# concurrency tests again under ThreadSanitizer (GRIDROUTE_SANITIZE=thread)
+# and the search-kernel differential tests under UndefinedBehaviorSanitizer
+# (GRIDROUTE_SANITIZE=undefined).
 #
 #   scripts/tier1.sh                  # everything
-#   GRIDROUTE_SKIP_TSAN=1 scripts/tier1.sh   # plain build + ctest only
+#   GRIDROUTE_SKIP_TSAN=1 scripts/tier1.sh   # skip the TSan re-run
 #                                     (e.g. toolchains without libtsan)
+#   GRIDROUTE_SKIP_UBSAN=1 scripts/tier1.sh  # skip the UBSan re-run
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,4 +20,10 @@ if [ "${GRIDROUTE_SKIP_TSAN:-0}" != "1" ]; then
   cmake --build build-tsan -j --target parallel_test multistart_test
   ./build-tsan/tests/parallel_test
   ./build-tsan/tests/multistart_test
+fi
+
+if [ "${GRIDROUTE_SKIP_UBSAN:-0}" != "1" ]; then
+  cmake -B build-ubsan -S . -DGRIDROUTE_SANITIZE=undefined
+  cmake --build build-ubsan -j --target search_test
+  ./build-ubsan/tests/search_test
 fi

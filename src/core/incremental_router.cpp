@@ -20,12 +20,12 @@
 namespace gridroute {
 
 IncrementalRouter::IncrementalRouter(const Problem& problem,
-                                     RouterOptions options)
+                                     RouterOptions options, SearchArena* arena)
     : problem_(problem),
       options_(options),
       grid_(problem.region(), problem.net_count()),
       pins_(problem),
-      search_(grid_, pins_, options.costs),
+      search_(grid_, pins_, options.costs, arena),
       ripup_count_(static_cast<size_t>(problem.net_count()), 0),
       history_(static_cast<size_t>(problem.region().width()) *
                    static_cast<size_t>(problem.region().height()),
@@ -554,8 +554,9 @@ RouteOutcome IncrementalRouter::run() {
   return outcome;
 }
 
-RoutedDesign route(const Problem& problem, RouterOptions options) {
-  IncrementalRouter router(problem, options);
+RoutedDesign route(const Problem& problem, RouterOptions options,
+                   SearchArena* arena) {
+  IncrementalRouter router(problem, options, arena);
   RouteOutcome outcome = router.run();
   return {std::move(router.grid()), std::move(outcome), {}, 0, 0, 0};
 }
@@ -602,12 +603,17 @@ RoutedDesign route_best_of(const Problem& problem, int extra_attempts,
   std::exception_ptr error;
 
   auto worker = [&] {
+    // One search arena per worker, lent to every attempt this worker runs.
+    // Epoch stamping makes the reuse stateless: a fresh arena and a
+    // well-recycled one produce bit-identical searches.
+    SearchArena arena;
     for (;;) {
       const int idx = next_attempt.fetch_add(1);
       if (idx >= total) return;
       if (idx > first_complete.load()) continue;  // cannot win; skip
       try {
-        RoutedDesign attempt = route(problem, attempt_options(options, idx));
+        RoutedDesign attempt =
+            route(problem, attempt_options(options, idx), &arena);
         if (attempt.outcome.complete()) {
           int seen = first_complete.load();
           while (idx < seen &&

@@ -89,6 +89,9 @@ struct AttemptReport {
   bool ran = false;        ///< false when early-cancelled before starting
   bool complete = false;
   int nets_routed = 0;
+  /// Search-kernel expansions (queue pops) the attempt spent. Lee and
+  /// weighted searches count through the same kernel counter, so the metric
+  /// is comparable across router baselines.
   long long expansions = 0;
   double wall_ms = 0;
 };
@@ -111,7 +114,11 @@ struct AttemptReport {
 /// of each stage a run needed.
 class IncrementalRouter {
  public:
-  explicit IncrementalRouter(const Problem& problem, RouterOptions options = {});
+  /// `arena` optionally lends search scratch to the router's maze search
+  /// (route_best_of gives each worker thread one arena reused across all of
+  /// its attempts); the router's search owns its own arena when null.
+  explicit IncrementalRouter(const Problem& problem, RouterOptions options = {},
+                             SearchArena* arena = nullptr);
 
   /// Routes every multi-pin net. Call once.
   RouteOutcome run();
@@ -192,7 +199,8 @@ struct RoutedDesign {
   std::uint64_t winning_seed = 0;       ///< shuffle seed the winner used
   long long total_expansions = 0;       ///< sum over attempts that ran
 };
-RoutedDesign route(const Problem& problem, RouterOptions options = {});
+RoutedDesign route(const Problem& problem, RouterOptions options = {},
+                   SearchArena* arena = nullptr);
 
 /// Multi-start routing: the base ordering plus `extra_attempts` shuffled
 /// orderings, keeping the best result (most nets completed; ties broken by
@@ -203,8 +211,9 @@ RoutedDesign route(const Problem& problem, RouterOptions options = {});
 /// Attempts run on a worker pool of `options.threads` threads (see the
 /// knob's doc for the 0/1/n meaning), each one fully isolated: its own
 /// IncrementalRouter, grid, pin map, and maze search over the shared const
-/// Problem. Restart seeds are derived by mixing `options.shuffle_seed` with
-/// the attempt index. The reduction is deterministic — the winner is
+/// Problem. Each worker owns one SearchArena lent to every attempt it runs;
+/// epoch stamping makes that reuse stateless by construction. Restart seeds
+/// are derived by mixing `options.shuffle_seed` with the attempt index. The reduction is deterministic — the winner is
 /// bit-identical to a serial ascending scan regardless of thread count or
 /// completion order — and an atomic early-cancel flag skips attempts whose
 /// index is above the lowest fully-complete one (a later attempt can never

@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
-#include <climits>
 #include <map>
-#include <queue>
 #include <sstream>
 
+#include "search/goal_search.hpp"
 #include "util/disjoint_set.hpp"
 
 namespace gridroute {
@@ -19,6 +18,41 @@ GlobalEdge normalized(Point a, Point b) {
 }
 
 constexpr Point kSteps[4] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+
+/// Cost provider for terminal-to-tree searches over the gcell graph: one
+/// state per gcell, edge costs from GlobalRouter::edge_cost, no heuristic
+/// (plain Dijkstra — targets move every negotiation round, so there is no
+/// stable goal box to aim at).
+struct GcellProvider {
+  const GlobalRouter& router;
+  int cols;
+
+  std::uint32_t node_of(std::uint32_t state) const { return state; }
+  std::int64_t heuristic(std::uint32_t) const { return 0; }
+
+  template <typename Emit>
+  void expand(std::uint32_t state, std::int64_t g, Emit&& emit) const {
+    const Point gu{static_cast<int>(state) % cols,
+                   static_cast<int>(state) / cols};
+    for (const Point step : kSteps) {
+      const Point gv = gu + step;
+      const int c = router.edge_cost(gu, gv);
+      if (c < 0) continue;
+      emit(static_cast<std::uint32_t>(gv.x + gv.y * cols), g + c);
+    }
+  }
+};
+
+/// Bucket window for the gcell search: covers the base edge cost plus the
+/// typical congestion surcharges; deeply history-inflated edges overflow
+/// into the queue's heap (correctness never depends on the span).
+std::int64_t gcell_span(const GlobalRouterOptions& o) {
+  const std::int64_t span = 1 +
+                            4 * static_cast<std::int64_t>(o.overflow_penalty) +
+                            static_cast<std::int64_t>(o.history_increment) *
+                                std::max(o.max_iterations, 1);
+  return std::clamp<std::int64_t>(span, 2, 4096);
+}
 
 }  // namespace
 
@@ -56,51 +90,33 @@ bool GlobalRouter::route_net(std::size_t index) {
   std::vector<Point> todo(net.terminals.begin() + 1, net.terminals.end());
 
   const int n = grid_.cols() * grid_.rows();
-  std::vector<int> dist(static_cast<size_t>(n));
-  std::vector<int> parent(static_cast<size_t>(n));
-  auto id = [&](Point g) { return g.x + g.y * grid_.cols(); };
-  auto pt = [&](int i) { return Point{i % grid_.cols(), i / grid_.cols()}; };
+  arena_.resize(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  auto id = [&](Point g) {
+    return static_cast<std::uint32_t>(g.x + g.y * grid_.cols());
+  };
+  auto pt = [&](std::uint32_t i) {
+    return Point{static_cast<int>(i) % grid_.cols(),
+                 static_cast<int>(i) / grid_.cols()};
+  };
+  const GcellProvider provider{*this, grid_.cols()};
 
   while (!todo.empty()) {
     // Dijkstra from the whole current tree to the nearest pending terminal.
-    std::fill(dist.begin(), dist.end(), INT_MAX);
-    std::fill(parent.begin(), parent.end(), -1);
-    using QE = std::pair<int, int>;
-    std::priority_queue<QE, std::vector<QE>, std::greater<>> queue;
-    for (const Point g : tree) {
-      dist[static_cast<size_t>(id(g))] = 0;
-      queue.push({0, id(g)});
-    }
-    std::set<Point> targets(todo.begin(), todo.end());
-    int goal = -1;
-    while (!queue.empty()) {
-      const auto [d, u] = queue.top();
-      queue.pop();
-      if (d != dist[static_cast<size_t>(u)]) continue;
-      const Point gu = pt(u);
-      if (targets.contains(gu)) {
-        goal = u;
-        break;
-      }
-      for (const Point step : kSteps) {
-        const Point gv = gu + step;
-        const int c = edge_cost(gu, gv);
-        if (c < 0) continue;
-        const int v = id(gv);
-        if (d + c < dist[static_cast<size_t>(v)]) {
-          dist[static_cast<size_t>(v)] = d + c;
-          parent[static_cast<size_t>(v)] = u;
-          queue.push({d + c, v});
-        }
-      }
-    }
-    if (goal < 0) return false;  // terminal in a sealed pocket
+    arena_.begin_search();
+    queue_.reset(gcell_span(options_));
+    for (const Point g : tree) search::seed(arena_, queue_, provider, id(g));
+    for (const Point t : todo) arena_.mark_target(id(t));
+    long long expansions = 0;
+    const std::uint32_t goal =
+        search::run(arena_, queue_, provider, &expansions);
+    stats_.expansions += expansions;
+    if (goal == search::kNoState) return false;  // terminal in a sealed pocket
 
     // Commit the path into the tree.
-    for (int u = goal; parent[static_cast<size_t>(u)] >= 0;
-         u = parent[static_cast<size_t>(u)]) {
+    for (std::uint32_t u = goal; arena_.parent(u) >= 0;
+         u = static_cast<std::uint32_t>(arena_.parent(u))) {
       const Point a = pt(u);
-      const Point b = pt(parent[static_cast<size_t>(u)]);
+      const Point b = pt(static_cast<std::uint32_t>(arena_.parent(u)));
       grid_.add_usage(a, b, +1);
       route.edges.push_back(normalized(a, b));
       tree.insert(a);

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "global/global_grid.hpp"
+#include "search/bucket_queue.hpp"
+#include "search/search_arena.hpp"
 
 namespace gridroute {
 
@@ -46,6 +48,10 @@ struct GlobalStats {
   int nets_routed = 0;
   int nets_failed = 0;     ///< terminals unreachable (blocked pockets)
   int reroutes = 0;        ///< nets ripped during negotiation
+  /// Search-kernel expansions (gcell pops) across all terminal connections —
+  /// the same work measure RouteStats::expansions reports for the detailed
+  /// router.
+  long long expansions = 0;
 };
 
 struct GlobalResult {
@@ -69,13 +75,17 @@ class GlobalRouter {
 
   const GlobalGrid& grid() const { return grid_; }
 
+  /// Cost of pushing one more wire over the edge (a, b) under the current
+  /// usage and negotiation history; -1 = hard blockage. Public because it
+  /// is a pure query (the search kernel's cost provider reads it) and a
+  /// useful diagnostic.
+  int edge_cost(Point a, Point b) const;
+
  private:
   /// Routes one net as a tree, updating usage. Returns false when some
   /// terminal is unreachable.
   bool route_net(std::size_t index);
   void rip_net(std::size_t index);
-  /// Cost of pushing one more wire over the edge (a, b).
-  int edge_cost(Point a, Point b) const;
 
   GlobalGrid grid_;
   std::vector<GlobalNet> nets_;
@@ -83,6 +93,11 @@ class GlobalRouter {
   std::vector<GlobalRoute> routes_;
   std::map<GlobalEdge, int> edge_history_;  ///< negotiation pressure
   GlobalStats stats_;
+  // Search scratch reused across every terminal connection of every net —
+  // the epoch-stamped arena replaces the per-search O(gcells) dist refill
+  // the router used before it sat on the shared kernel.
+  SearchArena arena_;
+  BucketQueue<TieOrder::kByValue> queue_;
 };
 
 /// Independent audit of a global routing: per-net tree connectivity over

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
-#include <deque>
-#include <queue>
+
+#include "search/goal_search.hpp"
 
 namespace gridroute {
 
@@ -57,6 +57,9 @@ struct NodeCodec {
 
 constexpr Point kPlanarSteps[4] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
 
+/// Weighted search states per node: 0 = start/after-via, 1..4 = E,W,N,S.
+constexpr std::size_t kDirs = 5;
+
 bool node_usable(const RoutingGrid& grid, const PinBlocks& pins, GridPoint g,
                  const SearchRequest& req) {
   if (!grid.region().routable(g)) return false;
@@ -78,94 +81,155 @@ std::vector<GridPoint> collect_crossed(const RoutingGrid& grid,
   return crossed;
 }
 
+/// Cost provider for the Lee baseline: one state per node, every edge
+/// (planar or via) costs 1, no heuristic, no pushing.
+struct LeeProvider {
+  const RoutingGrid& grid;
+  const PinBlocks& pins;
+  const SearchRequest& req;
+  NodeCodec codec;
+
+  std::uint32_t node_of(std::uint32_t state) const { return state; }
+  std::int64_t heuristic(std::uint32_t) const { return 0; }
+
+  template <typename Emit>
+  void expand(std::uint32_t state, std::int64_t g, Emit&& emit) const {
+    const GridPoint cur = codec.decode(state);
+    for (const Point d : kPlanarSteps) {
+      const GridPoint nxt{cur.pos + d, cur.layer};
+      if (node_usable(grid, pins, nxt, req))
+        emit(static_cast<std::uint32_t>(codec.encode(nxt)), g + 1);
+    }
+    const GridPoint via{cur.pos, other_layer(cur.layer)};
+    if (node_usable(grid, pins, via, req))
+      emit(static_cast<std::uint32_t>(codec.encode(via)), g + 1);
+  }
+};
+
+/// Cost provider for the weighted maze search. State = node * kDirs +
+/// incoming direction. Implements the full cost model: step, via, bend,
+/// wrong-way, and the push/history penalties for entering foreign wire.
+struct WeightedProvider {
+  const RoutingGrid& grid;
+  const PinBlocks& pins;
+  const SearchRequest& req;
+  const CostModel& model;
+  NodeCodec codec;
+  /// Bounding box of the target set; invalid when the heuristic is off.
+  Rect target_box;
+
+  std::uint32_t node_of(std::uint32_t state) const {
+    return state / static_cast<std::uint32_t>(kDirs);
+  }
+
+  std::int64_t heuristic(std::uint32_t node) const {
+    if (!target_box.valid()) return 0;
+    const GridPoint g = codec.decode(node);
+    const int dx =
+        std::max({target_box.lo.x - g.pos.x, g.pos.x - target_box.hi.x, 0});
+    const int dy =
+        std::max({target_box.lo.y - g.pos.y, g.pos.y - target_box.hi.y, 0});
+    return static_cast<std::int64_t>(model.step) * (dx + dy);
+  }
+
+  int enter_penalty(GridPoint g) const {
+    const NetId o = grid.owner(g);
+    if (o == kNoNet || o == req.net) return 0;
+    int c = model.push;
+    const NetId v = grid.via_owner(g.pos);
+    if (v != kNoNet && v != req.net) c += model.push_via_extra;
+    if (req.push_history != nullptr) {
+      const Rect& bounds = codec.bounds;
+      const auto cell = static_cast<std::size_t>(
+          (g.pos.y - bounds.lo.y) * bounds.width() + (g.pos.x - bounds.lo.x));
+      if (cell < req.push_history->size()) c += (*req.push_history)[cell];
+    }
+    return c;
+  }
+
+  template <typename Emit>
+  void expand(std::uint32_t state, std::int64_t g, Emit&& emit) const {
+    const std::size_t ni = state / kDirs;
+    const int dir = static_cast<int>(state % kDirs);
+    const GridPoint cur = codec.decode(ni);
+
+    // Planar steps. Direction ids: 1=E, 2=W, 3=N, 4=S.
+    for (int d = 0; d < 4; ++d) {
+      const GridPoint nxt{cur.pos + kPlanarSteps[d], cur.layer};
+      if (!node_usable(grid, pins, nxt, req)) continue;
+      const int ndir = d + 1;
+      std::int64_t c = g + model.step + enter_penalty(nxt);
+      const bool step_is_vertical = d >= 2;
+      const bool prefers_horizontal = cur.layer == Layer::kMetal1;
+      if (step_is_vertical == prefers_horizontal) c += model.wrong_way;
+      if (dir != 0 && dir != ndir) c += model.bend;
+      emit(static_cast<std::uint32_t>(codec.encode(nxt) * kDirs +
+                                      static_cast<std::size_t>(ndir)),
+           c);
+    }
+
+    // Via step: resets direction state (no bend charged after a via).
+    const GridPoint nxt{cur.pos, other_layer(cur.layer)};
+    if (node_usable(grid, pins, nxt, req))
+      emit(static_cast<std::uint32_t>(codec.encode(nxt) * kDirs),
+           g + model.via + enter_penalty(nxt));
+  }
+};
+
+/// Bucket window for the weighted search: wide enough that every edge
+/// without history surcharges lands in the window (the A* f-value moves by
+/// at most edge cost + one heuristic step). History-inflated push edges go
+/// through the overflow heap — correctness never depends on the span.
+std::int64_t weighted_span(const CostModel& m) {
+  const std::int64_t span = 2 * static_cast<std::int64_t>(m.step) +
+                            m.wrong_way + m.bend + m.via + m.push +
+                            m.push_via_extra + 1;
+  return std::clamp<std::int64_t>(span, 2, 4096);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
 // LeeRouter
 // ---------------------------------------------------------------------------
 
-LeeRouter::LeeRouter(const RoutingGrid& grid, const PinBlocks& pins)
-    : grid_(grid), pins_(pins) {
-  const NodeCodec codec{grid.region().bounds()};
-  stamp_.assign(codec.count(), 0);
-  parent_.assign(codec.count(), -1);
-  is_target_.assign(codec.count(), 0);
-  target_stamp_.assign(codec.count(), 0);
-}
-
-void LeeRouter::advance_epoch() {
-  if (++epoch_ != 0) return;
-  // Wrapped: stamps written 2^32 searches ago would now read as fresh.
-  // Clearing them restores the "never visited" meaning of stamp 0.
-  std::fill(stamp_.begin(), stamp_.end(), 0u);
-  std::fill(target_stamp_.begin(), target_stamp_.end(), 0u);
-  epoch_ = 1;
-}
+LeeRouter::LeeRouter(const RoutingGrid& grid, const PinBlocks& pins,
+                     SearchArena* arena)
+    : grid_(grid), pins_(pins), external_(arena) {}
 
 SearchResult LeeRouter::route(const SearchRequest& request) {
   const NodeCodec codec{grid_.region().bounds()};
-  advance_epoch();
+  SearchArena& arena = this->arena();
+  arena.resize(codec.count(), codec.count());
+  arena.begin_search();
+  last_expansions_ = 0;
   SearchResult result;
 
   SearchRequest plain = request;
   plain.allow_push = false;
-  for (const GridPoint& t : request.targets) {
-    if (!node_usable(grid_, pins_, t, plain)) continue;
-    const std::size_t ti = codec.encode(t);
-    is_target_[ti] = 1;
-    target_stamp_[ti] = epoch_;
-  }
+  const LeeProvider provider{grid_, pins_, plain, codec};
 
-  std::deque<std::size_t> frontier;
-  for (const GridPoint& s : request.sources) {
-    if (!node_usable(grid_, pins_, s, plain)) continue;
-    const std::size_t si = codec.encode(s);
-    if (stamp_[si] == epoch_) continue;
-    stamp_[si] = epoch_;
-    parent_[si] = -1;
-    frontier.push_back(si);
-  }
+  for (const GridPoint& t : request.targets)
+    if (node_usable(grid_, pins_, t, plain))
+      arena.mark_target(static_cast<std::uint32_t>(codec.encode(t)));
 
-  std::size_t goal = SIZE_MAX;
-  // A source may itself be a target (tree already touches the pin).
-  for (std::size_t si : frontier)
-    if (is_target_[si] && target_stamp_[si] == epoch_) goal = si;
-
-  while (goal == SIZE_MAX && !frontier.empty()) {
-    const std::size_t ci = frontier.front();
-    frontier.pop_front();
-    const GridPoint cur = codec.decode(ci);
-
-    auto try_step = [&](GridPoint nxt) {
-      if (!node_usable(grid_, pins_, nxt, plain)) return;
-      const std::size_t ni = codec.encode(nxt);
-      if (stamp_[ni] == epoch_) return;
-      stamp_[ni] = epoch_;
-      parent_[ni] = static_cast<std::int32_t>(ci);
-      if (is_target_[ni] && target_stamp_[ni] == epoch_) {
-        goal = ni;
-        return;
-      }
-      frontier.push_back(ni);
-    };
-
-    for (const Point d : kPlanarSteps) {
-      if (goal != SIZE_MAX) break;
-      try_step({cur.pos + d, cur.layer});
-    }
-    if (goal == SIZE_MAX) try_step({cur.pos, other_layer(cur.layer)});
-  }
-
-  if (goal == SIZE_MAX) return result;
+  auto run = [&](auto& queue) {
+    queue.reset(2);  // unit edges: f advances by at most 1
+    for (const GridPoint& s : request.sources)
+      if (node_usable(grid_, pins_, s, plain))
+        search::seed(arena, queue, provider,
+                     static_cast<std::uint32_t>(codec.encode(s)));
+    return search::run(arena, queue, provider, &last_expansions_);
+  };
+  const std::uint32_t goal = queue_kind_ == SearchQueue::kBucket
+                                 ? run(bucket_queue_)
+                                 : run(heap_queue_);
+  if (goal == search::kNoState) return result;
 
   result.found = true;
-  for (std::int64_t i = static_cast<std::int64_t>(goal); i >= 0;
-       i = parent_[static_cast<std::size_t>(i)]) {
-    result.path.nodes.push_back(codec.decode(static_cast<std::size_t>(i)));
-    if (parent_[static_cast<std::size_t>(i)] < 0) break;
-  }
-  std::reverse(result.path.nodes.begin(), result.path.nodes.end());
-  result.cost = result.path.length() - 1;
+  result.cost = arena.cost(goal);
+  for (const std::uint32_t s : search::backtrack(arena, goal))
+    result.path.nodes.push_back(codec.decode(s));
   return result;
 }
 
@@ -174,44 +238,24 @@ SearchResult LeeRouter::route(const SearchRequest& request) {
 // ---------------------------------------------------------------------------
 
 WeightedMazeRouter::WeightedMazeRouter(const RoutingGrid& grid,
-                                       const PinBlocks& pins, CostModel model)
-    : grid_(grid), pins_(pins), model_(model) {
-  const NodeCodec codec{grid.region().bounds()};
-  stamp_.assign(codec.count() * kDirs, 0);
-  best_.assign(codec.count() * kDirs, 0);
-  parent_.assign(codec.count() * kDirs, -1);
-  is_target_.assign(codec.count(), 0);
-  target_stamp_.assign(codec.count(), 0);
-}
-
-std::size_t WeightedMazeRouter::node_index(GridPoint g) const {
-  return NodeCodec{grid_.region().bounds()}.encode(g);
-}
-
-void WeightedMazeRouter::advance_epoch() {
-  if (++epoch_ != 0) return;
-  // Wrapped: stamps written 2^32 searches ago would now read as fresh.
-  // Clearing them restores the "never visited" meaning of stamp 0.
-  std::fill(stamp_.begin(), stamp_.end(), 0u);
-  std::fill(target_stamp_.begin(), target_stamp_.end(), 0u);
-  epoch_ = 1;
-}
+                                       const PinBlocks& pins, CostModel model,
+                                       SearchArena* arena)
+    : grid_(grid), pins_(pins), model_(model), external_(arena) {}
 
 SearchResult WeightedMazeRouter::route(const SearchRequest& request) {
   const NodeCodec codec{grid_.region().bounds()};
-  advance_epoch();
+  SearchArena& arena = this->arena();
+  arena.resize(codec.count() * kDirs, codec.count());
+  arena.begin_search();
   last_expansions_ = 0;
   SearchResult result;
 
-  for (const GridPoint& t : request.targets) {
-    if (!node_usable(grid_, pins_, t, request)) continue;
-    const std::size_t ti = codec.encode(t);
-    is_target_[ti] = 1;
-    target_stamp_[ti] = epoch_;
-  }
+  for (const GridPoint& t : request.targets)
+    if (node_usable(grid_, pins_, t, request))
+      arena.mark_target(static_cast<std::uint32_t>(codec.encode(t)));
 
   // A* heuristic: base-step-cost times Manhattan distance to the target
-  // bounding box. Zero when disabled or when there are no usable targets.
+  // bounding box. Zero when disabled (the box stays invalid).
   Rect target_box{{0, 0}, {-1, -1}};
   if (use_heuristic_) {
     for (const GridPoint& t : request.targets) {
@@ -219,104 +263,26 @@ SearchResult WeightedMazeRouter::route(const SearchRequest& request) {
       target_box = target_box.valid() ? target_box.bounding_union(cell) : cell;
     }
   }
-  auto heuristic = [&](std::size_t ni) -> std::int64_t {
-    if (!target_box.valid()) return 0;
-    const GridPoint g = codec.decode(ni);
-    const int dx = std::max({target_box.lo.x - g.pos.x,
-                             g.pos.x - target_box.hi.x, 0});
-    const int dy = std::max({target_box.lo.y - g.pos.y,
-                             g.pos.y - target_box.hi.y, 0});
-    return static_cast<std::int64_t>(model_.step) * (dx + dy);
+  const WeightedProvider provider{grid_,  pins_, request,
+                                  model_, codec, target_box};
+
+  auto run = [&](auto& queue) {
+    queue.reset(weighted_span(model_));
+    for (const GridPoint& s : request.sources)
+      if (node_usable(grid_, pins_, s, request))
+        search::seed(arena, queue, provider,
+                     static_cast<std::uint32_t>(codec.encode(s) * kDirs));
+    return search::run(arena, queue, provider, &last_expansions_);
   };
-
-  // (g + h, state) min-heap. State = node * kDirs + incoming direction,
-  // direction 0 meaning "fresh" (search start or just after a via).
-  // best_/stamp_ store g-costs; the heuristic only orders the heap.
-  using QEntry = std::pair<std::int64_t, std::size_t>;
-  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> queue;
-
-  auto relax = [&](std::size_t state, std::int64_t cost,
-                   std::int32_t from_state) {
-    if (stamp_[state] == epoch_ && best_[state] <= cost) return;
-    stamp_[state] = epoch_;
-    best_[state] = cost;
-    parent_[state] = from_state;
-    queue.push({cost + heuristic(state / kDirs), state});
-  };
-
-  const Rect& bounds = grid_.region().bounds();
-  auto enter_penalty = [&](GridPoint g) -> int {
-    const NetId o = grid_.owner(g);
-    if (o == kNoNet || o == request.net) return 0;
-    int c = model_.push;
-    const NetId v = grid_.via_owner(g.pos);
-    if (v != kNoNet && v != request.net) c += model_.push_via_extra;
-    if (request.push_history != nullptr) {
-      const auto cell = static_cast<std::size_t>(
-          (g.pos.y - bounds.lo.y) * bounds.width() + (g.pos.x - bounds.lo.x));
-      if (cell < request.push_history->size())
-        c += (*request.push_history)[cell];
-    }
-    return c;
-  };
-
-  for (const GridPoint& s : request.sources) {
-    if (!node_usable(grid_, pins_, s, request)) continue;
-    relax(codec.encode(s) * kDirs, 0, -1);
-  }
-
-  std::size_t goal_state = SIZE_MAX;
-  while (!queue.empty()) {
-    const auto [priority, state] = queue.top();
-    queue.pop();
-    const std::int64_t cost = priority - heuristic(state / kDirs);
-    if (stamp_[state] != epoch_ || best_[state] != cost) continue;  // stale
-    ++last_expansions_;
-
-    const std::size_t ni = state / kDirs;
-    const int dir = static_cast<int>(state % kDirs);
-    if (is_target_[ni] && target_stamp_[ni] == epoch_) {
-      goal_state = state;
-      break;
-    }
-    const GridPoint cur = codec.decode(ni);
-
-    // Planar steps. Direction ids: 1=E, 2=W, 3=N, 4=S.
-    for (int d = 0; d < 4; ++d) {
-      const GridPoint nxt{cur.pos + kPlanarSteps[d], cur.layer};
-      if (!node_usable(grid_, pins_, nxt, request)) continue;
-      const int ndir = d + 1;
-      std::int64_t c = cost + model_.step + enter_penalty(nxt);
-      const bool step_is_vertical = d >= 2;
-      const bool prefers_horizontal = cur.layer == Layer::kMetal1;
-      if (step_is_vertical == prefers_horizontal) c += model_.wrong_way;
-      if (dir != 0 && dir != ndir) c += model_.bend;
-      relax(codec.encode(nxt) * kDirs + static_cast<size_t>(ndir), c,
-            static_cast<std::int32_t>(state));
-    }
-
-    // Via step: resets direction state (no bend charged after a via).
-    {
-      const GridPoint nxt{cur.pos, other_layer(cur.layer)};
-      if (node_usable(grid_, pins_, nxt, request)) {
-        const std::int64_t c = cost + model_.via + enter_penalty(nxt);
-        relax(codec.encode(nxt) * kDirs, c,
-              static_cast<std::int32_t>(state));
-      }
-    }
-  }
-
-  if (goal_state == SIZE_MAX) return result;
+  const std::uint32_t goal = queue_kind_ == SearchQueue::kBucket
+                                 ? run(bucket_queue_)
+                                 : run(heap_queue_);
+  if (goal == search::kNoState) return result;
 
   result.found = true;
-  result.cost = best_[goal_state];
-  for (std::int64_t s = static_cast<std::int64_t>(goal_state); s >= 0;
-       s = parent_[static_cast<std::size_t>(s)]) {
-    result.path.nodes.push_back(
-        codec.decode(static_cast<std::size_t>(s) / kDirs));
-    if (parent_[static_cast<std::size_t>(s)] < 0) break;
-  }
-  std::reverse(result.path.nodes.begin(), result.path.nodes.end());
+  result.cost = arena.cost(goal);
+  for (const std::uint32_t s : search::backtrack(arena, goal))
+    result.path.nodes.push_back(codec.decode(s / kDirs));
   // The backtrace may revisit a node when entering it with two directions;
   // collapse exact consecutive repeats (can occur at the start state).
   auto& nodes = result.path.nodes;

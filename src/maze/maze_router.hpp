@@ -6,6 +6,8 @@
 #include "grid/routing_grid.hpp"
 #include "maze/cost_model.hpp"
 #include "maze/pin_blocks.hpp"
+#include "search/bucket_queue.hpp"
+#include "search/search_arena.hpp"
 
 namespace gridroute {
 
@@ -42,30 +44,50 @@ struct SearchResult {
   std::vector<GridPoint> crossed;    ///< foreign-owned nodes on the path
 };
 
+/// Which queue drives a router's kernel search: the Dial-style monotone
+/// bucket queue (production default) or the reference binary heap it is
+/// differentially tested and benchmarked against. Pop order — and therefore
+/// every path, cost, and expansion count — is identical by construction;
+/// only the constant factors differ.
+enum class SearchQueue { kBucket, kHeap };
+
 /// Classic Lee router: breadth-first wavefront over free nodes, unit cost
 /// per step (planar or via), no cost shaping, no pushing. The 1961 baseline
 /// every incremental router is measured against.
+///
+/// Implemented as a thin adapter over the shared search kernel: BFS is
+/// unit-cost Dijkstra, and the FIFO tie order of the bucket queue
+/// reproduces the wavefront deque's expansion order exactly.
 class LeeRouter {
  public:
-  LeeRouter(const RoutingGrid& grid, const PinBlocks& pins);
+  /// `arena` optionally lends shared search scratch (one arena per worker
+  /// thread, reused across routers); the router owns its own when null.
+  explicit LeeRouter(const RoutingGrid& grid, const PinBlocks& pins,
+                     SearchArena* arena = nullptr);
 
   SearchResult route(const SearchRequest& request);
 
-  /// Test hook: primes the epoch counter so the 2^32-search wrap can be
-  /// exercised without running 2^32 queries.
-  void set_epoch(std::uint32_t epoch) { epoch_ = epoch; }
+  /// Nodes popped from the queue in the last route() call (effort metric,
+  /// directly comparable with WeightedMazeRouter::last_expansions()).
+  long long last_expansions() const { return last_expansions_; }
+
+  SearchQueue queue_kind() const { return queue_kind_; }
+  void set_queue_kind(SearchQueue kind) { queue_kind_ = kind; }
+
+  /// The search scratch this router stamps (owned or lent). Also the home
+  /// of the epoch test hooks: arena().set_epoch(...) primes the 2^32-search
+  /// wrap without running 2^32 queries.
+  SearchArena& arena() { return external_ != nullptr ? *external_ : owned_; }
 
  private:
-  void advance_epoch();
-
   const RoutingGrid& grid_;
   const PinBlocks& pins_;
-  // Epoch-stamped visit state reused across queries.
-  std::vector<std::uint32_t> stamp_;
-  std::vector<std::int32_t> parent_;
-  std::vector<std::uint8_t> is_target_;
-  std::vector<std::uint32_t> target_stamp_;
-  std::uint32_t epoch_ = 0;
+  SearchArena* external_;
+  SearchArena owned_;
+  BucketQueue<TieOrder::kFifo> bucket_queue_;
+  HeapQueue<TieOrder::kFifo> heap_queue_;
+  SearchQueue queue_kind_ = SearchQueue::kBucket;
+  long long last_expansions_ = 0;
 };
 
 /// Weighted maze search (A* over (node, incoming-direction) states)
@@ -79,10 +101,16 @@ class LeeRouter {
 /// moves, constant across vias), so results are cost-optimal and identical
 /// to plain Dijkstra, only with fewer expansions. set_heuristic(false)
 /// recovers Dijkstra exactly (used by tests and the search benchmarks).
+///
+/// An adapter over the shared search kernel: the cost model lives in a
+/// provider, the wavefront loop and epoch-stamped state in src/search.
 class WeightedMazeRouter {
  public:
-  WeightedMazeRouter(const RoutingGrid& grid, const PinBlocks& pins,
-                     CostModel model = {});
+  /// `arena` optionally lends shared search scratch (one arena per worker
+  /// thread, reused across attempts); the router owns its own when null.
+  explicit WeightedMazeRouter(const RoutingGrid& grid, const PinBlocks& pins,
+                              CostModel model = {},
+                              SearchArena* arena = nullptr);
 
   const CostModel& cost_model() const { return model_; }
   void set_cost_model(CostModel m) { model_ = m; }
@@ -95,31 +123,23 @@ class WeightedMazeRouter {
   /// Nodes popped from the queue in the last route() call (effort metric).
   long long last_expansions() const { return last_expansions_; }
 
-  /// Test hook: primes the epoch counter so the 2^32-search wrap can be
-  /// exercised without running 2^32 queries.
-  void set_epoch(std::uint32_t epoch) { epoch_ = epoch; }
+  SearchQueue queue_kind() const { return queue_kind_; }
+  void set_queue_kind(SearchQueue kind) { queue_kind_ = kind; }
+
+  /// The search scratch this router stamps (owned or lent). Also the home
+  /// of the epoch test hooks: arena().set_epoch(...) primes the 2^32-search
+  /// wrap without running 2^32 queries.
+  SearchArena& arena() { return external_ != nullptr ? *external_ : owned_; }
 
  private:
-  static constexpr int kDirs = 5;  // 0 = start/after-via, 1..4 = E,W,N,S
-
-  std::size_t node_index(GridPoint g) const;
-  std::size_t state_index(GridPoint g, int dir) const {
-    return node_index(g) * kDirs + static_cast<size_t>(dir);
-  }
-  void advance_epoch();
-
   const RoutingGrid& grid_;
   const PinBlocks& pins_;
   CostModel model_;
-  std::vector<std::uint32_t> stamp_;
-  // g-costs are 64-bit: step/push/history weights are ints, but they sum
-  // over paths, and history-inflated push probes overflow 32 bits in
-  // practice on near-saturated instances.
-  std::vector<std::int64_t> best_;
-  std::vector<std::int32_t> parent_;
-  std::vector<std::uint8_t> is_target_;
-  std::vector<std::uint32_t> target_stamp_;
-  std::uint32_t epoch_ = 0;
+  SearchArena* external_;
+  SearchArena owned_;
+  BucketQueue<TieOrder::kByValue> bucket_queue_;
+  HeapQueue<TieOrder::kByValue> heap_queue_;
+  SearchQueue queue_kind_ = SearchQueue::kBucket;
   long long last_expansions_ = 0;
   bool use_heuristic_ = true;
 };

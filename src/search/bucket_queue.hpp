@@ -1,0 +1,221 @@
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace gridroute {
+
+/// Tie-breaking policy among queue entries of equal priority.
+///  - kFifo: insertion order — what a BFS wavefront deque does; the Lee
+///    adapter's policy.
+///  - kByValue: ascending value — what a std::priority_queue over
+///    (priority, state) pairs does; the weighted-maze and global adapters'
+///    policy, preserving the pop order of the binary heaps they replaced.
+enum class TieOrder { kFifo, kByValue };
+
+/// Dial-style monotone bucket queue over int64 priorities.
+///
+/// Built for the goal-oriented searches in this library, whose pushes are
+/// monotone: every pushed priority is >= the last popped one (Dijkstra with
+/// non-negative edge costs; A* with a consistent heuristic). Under that
+/// invariant a circular array of `span` buckets, indexed by priority modulo
+/// span, holds every live entry whose priority lies in the moving window
+/// [cur, cur+span) — and because the window is exactly span wide, all
+/// entries sharing a bucket share one priority, so in-bucket ordering only
+/// needs the tie key. For kByValue that is a tiny per-bucket heap; for
+/// kFifo the keys are a monotone sequence counter and every bucket receives
+/// them in ascending order already (drain_overflow runs before any direct
+/// push can reach a newly windowed priority), so a bucket is a plain vector
+/// popped from a head index — no heap operations at all.
+///
+/// Entries pushed past the window — rare: push penalties and PathFinder
+/// history surcharges dwarf the span — wait in an overflow binary heap and
+/// drain into the window as it advances. When the buckets empty entirely,
+/// the window jumps straight to the overflow minimum, so an arbitrarily
+/// large cost gap costs O(log n), not O(gap).
+///
+/// Pop order is exactly lexicographic (priority, tie key) — identical, by
+/// construction, to HeapQueue with the same TieOrder; the differential
+/// tests assert precisely that.
+template <TieOrder Order>
+class BucketQueue {
+ public:
+  /// Empties the queue and (re)configures the window width. Allocations are
+  /// kept when the span is unchanged — the pattern is one reset() per
+  /// search over a long-lived queue.
+  void reset(std::int64_t span) {
+    span = std::max<std::int64_t>(span, 2);
+    if (span_ != span) {
+      span_ = span;
+      buckets_.assign(static_cast<std::size_t>(span), {});
+      heads_.assign(static_cast<std::size_t>(span), 0);
+    } else if (dirty_) {
+      // bucketed_ == 0 is not enough here: kFifo pops advance a head index
+      // and leave the popped prefix in the vector until the cursor moves on.
+      for (auto& bucket : buckets_) bucket.clear();
+      std::fill(heads_.begin(), heads_.end(), std::size_t{0});
+    }
+    overflow_.clear();
+    cur_ = 0;
+    seq_ = 0;
+    bucketed_ = 0;
+    dirty_ = false;
+  }
+
+  bool empty() const { return bucketed_ == 0 && overflow_.empty(); }
+
+  void push(std::int64_t priority, std::uint32_t value) {
+    assert(priority >= cur_ && "bucket queue requires monotone pushes");
+    const std::uint64_t key =
+        Order == TieOrder::kFifo ? seq_++ : static_cast<std::uint64_t>(value);
+    if (priority < cur_ + span_) {
+      bucket_insert(static_cast<std::size_t>(priority % span_), {key, value});
+    } else {
+      overflow_.push_back({priority, key, value});
+      std::push_heap(overflow_.begin(), overflow_.end(), ByPriorityKey{});
+    }
+  }
+
+  /// Pops the minimum (priority, tie key) entry. False when empty.
+  bool pop(std::int64_t& priority, std::uint32_t& value) {
+    for (;;) {
+      if (bucketed_ == 0) {
+        if (overflow_.empty()) return false;
+        cur_ = overflow_.front().priority;  // jump over the empty gap
+      }
+      drain_overflow();
+      const auto slot = static_cast<std::size_t>(cur_ % span_);
+      auto& bucket = buckets_[slot];
+      if constexpr (Order == TieOrder::kFifo) {
+        std::size_t& head = heads_[slot];
+        if (head == bucket.size()) {
+          bucket.clear();
+          head = 0;
+          ++cur_;
+          continue;
+        }
+        priority = cur_;
+        value = bucket[head++].value;
+      } else {
+        if (bucket.empty()) {
+          ++cur_;
+          continue;
+        }
+        std::pop_heap(bucket.begin(), bucket.end(), ByKey{});
+        priority = cur_;
+        value = bucket.back().value;
+        bucket.pop_back();
+      }
+      --bucketed_;
+      return true;
+    }
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    std::uint32_t value;
+  };
+  struct ByKey {  // min-heap on the tie key (one priority per bucket)
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.key > b.key;
+    }
+  };
+  struct OverflowEntry {
+    std::int64_t priority;
+    std::uint64_t key;
+    std::uint32_t value;
+  };
+  struct ByPriorityKey {  // min-heap on (priority, tie key)
+    bool operator()(const OverflowEntry& a, const OverflowEntry& b) const {
+      return std::pair{a.priority, a.key} > std::pair{b.priority, b.key};
+    }
+  };
+
+  /// Appends an entry to a window bucket. kFifo buckets stay key-sorted
+  /// without heap ops: direct pushes carry an ever-increasing sequence key,
+  /// and overflow drains (which carry older, smaller keys) always happen
+  /// before a newly windowed priority can receive a direct push.
+  void bucket_insert(std::size_t slot, Entry entry) {
+    auto& bucket = buckets_[slot];
+    bucket.push_back(entry);
+    if constexpr (Order == TieOrder::kByValue) {
+      std::push_heap(bucket.begin(), bucket.end(), ByKey{});
+    }
+    ++bucketed_;
+    dirty_ = true;
+  }
+
+  /// Moves every overflow entry whose priority entered the window into its
+  /// bucket. Called once per pop iteration — immediately after every cursor
+  /// advance — so an entry's bucket is always populated before the cursor
+  /// can reach it, and before push() can see its priority inside the window.
+  void drain_overflow() {
+    while (!overflow_.empty() && overflow_.front().priority < cur_ + span_) {
+      const OverflowEntry e = overflow_.front();
+      std::pop_heap(overflow_.begin(), overflow_.end(), ByPriorityKey{});
+      overflow_.pop_back();
+      bucket_insert(static_cast<std::size_t>(e.priority % span_),
+                    {e.key, e.value});
+    }
+  }
+
+  std::int64_t span_ = 0;
+  std::int64_t cur_ = 0;
+  std::uint64_t seq_ = 0;
+  std::size_t bucketed_ = 0;
+  bool dirty_ = false;  // any bucket touched since the last reset()
+  std::vector<std::vector<Entry>> buckets_;
+  std::vector<std::size_t> heads_;  // per-bucket pop cursor (kFifo only)
+  std::vector<OverflowEntry> overflow_;
+};
+
+/// Reference binary-heap queue with the same interface and the same
+/// (priority, tie key) pop order as BucketQueue — the baseline the kernel
+/// is differentially tested and benchmarked against.
+template <TieOrder Order>
+class HeapQueue {
+ public:
+  void reset(std::int64_t /*span*/) {
+    heap_.clear();
+    seq_ = 0;
+  }
+
+  bool empty() const { return heap_.empty(); }
+
+  void push(std::int64_t priority, std::uint32_t value) {
+    const std::uint64_t key =
+        Order == TieOrder::kFifo ? seq_++ : static_cast<std::uint64_t>(value);
+    heap_.push_back({priority, key, value});
+    std::push_heap(heap_.begin(), heap_.end(), Greater{});
+  }
+
+  bool pop(std::int64_t& priority, std::uint32_t& value) {
+    if (heap_.empty()) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), Greater{});
+    priority = heap_.back().priority;
+    value = heap_.back().value;
+    heap_.pop_back();
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::int64_t priority;
+    std::uint64_t key;
+    std::uint32_t value;
+  };
+  struct Greater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return std::pair{a.priority, a.key} > std::pair{b.priority, b.key};
+    }
+  };
+
+  std::vector<Entry> heap_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace gridroute

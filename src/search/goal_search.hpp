@@ -1,0 +1,77 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "search/search_arena.hpp"
+
+namespace gridroute::search {
+
+/// Sentinel: no goal state was reached.
+inline constexpr std::uint32_t kNoState = 0xFFFFFFFFu;
+
+/// Seeds one zero-cost source state into a search.
+template <typename Queue, typename Provider>
+void seed(SearchArena& arena, Queue& queue, const Provider& provider,
+          std::uint32_t state) {
+  if (arena.relax(state, 0, -1))
+    queue.push(provider.heuristic(provider.node_of(state)), state);
+}
+
+/// Goal-oriented Dijkstra/A* to the first expanded target node — the one
+/// wavefront loop under every router in the library.
+///
+/// The cost provider defines the search space:
+///   node_of(state)         -> node index (targets are marked per node)
+///   heuristic(node)        -> admissible + consistent lower bound to the
+///                             goal set (constant 0 recovers plain Dijkstra)
+///   expand(state, g, emit) -> calls emit(next_state, next_g) per out-edge
+///
+/// Queue entries carry f = g + heuristic; g is recovered on pop by
+/// subtracting the heuristic, and entries whose g no longer matches the
+/// arena's best are stale (lazy deletion) and skipped unseen. Returns the
+/// goal state, or kNoState when the queue drains first, and writes the
+/// number of expansions — non-stale pops, the goal's included — to
+/// *expansions.
+template <typename Queue, typename Provider>
+std::uint32_t run(SearchArena& arena, Queue& queue, const Provider& provider,
+                  long long* expansions) {
+  long long popped = 0;
+  std::uint32_t goal = kNoState;
+  std::int64_t f = 0;
+  std::uint32_t state = 0;
+  while (queue.pop(f, state)) {
+    const std::uint32_t node = provider.node_of(state);
+    const std::int64_t g = f - provider.heuristic(node);
+    if (!arena.current(state, g)) continue;  // improved since queued
+    ++popped;
+    if (arena.is_target(node)) {
+      goal = state;
+      break;
+    }
+    provider.expand(state, g, [&](std::uint32_t next, std::int64_t cost) {
+      if (arena.relax(next, cost, static_cast<std::int32_t>(state)))
+        queue.push(cost + provider.heuristic(provider.node_of(next)), next);
+    });
+  }
+  if (expansions != nullptr) *expansions = popped;
+  return goal;
+}
+
+/// Parent-chain walk from a goal state back to its source, returned in
+/// source-to-goal order.
+inline std::vector<std::uint32_t> backtrack(const SearchArena& arena,
+                                            std::uint32_t goal) {
+  std::vector<std::uint32_t> states;
+  for (std::uint32_t s = goal;;) {
+    states.push_back(s);
+    const std::int32_t parent = arena.parent(s);
+    if (parent < 0) break;
+    s = static_cast<std::uint32_t>(parent);
+  }
+  std::reverse(states.begin(), states.end());
+  return states;
+}
+
+}  // namespace gridroute::search

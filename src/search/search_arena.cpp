@@ -1,0 +1,16 @@
+#include "search/search_arena.hpp"
+
+namespace gridroute {
+
+void SearchArena::resize(std::size_t states, std::size_t nodes) {
+  if (stamp_.size() == states && is_target_.size() == nodes) return;
+  stamp_.assign(states, 0);
+  best_.assign(states, 0);
+  parent_.assign(states, -1);
+  is_target_.assign(nodes, 0);
+  target_stamp_.assign(nodes, 0);
+  // Stamps are all 0 again; any epoch value except 0 keeps them stale, and
+  // begin_search() handles the wrap onto 0 itself.
+}
+
+}  // namespace gridroute

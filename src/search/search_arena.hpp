@@ -1,0 +1,96 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gridroute {
+
+/// Epoch-stamped per-state search scratch shared by every goal-oriented
+/// router in the library: g-costs, parent links, and target marks, all
+/// invalidated in O(1) per search by bumping an epoch counter instead of
+/// refilling the arrays.
+///
+/// One arena serves any router whose states index densely from 0 — the Lee
+/// baseline (one state per grid node), the weighted maze search (five
+/// direction states per node), and the global router (one state per gcell)
+/// all borrow the same object, re-sizing it as they go. A worker thread in
+/// the multi-start pool owns one arena and lends it to every attempt it
+/// runs; epochs make the reuse stateless by construction.
+///
+/// States carry costs/parents; targets are marked per *node* (a router with
+/// several states per node reaches its goal whenever any state of a marked
+/// node is expanded).
+class SearchArena {
+ public:
+  /// Grows (or shrinks) the arena to `states` cost/parent slots and `nodes`
+  /// target slots. A no-op when the sizes already match — stamps survive, so
+  /// routers sharing an arena over one problem keep O(1) resets. Changing
+  /// size re-zeroes the stamps (epoch semantics restart clean).
+  void resize(std::size_t states, std::size_t nodes);
+
+  std::size_t state_count() const { return stamp_.size(); }
+  std::size_t node_count() const { return is_target_.size(); }
+
+  /// Opens a new search: everything previously stamped becomes stale. This
+  /// is the single home of the epoch-wrap reset — when the 32-bit counter
+  /// wraps to 0 (the value untouched stamps hold, i.e. "never visited"),
+  /// every stamp array is cleared so ancient searches cannot read as fresh.
+  void begin_search() {
+    if (++epoch_ != 0) return;
+    std::fill(stamp_.begin(), stamp_.end(), 0u);
+    std::fill(target_stamp_.begin(), target_stamp_.end(), 0u);
+    epoch_ = 1;
+  }
+
+  /// Test hook: primes the epoch counter so the 2^32-search wrap can be
+  /// exercised without running 2^32 searches.
+  void set_epoch(std::uint32_t epoch) { epoch_ = epoch; }
+  std::uint32_t epoch() const { return epoch_; }
+
+  // -- per-state cost/parent -------------------------------------------------
+
+  /// Records `cost` for `state` if it improves on the best seen this search.
+  /// Strict improvement only: on a tie the earlier relaxation keeps the
+  /// parent, which is what makes search results independent of how many
+  /// equal-cost relaxations follow.
+  bool relax(std::uint32_t state, std::int64_t cost, std::int32_t parent) {
+    if (stamp_[state] == epoch_ && best_[state] <= cost) return false;
+    stamp_[state] = epoch_;
+    best_[state] = cost;
+    parent_[state] = parent;
+    return true;
+  }
+
+  /// True when `cost` is still the state's best this search — the lazy-
+  /// deletion test for queue entries (a popped entry whose recorded cost
+  /// has since improved is stale and must be skipped unseen).
+  bool current(std::uint32_t state, std::int64_t cost) const {
+    return stamp_[state] == epoch_ && best_[state] == cost;
+  }
+
+  bool visited(std::uint32_t state) const { return stamp_[state] == epoch_; }
+  std::int64_t cost(std::uint32_t state) const { return best_[state]; }
+  std::int32_t parent(std::uint32_t state) const { return parent_[state]; }
+
+  // -- per-node targets ------------------------------------------------------
+
+  void mark_target(std::uint32_t node) {
+    is_target_[node] = 1;
+    target_stamp_[node] = epoch_;
+  }
+  bool is_target(std::uint32_t node) const {
+    return is_target_[node] != 0 && target_stamp_[node] == epoch_;
+  }
+
+ private:
+  std::vector<std::uint32_t> stamp_;
+  std::vector<std::int64_t> best_;
+  std::vector<std::int32_t> parent_;
+  std::vector<std::uint8_t> is_target_;
+  std::vector<std::uint32_t> target_stamp_;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace gridroute

@@ -403,7 +403,9 @@ TEST_F(WeightedTest, PushHistoryCostsBeyondInt32) {
   EXPECT_EQ(res.cost, 32LL * m.step + 31LL * (m.push + 100'000'000));
 }
 
-// --- regressions: epoch wrap (stamps from 2^32 searches ago read fresh) ---
+// --- regressions: epoch wrap (stamps from 2^32 searches ago read fresh).
+// --- The wrap reset lives in SearchArena::begin_search(); both router
+// --- adapters drive it through their arena() accessor. ---------------------
 
 TEST_F(WeightedTest, EpochWrapOnFreshRouter) {
   build(8, 8);
@@ -414,7 +416,7 @@ TEST_F(WeightedTest, EpochWrapOnFreshRouter) {
   ASSERT_TRUE(expected.found);
 
   WeightedMazeRouter wrapping(*grid, pins);
-  wrapping.set_epoch(std::numeric_limits<std::uint32_t>::max());
+  wrapping.arena().set_epoch(std::numeric_limits<std::uint32_t>::max());
   // The next search wraps the epoch to 0 — the value untouched stamps hold,
   // so without the reset every state reads "already visited at cost 0".
   const auto res = wrapping.route(request);
@@ -429,7 +431,7 @@ TEST_F(WeightedTest, SearchesStayFreshAcrossEpochWrap) {
   WeightedMazeRouter router(*grid, pins);
   const auto before = router.route(request);
   ASSERT_TRUE(before.found);
-  router.set_epoch(std::numeric_limits<std::uint32_t>::max() - 1);
+  router.arena().set_epoch(std::numeric_limits<std::uint32_t>::max() - 1);
   for (int i = 0; i < 4; ++i) {  // crosses the wrap mid-sequence
     const auto res = router.route(request);
     ASSERT_TRUE(res.found) << "search " << i;
@@ -442,10 +444,71 @@ TEST_F(LeeTest, EpochWrapOnFreshRouter) {
   const auto request =
       req({{0, 3}, Layer::kMetal1}, {{6, 3}, Layer::kMetal1});
   LeeRouter wrapping(*grid, pins);
-  wrapping.set_epoch(std::numeric_limits<std::uint32_t>::max());
+  wrapping.arena().set_epoch(std::numeric_limits<std::uint32_t>::max());
   const auto res = wrapping.route(request);
   ASSERT_TRUE(res.found);
   EXPECT_EQ(res.cost, 6);
+}
+
+TEST_F(LeeTest, SearchesStayFreshAcrossEpochWrap) {
+  build(8, 8);
+  const auto request =
+      req({{0, 3}, Layer::kMetal1}, {{6, 3}, Layer::kMetal1});
+  LeeRouter lee(*grid, pins);
+  const auto before = lee.route(request);
+  ASSERT_TRUE(before.found);
+  lee.arena().set_epoch(std::numeric_limits<std::uint32_t>::max() - 1);
+  for (int i = 0; i < 4; ++i) {  // crosses the wrap mid-sequence
+    const auto res = lee.route(request);
+    ASSERT_TRUE(res.found) << "search " << i;
+    EXPECT_EQ(res.cost, before.cost) << "search " << i;
+  }
+}
+
+// --- the shared kernel: expansion counters and arena sharing ---------------
+
+TEST_F(LeeTest, ExpansionCounterMoves) {
+  build(16, 16);
+  LeeRouter lee(*grid, pins);
+  ASSERT_TRUE(
+      lee.route(req({{0, 0}, Layer::kMetal1}, {{15, 15}, Layer::kMetal1}))
+          .found);
+  EXPECT_GT(lee.last_expansions(), 16);
+  // A trivial query resets the counter rather than accumulating.
+  ASSERT_TRUE(
+      lee.route(req({{0, 0}, Layer::kMetal1}, {{0, 0}, Layer::kMetal1}))
+          .found);
+  EXPECT_EQ(lee.last_expansions(), 1);
+}
+
+TEST_F(Maze, RoutersShareOneArena) {
+  build(10, 10);
+  const auto request =
+      req({{0, 3}, Layer::kMetal1}, {{6, 3}, Layer::kMetal1});
+  LeeRouter lee_own(*grid, pins);
+  WeightedMazeRouter weighted_own(*grid, pins);
+  const auto lee_expected = lee_own.route(request);
+  const auto weighted_expected = weighted_own.route(request);
+  ASSERT_TRUE(lee_expected.found);
+  ASSERT_TRUE(weighted_expected.found);
+
+  // One arena lent to both routers, interleaved: the weighted router's
+  // 5-states-per-node space forces a resize between the two, and epochs keep
+  // every search fresh regardless. Results must match the isolated runs.
+  SearchArena shared;
+  LeeRouter lee(*grid, pins, &shared);
+  WeightedMazeRouter weighted(*grid, pins, {}, &shared);
+  for (int round = 0; round < 3; ++round) {
+    const auto a = lee.route(request);
+    const auto b = weighted.route(request);
+    ASSERT_TRUE(a.found);
+    ASSERT_TRUE(b.found);
+    EXPECT_EQ(a.cost, lee_expected.cost) << "round " << round;
+    EXPECT_EQ(a.path.nodes, lee_expected.path.nodes) << "round " << round;
+    EXPECT_EQ(b.cost, weighted_expected.cost) << "round " << round;
+    EXPECT_EQ(b.path.nodes, weighted_expected.path.nodes)
+        << "round " << round;
+  }
 }
 
 }  // namespace

@@ -6,12 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <optional>
 #include <thread>
 #include <vector>
 
 #include "bench_suite/suite.hpp"
 #include "core/incremental_router.hpp"
+#include "search/search_arena.hpp"
 #include "verify/verify.hpp"
 
 namespace gridroute {
@@ -42,7 +44,10 @@ TEST(ParallelMultiStart, BitIdenticalToSerialOnSaturatedBox) {
   serial_opts.threads = 1;
   const RoutedDesign serial = route_best_of(p, 7, serial_opts);
   // Saturated on purpose: no attempt completes, so nothing is cancelled and
-  // every one of the 8 attempts contributes to the reduction.
+  // every one of the 8 attempts contributes to the reduction. Every worker
+  // reuses one SearchArena across all attempts it claims (8 attempts over
+  // 2 threads = ~4 reuses per arena), so this also pins down that arena
+  // recycling cannot leak state between attempts.
   ASSERT_FALSE(serial.outcome.complete());
 
   for (int threads : {2, 4, 8}) {
@@ -107,6 +112,60 @@ TEST(ParallelMultiStart, PerAttemptObservability) {
   EXPECT_EQ(d.total_expansions, expansions);
   EXPECT_EQ(d.winning_seed, d.attempts[static_cast<std::size_t>(
                                             d.winning_attempt)].seed);
+}
+
+TEST(ParallelMultiStart, WorkerArenaReuseDoesNotLeakState) {
+  // route_best_of hands each pool worker one SearchArena that every attempt
+  // it claims borrows (incremental_router.cpp's worker loop). Model that
+  // reuse adversarially: one long-lived arena carried across different
+  // problems — forcing arena resizes between grids — and primed so the
+  // sequence crosses the 2^32 epoch wrap mid-run. Every route must be
+  // bit-identical to a fresh-arena route of the same problem.
+  const std::vector<Problem> problems = {
+      suite::overfilled_switchbox().to_problem(),
+      suite::burstein_class_switchbox(31).to_problem(),
+      suite::cross_switchbox().to_problem(),
+      suite::overfilled_switchbox().to_problem(),
+  };
+  SearchArena reused;
+  reused.set_epoch(std::numeric_limits<std::uint32_t>::max() - 2);
+  for (const Problem& p : problems) {
+    const RoutedDesign fresh = route(p);
+    const RoutedDesign recycled = route(p, RouterOptions{}, &reused);
+    EXPECT_TRUE(grids_identical(p, fresh.grid, recycled.grid));
+    EXPECT_EQ(fresh.outcome.failed, recycled.outcome.failed);
+    EXPECT_EQ(fresh.outcome.stats.expansions, recycled.outcome.stats.expansions);
+  }
+}
+
+TEST(ParallelMultiStart, ConcurrentRoutersWithPerThreadArenas) {
+  // The per-worker arena pattern under real concurrency: 8 threads, each
+  // owning one arena reused across several back-to-back routes of a shared
+  // const Problem. Results must agree across threads and with a fresh-arena
+  // baseline; TSan (tier1) watches for sharing violations.
+  const Problem p = suite::burstein_class_switchbox(31).to_problem();
+  const RoutedDesign baseline = route(p);
+  constexpr int kThreads = 8;
+  constexpr int kRoutesPerThread = 3;
+  std::vector<int> mismatches(kThreads, -1);
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&p, &baseline, &mismatches, t] {
+      SearchArena arena;
+      int bad = 0;
+      for (int round = 0; round < kRoutesPerThread; ++round) {
+        const RoutedDesign d = route(p, RouterOptions{}, &arena);
+        if (d.outcome.failed != baseline.outcome.failed ||
+            d.outcome.stats.expansions != baseline.outcome.stats.expansions ||
+            !grids_identical(p, baseline.grid, d.grid))
+          ++bad;
+      }
+      mismatches[static_cast<std::size_t>(t)] = bad;
+    });
+  for (std::thread& t : pool) t.join();
+  for (int t = 0; t < kThreads; ++t)
+    EXPECT_EQ(mismatches[static_cast<std::size_t>(t)], 0) << "thread " << t;
 }
 
 TEST(ParallelMultiStart, ConcurrentRoutersOnSharedProblem) {

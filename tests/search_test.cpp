@@ -1,0 +1,309 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "bench_suite/suite.hpp"
+#include "core/incremental_router.hpp"
+#include "maze/maze_router.hpp"
+#include "search/bucket_queue.hpp"
+#include "search/goal_search.hpp"
+#include "search/search_arena.hpp"
+#include "util/rng.hpp"
+
+namespace gridroute {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SearchArena
+// ---------------------------------------------------------------------------
+
+TEST(SearchArenaTest, RelaxKeepsStrictImprovementsOnly) {
+  SearchArena arena;
+  arena.resize(8, 8);
+  arena.begin_search();
+  EXPECT_TRUE(arena.relax(3, 10, -1));
+  EXPECT_FALSE(arena.relax(3, 10, 1));  // tie: the earlier parent stays
+  EXPECT_TRUE(arena.relax(3, 9, 2));
+  EXPECT_FALSE(arena.relax(3, 12, 4));
+  EXPECT_EQ(arena.cost(3), 9);
+  EXPECT_EQ(arena.parent(3), 2);
+  EXPECT_TRUE(arena.current(3, 9));
+  EXPECT_FALSE(arena.current(3, 10));
+  EXPECT_TRUE(arena.visited(3));
+  EXPECT_FALSE(arena.visited(4));
+}
+
+TEST(SearchArenaTest, BeginSearchInvalidatesEverything) {
+  SearchArena arena;
+  arena.resize(4, 4);
+  arena.begin_search();
+  ASSERT_TRUE(arena.relax(1, 5, -1));
+  arena.mark_target(2);
+  EXPECT_TRUE(arena.is_target(2));
+  arena.begin_search();
+  EXPECT_FALSE(arena.visited(1));
+  EXPECT_FALSE(arena.is_target(2));
+}
+
+TEST(SearchArenaTest, EpochWrapClearsStaleStamps) {
+  SearchArena arena;
+  arena.resize(4, 4);
+  arena.set_epoch(std::numeric_limits<std::uint32_t>::max() - 1);
+  arena.begin_search();  // epoch = max
+  ASSERT_TRUE(arena.relax(0, 7, -1));
+  arena.mark_target(1);
+  arena.begin_search();  // wraps: without the reset, stamp 0 == epoch 0
+  EXPECT_EQ(arena.epoch(), 1u);
+  EXPECT_FALSE(arena.visited(0));
+  EXPECT_FALSE(arena.is_target(1));
+  EXPECT_TRUE(arena.relax(0, 3, -1));
+  EXPECT_EQ(arena.cost(0), 3);
+}
+
+TEST(SearchArenaTest, ResizeIsNoOpAtSameSizeAndResetsOtherwise) {
+  SearchArena arena;
+  arena.resize(4, 4);
+  arena.begin_search();
+  ASSERT_TRUE(arena.relax(1, 5, -1));
+  arena.resize(4, 4);  // same size: stamps survive
+  EXPECT_TRUE(arena.visited(1));
+  arena.resize(20, 4);  // new state space: everything restarts stale
+  EXPECT_FALSE(arena.visited(1));
+  EXPECT_EQ(arena.state_count(), 20u);
+  EXPECT_EQ(arena.node_count(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// BucketQueue vs HeapQueue (queue-level differential)
+// ---------------------------------------------------------------------------
+
+TEST(BucketQueueTest, FifoTiesPopInInsertionOrder) {
+  BucketQueue<TieOrder::kFifo> q;
+  q.reset(4);
+  q.push(0, 30);
+  q.push(0, 10);
+  q.push(0, 20);
+  std::int64_t p = 0;
+  std::uint32_t v = 0;
+  ASSERT_TRUE(q.pop(p, v));
+  EXPECT_EQ(v, 30u);
+  ASSERT_TRUE(q.pop(p, v));
+  EXPECT_EQ(v, 10u);
+  ASSERT_TRUE(q.pop(p, v));
+  EXPECT_EQ(v, 20u);
+  EXPECT_FALSE(q.pop(p, v));
+}
+
+TEST(BucketQueueTest, ByValueTiesPopAscending) {
+  BucketQueue<TieOrder::kByValue> q;
+  q.reset(4);
+  q.push(5, 30);
+  q.push(5, 10);
+  q.push(5, 20);
+  std::int64_t p = 0;
+  std::uint32_t v = 0;
+  ASSERT_TRUE(q.pop(p, v));
+  EXPECT_EQ(p, 5);
+  EXPECT_EQ(v, 10u);
+  ASSERT_TRUE(q.pop(p, v));
+  EXPECT_EQ(v, 20u);
+  ASSERT_TRUE(q.pop(p, v));
+  EXPECT_EQ(v, 30u);
+}
+
+TEST(BucketQueueTest, OverflowEntriesComeBackSorted) {
+  // Span 4, pushes far beyond the window (PathFinder-history style jumps).
+  BucketQueue<TieOrder::kByValue> q;
+  q.reset(4);
+  q.push(0, 1);
+  q.push(100'000'000, 2);
+  q.push(3, 3);
+  q.push(200'000'005, 4);
+  q.push(100'000'000, 0);
+  const std::pair<std::int64_t, std::uint32_t> expected[] = {
+      {0, 1}, {3, 3}, {100'000'000, 0}, {100'000'000, 2}, {200'000'005, 4}};
+  for (const auto& [ep, ev] : expected) {
+    std::int64_t p = 0;
+    std::uint32_t v = 0;
+    ASSERT_TRUE(q.pop(p, v));
+    EXPECT_EQ(p, ep);
+    EXPECT_EQ(v, ev);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BucketQueueTest, ResetReusesTheQueueCleanly) {
+  BucketQueue<TieOrder::kFifo> q;
+  q.reset(8);
+  q.push(2, 7);
+  q.push(900, 8);  // parked in overflow
+  q.reset(8);
+  EXPECT_TRUE(q.empty());
+  q.push(1, 5);
+  std::int64_t p = 0;
+  std::uint32_t v = 0;
+  ASSERT_TRUE(q.pop(p, v));
+  EXPECT_EQ(p, 1);
+  EXPECT_EQ(v, 5u);
+  EXPECT_FALSE(q.pop(p, v));
+}
+
+template <TieOrder Order>
+void run_queue_differential(std::uint64_t seed) {
+  BucketQueue<Order> bucket;
+  HeapQueue<Order> heap;
+  bucket.reset(16);
+  heap.reset(16);
+  Rng rng(seed);
+  std::int64_t floor = 0;  // pushes must be >= the last pop (monotonicity)
+  int live = 0;
+  for (int step = 0; step < 4000; ++step) {
+    if (live == 0 || rng.next_bool(0.55)) {
+      // Mostly near the pop floor, occasionally far past the span so the
+      // overflow heap and the window jump both get exercised.
+      const std::int64_t delta = rng.next_bool(0.1)
+                                     ? rng.next_int(17, 1'000'000)
+                                     : rng.next_int(0, 15);
+      const auto value = static_cast<std::uint32_t>(rng.next_below(64));
+      bucket.push(floor + delta, value);
+      heap.push(floor + delta, value);
+      ++live;
+    } else {
+      std::int64_t pb = 0, ph = 0;
+      std::uint32_t vb = 0, vh = 0;
+      ASSERT_TRUE(bucket.pop(pb, vb));
+      ASSERT_TRUE(heap.pop(ph, vh));
+      ASSERT_EQ(pb, ph) << "step " << step;
+      ASSERT_EQ(vb, vh) << "step " << step;
+      floor = pb;
+      --live;
+    }
+  }
+  while (live-- > 0) {
+    std::int64_t pb = 0, ph = 0;
+    std::uint32_t vb = 0, vh = 0;
+    ASSERT_TRUE(bucket.pop(pb, vb));
+    ASSERT_TRUE(heap.pop(ph, vh));
+    ASSERT_EQ(pb, ph);
+    ASSERT_EQ(vb, vh);
+  }
+  EXPECT_TRUE(bucket.empty());
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(BucketQueueTest, MatchesHeapOnRandomMonotoneSequencesFifo) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) run_queue_differential<TieOrder::kFifo>(seed);
+}
+
+TEST(BucketQueueTest, MatchesHeapOnRandomMonotoneSequencesByValue) {
+  for (std::uint64_t seed : {4u, 5u, 6u})
+    run_queue_differential<TieOrder::kByValue>(seed);
+}
+
+// ---------------------------------------------------------------------------
+// Router-level differential: bucket kernel vs reference heap kernel must
+// return identical costs, node sequences, and expansion counts on suite
+// instances — heuristic on and off, pushing on and off.
+// ---------------------------------------------------------------------------
+
+void expect_identical(const SearchResult& bucket, const SearchResult& heap,
+                      const char* what, int trial) {
+  ASSERT_EQ(bucket.found, heap.found) << what << " trial " << trial;
+  EXPECT_EQ(bucket.cost, heap.cost) << what << " trial " << trial;
+  EXPECT_EQ(bucket.path.nodes, heap.path.nodes) << what << " trial " << trial;
+  EXPECT_EQ(bucket.crossed, heap.crossed) << what << " trial " << trial;
+}
+
+/// Runs `trials` random queries on a routed suite instance through both
+/// queue kinds of both routers; returns the number of differential query
+/// pairs executed.
+int run_router_differential(const Problem& problem, std::uint64_t seed,
+                            int trials) {
+  // Route the instance first so queries see a realistically occupied grid
+  // (owned wire, foreign wire, vias) rather than an empty box.
+  IncrementalRouter router(problem);
+  router.run();
+  const RoutingGrid& grid = router.grid();
+  const PinBlocks pins(problem);
+
+  WeightedMazeRouter bucket(grid, pins);
+  WeightedMazeRouter heap(grid, pins);
+  heap.set_queue_kind(SearchQueue::kHeap);
+  EXPECT_EQ(bucket.queue_kind(), SearchQueue::kBucket);
+  EXPECT_EQ(heap.queue_kind(), SearchQueue::kHeap);
+  LeeRouter lee_bucket(grid, pins);
+  LeeRouter lee_heap(grid, pins);
+  lee_heap.set_queue_kind(SearchQueue::kHeap);
+
+  const Rect b = problem.region().bounds();
+  Rng rng(seed);
+  std::vector<int> history(static_cast<std::size_t>(b.width()) *
+                           static_cast<std::size_t>(b.height()));
+  for (int& h : history) h = rng.next_bool(0.3) ? rng.next_int(1, 400) : 0;
+
+  int queries = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    SearchRequest req;
+    req.net = static_cast<NetId>(rng.next_below(
+        static_cast<std::uint64_t>(problem.net_count())));
+    const int pairs = rng.next_int(1, 2);
+    for (int k = 0; k < pairs; ++k) {
+      req.sources.push_back({{rng.next_int(b.lo.x, b.hi.x),
+                              rng.next_int(b.lo.y, b.hi.y)},
+                             rng.next_bool(0.5) ? Layer::kMetal1
+                                                : Layer::kMetal2});
+      req.targets.push_back({{rng.next_int(b.lo.x, b.hi.x),
+                              rng.next_int(b.lo.y, b.hi.y)},
+                             rng.next_bool(0.5) ? Layer::kMetal1
+                                                : Layer::kMetal2});
+    }
+    req.allow_push = rng.next_bool(0.5);
+    if (req.allow_push && rng.next_bool(0.5)) req.push_history = &history;
+
+    const bool use_heuristic = trial % 2 == 0;
+    bucket.set_heuristic(use_heuristic);
+    heap.set_heuristic(use_heuristic);
+    const SearchResult wb = bucket.route(req);
+    const SearchResult wh = heap.route(req);
+    expect_identical(wb, wh, "weighted", trial);
+    EXPECT_EQ(bucket.last_expansions(), heap.last_expansions())
+        << "weighted trial " << trial;
+    ++queries;
+
+    const SearchResult lb = lee_bucket.route(req);
+    const SearchResult lh = lee_heap.route(req);
+    expect_identical(lb, lh, "lee", trial);
+    EXPECT_EQ(lee_bucket.last_expansions(), lee_heap.last_expansions())
+        << "lee trial " << trial;
+    ++queries;
+  }
+  return queries;
+}
+
+TEST(SearchDifferentialTest, BucketKernelMatchesHeapAcrossSuiteQueries) {
+  int queries = 0;
+  queries += run_router_differential(
+      suite::burstein_class_switchbox(11).to_problem(), 101, 40);
+  queries += run_router_differential(
+      suite::random_switchbox(21, 18, 12, 14, 4, 0.6).to_problem(), 202, 40);
+  queries += run_router_differential(suite::macrocell_region(31), 303, 40);
+  EXPECT_GE(queries, 200);
+}
+
+// A lent arena must be invisible end to end: routing a whole instance with
+// shared scratch gives exactly the result of a router-owned arena.
+TEST(SearchDifferentialTest, EndToEndRoutingUnchangedBySharedArena) {
+  const Problem p = suite::burstein_class_switchbox(7).to_problem();
+  const RoutedDesign base = route(p);
+  SearchArena arena;
+  const RoutedDesign with_arena = route(p, {}, &arena);
+  EXPECT_EQ(base.outcome.stats.nets_routed,
+            with_arena.outcome.stats.nets_routed);
+  EXPECT_EQ(base.outcome.stats.expansions, with_arena.outcome.stats.expansions);
+  EXPECT_EQ(base.outcome.failed, with_arena.outcome.failed);
+}
+
+}  // namespace
+}  // namespace gridroute
