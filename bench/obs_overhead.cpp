@@ -1,0 +1,166 @@
+// Observability overhead bench — the enforcement half of the
+// zero-overhead-when-off contract in src/obs.
+//
+// The contract says a route() with no sink installed pays at most 1% for
+// the instrumentation compiled into it. Wall-clock A/B comparison cannot
+// measure that bound: the no-instrumentation binary does not exist, and
+// run-to-run machine noise on shared hardware dwarfs 1%. So the gated
+// number is built from three noise-proof measurements instead:
+//
+//   1. per-event off-path cost — construct a TraceEvent and emit() it into
+//      a sink-less Trace, timed over millions of iterations (the optimizer
+//      is denied the null-ness of the sink via a volatile load);
+//   2. events per route — deterministic, counted with a CountingSink;
+//   3. route floor time — minimum no-sink wall time over interleaved
+//      rounds (minimum of {true cost + non-negative noise} estimates the
+//      true cost).
+//
+// gated overhead = cost_per_event * events_per_route / floor_time <= 1%.
+// Exit 1 otherwise, so CI holds the line. The counting and JSONL sink
+// columns are informational: sinks are allowed to cost; they show what
+// each one buys you into.
+
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_suite/suite.hpp"
+#include "core/api.hpp"
+#include "io/table.hpp"
+#include "obs/sinks.hpp"
+
+using namespace gridroute;
+
+namespace {
+
+constexpr int kRepeats = 9;         // interleaved timing rounds
+constexpr double kSampleMs = 40.0;  // minimum work per timing sample
+
+/// The optimizer must not learn this is null, or the emit() under test
+/// folds to nothing and the microbench reads zero.
+obs::TraceSink* volatile g_no_sink = nullptr;
+
+/// Off-path cost of one instrumentation point, in nanoseconds: build the
+/// busiest event kind (search_query, emitted once per kernel query) and
+/// emit it into a trace whose sink — unknown to the compiler — is null.
+double measure_emit_ns() {
+  const obs::Trace trace(g_no_sink, /*attempt=*/0);
+  constexpr long long kIters = 20'000'000;
+  double best_ns = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (long long i = 0; i < kIters; ++i)
+      trace.emit(obs::TraceEvent::search_query(static_cast<int>(i & 1023), i,
+                                               i >> 4, (i & 1) != 0));
+    const double ns = std::chrono::duration<double, std::nano>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count() /
+                      kIters;
+    if (rep == 0 || ns < best_ns) best_ns = ns;
+  }
+  return best_ns;
+}
+
+/// One timing sample: `iters` back-to-back full routes, per-route mean.
+/// Batching keeps every sample above the clock's noise floor even on
+/// instances that route in under a millisecond.
+double time_route_once(const Problem& problem, obs::TraceSink* sink,
+                       int iters, long long* expansions) {
+  RouteRequest request;
+  request.problem = &problem;
+  request.trace = sink;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    const RouteResult result = route(request);
+    *expansions = result.stats.expansions;  // identical across reps & sinks
+  }
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+             .count() /
+         iters;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::pair<std::string, Problem>> instances = {
+      {"dense-switchbox", suite::dense_switchbox().to_problem()},
+      {"burstein-class-23x15",
+       suite::burstein_class_switchbox(1983).to_problem()},
+      {"deutsch-class-120x14",
+       suite::deutsch_class_channel(1976, 120, 14).to_problem(14)},
+      {"overfilled-12x12", suite::overfilled_switchbox().to_problem()},
+  };
+
+  const double emit_ns = measure_emit_ns();
+
+  Table table({"instance", "expansions", "events", "off ms", "off overhead",
+               "counting cost", "jsonl cost"});
+
+  bool within_contract = true;
+  for (const auto& [name, problem] : instances) {
+    long long expansions = 0;
+    // Warm-up run: touch the pages and the allocator before timing, and
+    // size the batch so every sample covers enough work to sit well above
+    // the clock and scheduler noise floor.
+    const double single_ms = time_route_once(problem, nullptr, 1, &expansions);
+    const int iters = std::max(1, static_cast<int>(kSampleMs / single_ms) + 1);
+
+    // Events per route: deterministic — the trace is a pure function of the
+    // routing decisions, and a sink never changes them.
+    obs::CountingSink counting;
+    std::ostringstream discard;
+    obs::JsonlSink jsonl(discard);
+
+    // Interleave the configurations inside each round so machine drift hits
+    // every column alike; keep each column's minimum (floor estimate).
+    double off_ms = 0, with_counting = 0, with_jsonl = 0;
+    long long events = 0;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      auto keep = [first = rep == 0](double& best, double ms) {
+        if (first || ms < best) best = ms;
+      };
+      const long long seen = counting.total();
+      keep(off_ms, time_route_once(problem, nullptr, iters, &expansions));
+      keep(with_counting,
+           time_route_once(problem, &counting, iters, &expansions));
+      keep(with_jsonl, time_route_once(problem, &jsonl, iters, &expansions));
+      events = (counting.total() - seen) / iters;
+    }
+
+    // The gated number: what the sink-less instrumentation points cost one
+    // route, against that route's floor time.
+    const double off_overhead =
+        events * emit_ns / (off_ms * 1'000'000.0);
+    within_contract = within_contract && off_overhead <= 0.01;
+
+    auto pct = [](double x) { return Table::num(100.0 * x, 2) + "%"; };
+    table.add_row({
+        name,
+        std::to_string(expansions),
+        std::to_string(events),
+        Table::num(off_ms, 2),
+        pct(off_overhead),
+        pct(with_counting / off_ms - 1.0),
+        pct(with_jsonl / off_ms - 1.0),
+    });
+  }
+
+  std::cout << "Observability overhead: route(RouteRequest) with no sink, a "
+               "counting sink,\nand a JSONL sink (minimum over " << kRepeats
+            << " interleaved rounds; identical work\nby construction — "
+               "expansions match across all configurations).\n\nOff-path "
+               "emit cost: " << Table::num(emit_ns, 2)
+            << " ns per instrumentation point (event build +\nnull check, "
+               "measured over 20M iterations).\n\n";
+  table.print(std::cout);
+  std::cout << "\nReading: 'off overhead' = events x emit cost / floor "
+               "route time — what the\nsink-less instrumentation costs a "
+               "route. It must stay under 1.00% (the\nzero-overhead-when-off "
+               "contract; exit 1 otherwise). Sink columns compare\nwall "
+               "floors and are informational: sinks are allowed to cost.\n";
+  return within_contract ? 0 : 1;
+}

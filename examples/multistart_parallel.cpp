@@ -6,16 +6,16 @@
 //   ./build/examples/multistart_parallel
 //
 // Net order is the one input the incremental router is genuinely sensitive
-// to on near-saturated instances; route_best_of explores shuffled orders in
-// parallel and keeps the best result. The reduction is deterministic: any
-// thread count returns the bit-identical winner, so threads only change
-// wall-clock time. Exits nonzero if routing, verification, or the
-// serial/parallel determinism cross-check fails.
+// to on near-saturated instances; a RouteRequest with extra_attempts set
+// explores shuffled orders in parallel and keeps the best result. The
+// reduction is deterministic: any thread count returns the bit-identical
+// winner, so threads only change wall-clock time. Exits nonzero if routing,
+// verification, or the serial/parallel determinism cross-check fails.
 
 #include <iostream>
 
 #include "bench_suite/suite.hpp"
-#include "core/incremental_router.hpp"
+#include "core/api.hpp"
 #include "verify/verify.hpp"
 
 using namespace gridroute;
@@ -23,18 +23,20 @@ using namespace gridroute;
 int main() {
   const Problem problem = suite::overfilled_switchbox().to_problem();
 
-  RouterOptions options;
-  options.threads = 0;  // 0 = one worker per hardware thread
-  const RoutedDesign design = route_best_of(problem, 7, options);
+  RouteRequest request;
+  request.problem = &problem;
+  request.options.threads = 0;  // 0 = one worker per hardware thread
+  request.extra_attempts = 7;
+  const RouteResult result = route(request);
 
-  std::cout << "best-of-" << design.attempts.size() << ": routed "
-            << design.outcome.stats.nets_routed << " nets, winner attempt "
-            << design.winning_attempt << " (seed " << design.winning_seed
-            << "), " << design.total_expansions
+  std::cout << "best-of-" << result.attempts.size() << ": routed "
+            << result.stats.nets_routed << " nets, winner attempt "
+            << result.winning_attempt << " (seed " << result.winning_seed
+            << "), " << result.total_expansions
             << " maze expansions total\n\n";
   std::cout << "attempt  seed                  ran  complete  nets  "
                "expansions  ms\n";
-  for (const AttemptReport& a : design.attempts) {
+  for (const AttemptReport& a : result.attempts) {
     std::cout << a.index << "        " << a.seed
               << (a.seed < 10 ? "                    " : "  ")
               << (a.ran ? "yes" : "no ") << "  "
@@ -45,18 +47,18 @@ int main() {
 
   // The determinism guarantee, demonstrated: a fully serial run picks the
   // same winner as the pool above.
-  RouterOptions serial = options;
-  serial.threads = 1;
-  const RoutedDesign reference = route_best_of(problem, 7, serial);
+  RouteRequest serial = request;
+  serial.options.threads = 1;
+  const RouteResult reference = route(serial);
   const bool identical =
-      reference.winning_attempt == design.winning_attempt &&
-      reference.winning_seed == design.winning_seed &&
-      reference.outcome.failed == design.outcome.failed &&
-      reference.grid.total_nodes() == design.grid.total_nodes();
+      reference.winning_attempt == result.winning_attempt &&
+      reference.winning_seed == result.winning_seed &&
+      reference.failed == result.failed &&
+      reference.grid.total_nodes() == result.grid.total_nodes();
   std::cout << "\nserial reference picked attempt "
             << reference.winning_attempt << ": "
             << (identical ? "bit-identical" : "MISMATCH") << '\n';
 
-  const VerifyReport report = verify(problem, design.grid);
+  const VerifyReport report = verify(problem, result.grid);
   return identical && report.drc_clean() ? 0 : 1;
 }

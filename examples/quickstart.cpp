@@ -6,7 +6,7 @@
 
 #include <iostream>
 
-#include "core/incremental_router.hpp"
+#include "core/api.hpp"
 #include "io/ascii_art.hpp"
 #include "problem/problem.hpp"
 #include "verify/verify.hpp"
@@ -28,20 +28,23 @@ int main() {
   for (const std::string& issue : problem.validate())
     std::cerr << "problem issue: " << issue << '\n';
 
-  // Route with the incremental rip-up router (default configuration).
-  IncrementalRouter router(problem);
-  const RouteOutcome outcome = router.run();
+  // Route through the library's one entry point. The request carries the
+  // problem plus anything optional — options, a budget, a trace sink,
+  // multi-start attempts; the defaults mean "one plain attempt".
+  RouteRequest request;
+  request.problem = &problem;
+  const RouteResult result = route(request);
 
   // Always audit the result with the independent verifier.
-  const VerifyReport report = verify(problem, router.grid());
+  const VerifyReport report = verify(problem, result.grid);
 
   std::cout << "routed " << report.completed_net_count << "/"
             << report.routable_net_count << " nets, "
             << report.total_wire_nodes << " wire cells, "
             << report.total_vias << " vias\n"
-            << "weak modifications: " << outcome.stats.weak_modifications
-            << ", strong rip-ups: " << outcome.stats.strong_ripups << "\n\n"
-            << render(problem, router.grid());
+            << "weak modifications: " << result.stats.weak_modifications
+            << ", strong rip-ups: " << result.stats.strong_ripups << "\n\n"
+            << render(problem, result.grid);
 
   return report.all_ok() ? 0 : 1;
 }

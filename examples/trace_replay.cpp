@@ -1,0 +1,112 @@
+// Trace replay: route with a ReplaySink attached, then reconstruct what the
+// router did from the retained event ring — no debugger, no printf in the
+// router, just the structured trace.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/trace_replay
+//
+// Also shows the JSONL shape of the same stream: every event is one JSON
+// object per line, ready for jq or a metrics pipeline.
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_suite/suite.hpp"
+#include "core/api.hpp"
+#include "io/table.hpp"
+#include "obs/sinks.hpp"
+#include "verify/verify.hpp"
+
+using namespace gridroute;
+
+namespace {
+
+/// One human-readable line per event — the "ASCII frame" of the replay.
+std::string describe(const obs::TraceEvent& e) {
+  std::ostringstream line;
+  line << obs::event_name(e.kind);
+  if (e.net >= 0) line << " net=" << e.net;
+  switch (e.kind) {
+    case obs::EventKind::kNetSuccess:
+    case obs::EventKind::kNetFail:
+      line << " connections=" << e.value;
+      break;
+    case obs::EventKind::kWeakProbe:
+      line << " probe=" << e.value << " crossed=" << e.extra
+           << (e.ok ? " found" : " blocked");
+      break;
+    case obs::EventKind::kWeakOutcome:
+      line << " probe=" << e.value << " victims=" << e.extra
+           << (e.ok ? " pushed" : " rolled-back");
+      break;
+    case obs::EventKind::kStrongRipup: {
+      line << " ripped={";
+      for (std::size_t i = 0; i < e.nets.size(); ++i)
+        line << (i > 0 ? "," : "") << e.nets[i];
+      line << "} remaining-budget=" << e.value;
+      break;
+    }
+    case obs::EventKind::kSearchQuery:
+      line << " expansions=" << e.value << " overflow-hits=" << e.extra
+           << (e.ok ? " found" : " no-path");
+      break;
+    case obs::EventKind::kImproveAccept:
+      line << " cost " << e.value << " -> " << e.extra;
+      break;
+    case obs::EventKind::kImproveReject:
+      line << " cost " << e.value << " kept";
+      break;
+    default:
+      break;
+  }
+  return line.str();
+}
+
+}  // namespace
+
+int main() {
+  const Problem problem = suite::dense_switchbox().to_problem();
+
+  // Ring of the most recent events: big enough here to keep the whole run,
+  // small enough to show dropped() doing its accounting elsewhere.
+  obs::ReplaySink replay(4096);
+  RouteRequest request;
+  request.problem = &problem;
+  request.trace = &replay;
+  request.improve_passes = 1;
+  const RouteResult result = route(request);
+
+  const std::vector<obs::TraceEvent> events = replay.events();
+  std::cout << "captured " << events.size() << " events ("
+            << replay.dropped() << " dropped by the ring)\n\n";
+
+  // Taxonomy summary: how the routing effort distributed over event kinds.
+  Table table({"event", "count"});
+  for (std::size_t k = 0; k < obs::kEventKindCount; ++k) {
+    const auto kind = static_cast<obs::EventKind>(k);
+    const long long n = std::count_if(
+        events.begin(), events.end(),
+        [kind](const obs::TraceEvent& e) { return e.kind == kind; });
+    if (n > 0) table.add_row({obs::event_name(kind), std::to_string(n)});
+  }
+  table.print(std::cout);
+
+  // The last moments of the run, replayed as readable frames.
+  constexpr std::size_t kTail = 12;
+  std::cout << "\nlast " << std::min(kTail, events.size()) << " events:\n";
+  for (std::size_t i = events.size() - std::min(kTail, events.size());
+       i < events.size(); ++i)
+    std::cout << "  " << describe(events[i]) << '\n';
+
+  // The same stream in interchange shape: one JSON object per line.
+  std::cout << "\nas JSONL (first 4 lines):\n";
+  for (std::size_t i = 0; i < std::min<std::size_t>(4, events.size()); ++i)
+    std::cout << "  " << obs::JsonlSink::format(events[i]) << '\n';
+
+  const VerifyReport report = verify(problem, result.grid);
+  return result.complete() && report.all_ok() ? 0 : 1;
+}

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + test suite, then the multi-start
-# concurrency tests again under ThreadSanitizer (GRIDROUTE_SANITIZE=thread)
-# and the search-kernel differential tests under UndefinedBehaviorSanitizer
+# concurrency tests and the observability tests (golden trace, budget,
+# routing-API surface — sinks take events from every worker) again under
+# ThreadSanitizer (GRIDROUTE_SANITIZE=thread), and the search-kernel
+# differential tests under UndefinedBehaviorSanitizer
 # (GRIDROUTE_SANITIZE=undefined).
 #
 #   scripts/tier1.sh                  # everything
@@ -17,9 +19,12 @@ cmake --build build -j
 
 if [ "${GRIDROUTE_SKIP_TSAN:-0}" != "1" ]; then
   cmake -B build-tsan -S . -DGRIDROUTE_SANITIZE=thread
-  cmake --build build-tsan -j --target parallel_test multistart_test
+  cmake --build build-tsan -j --target parallel_test multistart_test \
+    obs_test api_test
   ./build-tsan/tests/parallel_test
   ./build-tsan/tests/multistart_test
+  ./build-tsan/tests/obs_test
+  ./build-tsan/tests/api_test
 fi
 
 if [ "${GRIDROUTE_SKIP_UBSAN:-0}" != "1" ]; then

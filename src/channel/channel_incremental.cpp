@@ -1,6 +1,7 @@
 #include "channel/channel_incremental.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "channel/channel_analysis.hpp"
 
@@ -10,27 +11,60 @@ RouterOptions channel_router_options() {
   return RouterOptions{};
 }
 
-IncrementalChannelResult route_channel_incremental(const ChannelSpec& spec,
-                                                   RouterOptions options,
-                                                   int max_extra_tracks) {
-  IncrementalChannelResult result;
+ChannelRouteResult route_channel(const ChannelSpec& spec,
+                                 const RouteRequest& base,
+                                 int max_extra_tracks) {
+  ChannelRouteResult result;
+  const auto t0 = std::chrono::steady_clock::now();
   const int density = ChannelAnalysis(spec).density();
   const int floor_tracks = std::max(density, 1);
   for (int tracks = floor_tracks; tracks <= floor_tracks + max_extra_tracks;
        ++tracks) {
     const Problem problem = spec.to_problem(tracks);
-    IncrementalRouter router(problem, options);
-    const RouteOutcome outcome = router.run();
-    if (!outcome.complete()) continue;
-    const VerifyReport report = verify(problem, router.grid());
+    RouteRequest request = base;
+    request.problem = &problem;
+    request.arena = nullptr;
+    if (base.budget.wall_ms > 0) {
+      // The wall budget spans the whole ladder: each width runs against
+      // whatever the earlier widths left of it.
+      const double elapsed =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      request.budget.wall_ms = base.budget.wall_ms - elapsed;
+      if (request.budget.wall_ms <= 0) return result;  // ladder budget spent
+    }
+    RouteResult routed = route(request);
+    if (!routed.complete()) {
+      // An exhausted budget would only be exhausted again one track wider.
+      if (routed.budget_exhausted) return result;
+      continue;
+    }
+    const VerifyReport report = verify(problem, routed.grid);
     if (!report.all_ok()) continue;
     result.success = true;
     result.tracks = tracks;
-    result.stats = outcome.stats;
     result.wire_nodes = report.total_wire_nodes;
     result.vias = report.total_vias;
+    result.result = std::move(routed);
     return result;
   }
+  return result;
+}
+
+IncrementalChannelResult route_channel_incremental(const ChannelSpec& spec,
+                                                   RouterOptions options,
+                                                   int max_extra_tracks) {
+  RouteRequest base;
+  base.options = options;
+  ChannelRouteResult routed = route_channel(spec, base, max_extra_tracks);
+
+  IncrementalChannelResult result;
+  result.success = routed.success;
+  result.tracks = routed.tracks;
+  result.wire_nodes = routed.wire_nodes;
+  result.vias = routed.vias;
+  if (routed.result.has_value()) result.stats = routed.result->stats;
   return result;
 }
 

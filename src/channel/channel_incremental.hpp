@@ -2,14 +2,27 @@
 
 #include <optional>
 
+#include "core/api.hpp"
 #include "core/incremental_router.hpp"
 #include "problem/problem.hpp"
 #include "verify/verify.hpp"
 
 namespace gridroute {
 
+/// Result of routing a channel at the smallest feasible track count through
+/// the unified route(RouteRequest) entry point.
+struct ChannelRouteResult {
+  bool success = false;
+  int tracks = 0;  ///< smallest track count that routed completely
+  /// The successful width's full result (grid, stats, attempts, metrics);
+  /// empty when no width in the ladder succeeded.
+  std::optional<RouteResult> result;
+  int wire_nodes = 0;
+  int vias = 0;
+};
+
 /// Result of routing a channel with the incremental rip-up router at the
-/// smallest feasible track count.
+/// smallest feasible track count (legacy shape; see ChannelRouteResult).
 struct IncrementalChannelResult {
   bool success = false;
   int tracks = 0;          ///< smallest track count that routed completely
@@ -26,10 +39,27 @@ struct IncrementalChannelResult {
 /// Kept as the single place channel-specific tuning would live.
 RouterOptions channel_router_options();
 
+/// Routes the channel through the unified route(RouteRequest) entry point,
+/// searching upward from the density lower bound for the smallest track
+/// count that completes and verifies (tracks == density means optimal).
+/// `base` carries the options, budget, trace sink, multi-start attempts and
+/// improve passes applied at every width; base.problem and base.arena are
+/// ignored (each width builds its own Problem). A wall budget spans the
+/// whole track ladder — each width gets what is left of it — while an
+/// expansion budget applies per width; the ladder stops early once the
+/// budget is exhausted.
+ChannelRouteResult route_channel(const ChannelSpec& spec,
+                                 const RouteRequest& base = {},
+                                 int max_extra_tracks = 10);
+
 /// Routes the channel with the incremental router, searching upward from
 /// the density lower bound for the smallest track count that completes and
 /// verifies. This is the procedure behind the "routed difficult channels in
 /// density" comparison row: tracks == density means optimal.
+///
+/// Deprecated entry point (kept as a thin wrapper over route_channel):
+/// new code should call route_channel, which also carries budgets, trace
+/// sinks, and multi-start through to every width.
 IncrementalChannelResult route_channel_incremental(
     const ChannelSpec& spec, RouterOptions options = channel_router_options(),
     int max_extra_tracks = 10);

@@ -1,0 +1,245 @@
+#include "core/api.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace gridroute {
+
+namespace {
+
+/// Options for one multi-start attempt. Attempt 0 keeps the caller's
+/// ordering; restarts shuffle with a seed mixed from the base seed and the
+/// attempt index, so a kShuffled base run and every restart all explore
+/// distinct net orders even when the caller picked a small seed.
+RouterOptions attempt_options(const RouterOptions& base, int attempt) {
+  if (attempt == 0) return base;
+  RouterOptions shuffled = base;
+  shuffled.ordering = RouterOptions::Ordering::kShuffled;
+  shuffled.shuffle_seed =
+      mix_seeds(base.shuffle_seed, static_cast<std::uint64_t>(attempt));
+  return shuffled;
+}
+
+/// One fully isolated attempt: its own IncrementalRouter (grid, pin map,
+/// maze search, history) over the shared const Problem, with the request's
+/// sink and a forked budget gauge wired in. improve() runs inside the
+/// attempt (skipped once the budget is spent), so the returned stats carry
+/// both phases and multi-start scores the cleaned-up layout.
+RouteResult run_attempt(const Problem& problem, const RouterOptions& options,
+                        int improve_passes, obs::TraceSink* sink, int attempt,
+                        obs::BudgetGauge* gauge, SearchArena* arena) {
+  IncrementalRouter router(problem, options, arena);
+  router.set_trace(sink, attempt);
+  router.set_budget(gauge);
+  RouteOutcome outcome = router.run();
+
+  int improved = 0;
+  if (improve_passes > 0 && !router.budget_exhausted())
+    improved = router.improve(improve_passes);
+  return RouteResult{std::move(router.grid()),
+                     router.stats(),  // includes improve()'s phase time
+                     std::move(outcome.failed),
+                     router.metrics().snapshot(),
+                     /*attempts=*/{},
+                     /*winning_attempt=*/0,
+                     /*winning_seed=*/0,
+                     /*total_expansions=*/0,
+                     improved,
+                     router.budget_exhausted()};
+}
+
+AttemptReport report_of(int index, std::uint64_t seed, const RouteResult* r) {
+  AttemptReport report;
+  report.index = index;
+  report.seed = seed;
+  if (r != nullptr) {
+    report.ran = true;
+    report.complete = r->complete();
+    report.nets_routed = r->stats.nets_routed;
+    report.expansions = r->stats.expansions;
+    report.wall_ms = r->stats.wall_ms;
+  }
+  return report;
+}
+
+}  // namespace
+
+RouteResult route(const RouteRequest& request) {
+  if (request.problem == nullptr)
+    throw std::invalid_argument("RouteRequest::problem must be set");
+  const Problem& problem = *request.problem;
+  const RouterOptions& options = request.options;
+  obs::TraceSink* sink = request.trace;
+  const bool budgeted = !request.budget.unlimited();
+  // The wall deadline starts here and is shared by every attempt; forks
+  // restart only the expansion count.
+  const obs::BudgetGauge base_gauge(request.budget);
+
+  if (request.extra_attempts <= 0) {
+    // Plain run: one attempt on the calling thread, honoring request.arena.
+    obs::BudgetGauge gauge = base_gauge.fork();
+    RouteResult result =
+        run_attempt(problem, options, request.improve_passes, sink, 0,
+                    budgeted ? &gauge : nullptr, request.arena);
+    result.winning_attempt = 0;
+    result.winning_seed = options.shuffle_seed;
+    result.total_expansions = result.stats.expansions;
+    result.attempts.push_back(report_of(0, options.shuffle_seed, &result));
+    return result;
+  }
+
+  const int total = request.extra_attempts + 1;
+  int workers = options.threads;
+  if (workers <= 0)
+    workers = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  workers = std::min(workers, total);
+
+  // Results land in per-attempt slots; nothing below mutates shared state
+  // except the work counter, the early-cancel watermark, and the (thread-
+  // safe) trace sink.
+  std::vector<std::optional<RouteResult>> results(
+      static_cast<std::size_t>(total));
+  std::atomic<int> next_attempt{0};
+  // Lowest attempt index that routed every net. Serial best-of stops after
+  // the first complete attempt; here that becomes a cancellation watermark:
+  // attempts above it are skipped, attempts at or below it still finish
+  // (one of them could be an even lower-index complete run).
+  std::atomic<int> first_complete{total};
+
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  auto worker = [&] {
+    // One search arena per worker, lent to every attempt this worker runs.
+    // Epoch stamping makes the reuse stateless: a fresh arena and a
+    // well-recycled one produce bit-identical searches.
+    SearchArena arena;
+    for (;;) {
+      const int idx = next_attempt.fetch_add(1);
+      if (idx >= total) return;
+      if (idx > first_complete.load()) {  // cannot win; skip
+        obs::Trace(sink, idx).emit(obs::TraceEvent::attempt_cancelled());
+        continue;
+      }
+      try {
+        obs::Trace(sink, idx).emit(obs::TraceEvent::attempt_scheduled());
+        obs::BudgetGauge gauge = base_gauge.fork();
+        RouteResult attempt =
+            run_attempt(problem, attempt_options(options, idx),
+                        request.improve_passes, sink, idx,
+                        budgeted ? &gauge : nullptr, &arena);
+        if (attempt.complete()) {
+          int seen = first_complete.load();
+          while (idx < seen &&
+                 !first_complete.compare_exchange_weak(seen, idx)) {
+          }
+        }
+        results[static_cast<std::size_t>(idx)] = std::move(attempt);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        first_complete.store(-1);  // drain remaining work
+        return;
+      }
+    }
+  };
+
+  if (workers <= 1) {
+    worker();  // serial reference path: same plan, same reduction
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  if (error) std::rethrow_exception(error);
+
+  // Deterministic reduction — an ascending scan identical to the historical
+  // serial loop: keep strictly-better scores (ties therefore break to the
+  // lower attempt index) and stop once the incumbent is complete. Every
+  // attempt the serial loop would have run is guaranteed present: index i
+  // is only skipped when some complete attempt c < i exists, and the scan
+  // never reads past the first complete attempt.
+  auto score = [](const RouteResult& r) {
+    // Higher is better: completions dominate, then compact layouts.
+    return std::pair{r.stats.nets_routed,
+                     -(r.grid.total_nodes() + 4 * r.grid.total_vias())};
+  };
+  int winner = 0;
+  for (int idx = 1; idx < total; ++idx) {
+    if (results[static_cast<std::size_t>(winner)]->complete()) break;
+    const auto& candidate = results[static_cast<std::size_t>(idx)];
+    if (!candidate.has_value()) continue;  // early-cancelled
+    if (score(*candidate) > score(*results[static_cast<std::size_t>(winner)]))
+      winner = idx;
+  }
+
+  RouteResult best = std::move(*results[static_cast<std::size_t>(winner)]);
+  best.winning_attempt = winner;
+  best.winning_seed = attempt_options(options, winner).shuffle_seed;
+  best.total_expansions = 0;
+  best.attempts.clear();
+  best.attempts.reserve(static_cast<std::size_t>(total));
+  for (int idx = 0; idx < total; ++idx) {
+    const RouteResult* r = nullptr;
+    if (idx == winner)
+      r = &best;
+    else if (results[static_cast<std::size_t>(idx)].has_value())
+      r = &*results[static_cast<std::size_t>(idx)];
+    best.attempts.push_back(
+        report_of(idx, attempt_options(options, idx).shuffle_seed, r));
+    if (r != nullptr) {
+      best.total_expansions += r->stats.expansions;
+      best.budget_exhausted |= r->budget_exhausted;
+    }
+  }
+  obs::Trace(sink, winner).emit(obs::TraceEvent::attempt_won(best.complete()));
+  return best;
+}
+
+namespace {
+
+RoutedDesign to_design(RouteResult result) {
+  return RoutedDesign{std::move(result.grid),
+                      RouteOutcome{result.stats, std::move(result.failed)},
+                      std::move(result.attempts),
+                      result.winning_attempt,
+                      result.winning_seed,
+                      result.total_expansions};
+}
+
+}  // namespace
+
+RoutedDesign route(const Problem& problem, RouterOptions options,
+                   SearchArena* arena) {
+  RouteRequest request;
+  request.problem = &problem;
+  request.options = options;
+  request.arena = arena;
+  RoutedDesign design = to_design(route(request));
+  // This entry point predates multi-start reporting; keep its historical
+  // shape (no attempt list, zero bookkeeping fields).
+  design.attempts.clear();
+  design.winning_attempt = 0;
+  design.winning_seed = 0;
+  design.total_expansions = 0;
+  return design;
+}
+
+RoutedDesign route_best_of(const Problem& problem, int extra_attempts,
+                           RouterOptions options) {
+  RouteRequest request;
+  request.problem = &problem;
+  request.options = options;
+  request.extra_attempts = std::max(extra_attempts, 0);
+  return to_design(route(request));
+}
+
+}  // namespace gridroute

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/incremental_router.hpp"
+#include "obs/budget.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace gridroute {
+
+/// One routing job, fully described — the single entry point of the
+/// library. Everything the historical route(), route_best_of() and raw
+/// IncrementalRouter call shapes expressed is a field here, plus the
+/// observability surface (budget, trace) that only exists on this path.
+///
+/// extra_attempts selects between a plain run and multi-start:
+///   0   one attempt with `options` as given, on the calling thread,
+///       honoring `arena`;
+///   n>0 the base ordering plus n shuffled restarts on a worker pool
+///       (options.threads wide), keeping the best attempt under the
+///       deterministic reduction — most nets completed, ties to fewer wire
+///       cells + vias, then to the lower attempt index. The winner is
+///       bit-identical for every thread count. `arena` is ignored (each
+///       worker owns one).
+///
+/// improve_passes runs IncrementalRouter::improve() after each attempt's
+/// run — inside the attempt, so clean-up influences the multi-start
+/// reduction and is reported per attempt.
+struct RouteRequest {
+  const Problem* problem = nullptr;  ///< required; not owned
+  RouterOptions options;
+  /// Resource ceiling; default-constructed = unlimited. Multi-start forks
+  /// the gauge per attempt: the expansion ceiling is per-attempt (exact and
+  /// deterministic), the wall deadline is global to the call.
+  obs::RunBudget budget;
+  /// Structured event sink (see obs/trace.hpp); null = tracing off, at an
+  /// inlined null check per would-be event. Multi-start delivers from all
+  /// workers concurrently — sinks must be thread-safe (all of
+  /// obs/sinks.hpp is).
+  obs::TraceSink* trace = nullptr;
+  int extra_attempts = 0;  ///< shuffled restarts beyond the base attempt
+  int improve_passes = 0;  ///< clean-up passes after each attempt's run
+  /// Optional lent search scratch (plain runs only; see IncrementalRouter).
+  SearchArena* arena = nullptr;
+};
+
+/// Everything a routing job produced. Replaces the RoutedDesign +
+/// RouteOutcome + AttemptReport sprawl with one shape; `stats` and
+/// `attempts` carry what the historical names RouteStats / AttemptReport
+/// carried, unchanged, and outcome() reproduces the legacy view for code
+/// still written against it.
+struct RouteResult {
+  RoutingGrid grid;
+  RouteStats stats;            ///< winning attempt's counters and phase times
+  std::vector<NetId> failed;   ///< multi-pin nets left unrouted
+  obs::MetricsSnapshot metrics;  ///< winning attempt's full registry export
+
+  // Multi-start observability (single-attempt runs report themselves as
+  // attempt 0).
+  std::vector<AttemptReport> attempts;
+  int winning_attempt = 0;
+  std::uint64_t winning_seed = 0;
+  long long total_expansions = 0;  ///< summed over attempts that ran
+
+  int improved = 0;  ///< winning attempt's successful improve() re-routes
+  /// True when the budget stopped the winning attempt (or any attempt that
+  /// ran) early; `failed` then lists every net the run did not finish, and
+  /// the routed subset still verifies.
+  bool budget_exhausted = false;
+
+  bool complete() const { return failed.empty(); }
+  /// Legacy view (RouteOutcome) of this result.
+  RouteOutcome outcome() const { return {stats, failed}; }
+};
+
+/// Routes a RouteRequest: the one entry point behind which the plain,
+/// multi-start, and channel call shapes all sit. Throws
+/// std::invalid_argument when request.problem is null.
+RouteResult route(const RouteRequest& request);
+
+}  // namespace gridroute

@@ -1,16 +1,13 @@
 #include "core/incremental_router.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cassert>
 #include <chrono>
-#include <stdexcept>
 #include <climits>
 #include <deque>
-#include <mutex>
 #include <ostream>
 #include <set>
-#include <thread>
+#include <stdexcept>
 #include <unordered_map>
 
 #include "util/disjoint_set.hpp"
@@ -35,6 +32,43 @@ IncrementalRouter::IncrementalRouter(const Problem& problem,
   // reports the same conflicts with friendlier messages).
   for (NetId id = 0; id < problem_.net_count(); ++id) apply_prewire(id);
   grid_.commit();
+}
+
+void IncrementalRouter::set_trace(obs::TraceSink* sink, int attempt) {
+  trace_ = obs::Trace(sink, attempt);
+  search_.set_trace(trace_);
+}
+
+RouteStats IncrementalRouter::stats() const {
+  RouteStats s;
+  s.nets_attempted = static_cast<int>(c_nets_attempted_.value());
+  s.nets_routed = static_cast<int>(c_nets_routed_.value());
+  s.connections_attempted = static_cast<int>(c_connections_attempted_.value());
+  s.connections_routed = static_cast<int>(c_connections_routed_.value());
+  s.weak_modifications = static_cast<int>(c_weak_modifications_.value());
+  s.weak_attempts = static_cast<int>(c_weak_attempts_.value());
+  s.strong_ripups = static_cast<int>(c_strong_ripups_.value());
+  s.expansions = c_expansions_.value();
+  s.run_ms = t_run_.total_ms();
+  s.improve_ms = t_improve_.total_ms();
+  s.wall_ms = s.run_ms + s.improve_ms;
+  return s;
+}
+
+SearchResult IncrementalRouter::search(SearchRequest& req) {
+  req.budget = gauge_;
+  SearchResult res = search_.route(req);
+  c_expansions_.add(search_.last_expansions());
+  return res;
+}
+
+bool IncrementalRouter::budget_spent() {
+  if (budget_exhausted_) return true;
+  if (gauge_ == nullptr || !gauge_->exhausted()) return false;
+  budget_exhausted_ = true;
+  trace_.emit(obs::TraceEvent::budget_exhausted(gauge_->spent(),
+                                                gauge_->wall_exhausted()));
+  return true;
 }
 
 void IncrementalRouter::apply_prewire(NetId id) {
@@ -215,8 +249,7 @@ bool IncrementalRouter::repair_net(NetId victim) {
     }
     if (req.sources.empty() || req.targets.empty()) return false;
 
-    SearchResult res = search_.route(req);
-    stats_.expansions += search_.last_expansions();
+    SearchResult res = search(req);
     if (!res.found) {
       if (log)
         *log << "    repair of '" << net.name << "': pin " << detached
@@ -272,13 +305,13 @@ bool IncrementalRouter::route_connection(NetId id,
   };
 
   // Stage 1: clean shortest path.
-  SearchResult res = search_.route(req);
-  stats_.expansions += search_.last_expansions();
+  SearchResult res = search(req);
   if (res.found) {
     apply_clean(res.path);
     return true;
   }
   if (!options_.enable_weak && !options_.enable_strong) return false;
+  if (budget_spent()) return false;
 
   req.allow_push = true;
   req.push_history = &history_;
@@ -288,8 +321,11 @@ bool IncrementalRouter::route_connection(NetId id,
   // crossing instead of re-proposing the one that cannot be repaired.
   if (options_.enable_weak) {
     for (int attempt = 0; attempt < options_.weak_probe_retries; ++attempt) {
-      SearchResult probe = search_.route(req);
-      stats_.expansions += search_.last_expansions();
+      if (budget_spent()) return false;
+      SearchResult probe = search(req);
+      trace_.emit(obs::TraceEvent::weak_probe(
+          id, attempt, static_cast<std::int64_t>(probe.crossed.size()),
+          probe.found));
       if (options_.log)
         *options_.log << "net '" << problem_.net(id).name
                       << "': blocked; push probe "
@@ -300,9 +336,18 @@ bool IncrementalRouter::route_connection(NetId id,
         apply_clean(probe.path);
         return true;
       }
-      ++stats_.weak_attempts;
-      if (apply_with_push(id, probe)) {
-        ++stats_.weak_modifications;
+      std::int64_t victim_count = 0;
+      if (trace_.on()) {
+        std::set<NetId> owners;
+        for (const GridPoint& g : probe.crossed) owners.insert(grid_.owner(g));
+        victim_count = static_cast<std::int64_t>(owners.size());
+      }
+      c_weak_attempts_.add();
+      const bool pushed = apply_with_push(id, probe);
+      trace_.emit(
+          obs::TraceEvent::weak_outcome(id, attempt, victim_count, pushed));
+      if (pushed) {
+        c_weak_modifications_.add();
         return true;
       }
       for (const GridPoint& g : probe.crossed) {
@@ -321,12 +366,12 @@ bool IncrementalRouter::route_connection(NetId id,
   // evictable victims; with every budget exhausted the probe fails and so
   // does the connection, which is what bounds the whole algorithm.
   if (options_.enable_strong && requeue != nullptr) {
+    if (budget_spent()) return false;
     for (NetId v = 0; v < problem_.net_count(); ++v)
       if (v != id &&
           ripup_count_[static_cast<size_t>(v)] >= options_.max_ripups_per_net)
         req.frozen.push_back(v);
-    SearchResult probe = search_.route(req);
-    stats_.expansions += search_.last_expansions();
+    SearchResult probe = search(req);
     if (options_.log)
       *options_.log << "net '" << problem_.net(id).name
                     << "': blocked; push probe "
@@ -350,14 +395,22 @@ bool IncrementalRouter::route_connection(NetId id,
                       << ")\n";
       rip_routable_wire(v);
       ++ripup_count_[static_cast<size_t>(v)];
-      ++stats_.strong_ripups;
+      c_strong_ripups_.add();
       requeue->push_back(v);
+    }
+    if (trace_.on()) {
+      std::int64_t remaining = 0;
+      for (const NetId v : victims)
+        remaining += std::max(
+            options_.max_ripups_per_net - ripup_count_[static_cast<size_t>(v)],
+            0);
+      trace_.emit(obs::TraceEvent::strong_ripup(
+          id, remaining, {victims.begin(), victims.end()}));
     }
     // The probe path is now clear by construction; prefer a fresh clean
     // search (often shorter), with the probe as fallback witness.
     req.allow_push = false;
-    res = search_.route(req);
-    stats_.expansions += search_.last_expansions();
+    res = search(req);
     apply_clean(res.found ? res.path : probe.path);
     return true;
   }
@@ -370,16 +423,18 @@ bool IncrementalRouter::route_net(NetId id) {
   std::vector<NetId> requeue;
   bool ok = true;
   std::deque<NetId> work{id};
-  while (!work.empty()) {
+  while (!work.empty() && !budget_spent()) {
     const NetId cur = work.front();
     work.pop_front();
-    ++stats_.nets_attempted;
+    c_nets_attempted_.add();
+    trace_.emit(obs::TraceEvent::net_start(cur));
     rip_routable_wire(cur);
 
     const std::vector<Pin> pins = ordered_pins(cur);
     bool net_ok = true;
+    int conns_done = 0;
     for (std::size_t i = 1; i < pins.size(); ++i) {
-      ++stats_.connections_attempted;
+      c_connections_attempted_.add();
       std::vector<GridPoint> sources = pin_nodes(pins[i]);
       std::vector<GridPoint> targets;
       if (i == 1) {
@@ -392,23 +447,29 @@ bool IncrementalRouter::route_net(NetId id) {
         net_ok = false;
         break;
       }
-      ++stats_.connections_routed;
+      ++conns_done;
+      c_connections_routed_.add();
       for (const NetId v : requeue) work.push_back(v);
     }
     if (!net_ok) {
       rip_routable_wire(cur);  // leave only the permanent pre-wire behind
       if (cur == id) ok = false;
     }
+    trace_.emit(obs::TraceEvent::net_done(net_ok, cur, conns_done));
     grid_.commit();
   }
   return ok;
 }
 
 int IncrementalRouter::improve(int passes) {
+  // ScopedTimer records into the improve_ms phase timer on scope exit, so
+  // repeated improve() calls accumulate — they never overwrite run()'s time.
+  const obs::ScopedTimer timer(t_improve_);
   int improved = 0;
-  for (int pass = 0; pass < passes; ++pass) {
+  for (int pass = 0; pass < passes && !budget_exhausted_; ++pass) {
     bool any = false;
     for (NetId id = 0; id < problem_.net_count(); ++id) {
+      if (budget_spent()) break;
       const Net& net = problem_.net(id);
       if (net.fixed || net.pins.size() < 2) continue;
       if (!net_routed_ok(problem_, grid_, id)) continue;
@@ -429,8 +490,7 @@ int IncrementalRouter::improve(int passes) {
         req.net = id;
         req.sources = pin_nodes(pins[i]);
         req.targets = i == 1 ? pin_nodes(pins[0]) : grid_.net_nodes(id);
-        const SearchResult res = search_.route(req);
-        stats_.expansions += search_.last_expansions();
+        const SearchResult res = search(req);
         if (!res.found) {
           ok = false;
           break;
@@ -442,9 +502,12 @@ int IncrementalRouter::improve(int passes) {
       if (!ok || !net_routed_ok(problem_, grid_, id) ||
           wire_cost() >= old_cost) {
         grid_.rollback(mark);
+        trace_.emit(obs::TraceEvent::improve_reject(id, old_cost));
       } else {
         ++improved;
         any = true;
+        trace_.emit(
+            obs::TraceEvent::improve_accept(id, old_cost, wire_cost()));
       }
     }
     grid_.commit();
@@ -491,19 +554,24 @@ RouteOutcome IncrementalRouter::run() {
   std::size_t best_routed = 0;
   RoutingGrid::Mark best_mark = grid_.mark();
 
+  // Budget checks sit at net boundaries (plus the search-loop checkpoints
+  // inside the kernel): an exhausted budget stops the drain between nets,
+  // so the grid is always left in a committed, verifiable state.
   auto drain = [&](std::deque<NetId> work) {
-    while (!work.empty()) {
+    while (!work.empty() && !budget_spent()) {
       const NetId id = work.front();
       work.pop_front();
-      ++stats_.nets_attempted;
+      c_nets_attempted_.add();
+      trace_.emit(obs::TraceEvent::net_start(id));
       rip_routable_wire(id);
       routed.erase(id);
 
       const std::vector<Pin> pins = ordered_pins(id);
       bool net_ok = true;
+      int conns_done = 0;
       std::vector<NetId> requeue;
       for (std::size_t i = 1; i < pins.size(); ++i) {
-        ++stats_.connections_attempted;
+        c_connections_attempted_.add();
         std::vector<GridPoint> sources = pin_nodes(pins[i]);
         std::vector<GridPoint> targets =
             i == 1 ? pin_nodes(pins[0]) : grid_.net_nodes(id);
@@ -512,7 +580,8 @@ RouteOutcome IncrementalRouter::run() {
           net_ok = false;
           break;
         }
-        ++stats_.connections_routed;
+        ++conns_done;
+        c_connections_routed_.add();
         for (const NetId v : requeue) {
           work.push_back(v);
           failed.erase(v);
@@ -526,6 +595,7 @@ RouteOutcome IncrementalRouter::run() {
         rip_routable_wire(id);  // leave only the permanent pre-wire behind
         failed.insert(id);
       }
+      trace_.emit(obs::TraceEvent::net_done(net_ok, id, conns_done));
       if (routed.size() > best_routed) {
         best_routed = routed.size();
         best_mark = grid_.mark();
@@ -534,7 +604,9 @@ RouteOutcome IncrementalRouter::run() {
   };
 
   drain(queue);
-  for (int pass = 0; pass < options_.retry_passes && !failed.empty(); ++pass)
+  for (int pass = 0;
+       pass < options_.retry_passes && !failed.empty() && !budget_exhausted_;
+       ++pass)
     drain({failed.begin(), failed.end()});
 
   // Land on the best state the run ever reached.
@@ -546,146 +618,12 @@ RouteOutcome IncrementalRouter::run() {
     if (problem_.net(id).pins.size() >= 2 && !problem_.net(id).fixed &&
         !net_routed_ok(problem_, grid_, id))
       outcome.failed.push_back(id);
-  stats_.nets_routed = multi_pin - static_cast<int>(outcome.failed.size());
-  stats_.wall_ms = std::chrono::duration<double, std::milli>(
+  c_nets_routed_.add(multi_pin - static_cast<int>(outcome.failed.size()));
+  t_run_.record_ms(std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - t0)
-                       .count();
-  outcome.stats = stats_;
+                       .count());
+  outcome.stats = stats();
   return outcome;
-}
-
-RoutedDesign route(const Problem& problem, RouterOptions options,
-                   SearchArena* arena) {
-  IncrementalRouter router(problem, options, arena);
-  RouteOutcome outcome = router.run();
-  return {std::move(router.grid()), std::move(outcome), {}, 0, 0, 0};
-}
-
-namespace {
-
-/// Options for one multi-start attempt. Attempt 0 keeps the caller's
-/// ordering; restarts shuffle with a seed mixed from the base seed and the
-/// attempt index, so a kShuffled base run and every restart all explore
-/// distinct net orders even when the caller picked a small seed.
-RouterOptions attempt_options(const RouterOptions& base, int attempt) {
-  if (attempt == 0) return base;
-  RouterOptions shuffled = base;
-  shuffled.ordering = RouterOptions::Ordering::kShuffled;
-  shuffled.shuffle_seed =
-      mix_seeds(base.shuffle_seed, static_cast<std::uint64_t>(attempt));
-  return shuffled;
-}
-
-}  // namespace
-
-RoutedDesign route_best_of(const Problem& problem, int extra_attempts,
-                           RouterOptions options) {
-  const int total = std::max(extra_attempts, 0) + 1;
-  int workers = options.threads;
-  if (workers <= 0)
-    workers = std::max(1u, std::thread::hardware_concurrency());
-  workers = std::min(workers, total);
-
-  // Each attempt is fully isolated: its own IncrementalRouter (grid, pin
-  // map, maze search, history) over the shared const Problem. Results land
-  // in per-attempt slots; nothing below mutates shared state except the
-  // work counter and the early-cancel watermark.
-  std::vector<std::optional<RoutedDesign>> results(
-      static_cast<std::size_t>(total));
-  std::atomic<int> next_attempt{0};
-  // Lowest attempt index that routed every net. Serial best-of stops after
-  // the first complete attempt; here that becomes a cancellation watermark:
-  // attempts above it are skipped, attempts at or below it still finish
-  // (one of them could be an even lower-index complete run).
-  std::atomic<int> first_complete{total};
-
-  std::mutex error_mutex;
-  std::exception_ptr error;
-
-  auto worker = [&] {
-    // One search arena per worker, lent to every attempt this worker runs.
-    // Epoch stamping makes the reuse stateless: a fresh arena and a
-    // well-recycled one produce bit-identical searches.
-    SearchArena arena;
-    for (;;) {
-      const int idx = next_attempt.fetch_add(1);
-      if (idx >= total) return;
-      if (idx > first_complete.load()) continue;  // cannot win; skip
-      try {
-        RoutedDesign attempt =
-            route(problem, attempt_options(options, idx), &arena);
-        if (attempt.outcome.complete()) {
-          int seen = first_complete.load();
-          while (idx < seen &&
-                 !first_complete.compare_exchange_weak(seen, idx)) {
-          }
-        }
-        results[static_cast<std::size_t>(idx)] = std::move(attempt);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!error) error = std::current_exception();
-        first_complete.store(-1);  // drain remaining work
-        return;
-      }
-    }
-  };
-
-  if (workers <= 1) {
-    worker();  // serial reference path: same plan, same reduction
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(workers));
-    for (int t = 0; t < workers; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
-  }
-  if (error) std::rethrow_exception(error);
-
-  // Deterministic reduction — an ascending scan identical to the historical
-  // serial loop: keep strictly-better scores (ties therefore break to the
-  // lower attempt index) and stop once the incumbent is complete. Every
-  // attempt the serial loop would have run is guaranteed present: index i
-  // is only skipped when some complete attempt c < i exists, and the scan
-  // never reads past the first complete attempt.
-  auto score = [](const RoutedDesign& d) {
-    // Higher is better: completions dominate, then compact layouts.
-    return std::pair{d.outcome.stats.nets_routed,
-                     -(d.grid.total_nodes() + 4 * d.grid.total_vias())};
-  };
-  int winner = 0;
-  for (int idx = 1; idx < total; ++idx) {
-    if (results[static_cast<std::size_t>(winner)]->outcome.complete()) break;
-    const auto& candidate = results[static_cast<std::size_t>(idx)];
-    if (!candidate.has_value()) continue;  // early-cancelled
-    if (score(*candidate) > score(*results[static_cast<std::size_t>(winner)]))
-      winner = idx;
-  }
-
-  RoutedDesign best = std::move(*results[static_cast<std::size_t>(winner)]);
-  best.winning_attempt = winner;
-  best.winning_seed = attempt_options(options, winner).shuffle_seed;
-  best.total_expansions = 0;
-  best.attempts.clear();
-  best.attempts.reserve(static_cast<std::size_t>(total));
-  for (int idx = 0; idx < total; ++idx) {
-    AttemptReport report;
-    report.index = idx;
-    report.seed = attempt_options(options, idx).shuffle_seed;
-    const RoutedDesign* r = nullptr;
-    if (idx == winner)
-      r = &best;
-    else if (results[static_cast<std::size_t>(idx)].has_value())
-      r = &*results[static_cast<std::size_t>(idx)];
-    if (r != nullptr) {
-      report.ran = true;
-      report.complete = r->outcome.complete();
-      report.nets_routed = r->outcome.stats.nets_routed;
-      report.expansions = r->outcome.stats.expansions;
-      report.wall_ms = r->outcome.stats.wall_ms;
-      best.total_expansions += report.expansions;
-    }
-    best.attempts.push_back(report);
-  }
-  return best;
 }
 
 }  // namespace gridroute

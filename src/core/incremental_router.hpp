@@ -7,6 +7,9 @@
 
 #include "grid/routing_grid.hpp"
 #include "maze/maze_router.hpp"
+#include "obs/budget.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "problem/problem.hpp"
 
 namespace gridroute {
@@ -49,7 +52,7 @@ struct RouterOptions {
   /// orders distinct from each other and from a kShuffled base run.
   std::uint64_t shuffle_seed = 1;
 
-  /// Worker threads for route_best_of. 0 = one per hardware thread
+  /// Worker threads for multi-start routing. 0 = one per hardware thread
   /// (std::thread::hardware_concurrency, at least 1); 1 = run attempts
   /// serially on the calling thread; n = a pool of n workers. The winner is
   /// bit-identical for every value — threads only change wall-clock time.
@@ -57,11 +60,15 @@ struct RouterOptions {
 
   /// When set, the router narrates every modification decision (weak
   /// probes, victim repairs, rip-ups) to this stream. Diagnostic aid; no
-  /// effect on routing.
+  /// effect on routing. For machine-readable observability use the typed
+  /// event trace (RouteRequest::trace / IncrementalRouter::set_trace).
   std::ostream* log = nullptr;
 };
 
-/// Aggregate effort/result counters for one routing run.
+/// Aggregate effort/result counters for one routing run — a snapshot view
+/// assembled from the router's obs::MetricsRegistry (the registry is the
+/// source of truth; this struct is the stable export shape every table and
+/// test reads).
 struct RouteStats {
   int nets_attempted = 0;
   int nets_routed = 0;
@@ -71,8 +78,13 @@ struct RouteStats {
   int weak_attempts = 0;        ///< weak probes (successful or not)
   int strong_ripups = 0;        ///< victim nets ripped and re-queued
   long long expansions = 0;     ///< maze-search node pops (work measure)
-  double wall_ms = 0;           ///< wall-clock time of run() (observability
-                                ///< only; never feeds back into decisions)
+  /// Wall-clock split by phase (observability only; never feeds back into
+  /// decisions). wall_ms is always run_ms + improve_ms — the phases are
+  /// reported distinctly and the total accumulates, it is never
+  /// overwritten by a later phase.
+  double run_ms = 0;      ///< time inside run()
+  double improve_ms = 0;  ///< time inside improve() passes
+  double wall_ms = 0;     ///< run_ms + improve_ms
 };
 
 struct RouteOutcome {
@@ -82,7 +94,7 @@ struct RouteOutcome {
   bool complete() const { return failed.empty(); }
 };
 
-/// One attempt of a multi-start run (route_best_of observability).
+/// One attempt of a multi-start run (RouteResult::attempts observability).
 struct AttemptReport {
   int index = 0;           ///< 0 = base ordering, 1.. = shuffled restarts
   std::uint64_t seed = 0;  ///< shuffle seed the attempt routed with
@@ -110,13 +122,18 @@ struct AttemptReport {
 ///   3. strong (rip-up) — evict the blocking nets entirely and re-queue
 ///                        them, bounded by a per-net rip-up budget.
 ///
-/// The budget makes termination unconditional; the stats expose how much
-/// of each stage a run needed.
+/// The budget makes termination unconditional; the metrics registry and the
+/// event trace expose how much of each stage a run needed.
+///
+/// This class is the engine. The preferred entry point is the unified
+/// route(RouteRequest) API in core/api.hpp, which wires up tracing, budgets
+/// and multi-start around it.
 class IncrementalRouter {
  public:
   /// `arena` optionally lends search scratch to the router's maze search
-  /// (route_best_of gives each worker thread one arena reused across all of
-  /// its attempts); the router's search owns its own arena when null.
+  /// (the multi-start engine gives each worker thread one arena reused
+  /// across all of its attempts); the router's search owns its own arena
+  /// when null.
   explicit IncrementalRouter(const Problem& problem, RouterOptions options = {},
                              SearchArena* arena = nullptr);
 
@@ -137,9 +154,27 @@ class IncrementalRouter {
   /// number of successful re-routes across all passes.
   int improve(int passes = 1);
 
+  /// Installs a structured event trace: net lifecycle, weak probes, strong
+  /// rip-ups, improve decisions, plus the search kernel's per-query events.
+  /// `attempt` stamps every emitted event (multi-start attempt index).
+  /// Pass nullptr to uninstall. Instrumentation is an inlined null check
+  /// when no sink is installed.
+  void set_trace(obs::TraceSink* sink, int attempt = 0);
+
+  /// Installs a run budget gauge (non-owning). Checked at stage boundaries
+  /// and, through the search kernel, at search-loop checkpoints; once
+  /// exhausted the run stops cleanly with the failed-net list intact.
+  void set_budget(obs::BudgetGauge* gauge) { gauge_ = gauge; }
+  /// True once a budget check tripped during run()/improve().
+  bool budget_exhausted() const { return budget_exhausted_; }
+
   const RoutingGrid& grid() const { return grid_; }
   RoutingGrid& grid() { return grid_; }
-  const RouteStats& stats() const { return stats_; }
+  /// Snapshot view over the metrics registry (see RouteStats).
+  RouteStats stats() const;
+  /// The underlying metrics registry (counters + phase timers) for export
+  /// via obs::write_text / obs::write_json.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
   const Problem& problem() const { return problem_; }
 
  private:
@@ -147,6 +182,14 @@ class IncrementalRouter {
   std::vector<GridPoint> pin_nodes(const Pin& pin) const;
   /// Orders a net's pins for tree growth (nearest-unrouted-first).
   std::vector<Pin> ordered_pins(NetId id) const;
+
+  /// One kernel query: attaches the budget gauge, routes, and charges the
+  /// expansion counter. All router searches go through here.
+  SearchResult search(SearchRequest& req);
+
+  /// Stage-boundary budget check: true when the budget is exhausted (and
+  /// records/emits the exhaustion exactly once).
+  bool budget_spent();
 
   /// Routes one pin-to-tree connection, escalating through the stages.
   /// On strong modification, victims are appended to *requeue.
@@ -181,13 +224,36 @@ class IncrementalRouter {
   RoutingGrid grid_;
   PinBlocks pins_;
   WeightedMazeRouter search_;
-  RouteStats stats_;
   std::vector<int> ripup_count_;
   /// Per-planar-cell conflict surcharge fed into push probes.
   std::vector<int> history_;
+
+  // Observability state. The registry is the single home of every effort
+  // counter (RouteStats is a snapshot of it); the bound references keep the
+  // hot paths at one add per tick.
+  obs::MetricsRegistry metrics_;
+  obs::Counter& c_nets_attempted_ = metrics_.counter("nets_attempted");
+  obs::Counter& c_nets_routed_ = metrics_.counter("nets_routed");
+  obs::Counter& c_connections_attempted_ =
+      metrics_.counter("connections_attempted");
+  obs::Counter& c_connections_routed_ = metrics_.counter("connections_routed");
+  obs::Counter& c_weak_attempts_ = metrics_.counter("weak_attempts");
+  obs::Counter& c_weak_modifications_ =
+      metrics_.counter("weak_modifications");
+  obs::Counter& c_strong_ripups_ = metrics_.counter("strong_ripups");
+  obs::Counter& c_expansions_ = metrics_.counter("expansions");
+  obs::Timer& t_run_ = metrics_.timer("run_ms");
+  obs::Timer& t_improve_ = metrics_.timer("improve_ms");
+  obs::Trace trace_;
+  obs::BudgetGauge* gauge_ = nullptr;
+  bool budget_exhausted_ = false;
 };
 
 /// Convenience one-shot: route `problem` and return the outcome plus grid.
+///
+/// Deprecated entry point (kept as a thin wrapper over route(RouteRequest)
+/// in core/api.hpp): new code should build a RouteRequest, which also
+/// carries budgets and trace sinks.
 struct RoutedDesign {
   RoutingGrid grid;
   RouteOutcome outcome;
@@ -204,20 +270,12 @@ RoutedDesign route(const Problem& problem, RouterOptions options = {},
 
 /// Multi-start routing: the base ordering plus `extra_attempts` shuffled
 /// orderings, keeping the best result (most nets completed; ties broken by
-/// fewer wire cells + vias, then by attempt index). Net order is the one
-/// input the incremental algorithm is genuinely sensitive to on
-/// near-saturated instances, and restarts are the classic cheap remedy.
+/// fewer wire cells + vias, then by attempt index).
 ///
-/// Attempts run on a worker pool of `options.threads` threads (see the
-/// knob's doc for the 0/1/n meaning), each one fully isolated: its own
-/// IncrementalRouter, grid, pin map, and maze search over the shared const
-/// Problem. Each worker owns one SearchArena lent to every attempt it runs;
-/// epoch stamping makes that reuse stateless by construction. Restart seeds
-/// are derived by mixing `options.shuffle_seed` with the attempt index. The reduction is deterministic — the winner is
-/// bit-identical to a serial ascending scan regardless of thread count or
-/// completion order — and an atomic early-cancel flag skips attempts whose
-/// index is above the lowest fully-complete one (a later attempt can never
-/// beat an earlier complete one). Negative `extra_attempts` clamps to 0.
+/// Deprecated entry point (kept as a thin wrapper): new code should call
+/// route(RouteRequest) from core/api.hpp with extra_attempts set — same
+/// engine, same bit-identical deterministic reduction, plus budget and
+/// trace support. See core/api.hpp for the full semantics.
 RoutedDesign route_best_of(const Problem& problem, int extra_attempts,
                            RouterOptions options = {});
 

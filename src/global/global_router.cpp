@@ -61,7 +61,8 @@ GlobalRouter::GlobalRouter(GlobalGrid grid, std::vector<GlobalNet> nets,
     : grid_(std::move(grid)),
       nets_(std::move(nets)),
       options_(options),
-      routes_(nets_.size()) {}
+      routes_(nets_.size()),
+      trace_(options.trace, /*attempt=*/0) {}
 
 int GlobalRouter::edge_cost(Point a, Point b) const {
   const int cap = grid_.capacity(a, b);
@@ -80,8 +81,10 @@ bool GlobalRouter::route_net(std::size_t index) {
   GlobalRoute& route = routes_[index];
   route.edges.clear();
   route.routed = false;
+  trace_.emit(obs::TraceEvent::net_start(static_cast<int>(index)));
   if (net.terminals.empty()) {
     route.routed = true;
+    trace_.emit(obs::TraceEvent::net_done(true, static_cast<int>(index), 0));
     return true;
   }
 
@@ -100,17 +103,28 @@ bool GlobalRouter::route_net(std::size_t index) {
   };
   const GcellProvider provider{*this, grid_.cols()};
 
+  int connected = 0;
   while (!todo.empty()) {
     // Dijkstra from the whole current tree to the nearest pending terminal.
-    arena_.begin_search();
+    if (arena_.begin_search())
+      trace_.emit(obs::TraceEvent::epoch_wrap(
+          static_cast<std::int64_t>(arena_.state_count())));
     queue_.reset(gcell_span(options_));
     for (const Point g : tree) search::seed(arena_, queue_, provider, id(g));
     for (const Point t : todo) arena_.mark_target(id(t));
     long long expansions = 0;
     const std::uint32_t goal =
         search::run(arena_, queue_, provider, &expansions);
-    stats_.expansions += expansions;
-    if (goal == search::kNoState) return false;  // terminal in a sealed pocket
+    c_expansions_.add(expansions);
+    trace_.emit(obs::TraceEvent::search_query(static_cast<int>(index),
+                                              expansions,
+                                              queue_.overflow_hits(),
+                                              goal != search::kNoState));
+    if (goal == search::kNoState) {  // terminal in a sealed pocket
+      trace_.emit(obs::TraceEvent::net_done(false, static_cast<int>(index),
+                                            connected));
+      return false;
+    }
 
     // Commit the path into the tree.
     for (std::uint32_t u = goal; arena_.parent(u) >= 0;
@@ -124,9 +138,12 @@ bool GlobalRouter::route_net(std::size_t index) {
     }
     tree.insert(pt(goal));
     todo.erase(std::remove(todo.begin(), todo.end(), pt(goal)), todo.end());
+    ++connected;
   }
   std::sort(route.edges.begin(), route.edges.end());
   route.routed = true;
+  trace_.emit(
+      obs::TraceEvent::net_done(true, static_cast<int>(index), connected));
   return true;
 }
 
@@ -207,6 +224,7 @@ GlobalResult GlobalRouter::run() {
 
   stats_.overflow = grid_.total_overflow();
   stats_.wirelength = grid_.total_usage();
+  stats_.expansions = c_expansions_.value();  // snapshot of the registry
   stats_.nets_routed = 0;
   for (const GlobalRoute& r : routes_)
     if (r.routed) ++stats_.nets_routed;

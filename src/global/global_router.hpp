@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "global/global_grid.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "search/bucket_queue.hpp"
 #include "search/search_arena.hpp"
 
@@ -39,6 +41,10 @@ struct GlobalRouterOptions {
   /// History increment per overflowed edge per iteration (PathFinder-style
   /// pressure that accumulates until someone moves).
   int history_increment = 4;
+  /// Structured event sink (see obs/trace.hpp): net lifecycle plus the
+  /// kernel's per-query kSearchQuery / kEpochWrap events, the same taxonomy
+  /// the detailed router emits. Null = tracing off (inlined null check).
+  obs::TraceSink* trace = nullptr;
 };
 
 struct GlobalStats {
@@ -74,6 +80,9 @@ class GlobalRouter {
   GlobalResult run();
 
   const GlobalGrid& grid() const { return grid_; }
+  /// The underlying metrics registry (GlobalStats::expansions is a snapshot
+  /// of its "expansions" counter), exportable via obs::write_text/json.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
 
   /// Cost of pushing one more wire over the edge (a, b) under the current
   /// usage and negotiation history; -1 = hard blockage. Public because it
@@ -98,6 +107,9 @@ class GlobalRouter {
   // the router used before it sat on the shared kernel.
   SearchArena arena_;
   BucketQueue<TieOrder::kByValue> queue_;
+  obs::MetricsRegistry metrics_;
+  obs::Counter& c_expansions_ = metrics_.counter("expansions");
+  obs::Trace trace_;
 };
 
 /// Independent audit of a global routing: per-net tree connectivity over

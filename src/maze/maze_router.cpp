@@ -201,7 +201,9 @@ SearchResult LeeRouter::route(const SearchRequest& request) {
   const NodeCodec codec{grid_.region().bounds()};
   SearchArena& arena = this->arena();
   arena.resize(codec.count(), codec.count());
-  arena.begin_search();
+  if (arena.begin_search())
+    trace_.emit(obs::TraceEvent::epoch_wrap(
+        static_cast<std::int64_t>(arena.state_count())));
   last_expansions_ = 0;
   SearchResult result;
 
@@ -219,11 +221,18 @@ SearchResult LeeRouter::route(const SearchRequest& request) {
       if (node_usable(grid_, pins_, s, plain))
         search::seed(arena, queue, provider,
                      static_cast<std::uint32_t>(codec.encode(s)));
-    return search::run(arena, queue, provider, &last_expansions_);
+    const std::uint32_t goal =
+        search::run(arena, queue, provider, &last_expansions_, request.budget);
+    last_overflow_hits_ = queue.overflow_hits();
+    return goal;
   };
   const std::uint32_t goal = queue_kind_ == SearchQueue::kBucket
                                  ? run(bucket_queue_)
                                  : run(heap_queue_);
+  if (request.budget != nullptr) request.budget->charge(last_expansions_);
+  trace_.emit(obs::TraceEvent::search_query(request.net, last_expansions_,
+                                            last_overflow_hits_,
+                                            goal != search::kNoState));
   if (goal == search::kNoState) return result;
 
   result.found = true;
@@ -246,7 +255,9 @@ SearchResult WeightedMazeRouter::route(const SearchRequest& request) {
   const NodeCodec codec{grid_.region().bounds()};
   SearchArena& arena = this->arena();
   arena.resize(codec.count() * kDirs, codec.count());
-  arena.begin_search();
+  if (arena.begin_search())
+    trace_.emit(obs::TraceEvent::epoch_wrap(
+        static_cast<std::int64_t>(arena.state_count())));
   last_expansions_ = 0;
   SearchResult result;
 
@@ -272,11 +283,18 @@ SearchResult WeightedMazeRouter::route(const SearchRequest& request) {
       if (node_usable(grid_, pins_, s, request))
         search::seed(arena, queue, provider,
                      static_cast<std::uint32_t>(codec.encode(s) * kDirs));
-    return search::run(arena, queue, provider, &last_expansions_);
+    const std::uint32_t goal =
+        search::run(arena, queue, provider, &last_expansions_, request.budget);
+    last_overflow_hits_ = queue.overflow_hits();
+    return goal;
   };
   const std::uint32_t goal = queue_kind_ == SearchQueue::kBucket
                                  ? run(bucket_queue_)
                                  : run(heap_queue_);
+  if (request.budget != nullptr) request.budget->charge(last_expansions_);
+  trace_.emit(obs::TraceEvent::search_query(request.net, last_expansions_,
+                                            last_overflow_hits_,
+                                            goal != search::kNoState));
   if (goal == search::kNoState) return result;
 
   result.found = true;

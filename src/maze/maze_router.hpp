@@ -6,6 +6,8 @@
 #include "grid/routing_grid.hpp"
 #include "maze/cost_model.hpp"
 #include "maze/pin_blocks.hpp"
+#include "obs/budget.hpp"
+#include "obs/trace.hpp"
 #include "search/bucket_queue.hpp"
 #include "search/search_arena.hpp"
 
@@ -32,6 +34,11 @@ struct SearchRequest {
   /// feeds rip-up history through this, PathFinder-style, so repeated
   /// conflicts over the same cells diversify instead of thrashing.
   const std::vector<int>* push_history = nullptr;
+  /// Optional run budget, checked at the kernel's search-loop checkpoints:
+  /// the query aborts (not-found) once the gauge's expansion ceiling or
+  /// wall deadline is hit. The routers charge the gauge with each query's
+  /// expansions after it returns. Null = unbounded.
+  obs::BudgetGauge* budget = nullptr;
 };
 
 struct SearchResult {
@@ -70,6 +77,13 @@ class LeeRouter {
   /// Nodes popped from the queue in the last route() call (effort metric,
   /// directly comparable with WeightedMazeRouter::last_expansions()).
   long long last_expansions() const { return last_expansions_; }
+  /// Overflow-heap hits of the last route() call (0 on the heap queue).
+  long long last_overflow_hits() const { return last_overflow_hits_; }
+
+  /// Installs a trace: every route() call then emits one kSearchQuery event
+  /// (expansions, overflow-heap hits, found) and a kEpochWrap event when
+  /// the arena's epoch counter wraps. No-op-cheap when never called.
+  void set_trace(obs::Trace trace) { trace_ = trace; }
 
   SearchQueue queue_kind() const { return queue_kind_; }
   void set_queue_kind(SearchQueue kind) { queue_kind_ = kind; }
@@ -88,6 +102,8 @@ class LeeRouter {
   HeapQueue<TieOrder::kFifo> heap_queue_;
   SearchQueue queue_kind_ = SearchQueue::kBucket;
   long long last_expansions_ = 0;
+  long long last_overflow_hits_ = 0;
+  obs::Trace trace_;
 };
 
 /// Weighted maze search (A* over (node, incoming-direction) states)
@@ -122,6 +138,13 @@ class WeightedMazeRouter {
 
   /// Nodes popped from the queue in the last route() call (effort metric).
   long long last_expansions() const { return last_expansions_; }
+  /// Overflow-heap hits of the last route() call (0 on the heap queue).
+  long long last_overflow_hits() const { return last_overflow_hits_; }
+
+  /// Installs a trace: every route() call then emits one kSearchQuery event
+  /// (expansions, overflow-heap hits, found) and a kEpochWrap event when
+  /// the arena's epoch counter wraps. No-op-cheap when never called.
+  void set_trace(obs::Trace trace) { trace_ = trace; }
 
   SearchQueue queue_kind() const { return queue_kind_; }
   void set_queue_kind(SearchQueue kind) { queue_kind_ = kind; }
@@ -141,6 +164,8 @@ class WeightedMazeRouter {
   HeapQueue<TieOrder::kByValue> heap_queue_;
   SearchQueue queue_kind_ = SearchQueue::kBucket;
   long long last_expansions_ = 0;
+  long long last_overflow_hits_ = 0;
+  obs::Trace trace_;
   bool use_heuristic_ = true;
 };
 

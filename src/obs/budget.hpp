@@ -1,0 +1,80 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace gridroute::obs {
+
+/// Resource ceiling for one routing run — the robustness half of
+/// observability: instead of running unbounded, a budgeted run stops at the
+/// next checkpoint and returns a clean partial outcome (failed-net list
+/// intact, routed subset verifiable).
+///
+/// Zero (or negative) means unlimited for either axis. The expansion budget
+/// is deterministic — it is checked against exact queue-pop counts, so two
+/// runs with the same budget abort at the same point. The wall budget is
+/// inherently timing-dependent.
+struct RunBudget {
+  double wall_ms = 0;            ///< wall-clock ceiling; <= 0 = unlimited
+  long long max_expansions = 0;  ///< search-pop ceiling; <= 0 = unlimited
+
+  bool unlimited() const { return wall_ms <= 0 && max_expansions <= 0; }
+};
+
+/// Live tracker for a RunBudget: the deadline is fixed at construction, and
+/// expansions are charged as searches complete. Charging is thread-safe
+/// (relaxed atomics) so a gauge can be shared; for deterministic multi-start
+/// runs each attempt forks its own gauge — fork() copies the budget and the
+/// already-running wall deadline but starts expansions at zero, making the
+/// expansion ceiling per-attempt (exact) while the deadline stays global.
+class BudgetGauge {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  BudgetGauge() = default;
+  explicit BudgetGauge(const RunBudget& budget)
+      : budget_(budget),
+        deadline_(budget.wall_ms > 0
+                      ? Clock::now() + std::chrono::duration_cast<
+                                           Clock::duration>(
+                            std::chrono::duration<double, std::milli>(
+                                budget.wall_ms))
+                      : Clock::time_point::max()) {}
+
+  /// Per-attempt view of this gauge: same budget, same wall deadline,
+  /// fresh expansion count.
+  BudgetGauge fork() const { return BudgetGauge(budget_, deadline_); }
+
+  const RunBudget& budget() const { return budget_; }
+
+  void charge(long long expansions) {
+    spent_.fetch_add(expansions, std::memory_order_relaxed);
+  }
+  long long spent() const { return spent_.load(std::memory_order_relaxed); }
+
+  /// Expansions still allowed, or -1 when the expansion axis is unlimited.
+  long long expansions_left() const {
+    if (budget_.max_expansions <= 0) return -1;
+    const long long left = budget_.max_expansions - spent();
+    return left > 0 ? left : 0;
+  }
+
+  bool expansions_exhausted() const { return expansions_left() == 0; }
+  bool wall_exhausted() const {
+    return budget_.wall_ms > 0 && Clock::now() >= deadline_;
+  }
+  bool exhausted() const {
+    return expansions_exhausted() || wall_exhausted();
+  }
+
+ private:
+  BudgetGauge(const RunBudget& budget, Clock::time_point deadline)
+      : budget_(budget), deadline_(deadline) {}
+
+  RunBudget budget_;
+  Clock::time_point deadline_ = Clock::time_point::max();
+  std::atomic<long long> spent_{0};
+};
+
+}  // namespace gridroute::obs

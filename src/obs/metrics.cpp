@@ -1,0 +1,89 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "io/table.hpp"
+
+namespace gridroute::obs {
+
+void Timer::record_ms(double ms) {
+  if (ms < 0) ms = 0;
+  if (count_ == 0 || ms < min_ms_) min_ms_ = ms;
+  if (ms > max_ms_) max_ms_ = ms;
+  ++count_;
+  total_ms_ += ms;
+  std::size_t bucket = 0;
+  for (double edge = 1; bucket + 1 < kBuckets && ms >= edge; edge *= 2)
+    ++bucket;
+  ++buckets_[bucket];
+}
+
+std::int64_t MetricsSnapshot::counter(std::string_view name) const {
+  for (const CounterValue& c : counters)
+    if (c.name == name) return c.value;
+  return 0;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), Counter{}).first;
+  return it->second;
+}
+
+Timer& MetricsRegistry::timer(std::string_view name) {
+  auto it = timers_.find(name);
+  if (it == timers_.end()) it = timers_.emplace(std::string(name), Timer{}).first;
+  return it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_)
+    snap.counters.push_back({name, counter.value()});
+  snap.timers.reserve(timers_.size());
+  for (const auto& [name, timer] : timers_)
+    snap.timers.push_back({name, timer.count(), timer.total_ms(),
+                           timer.min_ms(), timer.max_ms(), timer.buckets()});
+  return snap;
+}
+
+void write_text(const MetricsSnapshot& snapshot, std::ostream& out) {
+  Table counters({"counter", "value"});
+  for (const auto& c : snapshot.counters)
+    counters.add_row({c.name, Table::num(static_cast<long long>(c.value))});
+  if (counters.row_count() > 0) counters.print(out);
+
+  Table timers({"timer", "count", "total ms", "min ms", "max ms"});
+  for (const auto& t : snapshot.timers)
+    timers.add_row({t.name, Table::num(static_cast<long long>(t.count)),
+                    Table::num(t.total_ms, 2), Table::num(t.min_ms, 2),
+                    Table::num(t.max_ms, 2)});
+  if (timers.row_count() > 0) {
+    if (counters.row_count() > 0) out << '\n';
+    timers.print(out);
+  }
+}
+
+void write_json(const MetricsSnapshot& snapshot, std::ostream& out) {
+  out << "{\"counters\":{";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const auto& c = snapshot.counters[i];
+    out << (i > 0 ? "," : "") << '"' << c.name << "\":" << c.value;
+  }
+  out << "},\"timers\":{";
+  for (std::size_t i = 0; i < snapshot.timers.size(); ++i) {
+    const auto& t = snapshot.timers[i];
+    out << (i > 0 ? "," : "") << '"' << t.name << "\":{\"count\":" << t.count
+        << ",\"total_ms\":" << t.total_ms << ",\"min_ms\":" << t.min_ms
+        << ",\"max_ms\":" << t.max_ms << ",\"buckets\":[";
+    for (std::size_t b = 0; b < t.buckets.size(); ++b)
+      out << (b > 0 ? "," : "") << t.buckets[b];
+    out << "]}";
+  }
+  out << "}}";
+}
+
+}  // namespace gridroute::obs

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gridroute::obs {
+
+/// Named monotonic counter. Handed out by MetricsRegistry with a stable
+/// address, so hot paths bind a reference once and pay one add per tick.
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) { value_ += delta; }
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Duration histogram: count/total/min/max plus power-of-two millisecond
+/// buckets (bucket i holds durations in [2^(i-1), 2^i) ms; bucket 0 holds
+/// everything under 1 ms). Enough shape to spot bimodal phases without a
+/// full HDR histogram.
+class Timer {
+ public:
+  static constexpr std::size_t kBuckets = 16;
+
+  void record_ms(double ms);
+
+  long long count() const { return count_; }
+  double total_ms() const { return total_ms_; }
+  double min_ms() const { return count_ > 0 ? min_ms_ : 0; }
+  double max_ms() const { return max_ms_; }
+  const std::vector<long long>& buckets() const { return buckets_; }
+
+ private:
+  long long count_ = 0;
+  double total_ms_ = 0;
+  double min_ms_ = 0;
+  double max_ms_ = 0;
+  std::vector<long long> buckets_ = std::vector<long long>(kBuckets, 0);
+};
+
+/// RAII stopwatch recording into a Timer on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer& timer) : timer_(timer) {}
+  ~ScopedTimer() { timer_.record_ms(elapsed_ms()); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  Timer& timer_;
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+};
+
+/// Plain-struct export of a registry — what snapshot() returns and what the
+/// text/JSON writers consume. Sorted by name (std::map iteration order), so
+/// exports are deterministic.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::int64_t value = 0;
+  };
+  struct TimerValue {
+    std::string name;
+    long long count = 0;
+    double total_ms = 0;
+    double min_ms = 0;
+    double max_ms = 0;
+    std::vector<long long> buckets;
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<TimerValue> timers;
+
+  /// Counter value by name, or 0 when absent.
+  std::int64_t counter(std::string_view name) const;
+};
+
+/// Registry of named counters and histogram timers — the metrics half of
+/// src/obs. Routers publish into a registry; RouteStats and friends are
+/// snapshot views assembled from it. Handles returned by counter()/timer()
+/// stay valid for the registry's lifetime (node-based map storage), so
+/// callers bind them once outside their hot loops.
+///
+/// Not internally synchronized: a registry belongs to one router, and
+/// routers are single-threaded by design (multi-start isolation gives each
+/// attempt its own router and therefore its own registry).
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Timer& timer(std::string_view name);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Timer, std::less<>> timers_;
+};
+
+/// Column-aligned plain-text export (rendered with src/io/table).
+void write_text(const MetricsSnapshot& snapshot, std::ostream& out);
+/// One JSON object: {"counters":{...},"timers":{name:{...}}}.
+void write_json(const MetricsSnapshot& snapshot, std::ostream& out);
+
+}  // namespace gridroute::obs

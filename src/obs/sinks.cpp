@@ -1,0 +1,98 @@
+#include "obs/sinks.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace gridroute::obs {
+
+// ---------------------------------------------------------------------------
+// JsonlSink
+// ---------------------------------------------------------------------------
+
+std::string JsonlSink::format(const TraceEvent& event) {
+  std::ostringstream line;
+  line << "{\"event\":\"" << event_name(event.kind)
+       << "\",\"attempt\":" << event.attempt;
+  if (event.net >= 0) line << ",\"net\":" << event.net;
+  line << ",\"value\":" << event.value << ",\"extra\":" << event.extra
+       << ",\"ok\":" << (event.ok ? "true" : "false");
+  if (!event.nets.empty()) {
+    line << ",\"nets\":[";
+    for (std::size_t i = 0; i < event.nets.size(); ++i)
+      line << (i > 0 ? "," : "") << event.nets[i];
+    line << ']';
+  }
+  line << '}';
+  return line.str();
+}
+
+void JsonlSink::on_event(const TraceEvent& event) {
+  const std::string line = format(event);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out_ << line << '\n';
+  ++lines_;
+}
+
+long long JsonlSink::lines() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lines_;
+}
+
+// ---------------------------------------------------------------------------
+// CountingSink
+// ---------------------------------------------------------------------------
+
+void CountingSink::on_event(const TraceEvent& event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++counts_[static_cast<std::size_t>(event.kind)];
+}
+
+long long CountingSink::count(EventKind kind) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counts_[static_cast<std::size_t>(kind)];
+}
+
+long long CountingSink::total() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  long long sum = 0;
+  for (const long long c : counts_) sum += c;
+  return sum;
+}
+
+// ---------------------------------------------------------------------------
+// ReplaySink
+// ---------------------------------------------------------------------------
+
+ReplaySink::ReplaySink(std::size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1) {
+  ring_.reserve(capacity_);
+}
+
+void ReplaySink::on_event(const TraceEvent& event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[next_] = event;
+    next_ = (next_ + 1) % capacity_;
+    ++dropped_;
+  }
+}
+
+std::vector<TraceEvent> ReplaySink::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // next_ is the oldest slot once the ring has wrapped.
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  return out;
+}
+
+long long ReplaySink::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+}  // namespace gridroute::obs

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace gridroute::obs {
+
+/// Streams every event as one JSON object per line (JSONL), the interchange
+/// shape per-stage metrics pipelines expect. Thread-safe: events arriving
+/// from multi-start workers are serialized under a mutex, so every line is
+/// intact (interleaving across attempts is inherent; consumers order by the
+/// "attempt" field, under which each attempt's stream is deterministic).
+class JsonlSink : public TraceSink {
+ public:
+  explicit JsonlSink(std::ostream& out) : out_(out) {}
+
+  void on_event(const TraceEvent& event) override;
+  long long lines() const;
+
+  /// Formats one event as its JSONL line (no trailing newline) — the exact
+  /// bytes on_event writes; exposed for tests and custom sinks.
+  static std::string format(const TraceEvent& event);
+
+ private:
+  std::ostream& out_;
+  mutable std::mutex mutex_;
+  long long lines_ = 0;
+};
+
+/// Counts events per kind — the cheapest possible sink, used both as a live
+/// dashboard feed and as the "sink installed" case of the overhead bench.
+class CountingSink : public TraceSink {
+ public:
+  void on_event(const TraceEvent& event) override;
+
+  long long count(EventKind kind) const;
+  long long total() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::array<long long, kEventKindCount> counts_{};
+};
+
+/// Ring buffer of the most recent `capacity` events, for post-mortem replay
+/// (examples/trace_replay renders these as ASCII frames). Oldest events are
+/// dropped once the ring is full; dropped() reports how many.
+class ReplaySink : public TraceSink {
+ public:
+  explicit ReplaySink(std::size_t capacity = 4096);
+
+  void on_event(const TraceEvent& event) override;
+
+  /// The retained events, oldest first.
+  std::vector<TraceEvent> events() const;
+  std::size_t capacity() const { return capacity_; }
+  long long dropped() const;
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;       ///< slot the next event lands in (once full)
+  long long dropped_ = 0;
+};
+
+}  // namespace gridroute::obs

@@ -1,0 +1,202 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gridroute::obs {
+
+/// The event taxonomy of the observability subsystem. Every router layer
+/// emits through the same typed stream so one sink sees a whole run:
+///
+///   router lifecycle   kNetStart, kNetSuccess, kNetFail
+///   weak modification  kWeakProbe, kWeakOutcome
+///   strong rip-up      kStrongRipup
+///   clean-up           kImproveAccept, kImproveReject
+///   search kernel      kSearchQuery, kEpochWrap
+///   multi-start        kAttemptScheduled, kAttemptCancelled, kAttemptWon
+///   budget             kBudgetExhausted
+///
+/// Payload conventions per kind are documented on TraceEvent. Events carry
+/// no timestamps by design: a trace is a pure function of the routing
+/// decisions, so golden-trace tests can assert byte-identical sequences
+/// across thread counts (sorted by attempt id).
+enum class EventKind : std::uint8_t {
+  kNetStart,          ///< net: id being (re)routed
+  kNetSuccess,        ///< net: id; value: connections routed
+  kNetFail,           ///< net: id; value: connections routed before the block
+  kWeakProbe,         ///< net: id; value: probe index; extra: nodes crossed;
+                      ///< ok: probe found a path
+  kWeakOutcome,       ///< net: id; value: probe index; extra: victims;
+                      ///< ok: push applied (false = rolled back)
+  kStrongRipup,       ///< net: aggressor; nets: victims ripped; value:
+                      ///< victims' total remaining rip-up budget after this
+  kImproveAccept,     ///< net: id; value: old wire cost; extra: new cost
+  kImproveReject,     ///< net: id; value: old wire cost
+  kSearchQuery,       ///< net: query's net; value: expansions (queue pops);
+                      ///< extra: bucket-queue overflow-heap hits; ok: found
+  kEpochWrap,         ///< value: arena state slots (the 2^32 epoch wrapped)
+  kAttemptScheduled,  ///< attempt: index claimed by a worker
+  kAttemptCancelled,  ///< attempt: index skipped past the completion mark
+  kAttemptWon,        ///< attempt: winning index; ok: winner complete
+  kBudgetExhausted,   ///< value: expansions spent; ok: wall-clock (vs
+                      ///< expansion) budget tripped
+};
+
+/// Stable lower_snake names for export (JSONL, counters, tables).
+inline const char* event_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kNetStart: return "net_start";
+    case EventKind::kNetSuccess: return "net_success";
+    case EventKind::kNetFail: return "net_fail";
+    case EventKind::kWeakProbe: return "weak_probe";
+    case EventKind::kWeakOutcome: return "weak_outcome";
+    case EventKind::kStrongRipup: return "strong_ripup";
+    case EventKind::kImproveAccept: return "improve_accept";
+    case EventKind::kImproveReject: return "improve_reject";
+    case EventKind::kSearchQuery: return "search_query";
+    case EventKind::kEpochWrap: return "epoch_wrap";
+    case EventKind::kAttemptScheduled: return "attempt_scheduled";
+    case EventKind::kAttemptCancelled: return "attempt_cancelled";
+    case EventKind::kAttemptWon: return "attempt_won";
+    case EventKind::kBudgetExhausted: return "budget_exhausted";
+  }
+  return "unknown";
+}
+
+/// Number of distinct EventKind values (CountingSink's table size).
+inline constexpr std::size_t kEventKindCount =
+    static_cast<std::size_t>(EventKind::kBudgetExhausted) + 1;
+
+/// One structured trace record. Only the fields a kind documents are
+/// meaningful; the rest stay at their defaults. The per-kind factories
+/// below encode each kind's payload convention in a signature, so emitters
+/// cannot mix fields up.
+struct TraceEvent {
+  EventKind kind = EventKind::kNetStart;
+  int attempt = 0;            ///< multi-start attempt index; 0 on plain runs
+  int net = -1;               ///< subject net id, -1 when not net-scoped
+  std::int64_t value = 0;     ///< primary scalar payload (see EventKind)
+  std::int64_t extra = 0;     ///< secondary scalar payload
+  bool ok = false;            ///< success/acceptance flag where documented
+  std::vector<int> nets;      ///< victim list (kStrongRipup), else empty
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+
+  static TraceEvent net_start(int net) {
+    return of(EventKind::kNetStart, net);
+  }
+  static TraceEvent net_done(bool routed, int net, std::int64_t connections) {
+    TraceEvent e = of(routed ? EventKind::kNetSuccess : EventKind::kNetFail,
+                      net);
+    e.value = connections;
+    return e;
+  }
+  static TraceEvent weak_probe(int net, std::int64_t probe_index,
+                               std::int64_t crossed, bool found) {
+    TraceEvent e = of(EventKind::kWeakProbe, net);
+    e.value = probe_index;
+    e.extra = crossed;
+    e.ok = found;
+    return e;
+  }
+  static TraceEvent weak_outcome(int net, std::int64_t probe_index,
+                                 std::int64_t victims, bool applied) {
+    TraceEvent e = of(EventKind::kWeakOutcome, net);
+    e.value = probe_index;
+    e.extra = victims;
+    e.ok = applied;
+    return e;
+  }
+  static TraceEvent strong_ripup(int net, std::int64_t remaining_budget,
+                                 std::vector<int> victims) {
+    TraceEvent e = of(EventKind::kStrongRipup, net);
+    e.value = remaining_budget;
+    e.nets = std::move(victims);
+    return e;
+  }
+  static TraceEvent improve_accept(int net, std::int64_t old_cost,
+                                   std::int64_t new_cost) {
+    TraceEvent e = of(EventKind::kImproveAccept, net);
+    e.value = old_cost;
+    e.extra = new_cost;
+    return e;
+  }
+  static TraceEvent improve_reject(int net, std::int64_t old_cost) {
+    TraceEvent e = of(EventKind::kImproveReject, net);
+    e.value = old_cost;
+    return e;
+  }
+  static TraceEvent search_query(int net, std::int64_t expansions,
+                                 std::int64_t overflow_hits, bool found) {
+    TraceEvent e = of(EventKind::kSearchQuery, net);
+    e.value = expansions;
+    e.extra = overflow_hits;
+    e.ok = found;
+    return e;
+  }
+  static TraceEvent epoch_wrap(std::int64_t arena_states) {
+    TraceEvent e = of(EventKind::kEpochWrap, -1);
+    e.value = arena_states;
+    return e;
+  }
+  static TraceEvent attempt_scheduled() {
+    return of(EventKind::kAttemptScheduled, -1);
+  }
+  static TraceEvent attempt_cancelled() {
+    return of(EventKind::kAttemptCancelled, -1);
+  }
+  static TraceEvent attempt_won(bool complete) {
+    TraceEvent e = of(EventKind::kAttemptWon, -1);
+    e.ok = complete;
+    return e;
+  }
+  static TraceEvent budget_exhausted(std::int64_t spent, bool wall) {
+    TraceEvent e = of(EventKind::kBudgetExhausted, -1);
+    e.value = spent;
+    e.ok = wall;
+    return e;
+  }
+
+ private:
+  static TraceEvent of(EventKind kind, int net) {
+    TraceEvent e;
+    e.kind = kind;
+    e.net = net;
+    return e;
+  }
+};
+
+/// Receiver interface for the event stream. Implementations installed on a
+/// multi-start run receive events from every worker thread concurrently and
+/// must be thread-safe (all sinks in obs/sinks.hpp are).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const TraceEvent& event) = 0;
+};
+
+/// Cheap emission handle held by every instrumented component: a sink
+/// pointer plus the attempt id to stamp. When no sink is installed, emit()
+/// is one inlined null check and nothing else — the zero-overhead-when-off
+/// guarantee the obs_overhead bench measures.
+class Trace {
+ public:
+  Trace() = default;
+  Trace(TraceSink* sink, int attempt) : sink_(sink), attempt_(attempt) {}
+
+  bool on() const { return sink_ != nullptr; }
+  int attempt() const { return attempt_; }
+  TraceSink* sink() const { return sink_; }
+
+  void emit(TraceEvent event) const {
+    if (sink_ == nullptr) return;
+    event.attempt = attempt_;
+    sink_->on_event(event);
+  }
+
+ private:
+  TraceSink* sink_ = nullptr;
+  int attempt_ = 0;
+};
+
+}  // namespace gridroute::obs

@@ -62,10 +62,17 @@ class BucketQueue {
     cur_ = 0;
     seq_ = 0;
     bucketed_ = 0;
+    overflow_hits_ = 0;
     dirty_ = false;
   }
 
   bool empty() const { return bucketed_ == 0 && overflow_.empty(); }
+
+  /// Entries that missed the bucket window and took the overflow-heap path
+  /// since the last reset() — the observability counter behind the
+  /// kSearchQuery event's `extra` payload (high counts mean the window span
+  /// is mis-sized for the cost distribution).
+  long long overflow_hits() const { return overflow_hits_; }
 
   void push(std::int64_t priority, std::uint32_t value) {
     assert(priority >= cur_ && "bucket queue requires monotone pushes");
@@ -74,6 +81,7 @@ class BucketQueue {
     if (priority < cur_ + span_) {
       bucket_insert(static_cast<std::size_t>(priority % span_), {key, value});
     } else {
+      ++overflow_hits_;
       overflow_.push_back({priority, key, value});
       std::push_heap(overflow_.begin(), overflow_.end(), ByPriorityKey{});
     }
@@ -167,6 +175,7 @@ class BucketQueue {
   std::int64_t cur_ = 0;
   std::uint64_t seq_ = 0;
   std::size_t bucketed_ = 0;
+  long long overflow_hits_ = 0;
   bool dirty_ = false;  // any bucket touched since the last reset()
   std::vector<std::vector<Entry>> buckets_;
   std::vector<std::size_t> heads_;  // per-bucket pop cursor (kFifo only)
@@ -185,6 +194,10 @@ class HeapQueue {
   }
 
   bool empty() const { return heap_.empty(); }
+
+  /// Interface parity with BucketQueue: a binary heap has no window to
+  /// overflow, so this is always 0.
+  long long overflow_hits() const { return 0; }
 
   void push(std::int64_t priority, std::uint32_t value) {
     const std::uint64_t key =

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/budget.hpp"
 #include "search/search_arena.hpp"
 
 namespace gridroute::search {
@@ -34,9 +35,19 @@ void seed(SearchArena& arena, Queue& queue, const Provider& provider,
 /// goal state, or kNoState when the queue drains first, and writes the
 /// number of expansions — non-stale pops, the goal's included — to
 /// *expansions.
+///
+/// `budget` (optional) is the search-loop checkpoint of the RunBudget
+/// machinery: the expansion ceiling is enforced exactly (the query aborts —
+/// returning kNoState — once its pops would take the gauge past its cap,
+/// which keeps budgeted runs deterministic), and the wall-clock deadline is
+/// polled every 1024 expansions so a single huge query cannot overshoot the
+/// deadline by more than one checkpoint interval. With no budget installed
+/// the loop pays one register compare per pop.
 template <typename Queue, typename Provider>
 std::uint32_t run(SearchArena& arena, Queue& queue, const Provider& provider,
-                  long long* expansions) {
+                  long long* expansions,
+                  const obs::BudgetGauge* budget = nullptr) {
+  const long long pop_cap = budget != nullptr ? budget->expansions_left() : -1;
   long long popped = 0;
   std::uint32_t goal = kNoState;
   std::int64_t f = 0;
@@ -45,7 +56,10 @@ std::uint32_t run(SearchArena& arena, Queue& queue, const Provider& provider,
     const std::uint32_t node = provider.node_of(state);
     const std::int64_t g = f - provider.heuristic(node);
     if (!arena.current(state, g)) continue;  // improved since queued
+    if (popped == pop_cap) break;  // expansion budget spent (deterministic)
     ++popped;
+    if ((popped & 1023) == 0 && budget != nullptr && budget->wall_exhausted())
+      break;
     if (arena.is_target(node)) {
       goal = state;
       break;

@@ -37,11 +37,14 @@ class SearchArena {
   /// is the single home of the epoch-wrap reset — when the 32-bit counter
   /// wraps to 0 (the value untouched stamps hold, i.e. "never visited"),
   /// every stamp array is cleared so ancient searches cannot read as fresh.
-  void begin_search() {
-    if (++epoch_ != 0) return;
+  /// Returns true when this call wrapped (observability: the routers emit
+  /// an obs::EventKind::kEpochWrap event for it).
+  bool begin_search() {
+    if (++epoch_ != 0) return false;
     std::fill(stamp_.begin(), stamp_.end(), 0u);
     std::fill(target_stamp_.begin(), target_stamp_.end(), 0u);
     epoch_ = 1;
+    return true;
   }
 
   /// Test hook: primes the epoch counter so the 2^32-search wrap can be

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "bench_suite/suite.hpp"
+#include "channel/channel_incremental.hpp"
+#include "core/api.hpp"
+#include "verify/verify.hpp"
+
+namespace gridroute {
+namespace {
+
+TEST(Api, NullProblemThrows) {
+  EXPECT_THROW(route(RouteRequest{}), std::invalid_argument);
+}
+
+TEST(Api, PlainRunMatchesLegacyRoute) {
+  // The legacy route() is now a wrapper over route(RouteRequest); both
+  // shapes must produce the same grid and counters.
+  const Problem p = suite::dense_switchbox().to_problem();
+  const RoutedDesign legacy = route(p);
+
+  RouteRequest request;
+  request.problem = &p;
+  const RouteResult result = route(request);
+
+  EXPECT_EQ(result.grid.total_nodes(), legacy.grid.total_nodes());
+  EXPECT_EQ(result.grid.total_vias(), legacy.grid.total_vias());
+  EXPECT_EQ(result.failed, legacy.outcome.failed);
+  EXPECT_EQ(result.stats.nets_routed, legacy.outcome.stats.nets_routed);
+  EXPECT_EQ(result.stats.expansions, legacy.outcome.stats.expansions);
+
+  // The legacy shape reports no attempts after a plain route(); the new
+  // shape reports itself as attempt 0.
+  EXPECT_TRUE(legacy.attempts.empty());
+  ASSERT_EQ(result.attempts.size(), 1u);
+  EXPECT_EQ(result.attempts[0].index, 0);
+  EXPECT_TRUE(result.attempts[0].ran);
+  EXPECT_EQ(result.attempts[0].expansions, result.stats.expansions);
+}
+
+TEST(Api, MultiStartMatchesLegacyBestOf) {
+  const Problem p = suite::burstein_class_switchbox().to_problem();
+  RouterOptions options;
+  options.threads = 2;
+  const RoutedDesign legacy = route_best_of(p, 3, options);
+
+  RouteRequest request;
+  request.problem = &p;
+  request.options = options;
+  request.extra_attempts = 3;
+  const RouteResult result = route(request);
+
+  EXPECT_EQ(result.winning_attempt, legacy.winning_attempt);
+  EXPECT_EQ(result.winning_seed, legacy.winning_seed);
+  EXPECT_EQ(result.grid.total_nodes(), legacy.grid.total_nodes());
+  EXPECT_EQ(result.grid.total_vias(), legacy.grid.total_vias());
+  EXPECT_EQ(result.failed, legacy.outcome.failed);
+  ASSERT_EQ(result.attempts.size(), 4u);
+  ASSERT_EQ(legacy.attempts.size(), 4u);
+  for (std::size_t i = 0; i < result.attempts.size(); ++i) {
+    EXPECT_EQ(result.attempts[i].seed, legacy.attempts[i].seed);
+    EXPECT_EQ(result.attempts[i].nets_routed, legacy.attempts[i].nets_routed);
+  }
+}
+
+TEST(Api, OutcomeIsTheLegacyView) {
+  const Problem p = suite::cross_switchbox().to_problem();
+  RouteRequest request;
+  request.problem = &p;
+  const RouteResult result = route(request);
+  const RouteOutcome outcome = result.outcome();
+  EXPECT_EQ(outcome.failed, result.failed);
+  EXPECT_EQ(outcome.stats.nets_routed, result.stats.nets_routed);
+  EXPECT_EQ(outcome.complete(), result.complete());
+}
+
+TEST(Api, TotalExpansionsSumsAttemptsThatRan) {
+  // Overfilled: nothing completes, so no attempt is cancelled and the sum
+  // covers all of them.
+  const Problem p = suite::overfilled_switchbox().to_problem();
+  RouteRequest request;
+  request.problem = &p;
+  request.extra_attempts = 2;
+  const RouteResult result = route(request);
+  ASSERT_EQ(result.attempts.size(), 3u);
+  long long sum = 0;
+  for (const AttemptReport& a : result.attempts) {
+    EXPECT_TRUE(a.ran);
+    EXPECT_FALSE(a.complete);
+    sum += a.expansions;
+  }
+  EXPECT_EQ(result.total_expansions, sum);
+}
+
+TEST(Api, ImprovePassesRunInsideTheAttempt) {
+  const Problem p = suite::dense_switchbox().to_problem();
+  RouteRequest plain;
+  plain.problem = &p;
+  const RouteResult base = route(plain);
+
+  RouteRequest polished = plain;
+  polished.improve_passes = 2;
+  const RouteResult result = route(polished);
+
+  ASSERT_TRUE(result.complete());
+  EXPECT_GE(result.improved, 0);
+  // Clean-up never makes the wiring worse, and the result still verifies.
+  EXPECT_LE(result.grid.total_nodes() + 4 * result.grid.total_vias(),
+            base.grid.total_nodes() + 4 * base.grid.total_vias());
+  EXPECT_TRUE(verify(p, result.grid).all_ok());
+  // Both phases are reported distinctly in the snapshot.
+  EXPECT_GT(result.stats.run_ms, 0.0);
+  EXPECT_GT(result.stats.improve_ms, 0.0);
+  EXPECT_DOUBLE_EQ(result.stats.wall_ms,
+                   result.stats.run_ms + result.stats.improve_ms);
+}
+
+TEST(Api, MetricsSnapshotTravelsWithTheResult) {
+  const Problem p = suite::cross_switchbox().to_problem();
+  RouteRequest request;
+  request.problem = &p;
+  const RouteResult result = route(request);
+  EXPECT_EQ(result.metrics.counter("expansions"), result.stats.expansions);
+  EXPECT_EQ(result.metrics.counter("nets_attempted"),
+            result.stats.nets_attempted);
+}
+
+TEST(Api, ChannelLadderMatchesLegacyWrapper) {
+  const ChannelSpec spec = suite::simple_channel();
+  const ChannelRouteResult routed = route_channel(spec);
+  const IncrementalChannelResult legacy = route_channel_incremental(spec);
+
+  ASSERT_TRUE(routed.success);
+  ASSERT_TRUE(legacy.success);
+  EXPECT_EQ(routed.tracks, legacy.tracks);
+  EXPECT_EQ(routed.wire_nodes, legacy.wire_nodes);
+  EXPECT_EQ(routed.vias, legacy.vias);
+  ASSERT_TRUE(routed.result.has_value());
+  EXPECT_TRUE(routed.result->complete());
+  EXPECT_EQ(routed.result->stats.nets_routed, legacy.stats.nets_routed);
+}
+
+TEST(Api, ChannelLadderCarriesTheBudget) {
+  // An expansion budget far too small for even the narrowest width stops
+  // the ladder instead of walking every track count.
+  const ChannelSpec spec = suite::dense_channel();
+  RouteRequest base;
+  base.budget.max_expansions = 5;
+  const ChannelRouteResult routed = route_channel(spec, base);
+  EXPECT_FALSE(routed.success);
+  EXPECT_FALSE(routed.result.has_value());
+}
+
+}  // namespace
+}  // namespace gridroute

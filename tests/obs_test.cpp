@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "bench_suite/suite.hpp"
+#include "core/api.hpp"
+#include "obs/budget.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sinks.hpp"
+#include "obs/trace.hpp"
+#include "verify/verify.hpp"
+
+namespace gridroute {
+namespace {
+
+/// Unbounded collecting sink for golden-trace comparisons (ReplaySink is a
+/// ring and would drop the head of a long run).
+class VectorSink : public obs::TraceSink {
+ public:
+  void on_event(const obs::TraceEvent& event) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(event);
+  }
+
+  /// Events stably sorted by attempt id: concurrent attempts interleave
+  /// arbitrarily, but each attempt's own subsequence is in emission order.
+  std::vector<obs::TraceEvent> by_attempt() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<obs::TraceEvent> sorted = events_;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const obs::TraceEvent& a, const obs::TraceEvent& b) {
+                       return a.attempt < b.attempt;
+                     });
+    return sorted;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<obs::TraceEvent> events_;
+};
+
+TEST(Trace, EventNamesAreStable) {
+  EXPECT_STREQ(obs::event_name(obs::EventKind::kNetStart), "net_start");
+  EXPECT_STREQ(obs::event_name(obs::EventKind::kStrongRipup), "strong_ripup");
+  EXPECT_STREQ(obs::event_name(obs::EventKind::kBudgetExhausted),
+               "budget_exhausted");
+}
+
+TEST(Trace, OffByDefault) {
+  // A router without a sink must emit nowhere (the zero-overhead contract's
+  // functional half): same routing result, no observable trace.
+  const Problem p = suite::dense_switchbox().to_problem();
+  RouteRequest request;
+  request.problem = &p;
+  const RouteResult result = route(request);
+  EXPECT_TRUE(result.complete());
+}
+
+TEST(Trace, CountsMatchStats) {
+  // The event stream and the metrics registry are two views of the same
+  // decisions; their aggregates must agree exactly.
+  const Problem p = suite::dense_switchbox().to_problem();
+  obs::CountingSink counts;
+  RouteRequest request;
+  request.problem = &p;
+  request.trace = &counts;
+  const RouteResult result = route(request);
+
+  EXPECT_EQ(counts.count(obs::EventKind::kNetStart),
+            result.stats.nets_attempted);
+  EXPECT_EQ(counts.count(obs::EventKind::kNetSuccess) +
+                counts.count(obs::EventKind::kNetFail),
+            result.stats.nets_attempted);
+  EXPECT_EQ(counts.count(obs::EventKind::kWeakOutcome),
+            result.stats.weak_attempts);
+  // Every connection needs at least one kernel query.
+  EXPECT_GE(counts.count(obs::EventKind::kSearchQuery),
+            result.stats.connections_attempted);
+}
+
+TEST(Trace, StrongRipupCarriesVictims) {
+  // The overfilled box forces strong modification; every rip-up victim must
+  // appear in some kStrongRipup event's net list.
+  const Problem p = suite::overfilled_switchbox().to_problem();
+  obs::ReplaySink replay(1 << 16);
+  RouteRequest request;
+  request.problem = &p;
+  request.trace = &replay;
+  const RouteResult result = route(request);
+
+  long long victims = 0;
+  for (const obs::TraceEvent& e : replay.events())
+    if (e.kind == obs::EventKind::kStrongRipup) {
+      EXPECT_FALSE(e.nets.empty());
+      victims += static_cast<long long>(e.nets.size());
+    }
+  EXPECT_EQ(victims, result.stats.strong_ripups);
+}
+
+TEST(GoldenTrace, DeterministicAcrossThreadCounts) {
+  // Multi-start on a box nothing completes on: no early cancellation, so
+  // every attempt runs to the end on every thread count and the trace —
+  // sorted by attempt id — must be byte-identical for 1, 4, and 8 threads.
+  const Problem p = suite::overfilled_switchbox().to_problem();
+  std::vector<obs::TraceEvent> golden;
+  for (const int threads : {1, 4, 8}) {
+    VectorSink sink;
+    RouteRequest request;
+    request.problem = &p;
+    request.options.threads = threads;
+    request.extra_attempts = 3;
+    request.trace = &sink;
+    const RouteResult result = route(request);
+    EXPECT_FALSE(result.complete());
+    const std::vector<obs::TraceEvent> sorted = sink.by_attempt();
+    if (threads == 1) {
+      golden = sorted;
+      ASSERT_FALSE(golden.empty());
+    } else {
+      EXPECT_EQ(sorted, golden) << "trace diverged at " << threads
+                                << " threads";
+    }
+  }
+}
+
+TEST(Sinks, JsonlFormat) {
+  obs::TraceEvent e = obs::TraceEvent::weak_probe(3, 1, 5, true);
+  e.attempt = 2;
+  EXPECT_EQ(obs::JsonlSink::format(e),
+            "{\"event\":\"weak_probe\",\"attempt\":2,\"net\":3,\"value\":1,"
+            "\"extra\":5,\"ok\":true}");
+
+  obs::TraceEvent ripup = obs::TraceEvent::strong_ripup(1, 14, {2, 4});
+  EXPECT_EQ(obs::JsonlSink::format(ripup),
+            "{\"event\":\"strong_ripup\",\"attempt\":0,\"net\":1,\"value\":14,"
+            "\"extra\":0,\"ok\":false,\"nets\":[2,4]}");
+
+  // Non-net-scoped events omit the net field.
+  const obs::TraceEvent won = obs::TraceEvent::attempt_won(true);
+  EXPECT_EQ(obs::JsonlSink::format(won),
+            "{\"event\":\"attempt_won\",\"attempt\":0,\"value\":0,"
+            "\"extra\":0,\"ok\":true}");
+}
+
+TEST(Sinks, JsonlWritesOneLinePerEvent) {
+  std::ostringstream out;
+  obs::JsonlSink sink(out);
+  sink.on_event(obs::TraceEvent::net_start(0));
+  sink.on_event(obs::TraceEvent::net_done(true, 0, 1));
+  EXPECT_EQ(sink.lines(), 2);
+  const std::string text = out.str();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+  EXPECT_NE(text.find("\"event\":\"net_start\""), std::string::npos);
+}
+
+TEST(Sinks, ReplayRingKeepsNewest) {
+  obs::ReplaySink replay(3);
+  for (int net = 0; net < 5; ++net)
+    replay.on_event(obs::TraceEvent::net_start(net));
+  EXPECT_EQ(replay.dropped(), 2);
+  const std::vector<obs::TraceEvent> events = replay.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events.front().net, 2);  // oldest surviving
+  EXPECT_EQ(events.back().net, 4);   // newest
+}
+
+TEST(Metrics, RegistryHandlesAreStable) {
+  obs::MetricsRegistry registry;
+  obs::Counter& a = registry.counter("alpha");
+  a.add(2);
+  registry.counter("beta").add(1);       // may rebalance the map
+  EXPECT_EQ(&a, &registry.counter("alpha"));  // address survives
+  a.add(3);
+
+  const obs::MetricsSnapshot snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counter("alpha"), 5);
+  EXPECT_EQ(snapshot.counter("beta"), 1);
+  EXPECT_EQ(snapshot.counter("missing"), 0);
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].name, "alpha");  // sorted export
+}
+
+TEST(Metrics, TimerBucketsAndExport) {
+  obs::MetricsRegistry registry;
+  obs::Timer& t = registry.timer("phase");
+  t.record_ms(0.5);
+  t.record_ms(3.0);
+  t.record_ms(3.5);
+  EXPECT_EQ(t.count(), 3);
+  EXPECT_DOUBLE_EQ(t.total_ms(), 7.0);
+  EXPECT_DOUBLE_EQ(t.min_ms(), 0.5);
+  EXPECT_DOUBLE_EQ(t.max_ms(), 3.5);
+  EXPECT_EQ(t.buckets()[0], 1);  // < 1 ms
+  EXPECT_EQ(t.buckets()[2], 2);  // [2, 4) ms
+
+  std::ostringstream text, json;
+  obs::write_text(registry.snapshot(), text);
+  obs::write_json(registry.snapshot(), json);
+  EXPECT_NE(text.str().find("phase"), std::string::npos);
+  EXPECT_NE(json.str().find("\"phase\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"count\":3"), std::string::npos);
+}
+
+TEST(Metrics, RouterPublishesRegistry) {
+  const Problem p = suite::dense_switchbox().to_problem();
+  RouteRequest request;
+  request.problem = &p;
+  const RouteResult result = route(request);
+  // RouteStats is a snapshot view over the registry: both must agree.
+  EXPECT_EQ(result.metrics.counter("expansions"), result.stats.expansions);
+  EXPECT_EQ(result.metrics.counter("nets_routed"), result.stats.nets_routed);
+}
+
+TEST(Budget, ExpansionCapGivesVerifiablePartial) {
+  const Problem p = suite::dense_switchbox().to_problem();
+  RouteRequest request;
+  request.problem = &p;
+  request.budget.max_expansions = 60;  // far less than a full run needs
+  obs::CountingSink counts;
+  request.trace = &counts;
+  const RouteResult result = route(request);
+
+  EXPECT_TRUE(result.budget_exhausted);
+  EXPECT_FALSE(result.complete());
+  EXPECT_EQ(counts.count(obs::EventKind::kBudgetExhausted), 1);
+  // Partial but clean: whatever routed verifies, and the failed list names
+  // exactly the multi-pin nets that are not done.
+  const VerifyReport report = verify(p, result.grid);
+  EXPECT_TRUE(report.drc_clean());
+  for (NetId id = 0; id < p.net_count(); ++id) {
+    if (p.net(id).pins.size() < 2 || p.net(id).fixed) continue;
+    const bool listed = std::find(result.failed.begin(), result.failed.end(),
+                                  id) != result.failed.end();
+    EXPECT_EQ(net_routed_ok(p, result.grid, id), !listed) << "net " << id;
+  }
+}
+
+TEST(Budget, ExpansionCapIsDeterministic) {
+  const Problem p = suite::dense_switchbox().to_problem();
+  auto run_budgeted = [&] {
+    RouteRequest request;
+    request.problem = &p;
+    request.budget.max_expansions = 200;
+    return route(request);
+  };
+  const RouteResult a = run_budgeted();
+  const RouteResult b = run_budgeted();
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.stats.expansions, b.stats.expansions);
+  EXPECT_EQ(a.grid.total_nodes(), b.grid.total_nodes());
+}
+
+TEST(Budget, UnlimitedByDefault) {
+  const Problem p = suite::dense_switchbox().to_problem();
+  RouteRequest request;
+  request.problem = &p;
+  const RouteResult result = route(request);
+  EXPECT_FALSE(result.budget_exhausted);
+  EXPECT_TRUE(result.complete());
+}
+
+TEST(Budget, GaugeForkRestartsExpansions) {
+  const obs::RunBudget budget{/*wall_ms=*/0, /*max_expansions=*/100};
+  obs::BudgetGauge gauge(budget);
+  gauge.charge(100);
+  EXPECT_TRUE(gauge.expansions_exhausted());
+  const obs::BudgetGauge forked = gauge.fork();
+  EXPECT_FALSE(forked.expansions_exhausted());
+  EXPECT_EQ(forked.expansions_left(), 100);
+}
+
+TEST(Stats, ImproveAccumulatesWallTime) {
+  // Regression: improve() used to leave wall_ms covering run() only (and a
+  // later snapshot could overwrite the run time). The phases must be
+  // reported distinctly and the total must be their sum.
+  const Problem p = suite::dense_switchbox().to_problem();
+  IncrementalRouter router(p);
+  const RouteOutcome outcome = router.run();
+  ASSERT_TRUE(outcome.complete());
+  const RouteStats after_run = router.stats();
+  EXPECT_GT(after_run.run_ms, 0.0);
+  EXPECT_DOUBLE_EQ(after_run.improve_ms, 0.0);
+  EXPECT_DOUBLE_EQ(after_run.wall_ms, after_run.run_ms);
+
+  router.improve(2);
+  const RouteStats after_improve = router.stats();
+  EXPECT_DOUBLE_EQ(after_improve.run_ms, after_run.run_ms);  // untouched
+  EXPECT_GT(after_improve.improve_ms, 0.0);
+  EXPECT_DOUBLE_EQ(after_improve.wall_ms,
+                   after_improve.run_ms + after_improve.improve_ms);
+}
+
+}  // namespace
+}  // namespace gridroute
