@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + test suite, then the multi-start
-# concurrency tests and the observability tests (golden trace, budget,
-# routing-API surface — sinks take events from every worker) again under
-# ThreadSanitizer (GRIDROUTE_SANITIZE=thread), and the search-kernel
-# differential tests under UndefinedBehaviorSanitizer
+# concurrency tests, the observability tests (golden trace, budget,
+# routing-API surface — sinks take events from every worker), and the
+# net-parallel wave-engine differential fuzz again under ThreadSanitizer
+# (GRIDROUTE_SANITIZE=thread), and the search-kernel differential tests
+# plus the wave-engine fuzz under UndefinedBehaviorSanitizer
 # (GRIDROUTE_SANITIZE=undefined).
 #
 #   scripts/tier1.sh                  # everything
@@ -20,15 +21,20 @@ cmake --build build -j
 if [ "${GRIDROUTE_SKIP_TSAN:-0}" != "1" ]; then
   cmake -B build-tsan -S . -DGRIDROUTE_SANITIZE=thread
   cmake --build build-tsan -j --target parallel_test multistart_test \
-    obs_test api_test
+    obs_test api_test net_parallel_test
   ./build-tsan/tests/parallel_test
   ./build-tsan/tests/multistart_test
   ./build-tsan/tests/obs_test
   ./build-tsan/tests/api_test
+  # The wave-engine differential fuzz, shrunk: TSan is ~20x slower and the
+  # race surface (speculation reads vs commit writes) is per-wave, so a
+  # couple dozen instances cross it thousands of times.
+  GRIDROUTE_NETPAR_INSTANCES=20 ./build-tsan/tests/net_parallel_test
 fi
 
 if [ "${GRIDROUTE_SKIP_UBSAN:-0}" != "1" ]; then
   cmake -B build-ubsan -S . -DGRIDROUTE_SANITIZE=undefined
-  cmake --build build-ubsan -j --target search_test
+  cmake --build build-ubsan -j --target search_test net_parallel_test
   ./build-ubsan/tests/search_test
+  GRIDROUTE_NETPAR_INSTANCES=20 ./build-ubsan/tests/net_parallel_test
 fi

@@ -28,6 +28,11 @@ namespace gridroute {
 /// improve_passes runs IncrementalRouter::improve() after each attempt's
 /// run — inside the attempt, so clean-up influences the multi-start
 /// reduction and is reported per attempt.
+///
+/// options.net_threads is the orthogonal, intra-attempt axis: each attempt
+/// drains its nets in speculative waves committed in serial order
+/// (DESIGN.md §2.1e), bit-identical at every value. A finite expansion
+/// budget or a narration log forces the legacy serial drain instead.
 struct RouteRequest {
   const Problem* problem = nullptr;  ///< required; not owned
   RouterOptions options;

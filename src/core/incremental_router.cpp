@@ -8,13 +8,56 @@
 #include <ostream>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <unordered_map>
 
+#include "core/wave_pool.hpp"
 #include "util/disjoint_set.hpp"
 #include "util/rng.hpp"
 #include "verify/verify.hpp"
 
 namespace gridroute {
+
+/// One recorded speculative search (see the header declaration).
+struct IncrementalRouter::SpecSearch {
+  SearchResult result;
+  long long expansions = 0;
+  long long overflow_hits = 0;
+};
+
+struct IncrementalRouter::SpecNet {
+  NetId id = kNoNet;
+  /// Stage-1 clean search per connection, in connection order. The last
+  /// entry is not-found when the speculation hit a blocked connection.
+  std::vector<SpecSearch> clean;
+  /// First weak probe after a clean failure (run() only; its frozen set is
+  /// empty by construction, so it is independent of commit-time state).
+  std::optional<SpecSearch> probe;
+  /// Union of every search's read footprint (planar). The commit is valid
+  /// only if no earlier commit in the wave dirtied touched.inflated(1).
+  Rect touched{{0, 0}, {-1, -1}};
+  /// Every connection was found cleanly (observability only; an incomplete
+  /// speculation still replays — its recorded failure triggers the same
+  /// serial escalation the fully-serial drain would run).
+  bool complete = false;
+};
+
+/// Per-worker speculation context: its own arena and maze router over the
+/// shared grid/pins. The router's trace stays off — speculative queries are
+/// invisible until replayed at commit.
+struct IncrementalRouter::WaveWorker {
+  SearchArena arena;
+  WeightedMazeRouter router;
+  explicit WaveWorker(const RoutingGrid& grid, const PinBlocks& pins,
+                      CostModel costs)
+      : router(grid, pins, costs, &arena) {}
+};
+
+/// Wave cap. A thread-count-independent constant: wave formation (and the
+/// kWaveFormed trace events) must be identical at every net_threads value.
+constexpr std::size_t kMaxWave = 16;
+
+IncrementalRouter::~IncrementalRouter() = default;
 
 IncrementalRouter::IncrementalRouter(const Problem& problem,
                                      RouterOptions options, SearchArena* arena)
@@ -49,6 +92,9 @@ RouteStats IncrementalRouter::stats() const {
   s.weak_attempts = static_cast<int>(c_weak_attempts_.value());
   s.strong_ripups = static_cast<int>(c_strong_ripups_.value());
   s.expansions = c_expansions_.value();
+  s.waves = static_cast<int>(c_waves_.value());
+  s.spec_commits = static_cast<int>(c_spec_commits_.value());
+  s.spec_invalidations = static_cast<int>(c_spec_invalidations_.value());
   s.run_ms = t_run_.total_ms();
   s.improve_ms = t_improve_.total_ms();
   s.wall_ms = s.run_ms + s.improve_ms;
@@ -69,6 +115,158 @@ bool IncrementalRouter::budget_spent() {
   trace_.emit(obs::TraceEvent::budget_exhausted(gauge_->spent(),
                                                 gauge_->wall_exhausted()));
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Net-parallel wave engine (DESIGN.md §2.1e)
+// ---------------------------------------------------------------------------
+
+int IncrementalRouter::wave_width() const {
+  int n = options_.net_threads;
+  if (n <= 0)
+    n = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  return std::min<int>(n, static_cast<int>(kMaxWave));
+}
+
+void IncrementalRouter::ensure_wave_state() {
+  const int width = wave_width();
+  if (wave_pool_ == nullptr)
+    wave_pool_ = std::make_unique<WavePool>(width - 1);
+  while (static_cast<int>(wave_workers_.size()) < width)
+    wave_workers_.push_back(
+        std::make_unique<WaveWorker>(grid_, pins_, options_.costs));
+}
+
+Rect IncrementalRouter::wave_box(NetId id, bool for_improve) const {
+  Rect box{{0, 0}, {-1, -1}};
+  auto grow = [&box](Point p) {
+    const Rect cell{p, p};
+    box = box.valid() ? box.bounding_union(cell) : cell;
+  };
+  const Net& net = problem_.net(id);
+  for (const Pin& p : net.pins) grow(p.pos);
+  for (const GridPoint& g : prewire_nodes(net)) grow(g.pos);
+  // improve() rips (and possibly relays) the net's existing wire, so its
+  // detours are part of the write estimate, not just the pin box.
+  if (for_improve)
+    for (const GridPoint& g : grid_.net_nodes(id)) grow(g.pos);
+  return box.valid() ? box.inflated(1) : box;
+}
+
+std::vector<NetId> IncrementalRouter::form_wave(std::deque<NetId>& work,
+                                                bool for_improve) const {
+  // Maximal *prefix* with pairwise-disjoint boxes: stopping at the first
+  // clash (instead of skipping past it) keeps the commit order exactly the
+  // serial drain order, which the bit-identical guarantee rests on. The
+  // boxes are only an independence estimate — overlapping searches a box
+  // failed to predict are caught by commit-time validation.
+  std::vector<NetId> wave;
+  std::vector<Rect> boxes;
+  while (!work.empty() && wave.size() < kMaxWave) {
+    const NetId id = work.front();
+    const Rect box = wave_box(id, for_improve);
+    bool clash = std::find(wave.begin(), wave.end(), id) != wave.end();
+    if (!clash && box.valid())
+      for (const Rect& b : boxes)
+        if (b.valid() && b.intersects(box)) {
+          clash = true;
+          break;
+        }
+    if (clash && !wave.empty()) break;
+    wave.push_back(id);
+    boxes.push_back(box);
+    work.pop_front();
+  }
+  return wave;
+}
+
+void IncrementalRouter::speculate_net(SpecNet& spec, WaveWorker& w,
+                                      bool with_probe) const {
+  const NetId id = spec.id;
+  const std::vector<Pin> pins = ordered_pins(id);
+  // The commit rips the net down to its permanent pre-wire before routing,
+  // so the simulated routing tree starts from the pre-wire and grows by the
+  // speculative paths. The net's current routable wire stays on the grid
+  // during speculation — harmless: a clean search treats own wire exactly
+  // like free cells in every predicate it evaluates, so the searches here
+  // equal the searches the commit would run after the rip.
+  std::vector<GridPoint> tree = prewire_nodes(problem_.net(id));
+  spec.complete = true;
+  for (std::size_t i = 1; i < pins.size(); ++i) {
+    SearchRequest req;
+    req.net = id;
+    req.sources = pin_nodes(pins[i]);
+    req.targets = i == 1 ? pin_nodes(pins[0]) : tree;
+    req.touched = &spec.touched;
+    const SearchResult res = w.router.route(req);
+    spec.clean.push_back(
+        {res, w.router.last_expansions(), w.router.last_overflow_hits()});
+    if (!res.found) {
+      spec.complete = false;
+      // The commit escalates this connection serially; its first weak
+      // probe runs with an empty frozen set, so it too only depends on the
+      // snapshot — pre-compute it here. Deeper escalation (probe retries,
+      // the strong stage) depends on live commit state and stays serial.
+      if (with_probe && options_.enable_weak) {
+        req.allow_push = true;
+        req.push_history = &history_;
+        const SearchResult probe = w.router.route(req);
+        spec.probe = SpecSearch{probe, w.router.last_expansions(),
+                                w.router.last_overflow_hits()};
+      }
+      return;
+    }
+    tree.insert(tree.end(), res.path.nodes.begin(), res.path.nodes.end());
+  }
+}
+
+SearchResult IncrementalRouter::replay_search(NetId net, const SpecSearch& s) {
+  // Exactly what the live query would have charged and emitted: commit
+  // validation guarantees the recorded query equals the query a serial
+  // drain would run at this point.
+  c_expansions_.add(s.expansions);
+  trace_.emit(obs::TraceEvent::search_query(net, s.expansions,
+                                            s.overflow_hits, s.result.found));
+  return s.result;
+}
+
+void IncrementalRouter::commit_wave(
+    std::vector<SpecNet>& specs,
+    const std::function<void(NetId, const SpecNet*)>& body) {
+  // Dirty boxes of the commits performed so far in this wave: one grid box
+  // per commit (from the journal) plus one history box per commit that
+  // bumped push-history cells. A speculation whose inflated read footprint
+  // misses every box would replay bit-identically if re-searched now — so
+  // it is replayed; otherwise it is discarded and the net routed serially.
+  std::vector<Rect> dirty;
+  for (SpecNet& spec : specs) {
+    const auto searches = static_cast<std::int64_t>(spec.clean.size()) +
+                          (spec.probe.has_value() ? 1 : 0);
+    bool valid = true;
+    if (spec.touched.valid()) {
+      const Rect reads = spec.touched.inflated(1);
+      for (const Rect& d : dirty)
+        if (d.intersects(reads)) {
+          valid = false;
+          break;
+        }
+    }
+    const RoutingGrid::Mark pre = grid_.mark();
+    history_dirty_ = Rect{{0, 0}, {-1, -1}};
+    if (valid) {
+      c_spec_commits_.add();
+      trace_.emit(
+          obs::TraceEvent::spec_committed(spec.id, searches, spec.complete));
+      body(spec.id, &spec);
+    } else {
+      c_spec_invalidations_.add();
+      trace_.emit(obs::TraceEvent::spec_invalidated(spec.id, searches));
+      body(spec.id, nullptr);
+    }
+    const Rect d = grid_.dirty_since(pre);
+    if (d.valid()) dirty.push_back(d);
+    if (history_dirty_.valid()) dirty.push_back(history_dirty_);
+  }
 }
 
 void IncrementalRouter::apply_prewire(NetId id) {
@@ -97,6 +295,11 @@ void IncrementalRouter::bump_history(Point p) {
   const Rect& b = problem_.region().bounds();
   history_[static_cast<size_t>((p.y - b.lo.y) * b.width() + (p.x - b.lo.x))] +=
       std::max(options_.costs.push / 4, 1);
+  // History is read by speculative push probes but not journaled in the
+  // grid, so wave commits track its writes separately (commit_wave).
+  const Rect cell{p, p};
+  history_dirty_ =
+      history_dirty_.valid() ? history_dirty_.bounding_union(cell) : cell;
 }
 
 std::vector<GridPoint> IncrementalRouter::pin_nodes(const Pin& pin) const {
@@ -292,7 +495,9 @@ bool IncrementalRouter::apply_with_push(NetId id, const SearchResult& probe) {
 bool IncrementalRouter::route_connection(NetId id,
                                          const std::vector<GridPoint>& sources,
                                          const std::vector<GridPoint>& targets,
-                                         std::vector<NetId>* requeue) {
+                                         std::vector<NetId>* requeue,
+                                         const SpecSearch* spec_clean,
+                                         const SpecSearch* spec_probe) {
   SearchRequest req;
   req.sources = sources;
   req.targets = targets;
@@ -304,8 +509,10 @@ bool IncrementalRouter::route_connection(NetId id,
     (void)applied;
   };
 
-  // Stage 1: clean shortest path.
-  SearchResult res = search(req);
+  // Stage 1: clean shortest path (replayed from a validated speculation
+  // when the wave engine recorded it).
+  SearchResult res =
+      spec_clean != nullptr ? replay_search(id, *spec_clean) : search(req);
   if (res.found) {
     apply_clean(res.path);
     return true;
@@ -322,7 +529,9 @@ bool IncrementalRouter::route_connection(NetId id,
   if (options_.enable_weak) {
     for (int attempt = 0; attempt < options_.weak_probe_retries; ++attempt) {
       if (budget_spent()) return false;
-      SearchResult probe = search(req);
+      SearchResult probe = attempt == 0 && spec_probe != nullptr
+                               ? replay_search(id, *spec_probe)
+                               : search(req);
       trace_.emit(obs::TraceEvent::weak_probe(
           id, attempt, static_cast<std::int64_t>(probe.crossed.size()),
           probe.found));
@@ -465,49 +674,105 @@ int IncrementalRouter::improve(int passes) {
   // ScopedTimer records into the improve_ms phase timer on scope exit, so
   // repeated improve() calls accumulate — they never overwrite run()'s time.
   const obs::ScopedTimer timer(t_improve_);
+  // Phase boundary: a fresh strong-modification budget (see run()).
+  std::fill(ripup_count_.begin(), ripup_count_.end(), 0);
   int improved = 0;
+  const bool wave_engine = gauge_ == nullptr && options_.log == nullptr;
+  if (wave_engine) ensure_wave_state();
+
+  // One net's re-route attempt. Re-checks eligibility (identical to the
+  // serial loop's checks; unaffected by other nets' improves, so the wave
+  // path sees the same answers). Returns true when the new wire was kept.
+  auto improve_one = [&](NetId id, const SpecNet* spec) -> bool {
+    const Net& net = problem_.net(id);
+    if (net.fixed || net.pins.size() < 2) return false;
+    if (!net_routed_ok(problem_, grid_, id)) return false;
+
+    auto wire_cost = [&] {
+      return grid_.node_count(id) * options_.costs.step +
+             grid_.via_count(id) * options_.costs.via;
+    };
+    const int old_cost = wire_cost();
+    const RoutingGrid::Mark mark = grid_.mark();
+    rip_routable_wire(id);
+
+    // Plain re-route only: clean-up must not disturb other nets.
+    const std::vector<Pin> pins = ordered_pins(id);
+    bool ok = true;
+    for (std::size_t i = 1; i < pins.size() && ok; ++i) {
+      SearchRequest req;
+      req.net = id;
+      req.sources = pin_nodes(pins[i]);
+      req.targets = i == 1 ? pin_nodes(pins[0]) : grid_.net_nodes(id);
+      const SearchResult res = spec != nullptr && i - 1 < spec->clean.size()
+                                   ? replay_search(id, spec->clean[i - 1])
+                                   : search(req);
+      if (!res.found) {
+        ok = false;
+        break;
+      }
+      const bool applied = grid_.apply_path(res.path, id);
+      assert(applied);
+      (void)applied;
+    }
+    if (!ok || !net_routed_ok(problem_, grid_, id) || wire_cost() >= old_cost) {
+      grid_.rollback(mark);
+      trace_.emit(obs::TraceEvent::improve_reject(id, old_cost));
+      return false;
+    }
+    trace_.emit(obs::TraceEvent::improve_accept(id, old_cost, wire_cost()));
+    return true;
+  };
+
   for (int pass = 0; pass < passes && !budget_exhausted_; ++pass) {
     bool any = false;
-    for (NetId id = 0; id < problem_.net_count(); ++id) {
-      if (budget_spent()) break;
-      const Net& net = problem_.net(id);
-      if (net.fixed || net.pins.size() < 2) continue;
-      if (!net_routed_ok(problem_, grid_, id)) continue;
-
-      auto wire_cost = [&] {
-        return grid_.node_count(id) * options_.costs.step +
-               grid_.via_count(id) * options_.costs.via;
-      };
-      const int old_cost = wire_cost();
-      const RoutingGrid::Mark mark = grid_.mark();
-      rip_routable_wire(id);
-
-      // Plain re-route only: clean-up must not disturb other nets.
-      const std::vector<Pin> pins = ordered_pins(id);
-      bool ok = true;
-      for (std::size_t i = 1; i < pins.size() && ok; ++i) {
-        SearchRequest req;
-        req.net = id;
-        req.sources = pin_nodes(pins[i]);
-        req.targets = i == 1 ? pin_nodes(pins[0]) : grid_.net_nodes(id);
-        const SearchResult res = search(req);
-        if (!res.found) {
-          ok = false;
-          break;
+    if (!wave_engine) {
+      for (NetId id = 0; id < problem_.net_count(); ++id) {
+        if (budget_spent()) break;
+        if (improve_one(id, nullptr)) {
+          ++improved;
+          any = true;
         }
-        const bool applied = grid_.apply_path(res.path, id);
-        assert(applied);
-        (void)applied;
       }
-      if (!ok || !net_routed_ok(problem_, grid_, id) ||
-          wire_cost() >= old_cost) {
-        grid_.rollback(mark);
-        trace_.emit(obs::TraceEvent::improve_reject(id, old_cost));
-      } else {
-        ++improved;
-        any = true;
-        trace_.emit(
-            obs::TraceEvent::improve_accept(id, old_cost, wire_cost()));
+    } else {
+      // Wave drain over the eligible nets in id order. Eligibility is
+      // stable within a pass (improves never touch other nets' wire), so
+      // pre-filtering here matches the serial loop's in-place checks.
+      std::deque<NetId> cands;
+      for (NetId id = 0; id < problem_.net_count(); ++id) {
+        const Net& net = problem_.net(id);
+        if (net.fixed || net.pins.size() < 2) continue;
+        if (!net_routed_ok(problem_, grid_, id)) continue;
+        cands.push_back(id);
+      }
+      while (!cands.empty()) {
+        const std::vector<NetId> wave = form_wave(cands, /*for_improve=*/true);
+        c_waves_.add();
+        trace_.emit(obs::TraceEvent::wave_formed(
+            static_cast<std::int64_t>(wave.size()),
+            static_cast<std::int64_t>(cands.size()), wave.size() > 1));
+        if (wave.size() == 1) {
+          if (improve_one(wave.front(), nullptr)) {
+            ++improved;
+            any = true;
+          }
+          continue;
+        }
+        std::vector<SpecNet> specs(wave.size());
+        for (std::size_t j = 0; j < wave.size(); ++j) specs[j].id = wave[j];
+        // Rejected improves roll back to the mark, so their dirty box is
+        // empty and they never invalidate later speculations in the wave.
+        wave_pool_->run(static_cast<int>(wave.size()), [&](int worker, int j) {
+          speculate_net(specs[static_cast<std::size_t>(j)],
+                        *wave_workers_[static_cast<std::size_t>(worker)],
+                        /*with_probe=*/false);
+        });
+        commit_wave(specs, [&](NetId id, const SpecNet* s) {
+          if (improve_one(id, s)) {
+            ++improved;
+            any = true;
+          }
+        });
       }
     }
     grid_.commit();
@@ -554,52 +819,96 @@ RouteOutcome IncrementalRouter::run() {
   std::size_t best_routed = 0;
   RoutingGrid::Mark best_mark = grid_.mark();
 
+  // The per-net serial body, shared by the plain drain and the wave
+  // commits. With a validated speculation its recorded searches replay;
+  // everything it mutates, requeues or emits is identical either way.
+  auto route_one = [&](NetId id, const SpecNet* spec, std::deque<NetId>& work) {
+    c_nets_attempted_.add();
+    trace_.emit(obs::TraceEvent::net_start(id));
+    rip_routable_wire(id);
+    routed.erase(id);
+
+    const std::vector<Pin> pins = ordered_pins(id);
+    bool net_ok = true;
+    int conns_done = 0;
+    std::vector<NetId> requeue;
+    for (std::size_t i = 1; i < pins.size(); ++i) {
+      c_connections_attempted_.add();
+      std::vector<GridPoint> sources = pin_nodes(pins[i]);
+      std::vector<GridPoint> targets =
+          i == 1 ? pin_nodes(pins[0]) : grid_.net_nodes(id);
+      const SpecSearch* spec_clean = nullptr;
+      const SpecSearch* spec_probe = nullptr;
+      if (spec != nullptr && i - 1 < spec->clean.size()) {
+        spec_clean = &spec->clean[i - 1];
+        if (!spec_clean->result.found && spec->probe.has_value())
+          spec_probe = &*spec->probe;
+      }
+      requeue.clear();
+      if (!route_connection(id, sources, targets, &requeue, spec_clean,
+                            spec_probe)) {
+        net_ok = false;
+        break;
+      }
+      ++conns_done;
+      c_connections_routed_.add();
+      for (const NetId v : requeue) {
+        work.push_back(v);
+        failed.erase(v);
+        routed.erase(v);  // its wire is gone until re-routed
+      }
+    }
+    if (net_ok) {
+      failed.erase(id);
+      routed.insert(id);
+    } else {
+      rip_routable_wire(id);  // leave only the permanent pre-wire behind
+      failed.insert(id);
+    }
+    trace_.emit(obs::TraceEvent::net_done(net_ok, id, conns_done));
+    if (routed.size() > best_routed) {
+      best_routed = routed.size();
+      best_mark = grid_.mark();
+    }
+  };
+
+  // Budgeted or narrated runs use the historical serial drain: the kernel's
+  // deterministic expansion cap is charged per query in program order, and
+  // the wave engine would reorder that accounting. Everything else drains
+  // in waves — including net_threads == 1, so traces and stats are one
+  // function of the options, not of the thread count.
+  const bool wave_engine = gauge_ == nullptr && options_.log == nullptr;
+  if (wave_engine) ensure_wave_state();
+
   // Budget checks sit at net boundaries (plus the search-loop checkpoints
   // inside the kernel): an exhausted budget stops the drain between nets,
   // so the grid is always left in a committed, verifiable state.
   auto drain = [&](std::deque<NetId> work) {
     while (!work.empty() && !budget_spent()) {
-      const NetId id = work.front();
-      work.pop_front();
-      c_nets_attempted_.add();
-      trace_.emit(obs::TraceEvent::net_start(id));
-      rip_routable_wire(id);
-      routed.erase(id);
-
-      const std::vector<Pin> pins = ordered_pins(id);
-      bool net_ok = true;
-      int conns_done = 0;
-      std::vector<NetId> requeue;
-      for (std::size_t i = 1; i < pins.size(); ++i) {
-        c_connections_attempted_.add();
-        std::vector<GridPoint> sources = pin_nodes(pins[i]);
-        std::vector<GridPoint> targets =
-            i == 1 ? pin_nodes(pins[0]) : grid_.net_nodes(id);
-        requeue.clear();
-        if (!route_connection(id, sources, targets, &requeue)) {
-          net_ok = false;
-          break;
-        }
-        ++conns_done;
-        c_connections_routed_.add();
-        for (const NetId v : requeue) {
-          work.push_back(v);
-          failed.erase(v);
-          routed.erase(v);  // its wire is gone until re-routed
-        }
+      if (!wave_engine) {
+        const NetId id = work.front();
+        work.pop_front();
+        route_one(id, nullptr, work);
+        continue;
       }
-      if (net_ok) {
-        failed.erase(id);
-        routed.insert(id);
-      } else {
-        rip_routable_wire(id);  // leave only the permanent pre-wire behind
-        failed.insert(id);
+      const std::vector<NetId> wave = form_wave(work, /*for_improve=*/false);
+      c_waves_.add();
+      trace_.emit(obs::TraceEvent::wave_formed(
+          static_cast<std::int64_t>(wave.size()),
+          static_cast<std::int64_t>(work.size()), wave.size() > 1));
+      if (wave.size() == 1) {  // nothing to overlap with — skip speculation
+        route_one(wave.front(), nullptr, work);
+        continue;
       }
-      trace_.emit(obs::TraceEvent::net_done(net_ok, id, conns_done));
-      if (routed.size() > best_routed) {
-        best_routed = routed.size();
-        best_mark = grid_.mark();
-      }
+      std::vector<SpecNet> specs(wave.size());
+      for (std::size_t j = 0; j < wave.size(); ++j) specs[j].id = wave[j];
+      wave_pool_->run(static_cast<int>(wave.size()), [&](int worker, int j) {
+        speculate_net(specs[static_cast<std::size_t>(j)],
+                      *wave_workers_[static_cast<std::size_t>(worker)],
+                      /*with_probe=*/true);
+      });
+      commit_wave(specs,
+                  [&](NetId id, const SpecNet* s) { route_one(id, s, work); });
     }
   };
 
@@ -612,6 +921,12 @@ RouteOutcome IncrementalRouter::run() {
   // Land on the best state the run ever reached.
   if (routed.size() < best_routed) grid_.rollback(best_mark);
   grid_.commit();
+
+  // Phase boundary: the strong-modification budget is per phase. Rip-ups
+  // spent during this run must not silently freeze nets against later
+  // incremental work (improve(), route_net() edits) — regression:
+  // Improve.RipupBudgetResetsBetweenPhases.
+  std::fill(ripup_count_.begin(), ripup_count_.end(), 0);
 
   RouteOutcome outcome;
   for (NetId id = 0; id < problem_.net_count(); ++id)

@@ -1,7 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -13,6 +16,8 @@
 #include "problem/problem.hpp"
 
 namespace gridroute {
+
+class WavePool;  // core/wave_pool.hpp — the net-parallel worker pool
 
 /// Knobs of the incremental router. The defaults are the configuration the
 /// benchmark tables report as "full router"; the ablation benches toggle
@@ -58,6 +63,19 @@ struct RouterOptions {
   /// bit-identical for every value — threads only change wall-clock time.
   int threads = 0;
 
+  /// Worker threads for the net-parallel wave engine inside one attempt's
+  /// run()/improve(): a prefix of queued nets with pairwise-disjoint
+  /// bounding boxes is searched speculatively in parallel against the
+  /// current grid, then committed in the exact serial net order; a commit
+  /// whose read footprint was dirtied by an earlier commit in the wave
+  /// re-routes that net serially (DESIGN.md §2.1e). 0 = one per hardware
+  /// thread; n = n workers. Results, stats (minus wall times) and traces
+  /// are bit-identical for every value — and identical to the historical
+  /// serial drain — so threads only change wall-clock time. Runs with a
+  /// RunBudget installed or a narration `log` fall back to the serial
+  /// drain (and emit no wave events).
+  int net_threads = 1;
+
   /// When set, the router narrates every modification decision (weak
   /// probes, victim repairs, rip-ups) to this stream. Diagnostic aid; no
   /// effect on routing. For machine-readable observability use the typed
@@ -78,6 +96,12 @@ struct RouteStats {
   int weak_attempts = 0;        ///< weak probes (successful or not)
   int strong_ripups = 0;        ///< victim nets ripped and re-queued
   long long expansions = 0;     ///< maze-search node pops (work measure)
+  // Net-parallel wave engine (zero on the serial fallback drain). All
+  // three are pure functions of routing decisions — identical at any
+  // net_threads value.
+  int waves = 0;               ///< waves formed across run() and improve()
+  int spec_commits = 0;        ///< speculations committed as recorded
+  int spec_invalidations = 0;  ///< speculations discarded at commit time
   /// Wall-clock split by phase (observability only; never feeds back into
   /// decisions). wall_ms is always run_ms + improve_ms — the phases are
   /// reported distinctly and the total accumulates, it is never
@@ -136,6 +160,7 @@ class IncrementalRouter {
   /// when null.
   explicit IncrementalRouter(const Problem& problem, RouterOptions options = {},
                              SearchArena* arena = nullptr);
+  ~IncrementalRouter();
 
   /// Routes every multi-pin net. Call once.
   RouteOutcome run();
@@ -191,11 +216,52 @@ class IncrementalRouter {
   /// records/emits the exhaustion exactly once).
   bool budget_spent();
 
+  // -- net-parallel wave engine (DESIGN.md §2.1e) ---------------------------
+
+  /// One recorded speculative search: the result plus the effort numbers
+  /// the trace/stats replay charges at commit.
+  struct SpecSearch;
+  /// One net's speculation: the stage-1 clean search per connection (in
+  /// connection order), optionally the first weak probe after a clean
+  /// failure, and the union of every search's read footprint.
+  struct SpecNet;
+  struct WaveWorker;  ///< per-worker arena + maze router for speculation
+
+  /// Resolved net_threads (0 -> hardware concurrency, floor 1).
+  int wave_width() const;
+  /// Lazily builds the wave pool and per-worker search contexts.
+  void ensure_wave_state();
+  /// Independence estimate for wave formation: pins + pre-wire (+ current
+  /// wire during improve()) bounding box, inflated by one cell.
+  Rect wave_box(NetId id, bool for_improve) const;
+  /// Pops the maximal prefix of `work` (capped at a constant, so formation
+  /// is independent of net_threads) whose wave_box()es are pairwise
+  /// disjoint. Always pops at least one net.
+  std::vector<NetId> form_wave(std::deque<NetId>& work, bool for_improve) const;
+  /// Runs one net's speculative searches on a worker context. Read-only on
+  /// all shared state (grid, pins, history) — safe to run concurrently for
+  /// every net of a wave.
+  void speculate_net(SpecNet& spec, WaveWorker& w, bool with_probe) const;
+  /// Replays a recorded search as if it ran here: charges the expansion
+  /// counter and emits the kSearchQuery event with the recorded numbers.
+  SearchResult replay_search(NetId net, const SpecSearch& s);
+  /// Commits a speculated wave in net order: validates each speculation's
+  /// read footprint against the dirty boxes of the earlier commits, then
+  /// invokes `body` with the speculation (valid) or nullptr (invalidated —
+  /// the body re-routes serially).
+  void commit_wave(std::vector<SpecNet>& specs,
+                   const std::function<void(NetId, const SpecNet*)>& body);
+
   /// Routes one pin-to-tree connection, escalating through the stages.
-  /// On strong modification, victims are appended to *requeue.
+  /// On strong modification, victims are appended to *requeue. When a
+  /// validated speculation covers this connection, `spec_clean` (stage-1
+  /// result) and `spec_probe` (first weak probe, only recorded after a
+  /// clean failure) replay instead of searching live.
   bool route_connection(NetId id, const std::vector<GridPoint>& sources,
                         const std::vector<GridPoint>& targets,
-                        std::vector<NetId>* requeue);
+                        std::vector<NetId>* requeue,
+                        const SpecSearch* spec_clean = nullptr,
+                        const SpecSearch* spec_probe = nullptr);
 
   /// Applies a pushing path: severs crossed foreign nodes, lays the new
   /// wire, then repairs every victim. Atomic (journal rollback on failure).
@@ -228,6 +294,14 @@ class IncrementalRouter {
   /// Per-planar-cell conflict surcharge fed into push probes.
   std::vector<int> history_;
 
+  // Net-parallel wave engine state (built lazily by ensure_wave_state).
+  std::unique_ptr<WavePool> wave_pool_;
+  std::vector<std::unique_ptr<WaveWorker>> wave_workers_;
+  /// Cells whose history_ surcharge changed during the current wave commit
+  /// (bump_history unions into it; commit_wave resets it per net). Spec
+  /// probes read history_, so these count as dirty for validation.
+  Rect history_dirty_{{0, 0}, {-1, -1}};
+
   // Observability state. The registry is the single home of every effort
   // counter (RouteStats is a snapshot of it); the bound references keep the
   // hot paths at one add per tick.
@@ -242,6 +316,10 @@ class IncrementalRouter {
       metrics_.counter("weak_modifications");
   obs::Counter& c_strong_ripups_ = metrics_.counter("strong_ripups");
   obs::Counter& c_expansions_ = metrics_.counter("expansions");
+  obs::Counter& c_waves_ = metrics_.counter("waves");
+  obs::Counter& c_spec_commits_ = metrics_.counter("spec_commits");
+  obs::Counter& c_spec_invalidations_ =
+      metrics_.counter("spec_invalidations");
   obs::Timer& t_run_ = metrics_.timer("run_ms");
   obs::Timer& t_improve_ = metrics_.timer("improve_ms");
   obs::Trace trace_;

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gridroute {
+
+/// A small persistent worker pool for the net-parallel wave engine
+/// (DESIGN.md §2.1e). The multi-start pool in core/api.cpp spawns one
+/// thread per run because attempts are minutes-scale; waves are
+/// milliseconds-scale and fire hundreds of times per run, so here the
+/// threads outlive the rounds: they park on a condition variable between
+/// waves and are woken by a generation bump.
+///
+/// The pool itself imposes no ordering — callers that need determinism
+/// (the wave commit protocol does) must make worker output independent of
+/// which worker ran which job and of completion order. The engine stores
+/// each job's result in a per-job slot and consumes them in job order.
+class WavePool {
+ public:
+  /// Spawns `helpers` parked threads; the calling thread participates in
+  /// every round as worker 0, so total parallelism is helpers + 1.
+  explicit WavePool(int helpers) {
+    threads_.reserve(static_cast<std::size_t>(helpers > 0 ? helpers : 0));
+    for (int t = 0; t < helpers; ++t)
+      threads_.emplace_back([this, t] { worker_loop(t + 1); });
+  }
+
+  WavePool(const WavePool&) = delete;
+  WavePool& operator=(const WavePool&) = delete;
+
+  ~WavePool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  int helpers() const { return static_cast<int>(threads_.size()); }
+
+  /// Runs fn(worker, job) for every job in [0, jobs), distributed over the
+  /// helpers plus the calling thread (worker ids 0..helpers()). Jobs are
+  /// claimed from a shared counter, so assignment is nondeterministic —
+  /// see the class comment. Blocks until every job finished; rethrows the
+  /// first exception a job raised (remaining jobs still drain).
+  void run(int jobs, const std::function<void(int worker, int job)>& fn) {
+    if (jobs <= 0) return;
+    if (threads_.empty() || jobs == 1) {
+      for (int i = 0; i < jobs; ++i) fn(0, i);
+      return;
+    }
+    fn_ = &fn;
+    jobs_ = jobs;
+    next_.store(0, std::memory_order_relaxed);
+    active_.store(static_cast<int>(threads_.size()));
+    error_ = nullptr;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++generation_;
+    }
+    wake_cv_.notify_all();
+    drain(0);
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return active_.load() == 0; });
+    fn_ = nullptr;
+    if (error_ != nullptr) std::rethrow_exception(error_);
+  }
+
+ private:
+  void worker_loop(int worker) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+      }
+      drain(worker);
+      // Lock-then-notify: run()'s waiter is either still before its
+      // predicate check (and will read active_ == 0) or already parked in
+      // done_cv_ (and gets this notify). No lost wakeup either way.
+      if (active_.fetch_sub(1) == 1) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  void drain(int worker) {
+    for (;;) {
+      const int idx = next_.fetch_add(1);
+      if (idx >= jobs_) return;
+      try {
+        (*fn_)(worker, idx);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (!error_) error_ = std::current_exception();
+      }
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  const std::function<void(int, int)>* fn_ = nullptr;
+  int jobs_ = 0;
+  std::atomic<int> next_{0};
+  std::atomic<int> active_{0};
+  std::exception_ptr error_;
+};
+
+}  // namespace gridroute

@@ -104,6 +104,20 @@ class RoutingGrid {
   /// Drops undo history (state keeps). Call at stable points to bound memory.
   void commit() { journal_.clear(); }
 
+  /// Planar bounding box of every cell mutated since the mark (invalid Rect
+  /// when nothing changed). Rollbacks shrink the journal, so mutations that
+  /// were undone — state restored — correctly drop out of the box. The
+  /// net-parallel commit protocol intersects this with each speculation's
+  /// read footprint to decide whether the speculation still holds.
+  Rect dirty_since(Mark m) const {
+    Rect box{{0, 0}, {-1, -1}};
+    for (std::size_t i = m; i < journal_.size(); ++i) {
+      const Rect cell{journal_[i].node.pos, journal_[i].node.pos};
+      box = box.valid() ? box.bounding_union(cell) : cell;
+    }
+    return box;
+  }
+
  private:
   bool in_bounds(Point p) const { return region_.bounds().contains(p); }
   std::size_t cell_index(Point p) const {

@@ -60,6 +60,13 @@ constexpr Point kPlanarSteps[4] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
 /// Weighted search states per node: 0 = start/after-via, 1..4 = E,W,N,S.
 constexpr std::size_t kDirs = 5;
 
+/// Unions a planar position into a (possibly still invalid) footprint box.
+void grow_touched(Rect* box, Point p) {
+  if (box == nullptr) return;
+  const Rect cell{p, p};
+  *box = box->valid() ? box->bounding_union(cell) : cell;
+}
+
 bool node_usable(const RoutingGrid& grid, const PinBlocks& pins, GridPoint g,
                  const SearchRequest& req) {
   if (!grid.region().routable(g)) return false;
@@ -95,6 +102,7 @@ struct LeeProvider {
   template <typename Emit>
   void expand(std::uint32_t state, std::int64_t g, Emit&& emit) const {
     const GridPoint cur = codec.decode(state);
+    grow_touched(req.touched, cur.pos);
     for (const Point d : kPlanarSteps) {
       const GridPoint nxt{cur.pos + d, cur.layer};
       if (node_usable(grid, pins, nxt, req))
@@ -152,6 +160,7 @@ struct WeightedProvider {
     const std::size_t ni = state / kDirs;
     const int dir = static_cast<int>(state % kDirs);
     const GridPoint cur = codec.decode(ni);
+    grow_touched(req.touched, cur.pos);
 
     // Planar steps. Direction ids: 1=E, 2=W, 3=N, 4=S.
     for (int d = 0; d < 4; ++d) {
@@ -211,6 +220,12 @@ SearchResult LeeRouter::route(const SearchRequest& request) {
   plain.allow_push = false;
   const LeeProvider provider{grid_, pins_, plain, codec};
 
+  // Sources and targets are probed (owner lookups) even when never expanded.
+  for (const GridPoint& s : request.sources)
+    grow_touched(request.touched, s.pos);
+  for (const GridPoint& t : request.targets)
+    grow_touched(request.touched, t.pos);
+
   for (const GridPoint& t : request.targets)
     if (node_usable(grid_, pins_, t, plain))
       arena.mark_target(static_cast<std::uint32_t>(codec.encode(t)));
@@ -260,6 +275,12 @@ SearchResult WeightedMazeRouter::route(const SearchRequest& request) {
         static_cast<std::int64_t>(arena.state_count())));
   last_expansions_ = 0;
   SearchResult result;
+
+  // Sources and targets are probed (owner lookups) even when never expanded.
+  for (const GridPoint& s : request.sources)
+    grow_touched(request.touched, s.pos);
+  for (const GridPoint& t : request.targets)
+    grow_touched(request.touched, t.pos);
 
   for (const GridPoint& t : request.targets)
     if (node_usable(grid_, pins_, t, request))

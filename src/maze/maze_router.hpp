@@ -39,6 +39,13 @@ struct SearchRequest {
   /// wall deadline is hit. The routers charge the gauge with each query's
   /// expansions after it returns. Null = unbounded.
   obs::BudgetGauge* budget = nullptr;
+  /// Optional read-footprint accumulator. When set, the search unions into
+  /// it the planar position of every source, target, and expanded node.
+  /// Every grid cell the query's outcome depends on (owner/via lookups
+  /// happen only on expanded nodes and their 4-neighbours) lies within this
+  /// box inflated by one cell — the conflict test the net-parallel commit
+  /// protocol relies on (DESIGN.md §2.1e).
+  Rect* touched = nullptr;
 };
 
 struct SearchResult {

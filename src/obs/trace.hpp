@@ -15,6 +15,7 @@ namespace gridroute::obs {
 ///   search kernel      kSearchQuery, kEpochWrap
 ///   multi-start        kAttemptScheduled, kAttemptCancelled, kAttemptWon
 ///   budget             kBudgetExhausted
+///   net-parallel       kWaveFormed, kSpecCommitted, kSpecInvalidated
 ///
 /// Payload conventions per kind are documented on TraceEvent. Events carry
 /// no timestamps by design: a trace is a pure function of the routing
@@ -40,6 +41,14 @@ enum class EventKind : std::uint8_t {
   kAttemptWon,        ///< attempt: winning index; ok: winner complete
   kBudgetExhausted,   ///< value: expansions spent; ok: wall-clock (vs
                       ///< expansion) budget tripped
+  kWaveFormed,        ///< value: nets in the wave; extra: nets still queued
+                      ///< behind it; ok: wave was speculated (size > 1)
+  kSpecCommitted,     ///< net: id; value: searches replayed from speculation;
+                      ///< ok: speculation covered the whole net (no serial
+                      ///< escalation was needed at commit)
+  kSpecInvalidated,   ///< net: id; value: searches discarded (net re-routed
+                      ///< serially at commit because an earlier commit in the
+                      ///< wave dirtied its read footprint)
 };
 
 /// Stable lower_snake names for export (JSONL, counters, tables).
@@ -59,13 +68,16 @@ inline const char* event_name(EventKind kind) {
     case EventKind::kAttemptCancelled: return "attempt_cancelled";
     case EventKind::kAttemptWon: return "attempt_won";
     case EventKind::kBudgetExhausted: return "budget_exhausted";
+    case EventKind::kWaveFormed: return "wave_formed";
+    case EventKind::kSpecCommitted: return "spec_committed";
+    case EventKind::kSpecInvalidated: return "spec_invalidated";
   }
   return "unknown";
 }
 
 /// Number of distinct EventKind values (CountingSink's table size).
 inline constexpr std::size_t kEventKindCount =
-    static_cast<std::size_t>(EventKind::kBudgetExhausted) + 1;
+    static_cast<std::size_t>(EventKind::kSpecInvalidated) + 1;
 
 /// One structured trace record. Only the fields a kind documents are
 /// meaningful; the rest stay at their defaults. The per-kind factories
@@ -154,6 +166,26 @@ struct TraceEvent {
     TraceEvent e = of(EventKind::kBudgetExhausted, -1);
     e.value = spent;
     e.ok = wall;
+    return e;
+  }
+  static TraceEvent wave_formed(std::int64_t nets_in_wave,
+                                std::int64_t nets_behind, bool speculated) {
+    TraceEvent e = of(EventKind::kWaveFormed, -1);
+    e.value = nets_in_wave;
+    e.extra = nets_behind;
+    e.ok = speculated;
+    return e;
+  }
+  static TraceEvent spec_committed(int net, std::int64_t replayed,
+                                   bool complete) {
+    TraceEvent e = of(EventKind::kSpecCommitted, net);
+    e.value = replayed;
+    e.ok = complete;
+    return e;
+  }
+  static TraceEvent spec_invalidated(int net, std::int64_t discarded) {
+    TraceEvent e = of(EventKind::kSpecInvalidated, net);
+    e.value = discarded;
     return e;
   }
 

@@ -96,6 +96,64 @@ TEST(Improve, IdempotentAtFixpoint) {
   EXPECT_EQ(router.improve(1), 0);
 }
 
+TEST(Improve, RipupBudgetResetsBetweenPhases) {
+  // Regression: ripup_count_ used to persist across phases, so a net
+  // ripped up to max_ripups_per_net in one phase stayed frozen forever —
+  // later phases (improve(), incremental route_net() edits) could never
+  // move it again even though the strong-modification budget is meant to
+  // bound churn *within* a phase, not across the router's lifetime.
+  //
+  // Geometry (9x3, M2 blocked along the trunk row, both layers blocked at
+  // (4,0)/(4,2) so every left-right path crosses the (4,1) portal):
+  //
+  //   M1:  . . b . X . c . .      a: (0,1)-(8,1), the forced trunk
+  //        a a a a a a a a a      b: (2,0)-(2,2)   crosses it left
+  //        . . b . X . c . .      c: (6,0)-(6,2)   crosses it right
+  //
+  // b's crossing rips a once (spending a's whole budget of 1); a's
+  // re-route detours around b on M2 but must re-occupy the right-half
+  // trunk cells (5..7,1) to reach the portal-side pin. c then needs to
+  // rip a once more to cross — within the same phase that correctly
+  // fails (a is frozen), but after a phase boundary the budget is fresh
+  // and c must succeed, with a detouring around c on M2 row 0.
+  Problem p{Region(9, 3)};
+  p.region().add_obstacle({{0, 1}, {8, 1}}, Layer::kMetal2);
+  for (const Layer l : {Layer::kMetal1, Layer::kMetal2}) {
+    p.region().add_obstacle({{4, 0}, {4, 0}}, l);
+    p.region().add_obstacle({{4, 2}, {4, 2}}, l);
+  }
+  const NetId a = p.add_net("a");
+  p.net(a).pins = {{{0, 1}, Layer::kMetal1, false},
+                   {{8, 1}, Layer::kMetal1, false}};
+  const NetId b = p.add_net("b");
+  p.net(b).pins = {{{2, 0}, Layer::kMetal1, false},
+                   {{2, 2}, Layer::kMetal1, false}};
+  const NetId c = p.add_net("c");
+  p.net(c).pins = {{{6, 0}, Layer::kMetal1, false},
+                   {{6, 2}, Layer::kMetal1, false}};
+
+  RouterOptions opts;
+  opts.enable_weak = false;  // every crossing is a strong rip-up
+  opts.max_ripups_per_net = 1;
+  IncrementalRouter router(p, opts);
+
+  // Phase 1: a takes the trunk, b rips it once (budget now spent), and c
+  // correctly fails — the per-phase budget binds within the phase.
+  ASSERT_TRUE(router.route_net(a));
+  ASSERT_TRUE(router.route_net(b));
+  EXPECT_EQ(router.stats().strong_ripups, 1);
+  EXPECT_FALSE(router.route_net(c));
+
+  // Phase boundary: improve() starts a fresh strong-modification budget.
+  router.improve(1);
+
+  // Phase 2: the same edit now succeeds by ripping a once more. Before
+  // the fix the stale count kept a frozen and c stayed unroutable here.
+  EXPECT_TRUE(router.route_net(c));
+  EXPECT_EQ(router.stats().strong_ripups, 2);
+  EXPECT_TRUE(verify(p, router.grid()).all_ok());
+}
+
 TEST(Improve, MultiplePassesConverge) {
   const Problem p = suite::burstein_class_switchbox(77).to_problem();
   IncrementalRouter router(p);

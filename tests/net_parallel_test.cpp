@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench_suite/suite.hpp"
+#include "core/api.hpp"
+#include "io/solution_format.hpp"
+#include "obs/trace.hpp"
+
+namespace gridroute {
+namespace {
+
+/// Differential fuzz for the net-parallel wave engine (DESIGN.md §2.1e).
+///
+/// The engine's contract is strong: for every instance and every
+/// net_threads value the routed layout, the failed-net list, every
+/// decision counter, and the full trace are bit-identical — and, with the
+/// wave/speculation events filtered out, identical to the historical
+/// serial drain (still reachable by installing a budget gauge, which
+/// forces the program-order accounting path). These tests sweep a few
+/// hundred seeded instances across every generator family and assert
+/// exactly that.
+///
+/// GRIDROUTE_NETPAR_INSTANCES scales the total instance count (default
+/// 200); the sanitizer re-runs in scripts/tier1.sh set it low so TSan's
+/// ~20x slowdown stays inside the timeout while still crossing every
+/// code path.
+
+class VectorSink : public obs::TraceSink {
+ public:
+  void on_event(const obs::TraceEvent& event) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(event);
+  }
+
+  std::vector<obs::TraceEvent> events() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<obs::TraceEvent> events_;
+};
+
+int instance_budget() {
+  if (const char* env = std::getenv("GRIDROUTE_NETPAR_INSTANCES")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 200;
+}
+
+bool is_wave_event(const obs::TraceEvent& e) {
+  return e.kind == obs::EventKind::kWaveFormed ||
+         e.kind == obs::EventKind::kSpecCommitted ||
+         e.kind == obs::EventKind::kSpecInvalidated;
+}
+
+std::vector<obs::TraceEvent> strip_wave_events(
+    const std::vector<obs::TraceEvent>& trace) {
+  std::vector<obs::TraceEvent> out;
+  out.reserve(trace.size());
+  for (const obs::TraceEvent& e : trace)
+    if (!is_wave_event(e)) out.push_back(e);
+  return out;
+}
+
+struct Artifacts {
+  std::string layout;  ///< canonical solution text: full owner + via maps
+  std::vector<NetId> failed;
+  RouteStats stats;
+  std::vector<obs::TraceEvent> trace;
+};
+
+Artifacts route_instance(const Problem& p, int net_threads,
+                         bool legacy_serial_drain) {
+  VectorSink sink;
+  RouteRequest request;
+  request.problem = &p;
+  request.options.net_threads = net_threads;
+  request.improve_passes = 1;
+  request.trace = &sink;
+  // A gauge (any finite budget) forces the historical serial drain; a
+  // ceiling this large never binds, so the reference run makes exactly
+  // the decisions the pre-wave-engine router made.
+  if (legacy_serial_drain)
+    request.budget.max_expansions = std::numeric_limits<long long>::max() / 2;
+  const RouteResult result = route(request);
+  EXPECT_FALSE(result.budget_exhausted);
+  return {solution_to_string(p, result.grid), result.failed, result.stats,
+          sink.events()};
+}
+
+/// Every decision-derived stat; wall-clock fields are excluded.
+void expect_same_decisions(const RouteStats& got, const RouteStats& want,
+                           bool include_wave_counters) {
+  EXPECT_EQ(got.nets_attempted, want.nets_attempted);
+  EXPECT_EQ(got.nets_routed, want.nets_routed);
+  EXPECT_EQ(got.connections_attempted, want.connections_attempted);
+  EXPECT_EQ(got.connections_routed, want.connections_routed);
+  EXPECT_EQ(got.weak_modifications, want.weak_modifications);
+  EXPECT_EQ(got.weak_attempts, want.weak_attempts);
+  EXPECT_EQ(got.strong_ripups, want.strong_ripups);
+  EXPECT_EQ(got.expansions, want.expansions);
+  if (include_wave_counters) {
+    EXPECT_EQ(got.waves, want.waves);
+    EXPECT_EQ(got.spec_commits, want.spec_commits);
+    EXPECT_EQ(got.spec_invalidations, want.spec_invalidations);
+  }
+}
+
+/// The core oracle: wave engine at several thread counts vs itself and vs
+/// the legacy serial drain.
+void differential_check(const Problem& p, const std::string& label) {
+  SCOPED_TRACE(label);
+  const Artifacts serial = route_instance(p, /*net_threads=*/1, false);
+  EXPECT_GT(serial.stats.waves, 0);  // the wave engine ran, even 1-wide
+
+  for (const int threads : {0, 4, 8}) {  // 0 = hardware concurrency
+    SCOPED_TRACE("net_threads=" + std::to_string(threads));
+    const Artifacts par = route_instance(p, threads, false);
+    EXPECT_EQ(par.layout, serial.layout);
+    EXPECT_EQ(par.failed, serial.failed);
+    expect_same_decisions(par.stats, serial.stats,
+                          /*include_wave_counters=*/true);
+    EXPECT_EQ(par.trace, serial.trace);
+  }
+
+  SCOPED_TRACE("legacy serial drain");
+  const Artifacts legacy = route_instance(p, /*net_threads=*/4, true);
+  EXPECT_EQ(legacy.layout, serial.layout);
+  EXPECT_EQ(legacy.failed, serial.failed);
+  expect_same_decisions(legacy.stats, serial.stats,
+                        /*include_wave_counters=*/false);
+  EXPECT_EQ(legacy.stats.waves, 0);
+  EXPECT_EQ(legacy.stats.spec_commits, 0);
+  EXPECT_EQ(legacy.stats.spec_invalidations, 0);
+  // The wave engine adds wave/speculation events but replays everything
+  // else verbatim: filtered, the traces must match event for event.
+  EXPECT_EQ(legacy.trace, strip_wave_events(serial.trace));
+}
+
+TEST(NetParallelDifferential, RandomSwitchboxes) {
+  // The bulk of the sweep: uniformly random instances spanning sizes that
+  // produce everything from all-singleton waves to wide disjoint ones.
+  const int count = std::max(1, instance_budget() * 6 / 10);
+  for (int i = 0; i < count; ++i) {
+    const std::uint64_t seed = 1000 + static_cast<std::uint64_t>(i);
+    const int width = 14 + (i * 5) % 23;
+    const int height = 10 + (i * 3) % 17;
+    const int nets = 8 + (i * 7) % 25;
+    const Problem p =
+        suite::random_switchbox(seed, width, height, nets).to_problem();
+    differential_check(p, "random_switchbox seed=" + std::to_string(seed) +
+                              " " + std::to_string(width) + "x" +
+                              std::to_string(height) + " nets=" +
+                              std::to_string(nets));
+  }
+}
+
+TEST(NetParallelDifferential, OverfilledSwitchboxes) {
+  // Unroutable instances: failed-net lists, weak probes, and strong
+  // escalation all fire, and speculation frequently records failures that
+  // must replay into identical serial escalation.
+  const int count = std::max(1, instance_budget() * 2 / 10);
+  for (int i = 0; i < count; ++i) {
+    const std::uint64_t seed = 500 + static_cast<std::uint64_t>(i);
+    const int width = 12 + (i % 4) * 6;
+    const int height = 10 + (i % 3) * 5;
+    const int nets = 16 + (i % 5) * 8;
+    const Problem p =
+        suite::overfilled_switchbox(seed, width, height, nets).to_problem();
+    differential_check(p, "overfilled_switchbox seed=" + std::to_string(seed));
+  }
+}
+
+TEST(NetParallelDifferential, StructuredFamilies) {
+  // Burstein-class switchboxes, Deutsch-class channels, and macro-cell
+  // regions: structured pin patterns with prewires and obstacles.
+  const int count = std::max(1, instance_budget() * 2 / 10);
+  for (int i = 0; i < count; ++i) {
+    const std::uint64_t seed = 42 + static_cast<std::uint64_t>(i);
+    switch (i % 3) {
+      case 0: {
+        const Problem p = suite::burstein_class_switchbox(seed).to_problem();
+        differential_check(p, "burstein seed=" + std::to_string(seed));
+        break;
+      }
+      case 1: {
+        const int tracks = 5 + (i % 3);
+        const Problem p = suite::deutsch_class_channel(seed, 40, tracks)
+                              .to_problem(tracks + 2);
+        differential_check(p, "deutsch seed=" + std::to_string(seed));
+        break;
+      }
+      default: {
+        const Problem p = suite::macrocell_region(seed);
+        differential_check(p, "macrocell seed=" + std::to_string(seed));
+        break;
+      }
+    }
+  }
+}
+
+TEST(NetParallelStress, WideWavesUnderContention) {
+  // One deliberately large instance routed at high thread counts several
+  // times over — the TSan target: long-lived pool threads, wide waves,
+  // frequent invalidations. Correctness is still exact equality.
+  const Problem p = suite::random_switchbox(7, 48, 40, 64).to_problem();
+  const Artifacts serial = route_instance(p, 1, false);
+  EXPECT_GT(serial.stats.spec_commits, 0);
+  for (int round = 0; round < 3; ++round) {
+    const Artifacts par = route_instance(p, 8, false);
+    EXPECT_EQ(par.layout, serial.layout);
+    EXPECT_EQ(par.failed, serial.failed);
+    expect_same_decisions(par.stats, serial.stats, true);
+    EXPECT_EQ(par.trace, serial.trace);
+  }
+}
+
+}  // namespace
+}  // namespace gridroute

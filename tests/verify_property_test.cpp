@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_suite/suite.hpp"
+#include "core/incremental_router.hpp"
+#include "io/solution_format.hpp"
+#include "verify/verify.hpp"
+
+namespace gridroute {
+namespace {
+
+/// Property tests for the verifier and the solution parser acting as a
+/// unit: take a layout the router completed (and that verifies clean),
+/// corrupt it in a class-specific way, and require that *some* independent
+/// check rejects it — parse_solution() throws, or verify() reports a
+/// violation / an incomplete net. The verifier shares no code with the
+/// router, so these are the checks that would catch a router (or wave
+/// engine replay) bug that slipped past the differential tests.
+
+struct RoutedInstance {
+  Problem problem;
+  RoutingGrid grid;
+  std::string text;  ///< canonical solution serialization
+};
+
+/// First fully-routable, clean-verifying instance at or after `seed` —
+/// the corruption properties only make sense against an all_ok baseline.
+RoutedInstance routed_switchbox(std::uint64_t seed) {
+  for (std::uint64_t s = seed; s < seed + 50; ++s) {
+    Problem p = suite::random_switchbox(s, 18, 14, 8, /*max_pins_per_net=*/3,
+                                        /*fill=*/0.4)
+                    .to_problem();
+    IncrementalRouter router(p);
+    if (!router.run().complete()) continue;
+    if (!verify(p, router.grid()).all_ok()) continue;
+    std::string text = solution_to_string(p, router.grid());
+    return {std::move(p), router.grid(), std::move(text)};
+  }
+  ADD_FAILURE() << "no routable instance within 50 seeds of " << seed;
+  return {Problem{Region(2, 2)}, RoutingGrid(Region(2, 2), 0), ""};
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// True when the corrupted text is rejected by the parser or flagged by
+/// the verifier. `materially_changed` reports whether the mutation
+/// actually altered the layout (some seg drops are redundant: junction
+/// cells covered by a crossing run survive the drop).
+bool corruption_caught(const RoutedInstance& inst, const std::string& mutant,
+                       bool* materially_changed) {
+  *materially_changed = true;
+  try {
+    const RoutingGrid grid = parse_solution_string(mutant, inst.problem);
+    if (solution_to_string(inst.problem, grid) == inst.text) {
+      *materially_changed = false;
+      return false;
+    }
+    return !verify(inst.problem, grid).all_ok();
+  } catch (const std::runtime_error&) {
+    return true;
+  }
+}
+
+TEST(VerifyProperty, DroppedSegLinesLeaveOpensThatAreCaught) {
+  for (const std::uint64_t seed : {11u, 12u, 13u, 14u}) {
+    const RoutedInstance inst = routed_switchbox(seed);
+    const std::vector<std::string> lines = split_lines(inst.text);
+    int material = 0;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (!starts_with(lines[i], "seg ")) continue;
+      std::vector<std::string> mutated = lines;
+      mutated.erase(mutated.begin() + static_cast<std::ptrdiff_t>(i));
+      bool changed = false;
+      const bool caught =
+          corruption_caught(inst, join_lines(mutated), &changed);
+      if (!changed) continue;  // redundant run; layout identical
+      ++material;
+      EXPECT_TRUE(caught) << "seed " << seed << ": silently accepted drop of '"
+                          << lines[i] << "'";
+    }
+    EXPECT_GT(material, 0) << "seed " << seed;
+  }
+}
+
+TEST(VerifyProperty, SegLinesReassignedToAnotherNetAreCaught) {
+  // Moving a seg line under a different net header creates a short: either
+  // the thief's wire collides with the victim's remaining cells (parser
+  // conflict), or the victim loses coverage / the thief buries a pin
+  // (verifier). Nothing may pass.
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    const RoutedInstance inst = routed_switchbox(seed);
+    const std::vector<std::string> lines = split_lines(inst.text);
+    std::vector<std::size_t> headers;
+    for (std::size_t i = 0; i < lines.size(); ++i)
+      if (starts_with(lines[i], "net ")) headers.push_back(i);
+    ASSERT_GE(headers.size(), 2u);
+    int material = 0;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (!starts_with(lines[i], "seg ")) continue;
+      // Owner block = last header before the seg; thief = any other block.
+      std::size_t owner = headers[0];
+      for (const std::size_t h : headers)
+        if (h < i) owner = h;
+      const std::size_t thief = owner == headers[0] ? headers[1] : headers[0];
+      std::vector<std::string> mutated = lines;
+      const std::string seg = mutated[i];
+      mutated.erase(mutated.begin() + static_cast<std::ptrdiff_t>(i));
+      const std::size_t insert_at = thief < i ? thief + 1 : thief;
+      mutated.insert(mutated.begin() + static_cast<std::ptrdiff_t>(insert_at),
+                     seg);
+      bool changed = false;
+      const bool caught =
+          corruption_caught(inst, join_lines(mutated), &changed);
+      if (!changed) continue;
+      ++material;
+      EXPECT_TRUE(caught) << "seed " << seed << ": silently accepted theft of '"
+                          << seg << "'";
+    }
+    EXPECT_GT(material, 0) << "seed " << seed;
+  }
+}
+
+TEST(VerifyProperty, CorruptedViaCoordinatesAreCaught) {
+  // Shifting a via off its anchor either lands it where the net does not
+  // own both layers (parser: "not anchored") or removes the original
+  // layer-to-layer connection (verifier: net splits in two).
+  int vias_seen = 0;
+  for (const std::uint64_t seed : {11u, 12u, 13u, 14u, 15u}) {
+    const RoutedInstance inst = routed_switchbox(seed);
+    const std::vector<std::string> lines = split_lines(inst.text);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (!starts_with(lines[i], "via ")) continue;
+      ++vias_seen;
+      int x = 0;
+      int y = 0;
+      std::istringstream in(lines[i].substr(4));
+      ASSERT_TRUE(static_cast<bool>(in >> x >> y));
+      std::vector<std::string> mutated = lines;
+      mutated[i] = "via " + std::to_string(x + 1) + " " + std::to_string(y);
+      bool changed = false;
+      const bool caught =
+          corruption_caught(inst, join_lines(mutated), &changed);
+      if (!changed) continue;
+      EXPECT_TRUE(caught) << "seed " << seed << ": silently accepted shift of '"
+                          << lines[i] << "'";
+    }
+  }
+  EXPECT_GT(vias_seen, 0);
+}
+
+TEST(VerifyProperty, OffGridViaIsRejectedByTheParser) {
+  const RoutedInstance inst = routed_switchbox(11);
+  std::vector<std::string> lines = split_lines(inst.text);
+  // Append an out-of-bounds via to the last net block.
+  lines.push_back("via 99 99");
+  EXPECT_THROW(parse_solution_string(join_lines(lines), inst.problem),
+               std::runtime_error);
+}
+
+TEST(VerifyProperty, ReleasedPinNodesFailPinCoverage) {
+  // Direct grid corruption, no parser involved: releasing the wire under
+  // any pin must flip that net's pins_covered (and with it all_ok).
+  for (const std::uint64_t seed : {11u, 12u}) {
+    RoutedInstance inst = routed_switchbox(seed);
+    for (NetId id = 0; id < inst.problem.net_count(); ++id) {
+      const Net& net = inst.problem.net(id);
+      if (net.pins.size() < 2) continue;
+      RoutingGrid grid = inst.grid;  // fresh copy per corruption
+      // any_layer pins may be covered on either layer (or, at a via, on
+      // both) — strip every node of the net at the pin cell.
+      int released = 0;
+      for (const Layer layer : {Layer::kMetal1, Layer::kMetal2}) {
+        const GridPoint node{net.pins[0].pos, layer};
+        if (grid.owner(node) == id && grid.release(node)) ++released;
+      }
+      ASSERT_GT(released, 0);
+      const VerifyReport report = verify(inst.problem, grid);
+      EXPECT_FALSE(report.all_ok());
+      EXPECT_FALSE(report.nets[static_cast<std::size_t>(id)].pins_covered);
+    }
+  }
+}
+
+TEST(VerifyProperty, ForeignWireOnAPinIsABuriedPinViolation) {
+  Problem p{Region(6, 4)};
+  const NetId a = p.add_net("a");
+  p.net(a).pins = {{{0, 1}, Layer::kMetal1, false},
+                   {{5, 1}, Layer::kMetal1, false}};
+  const NetId b = p.add_net("b");
+  p.net(b).pins = {{{0, 2}, Layer::kMetal1, false},
+                   {{5, 2}, Layer::kMetal1, false}};
+  RoutingGrid grid(p.region(), p.net_count());
+  // b parks wire directly on a's pin while a is still unrouted.
+  ASSERT_TRUE(grid.occupy({{0, 1}, Layer::kMetal1}, b));
+  const VerifyReport report = verify(p, grid);
+  EXPECT_FALSE(report.drc_clean());
+  bool buried = false;
+  for (const std::string& v : report.violations)
+    if (v.find("buries") != std::string::npos) buried = true;
+  EXPECT_TRUE(buried) << "no buried-pin violation reported";
+}
+
+}  // namespace
+}  // namespace gridroute
