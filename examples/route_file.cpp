@@ -150,11 +150,16 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // The file path becomes the errors' SourceContext, so a parse failure
+    // prints "path: line N, column M: what".
+    const std::string& src = options.path;
     const std::string kind = first_keyword(text);
-    if (kind == "region") return route_and_report(parse_problem_string(text), options);
-    if (kind == "channel") return route_channel_file(parse_channel_string(text), options);
+    if (kind == "region")
+      return route_and_report(parse_problem_string(text, src), options);
+    if (kind == "channel")
+      return route_channel_file(parse_channel_string(text, src), options);
     if (kind == "switchbox")
-      return route_and_report(parse_switchbox_string(text).to_problem(),
+      return route_and_report(parse_switchbox_string(text, src).to_problem(),
                               options);
     std::cerr << "unrecognized input (expected region/channel/switchbox)\n";
     return 2;

@@ -2,15 +2,20 @@
 # Tier-1 verification: full build + test suite, then the multi-start
 # concurrency tests, the observability tests (golden trace, budget,
 # routing-API surface — sinks take events from every worker), and the
-# net-parallel wave-engine differential fuzz again under ThreadSanitizer
-# (GRIDROUTE_SANITIZE=thread), and the search-kernel differential tests
-# plus the wave-engine fuzz under UndefinedBehaviorSanitizer
-# (GRIDROUTE_SANITIZE=undefined).
+# net-parallel wave-engine differential fuzz plus the fault-injection
+# degradation fuzz again under ThreadSanitizer (GRIDROUTE_SANITIZE=thread);
+# the search-kernel differential tests, the malformed-input parser corpus,
+# and both fuzzes under UndefinedBehaviorSanitizer
+# (GRIDROUTE_SANITIZE=undefined); and the parser corpus + fault fuzz under
+# AddressSanitizer (GRIDROUTE_SANITIZE=address) — hostile inputs and
+# injected faults exercise exactly the rollback/cleanup paths where a
+# dangling journal reference or leaked wave state would hide.
 #
 #   scripts/tier1.sh                  # everything
 #   GRIDROUTE_SKIP_TSAN=1 scripts/tier1.sh   # skip the TSan re-run
 #                                     (e.g. toolchains without libtsan)
 #   GRIDROUTE_SKIP_UBSAN=1 scripts/tier1.sh  # skip the UBSan re-run
+#   GRIDROUTE_SKIP_ASAN=1 scripts/tier1.sh   # skip the ASan re-run
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,20 +26,37 @@ cmake --build build -j
 if [ "${GRIDROUTE_SKIP_TSAN:-0}" != "1" ]; then
   cmake -B build-tsan -S . -DGRIDROUTE_SANITIZE=thread
   cmake --build build-tsan -j --target parallel_test multistart_test \
-    obs_test api_test net_parallel_test
+    obs_test api_test net_parallel_test fault_injection_test
   ./build-tsan/tests/parallel_test
   ./build-tsan/tests/multistart_test
   ./build-tsan/tests/obs_test
   ./build-tsan/tests/api_test
-  # The wave-engine differential fuzz, shrunk: TSan is ~20x slower and the
-  # race surface (speculation reads vs commit writes) is per-wave, so a
-  # couple dozen instances cross it thousands of times.
+  # The differential fuzzes, shrunk: TSan is ~20x slower, and both race
+  # surfaces (speculation reads vs commit writes; injected-fault unwinds
+  # vs pool joins) are per-wave/per-schedule, so a couple dozen instances
+  # cross them thousands of times.
   GRIDROUTE_NETPAR_INSTANCES=20 ./build-tsan/tests/net_parallel_test
+  GRIDROUTE_FAULT_INSTANCES=40 ./build-tsan/tests/fault_injection_test
 fi
 
 if [ "${GRIDROUTE_SKIP_UBSAN:-0}" != "1" ]; then
   cmake -B build-ubsan -S . -DGRIDROUTE_SANITIZE=undefined
-  cmake --build build-ubsan -j --target search_test net_parallel_test
+  cmake --build build-ubsan -j --target search_test net_parallel_test \
+    status_test parser_corpus_test fault_injection_test
   ./build-ubsan/tests/search_test
+  ./build-ubsan/tests/status_test
+  ./build-ubsan/tests/parser_corpus_test
   GRIDROUTE_NETPAR_INSTANCES=20 ./build-ubsan/tests/net_parallel_test
+  GRIDROUTE_FAULT_INSTANCES=40 ./build-ubsan/tests/fault_injection_test
+fi
+
+if [ "${GRIDROUTE_SKIP_ASAN:-0}" != "1" ]; then
+  cmake -B build-asan -S . -DGRIDROUTE_SANITIZE=address
+  cmake --build build-asan -j --target io_test solution_format_test \
+    status_test parser_corpus_test fault_injection_test
+  ./build-asan/tests/io_test
+  ./build-asan/tests/solution_format_test
+  ./build-asan/tests/status_test
+  ./build-asan/tests/parser_corpus_test
+  GRIDROUTE_FAULT_INSTANCES=40 ./build-asan/tests/fault_injection_test
 fi

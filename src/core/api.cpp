@@ -5,10 +5,13 @@
 #include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 
+#include "fault/fault.hpp"
 #include "util/rng.hpp"
+#include "verify/verify.hpp"
 
 namespace gridroute {
 
@@ -34,25 +37,54 @@ RouterOptions attempt_options(const RouterOptions& base, int attempt) {
 /// both phases and multi-start scores the cleaned-up layout.
 RouteResult run_attempt(const Problem& problem, const RouterOptions& options,
                         int improve_passes, obs::TraceSink* sink, int attempt,
-                        obs::BudgetGauge* gauge, SearchArena* arena) {
+                        obs::BudgetGauge* gauge, SearchArena* arena,
+                        fault::Injector* faults) {
   IncrementalRouter router(problem, options, arena);
   router.set_trace(sink, attempt);
   router.set_budget(gauge);
-  RouteOutcome outcome = router.run();
+  router.set_faults(faults);
 
-  int improved = 0;
-  if (improve_passes > 0 && !router.budget_exhausted())
-    improved = router.improve(improve_passes);
-  return RouteResult{std::move(router.grid()),
-                     router.stats(),  // includes improve()'s phase time
-                     std::move(outcome.failed),
-                     router.metrics().snapshot(),
-                     /*attempts=*/{},
-                     /*winning_attempt=*/0,
-                     /*winning_seed=*/0,
-                     /*total_expansions=*/0,
-                     improved,
-                     router.budget_exhausted()};
+  RouteResult result;
+  bool aborted = false;
+  std::string abort_detail;
+  try {
+    if (faults != nullptr) faults->maybe_throw(fault::Site::kAttemptStart);
+    RouteOutcome outcome = router.run();
+    result.failed = std::move(outcome.failed);
+    if (improve_passes > 0 && !router.budget_exhausted())
+      result.improved = router.improve(improve_passes);
+  } catch (const fault::InjectedFault& f) {
+    // Salvage: drop any half-applied journal back to the last committed
+    // stable point (run() commits at net boundaries and on exit, so what
+    // remains is a verifier-clean partial layout), then report every net
+    // the salvage left unrouted.
+    router.grid().rollback(0);
+    router.grid().commit();
+    obs::Trace(sink, attempt)
+        .emit(obs::TraceEvent::fault_injected(
+            kNoNet, static_cast<std::int64_t>(f.site()), f.arrival()));
+    aborted = true;
+    abort_detail = std::string(f.what()) + "; attempt salvaged";
+    result.failed.clear();
+    for (NetId id = 0; id < problem.net_count(); ++id)
+      if (problem.net(id).pins.size() >= 2 && !problem.net(id).fixed &&
+          !net_routed_ok(problem, router.grid(), id))
+        result.failed.push_back(id);
+  }
+  result.stats = router.stats();  // includes improve()'s phase time
+  result.metrics = router.metrics().snapshot();
+  result.budget_exhausted = router.budget_exhausted();
+  result.degradation = router.degradations();
+  if (aborted) {
+    obs::Trace(sink, attempt)
+        .emit(obs::TraceEvent::degraded(
+            kNoNet,
+            static_cast<std::int64_t>(Degradation::Kind::kAttemptAborted)));
+    result.degradation.push_back({Degradation::Kind::kAttemptAborted, attempt,
+                                  kNoNet, std::move(abort_detail)});
+  }
+  result.grid = std::move(router.grid());
+  return result;
 }
 
 AttemptReport report_of(int index, std::uint64_t seed, const RouteResult* r) {
@@ -76,7 +108,43 @@ RouteResult route(const RouteRequest& request) {
     throw std::invalid_argument("RouteRequest::problem must be set");
   const Problem& problem = *request.problem;
   const RouterOptions& options = request.options;
-  obs::TraceSink* sink = request.trace;
+
+  // Mandatory admission gate (DESIGN.md §2.1f): an invalid problem is never
+  // routed. The result degrades instead of throwing — status carries the
+  // first issue, degradation the full list, and the grid is an honest
+  // empty layout (no pre-wire either: the pre-wire may be exactly what is
+  // invalid).
+  {
+    const std::vector<Status> issues = problem.validate_status();
+    if (!issues.empty()) {
+      RouteResult result;
+      result.status = issues.front();
+      result.grid = RoutingGrid(problem.region(), problem.net_count());
+      for (NetId id = 0; id < problem.net_count(); ++id)
+        if (problem.net(id).pins.size() >= 2 && !problem.net(id).fixed)
+          result.failed.push_back(id);
+      result.degradation.reserve(issues.size());
+      for (const Status& s : issues)
+        result.degradation.push_back(
+            {Degradation::Kind::kValidation, 0, kNoNet, s.message()});
+      result.attempts.push_back(report_of(0, options.shuffle_seed, nullptr));
+      return result;
+    }
+  }
+
+  // The caller's sink rides behind a failsafe: a sink that throws (or an
+  // injected kSinkEmit fault) disables tracing for the rest of the run
+  // instead of aborting it — routing outlives its observability.
+  fault::FailsafeSink failsafe(request.trace, request.faults);
+  obs::TraceSink* sink = request.trace != nullptr ? &failsafe : nullptr;
+  auto note_sink_trip = [&](RouteResult& result) {
+    if (!failsafe.disabled()) return;
+    result.degradation.push_back(
+        {Degradation::Kind::kSinkDisabled, 0, kNoNet,
+         "trace sink threw and was disabled; " +
+             std::to_string(failsafe.dropped()) + " event(s) dropped"});
+  };
+
   const bool budgeted = !request.budget.unlimited();
   // The wall deadline starts here and is shared by every attempt; forks
   // restart only the expansion count.
@@ -87,11 +155,13 @@ RouteResult route(const RouteRequest& request) {
     obs::BudgetGauge gauge = base_gauge.fork();
     RouteResult result =
         run_attempt(problem, options, request.improve_passes, sink, 0,
-                    budgeted ? &gauge : nullptr, request.arena);
+                    budgeted ? &gauge : nullptr, request.arena,
+                    request.faults);
     result.winning_attempt = 0;
     result.winning_seed = options.shuffle_seed;
     result.total_expansions = result.stats.expansions;
     result.attempts.push_back(report_of(0, options.shuffle_seed, &result));
+    note_sink_trip(result);
     return result;
   }
 
@@ -134,7 +204,7 @@ RouteResult route(const RouteRequest& request) {
         RouteResult attempt =
             run_attempt(problem, attempt_options(options, idx),
                         request.improve_passes, sink, idx,
-                        budgeted ? &gauge : nullptr, &arena);
+                        budgeted ? &gauge : nullptr, &arena, request.faults);
         if (attempt.complete()) {
           int seen = first_complete.load();
           while (idx < seen &&
@@ -159,6 +229,12 @@ RouteResult route(const RouteRequest& request) {
     for (int t = 0; t < workers; ++t) pool.emplace_back(worker);
     for (std::thread& t : pool) t.join();
   }
+  // Join-path audit: the rethrow sits strictly after every thread joined
+  // (a failing worker first drains the queue via the first_complete
+  // watermark so its siblings exit promptly), so an escaping exception
+  // can never leave a detached attempt mutating `results`. Injected
+  // faults never reach here — run_attempt salvages them into a degraded
+  // per-attempt result — so this path is for genuinely unexpected errors.
   if (error) std::rethrow_exception(error);
 
   // Deterministic reduction — an ascending scan identical to the historical
@@ -187,6 +263,9 @@ RouteResult route(const RouteRequest& request) {
   best.total_expansions = 0;
   best.attempts.clear();
   best.attempts.reserve(static_cast<std::size_t>(total));
+  // Degradations are reported for the whole call, not just the winner, in
+  // ascending attempt order (each entry carries its attempt index).
+  std::vector<Degradation> degradation;
   for (int idx = 0; idx < total; ++idx) {
     const RouteResult* r = nullptr;
     if (idx == winner)
@@ -198,9 +277,13 @@ RouteResult route(const RouteRequest& request) {
     if (r != nullptr) {
       best.total_expansions += r->stats.expansions;
       best.budget_exhausted |= r->budget_exhausted;
+      degradation.insert(degradation.end(), r->degradation.begin(),
+                         r->degradation.end());
     }
   }
+  best.degradation = std::move(degradation);
   obs::Trace(sink, winner).emit(obs::TraceEvent::attempt_won(best.complete()));
+  note_sink_trip(best);
   return best;
 }
 

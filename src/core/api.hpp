@@ -49,6 +49,16 @@ struct RouteRequest {
   int improve_passes = 0;  ///< clean-up passes after each attempt's run
   /// Optional lent search scratch (plain runs only; see IncrementalRouter).
   SearchArena* arena = nullptr;
+  /// Optional deterministic fault injector (src/fault): named sites across
+  /// the routing stack probe it, and when the armed site+arrival is reached
+  /// the run degrades gracefully — rolled-back net, serial wave fallback,
+  /// salvaged attempt — instead of failing (RouteResult::degradation lists
+  /// what happened). Null = off; probing an unarmed injector is one relaxed
+  /// counter bump, so zero-fault runs stay bit-identical to faults == null.
+  /// The injector is shared across multi-start attempts (arrival
+  /// interleaving across workers is then timing-dependent; use
+  /// extra_attempts = 0 for exactly reproducible fault placement).
+  fault::Injector* faults = nullptr;
 };
 
 /// Everything a routing job produced. Replaces the RoutedDesign +
@@ -75,6 +85,18 @@ struct RouteResult {
   /// the routed subset still verifies.
   bool budget_exhausted = false;
 
+  /// Admission status. Not ok only when the mandatory
+  /// Problem::validate_status() gate rejected the request (first issue,
+  /// ErrorCode::kValidation): the problem was never routed, `grid` carries
+  /// no wire, `failed` lists every routable net, and `degradation` holds one
+  /// kValidation entry per issue (DESIGN.md §2.1f).
+  Status status;
+  /// Everything that made this result less than the full-fidelity run, in
+  /// the order observed: validation rejections, injected faults, forced
+  /// budget exhaustion, serial wave fallbacks, salvaged attempts, a tripped
+  /// trace sink. Empty on an undegraded run.
+  std::vector<Degradation> degradation;
+
   bool complete() const { return failed.empty(); }
   /// Legacy view (RouteOutcome) of this result.
   RouteOutcome outcome() const { return {stats, failed}; }
@@ -82,7 +104,9 @@ struct RouteResult {
 
 /// Routes a RouteRequest: the one entry point behind which the plain,
 /// multi-start, and channel call shapes all sit. Throws
-/// std::invalid_argument when request.problem is null.
+/// std::invalid_argument when request.problem is null; every other failure
+/// mode degrades the result instead of throwing — see RouteResult::status
+/// and RouteResult::degradation.
 RouteResult route(const RouteRequest& request);
 
 }  // namespace gridroute

@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "core/wave_pool.hpp"
+#include "fault/fault.hpp"
 #include "util/disjoint_set.hpp"
 #include "util/rng.hpp"
 #include "verify/verify.hpp"
@@ -102,14 +103,45 @@ RouteStats IncrementalRouter::stats() const {
 }
 
 SearchResult IncrementalRouter::search(SearchRequest& req) {
+  // Injection point for a throwing search/cost provider: the surrounding
+  // net-level transaction absorbs the exception and fails only that net.
+  if (faults_ != nullptr) faults_->maybe_throw(fault::Site::kSearchQuery);
   req.budget = gauge_;
   SearchResult res = search_.route(req);
   c_expansions_.add(search_.last_expansions());
   return res;
 }
 
+void IncrementalRouter::note_fault(const fault::InjectedFault& f, NetId net,
+                                   Degradation::Kind kind,
+                                   std::string detail) {
+  trace_.emit(obs::TraceEvent::fault_injected(
+      net, static_cast<std::int64_t>(f.site()), f.arrival()));
+  note_degradation(kind, net, std::move(detail));
+}
+
+void IncrementalRouter::note_degradation(Degradation::Kind kind, NetId net,
+                                         std::string detail) {
+  trace_.emit(
+      obs::TraceEvent::degraded(net, static_cast<std::int64_t>(kind)));
+  degradations_.push_back(
+      {kind, trace_.attempt(), net, std::move(detail)});
+}
+
 bool IncrementalRouter::budget_spent() {
   if (budget_exhausted_) return true;
+  // Forced exhaustion (operator kill switch / zero headroom): stop exactly
+  // like a genuinely spent budget — between nets, grid committed, failed
+  // list intact — even when no gauge is installed.
+  if (faults_ != nullptr && faults_->fire(fault::Site::kBudgetForce)) {
+    budget_exhausted_ = true;
+    trace_.emit(obs::TraceEvent::fault_injected(
+        -1, static_cast<std::int64_t>(fault::Site::kBudgetForce),
+        faults_->arrival()));
+    note_degradation(Degradation::Kind::kBudget, kNoNet,
+                     "budget exhaustion forced by fault injection");
+    return true;
+  }
   if (gauge_ == nullptr || !gauge_->exhausted()) return false;
   budget_exhausted_ = true;
   trace_.emit(obs::TraceEvent::budget_exhausted(gauge_->spent(),
@@ -128,13 +160,31 @@ int IncrementalRouter::wave_width() const {
   return std::min<int>(n, static_cast<int>(kMaxWave));
 }
 
-void IncrementalRouter::ensure_wave_state() {
-  const int width = wave_width();
-  if (wave_pool_ == nullptr)
-    wave_pool_ = std::make_unique<WavePool>(width - 1);
-  while (static_cast<int>(wave_workers_.size()) < width)
-    wave_workers_.push_back(
-        std::make_unique<WaveWorker>(grid_, pins_, options_.costs));
+bool IncrementalRouter::ensure_wave_state() {
+  if (wave_disabled_) return false;
+  try {
+    if (faults_ != nullptr) faults_->maybe_throw(fault::Site::kArenaAlloc);
+    const int width = wave_width();
+    if (wave_pool_ == nullptr)
+      wave_pool_ = std::make_unique<WavePool>(width - 1);
+    while (static_cast<int>(wave_workers_.size()) < width)
+      wave_workers_.push_back(
+          std::make_unique<WaveWorker>(grid_, pins_, options_.costs));
+    return true;
+  } catch (const fault::InjectedFault& f) {
+    wave_disabled_ = true;
+    note_fault(f, kNoNet, Degradation::Kind::kWaveDisabled,
+               std::string("wave state allocation failed (") + f.what() +
+                   "); serial drain");
+    return false;
+  } catch (const std::bad_alloc&) {
+    // Real per-worker arena/pool allocation failure: the serial drain needs
+    // no new memory, so degrade instead of dying.
+    wave_disabled_ = true;
+    note_degradation(Degradation::Kind::kWaveDisabled,
+                     kNoNet, "wave state allocation failed; serial drain");
+    return false;
+  }
 }
 
 Rect IncrementalRouter::wave_box(NetId id, bool for_improve) const {
@@ -182,6 +232,10 @@ std::vector<NetId> IncrementalRouter::form_wave(std::deque<NetId>& work,
 
 void IncrementalRouter::speculate_net(SpecNet& spec, WaveWorker& w,
                                       bool with_probe) const {
+  // Injection point for a throwing wave worker. WavePool::run captures the
+  // exception, finishes the remaining jobs, joins the round, and rethrows
+  // on the calling thread — where the drain falls back to serial routing.
+  if (faults_ != nullptr) faults_->maybe_throw(fault::Site::kWaveSpeculate);
   const NetId id = spec.id;
   const std::vector<Pin> pins = ordered_pins(id);
   // The commit rips the net down to its permanent pre-wire before routing,
@@ -635,36 +689,50 @@ bool IncrementalRouter::route_net(NetId id) {
   while (!work.empty() && !budget_spent()) {
     const NetId cur = work.front();
     work.pop_front();
-    c_nets_attempted_.add();
-    trace_.emit(obs::TraceEvent::net_start(cur));
-    rip_routable_wire(cur);
+    // One net = one transaction: a throwing search mid-net unwinds here
+    // and only this net fails (DESIGN.md §2.1f).
+    GridTransaction txn(grid_);
+    try {
+      c_nets_attempted_.add();
+      trace_.emit(obs::TraceEvent::net_start(cur));
+      rip_routable_wire(cur);
 
-    const std::vector<Pin> pins = ordered_pins(cur);
-    bool net_ok = true;
-    int conns_done = 0;
-    for (std::size_t i = 1; i < pins.size(); ++i) {
-      c_connections_attempted_.add();
-      std::vector<GridPoint> sources = pin_nodes(pins[i]);
-      std::vector<GridPoint> targets;
-      if (i == 1) {
-        targets = pin_nodes(pins[0]);
-      } else {
-        targets = grid_.net_nodes(cur);
+      const std::vector<Pin> pins = ordered_pins(cur);
+      bool net_ok = true;
+      int conns_done = 0;
+      for (std::size_t i = 1; i < pins.size(); ++i) {
+        c_connections_attempted_.add();
+        std::vector<GridPoint> sources = pin_nodes(pins[i]);
+        std::vector<GridPoint> targets;
+        if (i == 1) {
+          targets = pin_nodes(pins[0]);
+        } else {
+          targets = grid_.net_nodes(cur);
+        }
+        requeue.clear();
+        if (!route_connection(cur, sources, targets, &requeue)) {
+          net_ok = false;
+          break;
+        }
+        ++conns_done;
+        c_connections_routed_.add();
+        for (const NetId v : requeue) work.push_back(v);
       }
-      requeue.clear();
-      if (!route_connection(cur, sources, targets, &requeue)) {
-        net_ok = false;
-        break;
+      if (net_ok && faults_ != nullptr)
+        faults_->maybe_throw(fault::Site::kNetCommit);
+      if (!net_ok) {
+        rip_routable_wire(cur);  // leave only the permanent pre-wire behind
+        if (cur == id) ok = false;
       }
-      ++conns_done;
-      c_connections_routed_.add();
-      for (const NetId v : requeue) work.push_back(v);
-    }
-    if (!net_ok) {
-      rip_routable_wire(cur);  // leave only the permanent pre-wire behind
+      trace_.emit(obs::TraceEvent::net_done(net_ok, cur, conns_done));
+      txn.keep();
+    } catch (const fault::InjectedFault& f) {
+      txn.rollback();
       if (cur == id) ok = false;
+      note_fault(f, cur, Degradation::Kind::kFault,
+                 std::string(f.what()) + "; net left as before");
+      trace_.emit(obs::TraceEvent::net_done(false, cur, 0));
     }
-    trace_.emit(obs::TraceEvent::net_done(net_ok, cur, conns_done));
     grid_.commit();
   }
   return ok;
@@ -677,8 +745,8 @@ int IncrementalRouter::improve(int passes) {
   // Phase boundary: a fresh strong-modification budget (see run()).
   std::fill(ripup_count_.begin(), ripup_count_.end(), 0);
   int improved = 0;
-  const bool wave_engine = gauge_ == nullptr && options_.log == nullptr;
-  if (wave_engine) ensure_wave_state();
+  const bool wave_engine =
+      gauge_ == nullptr && options_.log == nullptr && ensure_wave_state();
 
   // One net's re-route attempt. Re-checks eligibility (identical to the
   // serial loop's checks; unaffected by other nets' improves, so the wave
@@ -693,35 +761,50 @@ int IncrementalRouter::improve(int passes) {
              grid_.via_count(id) * options_.costs.via;
     };
     const int old_cost = wire_cost();
-    const RoutingGrid::Mark mark = grid_.mark();
-    rip_routable_wire(id);
+    // Transactional: a rejected re-route rolls back explicitly, a throwing
+    // search unwinds to the same checkpoint — the net keeps its old wire
+    // either way.
+    GridTransaction txn(grid_);
+    try {
+      rip_routable_wire(id);
 
-    // Plain re-route only: clean-up must not disturb other nets.
-    const std::vector<Pin> pins = ordered_pins(id);
-    bool ok = true;
-    for (std::size_t i = 1; i < pins.size() && ok; ++i) {
-      SearchRequest req;
-      req.net = id;
-      req.sources = pin_nodes(pins[i]);
-      req.targets = i == 1 ? pin_nodes(pins[0]) : grid_.net_nodes(id);
-      const SearchResult res = spec != nullptr && i - 1 < spec->clean.size()
-                                   ? replay_search(id, spec->clean[i - 1])
-                                   : search(req);
-      if (!res.found) {
-        ok = false;
-        break;
+      // Plain re-route only: clean-up must not disturb other nets.
+      const std::vector<Pin> pins = ordered_pins(id);
+      bool ok = true;
+      for (std::size_t i = 1; i < pins.size() && ok; ++i) {
+        SearchRequest req;
+        req.net = id;
+        req.sources = pin_nodes(pins[i]);
+        req.targets = i == 1 ? pin_nodes(pins[0]) : grid_.net_nodes(id);
+        const SearchResult res = spec != nullptr && i - 1 < spec->clean.size()
+                                     ? replay_search(id, spec->clean[i - 1])
+                                     : search(req);
+        if (!res.found) {
+          ok = false;
+          break;
+        }
+        const bool applied = grid_.apply_path(res.path, id);
+        assert(applied);
+        (void)applied;
       }
-      const bool applied = grid_.apply_path(res.path, id);
-      assert(applied);
-      (void)applied;
-    }
-    if (!ok || !net_routed_ok(problem_, grid_, id) || wire_cost() >= old_cost) {
-      grid_.rollback(mark);
+      if (ok && faults_ != nullptr)
+        faults_->maybe_throw(fault::Site::kNetCommit);
+      if (!ok || !net_routed_ok(problem_, grid_, id) ||
+          wire_cost() >= old_cost) {
+        txn.rollback();
+        trace_.emit(obs::TraceEvent::improve_reject(id, old_cost));
+        return false;
+      }
+      txn.keep();
+      trace_.emit(obs::TraceEvent::improve_accept(id, old_cost, wire_cost()));
+      return true;
+    } catch (const fault::InjectedFault& f) {
+      txn.rollback();
+      note_fault(f, id, Degradation::Kind::kFault,
+                 std::string(f.what()) + "; improve abandoned, old wire kept");
       trace_.emit(obs::TraceEvent::improve_reject(id, old_cost));
       return false;
     }
-    trace_.emit(obs::TraceEvent::improve_accept(id, old_cost, wire_cost()));
-    return true;
   };
 
   for (int pass = 0; pass < passes && !budget_exhausted_; ++pass) {
@@ -762,17 +845,31 @@ int IncrementalRouter::improve(int passes) {
         for (std::size_t j = 0; j < wave.size(); ++j) specs[j].id = wave[j];
         // Rejected improves roll back to the mark, so their dirty box is
         // empty and they never invalidate later speculations in the wave.
-        wave_pool_->run(static_cast<int>(wave.size()), [&](int worker, int j) {
-          speculate_net(specs[static_cast<std::size_t>(j)],
-                        *wave_workers_[static_cast<std::size_t>(worker)],
-                        /*with_probe=*/false);
-        });
-        commit_wave(specs, [&](NetId id, const SpecNet* s) {
+        bool speculated = true;
+        try {
+          wave_pool_->run(static_cast<int>(wave.size()),
+                          [&](int worker, int j) {
+                            speculate_net(
+                                specs[static_cast<std::size_t>(j)],
+                                *wave_workers_[static_cast<std::size_t>(worker)],
+                                /*with_probe=*/false);
+                          });
+        } catch (const fault::InjectedFault& f) {
+          speculated = false;
+          note_fault(f, kNoNet, Degradation::Kind::kWaveDisabled,
+                     std::string(f.what()) + "; wave improved serially");
+        }
+        auto commit_one = [&](NetId id, const SpecNet* s) {
           if (improve_one(id, s)) {
             ++improved;
             any = true;
           }
-        });
+        };
+        if (speculated) {
+          commit_wave(specs, commit_one);
+        } else {
+          for (const NetId id : wave) commit_one(id, nullptr);
+        }
       }
     }
     grid_.commit();
@@ -825,50 +922,71 @@ RouteOutcome IncrementalRouter::run() {
   auto route_one = [&](NetId id, const SpecNet* spec, std::deque<NetId>& work) {
     c_nets_attempted_.add();
     trace_.emit(obs::TraceEvent::net_start(id));
-    rip_routable_wire(id);
-    routed.erase(id);
+    // Transactional net commit: a throw anywhere in the body (cost provider,
+    // injected fault, allocation) unwinds the rip and every partial path, so
+    // the net is left exactly as it was before this attempt. The rollback
+    // target is >= best_mark (the journal only grows between checkpoints),
+    // so the best-state checkpoint is never disturbed.
+    GridTransaction txn(grid_);
+    try {
+      rip_routable_wire(id);
+      routed.erase(id);
 
-    const std::vector<Pin> pins = ordered_pins(id);
-    bool net_ok = true;
-    int conns_done = 0;
-    std::vector<NetId> requeue;
-    for (std::size_t i = 1; i < pins.size(); ++i) {
-      c_connections_attempted_.add();
-      std::vector<GridPoint> sources = pin_nodes(pins[i]);
-      std::vector<GridPoint> targets =
-          i == 1 ? pin_nodes(pins[0]) : grid_.net_nodes(id);
-      const SpecSearch* spec_clean = nullptr;
-      const SpecSearch* spec_probe = nullptr;
-      if (spec != nullptr && i - 1 < spec->clean.size()) {
-        spec_clean = &spec->clean[i - 1];
-        if (!spec_clean->result.found && spec->probe.has_value())
-          spec_probe = &*spec->probe;
+      const std::vector<Pin> pins = ordered_pins(id);
+      bool net_ok = true;
+      int conns_done = 0;
+      std::vector<NetId> requeue;
+      for (std::size_t i = 1; i < pins.size(); ++i) {
+        c_connections_attempted_.add();
+        std::vector<GridPoint> sources = pin_nodes(pins[i]);
+        std::vector<GridPoint> targets =
+            i == 1 ? pin_nodes(pins[0]) : grid_.net_nodes(id);
+        const SpecSearch* spec_clean = nullptr;
+        const SpecSearch* spec_probe = nullptr;
+        if (spec != nullptr && i - 1 < spec->clean.size()) {
+          spec_clean = &spec->clean[i - 1];
+          if (!spec_clean->result.found && spec->probe.has_value())
+            spec_probe = &*spec->probe;
+        }
+        requeue.clear();
+        if (!route_connection(id, sources, targets, &requeue, spec_clean,
+                              spec_probe)) {
+          net_ok = false;
+          break;
+        }
+        ++conns_done;
+        c_connections_routed_.add();
+        for (const NetId v : requeue) {
+          work.push_back(v);
+          failed.erase(v);
+          routed.erase(v);  // its wire is gone until re-routed
+        }
       }
-      requeue.clear();
-      if (!route_connection(id, sources, targets, &requeue, spec_clean,
-                            spec_probe)) {
-        net_ok = false;
-        break;
+      if (net_ok && faults_ != nullptr)
+        faults_->maybe_throw(fault::Site::kNetCommit);
+      if (net_ok) {
+        failed.erase(id);
+        routed.insert(id);
+      } else {
+        rip_routable_wire(id);  // leave only the permanent pre-wire behind
+        failed.insert(id);
       }
-      ++conns_done;
-      c_connections_routed_.add();
-      for (const NetId v : requeue) {
-        work.push_back(v);
-        failed.erase(v);
-        routed.erase(v);  // its wire is gone until re-routed
+      txn.keep();
+      trace_.emit(obs::TraceEvent::net_done(net_ok, id, conns_done));
+      if (routed.size() > best_routed) {
+        best_routed = routed.size();
+        best_mark = grid_.mark();
       }
-    }
-    if (net_ok) {
-      failed.erase(id);
-      routed.insert(id);
-    } else {
-      rip_routable_wire(id);  // leave only the permanent pre-wire behind
+    } catch (const fault::InjectedFault& f) {
+      txn.rollback();
+      // The rollback may have restored this net's (or a victim's) old wire;
+      // the bookkeeping here is conservative and the final failed list is
+      // recomputed from the grid at the end of run(), so it self-corrects.
+      routed.erase(id);
       failed.insert(id);
-    }
-    trace_.emit(obs::TraceEvent::net_done(net_ok, id, conns_done));
-    if (routed.size() > best_routed) {
-      best_routed = routed.size();
-      best_mark = grid_.mark();
+      note_fault(f, id, Degradation::Kind::kFault,
+                 std::string(f.what()) + "; net left as before the attempt");
+      trace_.emit(obs::TraceEvent::net_done(false, id, 0));
     }
   };
 
@@ -877,8 +995,8 @@ RouteOutcome IncrementalRouter::run() {
   // the wave engine would reorder that accounting. Everything else drains
   // in waves — including net_threads == 1, so traces and stats are one
   // function of the options, not of the thread count.
-  const bool wave_engine = gauge_ == nullptr && options_.log == nullptr;
-  if (wave_engine) ensure_wave_state();
+  const bool wave_engine =
+      gauge_ == nullptr && options_.log == nullptr && ensure_wave_state();
 
   // Budget checks sit at net boundaries (plus the search-loop checkpoints
   // inside the kernel): an exhausted budget stops the drain between nets,
@@ -902,13 +1020,30 @@ RouteOutcome IncrementalRouter::run() {
       }
       std::vector<SpecNet> specs(wave.size());
       for (std::size_t j = 0; j < wave.size(); ++j) specs[j].id = wave[j];
-      wave_pool_->run(static_cast<int>(wave.size()), [&](int worker, int j) {
-        speculate_net(specs[static_cast<std::size_t>(j)],
-                      *wave_workers_[static_cast<std::size_t>(worker)],
-                      /*with_probe=*/true);
-      });
-      commit_wave(specs,
-                  [&](NetId id, const SpecNet* s) { route_one(id, s, work); });
+      bool speculated = true;
+      try {
+        // WavePool drains every job and joins the full wave before
+        // rethrowing the first captured exception, so no worker is still
+        // touching specs/grid state when control reaches the catch.
+        wave_pool_->run(static_cast<int>(wave.size()), [&](int worker, int j) {
+          speculate_net(specs[static_cast<std::size_t>(j)],
+                        *wave_workers_[static_cast<std::size_t>(worker)],
+                        /*with_probe=*/true);
+        });
+      } catch (const fault::InjectedFault& f) {
+        speculated = false;
+        note_fault(f, kNoNet, Degradation::Kind::kWaveDisabled,
+                   std::string(f.what()) + "; wave routed serially");
+      }
+      if (speculated) {
+        commit_wave(specs, [&](NetId id, const SpecNet* s) {
+          route_one(id, s, work);
+        });
+      } else {
+        // Speculation is an optimization only: routing the wave serially
+        // (no replay) produces the identical committed state.
+        for (const NetId id : wave) route_one(id, nullptr, work);
+      }
     }
   };
 

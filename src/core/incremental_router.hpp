@@ -19,6 +19,43 @@ namespace gridroute {
 
 class WavePool;  // core/wave_pool.hpp — the net-parallel worker pool
 
+namespace fault {
+class Injector;       // fault/fault.hpp — deterministic fault injection
+class InjectedFault;  // the exception an armed injection site throws
+}  // namespace fault
+
+/// One graceful-degradation diagnostic: the router hit a failure it could
+/// absorb (injected or real) and fell back instead of crashing. Collected
+/// on RouteResult::degradation; an empty list means the run was entirely
+/// nominal. Every entry was also emitted as a kDegraded trace event (when a
+/// sink was installed and itself alive).
+struct Degradation {
+  enum class Kind : std::uint8_t {
+    kValidation,     ///< invalid problem refused by the route() gate
+    kBudget,         ///< budget (or forced exhaustion) stopped the run early
+    kFault,          ///< a fault mid-net was absorbed; the net is failed
+    kSinkDisabled,   ///< the trace sink threw; tracing stopped, run went on
+    kWaveDisabled,   ///< wave engine unavailable/failed; serial fallback
+    kAttemptAborted, ///< a multi-start attempt died; partial result salvaged
+  };
+  Kind kind = Kind::kFault;
+  int attempt = 0;     ///< multi-start attempt the fallback happened in
+  NetId net = kNoNet;  ///< affected net, kNoNet when run-wide
+  std::string detail;  ///< human-readable cause
+};
+
+inline const char* degradation_kind_name(Degradation::Kind kind) {
+  switch (kind) {
+    case Degradation::Kind::kValidation: return "validation";
+    case Degradation::Kind::kBudget: return "budget";
+    case Degradation::Kind::kFault: return "fault";
+    case Degradation::Kind::kSinkDisabled: return "sink_disabled";
+    case Degradation::Kind::kWaveDisabled: return "wave_disabled";
+    case Degradation::Kind::kAttemptAborted: return "attempt_aborted";
+  }
+  return "unknown";
+}
+
 /// Knobs of the incremental router. The defaults are the configuration the
 /// benchmark tables report as "full router"; the ablation benches toggle
 /// the modification stages.
@@ -193,6 +230,19 @@ class IncrementalRouter {
   /// True once a budget check tripped during run()/improve().
   bool budget_exhausted() const { return budget_exhausted_; }
 
+  /// Installs a fault injector (non-owning; see fault/fault.hpp). Named
+  /// sites across the router — the search kernel, wave speculation, net
+  /// commit, budget checks — consult it; a fired site degrades the run (the
+  /// affected net fails, the wave engine falls back to the serial drain, or
+  /// the run stops as if budget-exhausted) but never crashes, deadlocks, or
+  /// leaves the grid journal inconsistent. Null (the default) removes every
+  /// check down to a pointer test.
+  void set_faults(fault::Injector* faults) { faults_ = faults; }
+  /// Fallbacks taken during run()/improve(), in the order they happened.
+  const std::vector<Degradation>& degradations() const {
+    return degradations_;
+  }
+
   const RoutingGrid& grid() const { return grid_; }
   RoutingGrid& grid() { return grid_; }
   /// Snapshot view over the metrics registry (see RouteStats).
@@ -229,8 +279,10 @@ class IncrementalRouter {
 
   /// Resolved net_threads (0 -> hardware concurrency, floor 1).
   int wave_width() const;
-  /// Lazily builds the wave pool and per-worker search contexts.
-  void ensure_wave_state();
+  /// Lazily builds the wave pool and per-worker search contexts. False when
+  /// the state cannot be built (allocation failure, injected kArenaAlloc):
+  /// the run degrades to the serial drain for its whole lifetime.
+  bool ensure_wave_state();
   /// Independence estimate for wave formation: pins + pre-wire (+ current
   /// wire during improve()) bounding box, inflated by one cell.
   Rect wave_box(NetId id, bool for_improve) const;
@@ -279,6 +331,14 @@ class IncrementalRouter {
   /// Charges a conflicted planar cell in the PathFinder-style history map.
   void bump_history(Point p);
 
+  /// Records an absorbed fault: emits kFaultInjected + kDegraded trace
+  /// events and appends the Degradation diagnostic.
+  void note_fault(const fault::InjectedFault& f, NetId net,
+                  Degradation::Kind kind, std::string detail);
+  /// Records a non-exception fallback (forced budget, wave disable).
+  void note_degradation(Degradation::Kind kind, NetId net,
+                        std::string detail);
+
   /// Lays the net's pre-wire onto the grid (throws std::invalid_argument on
   /// conflicts — validate() reports the same problems non-fatally).
   void apply_prewire(NetId id);
@@ -325,6 +385,14 @@ class IncrementalRouter {
   obs::Trace trace_;
   obs::BudgetGauge* gauge_ = nullptr;
   bool budget_exhausted_ = false;
+
+  // Fault-injection + graceful-degradation state (DESIGN.md §2.1f).
+  fault::Injector* faults_ = nullptr;
+  std::vector<Degradation> degradations_;
+  /// Set when wave state failed to build; the serial drain is used for the
+  /// rest of this router's lifetime (cleared never — the allocation already
+  /// failed once).
+  bool wave_disabled_ = false;
 };
 
 /// Convenience one-shot: route `problem` and return the outcome plus grid.

@@ -51,6 +51,17 @@ class WavePool {
   /// claimed from a shared counter, so assignment is nondeterministic —
   /// see the class comment. Blocks until every job finished; rethrows the
   /// first exception a job raised (remaining jobs still drain).
+  ///
+  /// Exception-safety contract (audited; regression:
+  /// tests/fault_injection_test.cpp, WavePoolExceptions.*): a throwing job
+  /// never stops the drain — drain() captures the first exception under
+  /// the mutex and the shared counter keeps handing out the remaining
+  /// jobs — and the rethrow happens only after the full barrier (every
+  /// helper parked, active_ == 0), so when the caller's catch runs no
+  /// worker is still executing fn or touching the caller's state. The
+  /// pool stays usable for subsequent rounds. This is what lets the wave
+  /// engine fall back to serial routing after an injected speculation
+  /// fault (DESIGN.md §2.1f).
   void run(int jobs, const std::function<void(int worker, int job)>& fn) {
     if (jobs <= 0) return;
     if (threads_.empty() || jobs == 1) {

@@ -1,0 +1,189 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+
+namespace gridroute::fault {
+
+/// Named places in the router where a fault can be injected. Each site is a
+/// real failure the stack must degrade through (DESIGN.md §2.1f):
+///
+///   kSearchQuery   the search kernel's cost evaluation throws — models a
+///                  throwing cost provider / corrupted scratch
+///   kWaveSpeculate a wave-pool worker throws mid-speculation
+///   kNetCommit     committing a routed net's journal to the grid throws
+///   kSinkEmit      the trace sink's write fails (I/O error, full disk)
+///   kAttemptStart  a multi-start attempt dies before routing anything —
+///                  models per-attempt setup (grid/router construction) OOM
+///   kBudgetForce   the budget gauge reports exhaustion immediately —
+///                  models an operator kill switch / zero headroom
+///   kArenaAlloc    allocating per-worker search scratch fails (bad_alloc)
+enum class Site : std::uint8_t {
+  kSearchQuery,
+  kWaveSpeculate,
+  kNetCommit,
+  kSinkEmit,
+  kAttemptStart,
+  kBudgetForce,
+  kArenaAlloc,
+};
+
+inline constexpr std::size_t kSiteCount =
+    static_cast<std::size_t>(Site::kArenaAlloc) + 1;
+
+inline const char* site_name(Site site) {
+  switch (site) {
+    case Site::kSearchQuery: return "search_query";
+    case Site::kWaveSpeculate: return "wave_speculate";
+    case Site::kNetCommit: return "net_commit";
+    case Site::kSinkEmit: return "sink_emit";
+    case Site::kAttemptStart: return "attempt_start";
+    case Site::kBudgetForce: return "budget_force";
+    case Site::kArenaAlloc: return "arena_alloc";
+  }
+  return "unknown";
+}
+
+/// The exception an armed site throws. Carries which site fired and the
+/// arrival (1-based hit index) it was armed for, so handlers can report a
+/// precise degradation diagnostic.
+class InjectedFault : public std::runtime_error {
+ public:
+  InjectedFault(Site site, long long arrival)
+      : std::runtime_error(std::string("injected fault at ") +
+                           site_name(site) + " (arrival " +
+                           std::to_string(arrival) + ")"),
+        site_(site),
+        arrival_(arrival) {}
+
+  Site site() const { return site_; }
+  long long arrival() const { return arrival_; }
+
+ private:
+  Site site_;
+  long long arrival_;
+};
+
+/// Deterministic seed-driven fault plan: a seed picks one site and an
+/// arrival index n; the nth time execution reaches that site — counted
+/// across all threads with an atomic per-site counter — the site fires,
+/// exactly once per Injector. Because sites are reached in data-dependent
+/// but deterministic order on serial paths, a (seed, problem) pair names a
+/// reproducible fault schedule; on parallel paths the arrival *count* is
+/// still exact even though which thread trips it may vary, which is
+/// precisely the nondeterminism the degradation invariant must absorb.
+///
+/// The Injector is passive: router code asks `maybe_throw(site)` (throws
+/// InjectedFault) or `fire(site)` (returns true once) at each named site.
+/// With no Injector installed both are never reached — the hooks are a
+/// pointer null-check, zero cost in production.
+class Injector {
+ public:
+  /// Seed-driven plan: site = seed-picked, arrival in [1, max_arrival].
+  explicit Injector(std::uint64_t seed, long long max_arrival = 48) {
+    // Salted so an injector seeded with a routing seed draws a different
+    // stream than the router itself.
+    Rng rng(mix_seeds(0xfa017u, seed));
+    site_ = static_cast<Site>(rng.next_below(kSiteCount));
+    arrival_ = 1 + static_cast<long long>(
+                       rng.next_below(static_cast<std::uint64_t>(
+                           max_arrival > 0 ? max_arrival : 1)));
+  }
+
+  /// Targeted plan for regression tests: fire `site` on its nth arrival.
+  /// (Returned as a prvalue — Injector holds atomics and cannot move.)
+  static Injector at(Site site, long long arrival) {
+    return Injector(site, arrival);
+  }
+
+  Site site() const { return site_; }
+  long long arrival() const { return arrival_; }
+
+  /// Records one arrival at `site`; true exactly when this arrival is the
+  /// armed one (at most once in the Injector's lifetime).
+  bool fire(Site site) {
+    const auto idx = static_cast<std::size_t>(site);
+    const long long n = 1 + hits_[idx].fetch_add(1, std::memory_order_relaxed);
+    if (site != site_ || n != arrival_) return false;
+    bool expected = false;
+    if (!fired_.compare_exchange_strong(expected, true,
+                                        std::memory_order_relaxed))
+      return false;
+    return true;
+  }
+
+  /// fire(), but throwing InjectedFault when armed.
+  void maybe_throw(Site site) {
+    if (fire(site)) throw InjectedFault(site_, arrival_);
+  }
+
+  /// Whether the armed site has fired yet (a schedule whose arrival exceeds
+  /// the run's traffic never fires — the run must then be byte-identical to
+  /// a fault-free one).
+  bool fired() const { return fired_.load(std::memory_order_relaxed); }
+
+  /// Total arrivals recorded at `site` so far.
+  long long hits(Site site) const {
+    return hits_[static_cast<std::size_t>(site)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// "site=net_commit arrival=7" — for test failure messages.
+  std::string plan() const {
+    return std::string("site=") + site_name(site_) +
+           " arrival=" + std::to_string(arrival_);
+  }
+
+ private:
+  Injector(Site site, long long arrival) : site_(site), arrival_(arrival) {}
+
+  Site site_ = Site::kSearchQuery;
+  long long arrival_ = 1;
+  std::atomic<bool> fired_{false};
+  std::atomic<long long> hits_[kSiteCount]{};
+};
+
+/// TraceSink decorator that survives a failing inner sink: forwards every
+/// event, and if the inner sink throws (or the injector fires kSinkEmit),
+/// disables forwarding permanently and counts dropped events instead of
+/// letting the exception unwind the router. Routing output is thus never
+/// lost to a broken observer — the run completes with tracing degraded.
+class FailsafeSink : public obs::TraceSink {
+ public:
+  explicit FailsafeSink(obs::TraceSink* inner, Injector* faults = nullptr)
+      : inner_(inner), faults_(faults) {}
+
+  void on_event(const obs::TraceEvent& event) override {
+    if (disabled_.load(std::memory_order_relaxed)) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    try {
+      if (faults_ != nullptr) faults_->maybe_throw(Site::kSinkEmit);
+      inner_->on_event(event);
+    } catch (...) {
+      disabled_.store(true, std::memory_order_relaxed);
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// True once a sink failure has been absorbed.
+  bool disabled() const { return disabled_.load(std::memory_order_relaxed); }
+  /// Events not delivered to the inner sink (including the failing one).
+  long long dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  obs::TraceSink* inner_;
+  Injector* faults_;
+  std::atomic<bool> disabled_{false};
+  std::atomic<long long> dropped_{0};
+};
+
+}  // namespace gridroute::fault

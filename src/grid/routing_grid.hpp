@@ -35,6 +35,10 @@ struct Path {
 /// checkpointing that tentative weak/strong modification needs.
 class RoutingGrid {
  public:
+  /// Empty grid (no region, no nets) — placeholder state for containers
+  /// like RouteResult that may be returned degraded, before routing built
+  /// a real grid. Every query answers "nothing here".
+  RoutingGrid() = default;
   explicit RoutingGrid(const Region& region, int net_count);
 
   const Region& region() const { return region_; }
@@ -144,6 +148,37 @@ class RoutingGrid {
   std::vector<std::vector<GridPoint>> net_nodes_;
   std::vector<int> via_counts_;
   std::vector<Entry> journal_;
+};
+
+/// RAII journal checkpoint: captures a mark on construction and rolls the
+/// grid back to it on destruction unless keep() was called. This is the
+/// exception-safety net around multi-mutation sequences (routing one net is
+/// dozens of occupy/release/add_via calls): if anything throws mid-sequence
+/// — a cost provider, an injected fault, an allocation — the half-applied
+/// net commit unwinds to the checkpoint instead of leaving the grid
+/// inconsistent (DESIGN.md §2.1f).
+class GridTransaction {
+ public:
+  explicit GridTransaction(RoutingGrid& grid)
+      : grid_(&grid), mark_(grid.mark()) {}
+  GridTransaction(const GridTransaction&) = delete;
+  GridTransaction& operator=(const GridTransaction&) = delete;
+  ~GridTransaction() {
+    if (grid_ != nullptr) grid_->rollback(mark_);
+  }
+
+  /// Success: leave the mutations in place (disarms the rollback).
+  void keep() { grid_ = nullptr; }
+  /// Failure handled explicitly: roll back now and disarm.
+  void rollback() {
+    if (grid_ != nullptr) grid_->rollback(mark_);
+    grid_ = nullptr;
+  }
+  RoutingGrid::Mark mark() const { return mark_; }
+
+ private:
+  RoutingGrid* grid_;
+  RoutingGrid::Mark mark_;
 };
 
 /// True when a->b is one legal grid step (planar move or layer change).

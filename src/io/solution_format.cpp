@@ -52,27 +52,43 @@ void write_runs(std::ostream& out, const RoutingGrid& grid, NetId id,
   }
 }
 
+/// Embedded NUL bytes terminate the line like a comment would.
 std::vector<std::string> tokenize(const std::string& line) {
   std::vector<std::string> tokens;
-  std::istringstream in(line.substr(0, line.find('#')));
+  std::string head = line.substr(0, line.find('#'));
+  head = head.substr(0, head.find('\0'));
+  std::istringstream in(head);
   std::string tok;
   while (in >> tok) tokens.push_back(tok);
   return tokens;
 }
 
-[[noreturn]] void fail(int line, const std::string& what) {
-  throw std::runtime_error("solution line " + std::to_string(line) + ": " +
-                           what);
+/// Parser position for diagnostics; raw recovers a token's column.
+struct Cursor {
+  const std::string* source;
+  int line = 0;
+  const std::string* raw = nullptr;
+};
+
+[[noreturn]] void fail(const Cursor& cur, const std::string& what,
+                       const std::string& token = {}) {
+  int column = 0;
+  if (cur.raw != nullptr && !token.empty()) {
+    const auto pos = cur.raw->find(token);
+    if (pos != std::string::npos) column = static_cast<int>(pos) + 1;
+  }
+  throw StatusError(Status::parse_error("solution: " + what,
+                                        {*cur.source, cur.line, column}));
 }
 
-int to_int(const std::string& tok, int line) {
+int to_int(const std::string& tok, const Cursor& cur) {
   try {
     std::size_t used = 0;
     const int v = std::stoi(tok, &used);
-    if (used != tok.size()) fail(line, "bad integer '" + tok + "'");
+    if (used != tok.size()) fail(cur, "bad integer '" + tok + "'", tok);
     return v;
   } catch (const std::logic_error&) {
-    fail(line, "bad integer '" + tok + "'");
+    fail(cur, "bad integer '" + tok + "'", tok);
   }
 }
 
@@ -103,77 +119,95 @@ std::string solution_to_string(const Problem& problem,
   return out.str();
 }
 
-RoutingGrid parse_solution(std::istream& in, const Problem& problem) {
+RoutingGrid parse_solution(std::istream& in, const Problem& problem,
+                           const std::string& source) {
   RoutingGrid grid(problem.region(), problem.net_count());
   std::map<std::string, NetId> by_name;
   for (NetId id = 0; id < problem.net_count(); ++id)
-    by_name[problem.net(id).name] = id;
+    if (!by_name.emplace(problem.net(id).name, id).second)
+      throw StatusError(Status::validation_error(
+          "duplicate net name '" + problem.net(id).name +
+          "' in problem makes solution net references ambiguous"));
 
   std::string line;
-  int line_no = 0;
+  Cursor cur{&source, 0, &line};
   bool seen_header = false;
   NetId open_net = kNoNet;
 
   while (std::getline(in, line)) {
-    ++line_no;
+    ++cur.line;
     const auto tokens = tokenize(line);
     if (tokens.empty()) continue;
     if (!seen_header) {
       if (tokens.size() != 1 || tokens[0] != "solution")
-        fail(line_no, "expected 'solution'");
+        fail(cur, "expected 'solution'");
       seen_header = true;
       continue;
     }
     const std::string& kw = tokens[0];
     if (kw == "net") {
-      if (tokens.size() != 2) fail(line_no, "net needs a name");
+      if (tokens.size() != 2) fail(cur, "net needs a name");
       auto it = by_name.find(tokens[1]);
       if (it == by_name.end())
-        fail(line_no, "unknown net '" + tokens[1] + "'");
+        fail(cur, "unknown net '" + tokens[1] + "'", tokens[1]);
       open_net = it->second;
     } else if (kw == "seg") {
-      if (open_net == kNoNet) fail(line_no, "seg before net");
-      if (tokens.size() != 6) fail(line_no, "seg needs X0 Y0 X1 Y1 LAYER");
+      if (open_net == kNoNet) fail(cur, "seg before net");
+      if (tokens.size() != 6) fail(cur, "seg needs X0 Y0 X1 Y1 LAYER");
       Layer layer;
       if (tokens[5] == "m1") {
         layer = Layer::kMetal1;
       } else if (tokens[5] == "m2") {
         layer = Layer::kMetal2;
       } else {
-        fail(line_no, "seg layer must be m1 or m2");
+        fail(cur, "seg layer must be m1 or m2", tokens[5]);
       }
-      const Point a{to_int(tokens[1], line_no), to_int(tokens[2], line_no)};
-      const Point b{to_int(tokens[3], line_no), to_int(tokens[4], line_no)};
-      if (a.x != b.x && a.y != b.y) fail(line_no, "seg must be straight");
+      const Point a{to_int(tokens[1], cur), to_int(tokens[2], cur)};
+      const Point b{to_int(tokens[3], cur), to_int(tokens[4], cur)};
+      if (a.x != b.x && a.y != b.y) fail(cur, "seg must be straight");
       const Point step{a.x == b.x ? 0 : (b.x > a.x ? 1 : -1),
                        a.y == b.y ? 0 : (b.y > a.y ? 1 : -1)};
       Point p = a;
       while (true) {
         const GridPoint g{p, layer};
         if (grid.owner(g) != open_net && !grid.occupy(g, open_net))
-          fail(line_no, "wire conflicts with region or another net");
+          fail(cur, "wire conflicts with region or another net");
         if (p == b) break;
         p = p + step;
       }
     } else if (kw == "via") {
-      if (open_net == kNoNet) fail(line_no, "via before net");
-      if (tokens.size() != 3) fail(line_no, "via needs X Y");
-      const Point v{to_int(tokens[1], line_no), to_int(tokens[2], line_no)};
+      if (open_net == kNoNet) fail(cur, "via before net");
+      if (tokens.size() != 3) fail(cur, "via needs X Y");
+      const Point v{to_int(tokens[1], cur), to_int(tokens[2], cur)};
       if (grid.via_owner(v) != open_net && !grid.add_via(v, open_net))
-        fail(line_no, "via not anchored on both layers by its net");
+        fail(cur, "via not anchored on both layers by its net");
     } else {
-      fail(line_no, "unknown keyword '" + kw + "'");
+      fail(cur, "unknown keyword '" + kw + "'", kw);
     }
   }
-  if (!seen_header) throw std::runtime_error("no 'solution' header");
+  if (!seen_header) {
+    cur.raw = nullptr;
+    fail(cur, "no 'solution' header");
+  }
   grid.commit();
   return grid;
 }
 
 RoutingGrid parse_solution_string(const std::string& text,
-                                  const Problem& problem) {
+                                  const Problem& problem,
+                                  const std::string& source) {
   std::istringstream in(text);
-  return parse_solution(in, problem);
+  return parse_solution(in, problem, source);
+}
+
+StatusOr<RoutingGrid> try_parse_solution_string(const std::string& text,
+                                                const Problem& problem,
+                                                const std::string& source) {
+  try {
+    return parse_solution_string(text, problem, source);
+  } catch (const StatusError& e) {
+    return e.status();
+  }
 }
 
 }  // namespace gridroute

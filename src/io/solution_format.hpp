@@ -5,6 +5,7 @@
 
 #include "grid/routing_grid.hpp"
 #include "problem/problem.hpp"
+#include "util/status.hpp"
 
 namespace gridroute {
 
@@ -20,17 +21,27 @@ namespace gridroute {
 ///
 /// Nets are matched by name. write_solution() emits maximal straight runs
 /// (overlaps at junctions are fine — they belong to the same net), so
-/// parse_solution() reconstructs the exact node and via sets.
+/// parse_solution() reconstructs the exact node and via sets. A degraded
+/// partial layout (failed nets absent from the grid) writes and re-parses
+/// cleanly — the format never requires completeness.
 void write_solution(std::ostream& out, const Problem& problem,
                     const RoutingGrid& grid);
 std::string solution_to_string(const Problem& problem,
                                const RoutingGrid& grid);
 
-/// Rebuilds a grid state from solution text. Throws std::runtime_error on
-/// syntax errors, unknown net names, or wire that conflicts with the
-/// region, another net, or itself inconsistently.
-RoutingGrid parse_solution(std::istream& in, const Problem& problem);
+/// Rebuilds a grid state from solution text. Error contract (DESIGN.md
+/// §2.1f): throws StatusError (a std::runtime_error carrying a typed
+/// Status). Syntax errors, unknown net names, and wire conflicting with the
+/// region or another net are ErrorCode::kParse with source + line (+ column
+/// where unambiguous); a Problem whose net names are ambiguous (duplicates)
+/// is kValidation. The try_* variant returns the Status instead.
+RoutingGrid parse_solution(std::istream& in, const Problem& problem,
+                           const std::string& source = {});
 RoutingGrid parse_solution_string(const std::string& text,
-                                  const Problem& problem);
+                                  const Problem& problem,
+                                  const std::string& source = {});
+StatusOr<RoutingGrid> try_parse_solution_string(
+    const std::string& text, const Problem& problem,
+    const std::string& source = {});
 
 }  // namespace gridroute

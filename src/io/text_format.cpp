@@ -1,8 +1,10 @@
 #include "io/text_format.hpp"
 
+#include <algorithm>
 #include <istream>
 #include <map>
 #include <ostream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -11,71 +13,101 @@ namespace gridroute {
 
 namespace {
 
-[[noreturn]] void fail(int line, const std::string& what) {
-  throw std::runtime_error("line " + std::to_string(line) + ": " + what);
+/// Where the parser currently is: source name, 1-based line, and the raw
+/// line text (for recovering a token's column on error).
+struct Cursor {
+  const std::string* source;
+  int line = 0;
+  const std::string* raw = nullptr;
+
+  SourceContext at(const std::string& token = {}) const {
+    int column = 0;
+    if (raw != nullptr && !token.empty()) {
+      const auto pos = raw->find(token);
+      if (pos != std::string::npos) column = static_cast<int>(pos) + 1;
+    }
+    return {*source, line, column};
+  }
+};
+
+[[noreturn]] void fail(const Cursor& cur, const std::string& what,
+                       const std::string& token = {}) {
+  throw StatusError(Status::parse_error(what, cur.at(token)));
 }
 
-/// Splits a line into whitespace tokens, dropping '#' comments.
+/// Splits a line into whitespace tokens, dropping '#' comments. Embedded
+/// NUL bytes terminate the line like a comment would — they cannot start a
+/// silent second document.
 std::vector<std::string> tokenize(const std::string& line) {
   std::vector<std::string> tokens;
-  std::istringstream in(line.substr(0, line.find('#')));
+  std::string head = line.substr(0, line.find('#'));
+  head = head.substr(0, head.find('\0'));
+  std::istringstream in(head);
   std::string tok;
   while (in >> tok) tokens.push_back(tok);
   return tokens;
 }
 
-int to_int(const std::string& tok, int line) {
+int to_int(const std::string& tok, const Cursor& cur) {
   try {
     std::size_t used = 0;
     const int v = std::stoi(tok, &used);
-    if (used != tok.size()) fail(line, "bad integer '" + tok + "'");
+    if (used != tok.size()) fail(cur, "bad integer '" + tok + "'", tok);
     return v;
   } catch (const std::logic_error&) {
-    fail(line, "bad integer '" + tok + "'");
+    fail(cur, "bad integer '" + tok + "'", tok);
   }
 }
 
 std::vector<int> to_ints(const std::vector<std::string>& tokens,
-                         std::size_t from, int line) {
+                         std::size_t from, const Cursor& cur) {
   std::vector<int> values;
   for (std::size_t i = from; i < tokens.size(); ++i)
-    values.push_back(to_int(tokens[i], line));
+    values.push_back(to_int(tokens[i], cur));
   return values;
 }
 
 }  // namespace
 
-Problem parse_problem(std::istream& in) {
+Problem parse_problem(std::istream& in, const std::string& source) {
   std::string line;
-  int line_no = 0;
+  Cursor cur{&source, 0, &line};
   Problem problem;
   bool have_region = false;
   Net* open_net = nullptr;
+  std::set<std::string> net_names;
 
   while (std::getline(in, line)) {
-    ++line_no;
+    ++cur.line;
     const auto tokens = tokenize(line);
     if (tokens.empty()) continue;
     const std::string& kw = tokens[0];
 
     if (kw == "region") {
-      if (tokens.size() != 3) fail(line_no, "region needs W H");
-      const int w = to_int(tokens[1], line_no);
-      const int h = to_int(tokens[2], line_no);
-      if (w <= 0 || h <= 0) fail(line_no, "region dimensions must be > 0");
+      if (tokens.size() != 3) fail(cur, "region needs W H");
+      const int w = to_int(tokens[1], cur);
+      const int h = to_int(tokens[2], cur);
+      if (w <= 0 || h <= 0) fail(cur, "region dimensions must be > 0");
+      if (static_cast<long long>(w) * h > kMaxRegionCells)
+        throw StatusError(Status::resource_error(
+            "region " + std::to_string(w) + " x " + std::to_string(h) +
+                " exceeds the cell cap (" + std::to_string(kMaxRegionCells) +
+                ")",
+            cur.at()));
       problem = Problem{Region(w, h)};
       have_region = true;
       open_net = nullptr;
+      net_names.clear();
     } else if (kw == "subtract" || kw == "obstacle") {
-      if (!have_region) fail(line_no, kw + " before region");
+      if (!have_region) fail(cur, kw + " before region");
       const bool is_obstacle = kw == "obstacle";
       const std::size_t want = is_obstacle ? 6 : 5;
       if (tokens.size() != want)
-        fail(line_no, kw + " needs lo.x lo.y hi.x hi.y" +
-                          (is_obstacle ? " layer" : ""));
-      const Rect r{{to_int(tokens[1], line_no), to_int(tokens[2], line_no)},
-                   {to_int(tokens[3], line_no), to_int(tokens[4], line_no)}};
-      if (!r.valid()) fail(line_no, "rectangle corners out of order");
+        fail(cur, kw + " needs lo.x lo.y hi.x hi.y" +
+                      (is_obstacle ? " layer" : ""));
+      const Rect r{{to_int(tokens[1], cur), to_int(tokens[2], cur)},
+                   {to_int(tokens[3], cur), to_int(tokens[4], cur)}};
+      if (!r.valid()) fail(cur, "rectangle corners out of order");
       if (!is_obstacle) {
         problem.region().subtract(r);
       } else if (tokens[5] == "m1") {
@@ -85,18 +117,20 @@ Problem parse_problem(std::istream& in) {
       } else if (tokens[5] == "both") {
         problem.region().add_obstacle(r);
       } else {
-        fail(line_no, "obstacle layer must be m1, m2 or both");
+        fail(cur, "obstacle layer must be m1, m2 or both", tokens[5]);
       }
     } else if (kw == "net") {
-      if (!have_region) fail(line_no, "net before region");
-      if (tokens.size() != 2) fail(line_no, "net needs a name");
+      if (!have_region) fail(cur, "net before region");
+      if (tokens.size() != 2) fail(cur, "net needs a name");
+      if (!net_names.insert(tokens[1]).second)
+        fail(cur, "duplicate net '" + tokens[1] + "'", tokens[1]);
       const NetId id = problem.add_net(tokens[1]);
       open_net = &problem.net(id);
     } else if (kw == "pin") {
-      if (open_net == nullptr) fail(line_no, "pin before net");
-      if (tokens.size() != 4) fail(line_no, "pin needs X Y LAYER");
+      if (open_net == nullptr) fail(cur, "pin before net");
+      if (tokens.size() != 4) fail(cur, "pin needs X Y LAYER");
       Pin pin;
-      pin.pos = {to_int(tokens[1], line_no), to_int(tokens[2], line_no)};
+      pin.pos = {to_int(tokens[1], cur), to_int(tokens[2], cur)};
       if (tokens[3] == "m1") {
         pin.layer = Layer::kMetal1;
       } else if (tokens[3] == "m2") {
@@ -104,107 +138,165 @@ Problem parse_problem(std::istream& in) {
       } else if (tokens[3] == "any") {
         pin.any_layer = true;
       } else {
-        fail(line_no, "pin layer must be m1, m2 or any");
+        fail(cur, "pin layer must be m1, m2 or any", tokens[3]);
       }
       open_net->pins.push_back(pin);
     } else if (kw == "wire") {
-      if (open_net == nullptr) fail(line_no, "wire before net");
-      if (tokens.size() != 6) fail(line_no, "wire needs X0 Y0 X1 Y1 LAYER");
+      if (open_net == nullptr) fail(cur, "wire before net");
+      if (tokens.size() != 6) fail(cur, "wire needs X0 Y0 X1 Y1 LAYER");
       Layer layer;
       if (tokens[5] == "m1") {
         layer = Layer::kMetal1;
       } else if (tokens[5] == "m2") {
         layer = Layer::kMetal2;
       } else {
-        fail(line_no, "wire layer must be m1 or m2");
+        fail(cur, "wire layer must be m1 or m2", tokens[5]);
       }
       const Segment seg{
-          {{to_int(tokens[1], line_no), to_int(tokens[2], line_no)}, layer},
-          {{to_int(tokens[3], line_no), to_int(tokens[4], line_no)}, layer}};
-      if (!seg.axis_parallel()) fail(line_no, "wire must be axis-parallel");
+          {{to_int(tokens[1], cur), to_int(tokens[2], cur)}, layer},
+          {{to_int(tokens[3], cur), to_int(tokens[4], cur)}, layer}};
+      if (!seg.axis_parallel()) fail(cur, "wire must be axis-parallel");
       open_net->prewire.push_back(seg);
     } else if (kw == "via") {
-      if (open_net == nullptr) fail(line_no, "via before net");
-      if (tokens.size() != 3) fail(line_no, "via needs X Y");
+      if (open_net == nullptr) fail(cur, "via before net");
+      if (tokens.size() != 3) fail(cur, "via needs X Y");
       open_net->previas.push_back(
-          {to_int(tokens[1], line_no), to_int(tokens[2], line_no)});
+          {to_int(tokens[1], cur), to_int(tokens[2], cur)});
     } else if (kw == "fixed") {
-      if (open_net == nullptr) fail(line_no, "fixed before net");
-      if (tokens.size() != 1) fail(line_no, "fixed takes no arguments");
+      if (open_net == nullptr) fail(cur, "fixed before net");
+      if (tokens.size() != 1) fail(cur, "fixed takes no arguments");
       open_net->fixed = true;
     } else {
-      fail(line_no, "unknown keyword '" + kw + "'");
+      fail(cur, "unknown keyword '" + kw + "'", kw);
     }
   }
-  if (!have_region) throw std::runtime_error("no region in problem text");
+  if (!have_region) {
+    cur.raw = nullptr;
+    fail(cur, "no region in problem text");
+  }
   return problem;
 }
 
-Problem parse_problem_string(const std::string& text) {
+Problem parse_problem_string(const std::string& text,
+                             const std::string& source) {
   std::istringstream in(text);
-  return parse_problem(in);
+  return parse_problem(in, source);
+}
+
+StatusOr<Problem> try_parse_problem(std::istream& in,
+                                    const std::string& source) {
+  try {
+    return parse_problem(in, source);
+  } catch (const StatusError& e) {
+    return e.status();
+  }
+}
+
+StatusOr<Problem> try_parse_problem_string(const std::string& text,
+                                           const std::string& source) {
+  std::istringstream in(text);
+  return try_parse_problem(in, source);
 }
 
 namespace {
 
+struct SideRow {
+  std::vector<int> values;
+  int line = 0;  ///< where the row was declared (for mismatch diagnostics)
+};
+
 /// Shared reader for the channel/switchbox side-row formats.
-std::map<std::string, std::vector<int>> parse_sides(
-    std::istream& in, const std::string& header,
+std::map<std::string, SideRow> parse_sides(
+    std::istream& in, const std::string& source, const std::string& header,
     const std::vector<std::string>& required) {
   std::string line;
-  int line_no = 0;
+  Cursor cur{&source, 0, &line};
   bool seen_header = false;
-  std::map<std::string, std::vector<int>> sides;
+  std::map<std::string, SideRow> sides;
   while (std::getline(in, line)) {
-    ++line_no;
+    ++cur.line;
     const auto tokens = tokenize(line);
     if (tokens.empty()) continue;
     if (!seen_header) {
       if (tokens.size() != 1 || tokens[0] != header)
-        fail(line_no, "expected '" + header + "'");
+        fail(cur, "expected '" + header + "'");
       seen_header = true;
       continue;
     }
     bool known = false;
     for (const std::string& side : required) known |= tokens[0] == side;
-    if (!known) fail(line_no, "unknown side '" + tokens[0] + "'");
-    sides[tokens[0]] = to_ints(tokens, 1, line_no);
+    if (!known) fail(cur, "unknown side '" + tokens[0] + "'", tokens[0]);
+    sides[tokens[0]] = {to_ints(tokens, 1, cur), cur.line};
   }
+  cur.raw = nullptr;
+  if (!seen_header) fail(cur, "expected '" + header + "'");
   for (const std::string& side : required)
-    if (!sides.contains(side))
-      throw std::runtime_error("missing side '" + side + "'");
+    if (!sides.contains(side)) fail(cur, "missing side '" + side + "'");
   return sides;
+}
+
+/// Reports rows `a` and `b` differing in length, anchored at the later of
+/// the two declaration lines.
+[[noreturn]] void fail_mismatch(const std::string& source,
+                                const std::string& a_name, const SideRow& a,
+                                const std::string& b_name, const SideRow& b) {
+  throw StatusError(Status::parse_error(
+      a_name + " and " + b_name + " rows differ in length (" +
+          std::to_string(a.values.size()) + " vs " +
+          std::to_string(b.values.size()) + ")",
+      {source, std::max(a.line, b.line), 0}));
 }
 
 }  // namespace
 
-ChannelSpec parse_channel(std::istream& in) {
-  auto sides = parse_sides(in, "channel", {"top", "bottom"});
-  ChannelSpec spec{std::move(sides["top"]), std::move(sides["bottom"])};
-  if (spec.top.size() != spec.bottom.size())
-    throw std::runtime_error("top and bottom rows differ in length");
-  return spec;
+ChannelSpec parse_channel(std::istream& in, const std::string& source) {
+  auto sides = parse_sides(in, source, "channel", {"top", "bottom"});
+  if (sides["top"].values.size() != sides["bottom"].values.size())
+    fail_mismatch(source, "top", sides["top"], "bottom", sides["bottom"]);
+  return ChannelSpec{std::move(sides["top"].values),
+                     std::move(sides["bottom"].values)};
 }
 
-ChannelSpec parse_channel_string(const std::string& text) {
+ChannelSpec parse_channel_string(const std::string& text,
+                                 const std::string& source) {
   std::istringstream in(text);
-  return parse_channel(in);
+  return parse_channel(in, source);
 }
 
-SwitchboxSpec parse_switchbox(std::istream& in) {
-  auto sides = parse_sides(in, "switchbox", {"top", "bottom", "left", "right"});
-  SwitchboxSpec spec{std::move(sides["top"]), std::move(sides["bottom"]),
-                     std::move(sides["left"]), std::move(sides["right"])};
-  if (spec.top.size() != spec.bottom.size())
-    throw std::runtime_error("top and bottom rows differ in length");
-  if (spec.left.size() != spec.right.size())
-    throw std::runtime_error("left and right rows differ in length");
-  return spec;
+StatusOr<ChannelSpec> try_parse_channel_string(const std::string& text,
+                                               const std::string& source) {
+  try {
+    return parse_channel_string(text, source);
+  } catch (const StatusError& e) {
+    return e.status();
+  }
 }
 
-SwitchboxSpec parse_switchbox_string(const std::string& text) {
+SwitchboxSpec parse_switchbox(std::istream& in, const std::string& source) {
+  auto sides =
+      parse_sides(in, source, "switchbox", {"top", "bottom", "left", "right"});
+  if (sides["top"].values.size() != sides["bottom"].values.size())
+    fail_mismatch(source, "top", sides["top"], "bottom", sides["bottom"]);
+  if (sides["left"].values.size() != sides["right"].values.size())
+    fail_mismatch(source, "left", sides["left"], "right", sides["right"]);
+  return SwitchboxSpec{
+      std::move(sides["top"].values), std::move(sides["bottom"].values),
+      std::move(sides["left"].values), std::move(sides["right"].values)};
+}
+
+SwitchboxSpec parse_switchbox_string(const std::string& text,
+                                     const std::string& source) {
   std::istringstream in(text);
-  return parse_switchbox(in);
+  return parse_switchbox(in, source);
+}
+
+StatusOr<SwitchboxSpec> try_parse_switchbox_string(const std::string& text,
+                                                   const std::string& source) {
+  try {
+    return parse_switchbox_string(text, source);
+  } catch (const StatusError& e) {
+    return e.status();
+  }
 }
 
 void write_problem(std::ostream& out, const Problem& problem) {

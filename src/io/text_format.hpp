@@ -4,6 +4,7 @@
 #include <string>
 
 #include "problem/problem.hpp"
+#include "util/status.hpp"
 
 namespace gridroute {
 
@@ -36,13 +37,37 @@ namespace gridroute {
 ///   left   0 1 2
 ///   right  2 3 0
 ///
-/// Parse errors throw std::runtime_error with a line number.
-Problem parse_problem(std::istream& in);
-Problem parse_problem_string(const std::string& text);
-ChannelSpec parse_channel(std::istream& in);
-ChannelSpec parse_channel_string(const std::string& text);
-SwitchboxSpec parse_switchbox(std::istream& in);
-SwitchboxSpec parse_switchbox_string(const std::string& text);
+/// Error contract (DESIGN.md §2.1f): parse errors throw StatusError — a
+/// std::runtime_error carrying a typed Status. Malformed text is
+/// ErrorCode::kParse; a region whose cell count exceeds the library's
+/// resource cap is kParse-adjacent kResource. Every error names its source
+/// (the `source` argument, e.g. a file path; empty by default) and 1-based
+/// line, plus the offending token's column when unambiguous — what() always
+/// contains "line N". The try_* variants return the same Status instead of
+/// throwing.
+Problem parse_problem(std::istream& in, const std::string& source = {});
+Problem parse_problem_string(const std::string& text,
+                             const std::string& source = {});
+StatusOr<Problem> try_parse_problem(std::istream& in,
+                                    const std::string& source = {});
+StatusOr<Problem> try_parse_problem_string(const std::string& text,
+                                           const std::string& source = {});
+ChannelSpec parse_channel(std::istream& in, const std::string& source = {});
+ChannelSpec parse_channel_string(const std::string& text,
+                                 const std::string& source = {});
+StatusOr<ChannelSpec> try_parse_channel_string(const std::string& text,
+                                               const std::string& source = {});
+SwitchboxSpec parse_switchbox(std::istream& in,
+                              const std::string& source = {});
+SwitchboxSpec parse_switchbox_string(const std::string& text,
+                                     const std::string& source = {});
+StatusOr<SwitchboxSpec> try_parse_switchbox_string(
+    const std::string& text, const std::string& source = {});
+
+/// Largest region (width * height in cells) the parser will build. Inputs
+/// beyond this are rejected with ErrorCode::kResource before any allocation
+/// — a hostile "region 1000000 1000000" must not OOM the process.
+inline constexpr long long kMaxRegionCells = 1LL << 24;
 
 /// Writers producing text the parsers accept. Region writers emit the
 /// bounding rectangle plus per-cell subtract/obstacle rows (cell granular:

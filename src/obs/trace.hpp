@@ -16,6 +16,7 @@ namespace gridroute::obs {
 ///   multi-start        kAttemptScheduled, kAttemptCancelled, kAttemptWon
 ///   budget             kBudgetExhausted
 ///   net-parallel       kWaveFormed, kSpecCommitted, kSpecInvalidated
+///   degradation        kFaultInjected, kDegraded
 ///
 /// Payload conventions per kind are documented on TraceEvent. Events carry
 /// no timestamps by design: a trace is a pure function of the routing
@@ -49,6 +50,10 @@ enum class EventKind : std::uint8_t {
   kSpecInvalidated,   ///< net: id; value: searches discarded (net re-routed
                       ///< serially at commit because an earlier commit in the
                       ///< wave dirtied its read footprint)
+  kFaultInjected,     ///< net: id the fault hit (-1 when not net-scoped);
+                      ///< value: fault::Site as int; extra: armed arrival
+  kDegraded,          ///< net: id the fallback concerned (-1 for run-wide);
+                      ///< value: Degradation::Kind as int
 };
 
 /// Stable lower_snake names for export (JSONL, counters, tables).
@@ -71,13 +76,15 @@ inline const char* event_name(EventKind kind) {
     case EventKind::kWaveFormed: return "wave_formed";
     case EventKind::kSpecCommitted: return "spec_committed";
     case EventKind::kSpecInvalidated: return "spec_invalidated";
+    case EventKind::kFaultInjected: return "fault_injected";
+    case EventKind::kDegraded: return "degraded";
   }
   return "unknown";
 }
 
 /// Number of distinct EventKind values (CountingSink's table size).
 inline constexpr std::size_t kEventKindCount =
-    static_cast<std::size_t>(EventKind::kSpecInvalidated) + 1;
+    static_cast<std::size_t>(EventKind::kDegraded) + 1;
 
 /// One structured trace record. Only the fields a kind documents are
 /// meaningful; the rest stay at their defaults. The per-kind factories
@@ -186,6 +193,20 @@ struct TraceEvent {
   static TraceEvent spec_invalidated(int net, std::int64_t discarded) {
     TraceEvent e = of(EventKind::kSpecInvalidated, net);
     e.value = discarded;
+    return e;
+  }
+  // The degradation pair carries its payloads as plain ints so obs stays
+  // independent of src/fault (emitters cast fault::Site / Degradation::Kind).
+  static TraceEvent fault_injected(int net, std::int64_t site,
+                                   std::int64_t arrival) {
+    TraceEvent e = of(EventKind::kFaultInjected, net);
+    e.value = site;
+    e.extra = arrival;
+    return e;
+  }
+  static TraceEvent degraded(int net, std::int64_t kind) {
+    TraceEvent e = of(EventKind::kDegraded, net);
+    e.value = kind;
     return e;
   }
 

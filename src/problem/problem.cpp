@@ -86,17 +86,26 @@ std::vector<GridPoint> prewire_nodes(const Net& net) {
   return nodes;
 }
 
-std::vector<std::string> Problem::validate() const {
-  std::vector<std::string> issues;
+std::vector<Status> Problem::validate_status() const {
+  std::vector<Status> issues;
+  auto add = [&issues](const std::string& msg) {
+    issues.push_back(Status::validation_error(msg));
+  };
   std::map<Point, NetId> seen;  // planar position -> owning net
   std::map<GridPoint, NetId> wire_seen;
+  std::map<std::string, NetId> names;
   for (NetId id = 0; id < net_count(); ++id) {
     const Net& n = net(id);
+
+    // Names must be unique: solution interchange matches nets by name, and
+    // a duplicate silently aliases two nets.
+    if (!names.emplace(n.name, id).second)
+      add("net '" + n.name + "': name duplicates an earlier net");
 
     // Pre-wire: axis-parallel, routable, and exclusively owned.
     for (const Segment& seg : n.prewire)
       if (!seg.axis_parallel())
-        issues.push_back("net '" + n.name +
+        add("net '" + n.name +
                          "': pre-wire segment is not a single-layer "
                          "axis-parallel run");
     for (const GridPoint& g : prewire_nodes(n)) {
@@ -104,7 +113,7 @@ std::vector<std::string> Problem::validate() const {
         std::ostringstream msg;
         msg << "net '" << n.name << "': pre-wire at " << g
             << " is outside the region or on an obstacle";
-        issues.push_back(msg.str());
+        add(msg.str());
         continue;
       }
       auto [it, inserted] = wire_seen.emplace(g, id);
@@ -112,7 +121,7 @@ std::vector<std::string> Problem::validate() const {
         std::ostringstream msg;
         msg << "net '" << n.name << "': pre-wire at " << g
             << " overlaps pre-wire of net '" << net(it->second).name << "'";
-        issues.push_back(msg.str());
+        add(msg.str());
       }
     }
     for (const Point& v : n.previas) {
@@ -124,18 +133,18 @@ std::vector<std::string> Problem::validate() const {
         std::ostringstream msg;
         msg << "net '" << n.name << "': pre-via at " << v
             << " is not anchored by pre-wire on both layers";
-        issues.push_back(msg.str());
+        add(msg.str());
       }
     }
     if (n.fixed && n.pins.size() >= 2 && n.prewire.empty())
-      issues.push_back("net '" + n.name +
+      add("net '" + n.name +
                        "': fixed but has no pre-wire to connect its pins");
 
     for (const Pin& pin : n.pins) {
       std::ostringstream where;
       where << "net '" << n.name << "' pin " << pin.pos;
       if (!region_.in_region(pin.pos)) {
-        issues.push_back(where.str() + ": outside routing region");
+        add(where.str() + ": outside routing region");
         continue;
       }
       const bool reachable =
@@ -144,10 +153,10 @@ std::vector<std::string> Problem::validate() const {
                  region_.routable({pin.pos, Layer::kMetal2}))
               : region_.routable({pin.pos, pin.layer});
       if (!reachable)
-        issues.push_back(where.str() + ": on an obstructed node");
+        add(where.str() + ": on an obstructed node");
       auto [it, inserted] = seen.emplace(pin.pos, id);
       if (!inserted && it->second != id)
-        issues.push_back(where.str() + ": collides with a pin of net '" +
+        add(where.str() + ": collides with a pin of net '" +
                          net(it->second).name + "'");
     }
   }
@@ -163,12 +172,18 @@ std::vector<std::string> Problem::validate() const {
           msg << "net '" << net(it->second).name << "': pre-wire at "
               << GridPoint{pin.pos, l} << " buries a pin of net '"
               << net(id).name << "'";
-          issues.push_back(msg.str());
+          add(msg.str());
         }
       }
     }
   }
   return issues;
+}
+
+std::vector<std::string> Problem::validate() const {
+  std::vector<std::string> out;
+  for (const Status& s : validate_status()) out.push_back(s.message());
+  return out;
 }
 
 int Problem::connection_count() const {

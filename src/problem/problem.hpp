@@ -5,6 +5,7 @@
 
 #include "geom/point.hpp"
 #include "geom/rect.hpp"
+#include "util/status.hpp"
 
 namespace gridroute {
 
@@ -116,10 +117,19 @@ class Problem {
   Net& net(NetId id) { return nets_[static_cast<size_t>(id)]; }
   const std::vector<Net>& nets() const { return nets_; }
 
-  /// Validates structural sanity. Returns a list of human-readable
-  /// violations; empty means the problem is well-formed. Checks: every pin
-  /// inside the region and not on an obstacle; no two pins of *different*
-  /// nets on the same grid node (same-net duplicates are allowed).
+  /// Validates structural sanity. Returns the violations as typed Statuses
+  /// (all ErrorCode::kValidation); empty means the problem is well-formed.
+  /// Checks: every pin inside the region and not on an obstacle; no two
+  /// pins of *different* nets on the same grid node (same-net duplicates
+  /// are allowed); pre-wire axis-parallel, routable, exclusively owned, not
+  /// burying another net's pin; pre-vias anchored on both layers; fixed
+  /// nets actually pre-wired; net names unique.
+  ///
+  /// route(RouteRequest) runs this as a mandatory gate: an invalid problem
+  /// is never routed — the result degrades instead (DESIGN.md §2.1f).
+  std::vector<Status> validate_status() const;
+
+  /// Legacy view of validate_status(): just the message strings.
   std::vector<std::string> validate() const;
 
   /// Sum over nets of (pin_count - 1): the number of point-to-point

@@ -1,0 +1,176 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace gridroute {
+
+/// The library's error taxonomy. Every failure a caller can meaningfully
+/// react to maps onto one of these stable codes; the code is the contract,
+/// the message is for humans. DESIGN.md §2.1f documents which layers throw
+/// (StatusError) and which return (Status / StatusOr).
+///
+///   kParse       malformed input text (problem / channel / solution files)
+///   kValidation  structurally broken problem (pins off-region, colliding
+///                pins, conflicting pre-wire, duplicate net names)
+///   kResource    a resource limit refused the work (absurd region dims,
+///                simulated or real allocation failure)
+///   kCancelled   the run was stopped before finishing (budget exhaustion
+///                surfaces through RouteResult, not through this code;
+///                kCancelled is for externally aborted work)
+///   kInternal    an invariant the library promised was broken — a bug
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kParse,
+  kValidation,
+  kResource,
+  kCancelled,
+  kInternal,
+};
+
+inline const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kParse: return "parse";
+    case ErrorCode::kValidation: return "validation";
+    case ErrorCode::kResource: return "resource";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// Where in an input an error was found. `source` is the stream's name
+/// (file path, or a synthetic name like "<string>"); line and column are
+/// 1-based, 0 meaning unknown. Parsers always supply line; column is given
+/// when the offending token's position is unambiguous.
+struct SourceContext {
+  std::string source;
+  int line = 0;
+  int column = 0;
+
+  bool known() const { return !source.empty() || line > 0; }
+
+  /// "name: line 3, column 7" with unknown parts omitted; empty when
+  /// nothing is known.
+  std::string to_string() const {
+    std::string out;
+    if (!source.empty()) out += source;
+    if (line > 0) {
+      if (!out.empty()) out += ": ";
+      out += "line " + std::to_string(line);
+      if (column > 0) out += ", column " + std::to_string(column);
+    }
+    return out;
+  }
+
+  friend bool operator==(const SourceContext&, const SourceContext&) = default;
+};
+
+/// One typed outcome: ok, or an ErrorCode with a message and (optionally)
+/// the source location it was found at. Default-constructed Status is ok.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message, SourceContext where = {})
+      : code_(code), message_(std::move(message)), where_(std::move(where)) {}
+
+  static Status parse_error(std::string message, SourceContext where = {}) {
+    return {ErrorCode::kParse, std::move(message), std::move(where)};
+  }
+  static Status validation_error(std::string message,
+                                 SourceContext where = {}) {
+    return {ErrorCode::kValidation, std::move(message), std::move(where)};
+  }
+  static Status resource_error(std::string message, SourceContext where = {}) {
+    return {ErrorCode::kResource, std::move(message), std::move(where)};
+  }
+  static Status cancelled(std::string message) {
+    return {ErrorCode::kCancelled, std::move(message)};
+  }
+  static Status internal_error(std::string message) {
+    return {ErrorCode::kInternal, std::move(message)};
+  }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  const SourceContext& where() const { return where_; }
+
+  /// "src.grid: line 3, column 7: bad integer 'x'" — the location prefix is
+  /// omitted when unknown, so a bare Status prints just its message.
+  std::string to_string() const {
+    if (ok()) return "ok";
+    const std::string at = where_.to_string();
+    return at.empty() ? message_ : at + ": " + message_;
+  }
+
+  friend bool operator==(const Status&, const Status&) = default;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+  SourceContext where_;
+};
+
+/// Exception carrier for a Status — thrown by the throwing entry points
+/// (the parsers), caught and unwrapped by the try_* / StatusOr ones.
+/// Derives from std::runtime_error so call sites written against the
+/// historical bare-runtime_error contract keep working; what() is
+/// Status::to_string() (and therefore still contains "line N").
+class StatusError : public std::runtime_error {
+ public:
+  explicit StatusError(Status status)
+      : std::runtime_error(status.to_string()), status_(std::move(status)) {}
+
+  const Status& status() const { return status_; }
+  ErrorCode code() const { return status_.code(); }
+
+ private:
+  Status status_;
+};
+
+/// A value or the Status explaining why there is none.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok())
+      status_ = Status::internal_error(
+          "StatusOr constructed from an ok Status without a value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  /// Ok when a value is present; the carried error otherwise.
+  const Status& status() const { return status_; }
+
+  /// The value; throws StatusError when there is none.
+  const T& value() const& {
+    if (!ok()) throw StatusError(status_);
+    return *value_;
+  }
+  T& value() & {
+    if (!ok()) throw StatusError(status_);
+    return *value_;
+  }
+  T&& value() && {
+    if (!ok()) throw StatusError(status_);
+    return *std::move(value_);
+  }
+
+  /// Unchecked access (call only after ok()).
+  const T& operator*() const { return *value_; }
+  T& operator*() { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;  // ok iff value_ present
+  std::optional<T> value_;
+};
+
+}  // namespace gridroute

@@ -1,0 +1,366 @@
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_suite/suite.hpp"
+#include "core/api.hpp"
+#include "core/wave_pool.hpp"
+#include "io/solution_format.hpp"
+#include "obs/trace.hpp"
+#include "verify/verify.hpp"
+
+namespace gridroute {
+namespace {
+
+/// Differential fuzz for the fault-injection subsystem (DESIGN.md §2.1f).
+///
+/// The degradation contract: for every (instance, seed) fault schedule,
+/// route() returns normally with a verifier-clean partial layout, a failed
+/// list that exactly matches the grid, and a degradation record of what was
+/// lost; and a schedule whose armed arrival is never reached must leave the
+/// run byte-identical — layout, failed list, and full trace — to a run with
+/// no injector at all. These tests sweep seeded schedules across instance
+/// families and assert exactly that.
+///
+/// GRIDROUTE_FAULT_INSTANCES scales the schedule count (default 200); the
+/// sanitizer re-runs in scripts/tier1.sh set it low so TSan's ~20x
+/// slowdown stays inside the timeout while still crossing every site.
+
+class VectorSink : public obs::TraceSink {
+ public:
+  void on_event(const obs::TraceEvent& event) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(event);
+  }
+
+  std::vector<obs::TraceEvent> events() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<obs::TraceEvent> events_;
+};
+
+int schedule_budget() {
+  if (const char* env = std::getenv("GRIDROUTE_FAULT_INSTANCES")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 200;
+}
+
+struct Artifacts {
+  std::string layout;
+  std::vector<NetId> failed;
+  std::vector<obs::TraceEvent> trace;
+  RouteResult result;
+};
+
+Artifacts route_instance(const Problem& p, fault::Injector* faults,
+                         int net_threads = 2) {
+  VectorSink sink;
+  RouteRequest request;
+  request.problem = &p;
+  request.options.net_threads = net_threads;
+  request.improve_passes = 1;
+  request.trace = &sink;
+  request.faults = faults;
+  RouteResult result = route(request);
+  return {solution_to_string(p, result.grid), result.failed, sink.events(),
+          std::move(result)};
+}
+
+bool has_event(const std::vector<obs::TraceEvent>& trace,
+               obs::EventKind kind) {
+  return std::any_of(trace.begin(), trace.end(), [&](const obs::TraceEvent& e) {
+    return e.kind == kind;
+  });
+}
+
+/// The degradation invariant checked after every injected schedule.
+void expect_graceful(const Problem& p, const Artifacts& got,
+                     const fault::Injector& inj) {
+  SCOPED_TRACE(inj.plan());
+  // No schedule may reject a valid problem...
+  EXPECT_TRUE(got.result.status.ok());
+  // ...and the salvaged layout is verifier-clean: whatever wire survived
+  // obeys every DRC rule the independent auditor checks.
+  const VerifyReport report = verify(p, got.result.grid);
+  EXPECT_TRUE(report.drc_clean()) << report.violations.front();
+  // The failed list is an exact statement about the grid.
+  const std::set<NetId> failed(got.failed.begin(), got.failed.end());
+  for (NetId id = 0; id < p.net_count(); ++id) {
+    if (p.net(id).pins.size() < 2 || p.net(id).fixed) continue;
+    EXPECT_EQ(net_routed_ok(p, got.result.grid, id), !failed.count(id))
+        << "net " << id;
+  }
+  if (inj.fired()) {
+    // Every fired fault is accounted for in the degradation record.
+    EXPECT_FALSE(got.result.degradation.empty());
+    // And announced in the trace — except a sink fault, which by design
+    // kills the channel that would have carried the announcement.
+    if (inj.site() != fault::Site::kSinkEmit) {
+      EXPECT_TRUE(has_event(got.trace, obs::EventKind::kFaultInjected));
+    }
+  }
+}
+
+TEST(FaultInjection, SeededSchedulesDegradeGracefully) {
+  // The bulk sweep: each seed names one deterministic schedule (site +
+  // arrival) over a seeded instance; unfired schedules must be byte-
+  // identical to the fault-free baseline, fired ones must degrade
+  // gracefully.
+  const int count = std::max(1, schedule_budget());
+  int fired = 0;
+  std::set<fault::Site> fired_sites;
+  for (int i = 0; i < count; ++i) {
+    const auto seed = static_cast<std::uint64_t>(i);
+    const int width = 10 + (i * 5) % 13;
+    const int height = 8 + (i * 3) % 11;
+    const int nets = 6 + (i * 7) % 13;
+    const Problem p =
+        i % 4 == 0
+            ? suite::overfilled_switchbox(seed, width, height, nets + 8)
+                  .to_problem()
+            : suite::random_switchbox(seed, width, height, nets).to_problem();
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+
+    const Artifacts baseline = route_instance(p, nullptr);
+    fault::Injector inj(seed);
+    const Artifacts faulted = route_instance(p, &inj);
+    expect_graceful(p, faulted, inj);
+    if (inj.fired()) {
+      ++fired;
+      fired_sites.insert(inj.site());
+    } else {
+      // Never-reached schedule: the probes are pure counters, so the run
+      // must be indistinguishable from no injector at all.
+      SCOPED_TRACE("unfired " + inj.plan());
+      EXPECT_EQ(faulted.layout, baseline.layout);
+      EXPECT_EQ(faulted.failed, baseline.failed);
+      EXPECT_EQ(faulted.trace, baseline.trace);
+      EXPECT_TRUE(faulted.result.degradation.empty());
+    }
+  }
+  // The seeded site/arrival lottery must actually exercise the machinery:
+  // with the default budget, a healthy majority of schedules fire and they
+  // cover several distinct sites.
+  if (schedule_budget() >= 200) {
+    EXPECT_GE(fired, count / 4);
+    EXPECT_GE(fired_sites.size(), 3u);
+  }
+}
+
+TEST(FaultInjection, ZeroFaultRunsAreBitIdentical) {
+  // Arm each site at an arrival no run of this size ever reaches: the
+  // injector must be a pure observer.
+  const Problem p = suite::random_switchbox(11, 16, 12, 12).to_problem();
+  const Artifacts baseline = route_instance(p, nullptr);
+  for (std::size_t s = 0; s < fault::kSiteCount; ++s) {
+    fault::Injector inj =
+        fault::Injector::at(static_cast<fault::Site>(s), 1'000'000'000);
+    SCOPED_TRACE(inj.plan());
+    const Artifacts got = route_instance(p, &inj);
+    EXPECT_FALSE(inj.fired());
+    EXPECT_EQ(got.layout, baseline.layout);
+    EXPECT_EQ(got.failed, baseline.failed);
+    EXPECT_EQ(got.trace, baseline.trace);
+    EXPECT_TRUE(got.result.degradation.empty());
+  }
+}
+
+// -- targeted per-site regressions -----------------------------------------
+
+TEST(FaultInjection, SearchQueryFaultIsAbsorbed) {
+  // Models a throwing cost provider inside the kernel: the net being
+  // routed (or speculated) when it fires is rolled back, everything else
+  // proceeds.
+  const Problem p = suite::random_switchbox(3, 14, 10, 10).to_problem();
+  for (const long long arrival : {1, 7, 29}) {
+    fault::Injector inj =
+        fault::Injector::at(fault::Site::kSearchQuery, arrival);
+    const Artifacts got = route_instance(p, &inj, /*net_threads=*/8);
+    ASSERT_TRUE(inj.fired());
+    expect_graceful(p, got, inj);
+  }
+}
+
+TEST(FaultInjection, NetCommitFaultRollsBackOneNet) {
+  const Problem p = suite::random_switchbox(5, 14, 10, 10).to_problem();
+  fault::Injector inj = fault::Injector::at(fault::Site::kNetCommit, 2);
+  const Artifacts got = route_instance(p, &inj);
+  ASSERT_TRUE(inj.fired());
+  expect_graceful(p, got, inj);
+  EXPECT_TRUE(has_event(got.trace, obs::EventKind::kDegraded));
+}
+
+TEST(FaultInjection, WaveSpeculateFaultFallsBackToSerial) {
+  // Speculation is an optimization: losing a wave to a worker fault must
+  // not change the committed layout at all.
+  const Problem p = suite::random_switchbox(9, 18, 14, 14).to_problem();
+  const Artifacts baseline = route_instance(p, nullptr);
+  fault::Injector inj = fault::Injector::at(fault::Site::kWaveSpeculate, 1);
+  const Artifacts got = route_instance(p, &inj, /*net_threads=*/4);
+  ASSERT_TRUE(inj.fired());
+  expect_graceful(p, got, inj);
+  EXPECT_EQ(got.layout, baseline.layout);
+  EXPECT_EQ(got.failed, baseline.failed);
+  const auto& deg = got.result.degradation;
+  EXPECT_TRUE(std::any_of(deg.begin(), deg.end(), [](const Degradation& d) {
+    return d.kind == Degradation::Kind::kWaveDisabled;
+  }));
+}
+
+TEST(FaultInjection, ArenaAllocFaultDisablesWaveEngine) {
+  // The wave engine's scratch failing to allocate degrades to the serial
+  // drain — which is bit-identical in layout by the engine's own contract.
+  const Problem p = suite::random_switchbox(13, 16, 12, 12).to_problem();
+  const Artifacts baseline = route_instance(p, nullptr);
+  fault::Injector inj = fault::Injector::at(fault::Site::kArenaAlloc, 1);
+  const Artifacts got = route_instance(p, &inj);
+  ASSERT_TRUE(inj.fired());
+  expect_graceful(p, got, inj);
+  EXPECT_EQ(got.layout, baseline.layout);
+  EXPECT_EQ(got.failed, baseline.failed);
+}
+
+TEST(FaultInjection, SinkFaultDisablesTracingNotRouting) {
+  const Problem p = suite::random_switchbox(17, 14, 10, 10).to_problem();
+  const Artifacts baseline = route_instance(p, nullptr);
+  fault::Injector inj = fault::Injector::at(fault::Site::kSinkEmit, 5);
+  const Artifacts got = route_instance(p, &inj);
+  ASSERT_TRUE(inj.fired());
+  expect_graceful(p, got, inj);
+  // Routing output is untouched; only observability degraded.
+  EXPECT_EQ(got.layout, baseline.layout);
+  EXPECT_EQ(got.failed, baseline.failed);
+  EXPECT_LT(got.trace.size(), baseline.trace.size());
+  // The events that did arrive are a prefix of the healthy trace.
+  ASSERT_GE(got.trace.size(), 4u);
+  EXPECT_TRUE(std::equal(got.trace.begin(), got.trace.end(),
+                         baseline.trace.begin()));
+  const auto& deg = got.result.degradation;
+  ASSERT_FALSE(deg.empty());
+  EXPECT_TRUE(std::any_of(deg.begin(), deg.end(), [](const Degradation& d) {
+    return d.kind == Degradation::Kind::kSinkDisabled;
+  }));
+}
+
+TEST(FaultInjection, BudgetForceFaultStopsBetweenNets) {
+  const Problem p = suite::random_switchbox(19, 16, 12, 14).to_problem();
+  fault::Injector inj = fault::Injector::at(fault::Site::kBudgetForce, 3);
+  const Artifacts got = route_instance(p, &inj);
+  ASSERT_TRUE(inj.fired());
+  expect_graceful(p, got, inj);
+  EXPECT_TRUE(got.result.budget_exhausted);
+  const auto& deg = got.result.degradation;
+  EXPECT_TRUE(std::any_of(deg.begin(), deg.end(), [](const Degradation& d) {
+    return d.kind == Degradation::Kind::kBudget;
+  }));
+}
+
+TEST(FaultInjection, AttemptStartFaultSalvagesTheAttempt) {
+  const Problem p = suite::random_switchbox(23, 12, 10, 8).to_problem();
+  fault::Injector inj = fault::Injector::at(fault::Site::kAttemptStart, 1);
+  const Artifacts got = route_instance(p, &inj);
+  ASSERT_TRUE(inj.fired());
+  expect_graceful(p, got, inj);
+  // The attempt died before routing anything: every routable net failed.
+  int routable = 0;
+  for (const Net& n : p.nets())
+    if (n.pins.size() >= 2 && !n.fixed) ++routable;
+  EXPECT_EQ(static_cast<int>(got.failed.size()), routable);
+  const auto& deg = got.result.degradation;
+  ASSERT_FALSE(deg.empty());
+  EXPECT_TRUE(std::any_of(deg.begin(), deg.end(), [](const Degradation& d) {
+    return d.kind == Degradation::Kind::kAttemptAborted;
+  }));
+}
+
+TEST(FaultInjection, MultiStartSurvivesALostAttempt) {
+  // One of several attempts dies at birth; the reduction still crowns a
+  // healthy winner and the degradation record names the casualty.
+  const Problem p = suite::random_switchbox(29, 14, 10, 10).to_problem();
+  VectorSink sink;
+  RouteRequest request;
+  request.problem = &p;
+  request.options.threads = 1;  // serial attempts: deterministic arrival
+  request.extra_attempts = 3;
+  request.trace = &sink;
+  fault::Injector inj = fault::Injector::at(fault::Site::kAttemptStart, 2);
+  request.faults = &inj;
+  const RouteResult result = route(request);
+  ASSERT_TRUE(inj.fired());
+  EXPECT_TRUE(result.status.ok());
+  EXPECT_TRUE(verify(p, result.grid).drc_clean());
+  EXPECT_EQ(result.attempts.size(), 4u);
+  const auto& deg = result.degradation;
+  const auto aborted =
+      std::find_if(deg.begin(), deg.end(), [](const Degradation& d) {
+        return d.kind == Degradation::Kind::kAttemptAborted;
+      });
+  ASSERT_NE(aborted, deg.end());
+  EXPECT_EQ(aborted->attempt, 1);  // serial attempts: arrival 2 = attempt 1
+  EXPECT_NE(result.winning_attempt, 1);
+}
+
+// -- WavePool join-path audit ----------------------------------------------
+
+TEST(WavePoolExceptions, DrainsEveryJobJoinsThenRethrows) {
+  // The documented contract run()'s callers (the wave fallbacks above)
+  // lean on: when a job throws, the remaining jobs still drain, the full
+  // barrier completes — no worker still touching shared state — and the
+  // first exception is rethrown on the caller.
+  WavePool pool(3);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.run(16,
+               [&](int, int job) {
+                 ran.fetch_add(1);
+                 if (job == 5) throw std::runtime_error("job 5 failed");
+               }),
+      std::runtime_error);
+  EXPECT_EQ(ran.load(), 16);  // every job ran despite the throw
+
+  // The pool survives: the next round is clean and complete.
+  ran.store(0);
+  pool.run(8, [&](int, int) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 8);
+
+  // Multiple failures: exactly one (the first captured) is rethrown.
+  EXPECT_THROW(pool.run(12,
+                        [&](int, int job) {
+                          if (job % 3 == 0)
+                            throw fault::InjectedFault(
+                                fault::Site::kWaveSpeculate, job);
+                        }),
+               fault::InjectedFault);
+}
+
+TEST(WavePoolExceptions, ThrowingCostProviderRegression) {
+  // End-to-end version of the audit: a kernel-level throw on a pool worker
+  // (the historical "throwing cost provider" hazard) must neither deadlock
+  // the pool nor leak a half-applied net — schedules at several arrivals,
+  // high thread count.
+  const Problem p = suite::random_switchbox(31, 20, 14, 16).to_problem();
+  for (const long long arrival : {1, 5, 17, 61}) {
+    fault::Injector inj =
+        fault::Injector::at(fault::Site::kSearchQuery, arrival);
+    const Artifacts got = route_instance(p, &inj, /*net_threads=*/8);
+    expect_graceful(p, got, inj);
+  }
+}
+
+}  // namespace
+}  // namespace gridroute

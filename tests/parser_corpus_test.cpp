@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bench_suite/suite.hpp"
+#include "core/api.hpp"
+#include "io/solution_format.hpp"
+#include "io/text_format.hpp"
+#include "util/status.hpp"
+
+namespace gridroute {
+namespace {
+
+/// Malformed-input corpus (DESIGN.md §2.1f). Every entry asserts three
+/// things: the right stable ErrorCode, a SourceContext naming the source
+/// and 1-based line (column where unambiguous), and — through the try_*
+/// variants — that the thrown StatusError and the returned Status are the
+/// same object-for-object diagnostic. Hostile inputs (absurd region dims,
+/// embedded NULs) must fail cleanly before any large allocation.
+
+Status parse_problem_status(const std::string& text) {
+  const StatusOr<Problem> r = try_parse_problem_string(text, "in.grid");
+  EXPECT_FALSE(r.ok());
+  return r.status();
+}
+
+TEST(ParserCorpus, TruncatedEmptyProblem) {
+  const Status s = parse_problem_status("");
+  EXPECT_EQ(s.code(), ErrorCode::kParse);
+  EXPECT_EQ(s.message(), "no region in problem text");
+  EXPECT_EQ(s.where().source, "in.grid");
+}
+
+TEST(ParserCorpus, TruncatedMidStatement) {
+  // File cut off inside the region statement.
+  const Status s = parse_problem_status("# routing job\nregion 8");
+  EXPECT_EQ(s.code(), ErrorCode::kParse);
+  EXPECT_EQ(s.message(), "region needs W H");
+  EXPECT_EQ(s.where().line, 2);
+}
+
+TEST(ParserCorpus, TruncatedChannelMissingSide) {
+  const StatusOr<ChannelSpec> r =
+      try_parse_channel_string("channel\ntop 1 0 2\n", "c.grid");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kParse);
+  EXPECT_EQ(r.status().message(), "missing side 'bottom'");
+  EXPECT_EQ(r.status().where().source, "c.grid");
+  EXPECT_EQ(r.status().where().line, 2);  // end of input
+}
+
+TEST(ParserCorpus, MismatchedChannelRows) {
+  const StatusOr<ChannelSpec> r = try_parse_channel_string(
+      "channel\ntop    1 0 2\nbottom 2 1\n", "c.grid");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kParse);
+  EXPECT_EQ(r.status().message(),
+            "top and bottom rows differ in length (3 vs 2)");
+  // Anchored at the later of the two row declarations.
+  EXPECT_EQ(r.status().where().line, 3);
+  EXPECT_EQ(r.status().where().source, "c.grid");
+}
+
+TEST(ParserCorpus, MismatchedSwitchboxRows) {
+  const StatusOr<SwitchboxSpec> r = try_parse_switchbox_string(
+      "switchbox\ntop 1 2\nbottom 2 1\nleft 1 0 2\nright 2 1\n", "s.grid");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kParse);
+  EXPECT_EQ(r.status().message(),
+            "left and right rows differ in length (3 vs 2)");
+  EXPECT_EQ(r.status().where().line, 5);
+}
+
+TEST(ParserCorpus, DuplicateNetNames) {
+  const Status s = parse_problem_status(
+      "region 6 6\nnet clk\npin 0 0 m1\nnet clk\npin 5 5 m1\n");
+  EXPECT_EQ(s.code(), ErrorCode::kParse);
+  EXPECT_EQ(s.message(), "duplicate net 'clk'");
+  EXPECT_EQ(s.where().line, 4);
+  EXPECT_GT(s.where().column, 0);
+}
+
+TEST(ParserCorpus, AbsurdRegionDimensions) {
+  // Must be refused before any allocation: a hostile 10^12-cell region
+  // would otherwise OOM the process inside Region's mask.
+  const Status s = parse_problem_status("region 1000000 1000000\n");
+  EXPECT_EQ(s.code(), ErrorCode::kResource);
+  EXPECT_NE(s.message().find("exceeds the cell cap"), std::string::npos);
+  EXPECT_EQ(s.where().line, 1);
+
+  const Status zero = parse_problem_status("region 0 5\n");
+  EXPECT_EQ(zero.code(), ErrorCode::kParse);
+  EXPECT_EQ(zero.message(), "region dimensions must be > 0");
+}
+
+TEST(ParserCorpus, EmbeddedNulTerminatesLine) {
+  // A NUL byte ends the line like a comment: whatever a hostile writer
+  // smuggled after it cannot open a silent second document.
+  std::string text = "region 4 4\nnet a";
+  text += '\0';
+  text += " garbage that must be ignored\npin 0 0 m1\npin 3 3 m2\n";
+  const StatusOr<Problem> r = try_parse_problem_string(text, "nul.grid");
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  ASSERT_EQ(r->net_count(), 1);
+  EXPECT_EQ(r->net(0).name, "a");
+  EXPECT_EQ(r->net(0).pins.size(), 2u);
+}
+
+TEST(ParserCorpus, EmbeddedNulInsideKeywordFails) {
+  std::string text = "reg";
+  text += '\0';
+  text += "ion 4 4\n";
+  const Status s = parse_problem_status(text);
+  EXPECT_EQ(s.code(), ErrorCode::kParse);
+  // The NUL truncates the token; the leftover prefix is an unknown keyword.
+  EXPECT_EQ(s.message(), "unknown keyword 'reg'");
+}
+
+TEST(ParserCorpus, ThrownAndReturnedDiagnosticsAgree) {
+  const std::string text = "region 6 6\nnet a\npin here 0 m1\n";
+  const StatusOr<Problem> r = try_parse_problem_string(text, "in.grid");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kParse);
+  EXPECT_EQ(r.status().message(), "bad integer 'here'");
+  EXPECT_EQ(r.status().where(), (SourceContext{"in.grid", 3, 5}));
+  try {
+    parse_problem_string(text, "in.grid");
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status(), r.status());
+    // Legacy contract: what() always contains "line N".
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(ParserCorpus, OutOfRangePinDegradesRouteNotThrows) {
+  // Coordinates outside the region are structurally parseable — the typed
+  // rejection happens at route()'s mandatory validation gate, which
+  // degrades the result instead of throwing.
+  const StatusOr<Problem> r = try_parse_problem_string(
+      "region 6 6\nnet a\npin 0 0 m1\npin 50 50 m1\n", "oob.grid");
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  RouteRequest request;
+  request.problem = &*r;
+  const RouteResult result = route(request);
+  EXPECT_FALSE(result.status.ok());
+  EXPECT_EQ(result.status.code(), ErrorCode::kValidation);
+  EXPECT_NE(result.status.message().find("outside routing region"),
+            std::string::npos);
+  ASSERT_EQ(result.failed.size(), 1u);
+  EXPECT_EQ(result.failed[0], 0);
+  ASSERT_FALSE(result.degradation.empty());
+  EXPECT_EQ(result.degradation[0].kind, Degradation::Kind::kValidation);
+  EXPECT_EQ(result.grid.total_nodes(), 0);  // honestly empty, still writable
+  const std::string text = solution_to_string(*r, result.grid);
+  const StatusOr<RoutingGrid> back = try_parse_solution_string(text, *r);
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(solution_to_string(*r, *back), text);
+}
+
+TEST(ParserCorpus, SolutionUnknownNet) {
+  const Problem p = parse_problem_string("region 6 6\nnet a\npin 0 0 m1\n");
+  const StatusOr<RoutingGrid> r = try_parse_solution_string(
+      "solution\nnet ghost\nseg 0 0 2 0 m1\n", p, "sol.grid");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kParse);
+  EXPECT_EQ(r.status().message(), "solution: unknown net 'ghost'");
+  EXPECT_EQ(r.status().where().source, "sol.grid");
+  EXPECT_EQ(r.status().where().line, 2);
+}
+
+TEST(ParserCorpus, SolutionAgainstDuplicateNamedProblemIsValidationError) {
+  // A Problem whose net names collide makes name-keyed solution references
+  // ambiguous: that is the *problem's* defect, typed kValidation, distinct
+  // from the solution text's kParse errors.
+  Problem p{Region(6, 6)};
+  p.add_net("a");
+  p.add_net("a");
+  const StatusOr<RoutingGrid> r =
+      try_parse_solution_string("solution\nnet a\n", p, "sol.grid");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kValidation);
+  EXPECT_NE(r.status().message().find("duplicate net name 'a'"),
+            std::string::npos);
+}
+
+TEST(ParserCorpus, DegradedPartialLayoutRoundTrips) {
+  // An overfilled instance leaves failed nets; the partial layout must
+  // write and re-parse byte-identically — the format never requires
+  // completeness.
+  const Problem p =
+      suite::overfilled_switchbox(3, 12, 10, 40).to_problem();
+  RouteRequest request;
+  request.problem = &p;
+  const RouteResult result = route(request);
+  EXPECT_TRUE(result.status.ok());
+  EXPECT_FALSE(result.failed.empty());  // 3 nets cannot all fit in 3x1
+  const std::string text = solution_to_string(p, result.grid);
+  const StatusOr<RoutingGrid> back = try_parse_solution_string(text, p);
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(solution_to_string(p, *back), text);
+}
+
+}  // namespace
+}  // namespace gridroute

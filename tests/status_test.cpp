@@ -1,0 +1,137 @@
+#include "util/status.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gridroute {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_FALSE(s.where().known());
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, FactoriesCarryStableCodes) {
+  EXPECT_EQ(Status::parse_error("x").code(), ErrorCode::kParse);
+  EXPECT_EQ(Status::validation_error("x").code(), ErrorCode::kValidation);
+  EXPECT_EQ(Status::resource_error("x").code(), ErrorCode::kResource);
+  EXPECT_EQ(Status::cancelled("x").code(), ErrorCode::kCancelled);
+  EXPECT_EQ(Status::internal_error("x").code(), ErrorCode::kInternal);
+  for (const Status& s :
+       {Status::parse_error("x"), Status::validation_error("x"),
+        Status::resource_error("x"), Status::cancelled("x"),
+        Status::internal_error("x")})
+    EXPECT_FALSE(s.ok()) << error_code_name(s.code());
+}
+
+TEST(Status, ErrorCodeNamesAreStable) {
+  // The names are part of the diagnostic contract (they appear in logs and
+  // test matchers); renaming one is a breaking change.
+  EXPECT_STREQ(error_code_name(ErrorCode::kOk), "ok");
+  EXPECT_STREQ(error_code_name(ErrorCode::kParse), "parse");
+  EXPECT_STREQ(error_code_name(ErrorCode::kValidation), "validation");
+  EXPECT_STREQ(error_code_name(ErrorCode::kResource), "resource");
+  EXPECT_STREQ(error_code_name(ErrorCode::kCancelled), "cancelled");
+  EXPECT_STREQ(error_code_name(ErrorCode::kInternal), "internal");
+}
+
+TEST(SourceContext, ToStringOmitsUnknownParts) {
+  EXPECT_EQ((SourceContext{}).to_string(), "");
+  EXPECT_EQ((SourceContext{"f.grid", 0, 0}).to_string(), "f.grid");
+  EXPECT_EQ((SourceContext{"", 3, 0}).to_string(), "line 3");
+  EXPECT_EQ((SourceContext{"", 3, 7}).to_string(), "line 3, column 7");
+  EXPECT_EQ((SourceContext{"f.grid", 3, 7}).to_string(),
+            "f.grid: line 3, column 7");
+  // Column without a line is meaningless and must not print.
+  EXPECT_EQ((SourceContext{"f.grid", 0, 7}).to_string(), "f.grid");
+}
+
+TEST(SourceContext, Known) {
+  EXPECT_FALSE((SourceContext{}).known());
+  EXPECT_TRUE((SourceContext{"f", 0, 0}).known());
+  EXPECT_TRUE((SourceContext{"", 1, 0}).known());
+}
+
+TEST(Status, ToStringPrefixesLocation) {
+  const Status bare = Status::parse_error("bad integer 'x'");
+  EXPECT_EQ(bare.to_string(), "bad integer 'x'");
+  const Status located =
+      Status::parse_error("bad integer 'x'", {"in.grid", 3, 7});
+  EXPECT_EQ(located.to_string(), "in.grid: line 3, column 7: bad integer 'x'");
+}
+
+TEST(Status, EqualityComparesAllFields) {
+  const Status a = Status::parse_error("m", {"s", 1, 2});
+  EXPECT_EQ(a, Status::parse_error("m", {"s", 1, 2}));
+  EXPECT_NE(a, Status::parse_error("m", {"s", 1, 3}));
+  EXPECT_NE(a, Status::parse_error("n", {"s", 1, 2}));
+  EXPECT_NE(a, Status::validation_error("m", {"s", 1, 2}));
+  EXPECT_EQ(Status{}, Status{});
+}
+
+TEST(StatusError, IsRuntimeErrorWithStatusToString) {
+  // Legacy contract: call sites written against bare std::runtime_error
+  // (and matching "line N" in what()) keep working unchanged.
+  const Status s = Status::parse_error("missing side", {"box.grid", 4, 0});
+  try {
+    throw StatusError(s);
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "box.grid: line 4: missing side");
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos);
+  }
+  const StatusError err(s);
+  EXPECT_EQ(err.status(), s);
+  EXPECT_EQ(err.code(), ErrorCode::kParse);
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v = 42;
+  EXPECT_TRUE(v.ok());
+  EXPECT_TRUE(v.status().ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+  v.value() = 7;
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(StatusOr, HoldsError) {
+  const StatusOr<int> v = Status::resource_error("too big");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), ErrorCode::kResource);
+  EXPECT_THROW((void)v.value(), StatusError);
+  try {
+    (void)v.value();
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status(), v.status());
+  }
+}
+
+TEST(StatusOr, MoveOutValue) {
+  StatusOr<std::vector<int>> v = std::vector<int>{1, 2, 3};
+  const std::vector<int> out = std::move(v).value();
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(StatusOr, OkStatusWithoutValueBecomesInternalError) {
+  // A StatusOr must never claim success without carrying a value; an ok
+  // Status smuggled in is converted to a loud internal error.
+  const StatusOr<int> v = Status();
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), ErrorCode::kInternal);
+}
+
+TEST(StatusOr, ArrowOperator) {
+  const StatusOr<std::string> v = std::string("abc");
+  EXPECT_EQ(v->size(), 3u);
+}
+
+}  // namespace
+}  // namespace gridroute
