@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench_suite/report.hpp"
 #include "bench_suite/suite.hpp"
 #include "core/api.hpp"
 #include "io/solution_format.hpp"
@@ -111,7 +112,17 @@ Problem local_tiles(int cols, int rows, int tile_w, int tile_h) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--json <path>]\n";
+      return 2;
+    }
+  }
+
   constexpr int kReps = 3;  // report the best of three (cold-cache guard)
   const std::vector<std::pair<std::string, Problem>> instances = {
       {"overfilled-24x20/32",
@@ -128,6 +139,8 @@ int main() {
   Table table({"instance", "routed", "waves", "spec commit/inval", "coverage",
                "1t ms", "2t ms", "4t ms", "8t ms", "speedup 4t",
                "identical"});
+  bench::BenchReport report = bench::make_report("net_parallel_speedup");
+  bool all_identical = true;
 
   for (const auto& [name, problem] : instances) {
     const Timed t1 = run(problem, 1, kReps);
@@ -138,6 +151,21 @@ int main() {
     const bool identical = t2.layout == t1.layout && t4.layout == t1.layout &&
                            t8.layout == t1.layout &&
                            t4.stats.expansions == t1.stats.expansions;
+    all_identical = all_identical && identical;
+
+    // Determinism fingerprints gate exactly; wall clocks gate with
+    // headroom; the speedup and coverage are host-shaped, info only.
+    const std::string prefix = name + "/";
+    report.add(prefix + "expansions",
+               static_cast<double>(t1.stats.expansions), bench::Gate::kExact);
+    report.add(prefix + "waves", t1.stats.waves, bench::Gate::kExact);
+    report.add(prefix + "spec_commits", t1.stats.spec_commits,
+               bench::Gate::kExact);
+    report.add(prefix + "identical", identical ? 1 : 0, bench::Gate::kExact);
+    report.add(prefix + "ms_1t", t1.ms, bench::Gate::kLowerBetter, 0.5);
+    report.add(prefix + "ms_4t", t4.ms);
+    report.add(prefix + "speedup_4t", t1.ms / t4.ms);
+    report.add(prefix + "coverage", t1.coverage);
 
     table.add_row({
         name,
@@ -168,5 +196,14 @@ int main() {
                "speedup columns.\nOn single-core hosts every ms column "
                "measures the same work plus engine\noverhead and the "
                "speedup hovers at 1.0x by construction.\n";
-  return 0;
+
+  if (!json_path.empty()) {
+    if (const Status s = bench::write_report_file(report, json_path);
+        !s.ok()) {
+      std::cerr << "error: " << s.to_string() << "\n";
+      return 2;
+    }
+    std::cout << "\nWrote " << json_path << "\n";
+  }
+  return all_identical ? 0 : 1;
 }

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_suite/report.hpp"
 #include "bench_suite/suite.hpp"
 #include "core/api.hpp"
 #include "io/table.hpp"
@@ -85,7 +86,17 @@ double time_route_once(const Problem& problem, obs::TraceSink* sink,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--json <path>]\n";
+      return 2;
+    }
+  }
+
   const std::vector<std::pair<std::string, Problem>> instances = {
       {"dense-switchbox", suite::dense_switchbox().to_problem()},
       {"burstein-class-23x15",
@@ -99,6 +110,10 @@ int main() {
 
   Table table({"instance", "expansions", "events", "off ms", "off overhead",
                "counting cost", "jsonl cost"});
+  bench::BenchReport report = bench::make_report("obs_overhead");
+  // The emit microbench is the noisiest number here (it measures a
+  // handful of instructions); gate it with double headroom.
+  report.add("emit_ns", emit_ns, bench::Gate::kLowerBetter, 1.0);
 
   bool within_contract = true;
   for (const auto& [name, problem] : instances) {
@@ -137,6 +152,16 @@ int main() {
         events * emit_ns / (off_ms * 1'000'000.0);
     within_contract = within_contract && off_overhead <= 0.01;
 
+    const std::string prefix = name + "/";
+    report.add(prefix + "expansions", static_cast<double>(expansions),
+               bench::Gate::kExact);
+    report.add(prefix + "events_per_route", static_cast<double>(events),
+               bench::Gate::kExact);
+    report.add(prefix + "off_ms", off_ms, bench::Gate::kLowerBetter, 0.5);
+    report.add(prefix + "off_overhead", off_overhead);
+    report.add(prefix + "within_contract", off_overhead <= 0.01 ? 1 : 0,
+               bench::Gate::kExact);
+
     auto pct = [](double x) { return Table::num(100.0 * x, 2) + "%"; };
     table.add_row({
         name,
@@ -162,5 +187,14 @@ int main() {
                "route. It must stay under 1.00% (the\nzero-overhead-when-off "
                "contract; exit 1 otherwise). Sink columns compare\nwall "
                "floors and are informational: sinks are allowed to cost.\n";
+
+  if (!json_path.empty()) {
+    if (const Status s = bench::write_report_file(report, json_path);
+        !s.ok()) {
+      std::cerr << "error: " << s.to_string() << "\n";
+      return 2;
+    }
+    std::cout << "\nWrote " << json_path << "\n";
+  }
   return within_contract ? 0 : 1;
 }

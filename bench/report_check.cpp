@@ -1,0 +1,42 @@
+// Baseline gate for the BENCH_<name>.json reports — the comparison half of
+// the kernel-speed program (DESIGN.md §2.1g). scripts/bench.sh runs each
+// harness with --json, then this tool against the committed baseline:
+//
+//   bench_report_check <current.json> <baseline.json>
+//
+// Exit 0 when every gated metric passes (exact fingerprints match,
+// wall-clock metrics within their tolerance), 1 on any regression, 2 on
+// unreadable input. Prints one line per gated comparison.
+
+#include <iostream>
+#include <string>
+
+#include "bench_suite/report.hpp"
+
+using namespace gridroute;
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::cerr << "usage: " << argv[0] << " <current.json> <baseline.json>\n";
+    return 2;
+  }
+  const auto current = bench::read_report_file(argv[1]);
+  if (!current.ok()) {
+    std::cerr << "error reading current report: "
+              << current.status().to_string() << "\n";
+    return 2;
+  }
+  const auto baseline = bench::read_report_file(argv[2]);
+  if (!baseline.ok()) {
+    std::cerr << "error reading baseline report: "
+              << baseline.status().to_string() << "\n";
+    return 2;
+  }
+
+  const bench::GateCheck check =
+      bench::check_against_baseline(*current, *baseline);
+  for (const std::string& line : check.lines) std::cout << line << "\n";
+  std::cout << (check.ok ? "OK: " : "REGRESSION: ") << current->bench
+            << " vs " << argv[2] << "\n";
+  return check.ok ? 0 : 1;
+}

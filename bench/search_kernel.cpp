@@ -5,7 +5,14 @@
 // query returns identical paths, costs, and expansion counts; the only
 // thing allowed to differ is wall-clock time. This harness replays a fixed
 // batch of pin-to-pin queries on routed suite instances through both queue
-// kinds, cross-checks result identity, and reports the speedup.
+// kinds, cross-checks result identity, and reports the speedup. The two
+// weighted A* rows additionally pit the residual future cost against the
+// historical bbox-Manhattan bound: same costs by admissibility, fewer
+// expansions by sharpness (DESIGN.md §2.1g).
+//
+// `--json <path>` additionally writes a BENCH_search_kernel.json report
+// (per-family ns/query, expansion and cost fingerprints, host metadata)
+// for the committed-baseline regression gate — see scripts/bench.sh.
 
 #include <chrono>
 #include <iostream>
@@ -13,11 +20,12 @@
 #include <utility>
 #include <vector>
 
+#include "bench_suite/query_batch.hpp"
+#include "bench_suite/report.hpp"
 #include "bench_suite/suite.hpp"
 #include "core/incremental_router.hpp"
 #include "io/table.hpp"
 #include "maze/maze_router.hpp"
-#include "util/rng.hpp"
 
 using namespace gridroute;
 
@@ -26,90 +34,91 @@ namespace {
 constexpr int kQueriesPerInstance = 300;
 constexpr int kRepeats = 5;  // timing repeats over the same batch
 
-struct QueryBatch {
-  std::vector<SearchRequest> requests;
-};
-
-QueryBatch make_batch(const Problem& problem, std::uint64_t seed) {
-  QueryBatch batch;
-  Rng rng(seed);
-  const Rect b = problem.region().bounds();
-  for (int q = 0; q < kQueriesPerInstance; ++q) {
-    SearchRequest req;
-    req.net = static_cast<NetId>(
-        rng.next_below(static_cast<std::uint64_t>(problem.net_count())));
-    req.sources.push_back(
-        {{rng.next_int(b.lo.x, b.hi.x), rng.next_int(b.lo.y, b.hi.y)},
-         rng.next_bool(0.5) ? Layer::kMetal1 : Layer::kMetal2});
-    req.targets.push_back(
-        {{rng.next_int(b.lo.x, b.hi.x), rng.next_int(b.lo.y, b.hi.y)},
-         rng.next_bool(0.5) ? Layer::kMetal1 : Layer::kMetal2});
-    req.allow_push = rng.next_bool(0.3);
-    batch.requests.push_back(std::move(req));
-  }
-  return batch;
-}
-
-struct Timing {
-  double ms = 0;
+/// Identity fingerprint of one batch run — accumulated in an *untimed*
+/// pass, so the timed repeats below measure only the kernel (an earlier
+/// revision folded this bookkeeping into the timed loop, inflating every
+/// ns/query figure by the accumulation overhead).
+struct Fingerprint {
   long long expansions = 0;
-  long long cost_sum = 0;  // identity fingerprint across queue kinds
+  long long cost_sum = 0;
   int found = 0;
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
 };
 
 template <typename Router>
-Timing time_batch(Router& router, const QueryBatch& batch) {
-  Timing best;
-  for (int rep = 0; rep < kRepeats; ++rep) {
-    Timing t;
-    const auto t0 = std::chrono::steady_clock::now();
-    for (const SearchRequest& req : batch.requests) {
-      const SearchResult res = router.route(req);
-      t.expansions += router.last_expansions();
-      if (res.found) {
-        ++t.found;
-        t.cost_sum += res.cost;
-      }
-    }
-    t.ms = std::chrono::duration<double, std::milli>(
-               std::chrono::steady_clock::now() - t0)
-               .count();
-    if (rep == 0 || t.ms < best.ms) {
-      const bool same = rep == 0 || (t.expansions == best.expansions &&
-                                     t.cost_sum == best.cost_sum);
-      t.ms = same ? t.ms : best.ms;  // defensive; repeats cannot differ
-      best = t;
+Fingerprint fingerprint_batch(Router& router,
+                              const std::vector<SearchRequest>& batch) {
+  Fingerprint fp;
+  for (const SearchRequest& req : batch) {
+    const SearchResult res = router.route(req);
+    fp.expansions += router.last_expansions();
+    if (res.found) {
+      ++fp.found;
+      fp.cost_sum += res.cost;
     }
   }
-  return best;
+  return fp;
+}
+
+/// Best-of-kRepeats wall time for the batch; nothing but route() calls
+/// inside the timed region.
+template <typename Router>
+double time_batch(Router& router, const std::vector<SearchRequest>& batch) {
+  double best_ms = 0;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const SearchRequest& req : batch) router.route(req);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    if (rep == 0 || ms < best_ms) best_ms = ms;
+  }
+  return best_ms;
 }
 
 struct Row {
-  Timing heap;
-  Timing bucket;
+  Fingerprint fp;        ///< bucket fingerprint (heap must match)
+  double heap_ms = 0;
+  double bucket_ms = 0;
   bool identical = false;
 };
 
 template <typename Router, typename Configure>
 Row run_family(const RoutingGrid& grid, const PinBlocks& pins,
-               const QueryBatch& batch, Configure&& configure) {
+               const std::vector<SearchRequest>& batch,
+               Configure&& configure) {
   Router bucket_router(grid, pins);
   Router heap_router(grid, pins);
   configure(bucket_router);
   configure(heap_router);
   heap_router.set_queue_kind(SearchQueue::kHeap);
   Row row;
-  row.heap = time_batch(heap_router, batch);
-  row.bucket = time_batch(bucket_router, batch);
-  row.identical = row.heap.expansions == row.bucket.expansions &&
-                  row.heap.cost_sum == row.bucket.cost_sum &&
-                  row.heap.found == row.bucket.found;
+  row.fp = fingerprint_batch(bucket_router, batch);
+  const Fingerprint heap_fp = fingerprint_batch(heap_router, batch);
+  row.identical = row.fp == heap_fp;
+  row.heap_ms = time_batch(heap_router, batch);
+  row.bucket_ms = time_batch(bucket_router, batch);
   return row;
+}
+
+double ns_per_query(double ms) {
+  return ms * 1e6 / kQueriesPerInstance;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--json <path>]\n";
+      return 2;
+    }
+  }
+
   const std::vector<std::pair<std::string, Problem>> instances = {
       {"open-switchbox-32x32",
        suite::random_switchbox(3, 32, 32, 4, 2, 0.1).to_problem()},
@@ -122,40 +131,79 @@ int main() {
 
   Table table({"instance", "router", "queries", "expansions", "heap ms",
                "bucket ms", "speedup", "identical"});
+  bench::BenchReport report = bench::make_report("search_kernel");
 
   bool all_identical = true;
+  bool residual_sharper = true;
   for (const auto& [name, problem] : instances) {
     // Route the instance first so the batch runs against realistic
     // occupancy (owned wire, foreign walls, vias), not an empty board.
     IncrementalRouter router(problem);
     router.run();
     const PinBlocks pins(problem);
-    const QueryBatch batch = make_batch(problem, 42);
+    const std::vector<SearchRequest> batch = suite::make_query_batch(
+        problem, 42, {.queries = kQueriesPerInstance});
 
     const Row lee = run_family<LeeRouter>(router.grid(), pins, batch,
                                           [](LeeRouter&) {});
-    const Row weighted = run_family<WeightedMazeRouter>(
+    const Row astar = run_family<WeightedMazeRouter>(
         router.grid(), pins, batch, [](WeightedMazeRouter&) {});
+    const Row astar_bbox = run_family<WeightedMazeRouter>(
+        router.grid(), pins, batch, [](WeightedMazeRouter& r) {
+          r.set_future_cost(FutureCost::kBboxManhattan);
+        });
     const Row dijkstra = run_family<WeightedMazeRouter>(
         router.grid(), pins, batch,
         [](WeightedMazeRouter& r) { r.set_heuristic(false); });
 
+    // Admissibility means identical total costs; sharpness means the
+    // residual bound must never expand more than bbox-Manhattan.
+    residual_sharper = residual_sharper &&
+                       astar.fp.cost_sum == astar_bbox.fp.cost_sum &&
+                       astar.fp.found == astar_bbox.fp.found &&
+                       astar.fp.expansions <= astar_bbox.fp.expansions;
+
     const std::vector<std::pair<std::string, const Row*>> rows = {
-        {"lee", &lee}, {"weighted A*", &weighted}, {"weighted dijkstra",
-                                                    &dijkstra}};
+        {"lee", &lee},
+        {"weighted A* (residual)", &astar},
+        {"weighted A* (bbox)", &astar_bbox},
+        {"weighted dijkstra", &dijkstra},
+    };
     for (const auto& [router_name, row] : rows) {
       all_identical = all_identical && row->identical;
       table.add_row({
           name,
           router_name,
           std::to_string(kQueriesPerInstance),
-          std::to_string(row->bucket.expansions),
-          Table::num(row->heap.ms, 1),
-          Table::num(row->bucket.ms, 1),
-          Table::num(row->heap.ms / row->bucket.ms, 2) + "x",
+          std::to_string(row->fp.expansions),
+          Table::num(row->heap_ms, 1),
+          Table::num(row->bucket_ms, 1),
+          Table::num(row->heap_ms / row->bucket_ms, 2) + "x",
           row->identical ? "yes" : "NO",
       });
     }
+
+    const std::vector<std::pair<std::string, const Row*>> families = {
+        {"lee", &lee},
+        {"weighted-astar", &astar},
+        {"weighted-astar-bbox", &astar_bbox},
+        {"weighted-dijkstra", &dijkstra},
+    };
+    for (const auto& [family, row] : families) {
+      const std::string prefix = name + "/" + family + "/";
+      report.add(prefix + "ns_per_query", ns_per_query(row->bucket_ms),
+                 bench::Gate::kLowerBetter, 0.5);
+      report.add(prefix + "heap_ns_per_query", ns_per_query(row->heap_ms));
+      report.add(prefix + "expansions",
+                 static_cast<double>(row->fp.expansions),
+                 bench::Gate::kExact);
+      report.add(prefix + "cost_fingerprint",
+                 static_cast<double>(row->fp.cost_sum), bench::Gate::kExact);
+      report.add(prefix + "found", row->fp.found, bench::Gate::kExact);
+    }
+    report.add(name + "/residual_vs_bbox_expansion_ratio",
+               static_cast<double>(astar.fp.expansions) /
+                   static_cast<double>(astar_bbox.fp.expansions));
   }
 
   std::cout << "Search kernel: Dial bucket queue vs. reference binary heap "
@@ -166,6 +214,17 @@ int main() {
   std::cout << "\nReading: 'identical' must read yes on every row (the two "
                "queues are\ndifferentially tested for equal pop sequences); "
                "speedup > 1.0x means the\nbucket kernel wins on that "
-               "family.\n";
-  return all_identical ? 0 : 1;
+               "family. The residual A* row must match the bbox\nrow's "
+               "costs with no more expansions (admissible, sharper): "
+            << (residual_sharper ? "yes" : "NO") << ".\n";
+
+  if (!json_path.empty()) {
+    if (const Status s = bench::write_report_file(report, json_path);
+        !s.ok()) {
+      std::cerr << "error: " << s.to_string() << "\n";
+      return 2;
+    }
+    std::cout << "\nWrote " << json_path << "\n";
+  }
+  return all_identical && residual_sharper ? 0 : 1;
 }

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Kernel-speed program driver (DESIGN.md §2.1g): runs every JSON-reporting
+# bench harness, writes BENCH_<name>.json next to the build, and compares
+# against the committed baselines under bench/baselines/.
+#
+#   scripts/bench.sh            # run harnesses, print reports + diff
+#   scripts/bench.sh --check    # same, exit 1 on any gated regression
+#   scripts/bench.sh --update   # same, then overwrite the baselines
+#                               # (commit the result: the baseline file is
+#                               # the gate's policy document)
+#
+# Gate semantics live in the baseline JSON itself (src/bench_suite/report.hpp):
+# determinism fingerprints (expansions, cost sums, event counts) gate
+# exactly; wall-clock metrics gate with per-metric tolerance headroom;
+# info metrics are recorded for the trajectory and never gated.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-run}"
+case "$MODE" in
+  run|--check|--update) ;;
+  *) echo "usage: $0 [--check|--update]" >&2; exit 2 ;;
+esac
+
+BENCHES=(search_kernel net_parallel_speedup obs_overhead)
+BASELINES=bench/baselines
+
+cmake -B build -S . >/dev/null
+cmake --build build -j --target "${BENCHES[@]}" bench_report_check
+
+status=0
+for name in "${BENCHES[@]}"; do
+  echo "=== $name ==="
+  current="build/BENCH_${name}.json"
+  # The harness's own invariant gates (identity, sharper-heuristic,
+  # overhead contract) fail it regardless of mode.
+  "./build/bench/${name}" --json "$current" || status=1
+
+  baseline="${BASELINES}/BENCH_${name}.json"
+  if [ "$MODE" = "--update" ]; then
+    mkdir -p "$BASELINES"
+    cp "$current" "$baseline"
+    echo "updated $baseline"
+  elif [ -f "$baseline" ]; then
+    ./build/bench/bench_report_check "$current" "$baseline" || status=1
+  else
+    echo "no baseline at $baseline (run scripts/bench.sh --update)"
+    [ "$MODE" = "--check" ] && status=1
+  fi
+  echo
+done
+
+if [ "$MODE" = "--check" ]; then
+  exit "$status"
+fi
+exit 0

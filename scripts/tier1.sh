@@ -1,15 +1,22 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + test suite, then the multi-start
-# concurrency tests, the observability tests (golden trace, budget,
-# routing-API surface — sinks take events from every worker), and the
-# net-parallel wave-engine differential fuzz plus the fault-injection
-# degradation fuzz again under ThreadSanitizer (GRIDROUTE_SANITIZE=thread);
-# the search-kernel differential tests, the malformed-input parser corpus,
-# and both fuzzes under UndefinedBehaviorSanitizer
-# (GRIDROUTE_SANITIZE=undefined); and the parser corpus + fault fuzz under
-# AddressSanitizer (GRIDROUTE_SANITIZE=address) — hostile inputs and
-# injected faults exercise exactly the rollback/cleanup paths where a
-# dangling journal reference or leaked wave state would hide.
+# Tier-1 verification: full build + test suite, then targeted sanitizer
+# re-runs. Which tests each sanitizer leg runs is declared in
+# tests/CMakeLists.txt as ctest labels (tsan / ubsan / asan) on the
+# gr_test() calls — the legs here just build everything (gr_all_tests) and
+# run `ctest -L <label>`, so a newly added test joins the sanitizer runs by
+# carrying the label instead of by someone remembering to extend a binary
+# list in this script (the old hand-maintained lists silently dropped new
+# tests).
+#
+# Label intent:
+#   tsan   concurrency surfaces — multi-start workers, the net-parallel
+#          wave engine, trace sinks fed from every worker, injected-fault
+#          unwinds racing pool joins.
+#   ubsan  arithmetic/UB surfaces — the search kernel differentials, the
+#          malformed-input parsers, status plumbing.
+#   asan   memory surfaces — hostile inputs and injected faults exercising
+#          exactly the rollback/cleanup paths where a dangling journal
+#          reference or leaked wave state would hide.
 #
 #   scripts/tier1.sh                  # everything
 #   GRIDROUTE_SKIP_TSAN=1 scripts/tier1.sh   # skip the TSan re-run
@@ -23,40 +30,25 @@ cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
+# The differential fuzzes, shrunk under sanitizers: TSan is ~20x slower,
+# and the race/UB surfaces are per-wave/per-schedule, so a couple dozen
+# instances cross them thousands of times.
+SHRINK_ENV=(GRIDROUTE_NETPAR_INSTANCES=20 GRIDROUTE_FAULT_INSTANCES=40)
+
 if [ "${GRIDROUTE_SKIP_TSAN:-0}" != "1" ]; then
   cmake -B build-tsan -S . -DGRIDROUTE_SANITIZE=thread
-  cmake --build build-tsan -j --target parallel_test multistart_test \
-    obs_test api_test net_parallel_test fault_injection_test
-  ./build-tsan/tests/parallel_test
-  ./build-tsan/tests/multistart_test
-  ./build-tsan/tests/obs_test
-  ./build-tsan/tests/api_test
-  # The differential fuzzes, shrunk: TSan is ~20x slower, and both race
-  # surfaces (speculation reads vs commit writes; injected-fault unwinds
-  # vs pool joins) are per-wave/per-schedule, so a couple dozen instances
-  # cross them thousands of times.
-  GRIDROUTE_NETPAR_INSTANCES=20 ./build-tsan/tests/net_parallel_test
-  GRIDROUTE_FAULT_INSTANCES=40 ./build-tsan/tests/fault_injection_test
+  cmake --build build-tsan -j --target gr_all_tests
+  (cd build-tsan && env "${SHRINK_ENV[@]}" ctest --output-on-failure -L tsan)
 fi
 
 if [ "${GRIDROUTE_SKIP_UBSAN:-0}" != "1" ]; then
   cmake -B build-ubsan -S . -DGRIDROUTE_SANITIZE=undefined
-  cmake --build build-ubsan -j --target search_test net_parallel_test \
-    status_test parser_corpus_test fault_injection_test
-  ./build-ubsan/tests/search_test
-  ./build-ubsan/tests/status_test
-  ./build-ubsan/tests/parser_corpus_test
-  GRIDROUTE_NETPAR_INSTANCES=20 ./build-ubsan/tests/net_parallel_test
-  GRIDROUTE_FAULT_INSTANCES=40 ./build-ubsan/tests/fault_injection_test
+  cmake --build build-ubsan -j --target gr_all_tests
+  (cd build-ubsan && env "${SHRINK_ENV[@]}" ctest --output-on-failure -L ubsan)
 fi
 
 if [ "${GRIDROUTE_SKIP_ASAN:-0}" != "1" ]; then
   cmake -B build-asan -S . -DGRIDROUTE_SANITIZE=address
-  cmake --build build-asan -j --target io_test solution_format_test \
-    status_test parser_corpus_test fault_injection_test
-  ./build-asan/tests/io_test
-  ./build-asan/tests/solution_format_test
-  ./build-asan/tests/status_test
-  ./build-asan/tests/parser_corpus_test
-  GRIDROUTE_FAULT_INSTANCES=40 ./build-asan/tests/fault_injection_test
+  cmake --build build-asan -j --target gr_all_tests
+  (cd build-asan && env "${SHRINK_ENV[@]}" ctest --output-on-failure -L asan)
 fi

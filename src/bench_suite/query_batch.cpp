@@ -1,0 +1,40 @@
+#include "bench_suite/query_batch.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace gridroute::suite {
+
+std::vector<SearchRequest> make_query_batch(const Problem& problem,
+                                            std::uint64_t seed,
+                                            const QueryBatchOptions& options) {
+  std::vector<SearchRequest> batch;
+  batch.reserve(static_cast<std::size_t>(std::max(options.queries, 0)));
+  Rng rng(seed);
+  const Rect b = problem.region().bounds();
+  const auto draw = [&]() {
+    return GridPoint{{rng.next_int(b.lo.x, b.hi.x),
+                      rng.next_int(b.lo.y, b.hi.y)},
+                     rng.next_bool(0.5) ? Layer::kMetal1 : Layer::kMetal2};
+  };
+  for (int q = 0; q < options.queries; ++q) {
+    SearchRequest req;
+    if (problem.net_count() > 0)
+      req.net = static_cast<NetId>(
+          rng.next_below(static_cast<std::uint64_t>(problem.net_count())));
+    req.sources.push_back(draw());
+    req.targets.push_back(draw());
+    // Bounded reroll: 16 tries separates any region with at least two
+    // nodes with probability ~1; a 1x1 single-layer region keeps the
+    // degenerate pair.
+    for (int tries = 0; tries < 16 && req.targets[0] == req.sources[0];
+         ++tries)
+      req.targets[0] = draw();
+    req.allow_push = rng.next_bool(options.push_probability);
+    batch.push_back(std::move(req));
+  }
+  return batch;
+}
+
+}  // namespace gridroute::suite

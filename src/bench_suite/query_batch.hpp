@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "maze/maze_router.hpp"
+#include "problem/problem.hpp"
+
+namespace gridroute::suite {
+
+struct QueryBatchOptions {
+  int queries = 300;
+  /// Probability a query probes in push mode (allow_push = true).
+  double push_probability = 0.3;
+};
+
+/// Builds a deterministic batch of pin-to-pin search queries over a
+/// problem's region — the shared workload generator behind the kernel
+/// benchmarks and the differential search tests.
+///
+/// Two contract guards the original in-harness generator lacked:
+///  - A zero-net problem draws no net id at all (Rng::next_below requires a
+///    positive bound); every query then runs as kNoNet, which every router
+///    accepts.
+///  - A degenerate draw (source == target, same position and layer) is
+///    rerolled — seed-stably, since the reroll consumes the same
+///    deterministic stream — so timed batches never contain queries the
+///    kernel answers without doing any work. Rerolling is bounded; a
+///    region too small to separate two draws keeps the degenerate query
+///    rather than looping forever.
+std::vector<SearchRequest> make_query_batch(const Problem& problem,
+                                            std::uint64_t seed,
+                                            const QueryBatchOptions& options =
+                                                {});
+
+}  // namespace gridroute::suite

@@ -1,0 +1,490 @@
+#include "bench_suite/report.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace gridroute::bench {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON writing
+// ---------------------------------------------------------------------------
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Shortest representation that round-trips: integers (the exact-gated
+/// fingerprints) print without a fraction, everything else with enough
+/// digits to reparse bit-identically.
+void append_number(std::string& out, double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    out += std::to_string(static_cast<long long>(v));
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+// ---------------------------------------------------------------------------
+// JSON parsing — a minimal recursive-descent reader for the report schema.
+// Tolerant of field order, whitespace, and unknown fields (skipped), strict
+// about structure; errors carry the 1-based line/column of the offending
+// character.
+// ---------------------------------------------------------------------------
+
+class Reader {
+ public:
+  Reader(std::string_view text, std::string source)
+      : text_(text), source_(std::move(source)) {}
+
+  Status error(const std::string& message) const {
+    SourceContext where{source_, 1, 1};
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++where.line;
+        where.column = 1;
+      } else {
+        ++where.column;
+      }
+    }
+    return Status::parse_error(message, where);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  Status expect(char c) {
+    if (peek() != c)
+      return error(std::string("expected '") + c + "', got '" + peek() + "'");
+    ++pos_;
+    return {};
+  }
+
+  StatusOr<std::string> parse_string() {
+    if (Status s = expect('"'); !s.ok()) return s;
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return error("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return error("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return error("bad hex digit in \\u escape");
+            }
+            // Reports are ASCII; anything else degrades to '?' rather than
+            // growing a UTF-8 encoder nobody needs here.
+            c = code < 0x80 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default:
+            return error(std::string("unknown escape '\\") + e + "'");
+        }
+      }
+      out += c;
+    }
+    if (Status s = expect('"'); !s.ok()) return error("unterminated string");
+    return out;
+  }
+
+  StatusOr<double> parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+      ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+'))
+      ++pos_;
+    if (pos_ == start) return error("expected a number");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0')
+      return error("bad number '" + token + "'");
+    return v;
+  }
+
+  /// Skips any JSON value (used for unknown fields).
+  Status skip_value() {
+    const char c = peek();
+    if (c == '"') {
+      auto s = parse_string();
+      return s.ok() ? Status{} : s.status();
+    }
+    if (c == '{' || c == '[') {
+      const char close = c == '{' ? '}' : ']';
+      ++pos_;
+      if (peek() == close) { ++pos_; return {}; }
+      while (true) {
+        if (c == '{') {
+          if (auto key = parse_string(); !key.ok()) return key.status();
+          if (Status s = expect(':'); !s.ok()) return s;
+        }
+        if (Status s = skip_value(); !s.ok()) return s;
+        const char next = peek();
+        if (next == ',') { ++pos_; continue; }
+        if (next == close) { ++pos_; return {}; }
+        return error("expected ',' or container close");
+      }
+    }
+    if (c == 't' || c == 'f' || c == 'n') {
+      skip_ws();
+      const std::string_view rest = text_.substr(pos_);
+      for (const std::string_view word : {"true", "false", "null"})
+        if (rest.substr(0, word.size()) == word) {
+          pos_ += word.size();
+          return {};
+        }
+      return error("bad literal");
+    }
+    auto n = parse_number();
+    return n.ok() ? Status{} : n.status();
+  }
+
+  /// Iterates the fields of an object: calls field(key) for each, which
+  /// must consume the value (or skip it).
+  template <typename FieldFn>
+  Status parse_object(FieldFn&& field) {
+    if (Status s = expect('{'); !s.ok()) return s;
+    if (peek() == '}') { ++pos_; return {}; }
+    while (true) {
+      auto key = parse_string();
+      if (!key.ok()) return key.status();
+      if (Status s = expect(':'); !s.ok()) return s;
+      if (Status s = field(*key); !s.ok()) return s;
+      const char next = peek();
+      if (next == ',') { ++pos_; continue; }
+      if (next == '}') { ++pos_; return {}; }
+      return error("expected ',' or '}' in object");
+    }
+  }
+
+  /// Iterates an array: calls element() once per entry.
+  template <typename ElementFn>
+  Status parse_array(ElementFn&& element) {
+    if (Status s = expect('['); !s.ok()) return s;
+    if (peek() == ']') { ++pos_; return {}; }
+    while (true) {
+      if (Status s = element(); !s.ok()) return s;
+      const char next = peek();
+      if (next == ',') { ++pos_; continue; }
+      if (next == ']') { ++pos_; return {}; }
+      return error("expected ',' or ']' in array");
+    }
+  }
+
+ private:
+  std::string_view text_;
+  std::string source_;
+  std::size_t pos_ = 0;
+};
+
+StatusOr<Gate> gate_from_name(const std::string& name, const Reader& reader) {
+  for (const Gate g : {Gate::kExact, Gate::kLowerBetter, Gate::kHigherBetter,
+                       Gate::kInfo})
+    if (name == gate_name(g)) return g;
+  return reader.error("unknown gate '" + name + "'");
+}
+
+}  // namespace
+
+const char* gate_name(Gate gate) {
+  switch (gate) {
+    case Gate::kExact: return "exact";
+    case Gate::kLowerBetter: return "lower_better";
+    case Gate::kHigherBetter: return "higher_better";
+    case Gate::kInfo: return "info";
+  }
+  return "unknown";
+}
+
+void BenchReport::add(std::string name, double value, Gate gate,
+                      double tolerance) {
+  metrics.push_back({std::move(name), value, gate, tolerance});
+}
+
+const Metric* BenchReport::find(std::string_view name) const {
+  for (const Metric& m : metrics)
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+BenchReport make_report(std::string bench_name) {
+  BenchReport report;
+  report.bench = std::move(bench_name);
+#if defined(__linux__)
+  report.os = "linux";
+#elif defined(__APPLE__)
+  report.os = "darwin";
+#elif defined(_WIN32)
+  report.os = "windows";
+#else
+  report.os = "unknown";
+#endif
+#if defined(__VERSION__)
+  report.compiler = __VERSION__;
+#else
+  report.compiler = "unknown";
+#endif
+  report.hardware_threads =
+      static_cast<int>(std::thread::hardware_concurrency());
+  return report;
+}
+
+std::string to_json(const BenchReport& report) {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": ";
+  append_number(out, report.schema);
+  out += ",\n  \"bench\": ";
+  append_escaped(out, report.bench);
+  out += ",\n  \"host\": {\"os\": ";
+  append_escaped(out, report.os);
+  out += ", \"compiler\": ";
+  append_escaped(out, report.compiler);
+  out += ", \"hardware_threads\": ";
+  append_number(out, report.hardware_threads);
+  out += "},\n  \"metrics\": [\n";
+  for (std::size_t i = 0; i < report.metrics.size(); ++i) {
+    const Metric& m = report.metrics[i];
+    out += "    {\"name\": ";
+    append_escaped(out, m.name);
+    out += ", \"value\": ";
+    append_number(out, m.value);
+    out += ", \"gate\": ";
+    append_escaped(out, gate_name(m.gate));
+    if (m.gate == Gate::kLowerBetter || m.gate == Gate::kHigherBetter) {
+      out += ", \"tolerance\": ";
+      append_number(out, m.tolerance);
+    }
+    out += i + 1 < report.metrics.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+StatusOr<BenchReport> parse_report(std::string_view json,
+                                   std::string source_name) {
+  Reader reader(json, std::move(source_name));
+  BenchReport report;
+  bool saw_schema = false;
+
+  const Status status = reader.parse_object([&](const std::string& key) {
+    if (key == "schema") {
+      auto v = reader.parse_number();
+      if (!v.ok()) return v.status();
+      report.schema = static_cast<int>(*v);
+      saw_schema = true;
+      if (report.schema != BenchReport::kSchemaVersion)
+        return reader.error("unsupported schema version " +
+                            std::to_string(report.schema));
+      return Status{};
+    }
+    if (key == "bench") {
+      auto v = reader.parse_string();
+      if (!v.ok()) return v.status();
+      report.bench = *v;
+      return Status{};
+    }
+    if (key == "host") {
+      return reader.parse_object([&](const std::string& host_key) {
+        if (host_key == "os" || host_key == "compiler") {
+          auto v = reader.parse_string();
+          if (!v.ok()) return v.status();
+          (host_key == "os" ? report.os : report.compiler) = *v;
+          return Status{};
+        }
+        if (host_key == "hardware_threads") {
+          auto v = reader.parse_number();
+          if (!v.ok()) return v.status();
+          report.hardware_threads = static_cast<int>(*v);
+          return Status{};
+        }
+        return reader.skip_value();
+      });
+    }
+    if (key == "metrics") {
+      return reader.parse_array([&]() {
+        Metric m;
+        bool saw_name = false, saw_value = false;
+        const Status s = reader.parse_object([&](const std::string& mk) {
+          if (mk == "name") {
+            auto v = reader.parse_string();
+            if (!v.ok()) return v.status();
+            m.name = *v;
+            saw_name = true;
+            return Status{};
+          }
+          if (mk == "value") {
+            auto v = reader.parse_number();
+            if (!v.ok()) return v.status();
+            m.value = *v;
+            saw_value = true;
+            return Status{};
+          }
+          if (mk == "gate") {
+            auto v = reader.parse_string();
+            if (!v.ok()) return v.status();
+            auto g = gate_from_name(*v, reader);
+            if (!g.ok()) return g.status();
+            m.gate = *g;
+            return Status{};
+          }
+          if (mk == "tolerance") {
+            auto v = reader.parse_number();
+            if (!v.ok()) return v.status();
+            m.tolerance = *v;
+            return Status{};
+          }
+          return reader.skip_value();
+        });
+        if (!s.ok()) return s;
+        if (!saw_name || !saw_value)
+          return reader.error("metric missing required 'name' or 'value'");
+        report.metrics.push_back(std::move(m));
+        return Status{};
+      });
+    }
+    return reader.skip_value();
+  });
+  if (!status.ok()) return status;
+  if (!reader.at_end()) return reader.error("trailing garbage after report");
+  if (!saw_schema) return reader.error("report has no 'schema' field");
+  if (report.bench.empty()) return reader.error("report has no 'bench' field");
+  return report;
+}
+
+Status write_report_file(const BenchReport& report, const std::string& path) {
+  std::ofstream out(path);
+  if (!out)
+    return Status::resource_error("cannot open '" + path + "' for writing");
+  out << to_json(report);
+  out.flush();
+  if (!out) return Status::resource_error("write to '" + path + "' failed");
+  return {};
+}
+
+StatusOr<BenchReport> read_report_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::resource_error("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_report(buffer.str(), path);
+}
+
+GateCheck check_against_baseline(const BenchReport& current,
+                                 const BenchReport& baseline) {
+  GateCheck check;
+  auto fail = [&](std::string line) {
+    check.ok = false;
+    check.lines.push_back("FAIL " + std::move(line));
+  };
+  auto pass = [&](std::string line) {
+    check.lines.push_back("PASS " + std::move(line));
+  };
+
+  if (current.bench != baseline.bench)
+    fail("bench name mismatch: current '" + current.bench + "' vs baseline '" +
+         baseline.bench + "'");
+
+  for (const Metric& base : baseline.metrics) {
+    const Metric* cur = current.find(base.name);
+    if (cur == nullptr) {
+      if (base.gate != Gate::kInfo)
+        fail(base.name + ": present in baseline but missing from the "
+                         "current report");
+      continue;
+    }
+    char detail[160];
+    std::snprintf(detail, sizeof detail, "%s: %.6g vs baseline %.6g",
+                  base.name.c_str(), cur->value, base.value);
+    switch (base.gate) {
+      case Gate::kExact:
+        if (cur->value == base.value) pass(std::string(detail) + " (exact)");
+        else fail(std::string(detail) + " (exact mismatch)");
+        break;
+      case Gate::kLowerBetter:
+        if (cur->value <= base.value * (1.0 + base.tolerance))
+          pass(std::string(detail) + " (within +" +
+               std::to_string(static_cast<int>(base.tolerance * 100)) + "%)");
+        else
+          fail(std::string(detail) + " (regressed past +" +
+               std::to_string(static_cast<int>(base.tolerance * 100)) + "%)");
+        break;
+      case Gate::kHigherBetter:
+        if (cur->value >= base.value * (1.0 - base.tolerance))
+          pass(std::string(detail) + " (within -" +
+               std::to_string(static_cast<int>(base.tolerance * 100)) + "%)");
+        else
+          fail(std::string(detail) + " (regressed past -" +
+               std::to_string(static_cast<int>(base.tolerance * 100)) + "%)");
+        break;
+      case Gate::kInfo:
+        break;
+    }
+  }
+  for (const Metric& cur : current.metrics)
+    if (baseline.find(cur.name) == nullptr)
+      check.lines.push_back("NOTE " + cur.name +
+                            ": new metric, no baseline yet (joins on the "
+                            "next --update)");
+  return check;
+}
+
+}  // namespace gridroute::bench

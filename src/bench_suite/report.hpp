@@ -1,0 +1,98 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace gridroute::bench {
+
+/// How a metric is compared against its committed baseline by
+/// check_against_baseline (and therefore by `scripts/bench.sh --check`).
+///
+///   kExact        must match the baseline bit-for-bit. For determinism
+///                 fingerprints: expansions, cost sums, event counts —
+///                 anything that is a pure function of the routing
+///                 decisions, never of the host.
+///   kLowerBetter  current <= baseline * (1 + tolerance). For wall-clock
+///                 metrics, where machine noise demands headroom but a
+///                 real regression must still trip the gate.
+///   kHigherBetter current >= baseline * (1 - tolerance). For speedups
+///                 and coverage ratios.
+///   kInfo         recorded for the trajectory, never gated (host
+///                 metadata, derived ratios).
+enum class Gate { kExact, kLowerBetter, kHigherBetter, kInfo };
+
+const char* gate_name(Gate gate);
+
+/// One named number in a bench report. Names are path-style
+/// ("instance/family/metric") so reports stay greppable and diffs read
+/// naturally. The gate and tolerance travel with the metric: the
+/// *committed baseline* is the policy document, so re-gating a metric is
+/// a reviewed change to the checked-in JSON, not a flag-day in the
+/// harness.
+struct Metric {
+  std::string name;
+  double value = 0;
+  Gate gate = Gate::kInfo;
+  /// Relative headroom for kLowerBetter / kHigherBetter; ignored by
+  /// kExact / kInfo. The default 0.5 (50%) absorbs shared-hardware noise
+  /// while still catching step-change regressions; per-metric overrides
+  /// live in the baseline file.
+  double tolerance = 0.5;
+};
+
+/// Machine-readable result of one bench harness run — the BENCH_<name>.json
+/// schema (version 1, DESIGN.md §2.1g). Every harness in bench/ that takes
+/// a `--json <path>` flag writes one of these next to its human table;
+/// committed baselines under bench/baselines/ accumulate the performance
+/// trajectory and gate regressions.
+struct BenchReport {
+  static constexpr int kSchemaVersion = 1;
+
+  int schema = kSchemaVersion;
+  std::string bench;  ///< harness name, e.g. "search_kernel"
+
+  // Host metadata — context for reading absolute numbers, never gated.
+  std::string os;
+  std::string compiler;
+  int hardware_threads = 0;
+
+  std::vector<Metric> metrics;
+
+  void add(std::string name, double value, Gate gate = Gate::kInfo,
+           double tolerance = 0.5);
+  const Metric* find(std::string_view name) const;
+};
+
+/// A report pre-filled with this binary's host metadata.
+BenchReport make_report(std::string bench_name);
+
+std::string to_json(const BenchReport& report);
+
+/// Parses a schema-1 report. Unknown fields are skipped (forward
+/// compatibility); a wrong schema version or malformed JSON is a kParse
+/// error with the offending line/column.
+StatusOr<BenchReport> parse_report(std::string_view json,
+                                   std::string source_name = "<string>");
+
+Status write_report_file(const BenchReport& report, const std::string& path);
+StatusOr<BenchReport> read_report_file(const std::string& path);
+
+/// Outcome of gating one report against its committed baseline.
+struct GateCheck {
+  bool ok = true;
+  /// One human-readable line per gated comparison ("PASS ..."/"FAIL ...");
+  /// also notes baseline metrics missing from the current report (a
+  /// coverage regression — FAIL) and current metrics with no baseline
+  /// (informational; they join the baseline on the next --update).
+  std::vector<std::string> lines;
+};
+
+/// Compares `current` against `baseline`, metric by metric, under the
+/// *baseline's* gate policy.
+GateCheck check_against_baseline(const BenchReport& current,
+                                 const BenchReport& baseline);
+
+}  // namespace gridroute::bench

@@ -50,8 +50,10 @@ struct IncrementalRouter::WaveWorker {
   SearchArena arena;
   WeightedMazeRouter router;
   explicit WaveWorker(const RoutingGrid& grid, const PinBlocks& pins,
-                      CostModel costs)
-      : router(grid, pins, costs, &arena) {}
+                      CostModel costs, FutureCost future_cost)
+      : router(grid, pins, costs, &arena) {
+    router.set_future_cost(future_cost);
+  }
 };
 
 /// Wave cap. A thread-count-independent constant: wave formation (and the
@@ -71,6 +73,7 @@ IncrementalRouter::IncrementalRouter(const Problem& problem,
       history_(static_cast<size_t>(problem.region().width()) *
                    static_cast<size_t>(problem.region().height()),
                0) {
+  search_.set_future_cost(options_.future_cost);
   // Lay down every net's pre-wire before any routing happens. Problems
   // with conflicting or unroutable pre-wire are rejected here (validate()
   // reports the same conflicts with friendlier messages).
@@ -168,8 +171,8 @@ bool IncrementalRouter::ensure_wave_state() {
     if (wave_pool_ == nullptr)
       wave_pool_ = std::make_unique<WavePool>(width - 1);
     while (static_cast<int>(wave_workers_.size()) < width)
-      wave_workers_.push_back(
-          std::make_unique<WaveWorker>(grid_, pins_, options_.costs));
+      wave_workers_.push_back(std::make_unique<WaveWorker>(
+          grid_, pins_, options_.costs, options_.future_cost));
     return true;
   } catch (const fault::InjectedFault& f) {
     wave_disabled_ = true;

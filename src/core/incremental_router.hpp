@@ -62,6 +62,13 @@ inline const char* degradation_kind_name(Degradation::Kind kind) {
 struct RouterOptions {
   CostModel costs;
 
+  /// Future cost steering every maze search this router runs (the main
+  /// search lane and each wave worker's). See FutureCost: every mode is
+  /// cost-optimal; they differ in expansions — and, through equal-cost
+  /// tie-breaking, in *which* optimal path is returned, so the mode is a
+  /// routing-relevant knob, not just a speed dial (DESIGN.md §2.1g).
+  FutureCost future_cost = FutureCost::kResidual;
+
   /// Stage 2: weak modification — push segments of blocking nets aside
   /// (sever locally, repair around the new wire).
   bool enable_weak = true;
@@ -77,8 +84,12 @@ struct RouterOptions {
   int max_repair_steps = 16;
   /// Push probes per blocked connection: after a probe's victims prove
   /// unrepairable they are frozen and the search proposes a different
-  /// crossing, up to this many times.
-  int weak_probe_retries = 3;
+  /// crossing, up to this many times. Retuned 3 → 5 alongside the
+  /// FutureCost::kResidual default: the sharper bound changes equal-cost
+  /// tie-breaking, and the extra victim diversity restores the Table 1
+  /// density results at *less* total effort than escalating to rip-up
+  /// (deutsch-class-b at density: 38 rip-ups vs 185 at 3 retries).
+  int weak_probe_retries = 5;
   /// After the main loop, failed nets get this many whole extra passes.
   int retry_passes = 1;
 

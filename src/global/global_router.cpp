@@ -20,15 +20,26 @@ GlobalEdge normalized(Point a, Point b) {
 constexpr Point kSteps[4] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
 
 /// Cost provider for terminal-to-tree searches over the gcell graph: one
-/// state per gcell, edge costs from GlobalRouter::edge_cost, no heuristic
-/// (plain Dijkstra — targets move every negotiation round, so there is no
-/// stable goal box to aim at).
+/// state per gcell, edge costs from GlobalRouter::edge_cost. The future
+/// cost is the congestion map exported as a cut-minimum lower-bound grid
+/// (rebuilt per search — usage moves between searches), aimed at the
+/// bounding box of the still-pending terminals: admissible toward the
+/// *nearest* of them, which is exactly what the tree-growth search pops
+/// first (DESIGN.md §2.1g).
 struct GcellProvider {
   const GlobalRouter& router;
   int cols;
+  const search::CutLowerBounds* lower_bounds = nullptr;
+  /// Bounding box of the pending terminals; invalid = plain Dijkstra.
+  Rect target_box{{0, 0}, {-1, -1}};
 
   std::uint32_t node_of(std::uint32_t state) const { return state; }
-  std::int64_t heuristic(std::uint32_t) const { return 0; }
+  std::int64_t heuristic(std::uint32_t node) const {
+    if (lower_bounds == nullptr) return 0;
+    const Point g{static_cast<int>(node) % cols,
+                  static_cast<int>(node) / cols};
+    return lower_bounds->bound(g, target_box);
+  }
 
   template <typename Emit>
   void expand(std::uint32_t state, std::int64_t g, Emit&& emit) const {
@@ -44,13 +55,15 @@ struct GcellProvider {
 };
 
 /// Bucket window for the gcell search: covers the base edge cost plus the
-/// typical congestion surcharges; deeply history-inflated edges overflow
-/// into the queue's heap (correctness never depends on the span).
+/// typical congestion surcharges, doubled because with the congestion
+/// future cost an edge away from the target box moves f by up to twice its
+/// own cost; deeply history-inflated edges overflow into the queue's heap
+/// (correctness never depends on the span).
 std::int64_t gcell_span(const GlobalRouterOptions& o) {
-  const std::int64_t span = 1 +
-                            4 * static_cast<std::int64_t>(o.overflow_penalty) +
-                            static_cast<std::int64_t>(o.history_increment) *
-                                std::max(o.max_iterations, 1);
+  const std::int64_t span =
+      2 * (1 + 4 * static_cast<std::int64_t>(o.overflow_penalty) +
+           static_cast<std::int64_t>(o.history_increment) *
+               std::max(o.max_iterations, 1));
   return std::clamp<std::int64_t>(span, 2, 4096);
 }
 
@@ -74,6 +87,28 @@ int GlobalRouter::edge_cost(Point a, Point b) const {
       it != edge_history_.end())
     cost += it->second;
   return cost;
+}
+
+search::CutLowerBounds GlobalRouter::congestion_lower_bounds() const {
+  const int cols = grid_.cols();
+  const int rows = grid_.rows();
+  std::vector<std::int64_t> x_min(
+      static_cast<std::size_t>(std::max(cols - 1, 0)),
+      search::CutLowerBounds::kUncrossable);
+  std::vector<std::int64_t> y_min(
+      static_cast<std::size_t>(std::max(rows - 1, 0)),
+      search::CutLowerBounds::kUncrossable);
+  for (int y = 0; y < rows; ++y)
+    for (int x = 0; x + 1 < cols; ++x)
+      if (const int c = edge_cost({x, y}, {x + 1, y}); c >= 0)
+        x_min[static_cast<std::size_t>(x)] =
+            std::min<std::int64_t>(x_min[static_cast<std::size_t>(x)], c);
+  for (int y = 0; y + 1 < rows; ++y)
+    for (int x = 0; x < cols; ++x)
+      if (const int c = edge_cost({x, y}, {x, y + 1}); c >= 0)
+        y_min[static_cast<std::size_t>(y)] =
+            std::min<std::int64_t>(y_min[static_cast<std::size_t>(y)], c);
+  return {{0, 0}, std::move(x_min), std::move(y_min)};
 }
 
 bool GlobalRouter::route_net(std::size_t index) {
@@ -101,11 +136,16 @@ bool GlobalRouter::route_net(std::size_t index) {
     return Point{static_cast<int>(i) % grid_.cols(),
                  static_cast<int>(i) / grid_.cols()};
   };
-  const GcellProvider provider{*this, grid_.cols()};
-
   int connected = 0;
   while (!todo.empty()) {
-    // Dijkstra from the whole current tree to the nearest pending terminal.
+    // Goal-oriented search from the whole current tree to the nearest
+    // pending terminal, steered by the congestion lower-bound grid
+    // (rebuilt here: the previous connection's commit moved usage).
+    const search::CutLowerBounds lower_bounds = congestion_lower_bounds();
+    Rect todo_box{todo.front(), todo.front()};
+    for (const Point t : todo) todo_box = todo_box.bounding_union({t, t});
+    const GcellProvider provider{*this, grid_.cols(), &lower_bounds,
+                                 todo_box};
     if (arena_.begin_search())
       trace_.emit(obs::TraceEvent::epoch_wrap(
           static_cast<std::int64_t>(arena_.state_count())));

@@ -9,6 +9,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "search/bucket_queue.hpp"
+#include "search/future_cost.hpp"
 #include "search/search_arena.hpp"
 
 namespace gridroute {
@@ -89,6 +90,16 @@ class GlobalRouter {
   /// is a pure query (the search kernel's cost provider reads it) and a
   /// useful diagnostic.
   int edge_cost(Point a, Point b) const;
+
+  /// The congestion map exported as a lower-bound grid (DESIGN.md §2.1g):
+  /// per grid cut, the minimum edge_cost over the cut under the *current*
+  /// usage and history. Prefix-summed, so bound(point, box) is an O(1)
+  /// admissible + consistent future cost for the gcell search — every path
+  /// to the box crosses each intervening cut at least once, at no less
+  /// than that cut's cheapest edge. Rebuilt before each terminal-to-tree
+  /// search (usage moves between them); also a useful congestion
+  /// diagnostic in its own right.
+  search::CutLowerBounds congestion_lower_bounds() const;
 
  private:
   /// Routes one net as a tree, updating usage. Returns false when some

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "search/future_cost.hpp"
 #include "search/goal_search.hpp"
 
 namespace gridroute {
@@ -123,21 +124,18 @@ struct WeightedProvider {
   const SearchRequest& req;
   const CostModel& model;
   NodeCodec codec;
-  /// Bounding box of the target set; invalid when the heuristic is off.
-  Rect target_box;
+  /// Future cost toward the target box (search/future_cost.hpp); its box
+  /// stays invalid when the heuristic is off (h = 0, plain Dijkstra).
+  search::ResidualFutureCost future;
 
   std::uint32_t node_of(std::uint32_t state) const {
     return state / static_cast<std::uint32_t>(kDirs);
   }
 
   std::int64_t heuristic(std::uint32_t node) const {
-    if (!target_box.valid()) return 0;
+    if (!future.target_box.valid()) return 0;
     const GridPoint g = codec.decode(node);
-    const int dx =
-        std::max({target_box.lo.x - g.pos.x, g.pos.x - target_box.hi.x, 0});
-    const int dy =
-        std::max({target_box.lo.y - g.pos.y, g.pos.y - target_box.hi.y, 0});
-    return static_cast<std::int64_t>(model.step) * (dx + dy);
+    return future.bound(g.pos, g.layer);
   }
 
   int enter_penalty(GridPoint g) const {
@@ -187,11 +185,13 @@ struct WeightedProvider {
 
 /// Bucket window for the weighted search: wide enough that every edge
 /// without history surcharges lands in the window (the A* f-value moves by
-/// at most edge cost + one heuristic step). History-inflated push edges go
-/// through the overflow heap — correctness never depends on the span.
+/// at most edge cost + one heuristic step — under the residual future cost
+/// a step away from the box can raise h by step + wrong_way, hence the
+/// doubled wrong_way term). History-inflated push edges go through the
+/// overflow heap — correctness never depends on the span.
 std::int64_t weighted_span(const CostModel& m) {
   const std::int64_t span = 2 * static_cast<std::int64_t>(m.step) +
-                            m.wrong_way + m.bend + m.via + m.push +
+                            2 * m.wrong_way + m.bend + m.via + m.push +
                             m.push_via_extra + 1;
   return std::clamp<std::int64_t>(span, 2, 4096);
 }
@@ -286,17 +286,24 @@ SearchResult WeightedMazeRouter::route(const SearchRequest& request) {
     if (node_usable(grid_, pins_, t, request))
       arena.mark_target(static_cast<std::uint32_t>(codec.encode(t)));
 
-  // A* heuristic: base-step-cost times Manhattan distance to the target
-  // bounding box. Zero when disabled (the box stays invalid).
-  Rect target_box{{0, 0}, {-1, -1}};
-  if (use_heuristic_) {
+  // A* future cost toward the target bounding box (zero when disabled —
+  // the box stays invalid). kResidual additionally prices the current
+  // layer's wrong-way surcharge, capped by one via (DESIGN.md §2.1g).
+  search::ResidualFutureCost future{model_.step, 0, 0, {{0, 0}, {-1, -1}}};
+  if (future_cost_ != FutureCost::kNone) {
     for (const GridPoint& t : request.targets) {
       const Rect cell{t.pos, t.pos};
-      target_box = target_box.valid() ? target_box.bounding_union(cell) : cell;
+      future.target_box = future.target_box.valid()
+                              ? future.target_box.bounding_union(cell)
+                              : cell;
     }
   }
+  if (future_cost_ == FutureCost::kResidual) {
+    future.wrong_way = model_.wrong_way;
+    future.via = model_.via;
+  }
   const WeightedProvider provider{grid_,  pins_, request,
-                                  model_, codec, target_box};
+                                  model_, codec, future};
 
   auto run = [&](auto& queue) {
     queue.reset(weighted_span(model_));

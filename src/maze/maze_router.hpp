@@ -65,6 +65,20 @@ struct SearchResult {
 /// only the constant factors differ.
 enum class SearchQueue { kBucket, kHeap };
 
+/// Which admissible + consistent future cost steers the weighted maze
+/// search toward its target set (DESIGN.md §2.1g). Every mode returns
+/// cost-optimal results; they differ only in how many states the search
+/// expands getting there.
+///  - kNone: h = 0, plain Dijkstra (the differential-test reference).
+///  - kBboxManhattan: the historical bound — base step cost times Manhattan
+///    distance to the target bounding box.
+///  - kResidual: the bbox bound plus the per-direction minimum residual
+///    edge cost of the remaining distance (wrong-way surcharge on the
+///    current layer's non-preferred axis, capped by one via) — sharper,
+///    still admissible and consistent, strictly fewer expansions in
+///    aggregate. The production default.
+enum class FutureCost { kNone, kBboxManhattan, kResidual };
+
 /// Classic Lee router: breadth-first wavefront over free nodes, unit cost
 /// per step (planar or via), no cost shaping, no pushing. The 1961 baseline
 /// every incremental router is measured against.
@@ -118,10 +132,9 @@ class LeeRouter {
 /// bias, and — when allowed — finite penalties for crossing foreign wire.
 /// Direction is part of the search state so bend costs are exact.
 ///
-/// The heuristic is the Manhattan distance to the bounding box of the
-/// target set times the base step cost — admissible (every planar step
-/// costs at least CostModel::step) and consistent (1-Lipschitz in planar
-/// moves, constant across vias), so results are cost-optimal and identical
+/// The heuristic (selected by set_future_cost, default FutureCost::kResidual)
+/// is admissible and consistent under every mode — see the enum and
+/// DESIGN.md §2.1g — so results are always cost-optimal and cost-identical
 /// to plain Dijkstra, only with fewer expansions. set_heuristic(false)
 /// recovers Dijkstra exactly (used by tests and the search benchmarks).
 ///
@@ -138,8 +151,15 @@ class WeightedMazeRouter {
   const CostModel& cost_model() const { return model_; }
   void set_cost_model(CostModel m) { model_ = m; }
 
-  bool heuristic_enabled() const { return use_heuristic_; }
-  void set_heuristic(bool enabled) { use_heuristic_ = enabled; }
+  FutureCost future_cost() const { return future_cost_; }
+  void set_future_cost(FutureCost mode) { future_cost_ = mode; }
+
+  /// Legacy on/off view of the future cost: `true` is the production
+  /// default (FutureCost::kResidual), `false` plain Dijkstra.
+  bool heuristic_enabled() const { return future_cost_ != FutureCost::kNone; }
+  void set_heuristic(bool enabled) {
+    future_cost_ = enabled ? FutureCost::kResidual : FutureCost::kNone;
+  }
 
   SearchResult route(const SearchRequest& request);
 
@@ -173,7 +193,7 @@ class WeightedMazeRouter {
   long long last_expansions_ = 0;
   long long last_overflow_hits_ = 0;
   obs::Trace trace_;
-  bool use_heuristic_ = true;
+  FutureCost future_cost_ = FutureCost::kResidual;
 };
 
 }  // namespace gridroute

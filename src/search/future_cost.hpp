@@ -1,0 +1,128 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+
+namespace gridroute::search {
+
+/// Sharper goal-oriented future cost for the weighted maze search
+/// (DESIGN.md §2.1g). Replaces the plain bbox-Manhattan × step bound with a
+/// per-direction minimum-residual-cost bound that also prices the layer the
+/// search is currently on:
+///
+///   h(p, L) = step · (dx + dy) + min(wrong_way · wrong_axis(L), via)
+///
+/// where dx/dy are the Manhattan components to the target bounding box and
+/// wrong_axis(L) is the remaining distance along the axis L does not prefer
+/// (dy on METAL1, dx on METAL2). The residual term is a true lower bound on
+/// the extra cost beyond bare steps: a path that never changes layers pays
+/// wrong_way on every step along its layer's non-preferred axis, and a path
+/// that does change layers pays at least one via. Taking the min over those
+/// two exhaustive cases keeps the bound admissible; consistency holds
+/// because each term is 1-Lipschitz against the matching edge cost (a
+/// planar step's h drop is at most step + its wrong-way surcharge, a via's
+/// at most the via cost — see the §2.1g derivation). Bend costs are
+/// deliberately *not* bounded: a bend term is direction-state dependent and
+/// breaks consistency at the last step into the box.
+///
+/// Setting wrong_way = 0 and via = 0 recovers the historical bbox-Manhattan
+/// bound exactly — the legacy FutureCost::kBboxManhattan mode is this
+/// struct with the residual term zeroed.
+struct ResidualFutureCost {
+  std::int64_t step = 0;
+  std::int64_t wrong_way = 0;
+  std::int64_t via = 0;
+  /// Bounding box of the target set; an invalid box disables the bound
+  /// (h = 0 everywhere, plain Dijkstra).
+  Rect target_box{{0, 0}, {-1, -1}};
+
+  std::int64_t bound(Point p, Layer layer) const {
+    if (!target_box.valid()) return 0;
+    const int dx =
+        std::max({target_box.lo.x - p.x, p.x - target_box.hi.x, 0});
+    const int dy =
+        std::max({target_box.lo.y - p.y, p.y - target_box.hi.y, 0});
+    std::int64_t h = step * (dx + dy);
+    const std::int64_t stay =
+        wrong_way * (layer == Layer::kMetal1 ? dy : dx);
+    if (stay > 0) h += std::min(stay, via);
+    return h;
+  }
+};
+
+/// Congestion-aware lower-bound grid (Ahrens et al., "Faster Goal-Oriented
+/// Shortest Path Search..."): per-direction minimum residual edge costs,
+/// prefix-summed into O(1) point-to-box queries.
+///
+/// The grid is cut into vertical cuts (between columns x and x+1) and
+/// horizontal cuts (between rows y and y+1). cut_min[i] is a lower bound on
+/// the cost of *any* edge crossing cut i — for the global router, the
+/// minimum congestion-priced edge cost over the cut, i.e. the congestion
+/// map exported as a lower-bound grid. Any path from a point to a target
+/// box must cross every cut strictly between them at least once, so the sum
+/// of their minima is an admissible future cost; it is consistent because
+/// an edge crossing cut i costs at least cut_min[i] (its own cut's minimum)
+/// and moves h by exactly that much.
+///
+/// Cuts with no usable edge carry kUncrossable: the bound saturates high
+/// enough to park those states behind every reachable one without ever
+/// overflowing 64-bit arithmetic when summed across a grid.
+class CutLowerBounds {
+ public:
+  /// Per-cut minima larger than this are clamped: 2^20 cost units per cut
+  /// keeps the worst-case sum across a 2^20-cut grid inside int64.
+  static constexpr std::int64_t kUncrossable = std::int64_t{1} << 20;
+
+  CutLowerBounds() = default;
+
+  /// `x_cut_min[i]` prices the cut between columns lo.x+i and lo.x+i+1;
+  /// `y_cut_min[j]` the cut between rows lo.y+j and lo.y+j+1.
+  CutLowerBounds(Point lo, std::vector<std::int64_t> x_cut_min,
+                 std::vector<std::int64_t> y_cut_min)
+      : lo_(lo),
+        x_prefix_(prefix(std::move(x_cut_min))),
+        y_prefix_(prefix(std::move(y_cut_min))) {}
+
+  bool empty() const { return x_prefix_.size() <= 1 && y_prefix_.size() <= 1; }
+
+  /// Sum of the per-cut minima over every cut strictly between `p` and the
+  /// target box — 0 when p lies inside the box's span on both axes.
+  std::int64_t bound(Point p, const Rect& target_box) const {
+    if (!target_box.valid()) return 0;
+    return axis_bound(x_prefix_, p.x - lo_.x, target_box.lo.x - lo_.x,
+                      target_box.hi.x - lo_.x) +
+           axis_bound(y_prefix_, p.y - lo_.y, target_box.lo.y - lo_.y,
+                      target_box.hi.y - lo_.y);
+  }
+
+ private:
+  static std::vector<std::int64_t> prefix(std::vector<std::int64_t> mins) {
+    std::vector<std::int64_t> sums(mins.size() + 1, 0);
+    for (std::size_t i = 0; i < mins.size(); ++i)
+      sums[i + 1] = sums[i] + std::clamp<std::int64_t>(mins[i], 0,
+                                                       kUncrossable);
+    return sums;
+  }
+
+  /// One axis: cuts crossed going from coordinate `from` (0-based) to the
+  /// box span [box_lo, box_hi]. Coordinates outside the priced range clamp
+  /// to it — a query point off the grid edge simply stops accumulating.
+  std::int64_t axis_bound(const std::vector<std::int64_t>& sums, int from,
+                          int box_lo, int box_hi) const {
+    const int last = static_cast<int>(sums.size()) - 1;  // #cuts on the axis
+    auto clamped = [&](int c) { return std::clamp(c, 0, last); };
+    if (from < box_lo) return sums[clamped(box_lo)] - sums[clamped(from)];
+    if (from > box_hi) return sums[clamped(from)] - sums[clamped(box_hi)];
+    return 0;
+  }
+
+  Point lo_{0, 0};
+  std::vector<std::int64_t> x_prefix_{0};
+  std::vector<std::int64_t> y_prefix_{0};
+};
+
+}  // namespace gridroute::search

@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "bench_suite/query_batch.hpp"
 #include "bench_suite/suite.hpp"
 #include "channel/channel_analysis.hpp"
 
@@ -162,6 +163,62 @@ TEST(Suites, NonEmptyAndUniquelyNamed) {
     EXPECT_TRUE(spec.to_problem().validate().empty()) << name;
   }
   EXPECT_GE(box_names.size(), 6u);
+}
+
+// ---------------------------------------------------------------------------
+// make_query_batch — the shared kernel-bench workload generator
+// ---------------------------------------------------------------------------
+
+TEST(QueryBatch, DeterministicForAFixedSeed) {
+  const Problem p = suite::burstein_class_switchbox(1983).to_problem();
+  const auto a = suite::make_query_batch(p, 42);
+  const auto b = suite::make_query_batch(p, 42);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.size(), 300u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].net, b[i].net);
+    EXPECT_EQ(a[i].sources, b[i].sources);
+    EXPECT_EQ(a[i].targets, b[i].targets);
+    EXPECT_EQ(a[i].allow_push, b[i].allow_push);
+  }
+  // Different seeds draw different batches.
+  const auto c = suite::make_query_batch(p, 43);
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    any_different = any_different || a[i].sources != c[i].sources;
+  EXPECT_TRUE(any_different);
+}
+
+TEST(QueryBatch, ZeroNetProblemDrawsNoNetId) {
+  // A problem with no nets used to feed net_count() == 0 straight into
+  // Rng::next_below, violating its positive-bound contract; the generator
+  // must instead leave the query netless (kNoNet, which every router
+  // accepts) and still produce a full usable batch.
+  const Problem empty{Region(16, 12)};
+  ASSERT_EQ(empty.net_count(), 0);
+  const auto batch = suite::make_query_batch(empty, 42, {.queries = 50});
+  ASSERT_EQ(batch.size(), 50u);
+  for (const SearchRequest& req : batch) EXPECT_EQ(req.net, kNoNet);
+}
+
+TEST(QueryBatch, NoDegenerateSourceEqualsTargetQueries) {
+  // Degenerate draws (source == target) answer in zero kernel work and
+  // would dilute every timed batch; the generator rerolls them seed-stably.
+  for (const std::uint64_t seed : {1u, 42u, 1983u, 777u}) {
+    const Problem p = suite::burstein_class_switchbox(seed % 100 + 1)
+                          .to_problem();
+    for (const SearchRequest& req :
+         suite::make_query_batch(p, seed, {.queries = 500}))
+      EXPECT_NE(req.sources[0], req.targets[0]) << "seed " << seed;
+  }
+}
+
+TEST(QueryBatch, TinyRegionKeepsDegeneratePairInsteadOfLooping) {
+  // A 1x1 region cannot separate two draws on the same layer every time;
+  // the bounded reroll must terminate and still emit the batch.
+  const Problem tiny{Region(1, 1)};
+  const auto batch = suite::make_query_batch(tiny, 7, {.queries = 20});
+  EXPECT_EQ(batch.size(), 20u);
 }
 
 }  // namespace

@@ -1,0 +1,271 @@
+// Property tests for the goal-oriented future costs (DESIGN.md §2.1g):
+// the residual maze-search bound and the global router's congestion
+// lower-bound grid. Admissibility is checked against ground truth (plain
+// Dijkstra over the same cost surface); consistency analytically, move by
+// move, since it is a local 1-Lipschitz property.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "bench_suite/query_batch.hpp"
+#include "bench_suite/suite.hpp"
+#include "core/incremental_router.hpp"
+#include "global/global_router.hpp"
+#include "maze/maze_router.hpp"
+#include "search/future_cost.hpp"
+#include "util/rng.hpp"
+
+namespace gridroute {
+namespace {
+
+using search::CutLowerBounds;
+using search::ResidualFutureCost;
+
+ResidualFutureCost make_bound(const CostModel& m, Rect box) {
+  return {m.step, m.wrong_way, m.via, box};
+}
+
+// ---------------------------------------------------------------------------
+// ResidualFutureCost — admissibility against ground truth
+// ---------------------------------------------------------------------------
+
+// h at the query's source must never exceed the true optimal cost the
+// plain-Dijkstra reference computes over the same (routed, occupied) grid.
+// Any over-estimate here would silently break cost-optimality of every
+// A* mode, so this is fuzzed across instances, layers, and push modes.
+TEST(ResidualFutureCost, AdmissibleAgainstDijkstraGroundTruth) {
+  const std::vector<Problem> problems = {
+      suite::burstein_class_switchbox(1983).to_problem(),
+      suite::random_switchbox(11, 24, 18, 12, 3, 0.4).to_problem(),
+      suite::macrocell_region(7),
+  };
+  const CostModel model;
+  int checked = 0;
+  for (const Problem& problem : problems) {
+    IncrementalRouter routed(problem);
+    routed.run();
+    const PinBlocks pins(problem);
+    WeightedMazeRouter reference(routed.grid(), pins, model);
+    reference.set_heuristic(false);  // ground truth: no future cost at all
+
+    for (const SearchRequest& req :
+         suite::make_query_batch(problem, 99, {.queries = 250})) {
+      const SearchResult res = reference.route(req);
+      if (!res.found) continue;
+      Rect box{req.targets[0].pos, req.targets[0].pos};
+      for (const GridPoint& t : req.targets)
+        box = box.bounding_union({t.pos, t.pos});
+      const ResidualFutureCost h = make_bound(model, box);
+      EXPECT_LE(h.bound(req.sources[0].pos, req.sources[0].layer), res.cost)
+          << "inadmissible at " << req.sources[0].pos;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 200);  // the fuzz actually exercised the property
+}
+
+// ---------------------------------------------------------------------------
+// ResidualFutureCost — consistency, move by move
+// ---------------------------------------------------------------------------
+
+// h(s) <= c(s -> s') + h(s') for every move the weighted search can make.
+// The *cheapest* cost of each move type bounds all dearer variants (bend
+// and push surcharges only add), so checking against the cheapest is the
+// strongest form. Fuzzed over positions, layers, and boxes.
+TEST(ResidualFutureCost, ConsistentAcrossEveryMoveType) {
+  const CostModel model;
+  Rng rng(2026);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Rect box{{rng.next_int(0, 30), rng.next_int(0, 30)},
+                   {rng.next_int(0, 30), rng.next_int(0, 30)}};
+    if (!box.valid()) continue;
+    const ResidualFutureCost h = make_bound(model, box);
+    const Point p{rng.next_int(-5, 35), rng.next_int(-5, 35)};
+    for (const Layer layer : {Layer::kMetal1, Layer::kMetal2}) {
+      const std::int64_t here = h.bound(p, layer);
+      // Planar steps: cheapest cost is step (+ wrong_way off the layer's
+      // preferred axis).
+      const Point steps[4] = {{p.x + 1, p.y}, {p.x - 1, p.y},
+                              {p.x, p.y + 1}, {p.x, p.y - 1}};
+      for (const Point q : steps) {
+        const bool along_x = q.x != p.x;
+        const bool preferred = (layer == Layer::kMetal1) == along_x;
+        const std::int64_t edge =
+            model.step + (preferred ? 0 : model.wrong_way);
+        EXPECT_LE(here, edge + h.bound(q, layer))
+            << p << " -> " << q << " layer " << static_cast<int>(layer);
+      }
+      // Via: position fixed, layer flips, cheapest cost is via.
+      const Layer other =
+          layer == Layer::kMetal1 ? Layer::kMetal2 : Layer::kMetal1;
+      EXPECT_LE(here, model.via + h.bound(p, other));
+    }
+  }
+}
+
+TEST(ResidualFutureCost, ZeroResidualTermRecoversBboxManhattan) {
+  const CostModel model;
+  const Rect box{{4, 4}, {9, 6}};
+  const ResidualFutureCost bbox{model.step, 0, 0, box};
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const Point p{rng.next_int(0, 14), rng.next_int(0, 14)};
+    const int dx = std::max({box.lo.x - p.x, p.x - box.hi.x, 0});
+    const int dy = std::max({box.lo.y - p.y, p.y - box.hi.y, 0});
+    for (const Layer layer : {Layer::kMetal1, Layer::kMetal2})
+      EXPECT_EQ(bbox.bound(p, layer), model.step * (dx + dy));
+  }
+}
+
+TEST(ResidualFutureCost, SharperThanBboxNeverBelowIt) {
+  const CostModel model;
+  const Rect box{{10, 2}, {12, 3}};
+  const ResidualFutureCost residual = make_bound(model, box);
+  const ResidualFutureCost bbox{model.step, 0, 0, box};
+  Rng rng(8);
+  for (int i = 0; i < 500; ++i) {
+    const Point p{rng.next_int(0, 20), rng.next_int(0, 20)};
+    for (const Layer layer : {Layer::kMetal1, Layer::kMetal2}) {
+      EXPECT_GE(residual.bound(p, layer), bbox.bound(p, layer));
+      EXPECT_LE(residual.bound(p, layer),
+                bbox.bound(p, layer) + std::min<std::int64_t>(
+                    model.via, model.wrong_way * 33));
+    }
+  }
+}
+
+TEST(ResidualFutureCost, InvalidBoxDisablesTheBound) {
+  const ResidualFutureCost h{2, 1, 8, {{0, 0}, {-1, -1}}};
+  EXPECT_EQ(h.bound({5, 5}, Layer::kMetal1), 0);
+}
+
+// ---------------------------------------------------------------------------
+// CutLowerBounds — unit behaviour
+// ---------------------------------------------------------------------------
+
+TEST(CutLowerBounds, SumsCutsStrictlyBetweenPointAndBox) {
+  // 4 columns -> 3 x-cuts priced 5, 7, 11; single row, no y-cuts.
+  const CutLowerBounds lb({0, 0}, {5, 7, 11}, {});
+  const Rect box{{3, 0}, {3, 0}};
+  EXPECT_EQ(lb.bound({0, 0}, box), 5 + 7 + 11);  // crosses all three
+  EXPECT_EQ(lb.bound({1, 0}, box), 7 + 11);
+  EXPECT_EQ(lb.bound({2, 0}, box), 11);
+  EXPECT_EQ(lb.bound({3, 0}, box), 0);           // inside the box span
+  // Approaching from the right of a left-edge box.
+  const Rect left{{0, 0}, {0, 0}};
+  EXPECT_EQ(lb.bound({3, 0}, left), 5 + 7 + 11);
+  EXPECT_EQ(lb.bound({1, 0}, left), 5);
+}
+
+TEST(CutLowerBounds, TwoAxesAddIndependently) {
+  const CutLowerBounds lb({0, 0}, {2, 2}, {3, 3});
+  EXPECT_EQ(lb.bound({0, 0}, {{2, 2}, {2, 2}}), 2 + 2 + 3 + 3);
+  EXPECT_EQ(lb.bound({2, 0}, {{2, 2}, {2, 2}}), 3 + 3);
+  EXPECT_EQ(lb.bound({0, 2}, {{2, 2}, {2, 2}}), 2 + 2);
+}
+
+TEST(CutLowerBounds, CoordinatesClampToThePricedRange) {
+  const CutLowerBounds lb({0, 0}, {4, 6}, {});
+  // A query point beyond the priced columns stops accumulating at the edge.
+  EXPECT_EQ(lb.bound({9, 0}, {{0, 0}, {0, 0}}), 4 + 6);
+  EXPECT_EQ(lb.bound({-3, 0}, {{2, 0}, {2, 0}}), 4 + 6);
+}
+
+TEST(CutLowerBounds, UncrossableCutsClampInsteadOfOverflowing) {
+  std::vector<std::int64_t> cuts(100, CutLowerBounds::kUncrossable * 8);
+  const CutLowerBounds lb({0, 0}, std::move(cuts), {});
+  EXPECT_EQ(lb.bound({0, 0}, {{100, 0}, {100, 0}}),
+            100 * CutLowerBounds::kUncrossable);
+  EXPECT_TRUE(lb.bound({0, 0}, {{100, 0}, {100, 0}}) > 0);  // no wraparound
+}
+
+TEST(CutLowerBounds, EmptyAndOffsetGrids) {
+  EXPECT_TRUE(CutLowerBounds().empty());
+  EXPECT_EQ(CutLowerBounds().bound({3, 3}, {{9, 9}, {9, 9}}), 0);
+  // lo offset shifts the priced range.
+  const CutLowerBounds lb({10, 10}, {4}, {5});
+  EXPECT_EQ(lb.bound({10, 10}, {{11, 11}, {11, 11}}), 4 + 5);
+  EXPECT_FALSE(lb.empty());
+}
+
+// ---------------------------------------------------------------------------
+// GlobalRouter::congestion_lower_bounds — admissible vs. the real edge costs
+// ---------------------------------------------------------------------------
+
+// Brute-force Dijkstra over edge_cost from `from` to any cell of `box`.
+std::int64_t gcell_dijkstra(const GlobalRouter& router, int cols, int rows,
+                            Point from, const Rect& box) {
+  const auto idx = [cols](Point p) { return p.y * cols + p.x; };
+  std::vector<std::int64_t> dist(static_cast<std::size_t>(cols) * rows,
+                                 INT64_MAX);
+  using Entry = std::pair<std::int64_t, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  dist[idx(from)] = 0;
+  pq.push({0, idx(from)});
+  while (!pq.empty()) {
+    const auto [d, i] = pq.top();
+    pq.pop();
+    if (d > dist[i]) continue;
+    const Point p{i % cols, i / cols};
+    if (box.contains(p)) return d;
+    const Point around[4] = {{p.x + 1, p.y}, {p.x - 1, p.y},
+                             {p.x, p.y + 1}, {p.x, p.y - 1}};
+    for (const Point q : around) {
+      if (q.x < 0 || q.y < 0 || q.x >= cols || q.y >= rows) continue;
+      const int c = router.edge_cost(p, q);
+      if (c < 0) continue;
+      if (d + c < dist[idx(q)]) {
+        dist[idx(q)] = d + c;
+        pq.push({d + c, idx(q)});
+      }
+    }
+  }
+  return INT64_MAX;  // unreachable
+}
+
+TEST(CongestionLowerBounds, AdmissibleAgainstEdgeCostDijkstra) {
+  // Route a congested instance so usage and history price the edges, then
+  // check the exported lower-bound grid against true shortest costs.
+  const int cols = 9, rows = 7;
+  GlobalGrid grid(cols, rows, 2, 2);
+  grid.block({{4, 2}, {5, 4}});
+  std::vector<GlobalNet> nets;
+  Rng rng(31);
+  for (int n = 0; n < 14; ++n) {
+    GlobalNet net;
+    net.name = "n" + std::to_string(n);
+    for (int t = 0; t < 3; ++t) {
+      Point p{rng.next_int(0, cols - 1), rng.next_int(0, rows - 1)};
+      while (grid.blocked(p))
+        p = {rng.next_int(0, cols - 1), rng.next_int(0, rows - 1)};
+      net.terminals.push_back(p);
+    }
+    nets.push_back(std::move(net));
+  }
+  GlobalRouter router(std::move(grid), std::move(nets));
+  (void)router.run();  // leaves usage + negotiation history priced in
+
+  const CutLowerBounds lb = router.congestion_lower_bounds();
+  EXPECT_FALSE(lb.empty());
+  int reachable = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const Point from{rng.next_int(0, cols - 1), rng.next_int(0, rows - 1)};
+    const Point to{rng.next_int(0, cols - 1), rng.next_int(0, rows - 1)};
+    const Rect target{to, to};
+    const std::int64_t truth =
+        gcell_dijkstra(router, cols, rows, from, target);
+    if (truth == INT64_MAX) continue;
+    EXPECT_LE(lb.bound(from, target), truth)
+        << from << " -> " << to << " (true " << truth << ")";
+    ++reachable;
+  }
+  EXPECT_GT(reachable, 100);
+}
+
+}  // namespace
+}  // namespace gridroute

@@ -329,6 +329,33 @@ TEST_F(WeightedTest, HeuristicExpandsFewerNodes) {
   EXPECT_LT(a, d / 2);
 }
 
+TEST_F(WeightedTest, ResidualBoundIsSharperThanBboxAtEqualCosts) {
+  // The residual future cost (the kResidual default) must price every
+  // query identically to the bbox bound — both are admissible — while
+  // never popping more states, and strictly fewer in aggregate
+  // (DESIGN.md §2.1g).
+  build(32, 32);
+  WeightedMazeRouter residual(*grid, pins);
+  WeightedMazeRouter bbox(*grid, pins);
+  bbox.set_future_cost(FutureCost::kBboxManhattan);
+  EXPECT_EQ(residual.future_cost(), FutureCost::kResidual);
+  long long residual_total = 0, bbox_total = 0;
+  for (int trial = 0; trial < 24; ++trial) {
+    const GridPoint s{{trial % 8, (trial * 5) % 32},
+                      trial % 2 == 0 ? Layer::kMetal1 : Layer::kMetal2};
+    const GridPoint t{{31 - trial % 6, (trial * 11) % 32}, Layer::kMetal1};
+    const auto a = residual.route(req(s, t));
+    const auto b = bbox.route(req(s, t));
+    ASSERT_EQ(a.found, b.found) << "trial " << trial;
+    if (a.found) EXPECT_EQ(a.cost, b.cost) << "trial " << trial;
+    residual_total += residual.last_expansions();
+    bbox_total += bbox.last_expansions();
+  }
+  // Aggregate, not per query: at f == C* tie-breaking may locally differ,
+  // but the sharper bound must win overall.
+  EXPECT_LT(residual_total, bbox_total);
+}
+
 TEST_F(WeightedTest, ExpansionCounterMoves) {
   build(16, 16);
   WeightedMazeRouter router(*grid, pins);

@@ -1,0 +1,180 @@
+// BENCH_<name>.json report schema: serialization round-trip, parser
+// robustness on hostile input, and the baseline gate semantics that
+// scripts/bench.sh --check enforces.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bench_suite/report.hpp"
+
+namespace gridroute {
+namespace {
+
+using bench::BenchReport;
+using bench::Gate;
+using bench::GateCheck;
+
+BenchReport sample_report() {
+  BenchReport r = bench::make_report("search_kernel");
+  r.add("inst/lee/ns_per_query", 1234.5, Gate::kLowerBetter, 0.5);
+  r.add("inst/lee/expansions", 296718, Gate::kExact);
+  r.add("inst/lee/cost_fingerprint", -12345, Gate::kExact);
+  r.add("inst/coverage", 0.875, Gate::kHigherBetter, 0.2);
+  r.add("inst/ratio", 0.5744, Gate::kInfo);
+  return r;
+}
+
+TEST(BenchReport, JsonRoundTripsEveryField) {
+  const BenchReport original = sample_report();
+  const auto parsed = bench::parse_report(bench::to_json(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->schema, BenchReport::kSchemaVersion);
+  EXPECT_EQ(parsed->bench, "search_kernel");
+  EXPECT_EQ(parsed->os, original.os);
+  EXPECT_EQ(parsed->compiler, original.compiler);
+  EXPECT_EQ(parsed->hardware_threads, original.hardware_threads);
+  ASSERT_EQ(parsed->metrics.size(), original.metrics.size());
+  for (std::size_t i = 0; i < original.metrics.size(); ++i) {
+    EXPECT_EQ(parsed->metrics[i].name, original.metrics[i].name);
+    EXPECT_EQ(parsed->metrics[i].value, original.metrics[i].value);  // exact
+    EXPECT_EQ(parsed->metrics[i].gate, original.metrics[i].gate);
+  }
+}
+
+TEST(BenchReport, FindLooksUpByName) {
+  const BenchReport r = sample_report();
+  ASSERT_NE(r.find("inst/lee/expansions"), nullptr);
+  EXPECT_EQ(r.find("inst/lee/expansions")->value, 296718);
+  EXPECT_EQ(r.find("no/such/metric"), nullptr);
+}
+
+TEST(BenchReport, ParserSkipsUnknownFieldsForForwardCompatibility) {
+  const std::string json = R"({
+    "schema": 1, "bench": "x", "future_field": {"nested": [1, 2, {"a": "b"}]},
+    "host": {"os": "linux", "kernel": "6.1", "compiler": "g", "hardware_threads": 4},
+    "metrics": [{"name": "m", "value": 3, "gate": "exact", "note": "hi"}]
+  })";
+  const auto parsed = bench::parse_report(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->hardware_threads, 4);
+  ASSERT_EQ(parsed->metrics.size(), 1u);
+  EXPECT_EQ(parsed->metrics[0].gate, Gate::kExact);
+}
+
+TEST(BenchReport, ParserRejectsMalformedInputWithLocation) {
+  // Every rejection is a kParse status with a position, never a crash.
+  const std::string cases[] = {
+      "",
+      "{",
+      "[1, 2]",
+      R"({"schema": 1})",                               // missing bench
+      R"({"bench": "x", "metrics": []})",               // missing schema
+      R"({"schema": 99, "bench": "x"})",                // wrong version
+      R"({"schema": 1, "bench": "x", "metrics": [{"value": 1}]})",
+      R"({"schema": 1, "bench": "x"} trailing)",
+      R"({"schema": 1, "bench": "x", "metrics": [{"name": "m", "value": 1,
+          "gate": "sideways"}]})",                      // unknown gate
+      R"({"schema": 1, "bench": "x", "metrics": [{"name": "unterminated)",
+  };
+  for (const std::string& text : cases) {
+    const auto parsed = bench::parse_report(text, "case.json");
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << text;
+    EXPECT_EQ(parsed.status().code(), ErrorCode::kParse) << text;
+  }
+}
+
+TEST(BenchReport, ParserReportsLineAndColumn) {
+  const auto parsed = bench::parse_report("{\n  \"schema\": bad\n}", "r.json");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().where().source, "r.json");
+  EXPECT_EQ(parsed.status().where().line, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline gate semantics
+// ---------------------------------------------------------------------------
+
+BenchReport gate_baseline() {
+  BenchReport r = bench::make_report("k");
+  r.add("fingerprint", 100, Gate::kExact);
+  r.add("wall_ns", 1000.0, Gate::kLowerBetter, 0.5);
+  r.add("speedup", 2.0, Gate::kHigherBetter, 0.25);
+  r.add("note", 42, Gate::kInfo);
+  return r;
+}
+
+TEST(GateCheckTest, IdenticalReportPasses) {
+  const BenchReport b = gate_baseline();
+  EXPECT_TRUE(bench::check_against_baseline(b, b).ok);
+}
+
+TEST(GateCheckTest, ExactMetricTripsOnAnyDeviation) {
+  BenchReport cur = gate_baseline();
+  cur.metrics[0].value = 101;
+  EXPECT_FALSE(bench::check_against_baseline(cur, gate_baseline()).ok);
+}
+
+TEST(GateCheckTest, LowerBetterAllowsToleranceHeadroomOnly) {
+  BenchReport cur = gate_baseline();
+  cur.metrics[1].value = 1499.0;  // +49.9% of 1000, inside +50%
+  EXPECT_TRUE(bench::check_against_baseline(cur, gate_baseline()).ok);
+  cur.metrics[1].value = 1501.0;  // past the headroom
+  EXPECT_FALSE(bench::check_against_baseline(cur, gate_baseline()).ok);
+  cur.metrics[1].value = 1.0;     // improvements always pass
+  EXPECT_TRUE(bench::check_against_baseline(cur, gate_baseline()).ok);
+}
+
+TEST(GateCheckTest, HigherBetterMirrorsLowerBetter) {
+  BenchReport cur = gate_baseline();
+  cur.metrics[2].value = 1.51;  // -24.5%, inside -25%
+  EXPECT_TRUE(bench::check_against_baseline(cur, gate_baseline()).ok);
+  cur.metrics[2].value = 1.49;
+  EXPECT_FALSE(bench::check_against_baseline(cur, gate_baseline()).ok);
+}
+
+TEST(GateCheckTest, InfoMetricsNeverGate) {
+  BenchReport cur = gate_baseline();
+  cur.metrics[3].value = -1e9;
+  EXPECT_TRUE(bench::check_against_baseline(cur, gate_baseline()).ok);
+}
+
+TEST(GateCheckTest, MissingGatedMetricIsACoverageRegression) {
+  BenchReport cur = gate_baseline();
+  cur.metrics.erase(cur.metrics.begin());  // drop the exact fingerprint
+  EXPECT_FALSE(bench::check_against_baseline(cur, gate_baseline()).ok);
+  // A missing *info* metric is not.
+  BenchReport cur2 = gate_baseline();
+  cur2.metrics.pop_back();
+  EXPECT_TRUE(bench::check_against_baseline(cur2, gate_baseline()).ok);
+}
+
+TEST(GateCheckTest, NewMetricIsNotedButDoesNotGate) {
+  BenchReport cur = gate_baseline();
+  cur.add("brand_new", 7, Gate::kExact);
+  const GateCheck check = bench::check_against_baseline(cur, gate_baseline());
+  EXPECT_TRUE(check.ok);
+  bool noted = false;
+  for (const std::string& line : check.lines)
+    noted = noted || line.find("brand_new") != std::string::npos;
+  EXPECT_TRUE(noted);
+}
+
+TEST(GateCheckTest, BenchNameMismatchFails) {
+  BenchReport cur = gate_baseline();
+  cur.bench = "other";
+  EXPECT_FALSE(bench::check_against_baseline(cur, gate_baseline()).ok);
+}
+
+TEST(BenchReport, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/bench_report_test.json";
+  const BenchReport original = sample_report();
+  ASSERT_TRUE(bench::write_report_file(original, path).ok());
+  const auto read = bench::read_report_file(path);
+  ASSERT_TRUE(read.ok()) << read.status().to_string();
+  EXPECT_EQ(read->metrics.size(), original.metrics.size());
+  EXPECT_FALSE(bench::read_report_file("/no/such/dir/x.json").ok());
+}
+
+}  // namespace
+}  // namespace gridroute

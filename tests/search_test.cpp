@@ -262,9 +262,13 @@ int run_router_differential(const Problem& problem, std::uint64_t seed,
     req.allow_push = rng.next_bool(0.5);
     if (req.allow_push && rng.next_bool(0.5)) req.push_history = &history;
 
-    const bool use_heuristic = trial % 2 == 0;
-    bucket.set_heuristic(use_heuristic);
-    heap.set_heuristic(use_heuristic);
+    // Cycle all three future-cost modes: bucket-vs-heap identity must hold
+    // for the sharper residual bound exactly as it does for bbox-Manhattan
+    // and plain Dijkstra (DESIGN.md §2.1g).
+    const FutureCost modes[] = {FutureCost::kResidual,
+                                FutureCost::kBboxManhattan, FutureCost::kNone};
+    bucket.set_future_cost(modes[trial % 3]);
+    heap.set_future_cost(modes[trial % 3]);
     const SearchResult wb = bucket.route(req);
     const SearchResult wh = heap.route(req);
     expect_identical(wb, wh, "weighted", trial);
