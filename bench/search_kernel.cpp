@@ -127,6 +127,11 @@ int main(int argc, char** argv) {
       {"deutsch-class-120x14",
        suite::deutsch_class_channel(1976, 120, 14).to_problem(14)},
       {"macrocell-40x28", suite::macrocell_region(7)},
+      // N-layer coverage: the kernel's per-layer wrong-way/via terms and
+      // N-aware move generation, measured on a 3-layer pocket so a
+      // multi-layer-only regression cannot hide behind the classic rows.
+      {"trilayer-16x12",
+       suite::multilayer_region(21, 16, 12, 14, LayerStack(3))},
   };
 
   Table table({"instance", "router", "queries", "expansions", "heap ms",

@@ -17,6 +17,10 @@
 #   asan   memory surfaces — hostile inputs and injected faults exercising
 #          exactly the rollback/cleanup paths where a dangling journal
 #          reference or leaked wave state would hide.
+#   layer  the multi-layer stack surface — the N=2 bit-identity fuzz, the
+#          stacked-via journal/rollback paths, and the N-layer routing
+#          end-to-ends. Indexed layer/cut arithmetic is exactly what UBSan
+#          and ASan watch, so both sanitizer legs pick the label up too.
 #
 #   scripts/tier1.sh                  # everything
 #   GRIDROUTE_SKIP_TSAN=1 scripts/tier1.sh   # skip the TSan re-run
@@ -32,8 +36,11 @@ cmake --build build -j
 
 # The differential fuzzes, shrunk under sanitizers: TSan is ~20x slower,
 # and the race/UB surfaces are per-wave/per-schedule, so a couple dozen
-# instances cross them thousands of times.
-SHRINK_ENV=(GRIDROUTE_NETPAR_INSTANCES=20 GRIDROUTE_FAULT_INSTANCES=40)
+# instances cross them thousands of times. The layer-identity corpus
+# shrinks the same way — sanitizers need the code paths, not all 200
+# fingerprints.
+SHRINK_ENV=(GRIDROUTE_NETPAR_INSTANCES=20 GRIDROUTE_FAULT_INSTANCES=40
+            GRIDROUTE_LAYER_INSTANCES=30)
 
 if [ "${GRIDROUTE_SKIP_TSAN:-0}" != "1" ]; then
   cmake -B build-tsan -S . -DGRIDROUTE_SANITIZE=thread
@@ -44,11 +51,13 @@ fi
 if [ "${GRIDROUTE_SKIP_UBSAN:-0}" != "1" ]; then
   cmake -B build-ubsan -S . -DGRIDROUTE_SANITIZE=undefined
   cmake --build build-ubsan -j --target gr_all_tests
-  (cd build-ubsan && env "${SHRINK_ENV[@]}" ctest --output-on-failure -L ubsan)
+  (cd build-ubsan &&
+   env "${SHRINK_ENV[@]}" ctest --output-on-failure -L 'ubsan|layer')
 fi
 
 if [ "${GRIDROUTE_SKIP_ASAN:-0}" != "1" ]; then
   cmake -B build-asan -S . -DGRIDROUTE_SANITIZE=address
   cmake --build build-asan -j --target gr_all_tests
-  (cd build-asan && env "${SHRINK_ENV[@]}" ctest --output-on-failure -L asan)
+  (cd build-asan &&
+   env "${SHRINK_ENV[@]}" ctest --output-on-failure -L 'asan|layer')
 fi

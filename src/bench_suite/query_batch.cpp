@@ -13,10 +13,18 @@ std::vector<SearchRequest> make_query_batch(const Problem& problem,
   batch.reserve(static_cast<std::size_t>(std::max(options.queries, 0)));
   Rng rng(seed);
   const Rect b = problem.region().bounds();
+  const int layers = problem.region().layer_count();
   const auto draw = [&]() {
-    return GridPoint{{rng.next_int(b.lo.x, b.hi.x),
-                      rng.next_int(b.lo.y, b.hi.y)},
-                     rng.next_bool(0.5) ? Layer::kMetal1 : Layer::kMetal2};
+    const Point p{rng.next_int(b.lo.x, b.hi.x),
+                  rng.next_int(b.lo.y, b.hi.y)};
+    // The two-layer draw keeps the historical next_bool RNG consumption so
+    // classic batches stay bit-identical; taller stacks draw uniformly.
+    const Layer l =
+        layers == 2
+            ? (rng.next_bool(0.5) ? Layer::kMetal1 : Layer::kMetal2)
+            : layer_at(static_cast<int>(
+                  rng.next_below(static_cast<std::uint64_t>(layers))));
+    return GridPoint{p, l};
   };
   for (int q = 0; q < options.queries; ++q) {
     SearchRequest req;

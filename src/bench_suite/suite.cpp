@@ -273,6 +273,47 @@ Problem macrocell_region(std::uint64_t seed, int width, int height,
   return problem;
 }
 
+Problem multilayer_region(std::uint64_t seed, int width, int height, int nets,
+                          LayerStack stack) {
+  Rng rng(seed);
+  Region region(width, height, std::move(stack));
+  // One full-stack block in the middle and an M1-only strap: forces routes
+  // around on every layer and up off the bottom layer respectively.
+  region.add_obstacle(
+      {{width / 3, height / 3}, {width / 3 + 1, height / 3 + 1}});
+  region.add_obstacle({{1, height / 5}, {width - 2, height / 5}},
+                      Layer::kMetal1);
+
+  Problem problem{std::move(region)};
+  std::set<Point> used;
+  auto free_spot = [&]() -> Point {
+    for (int tries = 0; tries < 1000; ++tries) {
+      const Point p{rng.next_int(0, width - 1), rng.next_int(0, height - 1)};
+      if (used.contains(p)) continue;
+      bool routable = false;
+      for (int k = 0; k < problem.region().layer_count() && !routable; ++k)
+        routable = problem.region().routable({p, layer_at(k)});
+      if (!routable) continue;
+      used.insert(p);
+      return p;
+    }
+    return {-1, -1};
+  };
+  for (int k = 0; k < nets; ++k) {
+    Net net;
+    net.name = "n";
+    net.name += std::to_string(k + 1);
+    const int pins = rng.next_int(2, 3);
+    for (int p = 0; p < pins; ++p) {
+      const Point spot = free_spot();
+      if (spot.x < 0) break;
+      net.pins.push_back({spot, Layer::kMetal1, /*any_layer=*/true});
+    }
+    if (net.pins.size() >= 2) problem.add_net(std::move(net));
+  }
+  return problem;
+}
+
 // ---------------------------------------------------------------------------
 // Named suites
 // ---------------------------------------------------------------------------
@@ -305,6 +346,20 @@ std::vector<NamedSwitchbox> switchbox_suite() {
       {"wide-24", random_switchbox(14, 24, 8, 14, 3, 0.45)},
       {"tall-10", random_switchbox(15, 10, 20, 12, 4, 0.5)},
   };
+}
+
+std::vector<NamedProblem> multilayer_suite() {
+  // A directed layer admits no wrong-way wire at all (hard rule, enforced
+  // by router and verifier alike).
+  const LayerStack tri_directed{{Axis::kHorizontal, /*directed=*/true},
+                                {Axis::kVertical, /*directed=*/true},
+                                {Axis::kHorizontal, /*directed=*/false}};
+  std::vector<NamedProblem> suite;
+  suite.push_back({"tri-16", multilayer_region(21, 16, 12, 14, LayerStack(3))});
+  suite.push_back(
+      {"tri-directed-12", multilayer_region(22, 12, 10, 8, tri_directed)});
+  suite.push_back({"quad-18", multilayer_region(23, 18, 14, 16, LayerStack(4))});
+  return suite;
 }
 
 }  // namespace gridroute::suite

@@ -72,6 +72,12 @@ SwitchboxSpec overfilled_switchbox(std::uint64_t seed = 5, int width = 12,
 Problem macrocell_region(std::uint64_t seed = 7, int width = 40,
                          int height = 28, int nets = 18);
 
+/// Routing pocket on an arbitrary layer stack (N >= 2): scattered any-layer
+/// pins, a full-stack obstacle block, and an M1-only strap. The workhorse
+/// instance family for multi-layer routing and layer assignment.
+Problem multilayer_region(std::uint64_t seed, int width, int height, int nets,
+                          LayerStack stack);
+
 // ---------------------------------------------------------------------------
 // Named suites driven by the benchmark tables
 // ---------------------------------------------------------------------------
@@ -87,5 +93,12 @@ struct NamedSwitchbox {
   SwitchboxSpec spec;
 };
 std::vector<NamedSwitchbox> switchbox_suite();
+
+struct NamedProblem {
+  std::string name;
+  Problem problem;
+};
+/// Multi-layer instances: one 3-layer, one directed 3-layer, one 4-layer.
+std::vector<NamedProblem> multilayer_suite();
 
 }  // namespace gridroute::suite

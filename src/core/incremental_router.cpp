@@ -335,9 +335,9 @@ void IncrementalRouter::apply_prewire(NetId id) {
                                   "': pre-wire conflicts with the region or "
                                   "another net (run Problem::validate)");
   }
-  for (const Point& v : net.previas) {
-    if (grid_.via_owner(v) == id) continue;
-    if (!grid_.add_via(v, id))
+  for (const PreVia& v : net.previas) {
+    if (grid_.via_owner(v.pos, v.cut) == id) continue;
+    if (!grid_.add_via(v.pos, v.cut, id))
       throw std::invalid_argument("net '" + net.name +
                                   "': pre-via not anchored on both layers");
   }
@@ -362,9 +362,9 @@ void IncrementalRouter::bump_history(Point p) {
 std::vector<GridPoint> IncrementalRouter::pin_nodes(const Pin& pin) const {
   std::vector<GridPoint> nodes;
   if (pin.any_layer) {
-    for (Layer l : {Layer::kMetal1, Layer::kMetal2})
-      if (problem_.region().routable({pin.pos, l}))
-        nodes.push_back({pin.pos, l});
+    for (int k = 0; k < problem_.region().layer_count(); ++k)
+      if (problem_.region().routable({pin.pos, layer_at(k)}))
+        nodes.push_back({pin.pos, layer_at(k)});
   } else if (problem_.region().routable({pin.pos, pin.layer})) {
     nodes.push_back({pin.pos, pin.layer});
   }
@@ -425,8 +425,9 @@ std::vector<std::vector<GridPoint>> IncrementalRouter::wire_components(
       auto it = index.find({g.pos + d, g.layer});
       if (it != index.end()) ds.unite(i, it->second);
     }
-    if (g.layer == Layer::kMetal1 && grid_.via_owner(g.pos) == id) {
-      auto it = index.find({g.pos, Layer::kMetal2});
+    const int k = layer_index(g.layer);
+    if (k < grid_.cut_count() && grid_.via_owner(g.pos, k) == id) {
+      auto it = index.find({g.pos, layer_at(k + 1)});
       if (it != index.end()) ds.unite(i, it->second);
     }
   }

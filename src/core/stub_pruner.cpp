@@ -12,8 +12,13 @@ int degree(const RoutingGrid& grid, GridPoint g, NetId id) {
   int deg = 0;
   for (const Point d : {Point{1, 0}, Point{-1, 0}, Point{0, 1}, Point{0, -1}})
     if (grid.owner({g.pos + d, g.layer}) == id) ++deg;
-  if (grid.via_owner(g.pos) == id &&
-      grid.owner({g.pos, other_layer(g.layer)}) == id)
+  // A via on either cut touching this layer joins the stacked neighbour.
+  const int k = layer_index(g.layer);
+  if (grid.via_owner(g.pos, k - 1) == id &&
+      grid.owner({g.pos, layer_at(k - 1)}) == id)
+    ++deg;
+  if (grid.via_owner(g.pos, k) == id &&
+      grid.owner({g.pos, layer_at(k + 1)}) == id)
     ++deg;
   return deg;
 }
@@ -45,8 +50,11 @@ int prune_stubs(const Problem& problem, RoutingGrid& grid, NetId id) {
          {Point{1, 0}, Point{-1, 0}, Point{0, 1}, Point{0, -1}})
       if (grid.owner({g.pos + d, g.layer}) == id)
         candidates.push_back({g.pos + d, g.layer});
-    if (grid.via_owner(g.pos) == id)
-      candidates.push_back({g.pos, other_layer(g.layer)});
+    const int k = layer_index(g.layer);
+    if (grid.via_owner(g.pos, k - 1) == id)
+      candidates.push_back({g.pos, layer_at(k - 1)});
+    if (grid.via_owner(g.pos, k) == id)
+      candidates.push_back({g.pos, layer_at(k + 1)});
     grid.release(g);
     ++removed;
   }

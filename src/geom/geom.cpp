@@ -1,5 +1,6 @@
 #include <ostream>
 
+#include "geom/layer.hpp"
 #include "geom/point.hpp"
 #include "geom/rect.hpp"
 
@@ -10,7 +11,12 @@ std::ostream& operator<<(std::ostream& os, Point p) {
 }
 
 std::ostream& operator<<(std::ostream& os, Layer l) {
-  return os << (l == Layer::kMetal1 ? "M1" : "M2");
+  // M<k+1> for any index — traces and diagnostics stay truthful past M2.
+  return os << 'M' << (layer_index(l) + 1);
+}
+
+std::ostream& operator<<(std::ostream& os, Axis a) {
+  return os << (a == Axis::kHorizontal ? 'H' : 'V');
 }
 
 std::ostream& operator<<(std::ostream& os, GridPoint g) {

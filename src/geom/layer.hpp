@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+#include "geom/point.hpp"
+
+namespace gridroute {
+
+/// Routing axis a layer prefers. The preference is a soft cost unless the
+/// layer is marked `directed` (see LayerSpec).
+enum class Axis : std::uint8_t { kHorizontal = 0, kVertical = 1 };
+
+/// One metal layer of a LayerStack.
+///
+/// The multipliers scale the CostModel's base terms, so the classic stack
+/// (all multipliers 1) prices exactly like the historical two-layer model —
+/// that equality is what keeps the N=2 refactor bit-identical.
+struct LayerSpec {
+  Axis preferred = Axis::kHorizontal;
+  /// Hard direction rule: wrong-way wire on this layer is illegal — the
+  /// maze routers never propose it and the verifier rejects it. False (the
+  /// default, and the classic-stack value) keeps the preference soft.
+  bool directed = false;
+  /// Scales CostModel::wrong_way for planar steps along the non-preferred
+  /// axis of this layer.
+  int wrong_way_mult = 1;
+  /// Scales CostModel::via for the cut *above* this layer (cut k connects
+  /// layers k and k+1; the top layer's value is unused).
+  int via_up_mult = 1;
+
+  friend bool operator==(const LayerSpec&, const LayerSpec&) = default;
+};
+
+/// Hard cap on stack height. Lets per-layer hot-path tables (future-cost
+/// residuals, region masks) be fixed-size; 16 covers every technology this
+/// library targets with headroom.
+constexpr int kMaxLayers = 16;
+
+/// A runtime metal stack: N >= 2 layers, bottom (index 0) to top. Layer k
+/// and layer k+1 are connected by vias at *cut* k — a stack of N layers has
+/// N-1 cuts, and a multi-layer "via stack" is a run of consecutive cuts.
+///
+/// The default-constructed stack is the classic two-layer technology the
+/// library historically baked in: METAL1 horizontal-preferred, METAL2
+/// vertical-preferred, soft preferences, unit multipliers.
+class LayerStack {
+ public:
+  /// Classic 2-layer stack (M1 horizontal, M2 vertical, soft, unit costs).
+  LayerStack() : LayerStack(2) {}
+
+  /// Alternating-direction stack of `count` layers starting horizontal
+  /// (HVHV...), soft preferences, unit multipliers.
+  explicit LayerStack(int count) {
+    assert(count >= 2 && count <= kMaxLayers);
+    layers_.resize(static_cast<std::size_t>(count));
+    for (int k = 0; k < count; ++k)
+      layers_[static_cast<std::size_t>(k)].preferred =
+          (k % 2 == 0) ? Axis::kHorizontal : Axis::kVertical;
+  }
+
+  explicit LayerStack(std::vector<LayerSpec> layers)
+      : layers_(std::move(layers)) {
+    assert(static_cast<int>(layers_.size()) >= 2 &&
+           static_cast<int>(layers_.size()) <= kMaxLayers);
+  }
+  LayerStack(std::initializer_list<LayerSpec> layers)
+      : LayerStack(std::vector<LayerSpec>(layers)) {}
+
+  int count() const { return static_cast<int>(layers_.size()); }
+  /// Number of via cuts (count() - 1); cut k connects layers k and k+1.
+  int cuts() const { return count() - 1; }
+
+  const LayerSpec& spec(Layer l) const {
+    return layers_[static_cast<std::size_t>(layer_index(l))];
+  }
+  LayerSpec& spec(Layer l) {
+    return layers_[static_cast<std::size_t>(layer_index(l))];
+  }
+
+  bool horizontal(Layer l) const {
+    return spec(l).preferred == Axis::kHorizontal;
+  }
+  bool directed(Layer l) const { return spec(l).directed; }
+  int wrong_way_mult(Layer l) const { return spec(l).wrong_way_mult; }
+  /// Via cost multiplier of cut k (scales CostModel::via).
+  int via_mult(int cut) const {
+    return layers_[static_cast<std::size_t>(cut)].via_up_mult;
+  }
+
+  bool valid_layer(Layer l) const {
+    return layer_index(l) >= 0 && layer_index(l) < count();
+  }
+
+  /// True when any layer carries the hard direction rule (lets callers skip
+  /// wrong-way bookkeeping entirely on soft stacks, the classic one
+  /// included).
+  bool any_directed() const {
+    for (const LayerSpec& s : layers_)
+      if (s.directed) return true;
+    return false;
+  }
+
+  /// True for the default-constructed classic two-layer stack — the
+  /// configuration under which every output (layout, trace, problem text)
+  /// must stay bit-identical to the pre-LayerStack router.
+  bool classic() const { return *this == LayerStack(); }
+
+  friend bool operator==(const LayerStack&, const LayerStack&) = default;
+
+ private:
+  std::vector<LayerSpec> layers_;
+};
+
+std::ostream& operator<<(std::ostream& os, Axis a);
+
+}  // namespace gridroute

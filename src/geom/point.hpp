@@ -27,19 +27,26 @@ inline int manhattan(Point a, Point b) {
 
 std::ostream& operator<<(std::ostream& os, Point p);
 
-/// Routing layer of a two-layer technology. Layer 0 (METAL1) prefers
-/// horizontal wires; layer 1 (METAL2) prefers vertical wires. The router
-/// treats the preference as a soft cost, not a hard rule (unreserved model),
-/// matching the general two-dimensional routers this library reproduces.
+/// Routing layer index, bottom to top. The named constants are the two
+/// layers of the classic stack the library grew up on — METAL1 (index 0,
+/// horizontal-preferred) and METAL2 (index 1, vertical-preferred) — but the
+/// enum is an open index type: taller stacks use layer_at(k) for k >= 2, and
+/// which directions/costs a layer carries is runtime data (geom/layer.hpp's
+/// LayerStack), not baked into the type. Preferences are soft costs unless a
+/// stack marks a layer directed (unreserved model otherwise, matching the
+/// general two-dimensional routers this library reproduces).
 enum class Layer : std::uint8_t { kMetal1 = 0, kMetal2 = 1 };
 
-constexpr int kLayerCount = 2;
+inline int layer_index(Layer l) { return static_cast<int>(l); }
 
+inline Layer layer_at(int k) { return static_cast<Layer>(k); }
+
+/// Classic-stack helper: the other layer of a *two-layer* technology. Only
+/// meaningful for code that is inherently two-layer (channel realization,
+/// 2-layer tests); N-layer code iterates cuts/adjacent layers instead.
 inline Layer other_layer(Layer l) {
   return l == Layer::kMetal1 ? Layer::kMetal2 : Layer::kMetal1;
 }
-
-inline int layer_index(Layer l) { return static_cast<int>(l); }
 
 std::ostream& operator<<(std::ostream& os, Layer l);
 

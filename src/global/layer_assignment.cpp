@@ -1,0 +1,183 @@
+#include "global/layer_assignment.hpp"
+
+#include <algorithm>
+#include <climits>
+#include <map>
+#include <sstream>
+
+namespace gridroute {
+
+namespace {
+
+/// True when the (normalized, a < b) edge runs horizontally.
+bool edge_horizontal(const GlobalEdge& e) { return e.b.x == e.a.x + 1; }
+
+/// One maximal collinear run: indices into the route's edge list, all on
+/// the same row (horizontal) or column (vertical) and contiguous.
+struct Run {
+  std::vector<std::size_t> edges;
+  bool horizontal = false;
+};
+
+/// Splits the route into maximal collinear runs. Edges are grouped by
+/// their row/column and sorted along it; a gap (or a different row/column)
+/// starts a new run. Deterministic for any edge order in the input.
+std::vector<Run> collinear_runs(const GlobalRoute& route) {
+  // Key: (horizontal, row-or-column); value: (position along the run,
+  // edge index), where position is the lower endpoint's coordinate.
+  std::map<std::pair<bool, int>, std::vector<std::pair<int, std::size_t>>>
+      lanes;
+  for (std::size_t i = 0; i < route.edges.size(); ++i) {
+    const GlobalEdge& e = route.edges[i];
+    const bool h = edge_horizontal(e);
+    lanes[{h, h ? e.a.y : e.a.x}].push_back({h ? e.a.x : e.a.y, i});
+  }
+  std::vector<Run> runs;
+  for (auto& [key, lane] : lanes) {
+    std::sort(lane.begin(), lane.end());
+    Run run;
+    run.horizontal = key.first;
+    int prev = INT_MIN;
+    for (const auto& [pos, idx] : lane) {
+      if (prev != INT_MIN && pos != prev + 1) {
+        runs.push_back(std::move(run));
+        run = Run{{}, key.first};
+      }
+      run.edges.push_back(idx);
+      prev = pos;
+    }
+    if (!run.edges.empty()) runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+/// Least-used layer among the candidates (ties toward the lowest index);
+/// kMaxLayers-sized sentinel when `candidates` is empty.
+int pick_least_used(const std::vector<int>& candidates,
+                    const LayerUsage& usage) {
+  int best = -1;
+  for (const int k : candidates)
+    if (best < 0 || usage[static_cast<std::size_t>(k)] <
+                        usage[static_cast<std::size_t>(best)])
+      best = k;
+  return best;
+}
+
+}  // namespace
+
+LayerAssignment assign_layers(const GlobalRoute& route,
+                              const LayerStack& stack, LayerUsage* usage) {
+  LayerUsage local(static_cast<std::size_t>(stack.count()), 0);
+  LayerUsage& load = usage != nullptr ? *usage : local;
+
+  LayerAssignment out;
+  out.edge_layers.assign(route.edges.size(), layer_at(0));
+
+  // Candidate sets are fixed per axis: direction-compatible layers first,
+  // else any non-directed layer (wrong-way wire is legal there, merely
+  // expensive), else the whole stack as a last resort.
+  auto candidates_for = [&](bool horizontal) {
+    std::vector<int> compatible, undirected, all;
+    for (int k = 0; k < stack.count(); ++k) {
+      all.push_back(k);
+      if (stack.horizontal(layer_at(k)) == horizontal) compatible.push_back(k);
+      if (!stack.directed(layer_at(k))) undirected.push_back(k);
+    }
+    if (!compatible.empty()) return compatible;
+    if (!undirected.empty()) return undirected;
+    return all;
+  };
+  const std::vector<int> h_candidates = candidates_for(true);
+  const std::vector<int> v_candidates = candidates_for(false);
+
+  for (const Run& run : collinear_runs(route)) {
+    const int k = pick_least_used(run.horizontal ? h_candidates : v_candidates,
+                                  load);
+    for (const std::size_t idx : run.edges)
+      out.edge_layers[idx] = layer_at(k);
+    load[static_cast<std::size_t>(k)] +=
+        static_cast<long long>(run.edges.size());
+  }
+
+  // Via demand: at every gcell the route touches, the incident edges'
+  // layers must be joined by a via stack spanning their range.
+  std::map<Point, std::pair<int, int>> span;  // node -> (min, max layer)
+  for (std::size_t i = 0; i < route.edges.size(); ++i) {
+    const int k = layer_index(out.edge_layers[i]);
+    for (const Point p : {route.edges[i].a, route.edges[i].b}) {
+      auto [it, inserted] = span.emplace(p, std::pair{k, k});
+      if (!inserted) {
+        it->second.first = std::min(it->second.first, k);
+        it->second.second = std::max(it->second.second, k);
+      }
+    }
+  }
+  for (const auto& [p, mm] : span) out.via_count += mm.second - mm.first;
+  return out;
+}
+
+std::vector<LayerAssignment> assign_layers(
+    const std::vector<GlobalRoute>& routes, const LayerStack& stack) {
+  LayerUsage usage(static_cast<std::size_t>(stack.count()), 0);
+  std::vector<LayerAssignment> out;
+  out.reserve(routes.size());
+  for (const GlobalRoute& route : routes)
+    out.push_back(assign_layers(route, stack, &usage));
+  return out;
+}
+
+std::vector<std::string> verify_layer_assignment(
+    const GlobalRoute& route, const LayerStack& stack,
+    const LayerAssignment& assignment) {
+  std::vector<std::string> violations;
+  std::ostringstream msg;
+  auto flag = [&]() {
+    violations.push_back(msg.str());
+    msg.str({});
+  };
+
+  if (assignment.edge_layers.size() != route.edges.size()) {
+    msg << "assignment covers " << assignment.edge_layers.size()
+        << " edges, route has " << route.edges.size();
+    flag();
+    return violations;
+  }
+  for (std::size_t i = 0; i < route.edges.size(); ++i) {
+    const Layer l = assignment.edge_layers[i];
+    if (!stack.valid_layer(l)) {
+      msg << "edge " << i << " assigned to layer index "
+          << static_cast<int>(layer_index(l)) << " outside the stack";
+      flag();
+      continue;
+    }
+    const bool h = edge_horizontal(route.edges[i]);
+    if (stack.directed(l) && stack.horizontal(l) != h) {
+      msg << "edge " << route.edges[i].a << "-" << route.edges[i].b
+          << " runs " << (h ? "horizontally" : "vertically")
+          << " on directed layer " << l;
+      flag();
+    }
+  }
+
+  std::map<Point, std::pair<int, int>> span;
+  for (std::size_t i = 0; i < route.edges.size(); ++i) {
+    const int k = layer_index(assignment.edge_layers[i]);
+    for (const Point p : {route.edges[i].a, route.edges[i].b}) {
+      auto [it, inserted] = span.emplace(p, std::pair{k, k});
+      if (!inserted) {
+        it->second.first = std::min(it->second.first, k);
+        it->second.second = std::max(it->second.second, k);
+      }
+    }
+  }
+  int vias = 0;
+  for (const auto& [p, mm] : span) vias += mm.second - mm.first;
+  if (vias != assignment.via_count) {
+    msg << "via_count " << assignment.via_count
+        << " does not match the per-node layer span (" << vias << ")";
+    flag();
+  }
+  return violations;
+}
+
+}  // namespace gridroute

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/layer.hpp"
+#include "global/global_router.hpp"
+
+namespace gridroute {
+
+/// Layer assignment for one global route: the stack layer carrying each
+/// gcell edge (parallel to GlobalRoute::edges) plus the stacked-via demand
+/// the assignment implies.
+struct LayerAssignment {
+  std::vector<Layer> edge_layers;
+  /// Sum over the route's gcells of the layer span of the runs meeting
+  /// there (a node whose incident edges sit on layers 0 and 2 needs a
+  /// 2-cut via stack).
+  int via_count = 0;
+};
+
+/// Per-stack usage accumulator threaded through a whole assignment pass so
+/// later nets see the load earlier nets placed (units: gcell edges).
+using LayerUsage = std::vector<long long>;
+
+/// Greedy layer assignment (DESIGN.md §2.1h): the route's edges are split
+/// into maximal collinear runs; each run goes, whole, onto the
+/// direction-compatible layer with the least accumulated usage (ties break
+/// toward the lowest layer, so the result is deterministic). Runs on an
+/// axis no layer prefers fall back to the least-used non-directed layer —
+/// directed layers never accept wrong-way wire. Via demand is then the
+/// per-node layer span.
+///
+/// `usage` may be null (the route is assigned against an empty stack);
+/// when provided it must have stack.count() entries and is updated with
+/// this route's load.
+LayerAssignment assign_layers(const GlobalRoute& route,
+                              const LayerStack& stack,
+                              LayerUsage* usage = nullptr);
+
+/// Whole-netlist pass in net order, threading one usage accumulator so the
+/// stack load balances across nets.
+std::vector<LayerAssignment> assign_layers(
+    const std::vector<GlobalRoute>& routes, const LayerStack& stack);
+
+/// Independent audit of an assignment: every edge carries a valid layer,
+/// directed layers carry no wrong-way run, and via_count matches the
+/// per-node layer span. Returns human-readable violations (empty = ok).
+std::vector<std::string> verify_layer_assignment(
+    const GlobalRoute& route, const LayerStack& stack,
+    const LayerAssignment& assignment);
+
+}  // namespace gridroute

@@ -21,10 +21,12 @@ int Path::via_count() const {
 RoutingGrid::RoutingGrid(const Region& region, int net_count)
     : region_(region),
       owners_(static_cast<size_t>(region.width()) *
-                  static_cast<size_t>(region.height()) * kLayerCount,
+                  static_cast<size_t>(region.height()) *
+                  static_cast<size_t>(region.layer_count()),
               kNoNet),
       vias_(static_cast<size_t>(region.width()) *
-                static_cast<size_t>(region.height()),
+                static_cast<size_t>(region.height()) *
+                static_cast<size_t>(region.layers().cuts()),
             kNoNet),
       net_nodes_(static_cast<size_t>(net_count)),
       via_counts_(static_cast<size_t>(net_count), 0) {}
@@ -58,34 +60,43 @@ void RoutingGrid::erase_net_node(NetId id, GridPoint g) {
 }
 
 bool RoutingGrid::release(GridPoint g) {
-  if (!in_bounds(g.pos)) return false;
+  if (!in_bounds(g.pos) || !region_.layers().valid_layer(g.layer))
+    return false;
   const NetId id = owners_[node_index(g)];
   if (id == kNoNet) return false;
-  remove_via(g.pos);  // a via cannot outlive either of its landing nodes
+  // A via cannot outlive either landing node: drop the cuts touching this
+  // layer (below, then above). On the classic stack exactly one cut exists,
+  // reproducing the historical single remove_via(p) exactly.
+  const int k = layer_index(g.layer);
+  if (k > 0) remove_via(g.pos, k - 1);
+  if (k < cut_count()) remove_via(g.pos, k);
   owners_[node_index(g)] = kNoNet;
   erase_net_node(id, g);
   journal_.push_back({Op::kRelease, g, id});
   return true;
 }
 
-bool RoutingGrid::add_via(Point p, NetId id) {
-  if (!in_bounds(p) || vias_[cell_index(p)] != kNoNet) return false;
-  if (owners_[node_index({p, Layer::kMetal1})] != id ||
-      owners_[node_index({p, Layer::kMetal2})] != id)
+bool RoutingGrid::add_via(Point p, int cut, NetId id) {
+  if (!in_bounds(p) || cut < 0 || cut >= cut_count()) return false;
+  if (vias_[via_index(p, cut)] != kNoNet) return false;
+  if (owners_[node_index({p, layer_at(cut)})] != id ||
+      owners_[node_index({p, layer_at(cut + 1)})] != id)
     return false;
-  vias_[cell_index(p)] = id;
+  vias_[via_index(p, cut)] = id;
   ++via_counts_[static_cast<size_t>(id)];
-  journal_.push_back({Op::kAddVia, {p, Layer::kMetal1}, id});
+  // The journal names the cut extent: layer_at(cut) is the lower landing,
+  // the upper is cut+1 by construction (see Entry).
+  journal_.push_back({Op::kAddVia, {p, layer_at(cut)}, id});
   return true;
 }
 
-bool RoutingGrid::remove_via(Point p) {
-  if (!in_bounds(p)) return false;
-  const NetId id = vias_[cell_index(p)];
+bool RoutingGrid::remove_via(Point p, int cut) {
+  if (!in_bounds(p) || cut < 0 || cut >= cut_count()) return false;
+  const NetId id = vias_[via_index(p, cut)];
   if (id == kNoNet) return false;
-  vias_[cell_index(p)] = kNoNet;
+  vias_[via_index(p, cut)] = kNoNet;
   --via_counts_[static_cast<size_t>(id)];
-  journal_.push_back({Op::kRemoveVia, {p, Layer::kMetal1}, id});
+  journal_.push_back({Op::kRemoveVia, {p, layer_at(cut)}, id});
   return true;
 }
 
@@ -102,7 +113,9 @@ bool RoutingGrid::apply_path(const Path& path, NetId id) {
   for (size_t i = 1; i < path.nodes.size(); ++i) {
     if (path.nodes[i - 1].layer == path.nodes[i].layer) continue;
     const Point p = path.nodes[i].pos;
-    if (!has_via(p) && !add_via(p, id)) {
+    const int cut = std::min(layer_index(path.nodes[i - 1].layer),
+                             layer_index(path.nodes[i].layer));
+    if (!has_via(p, cut) && !add_via(p, cut, id)) {
       rollback(start);
       return false;
     }
@@ -132,11 +145,11 @@ void RoutingGrid::rollback(Mark m) {
         net_nodes_[static_cast<size_t>(e.net)].push_back(e.node);
         break;
       case Op::kAddVia:
-        vias_[cell_index(e.node.pos)] = kNoNet;
+        vias_[via_index(e.node.pos, via_cut(e))] = kNoNet;
         --via_counts_[static_cast<size_t>(e.net)];
         break;
       case Op::kRemoveVia:
-        vias_[cell_index(e.node.pos)] = e.net;
+        vias_[via_index(e.node.pos, via_cut(e))] = e.net;
         ++via_counts_[static_cast<size_t>(e.net)];
         break;
     }

@@ -23,13 +23,17 @@ struct Path {
   int via_count() const;
 };
 
-/// Mutable two-layer occupancy state over a Region.
+/// Mutable N-layer occupancy state over a Region (layer count and per-layer
+/// semantics come from the region's LayerStack; the default stack is the
+/// classic two-layer technology).
 ///
-/// Ground truth is the per-node owner map plus an explicit per-cell via
-/// owner: two same-net nodes stacked on different layers are electrically
-/// connected only where a via is recorded, so same-net crossings without a
-/// via stay disconnected — exactly the distinction a rip-up router must
-/// preserve when it severs and repairs nets.
+/// Ground truth is the per-node owner map plus an explicit via owner per
+/// (cell, cut) — cut k connects layers k and k+1: two same-net nodes stacked
+/// on adjacent layers are electrically connected only where that cut's via
+/// is recorded, so same-net crossings without a via stay disconnected —
+/// exactly the distinction a rip-up router must preserve when it severs and
+/// repairs nets. A multi-layer "via stack" is simply a run of consecutive
+/// cuts, each with its own record.
 ///
 /// Every mutation is journaled; mark()/rollback() give the cheap
 /// checkpointing that tentative weak/strong modification needs.
@@ -44,6 +48,9 @@ class RoutingGrid {
   const Region& region() const { return region_; }
   int width() const { return region_.width(); }
   int height() const { return region_.height(); }
+  int layer_count() const { return region_.layer_count(); }
+  /// Number of via cuts (layer_count() - 1).
+  int cut_count() const { return region_.layers().cuts(); }
   int net_count() const { return static_cast<int>(net_nodes_.size()); }
 
   // -- queries --------------------------------------------------------------
@@ -56,11 +63,17 @@ class RoutingGrid {
   bool free(GridPoint g) const {
     return region_.routable(g) && owner(g) == kNoNet;
   }
-  /// Net owning the via at planar cell p, or kNoNet.
-  NetId via_owner(Point p) const {
-    return in_bounds(p) ? vias_[cell_index(p)] : kNoNet;
+  /// Net owning the via at planar cell p on cut `cut` (connecting layers
+  /// cut and cut+1), or kNoNet. The default cut 0 is the classic M1/M2 via,
+  /// so two-layer call sites read unchanged.
+  NetId via_owner(Point p, int cut = 0) const {
+    return in_bounds(p) && cut >= 0 && cut < cut_count()
+               ? vias_[via_index(p, cut)]
+               : kNoNet;
   }
-  bool has_via(Point p) const { return via_owner(p) != kNoNet; }
+  bool has_via(Point p, int cut = 0) const {
+    return via_owner(p, cut) != kNoNet;
+  }
 
   /// All nodes currently owned by the net (unordered).
   const std::vector<GridPoint>& net_nodes(NetId id) const {
@@ -81,13 +94,16 @@ class RoutingGrid {
   /// Claims a free routable node for a net. Returns false (no change) if the
   /// node is blocked or already owned — by anyone, including `id` itself.
   bool occupy(GridPoint g, NetId id);
-  /// Releases a node. Any via at the cell is removed first (a wire end
-  /// cannot keep a via alive on its own). Returns false if not owned.
+  /// Releases a node. Any via on a cut touching the node's layer is removed
+  /// first (a via cannot outlive either landing node). Returns false if not
+  /// owned.
   bool release(GridPoint g);
-  /// Records a via at p for net id. Requires the net to own p on both
-  /// layers. Returns false otherwise.
-  bool add_via(Point p, NetId id);
-  bool remove_via(Point p);
+  /// Records a via at p on cut `cut` for net id. Requires the net to own
+  /// both landing nodes (layers cut and cut+1). Returns false otherwise.
+  bool add_via(Point p, int cut, NetId id);
+  /// Classic two-layer shape: cut 0.
+  bool add_via(Point p, NetId id) { return add_via(p, 0, id); }
+  bool remove_via(Point p, int cut = 0);
 
   /// Occupies every node of the path for the net and drops vias at layer
   /// changes. Nodes already owned by the same net are skipped (paths are
@@ -129,22 +145,33 @@ class RoutingGrid {
     return static_cast<size_t>((p.y - b.lo.y) * b.width() + (p.x - b.lo.x));
   }
   std::size_t node_index(GridPoint g) const {
-    return cell_index(g.pos) * kLayerCount +
+    return cell_index(g.pos) * static_cast<size_t>(layer_count()) +
            static_cast<size_t>(layer_index(g.layer));
+  }
+  std::size_t via_index(Point p, int cut) const {
+    return cell_index(p) * static_cast<size_t>(cut_count()) +
+           static_cast<size_t>(cut);
   }
 
   void erase_net_node(NetId id, GridPoint g);
 
   enum class Op : std::uint8_t { kOccupy, kRelease, kAddVia, kRemoveVia };
+  /// One undo record. Via entries name the full cut extent: node.pos is the
+  /// cell and node.layer the cut's *lower* landing layer (layer k for cut k
+  /// — the upper landing is layer k+1 by construction), so rollback of a
+  /// stacked via restores exactly the cut that changed. On the classic
+  /// 2-layer stack the only cut's lower layer is kMetal1, reproducing the
+  /// historical journal bytes exactly.
   struct Entry {
     Op op;
-    GridPoint node;  // for via entries only node.pos is meaningful
+    GridPoint node;
     NetId net;
   };
+  static int via_cut(const Entry& e) { return layer_index(e.node.layer); }
 
   Region region_;
   std::vector<NetId> owners_;               // node-indexed
-  std::vector<NetId> vias_;                 // cell-indexed
+  std::vector<NetId> vias_;                 // (cell, cut)-indexed
   std::vector<std::vector<GridPoint>> net_nodes_;
   std::vector<int> via_counts_;
   std::vector<Entry> journal_;
@@ -181,10 +208,13 @@ class GridTransaction {
   RoutingGrid::Mark mark_;
 };
 
-/// True when a->b is one legal grid step (planar move or layer change).
+/// True when a->b is one legal grid step: a planar move on one layer, or a
+/// layer change of exactly one (one cut) at the same cell — a via stack is a
+/// run of such single-cut steps.
 inline bool is_grid_step(GridPoint a, GridPoint b) {
   if (a.layer == b.layer) return manhattan(a.pos, b.pos) == 1;
-  return a.pos == b.pos;
+  const int dl = layer_index(a.layer) - layer_index(b.layer);
+  return a.pos == b.pos && (dl == 1 || dl == -1);
 }
 
 }  // namespace gridroute

@@ -39,20 +39,36 @@ std::string render(const Problem& problem, const RoutingGrid& grid) {
   const Region& region = problem.region();
   const Rect& b = region.bounds();
   std::ostringstream out;
-  out << "M1 (horizontal pref)" << std::string(
-             static_cast<size_t>(std::max(b.width() - 18, 3)), ' ')
-      << "M2 (vertical pref)" << std::string(
-             static_cast<size_t>(std::max(b.width() - 16, 3)), ' ')
-      << "vias\n";
+  if (region.layer_count() == 2) {
+    // Classic layout, byte-identical to the historical renderer.
+    out << "M1 (horizontal pref)" << std::string(
+               static_cast<size_t>(std::max(b.width() - 18, 3)), ' ')
+        << "M2 (vertical pref)" << std::string(
+               static_cast<size_t>(std::max(b.width() - 16, 3)), ' ')
+        << "vias\n";
+  } else {
+    for (int k = 0; k < region.layer_count(); ++k) {
+      const Layer l = layer_at(k);
+      out << l << " ("
+          << (region.layers().horizontal(l) ? "horizontal" : "vertical")
+          << (region.layers().directed(l) ? ", directed)" : " pref)")
+          << std::string(
+                 static_cast<size_t>(std::max(b.width() - 18, 3)), ' ');
+    }
+    out << "vias (lowest cut)\n";
+  }
   for (int y = b.hi.y; y >= b.lo.y; --y) {
-    for (int x = b.lo.x; x <= b.hi.x; ++x)
-      out << cell_char(region, grid, {{x, y}, Layer::kMetal1});
-    out << "   ";
-    for (int x = b.lo.x; x <= b.hi.x; ++x)
-      out << cell_char(region, grid, {{x, y}, Layer::kMetal2});
-    out << "   ";
+    for (int k = 0; k < region.layer_count(); ++k) {
+      for (int x = b.lo.x; x <= b.hi.x; ++x)
+        out << cell_char(region, grid, {{x, y}, layer_at(k)});
+      out << "   ";
+    }
     for (int x = b.lo.x; x <= b.hi.x; ++x) {
-      const NetId v = grid.via_owner({x, y});
+      // One via column: the owner of the lowest occupied cut at the cell
+      // (classic stack: exactly the historical cut-0 column).
+      NetId v = kNoNet;
+      for (int cut = 0; cut < grid.cut_count() && v == kNoNet; ++cut)
+        v = grid.via_owner({x, y}, cut);
       out << (v == kNoNet ? '.' : net_symbol(v));
     }
     out << '\n';

@@ -12,8 +12,8 @@ namespace gridroute {
 
 namespace {
 
-const char* layer_name(Layer l) {
-  return l == Layer::kMetal1 ? "m1" : "m2";
+std::string layer_name(Layer l) {
+  return "m" + std::to_string(layer_index(l) + 1);
 }
 
 /// Emits maximal straight runs covering every node of the net on `layer`.
@@ -100,15 +100,23 @@ void write_solution(std::ostream& out, const Problem& problem,
   for (NetId id = 0; id < problem.net_count(); ++id) {
     if (grid.node_count(id) == 0) continue;
     out << "net " << problem.net(id).name << '\n';
-    write_runs(out, grid, id, Layer::kMetal1);
-    write_runs(out, grid, id, Layer::kMetal2);
-    // Vias, ordered for determinism.
-    std::vector<Point> vias;
-    for (const GridPoint& g : grid.net_nodes(id))
-      if (g.layer == Layer::kMetal1 && grid.via_owner(g.pos) == id)
-        vias.push_back(g.pos);
-    std::sort(vias.begin(), vias.end());
-    for (const Point& v : vias) out << "via " << v.x << ' ' << v.y << '\n';
+    for (int k = 0; k < grid.layer_count(); ++k)
+      write_runs(out, grid, id, layer_at(k));
+    // Vias, ordered (cut-major, then position) for determinism. Cut 0 vias
+    // keep the classic two-token line so classic solutions stay
+    // byte-identical; higher cuts append the cut index.
+    for (int cut = 0; cut < grid.cut_count(); ++cut) {
+      std::vector<Point> vias;
+      for (const GridPoint& g : grid.net_nodes(id))
+        if (g.layer == layer_at(cut) && grid.via_owner(g.pos, cut) == id)
+          vias.push_back(g.pos);
+      std::sort(vias.begin(), vias.end());
+      for (const Point& v : vias) {
+        out << "via " << v.x << ' ' << v.y;
+        if (cut != 0) out << ' ' << cut;
+        out << '\n';
+      }
+    }
   }
 }
 
@@ -154,14 +162,21 @@ RoutingGrid parse_solution(std::istream& in, const Problem& problem,
     } else if (kw == "seg") {
       if (open_net == kNoNet) fail(cur, "seg before net");
       if (tokens.size() != 6) fail(cur, "seg needs X0 Y0 X1 Y1 LAYER");
-      Layer layer;
-      if (tokens[5] == "m1") {
-        layer = Layer::kMetal1;
-      } else if (tokens[5] == "m2") {
-        layer = Layer::kMetal2;
-      } else {
-        fail(cur, "seg layer must be m1 or m2", tokens[5]);
+      Layer layer{};
+      bool ok = false;
+      const std::string& tok = tokens[5];
+      if (tok.size() >= 2 && tok[0] == 'm' &&
+          tok.find_first_not_of("0123456789", 1) == std::string::npos) {
+        const int k = to_int(tok.substr(1), cur);
+        if (k >= 1 && k <= grid.layer_count()) {
+          layer = layer_at(k - 1);
+          ok = true;
+        }
       }
+      if (!ok)
+        fail(cur,
+             "seg layer must be m1..m" + std::to_string(grid.layer_count()),
+             tok);
       const Point a{to_int(tokens[1], cur), to_int(tokens[2], cur)};
       const Point b{to_int(tokens[3], cur), to_int(tokens[4], cur)};
       if (a.x != b.x && a.y != b.y) fail(cur, "seg must be straight");
@@ -177,9 +192,15 @@ RoutingGrid parse_solution(std::istream& in, const Problem& problem,
       }
     } else if (kw == "via") {
       if (open_net == kNoNet) fail(cur, "via before net");
-      if (tokens.size() != 3) fail(cur, "via needs X Y");
+      if (tokens.size() != 3 && tokens.size() != 4)
+        fail(cur, "via needs X Y [CUT]");
       const Point v{to_int(tokens[1], cur), to_int(tokens[2], cur)};
-      if (grid.via_owner(v) != open_net && !grid.add_via(v, open_net))
+      const int cut = tokens.size() == 4 ? to_int(tokens[3], cur) : 0;
+      if (cut < 0 || cut >= grid.cut_count())
+        fail(cur, "via cut " + std::to_string(cut) +
+                      " is outside the layer stack");
+      if (grid.via_owner(v, cut) != open_net &&
+          !grid.add_via(v, cut, open_net))
         fail(cur, "via not anchored on both layers by its net");
     } else {
       fail(cur, "unknown keyword '" + kw + "'", kw);

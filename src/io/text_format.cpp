@@ -67,6 +67,49 @@ std::vector<int> to_ints(const std::vector<std::string>& tokens,
   return values;
 }
 
+/// Parses a metal-layer token "m<k>" (1-based) against the problem's layer
+/// stack; `extra` names the keyword's other accepted token for the error
+/// message ("both", "any", or nullptr).
+Layer parse_layer_token(const std::string& tok, const Problem& problem,
+                        const Cursor& cur, const char* what,
+                        const char* extra) {
+  const int n = problem.region().layer_count();
+  if (tok.size() >= 2 && tok[0] == 'm') {
+    bool digits = true;
+    for (std::size_t i = 1; i < tok.size(); ++i)
+      digits = digits && (tok[i] >= '0' && tok[i] <= '9');
+    if (digits) {
+      const int k = std::stoi(tok.substr(1));
+      if (k >= 1 && k <= n) return layer_at(k - 1);
+    }
+  }
+  std::string want = std::string(what) + " layer must be m1..m" +
+                     std::to_string(n);
+  if (extra != nullptr) want += std::string(" or ") + extra;
+  fail(cur, want, tok);
+}
+
+/// Layer-stack pattern over {h,v,H,V}: axis per layer, uppercase = directed.
+LayerStack parse_stack_pattern(int n, const std::string& pattern,
+                               const Cursor& cur) {
+  if (static_cast<int>(pattern.size()) != n)
+    fail(cur, "layers pattern must have one letter per layer", pattern);
+  std::vector<LayerSpec> specs;
+  for (const char c : pattern) {
+    LayerSpec s;
+    switch (c) {
+      case 'h': break;
+      case 'v': s.preferred = Axis::kVertical; break;
+      case 'H': s.directed = true; break;
+      case 'V': s.preferred = Axis::kVertical; s.directed = true; break;
+      default:
+        fail(cur, "layers pattern letters must be h, v, H or V", pattern);
+    }
+    specs.push_back(s);
+  }
+  return LayerStack(std::move(specs));
+}
+
 }  // namespace
 
 Problem parse_problem(std::istream& in, const std::string& source) {
@@ -98,6 +141,22 @@ Problem parse_problem(std::istream& in, const std::string& source) {
       have_region = true;
       open_net = nullptr;
       net_names.clear();
+    } else if (kw == "layers") {
+      // Optional stack header: "layers N [pattern]". Must directly follow
+      // region (before obstacles resize the per-layer mask) and defaults to
+      // the classic two-layer technology when absent.
+      if (!have_region) fail(cur, "layers before region");
+      if (problem.net_count() > 0 || open_net != nullptr)
+        fail(cur, "layers must come before nets");
+      if (tokens.size() != 2 && tokens.size() != 3)
+        fail(cur, "layers needs N [pattern]");
+      const int n = to_int(tokens[1], cur);
+      if (n < 2 || n > kMaxLayers)
+        fail(cur, "layer count must be between 2 and " +
+                      std::to_string(kMaxLayers));
+      problem.region().set_layers(tokens.size() == 3
+                                      ? parse_stack_pattern(n, tokens[2], cur)
+                                      : LayerStack(n));
     } else if (kw == "subtract" || kw == "obstacle") {
       if (!have_region) fail(cur, kw + " before region");
       const bool is_obstacle = kw == "obstacle";
@@ -110,14 +169,12 @@ Problem parse_problem(std::istream& in, const std::string& source) {
       if (!r.valid()) fail(cur, "rectangle corners out of order");
       if (!is_obstacle) {
         problem.region().subtract(r);
-      } else if (tokens[5] == "m1") {
-        problem.region().add_obstacle(r, Layer::kMetal1);
-      } else if (tokens[5] == "m2") {
-        problem.region().add_obstacle(r, Layer::kMetal2);
       } else if (tokens[5] == "both") {
-        problem.region().add_obstacle(r);
+        problem.region().add_obstacle(r);  // all layers of the stack
       } else {
-        fail(cur, "obstacle layer must be m1, m2 or both", tokens[5]);
+        problem.region().add_obstacle(
+            r, parse_layer_token(tokens[5], problem, cur, "obstacle",
+                                 "both"));
       }
     } else if (kw == "net") {
       if (!have_region) fail(cur, "net before region");
@@ -131,27 +188,17 @@ Problem parse_problem(std::istream& in, const std::string& source) {
       if (tokens.size() != 4) fail(cur, "pin needs X Y LAYER");
       Pin pin;
       pin.pos = {to_int(tokens[1], cur), to_int(tokens[2], cur)};
-      if (tokens[3] == "m1") {
-        pin.layer = Layer::kMetal1;
-      } else if (tokens[3] == "m2") {
-        pin.layer = Layer::kMetal2;
-      } else if (tokens[3] == "any") {
+      if (tokens[3] == "any") {
         pin.any_layer = true;
       } else {
-        fail(cur, "pin layer must be m1, m2 or any", tokens[3]);
+        pin.layer = parse_layer_token(tokens[3], problem, cur, "pin", "any");
       }
       open_net->pins.push_back(pin);
     } else if (kw == "wire") {
       if (open_net == nullptr) fail(cur, "wire before net");
       if (tokens.size() != 6) fail(cur, "wire needs X0 Y0 X1 Y1 LAYER");
-      Layer layer;
-      if (tokens[5] == "m1") {
-        layer = Layer::kMetal1;
-      } else if (tokens[5] == "m2") {
-        layer = Layer::kMetal2;
-      } else {
-        fail(cur, "wire layer must be m1 or m2", tokens[5]);
-      }
+      const Layer layer =
+          parse_layer_token(tokens[5], problem, cur, "wire", nullptr);
       const Segment seg{
           {{to_int(tokens[1], cur), to_int(tokens[2], cur)}, layer},
           {{to_int(tokens[3], cur), to_int(tokens[4], cur)}, layer}};
@@ -159,9 +206,12 @@ Problem parse_problem(std::istream& in, const std::string& source) {
       open_net->prewire.push_back(seg);
     } else if (kw == "via") {
       if (open_net == nullptr) fail(cur, "via before net");
-      if (tokens.size() != 3) fail(cur, "via needs X Y");
-      open_net->previas.push_back(
-          {to_int(tokens[1], cur), to_int(tokens[2], cur)});
+      if (tokens.size() != 3 && tokens.size() != 4)
+        fail(cur, "via needs X Y [CUT]");
+      PreVia v;
+      v.pos = {to_int(tokens[1], cur), to_int(tokens[2], cur)};
+      if (tokens.size() == 4) v.cut = to_int(tokens[3], cur);
+      open_net->previas.push_back(v);
     } else if (kw == "fixed") {
       if (open_net == nullptr) fail(cur, "fixed before net");
       if (tokens.size() != 1) fail(cur, "fixed takes no arguments");
@@ -299,9 +349,30 @@ StatusOr<SwitchboxSpec> try_parse_switchbox_string(const std::string& text,
   }
 }
 
+namespace {
+
+/// Layer token for the problem text format: "m<k>" 1-based.
+std::string layer_token(Layer l) {
+  return "m" + std::to_string(layer_index(l) + 1);
+}
+
+}  // namespace
+
 void write_problem(std::ostream& out, const Problem& problem) {
   const Region& region = problem.region();
+  const LayerStack& stack = region.layers();
   out << "region " << region.width() << ' ' << region.height() << '\n';
+  // The stack header is only written when it deviates from the classic
+  // default, keeping classic problem text byte-identical.
+  if (!stack.classic()) {
+    out << "layers " << stack.count() << ' ';
+    for (int k = 0; k < stack.count(); ++k) {
+      const bool h = stack.horizontal(layer_at(k));
+      const bool d = stack.directed(layer_at(k));
+      out << (h ? (d ? 'H' : 'h') : (d ? 'V' : 'v'));
+    }
+    out << '\n';
+  }
   const Rect& b = region.bounds();
   for (int y = b.lo.y; y <= b.hi.y; ++y)
     for (int x = b.lo.x; x <= b.hi.x; ++x) {
@@ -310,17 +381,19 @@ void write_problem(std::ostream& out, const Problem& problem) {
         out << "subtract " << x << ' ' << y << ' ' << x << ' ' << y << '\n';
         continue;
       }
-      const bool m1 = region.blocked({p, Layer::kMetal1});
-      const bool m2 = region.blocked({p, Layer::kMetal2});
-      if (m1 && m2)
+      int blocked = 0;
+      for (int k = 0; k < stack.count(); ++k)
+        if (region.blocked({p, layer_at(k)})) ++blocked;
+      if (blocked == 0) continue;
+      if (blocked == stack.count()) {
         out << "obstacle " << x << ' ' << y << ' ' << x << ' ' << y
             << " both\n";
-      else if (m1)
-        out << "obstacle " << x << ' ' << y << ' ' << x << ' ' << y
-            << " m1\n";
-      else if (m2)
-        out << "obstacle " << x << ' ' << y << ' ' << x << ' ' << y
-            << " m2\n";
+      } else {
+        for (int k = 0; k < stack.count(); ++k)
+          if (region.blocked({p, layer_at(k)}))
+            out << "obstacle " << x << ' ' << y << ' ' << x << ' ' << y
+                << ' ' << layer_token(layer_at(k)) << '\n';
+      }
     }
   for (const Net& net : problem.nets()) {
     out << "net " << net.name << '\n';
@@ -330,15 +403,18 @@ void write_problem(std::ostream& out, const Problem& problem) {
       if (pin.any_layer)
         out << "any";
       else
-        out << (pin.layer == Layer::kMetal1 ? "m1" : "m2");
+        out << layer_token(pin.layer);
       out << '\n';
     }
     for (const Segment& seg : net.prewire)
       out << "wire " << seg.a.pos.x << ' ' << seg.a.pos.y << ' '
           << seg.b.pos.x << ' ' << seg.b.pos.y << ' '
-          << (seg.a.layer == Layer::kMetal1 ? "m1" : "m2") << '\n';
-    for (const Point& v : net.previas)
-      out << "via " << v.x << ' ' << v.y << '\n';
+          << layer_token(seg.a.layer) << '\n';
+    for (const PreVia& v : net.previas) {
+      out << "via " << v.pos.x << ' ' << v.pos.y;
+      if (v.cut != 0) out << ' ' << v.cut;
+      out << '\n';
+    }
   }
 }
 

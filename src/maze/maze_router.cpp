@@ -10,15 +10,17 @@ namespace gridroute {
 
 PinBlocks::PinBlocks(const Problem& problem) {
   bounds_ = problem.region().bounds();
+  layers_ = problem.region().layer_count();
   map_.assign(static_cast<size_t>(bounds_.width()) *
-                  static_cast<size_t>(bounds_.height()) * kLayerCount,
+                  static_cast<size_t>(bounds_.height()) *
+                  static_cast<size_t>(layers_),
               kNoNet);
   for (NetId id = 0; id < problem.net_count(); ++id) {
     for (const Pin& pin : problem.net(id).pins) {
       if (pin.any_layer) {
-        map_[index({pin.pos, Layer::kMetal1})] = id;
-        map_[index({pin.pos, Layer::kMetal2})] = id;
-      } else {
+        for (int k = 0; k < layers_; ++k)
+          map_[index({pin.pos, layer_at(k)})] = id;
+      } else if (layer_index(pin.layer) < layers_) {
         map_[index({pin.pos, pin.layer})] = id;
       }
     }
@@ -31,30 +33,37 @@ PinBlocks::PinBlocks(const Problem& problem) {
 
 namespace {
 
-/// Shared node indexing for both routers.
+/// Shared node indexing for both routers: cell-major, layer-minor, over the
+/// region's runtime layer count.
 struct NodeCodec {
   Rect bounds;
+  std::size_t layers;
 
   std::size_t count() const {
     return static_cast<size_t>(bounds.width()) *
-           static_cast<size_t>(bounds.height()) * kLayerCount;
+           static_cast<size_t>(bounds.height()) * layers;
   }
   std::size_t encode(GridPoint g) const {
     const auto cell =
         static_cast<size_t>(g.pos.y - bounds.lo.y) *
             static_cast<size_t>(bounds.width()) +
         static_cast<size_t>(g.pos.x - bounds.lo.x);
-    return cell * kLayerCount + static_cast<size_t>(layer_index(g.layer));
+    return cell * layers + static_cast<size_t>(layer_index(g.layer));
   }
   GridPoint decode(std::size_t idx) const {
-    const auto layer = static_cast<Layer>(idx % kLayerCount);
-    const auto cell = idx / kLayerCount;
+    const auto layer = static_cast<Layer>(idx % layers);
+    const auto cell = idx / layers;
     const int w = bounds.width();
     return {{bounds.lo.x + static_cast<int>(cell) % w,
              bounds.lo.y + static_cast<int>(cell) / w},
             layer};
   }
 };
+
+NodeCodec codec_for(const RoutingGrid& grid) {
+  return {grid.region().bounds(),
+          static_cast<std::size_t>(grid.region().layer_count())};
+}
 
 constexpr Point kPlanarSteps[4] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
 
@@ -109,9 +118,20 @@ struct LeeProvider {
       if (node_usable(grid, pins, nxt, req))
         emit(static_cast<std::uint32_t>(codec.encode(nxt)), g + 1);
     }
-    const GridPoint via{cur.pos, other_layer(cur.layer)};
-    if (node_usable(grid, pins, via, req))
-      emit(static_cast<std::uint32_t>(codec.encode(via)), g + 1);
+    // Single-cut via moves: down first, then up. On the classic stack each
+    // layer has exactly one neighbour, so this emits the historical single
+    // other_layer move in the historical order.
+    const int k = layer_index(cur.layer);
+    if (k > 0) {
+      const GridPoint down{cur.pos, layer_at(k - 1)};
+      if (node_usable(grid, pins, down, req))
+        emit(static_cast<std::uint32_t>(codec.encode(down)), g + 1);
+    }
+    if (k + 1 < static_cast<int>(codec.layers)) {
+      const GridPoint up{cur.pos, layer_at(k + 1)};
+      if (node_usable(grid, pins, up, req))
+        emit(static_cast<std::uint32_t>(codec.encode(up)), g + 1);
+    }
   }
 };
 
@@ -123,6 +143,7 @@ struct WeightedProvider {
   const PinBlocks& pins;
   const SearchRequest& req;
   const CostModel& model;
+  const LayerStack& stack;
   NodeCodec codec;
   /// Future cost toward the target box (search/future_cost.hpp); its box
   /// stays invalid when the heuristic is off (h = 0, plain Dijkstra).
@@ -142,8 +163,15 @@ struct WeightedProvider {
     const NetId o = grid.owner(g);
     if (o == kNoNet || o == req.net) return 0;
     int c = model.push;
-    const NetId v = grid.via_owner(g.pos);
-    if (v != kNoNet && v != req.net) c += model.push_via_extra;
+    // Pushing a node that anchors a foreign via (on either cut touching this
+    // layer) also severs the via — surcharge it. Classic stack: both layers
+    // see exactly cut 0, the historical via_owner(pos) check.
+    const int k = layer_index(g.layer);
+    auto foreign_via = [&](int cut) {
+      const NetId v = grid.via_owner(g.pos, cut);
+      return v != kNoNet && v != req.net;
+    };
+    if (foreign_via(k - 1) || foreign_via(k)) c += model.push_via_extra;
     if (req.push_history != nullptr) {
       const Rect& bounds = codec.bounds;
       const auto cell = static_cast<std::size_t>(
@@ -161,25 +189,44 @@ struct WeightedProvider {
     grow_touched(req.touched, cur.pos);
 
     // Planar steps. Direction ids: 1=E, 2=W, 3=N, 4=S.
+    const bool prefers_horizontal = stack.horizontal(cur.layer);
+    const bool directed = stack.directed(cur.layer);
+    const std::int64_t wrong_way =
+        model.wrong_way * stack.wrong_way_mult(cur.layer);
     for (int d = 0; d < 4; ++d) {
+      const bool step_is_vertical = d >= 2;
+      const bool wrong = step_is_vertical == prefers_horizontal;
+      // Hard direction rule: a directed layer admits no wrong-way wire at
+      // all — the move is simply never proposed.
+      if (wrong && directed) continue;
       const GridPoint nxt{cur.pos + kPlanarSteps[d], cur.layer};
       if (!node_usable(grid, pins, nxt, req)) continue;
       const int ndir = d + 1;
       std::int64_t c = g + model.step + enter_penalty(nxt);
-      const bool step_is_vertical = d >= 2;
-      const bool prefers_horizontal = cur.layer == Layer::kMetal1;
-      if (step_is_vertical == prefers_horizontal) c += model.wrong_way;
+      if (wrong) c += wrong_way;
       if (dir != 0 && dir != ndir) c += model.bend;
       emit(static_cast<std::uint32_t>(codec.encode(nxt) * kDirs +
                                       static_cast<std::size_t>(ndir)),
            c);
     }
 
-    // Via step: resets direction state (no bend charged after a via).
-    const GridPoint nxt{cur.pos, other_layer(cur.layer)};
-    if (node_usable(grid, pins, nxt, req))
-      emit(static_cast<std::uint32_t>(codec.encode(nxt) * kDirs),
-           g + model.via + enter_penalty(nxt));
+    // Via steps (down first, then up) reset direction state — no bend is
+    // charged after a via. Each single-cut move prices its own cut. On the
+    // classic stack each layer has one neighbour at unit multiplier: the
+    // historical single other_layer move, in the historical order.
+    const int k = layer_index(cur.layer);
+    if (k > 0) {
+      const GridPoint nxt{cur.pos, layer_at(k - 1)};
+      if (node_usable(grid, pins, nxt, req))
+        emit(static_cast<std::uint32_t>(codec.encode(nxt) * kDirs),
+             g + model.via * stack.via_mult(k - 1) + enter_penalty(nxt));
+    }
+    if (k + 1 < static_cast<int>(codec.layers)) {
+      const GridPoint nxt{cur.pos, layer_at(k + 1)};
+      if (node_usable(grid, pins, nxt, req))
+        emit(static_cast<std::uint32_t>(codec.encode(nxt) * kDirs),
+             g + model.via * stack.via_mult(k) + enter_penalty(nxt));
+    }
   }
 };
 
@@ -189,9 +236,19 @@ struct WeightedProvider {
 /// a step away from the box can raise h by step + wrong_way, hence the
 /// doubled wrong_way term). History-inflated push edges go through the
 /// overflow heap — correctness never depends on the span.
-std::int64_t weighted_span(const CostModel& m) {
+std::int64_t weighted_span(const CostModel& m, const LayerStack& stack) {
+  // Stack multipliers scale the worst-case edge cost; on the classic stack
+  // both maxima are 1 and the span is the historical value bit for bit.
+  std::int64_t max_wrong_mult = 1;
+  for (int k = 0; k < stack.count(); ++k)
+    max_wrong_mult =
+        std::max<std::int64_t>(max_wrong_mult, stack.wrong_way_mult(layer_at(k)));
+  std::int64_t max_via_mult = 1;
+  for (int cut = 0; cut < stack.cuts(); ++cut)
+    max_via_mult = std::max<std::int64_t>(max_via_mult, stack.via_mult(cut));
   const std::int64_t span = 2 * static_cast<std::int64_t>(m.step) +
-                            2 * m.wrong_way + m.bend + m.via + m.push +
+                            2 * m.wrong_way * max_wrong_mult + m.bend +
+                            m.via * max_via_mult + m.push +
                             m.push_via_extra + 1;
   return std::clamp<std::int64_t>(span, 2, 4096);
 }
@@ -207,7 +264,7 @@ LeeRouter::LeeRouter(const RoutingGrid& grid, const PinBlocks& pins,
     : grid_(grid), pins_(pins), external_(arena) {}
 
 SearchResult LeeRouter::route(const SearchRequest& request) {
-  const NodeCodec codec{grid_.region().bounds()};
+  const NodeCodec codec = codec_for(grid_);
   SearchArena& arena = this->arena();
   arena.resize(codec.count(), codec.count());
   if (arena.begin_search())
@@ -267,7 +324,8 @@ WeightedMazeRouter::WeightedMazeRouter(const RoutingGrid& grid,
     : grid_(grid), pins_(pins), model_(model), external_(arena) {}
 
 SearchResult WeightedMazeRouter::route(const SearchRequest& request) {
-  const NodeCodec codec{grid_.region().bounds()};
+  const NodeCodec codec = codec_for(grid_);
+  const LayerStack& stack = grid_.region().layers();
   SearchArena& arena = this->arena();
   arena.resize(codec.count() * kDirs, codec.count());
   if (arena.begin_search())
@@ -288,25 +346,25 @@ SearchResult WeightedMazeRouter::route(const SearchRequest& request) {
 
   // A* future cost toward the target bounding box (zero when disabled —
   // the box stays invalid). kResidual additionally prices the current
-  // layer's wrong-way surcharge, capped by one via (DESIGN.md §2.1g).
-  search::ResidualFutureCost future{model_.step, 0, 0, {{0, 0}, {-1, -1}}};
+  // layer's wrong-way surcharge, capped by the cheapest via in the stack
+  // (DESIGN.md §2.1g).
+  Rect target_box{{0, 0}, {-1, -1}};
   if (future_cost_ != FutureCost::kNone) {
     for (const GridPoint& t : request.targets) {
       const Rect cell{t.pos, t.pos};
-      future.target_box = future.target_box.valid()
-                              ? future.target_box.bounding_union(cell)
-                              : cell;
+      target_box =
+          target_box.valid() ? target_box.bounding_union(cell) : cell;
     }
   }
-  if (future_cost_ == FutureCost::kResidual) {
-    future.wrong_way = model_.wrong_way;
-    future.via = model_.via;
-  }
-  const WeightedProvider provider{grid_,  pins_, request,
-                                  model_, codec, future};
+  const bool residual = future_cost_ == FutureCost::kResidual;
+  const search::ResidualFutureCost future = search::ResidualFutureCost::
+      for_stack(stack, model_.step, residual ? model_.wrong_way : 0,
+                residual ? model_.via : 0, target_box);
+  const WeightedProvider provider{grid_,  pins_, request, model_,
+                                  stack,  codec, future};
 
   auto run = [&](auto& queue) {
-    queue.reset(weighted_span(model_));
+    queue.reset(weighted_span(model_, stack));
     for (const GridPoint& s : request.sources)
       if (node_usable(grid_, pins_, s, request))
         search::seed(arena, queue, provider,

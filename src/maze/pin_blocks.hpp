@@ -12,9 +12,9 @@ namespace gridroute {
 /// neither a detouring net nor a pushed victim can ever bury a foreign
 /// terminal — a pin, unlike a wire segment, cannot be moved out of the way.
 ///
-/// A single-layer pin reserves only its own layer (the other layer above a
-/// terminal is legitimate routing resource); an any-layer pin reserves the
-/// planar cell on both layers.
+/// A single-layer pin reserves only its own layer (the layers above a
+/// terminal are legitimate routing resource); an any-layer pin reserves the
+/// planar cell on every layer of the stack.
 class PinBlocks {
  public:
   PinBlocks() = default;
@@ -22,7 +22,9 @@ class PinBlocks {
 
   /// kNoNet when unreserved; otherwise the only net allowed on the node.
   NetId reserved_for(GridPoint g) const {
-    if (map_.empty() || !bounds_.contains(g.pos)) return kNoNet;
+    if (map_.empty() || !bounds_.contains(g.pos) ||
+        layer_index(g.layer) >= layers_)
+      return kNoNet;
     return map_[index(g)];
   }
 
@@ -37,11 +39,12 @@ class PinBlocks {
     return (static_cast<size_t>(g.pos.y - bounds_.lo.y) *
                 static_cast<size_t>(bounds_.width()) +
             static_cast<size_t>(g.pos.x - bounds_.lo.x)) *
-               kLayerCount +
+               static_cast<size_t>(layers_) +
            static_cast<size_t>(layer_index(g.layer));
   }
 
   Rect bounds_{{0, 0}, {-1, -1}};
+  int layers_ = 2;
   std::vector<NetId> map_;
 };
 

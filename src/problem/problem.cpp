@@ -7,7 +7,10 @@
 
 namespace gridroute {
 
-Region::Region(int width, int height) {
+Region::Region(int width, int height) : Region(width, height, LayerStack{}) {}
+
+Region::Region(int width, int height, LayerStack layers)
+    : layers_(std::move(layers)) {
   bounds_ = {{0, 0}, {width - 1, height - 1}};
   mask_.assign(static_cast<size_t>(width) * static_cast<size_t>(height), 0);
 }
@@ -23,15 +26,14 @@ void Region::subtract(const Rect& r) {
 void Region::add_obstacle(const Rect& r, Layer layer) {
   const Rect clipped = r.intersection(bounds_);
   if (!clipped.valid()) return;
-  const std::uint8_t bit = layer == Layer::kMetal1 ? kBlockM1 : kBlockM2;
+  const std::uint32_t bit = layer_bit(layer);
   for (int y = clipped.lo.y; y <= clipped.hi.y; ++y)
     for (int x = clipped.lo.x; x <= clipped.hi.x; ++x)
       mask_[static_cast<size_t>(index({x, y}))] |= bit;
 }
 
 void Region::add_obstacle(const Rect& r) {
-  add_obstacle(r, Layer::kMetal1);
-  add_obstacle(r, Layer::kMetal2);
+  for (int k = 0; k < layers_.count(); ++k) add_obstacle(r, layer_at(k));
 }
 
 bool Region::in_region(Point p) const {
@@ -41,18 +43,18 @@ bool Region::in_region(Point p) const {
 
 bool Region::blocked(GridPoint g) const {
   if (!bounds_.contains(g.pos)) return true;
-  const std::uint8_t m = mask_[static_cast<size_t>(index(g.pos))];
+  if (!layers_.valid_layer(g.layer)) return true;
+  const std::uint32_t m = mask_[static_cast<size_t>(index(g.pos))];
   if (m & kOutside) return true;
-  return (m & (g.layer == Layer::kMetal1 ? kBlockM1 : kBlockM2)) != 0;
+  return (m & layer_bit(g.layer)) != 0;
 }
 
 long long Region::routable_node_count() const {
   long long n = 0;
   for (int y = bounds_.lo.y; y <= bounds_.hi.y; ++y)
-    for (int x = bounds_.lo.x; x <= bounds_.hi.x; ++x) {
-      if (routable({{x, y}, Layer::kMetal1})) ++n;
-      if (routable({{x, y}, Layer::kMetal2})) ++n;
-    }
+    for (int x = bounds_.lo.x; x <= bounds_.hi.x; ++x)
+      for (int k = 0; k < layers_.count(); ++k)
+        if (routable({{x, y}, layer_at(k)})) ++n;
   return n;
 }
 
@@ -124,14 +126,21 @@ std::vector<Status> Problem::validate_status() const {
         add(msg.str());
       }
     }
-    for (const Point& v : n.previas) {
-      const bool m1 = wire_seen.count({v, Layer::kMetal1}) &&
-                      wire_seen.at({v, Layer::kMetal1}) == id;
-      const bool m2 = wire_seen.count({v, Layer::kMetal2}) &&
-                      wire_seen.at({v, Layer::kMetal2}) == id;
-      if (!m1 || !m2) {
+    for (const PreVia& v : n.previas) {
+      if (v.cut < 0 || v.cut >= region_.layers().cuts()) {
         std::ostringstream msg;
-        msg << "net '" << n.name << "': pre-via at " << v
+        msg << "net '" << n.name << "': pre-via at " << v.pos << " cut "
+            << v.cut << " is outside the layer stack";
+        add(msg.str());
+        continue;
+      }
+      auto anchored = [&](Layer l) {
+        auto it = wire_seen.find({v.pos, l});
+        return it != wire_seen.end() && it->second == id;
+      };
+      if (!anchored(layer_at(v.cut)) || !anchored(layer_at(v.cut + 1))) {
+        std::ostringstream msg;
+        msg << "net '" << n.name << "': pre-via at " << v.pos
             << " is not anchored by pre-wire on both layers";
         add(msg.str());
       }
@@ -147,11 +156,16 @@ std::vector<Status> Problem::validate_status() const {
         add(where.str() + ": outside routing region");
         continue;
       }
-      const bool reachable =
-          pin.any_layer
-              ? (region_.routable({pin.pos, Layer::kMetal1}) ||
-                 region_.routable({pin.pos, Layer::kMetal2}))
-              : region_.routable({pin.pos, pin.layer});
+      bool reachable = false;
+      if (pin.any_layer) {
+        for (int k = 0; k < region_.layers().count() && !reachable; ++k)
+          reachable = region_.routable({pin.pos, layer_at(k)});
+      } else if (!region_.layers().valid_layer(pin.layer)) {
+        add(where.str() + ": pin layer is outside the layer stack");
+        continue;
+      } else {
+        reachable = region_.routable({pin.pos, pin.layer});
+      }
       if (!reachable)
         add(where.str() + ": on an obstructed node");
       auto [it, inserted] = seen.emplace(pin.pos, id);
@@ -164,7 +178,8 @@ std::vector<Status> Problem::validate_status() const {
   // Pre-wire of one net must not bury another net's pin.
   for (NetId id = 0; id < net_count(); ++id) {
     for (const Pin& pin : net(id).pins) {
-      for (Layer l : {Layer::kMetal1, Layer::kMetal2}) {
+      for (int k = 0; k < region_.layers().count(); ++k) {
+        const Layer l = layer_at(k);
         if (!pin.any_layer && l != pin.layer) continue;
         auto it = wire_seen.find({pin.pos, l});
         if (it != wire_seen.end() && it->second != id) {

@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "geom/layer.hpp"
 #include "geom/point.hpp"
 #include "geom/rect.hpp"
 #include "util/status.hpp"
@@ -24,6 +25,16 @@ struct Pin {
   friend bool operator==(const Pin&, const Pin&) = default;
 };
 
+/// A via already present in a net's pre-wire, at cut `cut` — connecting
+/// layers cut and cut+1. Cut 0 (the classic M1/M2 via) when omitted, so
+/// two-layer call sites read unchanged.
+struct PreVia {
+  Point pos;
+  int cut = 0;
+
+  friend bool operator==(const PreVia&, const PreVia&) = default;
+};
+
 struct Net {
   std::string name;
   std::vector<Pin> pins;
@@ -34,9 +45,9 @@ struct Net {
   /// other nets can neither cross nor displace it, and it survives rip-up
   /// of its own net.
   std::vector<Segment> prewire;
-  /// Vias already present in the pre-wire (the net must own both layers of
-  /// each listed cell through `prewire`).
-  std::vector<Point> previas;
+  /// Vias already present in the pre-wire (the net must own both landing
+  /// layers of each listed cut through `prewire`).
+  std::vector<PreVia> previas;
   /// A fixed net is entirely pre-routed (power strap, previously committed
   /// net): the router never routes, pushes, or rips it. Its pre-wire must
   /// already connect its pins — the verifier audits that like any net.
@@ -51,12 +62,24 @@ struct Net {
 class Region {
  public:
   Region() = default;
-  /// A full rectangular region of the given cell dimensions, origin (0,0).
+  /// A full rectangular region of the given cell dimensions, origin (0,0),
+  /// on the classic two-layer stack.
   Region(int width, int height);
+  /// Same, on an explicit metal stack (N >= 2 layers).
+  Region(int width, int height, LayerStack layers);
 
   const Rect& bounds() const { return bounds_; }
   int width() const { return bounds_.width(); }
   int height() const { return bounds_.height(); }
+
+  /// The metal stack this region routes on. Every layer-touching subsystem
+  /// (grid, maze, verify, io) reads N and per-layer direction/cost data from
+  /// here; the default is the classic 2-layer stack.
+  const LayerStack& layers() const { return layers_; }
+  int layer_count() const { return layers_.count(); }
+  /// Replaces the stack. Call before placing obstacles: whole-cell
+  /// obstacles block the layers of the stack current at the time.
+  void set_layers(LayerStack layers) { layers_ = std::move(layers); }
 
   /// Removes a rectangle from the region (carves a notch / L-shape etc.).
   /// Cells outside the region are unroutable on every layer.
@@ -65,8 +88,8 @@ class Region {
   /// Blocks a rectangle on one layer only (e.g. a pre-routed power strap).
   void add_obstacle(const Rect& r, Layer layer);
 
-  /// Blocks a rectangle on both layers (e.g. a macro-cell the wires must
-  /// route around).
+  /// Blocks a rectangle on every layer of the stack (e.g. a macro-cell the
+  /// wires must route around).
   void add_obstacle(const Rect& r);
 
   bool in_bounds(Point p) const { return bounds_.contains(p); }
@@ -77,7 +100,7 @@ class Region {
   /// True when wire may be placed at the node.
   bool routable(GridPoint g) const { return !blocked(g); }
 
-  /// Number of routable nodes summed over both layers.
+  /// Number of routable nodes summed over every layer of the stack.
   long long routable_node_count() const;
 
  private:
@@ -85,12 +108,16 @@ class Region {
     return (p.y - bounds_.lo.y) * bounds_.width() + (p.x - bounds_.lo.x);
   }
 
-  static constexpr std::uint8_t kBlockM1 = 1;
-  static constexpr std::uint8_t kBlockM2 = 2;
-  static constexpr std::uint8_t kOutside = 4;
+  // Per-cell mask: bit k blocks layer k (kMaxLayers <= 31), the top bit
+  // marks the cell outside the rectilinear region outline.
+  static constexpr std::uint32_t kOutside = std::uint32_t{1} << 31;
+  static std::uint32_t layer_bit(Layer l) {
+    return std::uint32_t{1} << layer_index(l);
+  }
 
   Rect bounds_{{0, 0}, {-1, -1}};  // !valid() until constructed with a size
-  std::vector<std::uint8_t> mask_;
+  LayerStack layers_;
+  std::vector<std::uint32_t> mask_;
 };
 
 /// Expands a net's pre-wire segments into the grid nodes they cover

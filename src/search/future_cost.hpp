@@ -1,9 +1,11 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <vector>
 
+#include "geom/layer.hpp"
 #include "geom/point.hpp"
 #include "geom/rect.hpp"
 
@@ -14,31 +16,83 @@ namespace gridroute::search {
 /// per-direction minimum-residual-cost bound that also prices the layer the
 /// search is currently on:
 ///
-///   h(p, L) = step · (dx + dy) + min(wrong_way · wrong_axis(L), via)
+///   h(p, L) = step · (dx + dy) + min(wrong_x[L]·dx + wrong_y[L]·dy, min_via)
 ///
 /// where dx/dy are the Manhattan components to the target bounding box and
-/// wrong_axis(L) is the remaining distance along the axis L does not prefer
-/// (dy on METAL1, dx on METAL2). The residual term is a true lower bound on
-/// the extra cost beyond bare steps: a path that never changes layers pays
-/// wrong_way on every step along its layer's non-preferred axis, and a path
-/// that does change layers pays at least one via. Taking the min over those
-/// two exhaustive cases keeps the bound admissible; consistency holds
-/// because each term is 1-Lipschitz against the matching edge cost (a
-/// planar step's h drop is at most step + its wrong-way surcharge, a via's
-/// at most the via cost — see the §2.1g derivation). Bend costs are
-/// deliberately *not* bounded: a bend term is direction-state dependent and
-/// breaks consistency at the last step into the box.
+/// wrong_x/wrong_y hold, per layer, the extra cost of one step along that
+/// axis beyond the base step cost — zero on the layer's preferred axis,
+/// wrong_way × the layer's multiplier on the other (each layer prefers one
+/// axis, so one of the two terms is always zero). The residual term is a
+/// true lower bound on the extra cost beyond bare steps: a path that never
+/// changes layers pays its layer's wrong-way surcharge on every step along
+/// the non-preferred axis, and a path that does change layers pays at least
+/// min_via — the cheapest single-cut via in the stack. Taking the min over
+/// those two exhaustive cases keeps the bound admissible for any stack
+/// height; consistency holds because each term is 1-Lipschitz against the
+/// matching edge cost (a planar step's h drop is at most step + that
+/// layer/axis surcharge; a via step leaves dx/dy unchanged and moves the
+/// residual term — confined to [0, min_via] — by at most min_via ≤ the
+/// actual cut cost). Bend costs are deliberately *not* bounded: a bend term
+/// is direction-state dependent and breaks consistency at the last step
+/// into the box.
 ///
-/// Setting wrong_way = 0 and via = 0 recovers the historical bbox-Manhattan
-/// bound exactly — the legacy FutureCost::kBboxManhattan mode is this
-/// struct with the residual term zeroed.
+/// With wrong-way and via zeroed this recovers the historical bbox-Manhattan
+/// bound exactly — the legacy FutureCost::kBboxManhattan mode. On the
+/// classic 2-layer stack (unit multipliers) classic() prices identically to
+/// the historical scalar h(p, L) = step·(dx+dy) + min(wrong_way·wrong_axis,
+/// via), bit for bit.
 struct ResidualFutureCost {
   std::int64_t step = 0;
-  std::int64_t wrong_way = 0;
-  std::int64_t via = 0;
+  /// Cheapest single-cut via in the stack; caps every residual term.
+  std::int64_t min_via = 0;
   /// Bounding box of the target set; an invalid box disables the bound
   /// (h = 0 everywhere, plain Dijkstra).
   Rect target_box{{0, 0}, {-1, -1}};
+  /// Per-layer residual cost of one step along x / y (see above).
+  std::array<std::int64_t, kMaxLayers> wrong_x{};
+  std::array<std::int64_t, kMaxLayers> wrong_y{};
+
+  /// Classic two-layer configuration: M1 pays `wrong_way` per y step, M2
+  /// per x step, capped by `via`.
+  static ResidualFutureCost classic(std::int64_t step, std::int64_t wrong_way,
+                                    std::int64_t via, Rect box) {
+    ResidualFutureCost h;
+    h.step = step;
+    h.min_via = via;
+    h.target_box = box;
+    h.wrong_y[0] = wrong_way;
+    h.wrong_x[1] = wrong_way;
+    return h;
+  }
+
+  /// Configuration for an arbitrary stack: per-layer wrong-way terms scaled
+  /// by the layer multipliers, min_via = cheapest cut. Zero wrong_way and
+  /// via give the bbox-Manhattan bound on any stack.
+  static ResidualFutureCost for_stack(const LayerStack& stack,
+                                      std::int64_t step,
+                                      std::int64_t wrong_way, std::int64_t via,
+                                      Rect box) {
+    ResidualFutureCost h;
+    h.step = step;
+    h.target_box = box;
+    h.min_via = 0;
+    for (int cut = 0; cut < stack.cuts(); ++cut) {
+      const std::int64_t c = via * stack.via_mult(cut);
+      if (cut == 0 || c < h.min_via) h.min_via = c;
+    }
+    for (int k = 0; k < stack.count(); ++k) {
+      const Layer l = layer_at(k);
+      std::int64_t w = wrong_way * stack.wrong_way_mult(l);
+      // A directed layer has no wrong-way moves at all: any remaining
+      // wrong-axis distance forces at least one via, so the sharpest safe
+      // per-step surcharge is the via cap itself (min() then selects
+      // min_via whenever the distance is nonzero).
+      if (stack.directed(l)) w = std::max(w, h.min_via);
+      (stack.horizontal(l) ? h.wrong_y : h.wrong_x)[static_cast<size_t>(k)] =
+          w;
+    }
+    return h;
+  }
 
   std::int64_t bound(Point p, Layer layer) const {
     if (!target_box.valid()) return 0;
@@ -47,9 +101,9 @@ struct ResidualFutureCost {
     const int dy =
         std::max({target_box.lo.y - p.y, p.y - target_box.hi.y, 0});
     std::int64_t h = step * (dx + dy);
-    const std::int64_t stay =
-        wrong_way * (layer == Layer::kMetal1 ? dy : dx);
-    if (stay > 0) h += std::min(stay, via);
+    const auto i = static_cast<std::size_t>(layer_index(layer));
+    const std::int64_t stay = wrong_x[i] * dx + wrong_y[i] * dy;
+    if (stay > 0) h += std::min(stay, min_via);
     return h;
   }
 };

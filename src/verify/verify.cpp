@@ -12,15 +12,19 @@ namespace {
 
 /// True when the pin is covered by wire of its net in the grid.
 bool pin_covered(const RoutingGrid& grid, const Pin& pin, NetId id) {
-  if (pin.any_layer)
-    return grid.owner({pin.pos, Layer::kMetal1}) == id ||
-           grid.owner({pin.pos, Layer::kMetal2}) == id;
+  if (pin.any_layer) {
+    for (int k = 0; k < grid.layer_count(); ++k)
+      if (grid.owner({pin.pos, layer_at(k)}) == id) return true;
+    return false;
+  }
   return grid.owner({pin.pos, pin.layer}) == id;
 }
 
 /// Union-find over the net's nodes: planar neighbours on the same layer are
-/// merged; the two layers of a cell merge only across a via owned by the
-/// net. Returns true when all covered pins end up in one component.
+/// merged; adjacent layers of a cell merge only across that cut's via owned
+/// by the net — a via stack with a missing intermediate cut therefore
+/// leaves the net split. Returns true when all covered pins end up in one
+/// component.
 bool single_component_covering_pins(const RoutingGrid& grid, const Net& net,
                                     NetId id) {
   const auto& nodes = grid.net_nodes(id);
@@ -39,8 +43,11 @@ bool single_component_covering_pins(const RoutingGrid& grid, const Net& net,
       auto it = index.find({g.pos + d, g.layer});
       if (it != index.end()) ds.unite(i, it->second);
     }
-    if (g.layer == Layer::kMetal1 && grid.via_owner(g.pos) == id) {
-      auto it = index.find({g.pos, Layer::kMetal2});
+    // Upward cut only: the downward pair is found when the lower node runs
+    // the same scan.
+    const int k = layer_index(g.layer);
+    if (k < grid.cut_count() && grid.via_owner(g.pos, k) == id) {
+      auto it = index.find({g.pos, layer_at(k + 1)});
       if (it != index.end()) ds.unite(i, it->second);
     }
   }
@@ -50,8 +57,8 @@ bool single_component_covering_pins(const RoutingGrid& grid, const Net& net,
   for (const Pin& pin : net.pins) {
     std::size_t pin_node = SIZE_MAX;
     if (pin.any_layer) {
-      for (Layer l : {Layer::kMetal1, Layer::kMetal2}) {
-        auto it = index.find({pin.pos, l});
+      for (int k = 0; k < grid.layer_count(); ++k) {
+        auto it = index.find({pin.pos, layer_at(k)});
         if (it != index.end()) {
           pin_node = it->second;
           break;
@@ -67,6 +74,49 @@ bool single_component_covering_pins(const RoutingGrid& grid, const Net& net,
     if (r != root) return false;
   }
   return true;
+}
+
+/// Wrong-way adjacencies on directed layers that the net's connectivity
+/// actually relies on. Same-net metal touching along the non-preferred axis
+/// of a directed layer is legal only when it is redundant — e.g. the two via
+/// landing pads of a one-step jog, joined for real on the other layer. So:
+/// merge the net over every *legal* edge (preferred-axis runs, any-axis runs
+/// on undirected layers, owned via cuts), then report each wrong-way pair
+/// whose endpoints that legal skeleton does not already connect — those are
+/// the segments where current genuinely flows the wrong way.
+std::vector<std::pair<GridPoint, GridPoint>> load_bearing_wrong_way(
+    const RoutingGrid& grid, NetId id, const LayerStack& stack) {
+  const auto& nodes = grid.net_nodes(id);
+  std::unordered_map<GridPoint, std::size_t> index;
+  index.reserve(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) index.emplace(nodes[i], i);
+
+  DisjointSet ds(nodes.size());
+  std::vector<std::pair<std::size_t, std::size_t>> wrong;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const GridPoint g = nodes[i];
+    const bool directed = stack.valid_layer(g.layer) && stack.directed(g.layer);
+    for (const Point d : {Point{1, 0}, Point{0, 1}}) {
+      auto it = index.find({g.pos + d, g.layer});
+      if (it == index.end()) continue;
+      const bool wrong_way =
+          directed && (stack.horizontal(g.layer) ? d.y != 0 : d.x != 0);
+      if (wrong_way)
+        wrong.push_back({i, it->second});
+      else
+        ds.unite(i, it->second);
+    }
+    const int k = layer_index(g.layer);
+    if (k < grid.cut_count() && grid.via_owner(g.pos, k) == id) {
+      auto it = index.find({g.pos, layer_at(k + 1)});
+      if (it != index.end()) ds.unite(i, it->second);
+    }
+  }
+
+  std::vector<std::pair<GridPoint, GridPoint>> bearing;
+  for (const auto& [a, b] : wrong)
+    if (ds.find(a) != ds.find(b)) bearing.push_back({nodes[a], nodes[b]});
+  return bearing;
 }
 
 }  // namespace
@@ -94,8 +144,8 @@ VerifyReport verify(const Problem& problem, const RoutingGrid& grid) {
   for (NetId id = 0; id < problem.net_count(); ++id)
     for (const Pin& pin : problem.net(id).pins) {
       if (pin.any_layer) {
-        reserved[{pin.pos, Layer::kMetal1}] = id;
-        reserved[{pin.pos, Layer::kMetal2}] = id;
+        for (int k = 0; k < region.layer_count(); ++k)
+          reserved[{pin.pos, layer_at(k)}] = id;
       } else {
         reserved[{pin.pos, pin.layer}] = id;
       }
@@ -130,6 +180,17 @@ VerifyReport verify(const Problem& problem, const RoutingGrid& grid) {
       }
     }
 
+    // Hard direction rule: a directed layer admits no load-bearing
+    // wrong-way wire (redundant touching metal — jog via pads — is fine;
+    // see load_bearing_wrong_way).
+    if (region.layers().any_directed())
+      for (const auto& [a, b] :
+           load_bearing_wrong_way(grid, id, region.layers())) {
+        msg << "net '" << net.name << "': wrong-way segment " << a.pos << "-"
+            << b.pos << " on directed layer " << a.layer;
+        flag();
+      }
+
     nr.pins_covered = true;
     for (const Pin& pin : net.pins)
       if (!pin_covered(grid, pin, id)) {
@@ -149,19 +210,21 @@ VerifyReport verify(const Problem& problem, const RoutingGrid& grid) {
     report.nets.push_back(nr);
   }
 
-  // Via legality over the whole plane.
+  // Via legality over the whole plane: every recorded cut must be anchored
+  // by its net on both landing layers.
   const Rect& b = region.bounds();
   for (int y = b.lo.y; y <= b.hi.y; ++y)
-    for (int x = b.lo.x; x <= b.hi.x; ++x) {
-      const NetId v = grid.via_owner({x, y});
-      if (v == kNoNet) continue;
-      if (grid.owner({{x, y}, Layer::kMetal1}) != v ||
-          grid.owner({{x, y}, Layer::kMetal2}) != v) {
-        msg << "via at (" << x << ',' << y
-            << ") is not anchored by its net on both layers";
-        flag();
+    for (int x = b.lo.x; x <= b.hi.x; ++x)
+      for (int cut = 0; cut < grid.cut_count(); ++cut) {
+        const NetId v = grid.via_owner({x, y}, cut);
+        if (v == kNoNet) continue;
+        if (grid.owner({{x, y}, layer_at(cut)}) != v ||
+            grid.owner({{x, y}, layer_at(cut + 1)}) != v) {
+          msg << "via at (" << x << ',' << y << ") cut " << cut
+              << " is not anchored by its net on both layers";
+          flag();
+        }
       }
-    }
 
   return report;
 }

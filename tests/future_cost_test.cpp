@@ -27,7 +27,11 @@ using search::CutLowerBounds;
 using search::ResidualFutureCost;
 
 ResidualFutureCost make_bound(const CostModel& m, Rect box) {
-  return {m.step, m.wrong_way, m.via, box};
+  return ResidualFutureCost::classic(m.step, m.wrong_way, m.via, box);
+}
+
+ResidualFutureCost make_bbox(const CostModel& m, Rect box) {
+  return ResidualFutureCost::classic(m.step, 0, 0, box);
 }
 
 // ---------------------------------------------------------------------------
@@ -111,7 +115,7 @@ TEST(ResidualFutureCost, ConsistentAcrossEveryMoveType) {
 TEST(ResidualFutureCost, ZeroResidualTermRecoversBboxManhattan) {
   const CostModel model;
   const Rect box{{4, 4}, {9, 6}};
-  const ResidualFutureCost bbox{model.step, 0, 0, box};
+  const ResidualFutureCost bbox = make_bbox(model, box);
   Rng rng(7);
   for (int i = 0; i < 500; ++i) {
     const Point p{rng.next_int(0, 14), rng.next_int(0, 14)};
@@ -126,7 +130,7 @@ TEST(ResidualFutureCost, SharperThanBboxNeverBelowIt) {
   const CostModel model;
   const Rect box{{10, 2}, {12, 3}};
   const ResidualFutureCost residual = make_bound(model, box);
-  const ResidualFutureCost bbox{model.step, 0, 0, box};
+  const ResidualFutureCost bbox = make_bbox(model, box);
   Rng rng(8);
   for (int i = 0; i < 500; ++i) {
     const Point p{rng.next_int(0, 20), rng.next_int(0, 20)};
@@ -140,8 +144,66 @@ TEST(ResidualFutureCost, SharperThanBboxNeverBelowIt) {
 }
 
 TEST(ResidualFutureCost, InvalidBoxDisablesTheBound) {
-  const ResidualFutureCost h{2, 1, 8, {{0, 0}, {-1, -1}}};
+  const ResidualFutureCost h =
+      ResidualFutureCost::classic(2, 1, 8, {{0, 0}, {-1, -1}});
   EXPECT_EQ(h.bound({5, 5}, Layer::kMetal1), 0);
+}
+
+// for_stack on the default (classic) stack must price identically to the
+// scalar classic() configuration — the N=2 bit-identity guarantee of
+// DESIGN.md §2.1h, checked at the heuristic level.
+TEST(ResidualFutureCost, ForStackOnClassicMatchesClassicExactly) {
+  const CostModel model;
+  const LayerStack classic;
+  Rng rng(77);
+  for (int i = 0; i < 1000; ++i) {
+    const Rect box{{rng.next_int(0, 20), rng.next_int(0, 20)},
+                   {rng.next_int(0, 20), rng.next_int(0, 20)}};
+    if (!box.valid()) continue;
+    const ResidualFutureCost a = make_bound(model, box);
+    const ResidualFutureCost b = ResidualFutureCost::for_stack(
+        classic, model.step, model.wrong_way, model.via, box);
+    const Point p{rng.next_int(-4, 24), rng.next_int(-4, 24)};
+    for (const Layer layer : {Layer::kMetal1, Layer::kMetal2})
+      EXPECT_EQ(a.bound(p, layer), b.bound(p, layer));
+  }
+}
+
+// On a taller stack the bound stays admissible & consistent: never negative,
+// never above the bbox bound plus one cheapest via, 1-Lipschitz per step.
+TEST(ResidualFutureCost, ForStackDirectedLayersSharpenButStayConsistent) {
+  const LayerStack stack{{Axis::kHorizontal, /*directed=*/true},
+                         {Axis::kVertical, /*directed=*/true},
+                         {Axis::kHorizontal, /*directed=*/false},
+                         {Axis::kVertical, /*directed=*/false}};
+  const std::int64_t step = 2, wrong_way = 3, via = 8;
+  const Rect box{{10, 10}, {12, 11}};
+  const ResidualFutureCost h =
+      ResidualFutureCost::for_stack(stack, step, wrong_way, via, box);
+  Rng rng(78);
+  for (int i = 0; i < 1000; ++i) {
+    const Point p{rng.next_int(0, 22), rng.next_int(0, 22)};
+    for (int k = 0; k < stack.count(); ++k) {
+      const Layer layer = layer_at(k);
+      const std::int64_t here = h.bound(p, layer);
+      const int dx = std::max({box.lo.x - p.x, p.x - box.hi.x, 0});
+      const int dy = std::max({box.lo.y - p.y, p.y - box.hi.y, 0});
+      EXPECT_GE(here, step * (dx + dy));
+      EXPECT_LE(here, step * (dx + dy) + via);  // residual capped by min via
+      // Consistency across the via moves (cost via on every cut here).
+      if (k > 0) {
+        EXPECT_LE(here, via + h.bound(p, layer_at(k - 1)));
+      }
+      if (k + 1 < stack.count()) {
+        EXPECT_LE(here, via + h.bound(p, layer_at(k + 1)));
+      }
+      // Consistency across preferred-axis steps (cost = step).
+      const Point q = stack.horizontal(layer)
+                          ? Point{p.x + (box.lo.x > p.x ? 1 : -1), p.y}
+                          : Point{p.x, p.y + (box.lo.y > p.y ? 1 : -1)};
+      EXPECT_LE(here, step + h.bound(q, layer));
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,196 @@
+// Differential fuzz anchoring the LayerStack refactor: with the default
+// classic 2-layer stack, route(RouteRequest) must produce layouts, failed
+// lists, stats and traces bit-identical to the pre-refactor router. The
+// golden fingerprints in tests/data/layer_identity_golden.txt were generated
+// from the tree *before* the N-layer refactor landed (same corpus, same
+// hash), so a fingerprint mismatch here means the refactor changed observable
+// 2-layer behavior — exactly the regression the refactor promises not to
+// make.
+//
+// Regenerating (only legitimate when the corpus itself changes, never to
+// paper over a behavior change):
+//   GRIDROUTE_REGEN_GOLDEN=1 ./layer_identity_test
+//
+// GRIDROUTE_LAYER_INSTANCES=N shrinks the corpus to its first N instances
+// (sanitizer legs in scripts/tier1.sh use this; the golden file always
+// carries the full corpus, and the shrunk run checks a prefix).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_suite/suite.hpp"
+#include "core/api.hpp"
+#include "io/solution_format.hpp"
+#include "obs/sinks.hpp"
+
+namespace gridroute {
+namespace {
+
+std::string golden_path() {
+#ifdef GR_TEST_DATA_DIR
+  return std::string(GR_TEST_DATA_DIR) + "/layer_identity_golden.txt";
+#else
+  return "layer_identity_golden.txt";
+#endif
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct Instance {
+  std::string name;
+  Problem problem;
+  int improve_passes = 0;
+};
+
+// ~200 instances spanning every family the suite generates; sizes kept small
+// enough that the whole corpus routes in well under a minute.
+std::vector<Instance> corpus() {
+  std::vector<Instance> out;
+  auto name = [](const char* family, std::uint64_t seed) {
+    return std::string(family) + "-" + std::to_string(seed);
+  };
+  // 80 plain random switchboxes, varied shapes.
+  for (std::uint64_t seed = 1; seed <= 80; ++seed) {
+    int w = 10 + static_cast<int>(seed % 5);
+    int h = 8 + static_cast<int>(seed % 4);
+    int nets = 8 + static_cast<int>(seed % 5);
+    out.push_back({name("random", seed),
+                   suite::random_switchbox(seed, w, h, nets, 4, 0.55)
+                       .to_problem(),
+                   static_cast<int>(seed % 2)});
+  }
+  // 40 dense random switchboxes — exercises weak/strong modification.
+  for (std::uint64_t seed = 200; seed < 240; ++seed) {
+    out.push_back({name("dense", seed),
+                   suite::random_switchbox(seed, 12, 10, 12, 4, 0.8)
+                       .to_problem(),
+                   static_cast<int>(seed % 2)});
+  }
+  // 24 short deutsch-class channels (M2-committed pins, channel geometry).
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    auto spec = suite::deutsch_class_channel(seed, 40, 7);
+    out.push_back({name("deutsch", seed), spec.to_problem(9),
+                   static_cast<int>(seed % 2)});
+  }
+  // 16 burstein-class switchboxes.
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    auto spec = suite::burstein_class_switchbox(seed, 15, 11, 14);
+    out.push_back({name("burstein", seed), spec.to_problem(),
+                   static_cast<int>(seed % 2)});
+  }
+  // 24 macro-cell regions — notches, per-layer obstacles, inside pins.
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    out.push_back({name("macro", seed),
+                   suite::macrocell_region(seed, 24, 18, 10),
+                   static_cast<int>(seed % 2)});
+  }
+  // 16 over-saturated switchboxes — non-empty failed lists.
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    out.push_back({name("overfilled", seed),
+                   suite::overfilled_switchbox(seed).to_problem(),
+                   static_cast<int>(seed % 2)});
+  }
+  return out;
+}
+
+// Everything observable about one routed instance, as one string: the full
+// layout (maximal runs + vias), the failed-net list, the deterministic stats
+// fields, and the complete JSONL trace (timestamp-free by design, so it is a
+// pure function of routing decisions).
+std::string observable_state(const Instance& inst) {
+  std::ostringstream trace_text;
+  obs::JsonlSink sink(trace_text);
+
+  RouteRequest req;
+  req.problem = &inst.problem;
+  req.trace = &sink;
+  req.improve_passes = inst.improve_passes;
+  RouteResult result = route(req);
+
+  std::ostringstream out;
+  out << "layout\n" << solution_to_string(inst.problem, result.grid);
+  out << "failed";
+  for (NetId id : result.failed) out << ' ' << id;
+  out << '\n';
+  const RouteStats& s = result.stats;
+  out << "stats " << s.nets_attempted << ' ' << s.nets_routed << ' '
+      << s.connections_attempted << ' ' << s.connections_routed << ' '
+      << s.weak_modifications << ' ' << s.weak_attempts << ' '
+      << s.strong_ripups << ' ' << s.expansions << ' ' << s.waves << ' '
+      << s.spec_commits << ' ' << s.spec_invalidations << '\n';
+  out << "improved " << result.improved << '\n';
+  out << "trace\n" << trace_text.str();
+  return out.str();
+}
+
+int instance_limit(int full) {
+  if (const char* env = std::getenv("GRIDROUTE_LAYER_INSTANCES")) {
+    int n = std::atoi(env);
+    if (n > 0 && n < full) return n;
+  }
+  return full;
+}
+
+TEST(LayerIdentity, ClassicStackMatchesPreRefactorGolden) {
+  std::vector<Instance> instances = corpus();
+  const bool regen = std::getenv("GRIDROUTE_REGEN_GOLDEN") != nullptr;
+
+  if (regen) {
+    std::ofstream out(golden_path());
+    ASSERT_TRUE(out) << "cannot write " << golden_path();
+    for (const auto& inst : instances) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%016llx",
+                    static_cast<unsigned long long>(
+                        fnv1a(observable_state(inst))));
+      out << inst.name << ' ' << buf << '\n';
+    }
+    GTEST_SKIP() << "regenerated " << golden_path() << " ("
+                 << instances.size() << " instances)";
+  }
+
+  std::ifstream in(golden_path());
+  ASSERT_TRUE(in) << "missing golden file " << golden_path();
+  std::map<std::string, std::string> golden;
+  std::string name, hash;
+  while (in >> name >> hash) golden[name] = hash;
+  ASSERT_GE(golden.size(), 200u) << "golden corpus unexpectedly small";
+  ASSERT_EQ(golden.size(), instances.size())
+      << "corpus and golden file disagree — regenerate from the pre-refactor "
+         "tree, not this one";
+
+  const int limit = instance_limit(static_cast<int>(instances.size()));
+  int mismatches = 0;
+  for (int i = 0; i < limit; ++i) {
+    const Instance& inst = instances[static_cast<size_t>(i)];
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(
+                      fnv1a(observable_state(inst))));
+    auto it = golden.find(inst.name);
+    ASSERT_NE(it, golden.end()) << inst.name;
+    if (it->second != buf) {
+      ++mismatches;
+      ADD_FAILURE() << inst.name << ": layout/failed/stats/trace fingerprint "
+                    << buf << " != pre-refactor golden " << it->second;
+    }
+  }
+  EXPECT_EQ(mismatches, 0) << "of " << limit << " instances";
+}
+
+}  // namespace
+}  // namespace gridroute

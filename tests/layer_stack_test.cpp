@@ -1,0 +1,477 @@
+// Multi-layer stack tests (DESIGN.md §2.1h): the LayerStack model, stacked
+// vias with exact journal rollback, N-layer routing end to end through
+// route(RouteRequest), the hard direction rule, greedy layer assignment of
+// 2D global routes, and the N-layer problem/solution text formats.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include "bench_suite/suite.hpp"
+#include "core/api.hpp"
+#include "global/layer_assignment.hpp"
+#include "grid/routing_grid.hpp"
+#include "io/solution_format.hpp"
+#include "io/text_format.hpp"
+#include "verify/verify.hpp"
+
+namespace gridroute {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LayerStack model
+// ---------------------------------------------------------------------------
+
+TEST(LayerStack, DefaultIsTheClassicTwoLayerTechnology) {
+  const LayerStack stack;
+  EXPECT_EQ(stack.count(), 2);
+  EXPECT_EQ(stack.cuts(), 1);
+  EXPECT_TRUE(stack.classic());
+  EXPECT_TRUE(stack.horizontal(Layer::kMetal1));
+  EXPECT_FALSE(stack.horizontal(Layer::kMetal2));
+  EXPECT_FALSE(stack.directed(Layer::kMetal1));
+  EXPECT_EQ(stack.wrong_way_mult(Layer::kMetal1), 1);
+  EXPECT_EQ(stack.via_mult(0), 1);
+}
+
+TEST(LayerStack, CountedConstructorAlternatesDirections) {
+  const LayerStack stack(5);
+  EXPECT_EQ(stack.count(), 5);
+  EXPECT_EQ(stack.cuts(), 4);
+  EXPECT_FALSE(stack.classic());
+  for (int k = 0; k < 5; ++k)
+    EXPECT_EQ(stack.horizontal(layer_at(k)), k % 2 == 0) << "layer " << k;
+  EXPECT_TRUE(stack.valid_layer(layer_at(4)));
+  EXPECT_FALSE(stack.valid_layer(layer_at(5)));
+}
+
+TEST(LayerStack, SpecListConstructorKeepsMultipliersAndDirection) {
+  const LayerStack stack{{Axis::kHorizontal, true, 3, 2},
+                         {Axis::kVertical, false, 1, 5},
+                         {Axis::kHorizontal, false, 1, 1}};
+  EXPECT_EQ(stack.count(), 3);
+  EXPECT_TRUE(stack.directed(layer_at(0)));
+  EXPECT_EQ(stack.wrong_way_mult(layer_at(0)), 3);
+  EXPECT_EQ(stack.via_mult(0), 2);  // cut 0 priced by layer 0's via_up_mult
+  EXPECT_EQ(stack.via_mult(1), 5);
+}
+
+// Satellite: the Layer printer is index-generic, not a 2-value special case.
+TEST(LayerStack, LayerPrintsAsMetalIndexForAnyLayer) {
+  auto name = [](Layer l) {
+    std::ostringstream os;
+    os << l;
+    return os.str();
+  };
+  EXPECT_EQ(name(Layer::kMetal1), "M1");
+  EXPECT_EQ(name(Layer::kMetal2), "M2");
+  EXPECT_EQ(name(layer_at(2)), "M3");
+  EXPECT_EQ(name(layer_at(9)), "M10");
+}
+
+// ---------------------------------------------------------------------------
+// Grid: stacked vias and exact journal rollback
+// ---------------------------------------------------------------------------
+
+TEST(LayerStackGrid, NodesAndViasSpanTheWholeStack) {
+  Region region(4, 3, LayerStack(4));
+  RoutingGrid grid(region, 1);
+  EXPECT_EQ(grid.layer_count(), 4);
+  EXPECT_EQ(grid.cut_count(), 3);
+  for (int k = 0; k < 4; ++k)
+    EXPECT_TRUE(grid.occupy({{1, 1}, layer_at(k)}, 0)) << "layer " << k;
+  // A 3-cut via stack through the cell.
+  for (int cut = 0; cut < 3; ++cut)
+    EXPECT_TRUE(grid.add_via({1, 1}, cut, 0)) << "cut " << cut;
+  EXPECT_EQ(grid.via_count(0), 3);
+  EXPECT_EQ(grid.via_owner({1, 1}, 2), 0);
+  EXPECT_EQ(grid.via_owner({1, 1}, 3), kNoNet);  // out of stack: no via
+  EXPECT_FALSE(grid.add_via({1, 1}, 3, 0));
+}
+
+TEST(LayerStackGrid, ViaNeedsBothLandingsOnItsOwnCut) {
+  Region region(3, 3, LayerStack(3));
+  RoutingGrid grid(region, 1);
+  ASSERT_TRUE(grid.occupy({{0, 0}, layer_at(0)}, 0));
+  ASSERT_TRUE(grid.occupy({{0, 0}, layer_at(2)}, 0));
+  // Layers 0 and 2 owned, layer 1 not: neither cut is anchored.
+  EXPECT_FALSE(grid.add_via({0, 0}, 0, 0));
+  EXPECT_FALSE(grid.add_via({0, 0}, 1, 0));
+  ASSERT_TRUE(grid.occupy({{0, 0}, layer_at(1)}, 0));
+  EXPECT_TRUE(grid.add_via({0, 0}, 0, 0));
+  EXPECT_TRUE(grid.add_via({0, 0}, 1, 0));
+}
+
+// Satellite: a rolled-back transaction restores a stacked via exactly —
+// every cut, not just the classic cut 0.
+TEST(LayerStackGrid, TransactionRollbackRestoresEveryCutOfAViaStack) {
+  Region region(3, 3, LayerStack(4));
+  RoutingGrid grid(region, 2);
+  for (int k = 0; k < 4; ++k)
+    ASSERT_TRUE(grid.occupy({{2, 2}, layer_at(k)}, 0));
+  for (int cut = 0; cut < 3; ++cut) ASSERT_TRUE(grid.add_via({2, 2}, cut, 0));
+
+  {
+    GridTransaction txn(grid);
+    // Tear the middle of the stack out...
+    ASSERT_TRUE(grid.release({{2, 2}, layer_at(1)}));  // drops cuts 0 and 1
+    EXPECT_EQ(grid.via_owner({2, 2}, 0), kNoNet);
+    EXPECT_EQ(grid.via_owner({2, 2}, 1), kNoNet);
+    EXPECT_EQ(grid.via_owner({2, 2}, 2), 0);  // untouched cut survives
+    // ...and let the transaction unwind it.
+  }
+  for (int cut = 0; cut < 3; ++cut)
+    EXPECT_EQ(grid.via_owner({2, 2}, cut), 0) << "cut " << cut;
+  EXPECT_EQ(grid.via_count(0), 3);
+  EXPECT_EQ(grid.owner({{2, 2}, layer_at(1)}), 0);
+}
+
+TEST(LayerStackGrid, ReleaseDropsOnlyTheCutsTouchingTheLayer) {
+  Region region(3, 3, LayerStack(4));
+  RoutingGrid grid(region, 1);
+  for (int k = 0; k < 4; ++k)
+    ASSERT_TRUE(grid.occupy({{0, 0}, layer_at(k)}, 0));
+  for (int cut = 0; cut < 3; ++cut) ASSERT_TRUE(grid.add_via({0, 0}, cut, 0));
+  ASSERT_TRUE(grid.release({{0, 0}, layer_at(3)}));  // top: only cut 2 dies
+  EXPECT_EQ(grid.via_owner({0, 0}, 0), 0);
+  EXPECT_EQ(grid.via_owner({0, 0}, 1), 0);
+  EXPECT_EQ(grid.via_owner({0, 0}, 2), kNoNet);
+}
+
+TEST(LayerStackGrid, GridStepsChangeAtMostOneCut) {
+  const GridPoint a{{1, 1}, layer_at(0)};
+  EXPECT_TRUE(is_grid_step(a, {{1, 1}, layer_at(1)}));
+  EXPECT_TRUE(is_grid_step({{1, 1}, layer_at(2)}, {{1, 1}, layer_at(1)}));
+  EXPECT_FALSE(is_grid_step(a, {{1, 1}, layer_at(2)}));  // skips a cut
+  EXPECT_FALSE(is_grid_step(a, {{2, 1}, layer_at(1)}));  // diagonal in 3D
+}
+
+TEST(LayerStackGrid, ApplyPathBuildsAViaStackFromSingleCutSteps) {
+  Region region(4, 2, LayerStack(3));
+  RoutingGrid grid(region, 1);
+  Path path;
+  path.nodes = {{{0, 0}, layer_at(0)}, {{0, 0}, layer_at(1)},
+                {{0, 0}, layer_at(2)}, {{1, 0}, layer_at(2)}};
+  ASSERT_TRUE(path.well_formed());
+  ASSERT_TRUE(grid.apply_path(path, 0));
+  EXPECT_EQ(grid.via_owner({0, 0}, 0), 0);
+  EXPECT_EQ(grid.via_owner({0, 0}, 1), 0);
+  EXPECT_EQ(path.via_count(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Region: per-layer blocking over the stack
+// ---------------------------------------------------------------------------
+
+TEST(LayerStackRegion, ObstaclesBlockPerLayerAcrossTheStack) {
+  Region region(4, 4, LayerStack(3));
+  region.add_obstacle({{1, 1}, {1, 1}}, layer_at(2));
+  EXPECT_TRUE(region.routable({{1, 1}, layer_at(0)}));
+  EXPECT_TRUE(region.routable({{1, 1}, layer_at(1)}));
+  EXPECT_FALSE(region.routable({{1, 1}, layer_at(2)}));
+  EXPECT_FALSE(region.routable({{1, 1}, layer_at(3)}));  // outside the stack
+
+  region.add_obstacle({{2, 2}, {2, 2}});  // no layer: the whole stack
+  for (int k = 0; k < 3; ++k)
+    EXPECT_FALSE(region.routable({{2, 2}, layer_at(k)})) << "layer " << k;
+}
+
+// ---------------------------------------------------------------------------
+// End to end: N-layer instances route and verify clean
+// ---------------------------------------------------------------------------
+
+TEST(LayerStackRouting, ThreeLayerSuiteInstanceRoutesVerifierClean) {
+  for (const auto& [name, problem] : suite::multilayer_suite()) {
+    RouteRequest request;
+    request.problem = &problem;
+    const RouteResult result = route(request);
+    EXPECT_TRUE(result.status.ok()) << name;
+    const VerifyReport report = verify(problem, result.grid);
+    EXPECT_TRUE(report.drc_clean()) << name << ": "
+                                    << (report.violations.empty()
+                                            ? std::string("-")
+                                            : report.violations.front());
+    // The undirected 3- and 4-layer pockets must complete outright.
+    if (name != "tri-directed-12") {
+      EXPECT_TRUE(result.complete())
+          << name << ": " << result.failed.size() << " nets failed";
+    }
+    for (const auto& nr : report.nets) {
+      const bool failed = std::find(result.failed.begin(), result.failed.end(),
+                                    nr.id) != result.failed.end();
+      if (!failed) {
+        EXPECT_TRUE(nr.ok()) << name << " net " << nr.id;
+      }
+    }
+  }
+}
+
+TEST(LayerStackRouting, DirectedLayersCarryNoLoadBearingWrongWayWire) {
+  // Route the directed-stack instance, then recompute the hard direction
+  // rule from scratch (no verifier code): strip every wrong-way adjacency
+  // on the directed layers and demand the remaining legal metal — preferred
+  // runs plus vias — still connects each such pair. Touching via pads of a
+  // one-step jog pass; wire that actually turns the wrong way would not.
+  const auto suite_problems = suite::multilayer_suite();
+  const auto& entry = suite_problems[1];
+  ASSERT_EQ(entry.name, "tri-directed-12");
+  const Problem& problem = entry.problem;
+  RouteRequest request;
+  request.problem = &problem;
+  const RouteResult result = route(request);
+  const LayerStack& stack = problem.region().layers();
+
+  int directed_nodes = 0;
+  int wrong_way_pairs = 0;
+  for (NetId id = 0; id < problem.net_count(); ++id) {
+    const auto& nodes = result.grid.net_nodes(id);
+    std::map<GridPoint, std::size_t> index;
+    for (std::size_t i = 0; i < nodes.size(); ++i) index.emplace(nodes[i], i);
+    // Tiny union-find over the net's nodes, legal edges only.
+    std::vector<std::size_t> parent(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) parent[i] = i;
+    std::function<std::size_t(std::size_t)> find =
+        [&](std::size_t x) -> std::size_t {
+      return parent[x] == x ? x : parent[x] = find(parent[x]);
+    };
+    std::vector<std::pair<std::size_t, std::size_t>> wrong;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const GridPoint g = nodes[i];
+      if (stack.directed(g.layer)) ++directed_nodes;
+      for (const Point d : {Point{1, 0}, Point{0, 1}}) {
+        const auto it = index.find({g.pos + d, g.layer});
+        if (it == index.end()) continue;
+        const bool wrong_way = stack.directed(g.layer) &&
+                               (stack.horizontal(g.layer) ? d.y : d.x) != 0;
+        if (wrong_way)
+          wrong.push_back({i, it->second});
+        else
+          parent[find(i)] = find(it->second);
+      }
+      const int k = layer_index(g.layer);
+      if (result.grid.via_owner(g.pos, k) == id) {
+        const auto it = index.find({g.pos, layer_at(k + 1)});
+        if (it != index.end()) parent[find(i)] = find(it->second);
+      }
+    }
+    wrong_way_pairs += static_cast<int>(wrong.size());
+    for (const auto& [a, b] : wrong)
+      EXPECT_EQ(find(a), find(b))
+          << "load-bearing wrong-way segment " << nodes[a] << "-" << nodes[b]
+          << " of net " << id;
+  }
+  EXPECT_GT(directed_nodes, 0);  // the directed layers actually carried wire
+  (void)wrong_way_pairs;         // jogs may or may not occur; both are fine
+}
+
+TEST(LayerStackRouting, ClassicProblemsStillRouteOnTallerStacks) {
+  // The same pin set, lifted onto a 4-layer stack, must still route — and
+  // use no more wire than the 2-layer run (more resource, never less).
+  Problem classic = suite::random_switchbox(41, 10, 8, 6, 3, 0.4).to_problem();
+  Problem tall{Region(classic.region().width(), classic.region().height(),
+                      LayerStack(4))};
+  for (NetId id = 0; id < classic.net_count(); ++id) {
+    Net net = classic.net(id);
+    tall.add_net(std::move(net));
+  }
+  RouteRequest creq;
+  creq.problem = &classic;
+  const RouteResult cres = route(creq);
+  RouteRequest treq;
+  treq.problem = &tall;
+  const RouteResult tres = route(treq);
+  EXPECT_TRUE(tres.complete());
+  EXPECT_TRUE(verify(tall, tres.grid).drc_clean());
+  if (cres.complete()) {
+    EXPECT_LE(tres.failed.size(), cres.failed.size());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Greedy layer assignment of 2D global routes
+// ---------------------------------------------------------------------------
+
+GlobalRoute l_shaped_route() {
+  // (0,0) -> (3,0) -> (3,2): one horizontal run of 3, one vertical run of 2.
+  GlobalRoute route;
+  route.routed = true;
+  for (int x = 0; x < 3; ++x)
+    route.edges.push_back({{x, 0}, {x + 1, 0}});
+  for (int y = 0; y < 2; ++y)
+    route.edges.push_back({{3, y}, {3, y + 1}});
+  return route;
+}
+
+TEST(LayerAssignment, RunsLandOnDirectionCompatibleLayers) {
+  const LayerStack stack(4);  // H V H V
+  const GlobalRoute route = l_shaped_route();
+  const LayerAssignment a = assign_layers(route, stack);
+  ASSERT_EQ(a.edge_layers.size(), route.edges.size());
+  for (std::size_t i = 0; i < route.edges.size(); ++i) {
+    const bool h = route.edges[i].b.x == route.edges[i].a.x + 1;
+    EXPECT_EQ(stack.horizontal(a.edge_layers[i]), h) << "edge " << i;
+  }
+  // One corner at (3,0): via stack spanning the two chosen layers.
+  EXPECT_GT(a.via_count, 0);
+  EXPECT_TRUE(verify_layer_assignment(route, stack, a).empty());
+}
+
+TEST(LayerAssignment, UsageBalancesAcrossEquivalentLayers) {
+  // Two horizontal layers (0 and 2 of HVHV): routing many horizontal runs
+  // through one shared accumulator must spread them over both.
+  const LayerStack stack(4);
+  LayerUsage usage(4, 0);
+  for (int r = 0; r < 8; ++r) {
+    GlobalRoute route;
+    route.routed = true;
+    for (int x = 0; x < 5; ++x)
+      route.edges.push_back({{x, r}, {x + 1, r}});
+    const LayerAssignment a = assign_layers(route, stack, &usage);
+    EXPECT_TRUE(verify_layer_assignment(route, stack, a).empty());
+  }
+  EXPECT_GT(usage[0], 0);
+  EXPECT_GT(usage[2], 0);
+  EXPECT_EQ(usage[0] + usage[2], 8 * 5);
+  EXPECT_EQ(usage[1], 0);
+  EXPECT_EQ(usage[3], 0);
+}
+
+TEST(LayerAssignment, WholeNetlistPassCoversEveryRouteDeterministically) {
+  std::vector<GlobalRoute> routes;
+  for (int n = 0; n < 5; ++n) {
+    GlobalRoute r;
+    r.routed = true;
+    for (int x = 0; x < 3 + n; ++x)
+      r.edges.push_back({{x, n}, {x + 1, n}});
+    r.edges.push_back({{3 + n, n}, {3 + n, n + 1}});
+    routes.push_back(std::move(r));
+  }
+  const LayerStack stack(3);
+  const auto a = assign_layers(routes, stack);
+  const auto b = assign_layers(routes, stack);
+  ASSERT_EQ(a.size(), routes.size());
+  for (std::size_t i = 0; i < routes.size(); ++i) {
+    EXPECT_TRUE(verify_layer_assignment(routes[i], stack, a[i]).empty());
+    EXPECT_EQ(a[i].edge_layers, b[i].edge_layers);  // deterministic
+    EXPECT_EQ(a[i].via_count, b[i].via_count);
+  }
+}
+
+TEST(LayerAssignment, VerifierFlagsWrongWayRunOnDirectedLayer) {
+  const LayerStack stack{{Axis::kHorizontal, true},
+                         {Axis::kVertical, false},
+                         {Axis::kHorizontal, false}};
+  const GlobalRoute route = l_shaped_route();
+  LayerAssignment bad = assign_layers(route, stack);
+  // Force the vertical run onto the directed horizontal layer 0.
+  for (std::size_t i = 0; i < route.edges.size(); ++i)
+    if (route.edges[i].b.y == route.edges[i].a.y + 1)
+      bad.edge_layers[i] = layer_at(0);
+  const auto violations = verify_layer_assignment(route, stack, bad);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().find("directed layer"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Text formats: layer-stack header, m<k> tokens, via cuts
+// ---------------------------------------------------------------------------
+
+TEST(LayerStackFormat, ProblemHeaderRoundTripsAnArbitraryStack) {
+  const std::string text =
+      "region 6 4\n"
+      "layers 3 HVh\n"
+      "obstacle 2 2 2 2 m3\n"
+      "net a\n"
+      "pin 0 0 m1\n"
+      "pin 5 3 m3\n"
+      "net b\n"
+      "pin 0 3 any\n"
+      "pin 5 0 m2\n"
+      "via 5 0 1\n"
+      "wire 5 0 5 1 m2\n"
+      "wire 5 0 5 1 m3\n";
+  const Problem p = parse_problem_string(text);
+  const LayerStack& stack = p.region().layers();
+  EXPECT_EQ(stack.count(), 3);
+  EXPECT_TRUE(stack.directed(layer_at(0)));
+  EXPECT_TRUE(stack.directed(layer_at(1)));
+  EXPECT_FALSE(stack.directed(layer_at(2)));
+  EXPECT_FALSE(stack.horizontal(layer_at(1)));
+  EXPECT_FALSE(p.region().routable({{2, 2}, layer_at(2)}));
+  EXPECT_TRUE(p.region().routable({{2, 2}, layer_at(0)}));
+  EXPECT_EQ(p.net(0).pins[1].layer, layer_at(2));
+  ASSERT_EQ(p.net(1).previas.size(), 1u);
+  EXPECT_EQ(p.net(1).previas[0].cut, 1);
+
+  // Round trip: the writer re-emits the stack header and m<k> tokens.
+  const Problem again = parse_problem_string(problem_to_string(p));
+  EXPECT_EQ(again.region().layers(), stack);
+  EXPECT_EQ(problem_to_string(again), problem_to_string(p));
+}
+
+TEST(LayerStackFormat, ClassicProblemsWriteNoLayersHeader) {
+  const Problem p = suite::cross_switchbox().to_problem();
+  EXPECT_EQ(problem_to_string(p).find("layers"), std::string::npos);
+}
+
+TEST(LayerStackFormat, BadStackHeadersAreRejected) {
+  EXPECT_THROW(parse_problem_string("region 4 4\nlayers 1\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_problem_string("region 4 4\nlayers 3 hv\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_problem_string("region 4 4\nlayers 3 hvx\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      parse_problem_string("region 4 4\nnet a\npin 0 0 m1\nlayers 3\n"),
+      std::runtime_error);
+  // Layer tokens beyond the stack are rejected per keyword.
+  EXPECT_THROW(parse_problem_string("region 4 4\nnet a\npin 0 0 m3\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      parse_problem_string("region 4 4\nobstacle 0 0 0 0 m5\n"),
+      std::runtime_error);
+}
+
+TEST(LayerStackFormat, ValidatorRejectsOutOfStackPreViaCut) {
+  const std::string text =
+      "region 4 4\n"
+      "net a\n"
+      "pin 0 0 m1\n"
+      "pin 3 3 m1\n"
+      "via 1 1 7\n";
+  const Problem p = parse_problem_string(text);
+  const auto issues = p.validate();
+  ASSERT_FALSE(issues.empty());
+  bool cut_issue = false;
+  for (const std::string& i : issues)
+    if (i.find("outside the layer stack") != std::string::npos)
+      cut_issue = true;
+  EXPECT_TRUE(cut_issue);
+}
+
+TEST(LayerStackFormat, SolutionRoundTripsStackedVias) {
+  Problem p{Region(4, 2, LayerStack(3))};
+  const NetId id = p.add_net("n");
+  p.net(id).pins = {{{0, 0}, layer_at(0), false}, {{3, 0}, layer_at(2), false}};
+  RoutingGrid grid(p.region(), p.net_count());
+  Path path;
+  path.nodes = {{{0, 0}, layer_at(0)}, {{0, 0}, layer_at(1)},
+                {{0, 0}, layer_at(2)}, {{1, 0}, layer_at(2)},
+                {{2, 0}, layer_at(2)}, {{3, 0}, layer_at(2)}};
+  ASSERT_TRUE(grid.apply_path(path, id));
+  ASSERT_TRUE(verify(p, grid).all_ok());
+
+  const std::string text = solution_to_string(p, grid);
+  EXPECT_NE(text.find("m3"), std::string::npos);
+  EXPECT_NE(text.find("via 0 0\n"), std::string::npos);    // cut 0: classic
+  EXPECT_NE(text.find("via 0 0 1\n"), std::string::npos);  // cut 1: explicit
+  const RoutingGrid reparsed = parse_solution_string(text, p);
+  EXPECT_EQ(solution_to_string(p, reparsed), text);
+  EXPECT_TRUE(verify(p, reparsed).all_ok());
+}
+
+}  // namespace
+}  // namespace gridroute

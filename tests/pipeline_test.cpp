@@ -104,7 +104,7 @@ TEST(Pipeline, SolutionReloadedIntoRouterAsPrewire) {
       net.prewire.push_back({g, g});  // degenerate one-cell segments
     for (const GridPoint& g : first.grid().net_nodes(id))
       if (g.layer == Layer::kMetal1 && first.grid().via_owner(g.pos) == id)
-        net.previas.push_back(g.pos);
+        net.previas.push_back({g.pos});
   }
   ASSERT_TRUE(reloaded.validate().empty());
 

@@ -222,5 +222,108 @@ TEST(VerifyProperty, ForeignWireOnAPinIsABuriedPinViolation) {
   EXPECT_TRUE(buried) << "no buried-pin violation reported";
 }
 
+// ---------------------------------------------------------------------------
+// Multi-layer corruption classes (DESIGN.md §2.1h)
+// ---------------------------------------------------------------------------
+
+TEST(VerifyProperty, ViaStackWithMissingIntermediateCutIsDisconnected) {
+  // A net spanning m1..m3 whose via stack omits the middle cut is two
+  // electrical components, however complete its wire looks: the union-find
+  // must refuse to bridge layers across the missing cut.
+  Problem p{Region(4, 2, LayerStack(3))};
+  const NetId id = p.add_net("n");
+  p.net(id).pins = {{{0, 0}, layer_at(0), false},
+                    {{3, 0}, layer_at(2), false}};
+  RoutingGrid grid(p.region(), p.net_count());
+  for (int k = 0; k < 3; ++k)
+    ASSERT_TRUE(grid.occupy({{0, 0}, layer_at(k)}, id));
+  for (int x = 1; x < 4; ++x)
+    ASSERT_TRUE(grid.occupy({{x, 0}, layer_at(2)}, id));
+  ASSERT_TRUE(grid.add_via({0, 0}, 0, id));  // cut 1 deliberately missing
+
+  const VerifyReport report = verify(p, grid);
+  EXPECT_FALSE(report.all_ok());
+  EXPECT_TRUE(report.nets[0].pins_covered);  // wire is on both pins...
+  EXPECT_FALSE(report.nets[0].connected);    // ...but not electrically one
+
+  // The complete stack heals it.
+  ASSERT_TRUE(grid.add_via({0, 0}, 1, id));
+  EXPECT_TRUE(verify(p, grid).all_ok());
+}
+
+TEST(VerifyProperty, WrongWaySegmentOnADirectedLayerIsFlagged) {
+  // Layer m1 is hard-directed horizontal: a vertical same-net adjacency on
+  // it is a DRC violation even though the wire connects fine.
+  Problem p{Region(3, 3, LayerStack{{Axis::kHorizontal, true},
+                                    {Axis::kVertical, false}})};
+  const NetId id = p.add_net("n");
+  p.net(id).pins = {{{0, 0}, layer_at(0), false},
+                    {{0, 2}, layer_at(0), false}};
+  RoutingGrid grid(p.region(), p.net_count());
+  for (int y = 0; y < 3; ++y)
+    ASSERT_TRUE(grid.occupy({{0, y}, layer_at(0)}, id));
+
+  const VerifyReport report = verify(p, grid);
+  EXPECT_FALSE(report.drc_clean());
+  bool wrong_way = false;
+  for (const std::string& v : report.violations)
+    if (v.find("wrong-way segment") != std::string::npos) wrong_way = true;
+  EXPECT_TRUE(wrong_way) << "no wrong-way violation reported";
+
+  // A one-step jog is legal even on the directed layer: the two via pads
+  // touch wrong-way, but the connection genuinely rides the other layer,
+  // so the adjacency is redundant metal, not a wrong-way segment.
+  Problem jp{Region(4, 2, LayerStack{{Axis::kHorizontal, true},
+                                     {Axis::kVertical, false}})};
+  const NetId jid = jp.add_net("n");
+  jp.net(jid).pins = {{{0, 0}, layer_at(0), false},
+                      {{3, 1}, layer_at(0), false}};
+  RoutingGrid jog(jp.region(), jp.net_count());
+  for (int x = 0; x < 2; ++x)
+    ASSERT_TRUE(jog.occupy({{x, 0}, layer_at(0)}, jid));
+  for (int x = 1; x < 4; ++x)
+    ASSERT_TRUE(jog.occupy({{x, 1}, layer_at(0)}, jid));
+  for (int y = 0; y < 2; ++y) {
+    ASSERT_TRUE(jog.occupy({{1, y}, layer_at(1)}, jid));
+    ASSERT_TRUE(jog.add_via({1, y}, 0, jid));
+  }
+  EXPECT_TRUE(verify(jp, jog).all_ok());
+
+  // The identical layout on the classic (soft-preference) stack is legal.
+  Problem soft{Region(3, 3)};
+  const NetId sid = soft.add_net("n");
+  soft.net(sid).pins = p.net(id).pins;
+  RoutingGrid soft_grid(soft.region(), soft.net_count());
+  for (int y = 0; y < 3; ++y)
+    ASSERT_TRUE(soft_grid.occupy({{0, y}, layer_at(0)}, sid));
+  EXPECT_TRUE(verify(soft, soft_grid).all_ok());
+}
+
+TEST(VerifyProperty, PinBuriedUnderAForeignViaStackIsFlagged) {
+  // Net b runs a full m1..m3 via stack through the cell where net a has its
+  // middle-layer pin: a's pin node is foreign-owned — a buried pin, caught
+  // on an interior layer of the stack, not just the classic two.
+  Problem p{Region(4, 4, LayerStack(3))};
+  const NetId a = p.add_net("a");
+  p.net(a).pins = {{{1, 1}, layer_at(1), false},
+                   {{3, 3}, layer_at(1), false}};
+  const NetId b = p.add_net("b");
+  p.net(b).pins = {{{1, 0}, layer_at(0), false},
+                   {{1, 3}, layer_at(2), false}};
+  RoutingGrid grid(p.region(), p.net_count());
+  for (int k = 0; k < 3; ++k)
+    ASSERT_TRUE(grid.occupy({{1, 1}, layer_at(k)}, b));
+  ASSERT_TRUE(grid.add_via({1, 1}, 0, b));
+  ASSERT_TRUE(grid.add_via({1, 1}, 1, b));
+
+  const VerifyReport report = verify(p, grid);
+  EXPECT_FALSE(report.drc_clean());
+  bool buried = false;
+  for (const std::string& v : report.violations)
+    if (v.find("buries") != std::string::npos) buried = true;
+  EXPECT_TRUE(buried) << "no buried-pin violation for the via stack";
+  EXPECT_FALSE(report.nets[0].pins_covered);
+}
+
 }  // namespace
 }  // namespace gridroute
