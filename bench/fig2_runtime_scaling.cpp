@@ -100,9 +100,10 @@ BENCHMARK(BM_GreedyChannelScaling)
 void BM_IncrementalChannelScaling(benchmark::State& state) {
   const int cols = static_cast<int>(state.range(0));
   const ChannelSpec spec = suite::deutsch_class_channel(99, cols, 8);
+  RouteRequest base;
+  base.options = channel_router_options();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        route_channel_incremental(spec, channel_router_options(), 4));
+    benchmark::DoNotOptimize(route_channel(spec, base, 4));
   }
   state.SetComplexityN(cols);
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bench_suite/suite.hpp"
+#include "core/api.hpp"
 #include "core/incremental_router.hpp"
 #include "io/table.hpp"
 #include "verify/verify.hpp"
@@ -27,25 +28,26 @@ namespace {
 constexpr int kExtraAttempts = 7;  // best-of-8
 
 struct Timed {
-  RoutedDesign design;
+  RouteResult design;
   double ms = 0;
 };
 
 Timed run(const Problem& problem, int threads) {
-  RouterOptions options;
-  options.threads = threads;
+  RouteRequest request;
+  request.problem = &problem;
+  request.options.threads = threads;
+  request.extra_attempts = kExtraAttempts;
   const auto t0 = std::chrono::steady_clock::now();
-  RoutedDesign design = route_best_of(problem, kExtraAttempts, options);
+  RouteResult design = route(request);
   const double ms = std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - t0)
                         .count();
   return {std::move(design), ms};
 }
 
-bool same_winner(const RoutedDesign& a, const RoutedDesign& b) {
+bool same_winner(const RouteResult& a, const RouteResult& b) {
   return a.winning_attempt == b.winning_attempt &&
-         a.winning_seed == b.winning_seed &&
-         a.outcome.failed == b.outcome.failed &&
+         a.winning_seed == b.winning_seed && a.failed == b.failed &&
          a.grid.total_nodes() == b.grid.total_nodes() &&
          a.grid.total_vias() == b.grid.total_vias();
 }
@@ -82,10 +84,9 @@ int main() {
 
     table.add_row({
         name,
-        std::to_string(serial.design.outcome.stats.nets_routed) + "/" +
-            std::to_string(serial.design.outcome.stats.nets_routed +
-                           static_cast<int>(
-                               serial.design.outcome.failed.size())),
+        std::to_string(serial.design.stats.nets_routed) + "/" +
+            std::to_string(serial.design.stats.nets_routed +
+                           static_cast<int>(serial.design.failed.size())),
         std::to_string(ran) + "/" + std::to_string(kExtraAttempts + 1),
         Table::num(serial.ms, 1),
         Table::num(two.ms, 1),
@@ -95,7 +96,7 @@ int main() {
     });
   }
 
-  std::cout << "Multi-start speedup: best-of-8 route_best_of, serial vs. "
+  std::cout << "Multi-start speedup: best-of-8 multi-start, serial vs. "
                "worker pool\n(hardware threads available: "
             << std::thread::hardware_concurrency() << ").\n\n";
   table.print(std::cout);

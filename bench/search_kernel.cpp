@@ -159,7 +159,7 @@ int main(int argc, char** argv) {
         });
     const Row dijkstra = run_family<WeightedMazeRouter>(
         router.grid(), pins, batch,
-        [](WeightedMazeRouter& r) { r.set_heuristic(false); });
+        [](WeightedMazeRouter& r) { r.set_future_cost(FutureCost::kNone); });
 
     // Admissibility means identical total costs; sharpness means the
     // residual bound must never expand more than bbox-Manhattan.

@@ -1,0 +1,209 @@
+// Serving-layer throughput bench — how fast RoutingService turns a mixed
+// job stream around, and what the result cache buys.
+//
+// The stream: every instance of a small suite pool submitted once cold
+// (all misses), then kRepeatRounds more times (all hits, by construction:
+// one worker drains FIFO, so each problem's first job completes before its
+// repeats run). That makes the cache-hit ledger a pure function of the
+// stream — gated exactly — while the throughput numbers gate with
+// wall-clock headroom.
+//
+// Gated metrics (scripts/bench.sh --check):
+//   cache_hits / cache_misses   exact — deterministic ledger
+//   fresh_expansions            exact — summed search work of the misses,
+//                               the determinism fingerprint of the stream
+//   jobs_per_sec                higher-better — end-to-end service rate
+//   cached_jobs_per_sec         higher-better — cache turnaround rate
+// Informational: per-phase wall times, mean queue wait (a drain benchmark
+// queues every job behind the whole stream ahead of it, so the mean says
+// how the backlog feels, not how the router performs).
+
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_suite/report.hpp"
+#include "bench_suite/suite.hpp"
+#include "io/table.hpp"
+#include "service/routing_service.hpp"
+
+using namespace gridroute;
+
+namespace {
+
+constexpr int kRepeatRounds = 4;  // cache-hit rounds after the cold one
+
+struct StreamResult {
+  double wall_ms = 0;
+  double queue_wait_ms = 0;  // summed over jobs
+  long long cache_hits = 0;
+  long long fresh_expansions = 0;
+  int jobs = 0;
+};
+
+/// Submits every problem once and drains the service. Waits in submission
+/// order — with one worker the jobs finish in that order anyway.
+StreamResult run_round(service::RoutingService& service,
+                       const std::vector<std::shared_ptr<const Problem>>&
+                           problems) {
+  StreamResult out;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::uint64_t> ids;
+  ids.reserve(problems.size());
+  for (const auto& p : problems) {
+    service::JobRequest request;
+    request.problem = p;
+    const auto id = service.submit(std::move(request));
+    if (!id.ok()) {
+      std::cerr << "submit failed: " << id.status().to_string() << "\n";
+      std::exit(2);
+    }
+    ids.push_back(*id);
+  }
+  for (const std::uint64_t id : ids) {
+    const auto outcome = service.wait(id);
+    if (!outcome.ok() || outcome->state != service::JobState::kCompleted) {
+      std::cerr << "job " << id << " did not complete\n";
+      std::exit(2);
+    }
+    out.queue_wait_ms += outcome->queue_wait_ms;
+    if (outcome->from_cache)
+      ++out.cache_hits;
+    else
+      out.fresh_expansions += outcome->result->stats.expansions;
+  }
+  out.jobs = static_cast<int>(problems.size());
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--json <path>]\n";
+      return 2;
+    }
+  }
+
+  std::vector<std::shared_ptr<const Problem>> pool;
+  pool.push_back(std::make_shared<const Problem>(
+      suite::dense_switchbox().to_problem()));
+  pool.push_back(std::make_shared<const Problem>(
+      suite::cross_switchbox().to_problem()));
+  pool.push_back(std::make_shared<const Problem>(
+      suite::burstein_class_switchbox(31).to_problem()));
+  pool.push_back(std::make_shared<const Problem>(
+      suite::burstein_class_switchbox(1983).to_problem()));
+  pool.push_back(
+      std::make_shared<const Problem>(suite::macrocell_region(7)));
+  for (std::uint64_t seed = 11; seed <= 13; ++seed)
+    pool.push_back(std::make_shared<const Problem>(
+        suite::random_switchbox(seed, 14, 12, 12).to_problem()));
+
+  service::ServiceOptions options;
+  options.workers = 1;  // FIFO drain: makes the hit ledger deterministic
+  options.max_queue_depth = static_cast<int>(pool.size()) + 1;
+  service::RoutingService service(options);
+
+  // Warm-up outside the timed stream: touch the allocator and the arena.
+  {
+    service::JobRequest request;
+    request.problem = pool.front();
+    request.use_cache = false;
+    (void)service.wait(*service.submit(std::move(request)));
+  }
+
+  const StreamResult cold = run_round(service, pool);
+  StreamResult warm;
+  for (int round = 0; round < kRepeatRounds; ++round) {
+    const StreamResult r = run_round(service, pool);
+    warm.wall_ms += r.wall_ms;
+    warm.queue_wait_ms += r.queue_wait_ms;
+    warm.cache_hits += r.cache_hits;
+    warm.fresh_expansions += r.fresh_expansions;
+    warm.jobs += r.jobs;
+  }
+
+  const int total_jobs = cold.jobs + warm.jobs;
+  const double total_ms = cold.wall_ms + warm.wall_ms;
+  const double jobs_per_sec = 1000.0 * total_jobs / total_ms;
+  const double cached_jobs_per_sec = 1000.0 * warm.jobs / warm.wall_ms;
+  const double hit_rate =
+      static_cast<double>(cold.cache_hits + warm.cache_hits) / total_jobs;
+  const double mean_wait_ms =
+      (cold.queue_wait_ms + warm.queue_wait_ms) / total_jobs;
+
+  bench::BenchReport report = bench::make_report("service_throughput");
+  report.add("jobs", total_jobs, bench::Gate::kExact);
+  report.add("cache_hits",
+             static_cast<double>(cold.cache_hits + warm.cache_hits),
+             bench::Gate::kExact);
+  report.add("cache_misses",
+             static_cast<double>(total_jobs - cold.cache_hits -
+                                 warm.cache_hits),
+             bench::Gate::kExact);
+  report.add("cache_hit_rate", hit_rate);
+  report.add("fresh_expansions",
+             static_cast<double>(cold.fresh_expansions +
+                                 warm.fresh_expansions),
+             bench::Gate::kExact);
+  report.add("jobs_per_sec", jobs_per_sec, bench::Gate::kHigherBetter, 0.5);
+  // The warm phase is a few ms of wall time — noise swings it several-fold
+  // run to run — so its rate gates only against collapse, not drift.
+  report.add("cached_jobs_per_sec", cached_jobs_per_sec,
+             bench::Gate::kHigherBetter, 0.9);
+  report.add("cold_wall_ms", cold.wall_ms, bench::Gate::kLowerBetter, 0.5);
+  report.add("warm_wall_ms", warm.wall_ms);
+  report.add("mean_queue_wait_ms", mean_wait_ms);
+
+  Table table({"phase", "jobs", "hits", "wall ms", "jobs/s",
+               "mean wait ms"});
+  table.add_row({"cold", std::to_string(cold.jobs),
+                 std::to_string(cold.cache_hits), Table::num(cold.wall_ms, 2),
+                 Table::num(1000.0 * cold.jobs / cold.wall_ms, 1),
+                 Table::num(cold.queue_wait_ms / cold.jobs, 3)});
+  table.add_row({"warm x" + std::to_string(kRepeatRounds),
+                 std::to_string(warm.jobs), std::to_string(warm.cache_hits),
+                 Table::num(warm.wall_ms, 2),
+                 Table::num(cached_jobs_per_sec, 1),
+                 Table::num(warm.queue_wait_ms / warm.jobs, 3)});
+
+  std::cout << "RoutingService throughput: " << pool.size()
+            << " distinct suite instances, submitted cold then "
+            << kRepeatRounds << " cached rounds\n(one worker, FIFO — the "
+               "hit ledger is exact by construction).\n\n";
+  table.print(std::cout);
+  std::cout << "\noverall: " << Table::num(jobs_per_sec, 1)
+            << " jobs/s, cache hit rate " << Table::num(100.0 * hit_rate, 1)
+            << "%, mean queue wait " << Table::num(mean_wait_ms, 3)
+            << " ms\n";
+
+  // The stream invariant the bench itself enforces: the cold round misses
+  // everything, the warm rounds hit everything.
+  const bool ledger_ok =
+      cold.cache_hits == 0 && warm.cache_hits == warm.jobs;
+  if (!ledger_ok)
+    std::cerr << "\nerror: cache ledger broke the FIFO invariant (cold hits "
+              << cold.cache_hits << ", warm hits " << warm.cache_hits
+              << "/" << warm.jobs << ")\n";
+
+  if (!json_path.empty()) {
+    if (const Status s = bench::write_report_file(report, json_path);
+        !s.ok()) {
+      std::cerr << "error: " << s.to_string() << "\n";
+      return 2;
+    }
+    std::cout << "\nWrote " << json_path << "\n";
+  }
+  return ledger_ok ? 0 : 1;
+}

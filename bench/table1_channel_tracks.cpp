@@ -37,7 +37,7 @@ int main() {
     const ChannelAnalysis analysis(spec);
 
     const auto t0 = std::chrono::steady_clock::now();
-    const IncrementalChannelResult inc = route_channel_incremental(spec);
+    const ChannelRouteResult inc = route_channel(spec);
     const double ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - t0)
                           .count();

@@ -44,8 +44,10 @@ struct ChannelScore {
 
 ChannelScore channel_score(const RouterOptions& options) {
   ChannelScore s;
+  RouteRequest base;
+  base.options = options;
   for (const auto& [name, spec] : suite::channel_suite()) {
-    const auto res = route_channel_incremental(spec, options, 4);
+    const auto res = route_channel(spec, base, 4);
     if (!res.success) continue;
     ++s.routed;
     s.excess_tracks += res.tracks - ChannelAnalysis(spec).density();

@@ -36,7 +36,7 @@ int main() {
 
   for (const auto& [name, spec] : suite::channel_suite()) {
     const ChannelAnalysis analysis(spec);
-    const IncrementalChannelResult inc = route_channel_incremental(spec);
+    const ChannelRouteResult inc = route_channel(spec);
     table.add_row({
         name,
         std::to_string(spec.columns()),

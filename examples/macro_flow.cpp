@@ -190,14 +190,15 @@ int main() {
     return gres.stats.overflow == 0 ? 0 : 1;
   }
 
-  const IncrementalChannelResult det = route_channel_incremental(channel);
+  const ChannelRouteResult det = route_channel(channel);
   if (!det.success) {
     std::cerr << "channel did not route\n";
     return 1;
   }
   std::cout << "detailed-routed in " << det.tracks << " tracks ("
-            << det.stats.weak_modifications << " weak, "
-            << det.stats.strong_ripups << " strong modifications)\n\n";
+            << det.result->stats.weak_modifications << " weak, "
+            << det.result->stats.strong_ripups
+            << " strong modifications)\n\n";
 
   const Problem problem = channel.to_problem(det.tracks);
   IncrementalRouter drouter(problem, channel_router_options());

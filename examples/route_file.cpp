@@ -95,14 +95,14 @@ int route_channel_file(const ChannelSpec& spec, const Options& options) {
   std::cout << "channel: " << spec.columns() << " columns, "
             << analysis.intervals().size() << " nets, density "
             << analysis.density() << '\n';
-  const IncrementalChannelResult res = route_channel_incremental(spec);
+  const ChannelRouteResult res = route_channel(spec);
   if (!res.success) {
     std::cout << "could not route within the track search window\n";
     return 1;
   }
   std::cout << "routed in " << res.tracks << " tracks ("
-            << res.stats.weak_modifications << " weak, "
-            << res.stats.strong_ripups << " strong modifications)\n";
+            << res.result->stats.weak_modifications << " weak, "
+            << res.result->stats.strong_ripups << " strong modifications)\n";
   // Re-route at the found width for the printable layout.
   const Problem problem = spec.to_problem(res.tracks);
   IncrementalRouter router(problem, channel_router_options());

@@ -1,0 +1,84 @@
+// Serving-layer quickstart: stand up a RoutingService, stream jobs through
+// it, and watch the cache and the lifecycle metrics work. The C-embeddable
+// twin of this flow (opaque handles, status codes) lives behind
+// src/service/gridroute_c.h, exercised by tests/c_abi_smoke.c.
+
+#include <iostream>
+#include <memory>
+
+#include "bench_suite/suite.hpp"
+#include "io/ascii_art.hpp"
+#include "service/routing_service.hpp"
+#include "verify/verify.hpp"
+
+using namespace gridroute;
+
+int main() {
+  // One worker, a short queue, and the provable-infeasibility pre-screen.
+  service::ServiceOptions options;
+  options.workers = 1;
+  options.max_queue_depth = 8;
+  options.prescreen = true;
+  service::RoutingService service(options);
+
+  const auto problem = std::make_shared<const Problem>(
+      suite::dense_switchbox().to_problem());
+
+  // Submit the same problem twice: the second job is a cache hit and its
+  // result is (by construction) the same immutable RouteResult object.
+  service::JobRequest request;
+  request.problem = problem;
+  const auto first_id = service.submit(request);
+  const auto second_id = service.submit(request);
+  if (!first_id.ok() || !second_id.ok()) {
+    std::cerr << "submit failed\n";
+    return 1;
+  }
+
+  const auto first = service.wait(*first_id);
+  const auto second = service.wait(*second_id);
+  if (!first.ok() || !second.ok() ||
+      first->state != service::JobState::kCompleted ||
+      second->state != service::JobState::kCompleted) {
+    std::cerr << "jobs did not complete\n";
+    return 1;
+  }
+
+  std::cout << "job " << first->id << ": fresh route, queue wait "
+            << first->queue_wait_ms << " ms\n";
+  std::cout << "job " << second->id << ": from_cache="
+            << (second->from_cache ? "yes" : "no") << ", same result object="
+            << (second->result == first->result ? "yes" : "no") << "\n\n";
+
+  const VerifyReport report = verify(*problem, first->result->grid);
+  if (!report.all_ok()) {
+    std::cerr << "verification failed\n";
+    return 1;
+  }
+  std::cout << render(*problem, first->result->grid) << "\n";
+
+  // A provably hopeless job (HPWL demand beyond the region's node supply)
+  // is declined at submit() — no routing attempt is burned on it.
+  auto hopeless = std::make_shared<Problem>(Region(3, 3));
+  for (int i = 0; i < 10; ++i) {
+    const NetId id = hopeless->add_net("n" + std::to_string(i));
+    hopeless->net(id).pins = {{{0, 0}, Layer::kMetal1, false},
+                              {{2, 2}, Layer::kMetal1, false}};
+  }
+  service::JobRequest doomed;
+  doomed.problem = hopeless;
+  const auto rejected = service.submit(std::move(doomed));
+  std::cout << "hopeless job: "
+            << (rejected.ok() ? "admitted (?!)"
+                              : rejected.status().to_string())
+            << "\n\n";
+  if (rejected.ok()) return 1;
+
+  const service::ServiceStats stats = service.stats();
+  std::cout << "service ledger: " << stats.submitted << " submitted, "
+            << stats.admitted << " admitted, " << stats.rejected_prescreen
+            << " pre-screened out, " << stats.cache_hits << " cache hit(s), "
+            << stats.completed << " completed\n";
+
+  return stats.completed == 2 && stats.cache_hits == 1 ? 0 : 1;
+}

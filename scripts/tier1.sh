@@ -21,6 +21,10 @@
 #          stacked-via journal/rollback paths, and the N-layer routing
 #          end-to-ends. Indexed layer/cut arithmetic is exactly what UBSan
 #          and ASan watch, so both sanitizer legs pick the label up too.
+#   service the serving layer — RoutingService's worker pool, queue,
+#          result cache, and cancellation tokens are shared mutable state
+#          under concurrent clients, so the TSan leg runs the label; it
+#          also rides the plain suite via ctest's default run.
 #
 #   scripts/tier1.sh                  # everything
 #   GRIDROUTE_SKIP_TSAN=1 scripts/tier1.sh   # skip the TSan re-run
@@ -45,7 +49,8 @@ SHRINK_ENV=(GRIDROUTE_NETPAR_INSTANCES=20 GRIDROUTE_FAULT_INSTANCES=40
 if [ "${GRIDROUTE_SKIP_TSAN:-0}" != "1" ]; then
   cmake -B build-tsan -S . -DGRIDROUTE_SANITIZE=thread
   cmake --build build-tsan -j --target gr_all_tests
-  (cd build-tsan && env "${SHRINK_ENV[@]}" ctest --output-on-failure -L tsan)
+  (cd build-tsan &&
+   env "${SHRINK_ENV[@]}" ctest --output-on-failure -L 'tsan|service')
 fi
 
 if [ "${GRIDROUTE_SKIP_UBSAN:-0}" != "1" ]; then

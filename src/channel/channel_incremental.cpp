@@ -52,20 +52,4 @@ ChannelRouteResult route_channel(const ChannelSpec& spec,
   return result;
 }
 
-IncrementalChannelResult route_channel_incremental(const ChannelSpec& spec,
-                                                   RouterOptions options,
-                                                   int max_extra_tracks) {
-  RouteRequest base;
-  base.options = options;
-  ChannelRouteResult routed = route_channel(spec, base, max_extra_tracks);
-
-  IncrementalChannelResult result;
-  result.success = routed.success;
-  result.tracks = routed.tracks;
-  result.wire_nodes = routed.wire_nodes;
-  result.vias = routed.vias;
-  if (routed.result.has_value()) result.stats = routed.result->stats;
-  return result;
-}
-
 }  // namespace gridroute

@@ -21,16 +21,6 @@ struct ChannelRouteResult {
   int vias = 0;
 };
 
-/// Result of routing a channel with the incremental rip-up router at the
-/// smallest feasible track count (legacy shape; see ChannelRouteResult).
-struct IncrementalChannelResult {
-  bool success = false;
-  int tracks = 0;          ///< smallest track count that routed completely
-  RouteStats stats;        ///< effort counters at the successful width
-  int wire_nodes = 0;
-  int vias = 0;
-};
-
 /// RouterOptions tuned for channel problems. Currently identical to the
 /// defaults: with victim-freezing probe retries and conflict-history costs
 /// in place, the default most-constrained-first ordering reaches the
@@ -51,17 +41,5 @@ RouterOptions channel_router_options();
 ChannelRouteResult route_channel(const ChannelSpec& spec,
                                  const RouteRequest& base = {},
                                  int max_extra_tracks = 10);
-
-/// Routes the channel with the incremental router, searching upward from
-/// the density lower bound for the smallest track count that completes and
-/// verifies. This is the procedure behind the "routed difficult channels in
-/// density" comparison row: tracks == density means optimal.
-///
-/// Deprecated entry point (kept as a thin wrapper over route_channel):
-/// new code should call route_channel, which also carries budgets, trace
-/// sinks, and multi-start through to every width.
-IncrementalChannelResult route_channel_incremental(
-    const ChannelSpec& spec, RouterOptions options = channel_router_options(),
-    int max_extra_tracks = 10);
 
 }  // namespace gridroute

@@ -287,42 +287,4 @@ RouteResult route(const RouteRequest& request) {
   return best;
 }
 
-namespace {
-
-RoutedDesign to_design(RouteResult result) {
-  return RoutedDesign{std::move(result.grid),
-                      RouteOutcome{result.stats, std::move(result.failed)},
-                      std::move(result.attempts),
-                      result.winning_attempt,
-                      result.winning_seed,
-                      result.total_expansions};
-}
-
-}  // namespace
-
-RoutedDesign route(const Problem& problem, RouterOptions options,
-                   SearchArena* arena) {
-  RouteRequest request;
-  request.problem = &problem;
-  request.options = options;
-  request.arena = arena;
-  RoutedDesign design = to_design(route(request));
-  // This entry point predates multi-start reporting; keep its historical
-  // shape (no attempt list, zero bookkeeping fields).
-  design.attempts.clear();
-  design.winning_attempt = 0;
-  design.winning_seed = 0;
-  design.total_expansions = 0;
-  return design;
-}
-
-RoutedDesign route_best_of(const Problem& problem, int extra_attempts,
-                           RouterOptions options) {
-  RouteRequest request;
-  request.problem = &problem;
-  request.options = options;
-  request.extra_attempts = std::max(extra_attempts, 0);
-  return to_design(route(request));
-}
-
 }  // namespace gridroute

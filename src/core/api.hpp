@@ -11,7 +11,7 @@
 namespace gridroute {
 
 /// One routing job, fully described — the single entry point of the
-/// library. Everything the historical route(), route_best_of() and raw
+/// library. Everything the historical one-shot wrappers and raw
 /// IncrementalRouter call shapes expressed is a field here, plus the
 /// observability surface (budget, trace) that only exists on this path.
 ///
@@ -61,11 +61,10 @@ struct RouteRequest {
   fault::Injector* faults = nullptr;
 };
 
-/// Everything a routing job produced. Replaces the RoutedDesign +
-/// RouteOutcome + AttemptReport sprawl with one shape; `stats` and
-/// `attempts` carry what the historical names RouteStats / AttemptReport
-/// carried, unchanged, and outcome() reproduces the legacy view for code
-/// still written against it.
+/// Everything a routing job produced — the one result shape of the library,
+/// and (field for field) the stability contract the serving layer's C ABI
+/// exposes; see DESIGN.md §2.2. `stats` and `attempts` carry what the
+/// historical names RouteStats / AttemptReport carried, unchanged.
 struct RouteResult {
   RoutingGrid grid;
   RouteStats stats;            ///< winning attempt's counters and phase times
@@ -98,8 +97,6 @@ struct RouteResult {
   std::vector<Degradation> degradation;
 
   bool complete() const { return failed.empty(); }
-  /// Legacy view (RouteOutcome) of this result.
-  RouteOutcome outcome() const { return {stats, failed}; }
 };
 
 /// Routes a RouteRequest: the one entry point behind which the plain,

@@ -101,8 +101,9 @@ struct RouterOptions {
   };
   Ordering ordering = Ordering::kMostConstrainedFirst;
   /// Seed for Ordering::kShuffled (ignored otherwise). Multi-start routing
-  /// (route_best_of) mixes this with each attempt index, so restarts explore
-  /// orders distinct from each other and from a kShuffled base run.
+  /// (RouteRequest::extra_attempts) mixes this with each attempt index, so
+  /// restarts explore orders distinct from each other and from a kShuffled
+  /// base run.
   std::uint64_t shuffle_seed = 1;
 
   /// Worker threads for multi-start routing. 0 = one per hardware thread
@@ -406,34 +407,8 @@ class IncrementalRouter {
   bool wave_disabled_ = false;
 };
 
-/// Convenience one-shot: route `problem` and return the outcome plus grid.
-///
-/// Deprecated entry point (kept as a thin wrapper over route(RouteRequest)
-/// in core/api.hpp): new code should build a RouteRequest, which also
-/// carries budgets and trace sinks.
-struct RoutedDesign {
-  RoutingGrid grid;
-  RouteOutcome outcome;
-
-  // Multi-start observability — filled by route_best_of, empty after a
-  // plain route().
-  std::vector<AttemptReport> attempts;  ///< one per planned attempt
-  int winning_attempt = 0;              ///< index of the kept attempt
-  std::uint64_t winning_seed = 0;       ///< shuffle seed the winner used
-  long long total_expansions = 0;       ///< sum over attempts that ran
-};
-RoutedDesign route(const Problem& problem, RouterOptions options = {},
-                   SearchArena* arena = nullptr);
-
-/// Multi-start routing: the base ordering plus `extra_attempts` shuffled
-/// orderings, keeping the best result (most nets completed; ties broken by
-/// fewer wire cells + vias, then by attempt index).
-///
-/// Deprecated entry point (kept as a thin wrapper): new code should call
-/// route(RouteRequest) from core/api.hpp with extra_attempts set — same
-/// engine, same bit-identical deterministic reduction, plus budget and
-/// trace support. See core/api.hpp for the full semantics.
-RoutedDesign route_best_of(const Problem& problem, int extra_attempts,
-                           RouterOptions options = {});
+// The historical one-shot wrapper functions that used to live here are
+// retired: every call shape they expressed is a RouteRequest field. See
+// core/api.hpp.
 
 }  // namespace gridroute

@@ -135,8 +135,9 @@ class LeeRouter {
 /// The heuristic (selected by set_future_cost, default FutureCost::kResidual)
 /// is admissible and consistent under every mode — see the enum and
 /// DESIGN.md §2.1g — so results are always cost-optimal and cost-identical
-/// to plain Dijkstra, only with fewer expansions. set_heuristic(false)
-/// recovers Dijkstra exactly (used by tests and the search benchmarks).
+/// to plain Dijkstra, only with fewer expansions. set_future_cost(
+/// FutureCost::kNone) recovers Dijkstra exactly (used by tests and the
+/// search benchmarks).
 ///
 /// An adapter over the shared search kernel: the cost model lives in a
 /// provider, the wavefront loop and epoch-stamped state in src/search.
@@ -153,13 +154,6 @@ class WeightedMazeRouter {
 
   FutureCost future_cost() const { return future_cost_; }
   void set_future_cost(FutureCost mode) { future_cost_ = mode; }
-
-  /// Legacy on/off view of the future cost: `true` is the production
-  /// default (FutureCost::kResidual), `false` plain Dijkstra.
-  bool heuristic_enabled() const { return future_cost_ != FutureCost::kNone; }
-  void set_heuristic(bool enabled) {
-    future_cost_ = enabled ? FutureCost::kResidual : FutureCost::kNone;
-  }
 
   SearchResult route(const SearchRequest& request);
 

@@ -18,8 +18,17 @@ namespace gridroute::obs {
 struct RunBudget {
   double wall_ms = 0;            ///< wall-clock ceiling; <= 0 = unlimited
   long long max_expansions = 0;  ///< search-pop ceiling; <= 0 = unlimited
+  /// External cancellation token (non-owning; null = none). When the flag
+  /// reads true at a budget checkpoint the run stops exactly like a tripped
+  /// wall deadline: cleanly, at the next checkpoint, with a verifiable
+  /// partial result. This is how a serving layer cancels an in-flight job —
+  /// the token rides the existing budget plumbing, so every layer that
+  /// honors deadlines honors cancellation for free.
+  const std::atomic<bool>* cancel = nullptr;
 
-  bool unlimited() const { return wall_ms <= 0 && max_expansions <= 0; }
+  bool unlimited() const {
+    return wall_ms <= 0 && max_expansions <= 0 && cancel == nullptr;
+  }
 };
 
 /// Live tracker for a RunBudget: the deadline is fixed at construction, and
@@ -61,8 +70,16 @@ class BudgetGauge {
   }
 
   bool expansions_exhausted() const { return expansions_left() == 0; }
+  /// External cancellation requested (RunBudget::cancel token set and
+  /// raised). Folded into wall_exhausted(): cancellation behaves exactly
+  /// like a wall deadline that just expired — same checkpoints, same clean
+  /// partial result — so no caller needs a third exhaustion case.
+  bool cancelled() const {
+    return budget_.cancel != nullptr &&
+           budget_.cancel->load(std::memory_order_relaxed);
+  }
   bool wall_exhausted() const {
-    return budget_.wall_ms > 0 && Clock::now() >= deadline_;
+    return (budget_.wall_ms > 0 && Clock::now() >= deadline_) || cancelled();
   }
   bool exhausted() const {
     return expansions_exhausted() || wall_exhausted();

@@ -17,6 +17,9 @@ namespace gridroute::obs {
 ///   budget             kBudgetExhausted
 ///   net-parallel       kWaveFormed, kSpecCommitted, kSpecInvalidated
 ///   degradation        kFaultInjected, kDegraded
+///   serving layer      kJobSubmitted, kJobAdmitted, kJobRejected,
+///                      kJobStarted, kJobCachedHit, kJobCompleted,
+///                      kJobCancelled
 ///
 /// Payload conventions per kind are documented on TraceEvent. Events carry
 /// no timestamps by design: a trace is a pure function of the routing
@@ -54,6 +57,19 @@ enum class EventKind : std::uint8_t {
                       ///< value: fault::Site as int; extra: armed arrival
   kDegraded,          ///< net: id the fallback concerned (-1 for run-wide);
                       ///< value: Degradation::Kind as int
+  // Serving-layer job lifecycle (src/service emits these; `value` is always
+  // the service-assigned job id).
+  kJobSubmitted,      ///< value: job id; extra: queue depth after enqueue
+  kJobAdmitted,       ///< value: job id; extra: queue depth after enqueue
+  kJobRejected,       ///< value: job id; extra: rejection reason
+                      ///< (service::RejectReason as int)
+  kJobStarted,        ///< value: job id; extra: queue wait in whole ms
+  kJobCachedHit,      ///< value: job id; extra: canonical problem hash
+                      ///< folded to int64
+  kJobCompleted,      ///< value: job id; ok: run was complete (no failed
+                      ///< nets) and undegraded
+  kJobCancelled,      ///< value: job id; ok: job had started (partial
+                      ///< result salvaged) vs cancelled while queued
 };
 
 /// Stable lower_snake names for export (JSONL, counters, tables).
@@ -78,13 +94,20 @@ inline const char* event_name(EventKind kind) {
     case EventKind::kSpecInvalidated: return "spec_invalidated";
     case EventKind::kFaultInjected: return "fault_injected";
     case EventKind::kDegraded: return "degraded";
+    case EventKind::kJobSubmitted: return "job_submitted";
+    case EventKind::kJobAdmitted: return "job_admitted";
+    case EventKind::kJobRejected: return "job_rejected";
+    case EventKind::kJobStarted: return "job_started";
+    case EventKind::kJobCachedHit: return "job_cached_hit";
+    case EventKind::kJobCompleted: return "job_completed";
+    case EventKind::kJobCancelled: return "job_cancelled";
   }
   return "unknown";
 }
 
 /// Number of distinct EventKind values (CountingSink's table size).
 inline constexpr std::size_t kEventKindCount =
-    static_cast<std::size_t>(EventKind::kDegraded) + 1;
+    static_cast<std::size_t>(EventKind::kJobCancelled) + 1;
 
 /// One structured trace record. Only the fields a kind documents are
 /// meaningful; the rest stay at their defaults. The per-kind factories
@@ -207,6 +230,17 @@ struct TraceEvent {
   static TraceEvent degraded(int net, std::int64_t kind) {
     TraceEvent e = of(EventKind::kDegraded, net);
     e.value = kind;
+    return e;
+  }
+  /// Serving-layer lifecycle factory: these events are never net-scoped
+  /// (net = -1) and always carry the job id in `value`; `extra` and `ok`
+  /// follow the per-kind conventions documented on EventKind.
+  static TraceEvent job(EventKind kind, std::int64_t job_id,
+                        std::int64_t extra = 0, bool ok = false) {
+    TraceEvent e = of(kind, -1);
+    e.value = job_id;
+    e.extra = extra;
+    e.ok = ok;
     return e;
   }
 

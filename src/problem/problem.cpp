@@ -208,6 +208,106 @@ int Problem::connection_count() const {
   return c;
 }
 
+namespace {
+
+/// FNV-1a accumulator for canonical_hash(). Every fold site feeds typed
+/// integers (never raw struct bytes), so the hash is independent of padding,
+/// endianness of wider types is fixed by the byte loop, and adding a field
+/// to a struct cannot silently change old hashes.
+struct CanonicalHasher {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+
+  void byte(std::uint8_t b) {
+    h ^= b;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void str(const std::string& s) {
+    i64(static_cast<std::int64_t>(s.size()));
+    for (char c : s) byte(static_cast<std::uint8_t>(c));
+  }
+};
+
+void fold_net(CanonicalHasher& hash, const Net& n) {
+  hash.str(n.name);
+  hash.byte(n.fixed ? 1 : 0);
+  hash.i64(static_cast<std::int64_t>(n.pins.size()));
+  for (const Pin& pin : n.pins) {
+    hash.i64(pin.pos.x);
+    hash.i64(pin.pos.y);
+    // any-layer pins fold a sentinel instead of their (meaningless) layer
+    // field, so "pin 3 4 any" hashes equally however it was constructed.
+    hash.i64(pin.any_layer ? -1 : layer_index(pin.layer));
+  }
+  hash.i64(static_cast<std::int64_t>(n.prewire.size()));
+  for (const Segment& seg : n.prewire) {
+    hash.i64(seg.a.pos.x);
+    hash.i64(seg.a.pos.y);
+    hash.i64(seg.b.pos.x);
+    hash.i64(seg.b.pos.y);
+    hash.i64(layer_index(seg.a.layer));
+  }
+  hash.i64(static_cast<std::int64_t>(n.previas.size()));
+  for (const PreVia& v : n.previas) {
+    hash.i64(v.pos.x);
+    hash.i64(v.pos.y);
+    hash.i64(v.cut);
+  }
+}
+
+}  // namespace
+
+std::uint64_t Problem::canonical_hash() const {
+  CanonicalHasher hash;
+
+  // Layer stack: count plus every per-layer knob that prices or legalizes
+  // wire. A stack edit (direction, directedness, multipliers, height) must
+  // change the hash even when no cell's blocked-mask changes.
+  const LayerStack& stack = region_.layers();
+  hash.i64(stack.count());
+  for (int k = 0; k < stack.count(); ++k) {
+    const LayerSpec& spec = stack.spec(layer_at(k));
+    hash.byte(spec.preferred == Axis::kHorizontal ? 0 : 1);
+    hash.byte(spec.directed ? 1 : 0);
+    hash.i64(spec.wrong_way_mult);
+    hash.i64(spec.via_up_mult);
+  }
+
+  // Region geometry: bounds plus, per cell, the outline bit and the
+  // per-layer obstruction bits — exactly the state blocked() answers from.
+  const Rect& bounds = region_.bounds();
+  hash.i64(bounds.lo.x);
+  hash.i64(bounds.lo.y);
+  hash.i64(bounds.hi.x);
+  hash.i64(bounds.hi.y);
+  for (int y = bounds.lo.y; y <= bounds.hi.y; ++y) {
+    for (int x = bounds.lo.x; x <= bounds.hi.x; ++x) {
+      const Point p{x, y};
+      std::uint32_t cell = region_.in_region(p) ? 0u : 1u;
+      for (int k = 0; k < stack.count(); ++k)
+        if (region_.in_region(p) && region_.blocked({p, layer_at(k)}))
+          cell |= std::uint32_t{2} << k;
+      hash.u64(cell);
+    }
+  }
+
+  // Nets in canonical (name) order: declaration order is a spelling, not a
+  // property of the problem. Ties (duplicate names — an invalid problem)
+  // keep declaration order so the hash stays deterministic even then.
+  std::vector<const Net*> ordered;
+  ordered.reserve(nets_.size());
+  for (const Net& n : nets_) ordered.push_back(&n);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Net* a, const Net* b) { return a->name < b->name; });
+  hash.i64(static_cast<std::int64_t>(ordered.size()));
+  for (const Net* n : ordered) fold_net(hash, *n);
+
+  return hash.h;
+}
+
 // ---------------------------------------------------------------------------
 // ChannelSpec
 // ---------------------------------------------------------------------------

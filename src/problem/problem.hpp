@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -162,6 +163,22 @@ class Problem {
   /// Sum over nets of (pin_count - 1): the number of point-to-point
   /// connections a router must realize.
   int connection_count() const;
+
+  /// Canonical 64-bit content hash of the problem — the cache key of the
+  /// serving layer (src/service, DESIGN.md §2.2).
+  ///
+  /// Canonical means the hash identifies the *problem*, not one spelling of
+  /// it: nets are folded in name order, so two problems that differ only in
+  /// net declaration order hash equally, and a text-format round trip
+  /// (classic or `layers N` header) preserves the hash. Everything geometric
+  /// is covered — region outline, per-layer obstructions, the layer stack's
+  /// specs, every pin/pre-wire/pre-via, fixedness — so any change that could
+  /// change a routing result changes the hash.
+  ///
+  /// Equal hashes do NOT certify equal problems (64 bits, plus net-order
+  /// twins deliberately collide); consumers that need bit-identical results
+  /// must confirm identity exactly, as the service cache does.
+  std::uint64_t canonical_hash() const;
 
  private:
   Region region_;

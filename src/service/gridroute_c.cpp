@@ -1,0 +1,261 @@
+#include "service/gridroute_c.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "io/solution_format.hpp"
+#include "io/text_format.hpp"
+#include "service/routing_service.hpp"
+#include "util/status.hpp"
+
+namespace {
+
+using gridroute::ErrorCode;
+using gridroute::Problem;
+using gridroute::Status;
+using gridroute::service::JobOutcome;
+using gridroute::service::JobRequest;
+using gridroute::service::JobState;
+using gridroute::service::RoutingService;
+using gridroute::service::ServiceOptions;
+
+thread_local std::string g_last_error;
+
+void set_last_error(std::string message) { g_last_error = std::move(message); }
+
+gr_status map_code(ErrorCode code) {
+  // The enums are defined value-for-value; keep the switch anyway so a
+  // future taxonomy change fails loudly here instead of aliasing silently.
+  switch (code) {
+    case ErrorCode::kOk: return GR_STATUS_OK;
+    case ErrorCode::kParse: return GR_STATUS_PARSE;
+    case ErrorCode::kValidation: return GR_STATUS_VALIDATION;
+    case ErrorCode::kResource: return GR_STATUS_RESOURCE;
+    case ErrorCode::kCancelled: return GR_STATUS_CANCELLED;
+    case ErrorCode::kInternal: return GR_STATUS_INTERNAL;
+  }
+  return GR_STATUS_INTERNAL;
+}
+
+gr_status fail(const Status& status) {
+  set_last_error(status.to_string());
+  return map_code(status.code());
+}
+
+gr_status fail_validation(const char* message) {
+  set_last_error(message);
+  return GR_STATUS_VALIDATION;
+}
+
+/// Runs `body` with every exception fenced off the C boundary.
+template <typename Fn>
+gr_status guarded(Fn&& body) {
+  try {
+    return body();
+  } catch (const gridroute::StatusError& e) {
+    return fail(e.status());
+  } catch (const std::exception& e) {
+    set_last_error(e.what());
+    return GR_STATUS_INTERNAL;
+  } catch (...) {
+    set_last_error("unknown exception");
+    return GR_STATUS_INTERNAL;
+  }
+}
+
+char* copy_to_c_string(const std::string& text) {
+  char* out = static_cast<char*>(std::malloc(text.size() + 1));
+  if (out == nullptr) return nullptr;
+  std::memcpy(out, text.c_str(), text.size() + 1);
+  return out;
+}
+
+}  // namespace
+
+struct gr_problem {
+  std::shared_ptr<const Problem> problem;
+};
+
+struct gr_service {
+  std::unique_ptr<RoutingService> service;
+};
+
+struct gr_result {
+  JobOutcome outcome;  // carries the problem the job routed
+};
+
+extern "C" {
+
+const char* gr_status_name(gr_status status) {
+  switch (status) {
+    case GR_STATUS_OK: return "ok";
+    case GR_STATUS_PARSE: return "parse";
+    case GR_STATUS_VALIDATION: return "validation";
+    case GR_STATUS_RESOURCE: return "resource";
+    case GR_STATUS_CANCELLED: return "cancelled";
+    case GR_STATUS_INTERNAL: return "internal";
+  }
+  return "unknown";
+}
+
+const char* gr_last_error(void) { return g_last_error.c_str(); }
+
+gr_status gr_problem_parse(const char* text, gr_problem** out) {
+  if (out == nullptr) return fail_validation("out must not be NULL");
+  *out = nullptr;
+  if (text == nullptr) return fail_validation("text must not be NULL");
+  return guarded([&] {
+    auto parsed = gridroute::try_parse_problem_string(text, "<c-api>");
+    if (!parsed.ok()) return fail(parsed.status());
+    *out = new gr_problem{
+        std::make_shared<const Problem>(std::move(parsed).value())};
+    set_last_error("");
+    return GR_STATUS_OK;
+  });
+}
+
+void gr_problem_free(gr_problem* problem) { delete problem; }
+
+int gr_problem_net_count(const gr_problem* problem) {
+  return problem != nullptr ? problem->problem->net_count() : 0;
+}
+
+uint64_t gr_problem_canonical_hash(const gr_problem* problem) {
+  return problem != nullptr ? problem->problem->canonical_hash() : 0;
+}
+
+void gr_service_options_init(gr_service_options* options) {
+  if (options == nullptr) return;
+  const ServiceOptions defaults;
+  options->workers = defaults.workers;
+  options->max_queue_depth = defaults.max_queue_depth;
+  options->cache_capacity = defaults.cache_capacity;
+  options->prescreen = defaults.prescreen ? 1 : 0;
+  options->prescreen_max_utilization = defaults.prescreen_max_utilization;
+}
+
+void gr_job_options_init(gr_job_options* options) {
+  if (options == nullptr) return;
+  options->wall_ms = 0;
+  options->max_expansions = 0;
+  options->extra_attempts = 0;
+  options->improve_passes = 0;
+  options->use_cache = 1;
+}
+
+gr_status gr_service_create(const gr_service_options* options,
+                            gr_service** out) {
+  if (out == nullptr) return fail_validation("out must not be NULL");
+  *out = nullptr;
+  return guarded([&] {
+    ServiceOptions opts;
+    if (options != nullptr) {
+      opts.workers = options->workers;
+      opts.max_queue_depth = options->max_queue_depth;
+      opts.cache_capacity = options->cache_capacity;
+      opts.prescreen = options->prescreen != 0;
+      opts.prescreen_max_utilization = options->prescreen_max_utilization;
+    }
+    *out = new gr_service{std::make_unique<RoutingService>(opts)};
+    set_last_error("");
+    return GR_STATUS_OK;
+  });
+}
+
+void gr_service_free(gr_service* service) { delete service; }
+
+gr_status gr_service_submit(gr_service* service, const gr_problem* problem,
+                            const gr_job_options* options,
+                            uint64_t* out_job_id) {
+  if (out_job_id == nullptr)
+    return fail_validation("out_job_id must not be NULL");
+  *out_job_id = 0;
+  if (service == nullptr) return fail_validation("service must not be NULL");
+  if (problem == nullptr) return fail_validation("problem must not be NULL");
+  return guarded([&] {
+    JobRequest request;
+    request.problem = problem->problem;  // shares, never copies, the problem
+    if (options != nullptr) {
+      request.budget.wall_ms = options->wall_ms;
+      request.budget.max_expansions = options->max_expansions;
+      request.extra_attempts = options->extra_attempts;
+      request.improve_passes = options->improve_passes;
+      request.use_cache = options->use_cache != 0;
+    }
+    auto submitted = service->service->submit(std::move(request));
+    if (!submitted.ok()) return fail(submitted.status());
+    *out_job_id = *submitted;
+    set_last_error("");
+    return GR_STATUS_OK;
+  });
+}
+
+gr_status gr_service_wait(gr_service* service, uint64_t job_id,
+                          gr_result** out) {
+  if (out == nullptr) return fail_validation("out must not be NULL");
+  *out = nullptr;
+  if (service == nullptr) return fail_validation("service must not be NULL");
+  return guarded([&] {
+    auto outcome = service->service->wait(job_id);
+    if (!outcome.ok()) return fail(outcome.status());
+    *out = new gr_result{std::move(*outcome)};
+    set_last_error("");
+    return GR_STATUS_OK;
+  });
+}
+
+int gr_service_cancel(gr_service* service, uint64_t job_id) {
+  if (service == nullptr) return 0;
+  return service->service->cancel(job_id) ? 1 : 0;
+}
+
+gr_job_state gr_result_state(const gr_result* result) {
+  if (result == nullptr) return GR_JOB_CANCELLED;
+  switch (result->outcome.state) {
+    case JobState::kQueued: return GR_JOB_QUEUED;
+    case JobState::kRunning: return GR_JOB_RUNNING;
+    case JobState::kCompleted: return GR_JOB_COMPLETED;
+    case JobState::kRejected: return GR_JOB_REJECTED;
+    case JobState::kCancelled: return GR_JOB_CANCELLED;
+  }
+  return GR_JOB_CANCELLED;
+}
+
+int gr_result_from_cache(const gr_result* result) {
+  return result != nullptr && result->outcome.from_cache ? 1 : 0;
+}
+
+double gr_result_queue_wait_ms(const gr_result* result) {
+  return result != nullptr ? result->outcome.queue_wait_ms : 0;
+}
+
+int gr_result_has_solution(const gr_result* result) {
+  return result != nullptr && result->outcome.result != nullptr ? 1 : 0;
+}
+
+int gr_result_failed_net_count(const gr_result* result) {
+  if (result == nullptr || result->outcome.result == nullptr) return -1;
+  return static_cast<int>(result->outcome.result->failed.size());
+}
+
+char* gr_result_solution_string(const gr_result* result) {
+  if (result == nullptr || result->outcome.result == nullptr ||
+      result->outcome.problem == nullptr)
+    return nullptr;
+  try {
+    return copy_to_c_string(gridroute::solution_to_string(
+        *result->outcome.problem, result->outcome.result->grid));
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void gr_result_free(gr_result* result) { delete result; }
+
+void gr_string_free(char* text) { std::free(text); }
+
+}  // extern "C"

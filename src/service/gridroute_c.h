@@ -1,0 +1,149 @@
+/* gridroute_c.h — stable C ABI over the gridroute serving layer.
+ *
+ * This header is plain C (C89 declarations, C99 fixed-width ints): no C++
+ * type crosses the boundary. Clients parse problems, stand up a
+ * RoutingService, submit jobs, wait for results, and read results back
+ * through opaque handles and the accessor functions below.
+ *
+ * Contract (DESIGN.md §2.2):
+ *   - Every handle returned by a gr_*_create / gr_*_parse / gr_*_wait call
+ *     is owned by the caller and released with the matching gr_*_free.
+ *     Handles are not thread-safe individually, but a gr_service handle may
+ *     be shared across client threads (submit/wait/cancel are internally
+ *     synchronized).
+ *   - Functions returning gr_status never throw across the boundary; any
+ *     internal C++ exception is caught and mapped to GR_STATUS_INTERNAL.
+ *   - gr_last_error() returns the calling thread's last failure message
+ *     (empty string when the last call on this thread succeeded). The
+ *     pointer is valid until the thread's next gridroute call.
+ *   - Status codes mirror the C++ ErrorCode taxonomy one-to-one and are
+ *     append-only, as are these structs and prototypes.
+ */
+#ifndef GRIDROUTE_SERVICE_GRIDROUTE_C_H_
+#define GRIDROUTE_SERVICE_GRIDROUTE_C_H_
+
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* ErrorCode (src/util/status.hpp), value for value. */
+typedef enum gr_status {
+  GR_STATUS_OK = 0,
+  GR_STATUS_PARSE = 1,
+  GR_STATUS_VALIDATION = 2,
+  GR_STATUS_RESOURCE = 3,
+  GR_STATUS_CANCELLED = 4,
+  GR_STATUS_INTERNAL = 5
+} gr_status;
+
+/* service::JobState, value for value. */
+typedef enum gr_job_state {
+  GR_JOB_QUEUED = 0,
+  GR_JOB_RUNNING = 1,
+  GR_JOB_COMPLETED = 2,
+  GR_JOB_REJECTED = 3,
+  GR_JOB_CANCELLED = 4
+} gr_job_state;
+
+typedef struct gr_problem gr_problem;  /* a parsed routing problem */
+typedef struct gr_service gr_service;  /* a running RoutingService */
+typedef struct gr_result gr_result;    /* one job's terminal outcome */
+
+/* Stable short name ("ok", "parse", ...) for a status code. */
+const char* gr_status_name(gr_status status);
+
+/* Calling thread's last failure message; "" when the last call succeeded.
+ * Valid until this thread's next gridroute call. */
+const char* gr_last_error(void);
+
+/* ---- Problems ----------------------------------------------------------- */
+
+/* Parses the text problem format (io/text_format). On success stores a new
+ * handle in *out. On failure *out is NULL and the return names the error
+ * (GR_STATUS_PARSE for malformed text). */
+gr_status gr_problem_parse(const char* text, gr_problem** out);
+void gr_problem_free(gr_problem* problem);
+
+int gr_problem_net_count(const gr_problem* problem);
+/* Problem::canonical_hash(): net-declaration-order invariant, round-trip
+ * stable, sensitive to any geometric change. */
+uint64_t gr_problem_canonical_hash(const gr_problem* problem);
+
+/* ---- Service ------------------------------------------------------------ */
+
+/* service::ServiceOptions, flattened. Always initialize with
+ * gr_service_options_init before overriding fields — new fields keep their
+ * defaults in old client code that way. */
+typedef struct gr_service_options {
+  int workers;                       /* 0 = one per hardware thread */
+  int max_queue_depth;               /* admission bound */
+  int cache_capacity;                /* LRU entries; 0 disables caching */
+  int prescreen;                     /* nonzero enables the routability gate */
+  double prescreen_max_utilization;  /* admission ceiling when enabled */
+} gr_service_options;
+
+void gr_service_options_init(gr_service_options* options);
+
+/* Per-job knobs (JobRequest minus the problem). Initialize with
+ * gr_job_options_init. Router options ride the library defaults; the
+ * C surface deliberately exposes only the serving-level knobs. */
+typedef struct gr_job_options {
+  double wall_ms;            /* wall-clock budget; <= 0 = unlimited */
+  int64_t max_expansions;    /* search-pop budget; <= 0 = unlimited */
+  int extra_attempts;        /* multi-start restarts beyond the base run */
+  int improve_passes;        /* clean-up passes after each attempt */
+  int use_cache;             /* nonzero = result cache eligible */
+} gr_job_options;
+
+void gr_job_options_init(gr_job_options* options);
+
+gr_status gr_service_create(const gr_service_options* options,
+                            gr_service** out);
+/* Shuts the service down (cancelling queued jobs, finishing running ones)
+ * and releases it. */
+void gr_service_free(gr_service* service);
+
+/* Submits a copy of the problem; the caller may free it immediately after.
+ * On success stores the job id in *out_job_id. Admission rejections return
+ * GR_STATUS_RESOURCE (queue full / pre-screen) with gr_last_error() naming
+ * the reason. */
+gr_status gr_service_submit(gr_service* service, const gr_problem* problem,
+                            const gr_job_options* options,
+                            uint64_t* out_job_id);
+
+/* Blocks until the job is terminal; stores its outcome in *out. Consumes
+ * the service-side record: a second wait on the same id fails with
+ * GR_STATUS_VALIDATION. A cancelled job still returns GR_STATUS_OK here —
+ * the cancellation lives in the result's state. */
+gr_status gr_service_wait(gr_service* service, uint64_t job_id,
+                          gr_result** out);
+
+/* Nonzero when the cancel took effect (queued job dequeued, or running
+ * job's token raised); 0 for unknown/terminal jobs. */
+int gr_service_cancel(gr_service* service, uint64_t job_id);
+
+/* ---- Results ------------------------------------------------------------ */
+
+gr_job_state gr_result_state(const gr_result* result);
+int gr_result_from_cache(const gr_result* result);
+double gr_result_queue_wait_ms(const gr_result* result);
+/* Nonzero when the job carries a routed grid (completed, or cancelled
+ * mid-run with a partial result). */
+int gr_result_has_solution(const gr_result* result);
+/* Multi-pin nets left unrouted; -1 when there is no solution at all. */
+int gr_result_failed_net_count(const gr_result* result);
+/* The solution in the text solution format (io/solution_format), as a
+ * NUL-terminated string owned by the caller (release with gr_string_free).
+ * NULL when the job has no solution. */
+char* gr_result_solution_string(const gr_result* result);
+void gr_result_free(gr_result* result);
+
+void gr_string_free(char* text);
+
+#ifdef __cplusplus
+}  /* extern "C" */
+#endif
+
+#endif  /* GRIDROUTE_SERVICE_GRIDROUTE_C_H_ */

@@ -1,0 +1,516 @@
+#include "service/routing_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "io/text_format.hpp"
+
+namespace gridroute::service {
+
+using Clock = std::chrono::steady_clock;
+
+const char* reject_reason_name(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kQueueFull: return "queue_full";
+    case RejectReason::kPrescreen: return "prescreen";
+    case RejectReason::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kCompleted: return "completed";
+    case JobState::kRejected: return "rejected";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+double estimated_utilization(const Problem& problem) {
+  const long long capacity = problem.region().routable_node_count();
+  if (capacity <= 0) return problem.net_count() > 0 ? 2.0 : 0.0;
+  long long demand = 0;
+  for (const Net& net : problem.nets()) {
+    // Half-perimeter of the net's pin + pre-wire bounding box: no connected
+    // wire shape touching every pin can occupy fewer nodes.
+    bool any = false;
+    Point lo{0, 0}, hi{0, 0};
+    auto grow = [&](Point p) {
+      if (!any) {
+        lo = hi = p;
+        any = true;
+        return;
+      }
+      lo.x = std::min(lo.x, p.x);
+      lo.y = std::min(lo.y, p.y);
+      hi.x = std::max(hi.x, p.x);
+      hi.y = std::max(hi.y, p.y);
+    };
+    for (const Pin& pin : net.pins) grow(pin.pos);
+    for (const Segment& seg : net.prewire) {
+      grow(seg.a.pos);
+      grow(seg.b.pos);
+    }
+    if (any) demand += (hi.x - lo.x) + (hi.y - lo.y) + 1;
+  }
+  return static_cast<double>(demand) / static_cast<double>(capacity);
+}
+
+/// One job's service-side record. The atomic cancel token is what the
+/// job's BudgetGauge polls (RunBudget::cancel); everything else is guarded
+/// by RoutingService::mutex_.
+struct RoutingService::Job {
+  std::uint64_t id = 0;
+  JobRequest request;
+  JobState state = JobState::kQueued;
+  std::atomic<bool> cancel_token{false};
+  bool cancel_requested = false;  ///< cancel() reached a running job
+  Status status;
+  std::shared_ptr<const RouteResult> result;
+  bool from_cache = false;
+  Clock::time_point admitted_at;
+  double queue_wait_ms = 0;
+};
+
+struct RoutingService::CacheSlot {
+  std::uint64_t hash = 0;
+  std::string identity;
+  std::shared_ptr<const RouteResult> result;
+};
+
+RoutingService::RoutingService(ServiceOptions options)
+    : options_(std::move(options)) {
+  paused_ = options_.start_paused;
+  int workers = options_.workers;
+  if (workers <= 0)
+    workers =
+        static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i)
+    workers_.emplace_back([this] {
+      // One persistent arena per worker, lent to every plain-run job this
+      // worker executes; epoch stamping keeps the reuse bit-identical.
+      SearchArena arena;
+      worker_loop(&arena);
+    });
+}
+
+RoutingService::~RoutingService() { shutdown(); }
+
+void RoutingService::emit(const obs::TraceEvent& event) {
+  if (options_.trace != nullptr) options_.trace->on_event(event);
+}
+
+StatusOr<std::uint64_t> RoutingService::submit(JobRequest request) {
+  if (request.problem == nullptr)
+    return Status::validation_error("JobRequest::problem must be set");
+
+  auto job = std::make_shared<Job>();
+  job->request = std::move(request);
+
+  std::uint64_t id = 0;
+  std::optional<RejectReason> reject;
+  std::size_t depth_after = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    id = next_id_++;
+    job->id = id;
+    if (stopping_)
+      reject = RejectReason::kShutdown;
+    else if (static_cast<int>(queue_.size()) >= options_.max_queue_depth)
+      reject = RejectReason::kQueueFull;
+  }
+  emit(obs::TraceEvent::job(obs::EventKind::kJobSubmitted,
+                            static_cast<std::int64_t>(id)));
+  {
+    const std::lock_guard<std::mutex> lock(metrics_mutex_);
+    metrics_.counter("jobs_submitted").add();
+  }
+
+  // The pre-screen runs outside the queue lock — it reads only the
+  // (immutable) problem, and an O(cells) capacity scan must not serialize
+  // admissions behind it.
+  if (!reject && options_.prescreen &&
+      estimated_utilization(*job->request.problem) >
+          options_.prescreen_max_utilization)
+    reject = RejectReason::kPrescreen;
+
+  if (!reject) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // Re-check under the lock: admissions race, and the bound is hard.
+    if (stopping_)
+      reject = RejectReason::kShutdown;
+    else if (static_cast<int>(queue_.size()) >= options_.max_queue_depth)
+      reject = RejectReason::kQueueFull;
+    else {
+      job->admitted_at = Clock::now();
+      queue_.push_back(job);
+      jobs_.emplace(id, job);
+      depth_after = queue_.size();
+    }
+  }
+
+  if (reject) {
+    emit(obs::TraceEvent::job(obs::EventKind::kJobRejected,
+                              static_cast<std::int64_t>(id),
+                              static_cast<std::int64_t>(*reject)));
+    const char* name = reject_reason_name(*reject);
+    {
+      const std::lock_guard<std::mutex> lock(metrics_mutex_);
+      metrics_.counter(std::string("jobs_rejected_") + name).add();
+    }
+    const std::string message =
+        "job rejected at admission: " + std::string(name);
+    if (*reject == RejectReason::kShutdown)
+      return Status::cancelled(message);
+    return Status::resource_error(message);
+  }
+
+  emit(obs::TraceEvent::job(obs::EventKind::kJobAdmitted,
+                            static_cast<std::int64_t>(id),
+                            static_cast<std::int64_t>(depth_after)));
+  {
+    const std::lock_guard<std::mutex> lock(metrics_mutex_);
+    metrics_.counter("jobs_admitted").add();
+    auto& peak = metrics_.counter("peak_queue_depth");
+    if (static_cast<long long>(depth_after) > peak.value())
+      peak.add(static_cast<long long>(depth_after) - peak.value());
+  }
+  work_cv_.notify_one();
+  return id;
+}
+
+void RoutingService::worker_loop(SearchArena* arena) {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] {
+        return stopping_ || (!paused_ && !queue_.empty());
+      });
+      if (stopping_) return;  // shutdown() finalizes what is still queued
+      job = queue_.front();
+      queue_.pop_front();
+      job->state = JobState::kRunning;
+      job->queue_wait_ms = std::chrono::duration<double, std::milli>(
+                               Clock::now() - job->admitted_at)
+                               .count();
+      ++running_jobs_;
+    }
+    execute(job, arena);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --running_jobs_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+bool RoutingService::cacheable(const JobRequest& request) {
+  // Only runs whose result is a pure function of (problem, options) may be
+  // served from or inserted into the cache: a wall deadline or an external
+  // cancel token makes the outcome timing-dependent, and an expansion
+  // ceiling is deterministic but is part of neither the problem nor the
+  // rendered options — simplest to keep budgeted runs out entirely.
+  return request.use_cache && request.budget.unlimited();
+}
+
+std::string RoutingService::cache_identity(const JobRequest& request) {
+  const RouterOptions& o = request.options;
+  std::ostringstream key;
+  // Every decision-relevant knob, rendered; threads/net_threads/log are
+  // deliberately absent (results are proven identical across them).
+  key << "v1 step=" << o.costs.step << " via=" << o.costs.via
+      << " bend=" << o.costs.bend << " wrong_way=" << o.costs.wrong_way
+      << " push=" << o.costs.push << " push_via=" << o.costs.push_via_extra
+      << " future=" << static_cast<int>(o.future_cost)
+      << " weak=" << o.enable_weak << " strong=" << o.enable_strong
+      << " ripups=" << o.max_ripups_per_net
+      << " repair=" << o.max_repair_steps
+      << " probes=" << o.weak_probe_retries << " retries=" << o.retry_passes
+      << " order=" << static_cast<int>(o.ordering)
+      << " seed=" << o.shuffle_seed
+      << " extra=" << request.extra_attempts
+      << " improve=" << request.improve_passes << '\n';
+  write_problem(key, *request.problem);
+  return std::move(key).str();
+}
+
+std::shared_ptr<const RouteResult> RoutingService::cache_lookup(
+    std::uint64_t hash, const std::string& identity) {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto bucket = cache_index_.find(hash);
+  if (bucket == cache_index_.end()) return nullptr;
+  for (auto it : bucket->second) {
+    if (it->identity != identity) continue;  // net-order twin or collision
+    cache_lru_.splice(cache_lru_.begin(), cache_lru_, it);
+    return it->result;
+  }
+  return nullptr;
+}
+
+void RoutingService::cache_insert(std::uint64_t hash, std::string identity,
+                                  std::shared_ptr<const RouteResult> result) {
+  if (options_.cache_capacity <= 0) return;
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto& slots = cache_index_[hash];
+  for (auto it : slots)
+    if (it->identity == identity) {  // racing duplicate insert: refresh LRU
+      cache_lru_.splice(cache_lru_.begin(), cache_lru_, it);
+      return;
+    }
+  cache_lru_.push_front({hash, std::move(identity), std::move(result)});
+  slots.push_back(cache_lru_.begin());
+  while (static_cast<int>(cache_lru_.size()) > options_.cache_capacity) {
+    auto victim = std::prev(cache_lru_.end());
+    auto& vslots = cache_index_[victim->hash];
+    vslots.erase(std::find(vslots.begin(), vslots.end(), victim));
+    if (vslots.empty()) cache_index_.erase(victim->hash);
+    cache_lru_.pop_back();
+  }
+}
+
+void RoutingService::execute(const std::shared_ptr<Job>& job,
+                             SearchArena* arena) {
+  emit(obs::TraceEvent::job(
+      obs::EventKind::kJobStarted, static_cast<std::int64_t>(job->id),
+      static_cast<std::int64_t>(job->queue_wait_ms)));
+  {
+    const std::lock_guard<std::mutex> lock(metrics_mutex_);
+    metrics_.counter("jobs_started").add();
+    metrics_.timer("queue_wait_ms").record_ms(job->queue_wait_ms);
+  }
+
+  const JobRequest& request = job->request;
+  const bool use_cache = options_.cache_capacity > 0 && cacheable(request);
+  std::uint64_t hash = 0;
+  std::string identity;
+  if (use_cache) {
+    hash = request.problem->canonical_hash();
+    identity = cache_identity(request);
+    if (std::shared_ptr<const RouteResult> hit = cache_lookup(hash, identity)) {
+      emit(obs::TraceEvent::job(obs::EventKind::kJobCachedHit,
+                                static_cast<std::int64_t>(job->id),
+                                static_cast<std::int64_t>(hash)));
+      obs::TraceEvent done;
+      {
+        const std::lock_guard<std::mutex> lock(metrics_mutex_);
+        metrics_.counter("cache_hits").add();
+      }
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        job->result = hit;
+        job->from_cache = true;
+        done = finalize_locked(job, JobState::kCompleted, Status());
+      }
+      emit(done);
+      return;
+    }
+  }
+
+  RouteRequest route_request;
+  route_request.problem = request.problem.get();
+  route_request.options = request.options;
+  route_request.budget = request.budget;
+  route_request.budget.cancel = &job->cancel_token;  // service cancellation
+  route_request.trace = request.trace;
+  route_request.extra_attempts = request.extra_attempts;
+  route_request.improve_passes = request.improve_passes;
+  if (request.extra_attempts <= 0) route_request.arena = arena;
+
+  auto result = std::make_shared<RouteResult>(route(route_request));
+
+  const bool was_cancelled =
+      job->cancel_token.load(std::memory_order_relaxed);
+  if (use_cache && !was_cancelled && !result->budget_exhausted) {
+    bool sink_tripped = false;
+    for (const Degradation& d : result->degradation)
+      sink_tripped |= d.kind == Degradation::Kind::kSinkDisabled;
+    if (!sink_tripped) cache_insert(hash, std::move(identity), result);
+  }
+
+  obs::TraceEvent done;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job->result = std::move(result);
+    if (was_cancelled) {
+      done = finalize_locked(job, JobState::kCancelled,
+                             Status::cancelled("job cancelled while running; "
+                                               "partial result attached"));
+    } else {
+      done = finalize_locked(job, JobState::kCompleted, Status());
+    }
+  }
+  emit(done);
+}
+
+obs::TraceEvent RoutingService::finalize_locked(
+    const std::shared_ptr<Job>& job, JobState state, Status status) {
+  job->state = state;
+  job->status = std::move(status);
+  {
+    const std::lock_guard<std::mutex> lock(metrics_mutex_);
+    metrics_
+        .counter(state == JobState::kCancelled ? "jobs_cancelled"
+                                               : "jobs_completed")
+        .add();
+  }
+  if (state == JobState::kCancelled)
+    return obs::TraceEvent::job(obs::EventKind::kJobCancelled,
+                                static_cast<std::int64_t>(job->id),
+                                /*extra=*/0,
+                                /*ok=*/job->result != nullptr);
+  const bool clean = job->result != nullptr && job->result->complete() &&
+                     job->result->degradation.empty();
+  return obs::TraceEvent::job(obs::EventKind::kJobCompleted,
+                              static_cast<std::int64_t>(job->id),
+                              /*extra=*/0, clean);
+}
+
+StatusOr<JobOutcome> RoutingService::wait(std::uint64_t id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end())
+    return Status::validation_error("unknown job id " + std::to_string(id));
+  const std::shared_ptr<Job> job = it->second;
+  done_cv_.wait(lock, [&] {
+    return job->state == JobState::kCompleted ||
+           job->state == JobState::kCancelled;
+  });
+  JobOutcome outcome;
+  outcome.id = job->id;
+  outcome.state = job->state;
+  outcome.status = job->status;
+  outcome.result = job->result;
+  outcome.problem = job->request.problem;
+  outcome.from_cache = job->from_cache;
+  outcome.queue_wait_ms = job->queue_wait_ms;
+  jobs_.erase(id);  // wait() consumes the record
+  return outcome;
+}
+
+std::optional<JobOutcome> RoutingService::try_outcome(std::uint64_t id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  const Job& job = *it->second;
+  if (job.state != JobState::kCompleted && job.state != JobState::kCancelled)
+    return std::nullopt;
+  JobOutcome outcome;
+  outcome.id = job.id;
+  outcome.state = job.state;
+  outcome.status = job.status;
+  outcome.result = job.result;
+  outcome.problem = job.request.problem;
+  outcome.from_cache = job.from_cache;
+  outcome.queue_wait_ms = job.queue_wait_ms;
+  return outcome;
+}
+
+bool RoutingService::cancel(std::uint64_t id) {
+  obs::TraceEvent event;
+  bool emit_event = false;
+  bool cancelled = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) return false;
+    const std::shared_ptr<Job>& job = it->second;
+    if (job->state == JobState::kQueued) {
+      auto qit = std::find(queue_.begin(), queue_.end(), job);
+      if (qit != queue_.end()) queue_.erase(qit);
+      event = finalize_locked(job, JobState::kCancelled,
+                              Status::cancelled("job cancelled while queued"));
+      emit_event = true;
+      cancelled = true;
+    } else if (job->state == JobState::kRunning && !job->cancel_requested) {
+      // The worker observes the token at the next budget checkpoint and
+      // finalizes the job (kJobCancelled, partial result) itself.
+      job->cancel_requested = true;
+      job->cancel_token.store(true, std::memory_order_relaxed);
+      cancelled = true;
+    }
+  }
+  if (emit_event) {
+    emit(event);
+    done_cv_.notify_all();
+  }
+  return cancelled;
+}
+
+void RoutingService::pause() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = true;
+}
+
+void RoutingService::resume() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+void RoutingService::shutdown() {
+  std::vector<obs::TraceEvent> events;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stopping_) {
+      // Idempotent second call: workers are already gone or going.
+      lock.unlock();
+    } else {
+      stopping_ = true;
+      while (!queue_.empty()) {
+        const std::shared_ptr<Job> job = queue_.front();
+        queue_.pop_front();
+        events.push_back(
+            finalize_locked(job, JobState::kCancelled,
+                            Status::cancelled("service shut down before the "
+                                              "job ran")));
+      }
+      lock.unlock();
+    }
+  }
+  for (const obs::TraceEvent& e : events) emit(e);
+  if (!events.empty()) done_cv_.notify_all();
+  work_cv_.notify_all();
+  for (std::thread& t : workers_)
+    if (t.joinable()) t.join();
+  workers_.clear();
+}
+
+ServiceStats RoutingService::stats() const {
+  ServiceStats out;
+  {
+    const std::lock_guard<std::mutex> lock(metrics_mutex_);
+    const obs::MetricsSnapshot snap = metrics_.snapshot();
+    out.submitted = snap.counter("jobs_submitted");
+    out.admitted = snap.counter("jobs_admitted");
+    out.rejected_queue_full = snap.counter("jobs_rejected_queue_full");
+    out.rejected_prescreen = snap.counter("jobs_rejected_prescreen");
+    out.started = snap.counter("jobs_started");
+    out.cache_hits = snap.counter("cache_hits");
+    out.completed = snap.counter("jobs_completed");
+    out.cancelled = snap.counter("jobs_cancelled");
+    out.peak_queue_depth = snap.counter("peak_queue_depth");
+    for (const auto& timer : snap.timers)
+      if (timer.name == "queue_wait_ms") out.total_queue_wait_ms = timer.total_ms;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out.queue_depth = static_cast<long long>(queue_.size());
+  }
+  return out;
+}
+
+obs::MetricsSnapshot RoutingService::metrics() const {
+  const std::lock_guard<std::mutex> lock(metrics_mutex_);
+  return metrics_.snapshot();
+}
+
+}  // namespace gridroute::service

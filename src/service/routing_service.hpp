@@ -1,0 +1,260 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/api.hpp"
+#include "obs/budget.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "search/search_arena.hpp"
+#include "util/status.hpp"
+
+namespace gridroute::service {
+
+/// Why admission declined a job (kJobRejected's `extra` payload, and the
+/// reason named in the rejection Status).
+enum class RejectReason : std::uint8_t {
+  kQueueFull,    ///< the bounded queue was at max_queue_depth
+  kPrescreen,    ///< the routability estimate called the job hopeless
+  kShutdown,     ///< the service is shutting down
+};
+
+const char* reject_reason_name(RejectReason reason);
+
+/// Configuration of a RoutingService. The defaults are a small
+/// single-worker service with caching on and the pre-screen off — the
+/// shape the examples and the C ABI default options mirror.
+struct ServiceOptions {
+  /// Worker threads executing jobs. 0 = one per hardware thread (at least
+  /// 1). Each worker owns one SearchArena reused across every job it runs
+  /// (epoch stamping makes the reuse bit-identical to fresh scratch).
+  int workers = 1;
+  /// Admission control: a submit that would push the queue past this depth
+  /// is rejected (RejectReason::kQueueFull) instead of queued — bounded
+  /// latency beats unbounded backlog. Running jobs do not count.
+  int max_queue_depth = 64;
+  /// Result-cache entries (LRU). 0 disables caching.
+  int cache_capacity = 128;
+  /// Admission pre-screen in the spirit of predict-before-route: estimate
+  /// each job's demand/capacity utilization (estimated_utilization) and
+  /// reject jobs above prescreen_max_utilization without burning a routing
+  /// attempt. Off by default — an estimate this cheap has false alarms.
+  bool prescreen = false;
+  /// Utilization ceiling for the pre-screen. At the default 1.0 only
+  /// provably infeasible jobs (wirelength lower bound exceeding routable
+  /// capacity) are declined; production deployments tune it lower.
+  double prescreen_max_utilization = 1.0;
+  /// Construct the service paused: jobs queue (and are admission-checked)
+  /// but no worker pops until resume(). Deterministic queue-state control
+  /// for tests and drain-style operations.
+  bool start_paused = false;
+  /// Job lifecycle event sink (kJobSubmitted .. kJobCancelled; null = off).
+  /// Must be thread-safe — every worker and every submitting client emits
+  /// into it (all of obs/sinks.hpp qualifies).
+  obs::TraceSink* trace = nullptr;
+};
+
+/// One job: everything route(RouteRequest) needs, with the problem owned
+/// (shared) so the client may release its copy immediately after submit —
+/// the lifetime discipline a long-lived service needs, in contrast to the
+/// borrowed `const Problem*` of the library-level RouteRequest.
+struct JobRequest {
+  std::shared_ptr<const Problem> problem;  ///< required
+  RouterOptions options;
+  /// Per-job deadline/ceiling. The service adds its own cancellation token
+  /// on top (RunBudget::cancel), so cancel() stops a running job at the
+  /// next budget checkpoint with a verifiable partial result.
+  obs::RunBudget budget;
+  int extra_attempts = 0;   ///< multi-start restarts (see RouteRequest)
+  int improve_passes = 0;   ///< clean-up passes (see RouteRequest)
+  /// Opt out of the result cache for this job (both lookup and insert).
+  bool use_cache = true;
+  /// Optional per-job routing-event sink (the library's net/search/etc.
+  /// events, not the service lifecycle stream). Must be thread-safe.
+  obs::TraceSink* trace = nullptr;
+};
+
+/// Lifecycle of a job. kRejected never enters the queue; kCancelled covers
+/// both a queued job that never ran and a running job stopped mid-flight
+/// (the latter carries a verifiable partial result).
+enum class JobState : std::uint8_t {
+  kQueued,
+  kRunning,
+  kCompleted,
+  kRejected,
+  kCancelled,
+};
+
+const char* job_state_name(JobState state);
+
+/// Terminal report for one job, returned by wait() (which consumes the
+/// job's service-side record) or peeked by try_outcome().
+struct JobOutcome {
+  std::uint64_t id = 0;
+  JobState state = JobState::kQueued;
+  /// Ok for completed jobs (including degraded-but-served results — those
+  /// carry their own RouteResult::status); kCancelled for cancellations.
+  Status status;
+  /// The routing result. Null when the job never ran (cancelled while
+  /// queued). Shared: a cache-served outcome aliases the cached entry.
+  std::shared_ptr<const RouteResult> result;
+  /// The problem the job routed — returned so consumers that released their
+  /// own copy after submit (the intended lifetime pattern, and what the C
+  /// ABI does) can still serialize/verify the solution against it.
+  std::shared_ptr<const Problem> problem;
+  bool from_cache = false;
+  double queue_wait_ms = 0;  ///< admission -> start (0 when never started)
+};
+
+/// Counter snapshot of a service's lifetime (see RoutingService::stats;
+/// assembled from the service's obs::MetricsRegistry).
+struct ServiceStats {
+  long long submitted = 0;
+  long long admitted = 0;
+  long long rejected_queue_full = 0;
+  long long rejected_prescreen = 0;
+  long long started = 0;
+  long long cache_hits = 0;
+  long long completed = 0;
+  long long cancelled = 0;
+  long long queue_depth = 0;       ///< current
+  long long peak_queue_depth = 0;
+  double total_queue_wait_ms = 0;  ///< summed over started jobs
+};
+
+/// Cheap routability estimate used by the admission pre-screen: the sum of
+/// every net's half-perimeter wirelength lower bound (pins + pre-wire
+/// bounding box) divided by the region's routable node count. A value
+/// above 1.0 proves the job infeasible — the wire demanded cannot fit —
+/// and values approaching 1.0 predict heavy modification effort. O(pins)
+/// after one O(cells) capacity scan; never routes anything.
+double estimated_utilization(const Problem& problem);
+
+/// A long-lived serving front-end over route(RouteRequest): the library
+/// becomes a system — a bounded job queue with admission control, a
+/// persistent worker pool reusing per-worker search arenas, an LRU result
+/// cache keyed by Problem::canonical_hash(), per-job deadlines and
+/// cancellation riding obs::RunBudget, and a job lifecycle event/metrics
+/// stream through src/obs (DESIGN.md §2.2).
+///
+/// Determinism contract: for any admitted job, the RouteResult delivered —
+/// fresh, or served from the cache — is bit-identical (layout, failed,
+/// decision stats, degradation) to a direct route(RouteRequest) call with
+/// the same problem and options. The cache guarantees this by confirming
+/// exact problem/options identity on every hash hit; wall-clock fields are
+/// the only exception (a cached result reports the original run's times).
+///
+/// Thread-safe throughout: any number of client threads may submit, wait,
+/// and cancel concurrently with the workers.
+class RoutingService {
+ public:
+  explicit RoutingService(ServiceOptions options = {});
+  /// Shuts down: stops admissions, cancels queued jobs, lets running jobs
+  /// finish, joins the workers.
+  ~RoutingService();
+
+  RoutingService(const RoutingService&) = delete;
+  RoutingService& operator=(const RoutingService&) = delete;
+
+  /// Admission: validates the request shape, applies the queue-depth bound
+  /// and (when enabled) the routability pre-screen, and either enqueues the
+  /// job — returning its id — or rejects it with a Status naming the
+  /// RejectReason (ErrorCode::kResource; kCancelled when shutting down).
+  /// A null problem is ErrorCode::kValidation.
+  StatusOr<std::uint64_t> submit(JobRequest request);
+
+  /// Blocks until the job reaches a terminal state and returns its outcome,
+  /// consuming the service-side record (a second wait on the same id is
+  /// ErrorCode::kValidation "unknown job").
+  StatusOr<JobOutcome> wait(std::uint64_t id);
+
+  /// Non-blocking peek: the outcome if the job is terminal, std::nullopt if
+  /// still queued/running or unknown. Never consumes the record.
+  std::optional<JobOutcome> try_outcome(std::uint64_t id) const;
+
+  /// Cancels a job. Queued: it is finalized as kCancelled without running.
+  /// Running: the job's budget-riding cancel token is raised and the worker
+  /// finalizes it as kCancelled with the partial result at the next budget
+  /// checkpoint. Terminal/unknown: returns false.
+  bool cancel(std::uint64_t id);
+
+  /// Pauses/resumes the workers (queued jobs hold; admission continues).
+  void pause();
+  void resume();
+
+  /// Stops admissions, cancels every queued job, waits for running jobs,
+  /// joins the workers. Idempotent; the destructor calls it.
+  void shutdown();
+
+  ServiceStats stats() const;
+  /// Full registry export (counters + queue-wait/run-time histograms).
+  obs::MetricsSnapshot metrics() const;
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct Job;
+  struct CacheSlot;
+
+  void worker_loop(SearchArena* arena);
+  /// Executes one job on a worker: cache lookup, route(), cache insert,
+  /// finalization. `arena` is the worker's persistent search scratch.
+  void execute(const std::shared_ptr<Job>& job, SearchArena* arena);
+  /// Marks the job terminal, bumps the terminal counter, wakes waiters
+  /// (caller must hold mutex_). Returns the lifecycle event to emit after
+  /// the lock is released.
+  obs::TraceEvent finalize_locked(const std::shared_ptr<Job>& job,
+                                  JobState state, Status status);
+  void emit(const obs::TraceEvent& event);
+
+  /// Exact cache identity: decision-relevant options rendered to text plus
+  /// the canonical problem serialization. Hash buckets may collide (and
+  /// net-order twins collide by design) — equality of this string is what
+  /// certifies a hit bit-identical.
+  static std::string cache_identity(const JobRequest& request);
+  static bool cacheable(const JobRequest& request);
+
+  std::shared_ptr<const RouteResult> cache_lookup(std::uint64_t hash,
+                                                  const std::string& identity);
+  void cache_insert(std::uint64_t hash, std::string identity,
+                    std::shared_ptr<const RouteResult> result);
+
+  ServiceOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< workers: queue/pause/stop changes
+  std::condition_variable done_cv_;   ///< clients: job reached terminal state
+  std::deque<std::shared_ptr<Job>> queue_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+  std::uint64_t next_id_ = 1;
+  bool paused_ = false;
+  bool stopping_ = false;
+  int running_jobs_ = 0;
+
+  // Result cache: LRU list of slots, index from canonical hash to the slots
+  // carrying it (several when identities collide under one hash).
+  mutable std::mutex cache_mutex_;
+  std::list<CacheSlot> cache_lru_;  ///< most recently used at front
+  std::unordered_map<std::uint64_t, std::vector<std::list<CacheSlot>::iterator>>
+      cache_index_;
+
+  // Metrics (registry shared by workers and clients, guarded by its own
+  // mutex — obs::MetricsRegistry itself is single-thread by contract).
+  mutable std::mutex metrics_mutex_;
+  obs::MetricsRegistry metrics_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gridroute::service

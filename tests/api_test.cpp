@@ -14,65 +14,41 @@ TEST(Api, NullProblemThrows) {
   EXPECT_THROW(route(RouteRequest{}), std::invalid_argument);
 }
 
-TEST(Api, PlainRunMatchesLegacyRoute) {
-  // The legacy route() is now a wrapper over route(RouteRequest); both
-  // shapes must produce the same grid and counters.
+TEST(Api, PlainRunReportsItselfAsAttemptZero) {
   const Problem p = suite::dense_switchbox().to_problem();
-  const RoutedDesign legacy = route(p);
-
   RouteRequest request;
   request.problem = &p;
   const RouteResult result = route(request);
 
-  EXPECT_EQ(result.grid.total_nodes(), legacy.grid.total_nodes());
-  EXPECT_EQ(result.grid.total_vias(), legacy.grid.total_vias());
-  EXPECT_EQ(result.failed, legacy.outcome.failed);
-  EXPECT_EQ(result.stats.nets_routed, legacy.outcome.stats.nets_routed);
-  EXPECT_EQ(result.stats.expansions, legacy.outcome.stats.expansions);
-
-  // The legacy shape reports no attempts after a plain route(); the new
-  // shape reports itself as attempt 0.
-  EXPECT_TRUE(legacy.attempts.empty());
   ASSERT_EQ(result.attempts.size(), 1u);
   EXPECT_EQ(result.attempts[0].index, 0);
   EXPECT_TRUE(result.attempts[0].ran);
   EXPECT_EQ(result.attempts[0].expansions, result.stats.expansions);
+  EXPECT_TRUE(verify(p, result.grid).drc_clean());
 }
 
-TEST(Api, MultiStartMatchesLegacyBestOf) {
+TEST(Api, MultiStartIsThreadCountInvariant) {
   const Problem p = suite::burstein_class_switchbox().to_problem();
-  RouterOptions options;
-  options.threads = 2;
-  const RoutedDesign legacy = route_best_of(p, 3, options);
-
   RouteRequest request;
   request.problem = &p;
-  request.options = options;
+  request.options.threads = 1;
   request.extra_attempts = 3;
-  const RouteResult result = route(request);
+  const RouteResult serial = route(request);
 
-  EXPECT_EQ(result.winning_attempt, legacy.winning_attempt);
-  EXPECT_EQ(result.winning_seed, legacy.winning_seed);
-  EXPECT_EQ(result.grid.total_nodes(), legacy.grid.total_nodes());
-  EXPECT_EQ(result.grid.total_vias(), legacy.grid.total_vias());
-  EXPECT_EQ(result.failed, legacy.outcome.failed);
-  ASSERT_EQ(result.attempts.size(), 4u);
-  ASSERT_EQ(legacy.attempts.size(), 4u);
-  for (std::size_t i = 0; i < result.attempts.size(); ++i) {
-    EXPECT_EQ(result.attempts[i].seed, legacy.attempts[i].seed);
-    EXPECT_EQ(result.attempts[i].nets_routed, legacy.attempts[i].nets_routed);
+  request.options.threads = 2;
+  const RouteResult pooled = route(request);
+
+  EXPECT_EQ(pooled.winning_attempt, serial.winning_attempt);
+  EXPECT_EQ(pooled.winning_seed, serial.winning_seed);
+  EXPECT_EQ(pooled.grid.total_nodes(), serial.grid.total_nodes());
+  EXPECT_EQ(pooled.grid.total_vias(), serial.grid.total_vias());
+  EXPECT_EQ(pooled.failed, serial.failed);
+  ASSERT_EQ(pooled.attempts.size(), 4u);
+  ASSERT_EQ(serial.attempts.size(), 4u);
+  for (std::size_t i = 0; i < pooled.attempts.size(); ++i) {
+    EXPECT_EQ(pooled.attempts[i].seed, serial.attempts[i].seed);
+    EXPECT_EQ(pooled.attempts[i].nets_routed, serial.attempts[i].nets_routed);
   }
-}
-
-TEST(Api, OutcomeIsTheLegacyView) {
-  const Problem p = suite::cross_switchbox().to_problem();
-  RouteRequest request;
-  request.problem = &p;
-  const RouteResult result = route(request);
-  const RouteOutcome outcome = result.outcome();
-  EXPECT_EQ(outcome.failed, result.failed);
-  EXPECT_EQ(outcome.stats.nets_routed, result.stats.nets_routed);
-  EXPECT_EQ(outcome.complete(), result.complete());
 }
 
 TEST(Api, TotalExpansionsSumsAttemptsThatRan) {
@@ -126,19 +102,15 @@ TEST(Api, MetricsSnapshotTravelsWithTheResult) {
             result.stats.nets_attempted);
 }
 
-TEST(Api, ChannelLadderMatchesLegacyWrapper) {
+TEST(Api, ChannelLadderRoutesAtDensity) {
   const ChannelSpec spec = suite::simple_channel();
   const ChannelRouteResult routed = route_channel(spec);
-  const IncrementalChannelResult legacy = route_channel_incremental(spec);
 
   ASSERT_TRUE(routed.success);
-  ASSERT_TRUE(legacy.success);
-  EXPECT_EQ(routed.tracks, legacy.tracks);
-  EXPECT_EQ(routed.wire_nodes, legacy.wire_nodes);
-  EXPECT_EQ(routed.vias, legacy.vias);
+  EXPECT_GE(routed.tracks, spec.density());
   ASSERT_TRUE(routed.result.has_value());
   EXPECT_TRUE(routed.result->complete());
-  EXPECT_EQ(routed.result->stats.nets_routed, legacy.stats.nets_routed);
+  EXPECT_GT(routed.wire_nodes, 0);
 }
 
 TEST(Api, ChannelLadderCarriesTheBudget) {

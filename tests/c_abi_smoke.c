@@ -1,0 +1,134 @@
+/* C ABI smoke test — compiled as plain C (C11), linked against the C++
+ * libraries. Exercises the whole gr_* surface end to end: parse, hash,
+ * service lifecycle, submit/wait, cache resubmit, solution readback,
+ * error reporting. Exits nonzero (with a message on stderr) on the first
+ * failed expectation; the test harness only checks the exit code. */
+
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#include "service/gridroute_c.h"
+
+static int g_failures = 0;
+
+#define CHECK(cond)                                                     \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      fprintf(stderr, "FAIL %s:%d: %s (last error: %s)\n", __FILE__,    \
+              __LINE__, #cond, gr_last_error());                        \
+      ++g_failures;                                                     \
+    }                                                                   \
+  } while (0)
+
+static const char kProblemText[] =
+    "region 9 9\n"
+    "net h\n"
+    "pin 0 4 m1\n"
+    "pin 8 4 m1\n"
+    "net v\n"
+    "pin 4 0 m2\n"
+    "pin 4 8 m2\n";
+
+/* Same nets, declared in the opposite order. */
+static const char kReorderedText[] =
+    "region 9 9\n"
+    "net v\n"
+    "pin 4 0 m2\n"
+    "pin 4 8 m2\n"
+    "net h\n"
+    "pin 0 4 m1\n"
+    "pin 8 4 m1\n";
+
+int main(void) {
+  gr_problem* problem = NULL;
+  gr_problem* twin = NULL;
+  gr_problem* bad = NULL;
+  gr_service* service = NULL;
+  gr_service_options service_options;
+  gr_job_options job_options;
+  gr_result* first = NULL;
+  gr_result* second = NULL;
+  gr_result* missing = NULL;
+  uint64_t job_a = 0;
+  uint64_t job_b = 0;
+  char* solution = NULL;
+
+  /* Status names are part of the stable surface. */
+  CHECK(strcmp(gr_status_name(GR_STATUS_OK), "ok") == 0);
+  CHECK(gr_last_error() != NULL);
+  CHECK(gr_last_error()[0] == '\0');
+
+  /* Malformed text: typed parse error, NULL handle, message available. */
+  CHECK(gr_problem_parse("region nope\n", &bad) == GR_STATUS_PARSE);
+  CHECK(bad == NULL);
+  CHECK(strlen(gr_last_error()) > 0);
+
+  CHECK(gr_problem_parse(kProblemText, &problem) == GR_STATUS_OK);
+  CHECK(problem != NULL);
+  CHECK(gr_problem_net_count(problem) == 2);
+
+  /* canonical_hash: net-order invariant across the boundary too. */
+  CHECK(gr_problem_parse(kReorderedText, &twin) == GR_STATUS_OK);
+  CHECK(gr_problem_canonical_hash(problem) != 0);
+  CHECK(gr_problem_canonical_hash(problem) ==
+        gr_problem_canonical_hash(twin));
+
+  gr_service_options_init(&service_options);
+  service_options.workers = 1;
+  CHECK(gr_service_create(&service_options, &service) == GR_STATUS_OK);
+  CHECK(service != NULL);
+
+  gr_job_options_init(&job_options);
+  CHECK(gr_service_submit(service, problem, &job_options, &job_a) ==
+        GR_STATUS_OK);
+
+  CHECK(gr_service_wait(service, job_a, &first) == GR_STATUS_OK);
+  CHECK(first != NULL);
+  CHECK(gr_result_state(first) == GR_JOB_COMPLETED);
+  CHECK(gr_result_from_cache(first) == 0);
+  CHECK(gr_result_queue_wait_ms(first) >= 0.0);
+  CHECK(gr_result_has_solution(first));
+  CHECK(gr_result_failed_net_count(first) == 0);
+
+  solution = gr_result_solution_string(first);
+  CHECK(solution != NULL);
+  CHECK(strlen(solution) > 0);
+
+  /* Waiting again on a consumed id is a validation error. */
+  CHECK(gr_service_wait(service, job_a, &missing) == GR_STATUS_VALIDATION);
+  CHECK(missing == NULL);
+
+  /* Resubmitting the identical problem hits the cache, bit-identically. */
+  CHECK(gr_service_submit(service, problem, &job_options, &job_b) ==
+        GR_STATUS_OK);
+  CHECK(job_b != job_a);
+  CHECK(gr_service_wait(service, job_b, &second) == GR_STATUS_OK);
+  CHECK(gr_result_state(second) == GR_JOB_COMPLETED);
+  CHECK(gr_result_from_cache(second) != 0);
+  {
+    char* cached = gr_result_solution_string(second);
+    CHECK(cached != NULL);
+    CHECK(solution != NULL && cached != NULL &&
+          strcmp(cached, solution) == 0);
+    gr_string_free(cached);
+  }
+
+  /* Cancelling a terminal (consumed) job is a no-op. */
+  CHECK(gr_service_cancel(service, job_b) == 0);
+
+  gr_string_free(solution);
+  gr_result_free(first);
+  gr_result_free(second);
+  gr_service_free(service);
+  gr_problem_free(problem);
+  gr_problem_free(twin);
+  gr_problem_free(bad); /* freeing NULL is legal */
+
+  if (g_failures > 0) {
+    fprintf(stderr, "%d failure(s)\n", g_failures);
+    return 1;
+  }
+  printf("c_abi_smoke: all checks passed\n");
+  return 0;
+}

@@ -1,0 +1,176 @@
+// Problem::canonical_hash() — the serving layer's cache key. The contract
+// under test: invariant across spellings of the same problem (net order,
+// text-format round trips, classic and layers-N), sensitive to every
+// decision-relevant change (geometry, pins, pre-wire, stack).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "bench_suite/suite.hpp"
+#include "io/text_format.hpp"
+#include "problem/problem.hpp"
+
+namespace gridroute {
+namespace {
+
+Problem two_net_box() {
+  Problem p{Region(10, 8)};
+  const NetId a = p.add_net("alpha");
+  p.net(a).pins = {{{0, 1}, Layer::kMetal1, false},
+                   {{9, 6}, Layer::kMetal2, false}};
+  const NetId b = p.add_net("beta");
+  p.net(b).pins = {{{0, 6}, Layer::kMetal1, true},
+                   {{9, 1}, Layer::kMetal1, false}};
+  return p;
+}
+
+TEST(CanonicalHash, DeterministicAndCopyStable) {
+  const Problem p = two_net_box();
+  const Problem copy = p;
+  EXPECT_EQ(p.canonical_hash(), p.canonical_hash());
+  EXPECT_EQ(p.canonical_hash(), copy.canonical_hash());
+}
+
+TEST(CanonicalHash, NetDeclarationOrderInvariant) {
+  const Problem forward = two_net_box();
+  Problem reversed{Region(10, 8)};
+  const NetId b = reversed.add_net("beta");
+  reversed.net(b).pins = {{{0, 6}, Layer::kMetal1, true},
+                          {{9, 1}, Layer::kMetal1, false}};
+  const NetId a = reversed.add_net("alpha");
+  reversed.net(a).pins = {{{0, 1}, Layer::kMetal1, false},
+                          {{9, 6}, Layer::kMetal2, false}};
+  EXPECT_EQ(forward.canonical_hash(), reversed.canonical_hash());
+}
+
+TEST(CanonicalHash, TextRoundTripPreservesHashClassic) {
+  // A region with a carved outline and per-layer obstructions: the writer
+  // re-spells it cell-granularly, which must not move the hash.
+  Problem p = suite::macrocell_region(7);
+  const auto parsed = try_parse_problem_string(problem_to_string(p));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->canonical_hash(), p.canonical_hash());
+}
+
+TEST(CanonicalHash, TextRoundTripPreservesHashLayersN) {
+  const Problem p = suite::multilayer_region(3, 16, 12, 6, LayerStack(4));
+  ASSERT_EQ(p.region().layer_count(), 4);
+  const auto parsed = try_parse_problem_string(problem_to_string(p));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  ASSERT_EQ(parsed->region().layer_count(), 4);
+  EXPECT_EQ(parsed->canonical_hash(), p.canonical_hash());
+}
+
+TEST(CanonicalHash, SensitiveToRegionGeometry) {
+  const std::uint64_t base = two_net_box().canonical_hash();
+
+  Problem taller{Region(10, 9)};
+  {
+    Problem proto = two_net_box();
+    for (const Net& n : proto.nets()) taller.add_net(n);
+  }
+  EXPECT_NE(taller.canonical_hash(), base);
+
+  Problem notched = two_net_box();
+  notched.region().subtract({{4, 0}, {5, 0}});
+  EXPECT_NE(notched.canonical_hash(), base);
+
+  Problem obstructed = two_net_box();
+  obstructed.region().add_obstacle({{4, 2}, {5, 5}}, Layer::kMetal1);
+  EXPECT_NE(obstructed.canonical_hash(), base);
+
+  // The same rectangle on the other layer is a different problem again.
+  Problem obstructed_m2 = two_net_box();
+  obstructed_m2.region().add_obstacle({{4, 2}, {5, 5}}, Layer::kMetal2);
+  EXPECT_NE(obstructed_m2.canonical_hash(), obstructed.canonical_hash());
+}
+
+TEST(CanonicalHash, SensitiveToPins) {
+  const std::uint64_t base = two_net_box().canonical_hash();
+
+  Problem moved = two_net_box();
+  moved.net(0).pins[1].pos = {9, 5};
+  EXPECT_NE(moved.canonical_hash(), base);
+
+  Problem relayered = two_net_box();
+  relayered.net(0).pins[1].layer = Layer::kMetal1;
+  EXPECT_NE(relayered.canonical_hash(), base);
+
+  Problem freed = two_net_box();
+  freed.net(0).pins[0].any_layer = true;
+  EXPECT_NE(freed.canonical_hash(), base);
+}
+
+TEST(CanonicalHash, SensitiveToPrewireAndFixedness) {
+  const std::uint64_t base = two_net_box().canonical_hash();
+
+  Problem prewired = two_net_box();
+  prewired.net(0).prewire.push_back(
+      {{{2, 1}, Layer::kMetal1}, {{5, 1}, Layer::kMetal1}});
+  EXPECT_NE(prewired.canonical_hash(), base);
+
+  Problem via0 = prewired;
+  via0.net(0).previas.push_back({{2, 1}, 0});
+  EXPECT_NE(via0.canonical_hash(), prewired.canonical_hash());
+
+  // Same via position, different cut: distinct on a tall stack.
+  Problem via1 = via0;
+  via1.net(0).previas[0].cut = 1;
+  EXPECT_NE(via1.canonical_hash(), via0.canonical_hash());
+
+  Problem pinned = two_net_box();
+  pinned.net(1).fixed = true;
+  EXPECT_NE(pinned.canonical_hash(), base);
+}
+
+TEST(CanonicalHash, SensitiveToNetIdentity) {
+  const std::uint64_t base = two_net_box().canonical_hash();
+
+  Problem renamed = two_net_box();
+  renamed.net(0).name = "gamma";
+  EXPECT_NE(renamed.canonical_hash(), base);
+
+  Problem extended = two_net_box();
+  extended.add_net("gamma");  // even an empty net changes the problem
+  EXPECT_NE(extended.canonical_hash(), base);
+}
+
+TEST(CanonicalHash, SensitiveToLayerStack) {
+  Problem classic{Region(12, 10)};
+  const std::uint64_t base = classic.canonical_hash();
+
+  Problem tall{Region(12, 10, LayerStack(4))};
+  EXPECT_NE(tall.canonical_hash(), base);
+
+  // Same height, different per-layer economics.
+  Problem priced{Region(12, 10, LayerStack(4))};
+  LayerStack stack(4);
+  stack.spec(layer_at(2)).wrong_way_mult = 4;
+  Problem costly{Region(12, 10, stack)};
+  EXPECT_NE(costly.canonical_hash(), priced.canonical_hash());
+
+  LayerStack hard(4);
+  hard.spec(layer_at(1)).directed = true;
+  Problem directed{Region(12, 10, hard)};
+  EXPECT_NE(directed.canonical_hash(), priced.canonical_hash());
+}
+
+TEST(CanonicalHash, SuiteProblemsHashDistinctly) {
+  // Smoke check against accidental collisions across the benchmark family.
+  const std::uint64_t a = suite::dense_switchbox().to_problem().canonical_hash();
+  const std::uint64_t b = suite::cross_switchbox().to_problem().canonical_hash();
+  const std::uint64_t c = suite::macrocell_region(7).canonical_hash();
+  const std::uint64_t d =
+      suite::burstein_class_switchbox(31).to_problem().canonical_hash();
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+  EXPECT_NE(b, c);
+  EXPECT_NE(b, d);
+  EXPECT_NE(c, d);
+}
+
+}  // namespace
+}  // namespace gridroute

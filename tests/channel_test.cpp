@@ -318,14 +318,14 @@ TEST(Greedy, EmptyChannelTrivial) {
 
 TEST(ChannelIncremental, RoutesSimpleChannelInDensity) {
   const ChannelSpec spec = suite::simple_channel();
-  const IncrementalChannelResult res = route_channel_incremental(spec);
+  const ChannelRouteResult res = route_channel(spec);
   ASSERT_TRUE(res.success);
   EXPECT_EQ(res.tracks, ChannelAnalysis(spec).density());
 }
 
 TEST(ChannelIncremental, AbsorbsCycleNearDensity) {
   const ChannelSpec spec = suite::vcg_cycle_channel();
-  const IncrementalChannelResult res = route_channel_incremental(spec);
+  const ChannelRouteResult res = route_channel(spec);
   ASSERT_TRUE(res.success);
   EXPECT_LE(res.tracks, ChannelAnalysis(spec).density() + 2);
 }

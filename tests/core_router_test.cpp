@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "core/api.hpp"
 #include "core/incremental_router.hpp"
 #include "core/stub_pruner.hpp"
 #include "verify/verify.hpp"
@@ -172,10 +173,12 @@ TEST(IncrementalRouter, RouteNetEntryPointRoutesOne) {
   EXPECT_TRUE(verify(p, router.grid()).all_ok());
 }
 
-TEST(IncrementalRouter, ConvenienceRouteFunction) {
+TEST(IncrementalRouter, UnifiedRouteFunction) {
   const Problem p = straight_pair();
-  const RoutedDesign design = route(p);
-  EXPECT_TRUE(design.outcome.complete());
+  RouteRequest request;
+  request.problem = &p;
+  const RouteResult design = route(request);
+  EXPECT_TRUE(design.complete());
   EXPECT_TRUE(verify(p, design.grid).all_ok());
 }
 

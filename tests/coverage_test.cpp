@@ -70,8 +70,9 @@ TEST(ChannelEdges, RealizeRejectsOverlappingSolutions) {
 
 TEST(ChannelEdges, IncrementalWindowRespected) {
   const ChannelSpec spec = suite::simple_channel();
-  const IncrementalChannelResult res =
-      route_channel_incremental(spec, channel_router_options(), 0);
+  RouteRequest base;
+  base.options = channel_router_options();
+  const ChannelRouteResult res = route_channel(spec, base, 0);
   ASSERT_TRUE(res.success);
   EXPECT_EQ(res.tracks, ChannelAnalysis(spec).density());
 }

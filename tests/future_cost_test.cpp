@@ -55,7 +55,7 @@ TEST(ResidualFutureCost, AdmissibleAgainstDijkstraGroundTruth) {
     routed.run();
     const PinBlocks pins(problem);
     WeightedMazeRouter reference(routed.grid(), pins, model);
-    reference.set_heuristic(false);  // ground truth: no future cost at all
+    reference.set_future_cost(FutureCost::kNone);  // plain Dijkstra truth
 
     for (const SearchRequest& req :
          suite::make_query_batch(problem, 99, {.queries = 250})) {

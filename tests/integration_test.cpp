@@ -71,9 +71,10 @@ INSTANTIATE_TEST_SUITE_P(
 // ---------------------------------------------------------------------------
 
 TEST(ChannelEndToEnd, IncrementalRoutesEverySuiteChannel) {
+  RouteRequest base;
+  base.options = channel_router_options();
   for (const auto& [name, spec] : suite::channel_suite()) {
-    const IncrementalChannelResult res =
-        route_channel_incremental(spec, channel_router_options(), 6);
+    const ChannelRouteResult res = route_channel(spec, base, 6);
     EXPECT_TRUE(res.success) << name;
     if (res.success) {
       const int density = ChannelAnalysis(spec).density();
@@ -87,8 +88,9 @@ TEST(ChannelEndToEnd, IncrementalMatchesOrBeatsGreedyTracks) {
   // the greedy baseline on any suite channel it completes.
   for (const auto& [name, spec] : suite::channel_suite()) {
     const ChannelResult greedy = route_greedy(spec);
-    const IncrementalChannelResult inc =
-        route_channel_incremental(spec, channel_router_options(), 6);
+    RouteRequest base;
+    base.options = channel_router_options();
+    const ChannelRouteResult inc = route_channel(spec, base, 6);
     if (greedy.success && inc.success) {
       EXPECT_LE(inc.tracks, greedy.tracks()) << name;
     }
@@ -170,7 +172,7 @@ TEST(CrossRouter, AllFourProduceVerifiedLayoutsOnSimpleChannel) {
   RealizedChannel real = realize(spec, greedy.solution);
   EXPECT_TRUE(verify(real.problem, real.grid).all_ok());
 
-  const IncrementalChannelResult inc = route_channel_incremental(spec);
+  const ChannelRouteResult inc = route_channel(spec);
   EXPECT_TRUE(inc.success);
   EXPECT_EQ(inc.tracks, density);
 }

@@ -300,9 +300,9 @@ TEST_F(WeightedTest, HeuristicDoesNotChangeCosts) {
   grid.emplace(problem.region(), problem.net_count());
   WeightedMazeRouter astar(*grid, pins);
   WeightedMazeRouter dijkstra(*grid, pins);
-  dijkstra.set_heuristic(false);
-  EXPECT_TRUE(astar.heuristic_enabled());
-  EXPECT_FALSE(dijkstra.heuristic_enabled());
+  dijkstra.set_future_cost(FutureCost::kNone);
+  EXPECT_NE(astar.future_cost(), FutureCost::kNone);
+  EXPECT_EQ(dijkstra.future_cost(), FutureCost::kNone);
   for (int trial = 0; trial < 8; ++trial) {
     const GridPoint s{{trial, 0}, Layer::kMetal1};
     const GridPoint t{{13 - trial, 13}, Layer::kMetal1};
@@ -319,7 +319,7 @@ TEST_F(WeightedTest, HeuristicExpandsFewerNodes) {
   build(32, 32);
   WeightedMazeRouter astar(*grid, pins);
   WeightedMazeRouter dijkstra(*grid, pins);
-  dijkstra.set_heuristic(false);
+  dijkstra.set_future_cost(FutureCost::kNone);
   // A short hop in a big grid: A* should visit far less of it.
   const auto r = req({{4, 16}, Layer::kMetal1}, {{10, 16}, Layer::kMetal1});
   ASSERT_TRUE(astar.route(r).found);

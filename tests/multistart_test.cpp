@@ -4,11 +4,21 @@
 #include <set>
 
 #include "bench_suite/suite.hpp"
+#include "core/api.hpp"
 #include "core/incremental_router.hpp"
 #include "verify/verify.hpp"
 
 namespace gridroute {
 namespace {
+
+RouteResult route_attempts(const Problem& p, int extra_attempts,
+                           RouterOptions options = {}) {
+  RouteRequest request;
+  request.problem = &p;
+  request.options = options;
+  request.extra_attempts = extra_attempts;
+  return route(request);
+}
 
 TEST(ShuffledOrdering, DeterministicPerSeed) {
   const Problem p = suite::burstein_class_switchbox(31).to_problem();
@@ -57,11 +67,9 @@ TEST(ShuffledOrdering, StillVerifies) {
 TEST(MultiStart, NeverWorseThanSingleRun) {
   for (const auto& [name, spec] : suite::switchbox_suite()) {
     const Problem p = spec.to_problem();
-    const RoutedDesign single = route(p);
-    const RoutedDesign multi = route_best_of(p, 4);
-    EXPECT_GE(multi.outcome.stats.nets_routed,
-              single.outcome.stats.nets_routed)
-        << name;
+    const RouteResult single = route_attempts(p, 0);
+    const RouteResult multi = route_attempts(p, 4);
+    EXPECT_GE(multi.stats.nets_routed, single.stats.nets_routed) << name;
     EXPECT_TRUE(verify(p, multi.grid).drc_clean()) << name;
   }
 }
@@ -70,17 +78,17 @@ TEST(MultiStart, StopsEarlyOnCompleteRouting) {
   // A trivially routable problem: the first attempt completes, so restarts
   // must not run (observable: identical layout to the single run).
   const Problem p = suite::cross_switchbox().to_problem();
-  const RoutedDesign single = route(p);
-  const RoutedDesign multi = route_best_of(p, 50);
-  EXPECT_TRUE(multi.outcome.complete());
+  const RouteResult single = route_attempts(p, 0);
+  const RouteResult multi = route_attempts(p, 50);
+  EXPECT_TRUE(multi.complete());
   EXPECT_EQ(multi.grid.total_nodes(), single.grid.total_nodes());
 }
 
 TEST(MultiStart, ZeroExtraAttemptsEqualsPlainRoute) {
   const Problem p = suite::dense_switchbox().to_problem();
-  const RoutedDesign a = route(p);
-  const RoutedDesign b = route_best_of(p, 0);
-  EXPECT_EQ(a.outcome.failed, b.outcome.failed);
+  const RouteResult a = route_attempts(p, 0);
+  const RouteResult b = route_attempts(p, 0);
+  EXPECT_EQ(a.failed, b.failed);
   EXPECT_EQ(a.grid.total_nodes(), b.grid.total_nodes());
 }
 
@@ -88,9 +96,9 @@ TEST(MultiStart, NegativeExtraAttemptsClampToPlainRoute) {
   // Negative counts used to silently mean 0; now they clamp explicitly and
   // the attempt report shows exactly one (base) attempt.
   const Problem p = suite::dense_switchbox().to_problem();
-  const RoutedDesign a = route(p);
-  const RoutedDesign b = route_best_of(p, -3);
-  EXPECT_EQ(a.outcome.failed, b.outcome.failed);
+  const RouteResult a = route_attempts(p, 0);
+  const RouteResult b = route_attempts(p, -3);
+  EXPECT_EQ(a.failed, b.failed);
   EXPECT_EQ(a.grid.total_nodes(), b.grid.total_nodes());
   ASSERT_EQ(b.attempts.size(), 1u);
   EXPECT_TRUE(b.attempts[0].ran);
@@ -107,7 +115,7 @@ TEST(MultiStart, RestartSeedsDistinctFromShuffledBase) {
   opts.ordering = RouterOptions::Ordering::kShuffled;
   opts.shuffle_seed = 1;
   opts.threads = 1;
-  const RoutedDesign d = route_best_of(p, 4, opts);
+  const RouteResult d = route_attempts(p, 4, opts);
   ASSERT_EQ(d.attempts.size(), 5u);
   std::set<std::uint64_t> seeds;
   for (const AttemptReport& a : d.attempts) seeds.insert(a.seed);
@@ -123,7 +131,7 @@ TEST(MultiStart, RestartsDoDistinctWork) {
   opts.ordering = RouterOptions::Ordering::kShuffled;
   opts.shuffle_seed = 1;
   opts.threads = 1;
-  const RoutedDesign d = route_best_of(p, 4, opts);
+  const RouteResult d = route_attempts(p, 4, opts);
   bool any_difference = false;
   for (const AttemptReport& a : d.attempts)
     if (a.expansions != d.attempts[0].expansions) any_difference = true;

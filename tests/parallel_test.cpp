@@ -12,12 +12,24 @@
 #include <vector>
 
 #include "bench_suite/suite.hpp"
+#include "core/api.hpp"
 #include "core/incremental_router.hpp"
 #include "search/search_arena.hpp"
 #include "verify/verify.hpp"
 
 namespace gridroute {
 namespace {
+
+RouteResult route_attempts(const Problem& p, int extra_attempts,
+                           RouterOptions options = {},
+                           SearchArena* arena = nullptr) {
+  RouteRequest request;
+  request.problem = &p;
+  request.options = options;
+  request.extra_attempts = extra_attempts;
+  request.arena = arena;
+  return route(request);
+}
 
 /// Bit-identical layout comparison: every node owner and every via owner.
 ::testing::AssertionResult grids_identical(const Problem& p,
@@ -42,21 +54,21 @@ TEST(ParallelMultiStart, BitIdenticalToSerialOnSaturatedBox) {
   const Problem p = suite::overfilled_switchbox().to_problem();
   RouterOptions serial_opts;
   serial_opts.threads = 1;
-  const RoutedDesign serial = route_best_of(p, 7, serial_opts);
+  const RouteResult serial = route_attempts(p, 7, serial_opts);
   // Saturated on purpose: no attempt completes, so nothing is cancelled and
   // every one of the 8 attempts contributes to the reduction. Every worker
   // reuses one SearchArena across all attempts it claims (8 attempts over
   // 2 threads = ~4 reuses per arena), so this also pins down that arena
   // recycling cannot leak state between attempts.
-  ASSERT_FALSE(serial.outcome.complete());
+  ASSERT_FALSE(serial.complete());
 
   for (int threads : {2, 4, 8}) {
     RouterOptions opts;
     opts.threads = threads;
-    const RoutedDesign parallel = route_best_of(p, 7, opts);
+    const RouteResult parallel = route_attempts(p, 7, opts);
     EXPECT_TRUE(grids_identical(p, serial.grid, parallel.grid))
         << threads << " threads";
-    EXPECT_EQ(serial.outcome.failed, parallel.outcome.failed)
+    EXPECT_EQ(serial.failed, parallel.failed)
         << threads << " threads";
     EXPECT_EQ(serial.winning_attempt, parallel.winning_attempt)
         << threads << " threads";
@@ -75,8 +87,8 @@ TEST(ParallelMultiStart, EarlyCancellationSkipsAttemptsPastFirstComplete) {
   for (int threads : {1, 4}) {
     RouterOptions opts;
     opts.threads = threads;
-    const RoutedDesign d = route_best_of(p, 50, opts);
-    EXPECT_TRUE(d.outcome.complete());
+    const RouteResult d = route_attempts(p, 50, opts);
+    EXPECT_TRUE(d.complete());
     EXPECT_EQ(d.winning_attempt, 0);
     ASSERT_EQ(d.attempts.size(), 51u);
     EXPECT_TRUE(d.attempts[0].ran);
@@ -99,7 +111,7 @@ TEST(ParallelMultiStart, PerAttemptObservability) {
   const Problem p = suite::overfilled_switchbox().to_problem();
   RouterOptions opts;
   opts.threads = 2;
-  const RoutedDesign d = route_best_of(p, 3, opts);
+  const RouteResult d = route_attempts(p, 3, opts);
   ASSERT_EQ(d.attempts.size(), 4u);
   long long expansions = 0;
   for (const AttemptReport& a : d.attempts) {
@@ -115,7 +127,7 @@ TEST(ParallelMultiStart, PerAttemptObservability) {
 }
 
 TEST(ParallelMultiStart, WorkerArenaReuseDoesNotLeakState) {
-  // route_best_of hands each pool worker one SearchArena that every attempt
+  // Multi-start hands each pool worker one SearchArena that every attempt
   // it claims borrows (incremental_router.cpp's worker loop). Model that
   // reuse adversarially: one long-lived arena carried across different
   // problems — forcing arena resizes between grids — and primed so the
@@ -130,11 +142,11 @@ TEST(ParallelMultiStart, WorkerArenaReuseDoesNotLeakState) {
   SearchArena reused;
   reused.set_epoch(std::numeric_limits<std::uint32_t>::max() - 2);
   for (const Problem& p : problems) {
-    const RoutedDesign fresh = route(p);
-    const RoutedDesign recycled = route(p, RouterOptions{}, &reused);
+    const RouteResult fresh = route_attempts(p, 0);
+    const RouteResult recycled = route_attempts(p, 0, {}, &reused);
     EXPECT_TRUE(grids_identical(p, fresh.grid, recycled.grid));
-    EXPECT_EQ(fresh.outcome.failed, recycled.outcome.failed);
-    EXPECT_EQ(fresh.outcome.stats.expansions, recycled.outcome.stats.expansions);
+    EXPECT_EQ(fresh.failed, recycled.failed);
+    EXPECT_EQ(fresh.stats.expansions, recycled.stats.expansions);
   }
 }
 
@@ -144,7 +156,7 @@ TEST(ParallelMultiStart, ConcurrentRoutersWithPerThreadArenas) {
   // const Problem. Results must agree across threads and with a fresh-arena
   // baseline; TSan (tier1) watches for sharing violations.
   const Problem p = suite::burstein_class_switchbox(31).to_problem();
-  const RoutedDesign baseline = route(p);
+  const RouteResult baseline = route_attempts(p, 0);
   constexpr int kThreads = 8;
   constexpr int kRoutesPerThread = 3;
   std::vector<int> mismatches(kThreads, -1);
@@ -155,9 +167,9 @@ TEST(ParallelMultiStart, ConcurrentRoutersWithPerThreadArenas) {
       SearchArena arena;
       int bad = 0;
       for (int round = 0; round < kRoutesPerThread; ++round) {
-        const RoutedDesign d = route(p, RouterOptions{}, &arena);
-        if (d.outcome.failed != baseline.outcome.failed ||
-            d.outcome.stats.expansions != baseline.outcome.stats.expansions ||
+        const RouteResult d = route_attempts(p, 0, {}, &arena);
+        if (d.failed != baseline.failed ||
+            d.stats.expansions != baseline.stats.expansions ||
             !grids_identical(p, baseline.grid, d.grid))
           ++bad;
       }

@@ -8,6 +8,7 @@
 #include "bench_suite/suite.hpp"
 #include "channel/channel_analysis.hpp"
 #include "channel/channel_routers.hpp"
+#include "core/api.hpp"
 #include "core/incremental_router.hpp"
 #include "core/stub_pruner.hpp"
 #include "io/solution_format.hpp"
@@ -118,7 +119,10 @@ TEST(Pipeline, SolutionReloadedIntoRouterAsPrewire) {
 
 TEST(Pipeline, MultiStartFeedsImproveAndSerializer) {
   const Problem p = suite::burstein_class_switchbox(8).to_problem();
-  RoutedDesign design = route_best_of(p, 3);
+  RouteRequest request;
+  request.problem = &p;
+  request.extra_attempts = 3;
+  const RouteResult design = route(request);
   const VerifyReport before = verify(p, design.grid);
   ASSERT_TRUE(before.drc_clean());
   const RoutingGrid loaded =

@@ -33,13 +33,14 @@ TEST(Regression, ChannelTrunkLivelockResolved) {
   // deutsch-class-half channel failed even at density + 6. It must now
   // route at exactly its density with default options.
   const ChannelSpec spec = suite::deutsch_class_channel(1978, 87, 12);
-  const IncrementalChannelResult res = route_channel_incremental(spec);
+  const ChannelRouteResult res = route_channel(spec);
   ASSERT_TRUE(res.success);
   EXPECT_EQ(res.tracks, ChannelAnalysis(spec).density());
   // The result carries real metrics, not defaults.
   EXPECT_GT(res.wire_nodes, 0);
   EXPECT_GT(res.vias, 0);
-  EXPECT_GT(res.stats.connections_routed, 0);
+  ASSERT_TRUE(res.result.has_value());
+  EXPECT_GT(res.result->stats.connections_routed, 0);
 }
 
 TEST(Regression, FullRouterNeverEndsBelowPlainBaseline) {
@@ -64,7 +65,7 @@ TEST(Regression, AllSuiteChannelsRouteAtDensityWithDefaults) {
   // The headline Table 1 property, pinned as a test so a future heuristic
   // tweak cannot silently lose it.
   for (const auto& [name, spec] : suite::channel_suite()) {
-    const IncrementalChannelResult res = route_channel_incremental(spec);
+    const ChannelRouteResult res = route_channel(spec);
     ASSERT_TRUE(res.success) << name;
     EXPECT_EQ(res.tracks, ChannelAnalysis(spec).density()) << name;
   }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "bench_suite/suite.hpp"
+#include "core/api.hpp"
 #include "core/incremental_router.hpp"
 #include "maze/maze_router.hpp"
 #include "search/bucket_queue.hpp"
@@ -300,13 +301,15 @@ TEST(SearchDifferentialTest, BucketKernelMatchesHeapAcrossSuiteQueries) {
 // shared scratch gives exactly the result of a router-owned arena.
 TEST(SearchDifferentialTest, EndToEndRoutingUnchangedBySharedArena) {
   const Problem p = suite::burstein_class_switchbox(7).to_problem();
-  const RoutedDesign base = route(p);
+  RouteRequest request;
+  request.problem = &p;
+  const RouteResult base = route(request);
   SearchArena arena;
-  const RoutedDesign with_arena = route(p, {}, &arena);
-  EXPECT_EQ(base.outcome.stats.nets_routed,
-            with_arena.outcome.stats.nets_routed);
-  EXPECT_EQ(base.outcome.stats.expansions, with_arena.outcome.stats.expansions);
-  EXPECT_EQ(base.outcome.failed, with_arena.outcome.failed);
+  request.arena = &arena;
+  const RouteResult with_arena = route(request);
+  EXPECT_EQ(base.stats.nets_routed, with_arena.stats.nets_routed);
+  EXPECT_EQ(base.stats.expansions, with_arena.stats.expansions);
+  EXPECT_EQ(base.failed, with_arena.failed);
 }
 
 }  // namespace

@@ -1,0 +1,452 @@
+// RoutingService tests: the serving layer's determinism contract (results
+// bit-identical to direct route(RouteRequest), fresh or cached), admission
+// control, deadlines/cancellation, and the job lifecycle event stream.
+// scripts/tier1.sh re-runs this binary under ThreadSanitizer.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_suite/suite.hpp"
+#include "core/api.hpp"
+#include "io/solution_format.hpp"
+#include "obs/sinks.hpp"
+#include "service/routing_service.hpp"
+#include "verify/verify.hpp"
+
+namespace gridroute::service {
+namespace {
+
+/// Everything decision-relevant a result carries, rendered to one string:
+/// the exact layout, the failure list, and the deterministic counters
+/// (wall-clock fields deliberately excluded). Two runs are "bit-identical"
+/// iff these strings match.
+std::string artifact(const Problem& p, const RouteResult& r) {
+  std::ostringstream out;
+  out << solution_to_string(p, r.grid);
+  out << "failed:";
+  for (NetId id : r.failed) out << ' ' << id;
+  const RouteStats& s = r.stats;
+  out << "\nstats: " << s.nets_attempted << ' ' << s.nets_routed << ' '
+      << s.connections_attempted << ' ' << s.connections_routed << ' '
+      << s.weak_modifications << ' ' << s.weak_attempts << ' '
+      << s.strong_ripups << ' ' << s.expansions;
+  out << "\nwinner: " << r.winning_attempt << ' ' << r.winning_seed << ' '
+      << r.total_expansions;
+  return std::move(out).str();
+}
+
+RouteResult direct_route(const Problem& p, int extra_attempts = 0) {
+  RouteRequest request;
+  request.problem = &p;
+  request.extra_attempts = extra_attempts;
+  return route(request);
+}
+
+JobRequest job_for(const std::shared_ptr<const Problem>& p,
+                   int extra_attempts = 0) {
+  JobRequest request;
+  request.problem = p;
+  request.extra_attempts = extra_attempts;
+  return request;
+}
+
+/// A problem saturated enough that no run ever completes — and large
+/// enough that a run takes real time, which the deadline and cancellation
+/// tests rely on.
+std::shared_ptr<const Problem> slow_problem() {
+  const ChannelSpec spec = suite::deutsch_class_channel(1976, 174, 19);
+  return std::make_shared<const Problem>(
+      spec.to_problem(spec.density() - 1));  // one track short: infeasible
+}
+
+TEST(Service, SingleJobMatchesDirectRoute) {
+  const auto p = std::make_shared<const Problem>(
+      suite::dense_switchbox().to_problem());
+  const RouteResult baseline = direct_route(*p);
+
+  RoutingService service;
+  const auto id = service.submit(job_for(p));
+  ASSERT_TRUE(id.ok()) << id.status().to_string();
+  const auto outcome = service.wait(*id);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().to_string();
+  EXPECT_EQ(outcome->state, JobState::kCompleted);
+  EXPECT_TRUE(outcome->status.ok());
+  ASSERT_NE(outcome->result, nullptr);
+  EXPECT_EQ(artifact(*p, *outcome->result), artifact(*p, baseline));
+}
+
+TEST(Service, MultiStartJobMatchesDirectRoute) {
+  const auto p = std::make_shared<const Problem>(
+      suite::overfilled_switchbox().to_problem());
+  const RouteResult baseline = direct_route(*p, 3);
+
+  RoutingService service;
+  const auto id = service.submit(job_for(p, 3));
+  ASSERT_TRUE(id.ok());
+  const auto outcome = service.wait(*id);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_NE(outcome->result, nullptr);
+  EXPECT_EQ(artifact(*p, *outcome->result), artifact(*p, baseline));
+}
+
+TEST(Service, ConcurrentClientsBitIdenticalToSerial) {
+  // N client threads x M jobs over a pool of distinct problems, against a
+  // multi-worker service. Every delivered result — fresh or cached — must
+  // equal the serial route(RouteRequest) baseline of its problem.
+  std::vector<std::shared_ptr<const Problem>> problems;
+  problems.push_back(std::make_shared<const Problem>(
+      suite::dense_switchbox().to_problem()));
+  problems.push_back(std::make_shared<const Problem>(
+      suite::burstein_class_switchbox(31).to_problem()));
+  problems.push_back(std::make_shared<const Problem>(
+      suite::cross_switchbox().to_problem()));
+  problems.push_back(
+      std::make_shared<const Problem>(suite::macrocell_region(7)));
+
+  std::vector<std::string> baselines;
+  baselines.reserve(problems.size());
+  for (const auto& p : problems)
+    baselines.push_back(artifact(*p, direct_route(*p)));
+
+  ServiceOptions options;
+  options.workers = 4;
+  options.max_queue_depth = 256;
+  RoutingService service(options);
+
+  constexpr int kClients = 4;
+  constexpr int kJobsPerClient = 3;
+  std::vector<int> mismatches(kClients, -1);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c)
+    clients.emplace_back([&, c] {
+      int bad = 0;
+      for (int j = 0; j < kJobsPerClient; ++j) {
+        const std::size_t which =
+            static_cast<std::size_t>(c + j) % problems.size();
+        JobRequest request = job_for(problems[which]);
+        // Odd jobs bypass the cache so fresh execution stays exercised
+        // even once every problem has a cached result.
+        request.use_cache = (j % 2) == 0;
+        const auto id = service.submit(std::move(request));
+        if (!id.ok()) {
+          ++bad;
+          continue;
+        }
+        const auto outcome = service.wait(*id);
+        if (!outcome.ok() || outcome->state != JobState::kCompleted ||
+            outcome->result == nullptr ||
+            artifact(*problems[which], *outcome->result) != baselines[which])
+          ++bad;
+      }
+      mismatches[static_cast<std::size_t>(c)] = bad;
+    });
+  for (std::thread& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c)
+    EXPECT_EQ(mismatches[static_cast<std::size_t>(c)], 0) << "client " << c;
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, kClients * kJobsPerClient);
+  EXPECT_EQ(stats.admitted, kClients * kJobsPerClient);
+  EXPECT_EQ(stats.completed, kClients * kJobsPerClient);
+}
+
+TEST(Service, CacheHitIsBitIdenticalAndMarked) {
+  const auto p = std::make_shared<const Problem>(
+      suite::burstein_class_switchbox(31).to_problem());
+  RoutingService service;
+
+  const auto first = service.wait(*service.submit(job_for(p)));
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->from_cache);
+
+  const auto second = service.wait(*service.submit(job_for(p)));
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->from_cache);
+  ASSERT_NE(second->result, nullptr);
+  EXPECT_EQ(artifact(*p, *second->result), artifact(*p, *first->result));
+  EXPECT_EQ(service.stats().cache_hits, 1);
+}
+
+TEST(Service, NetOrderTwinsShareAHashButNotResults) {
+  // Two spellings of "the same" problem with nets declared in opposite
+  // order: canonical_hash treats them as equal, but NetIds (and therefore
+  // routed layouts) differ — the cache's exact-identity confirm must keep
+  // them apart, and each must still match its own direct baseline.
+  Problem forward{Region(10, 8)};
+  {
+    const NetId a = forward.add_net("alpha");
+    forward.net(a).pins = {{{0, 1}, Layer::kMetal1, false},
+                           {{9, 6}, Layer::kMetal1, false}};
+    const NetId b = forward.add_net("beta");
+    forward.net(b).pins = {{{0, 6}, Layer::kMetal1, false},
+                           {{9, 1}, Layer::kMetal1, false}};
+  }
+  Problem reversed{Region(10, 8)};
+  {
+    const NetId b = reversed.add_net("beta");
+    reversed.net(b).pins = {{{0, 6}, Layer::kMetal1, false},
+                            {{9, 1}, Layer::kMetal1, false}};
+    const NetId a = reversed.add_net("alpha");
+    reversed.net(a).pins = {{{0, 1}, Layer::kMetal1, false},
+                            {{9, 6}, Layer::kMetal1, false}};
+  }
+  ASSERT_EQ(forward.canonical_hash(), reversed.canonical_hash());
+
+  const auto pf = std::make_shared<const Problem>(forward);
+  const auto pr = std::make_shared<const Problem>(reversed);
+  RoutingService service;
+  const auto first = service.wait(*service.submit(job_for(pf)));
+  const auto second = service.wait(*service.submit(job_for(pr)));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->from_cache);  // a hash hit must not certify identity
+  EXPECT_EQ(artifact(*pf, *first->result), artifact(*pf, direct_route(*pf)));
+  EXPECT_EQ(artifact(*pr, *second->result), artifact(*pr, direct_route(*pr)));
+}
+
+TEST(Service, BudgetedRunsAreNotCached) {
+  // A budgeted run's outcome is not a pure function of (problem, options),
+  // so it must neither come from nor land in the cache.
+  const auto p = std::make_shared<const Problem>(
+      suite::dense_switchbox().to_problem());
+  RoutingService service;
+
+  JobRequest budgeted = job_for(p);
+  budgeted.budget.max_expansions = 1000000;
+  const auto first = service.wait(*service.submit(std::move(budgeted)));
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->from_cache);
+
+  JobRequest again = job_for(p);
+  again.budget.max_expansions = 1000000;
+  const auto second = service.wait(*service.submit(std::move(again)));
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->from_cache);
+  EXPECT_EQ(service.stats().cache_hits, 0);
+}
+
+TEST(Service, QueueDepthBoundRejects) {
+  const auto p = std::make_shared<const Problem>(
+      suite::cross_switchbox().to_problem());
+  ServiceOptions options;
+  options.workers = 1;
+  options.max_queue_depth = 2;
+  options.start_paused = true;  // keep both jobs queued deterministically
+  RoutingService service(options);
+
+  const auto first = service.submit(job_for(p));
+  const auto second = service.submit(job_for(p));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+
+  const auto third = service.submit(job_for(p));
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.status().code(), ErrorCode::kResource);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.rejected_queue_full, 1);
+  EXPECT_EQ(stats.queue_depth, 2);
+  EXPECT_EQ(stats.peak_queue_depth, 2);
+
+  service.resume();
+  EXPECT_TRUE(service.wait(*first).ok());
+  EXPECT_TRUE(service.wait(*second).ok());
+}
+
+TEST(Service, PrescreenRejectsProvablyInfeasible) {
+  // 10 corner-to-corner nets on a 3x3 region: HPWL demand 50 against 18
+  // routable nodes. Utilization > 1 proves infeasibility before routing.
+  auto infeasible = std::make_shared<Problem>(Region(3, 3));
+  for (int i = 0; i < 10; ++i) {
+    const NetId id = infeasible->add_net("n" + std::to_string(i));
+    infeasible->net(id).pins = {{{0, 0}, Layer::kMetal1, false},
+                                {{2, 2}, Layer::kMetal1, false}};
+  }
+  EXPECT_GT(estimated_utilization(*infeasible), 1.0);
+
+  ServiceOptions options;
+  options.prescreen = true;
+  RoutingService service(options);
+  const auto id = service.submit(
+      job_for(std::shared_ptr<const Problem>(infeasible)));
+  ASSERT_FALSE(id.ok());
+  EXPECT_EQ(id.status().code(), ErrorCode::kResource);
+  EXPECT_EQ(service.stats().rejected_prescreen, 1);
+
+  // A feasible problem sails through the same gate.
+  const auto feasible = std::make_shared<const Problem>(
+      suite::cross_switchbox().to_problem());
+  EXPECT_LE(estimated_utilization(*feasible), 1.0);
+  const auto ok_id = service.submit(job_for(feasible));
+  ASSERT_TRUE(ok_id.ok());
+  EXPECT_TRUE(service.wait(*ok_id).ok());
+}
+
+TEST(Service, DeadlineReturnsVerifiablePartialResult) {
+  const auto p = slow_problem();
+  RoutingService service;
+  JobRequest request = job_for(p);
+  request.budget.wall_ms = 5;  // far below this instance's full runtime
+  const auto outcome = service.wait(*service.submit(std::move(request)));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->state, JobState::kCompleted);  // deadline != cancel
+  ASSERT_NE(outcome->result, nullptr);
+  EXPECT_FALSE(outcome->result->failed.empty());
+  // The routed subset of a budget-stopped run still verifies.
+  EXPECT_TRUE(verify(*p, outcome->result->grid).drc_clean());
+}
+
+TEST(Service, CancelQueuedJobNeverRuns) {
+  const auto p = std::make_shared<const Problem>(
+      suite::cross_switchbox().to_problem());
+  ServiceOptions options;
+  options.start_paused = true;
+  RoutingService service(options);
+
+  const auto id = service.submit(job_for(p));
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(service.cancel(*id));
+  EXPECT_FALSE(service.cancel(*id));  // already terminal
+
+  const auto outcome = service.wait(*id);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->state, JobState::kCancelled);
+  EXPECT_EQ(outcome->status.code(), ErrorCode::kCancelled);
+  EXPECT_EQ(outcome->result, nullptr);  // never ran
+  EXPECT_EQ(service.stats().cancelled, 1);
+  EXPECT_EQ(service.stats().started, 0);
+}
+
+TEST(Service, CancelRunningJobStopsWithPartialResult) {
+  const auto p = slow_problem();
+  RoutingService service;
+  const auto id = service.submit(job_for(p));
+  ASSERT_TRUE(id.ok());
+
+  // Wait until the worker has actually started the job, then cancel.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (service.stats().started == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_EQ(service.stats().started, 1);
+  service.cancel(*id);
+
+  const auto outcome = service.wait(*id);
+  ASSERT_TRUE(outcome.ok());
+  // The instance is infeasible and long-running, so the cancel lands well
+  // before the run would end on its own.
+  ASSERT_EQ(outcome->state, JobState::kCancelled);
+  EXPECT_EQ(outcome->status.code(), ErrorCode::kCancelled);
+  ASSERT_NE(outcome->result, nullptr);  // partial result attached
+  EXPECT_TRUE(verify(*p, outcome->result->grid).drc_clean());
+}
+
+TEST(Service, ShutdownCancelsQueuedJobsAndRejectsNewOnes) {
+  const auto p = std::make_shared<const Problem>(
+      suite::cross_switchbox().to_problem());
+  ServiceOptions options;
+  options.start_paused = true;
+  RoutingService service(options);
+  const auto id = service.submit(job_for(p));
+  ASSERT_TRUE(id.ok());
+
+  service.shutdown();
+  const auto outcome = service.wait(*id);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->state, JobState::kCancelled);
+
+  const auto late = service.submit(job_for(p));
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), ErrorCode::kCancelled);
+
+  service.shutdown();  // idempotent
+}
+
+TEST(Service, WaitConsumesTheRecord) {
+  const auto p = std::make_shared<const Problem>(
+      suite::cross_switchbox().to_problem());
+  RoutingService service;
+  const auto id = service.submit(job_for(p));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service.wait(*id).ok());
+  const auto again = service.wait(*id);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), ErrorCode::kValidation);
+}
+
+TEST(Service, TryOutcomePeeksWithoutConsuming) {
+  const auto p = std::make_shared<const Problem>(
+      suite::cross_switchbox().to_problem());
+  ServiceOptions options;
+  options.start_paused = true;
+  RoutingService service(options);
+  const auto id = service.submit(job_for(p));
+  ASSERT_TRUE(id.ok());
+  EXPECT_FALSE(service.try_outcome(*id).has_value());  // still queued
+
+  service.resume();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  std::optional<JobOutcome> peeked;
+  while (!(peeked = service.try_outcome(*id)).has_value() &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_TRUE(peeked.has_value());
+  EXPECT_EQ(peeked->state, JobState::kCompleted);
+  EXPECT_TRUE(service.wait(*id).ok());  // record still there
+}
+
+TEST(Service, LifecycleEventsFlowThroughTrace) {
+  const auto p = std::make_shared<const Problem>(
+      suite::dense_switchbox().to_problem());
+  obs::CountingSink sink;
+  ServiceOptions options;
+  options.trace = &sink;
+  RoutingService service(options);
+
+  ASSERT_TRUE(service.wait(*service.submit(job_for(p))).ok());
+  ASSERT_TRUE(service.wait(*service.submit(job_for(p))).ok());  // cached
+
+  EXPECT_EQ(sink.count(obs::EventKind::kJobSubmitted), 2);
+  EXPECT_EQ(sink.count(obs::EventKind::kJobAdmitted), 2);
+  EXPECT_EQ(sink.count(obs::EventKind::kJobStarted), 2);
+  EXPECT_EQ(sink.count(obs::EventKind::kJobCachedHit), 1);
+  EXPECT_EQ(sink.count(obs::EventKind::kJobCompleted), 2);
+  EXPECT_EQ(sink.count(obs::EventKind::kJobRejected), 0);
+
+  service.shutdown();
+  const auto late = service.submit(job_for(p));
+  EXPECT_FALSE(late.ok());
+  EXPECT_EQ(sink.count(obs::EventKind::kJobRejected), 1);
+}
+
+TEST(Service, NullProblemIsValidationError) {
+  RoutingService service;
+  const auto id = service.submit(JobRequest{});
+  ASSERT_FALSE(id.ok());
+  EXPECT_EQ(id.status().code(), ErrorCode::kValidation);
+}
+
+TEST(EstimatedUtilization, OrdersFeasibleAndInfeasible) {
+  EXPECT_LE(estimated_utilization(suite::cross_switchbox().to_problem()),
+            1.0);
+  Problem over{Region(2, 2)};
+  for (int i = 0; i < 6; ++i) {
+    const NetId id = over.add_net("n" + std::to_string(i));
+    over.net(id).pins = {{{0, 0}, Layer::kMetal1, false},
+                         {{1, 1}, Layer::kMetal1, false}};
+  }
+  EXPECT_GT(estimated_utilization(over), 1.0);
+  EXPECT_EQ(estimated_utilization(Problem{Region(4, 4)}), 0.0);
+}
+
+}  // namespace
+}  // namespace gridroute::service
