@@ -1,0 +1,185 @@
+// ECO delta-routing speedup bench — what an incremental session buys over
+// re-routing from scratch (DESIGN.md §2.4).
+//
+// The instance: a hand-crafted 200-cell (20x10) two-layer region with 12
+// mostly-local two-pin nets, six per half. The edit: one pin of one
+// left-half net moves two cells. The delta engine's invalidation rule keeps
+// every net whose inflated footprint misses the dirty box, so the right
+// half must survive untouched — the bench hard-fails (exit 1) unless the
+// delta run re-routes strictly fewer nets than from-scratch routing of the
+// edited problem attempts.
+//
+// Gated metrics (scripts/bench.sh --check):
+//   rerouted_nets / preserved_nets   exact — the invalidation partition is
+//                                    a pure function of the instance
+//   preserved_fingerprint            exact — folded wire fingerprint of the
+//                                    preserved nets: byte-identity of the
+//                                    warm start, not just its size
+//   delta_expansions / scratch_expansions   exact — search-work ledger
+//   delta_wall_ms                    lower-better — the latency the session
+//                                    API actually serves
+// Informational: scratch_wall_ms, speedup (derived ratio, host-dependent).
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "bench_suite/report.hpp"
+#include "core/api.hpp"
+#include "core/delta.hpp"
+#include "io/table.hpp"
+#include "verify/verify.hpp"
+
+using namespace gridroute;
+
+namespace {
+
+constexpr int kRounds = 200;  // repeat the timed runs: sub-ms singles are noise
+
+/// 20x10 region, 12 local two-pin nets: one left-half and one right-half
+/// net per row 1..6, all spans short of the x = 10 midline.
+Problem eco_instance() {
+  Problem p{Region(20, 10)};
+  for (int i = 0; i < 6; ++i) {
+    const NetId left = p.add_net("left" + std::to_string(i));
+    p.net(left).pins = {{{2, 1 + i}, Layer::kMetal1, true},
+                        {{7, 1 + i}, Layer::kMetal1, true}};
+    const NetId right = p.add_net("right" + std::to_string(i));
+    p.net(right).pins = {{{12, 1 + i}, Layer::kMetal1, true},
+                         {{17, 1 + i}, Layer::kMetal1, true}};
+  }
+  return p;
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--json <path>]\n";
+      return 2;
+    }
+  }
+
+  const Problem base = eco_instance();
+  RouteRequest base_request;
+  base_request.problem = &base;
+  const RouteResult base_result = route(base_request);
+  if (!base_result.status.ok() || !base_result.failed.empty()) {
+    std::cerr << "error: base instance did not route clean\n";
+    return 1;
+  }
+
+  // The edit: the right pin of net "left0" moves to a free cell nearby.
+  ProblemEdit edit;
+  edit.move_pins.push_back({0, 1, {9, 2}});
+
+  DeltaRequest delta_request;
+  delta_request.base_problem = &base;
+  delta_request.base_layout = &base_result.grid;
+  delta_request.edit = edit;
+
+  // Timed runs. Every round recomputes the full delta (plan + warm replay +
+  // re-route) and the full from-scratch route of the edited problem; both
+  // are deterministic, so only the clock varies across rounds.
+  DeltaResult delta = route_delta(delta_request);
+  const auto t_delta = std::chrono::steady_clock::now();
+  for (int r = 0; r < kRounds; ++r) delta = route_delta(delta_request);
+  const double delta_ms = ms_since(t_delta) / kRounds;
+
+  RouteRequest scratch_request;
+  scratch_request.problem = &delta.edited;
+  RouteResult scratch = route(scratch_request);
+  const auto t_scratch = std::chrono::steady_clock::now();
+  for (int r = 0; r < kRounds; ++r) scratch = route(scratch_request);
+  const double scratch_ms = ms_since(t_scratch) / kRounds;
+
+  // Correctness before speed: the differential-equivalence contract.
+  const auto eq = verify_delta_equivalence(delta.edited, delta.result.grid,
+                                           base_result.grid, delta.preserved);
+  if (!eq.equivalent()) {
+    std::cerr << "error: delta result broke the equivalence contract ("
+              << eq.delta.violations.size() << " violations, "
+              << eq.changed_preserved.size() << " changed preserved nets)\n";
+    return 1;
+  }
+  // The honest-speedup invariant this bench exists to gate: the delta run
+  // must re-route strictly fewer nets than the from-scratch run attempts.
+  const int scratch_nets = delta.edited.net_count();
+  if (static_cast<int>(delta.rerouted.size()) >= scratch_nets) {
+    std::cerr << "error: delta re-routed " << delta.rerouted.size()
+              << " nets, not fewer than the " << scratch_nets
+              << " a from-scratch run attempts\n";
+    return 1;
+  }
+
+  // Byte-identity fingerprint of the preserved set, folded to 32 bits so
+  // the value survives the JSON double round-trip exactly.
+  std::uint64_t fingerprint = 0;
+  for (const NetId id : delta.preserved)
+    fingerprint ^= net_wire_fingerprint(delta.result.grid, id);
+  const double folded_fingerprint =
+      static_cast<double>((fingerprint ^ (fingerprint >> 32)) & 0xffffffffull);
+
+  const double speedup = scratch_ms / delta_ms;
+
+  bench::BenchReport report = bench::make_report("eco_speedup");
+  report.add("nets", scratch_nets, bench::Gate::kExact);
+  report.add("rerouted_nets", static_cast<double>(delta.rerouted.size()),
+             bench::Gate::kExact);
+  report.add("preserved_nets", static_cast<double>(delta.preserved.size()),
+             bench::Gate::kExact);
+  report.add("preserved_fingerprint", folded_fingerprint,
+             bench::Gate::kExact);
+  report.add("delta_failed", static_cast<double>(delta.result.failed.size()),
+             bench::Gate::kExact);
+  report.add("scratch_failed", static_cast<double>(scratch.failed.size()),
+             bench::Gate::kExact);
+  report.add("delta_expansions",
+             static_cast<double>(delta.result.stats.expansions),
+             bench::Gate::kExact);
+  report.add("scratch_expansions",
+             static_cast<double>(scratch.stats.expansions),
+             bench::Gate::kExact);
+  report.add("delta_wall_ms", delta_ms, bench::Gate::kLowerBetter, 1.0);
+  report.add("scratch_wall_ms", scratch_ms);
+  report.add("speedup", speedup);
+
+  Table table({"run", "nets routed", "failed", "expansions", "wall ms"});
+  table.add_row({"delta", std::to_string(delta.rerouted.size()),
+                 std::to_string(delta.result.failed.size()),
+                 std::to_string(delta.result.stats.expansions),
+                 Table::num(delta_ms, 3)});
+  table.add_row({"scratch", std::to_string(scratch_nets),
+                 std::to_string(scratch.failed.size()),
+                 std::to_string(scratch.stats.expansions),
+                 Table::num(scratch_ms, 3)});
+
+  std::cout << "ECO delta speedup: single pin move on a 200-cell instance, "
+            << delta.edited.net_count() << " nets\n(mean of " << kRounds
+            << " rounds; preserved nets replayed byte-identically — "
+               "fingerprint gated).\n\n";
+  table.print(std::cout);
+  std::cout << "\npreserved " << delta.preserved.size() << "/" << scratch_nets
+            << " nets, re-routed " << delta.rerouted.size() << ", speedup "
+            << Table::num(speedup, 2) << "x\n";
+
+  if (!json_path.empty()) {
+    const Status st = bench::write_report_file(report, json_path);
+    if (!st.ok()) {
+      std::cerr << "error: " << st.to_string() << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}

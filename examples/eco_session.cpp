@@ -1,0 +1,105 @@
+// Incremental/ECO session quickstart (DESIGN.md §2.4): open a routing
+// session, commit a base layout, then push two engineering-change-order
+// edits through submit_delta(). Each delta re-routes only the nets its
+// dirty box invalidates; everything else is replayed byte-identically from
+// the committed layout — which the differential verifier checks here.
+
+#include <iostream>
+#include <memory>
+
+#include "bench_suite/suite.hpp"
+#include "service/routing_service.hpp"
+#include "verify/verify.hpp"
+
+using namespace gridroute;
+
+int main() {
+  service::ServiceOptions options;
+  options.workers = 1;
+  service::RoutingService service(options);
+
+  // A macro-cell region: mostly-local nets, so a local edit has a small
+  // dirty box and most of the layout survives each delta.
+  const auto problem = std::make_shared<const Problem>(
+      suite::macrocell_region(42, 24, 16, 12));
+
+  // open_session() admits the base routing job atomically with the session.
+  const auto ticket = service.open_session({.problem = problem});
+  if (!ticket.ok()) {
+    std::cerr << "open_session failed: " << ticket.status().to_string()
+              << "\n";
+    return 1;
+  }
+  const auto base = service.wait(ticket->base_job);
+  if (!base.ok() || base->state != service::JobState::kCompleted) {
+    std::cerr << "base job did not complete\n";
+    return 1;
+  }
+  std::cout << "session " << ticket->session << ": base layout committed ("
+            << base->result->failed.size() << " failed nets)\n";
+
+  // ECO 1: a blockage appears — one cell of the region becomes an obstacle.
+  service::DeltaJobRequest blockage;
+  blockage.edit.add_obstacles.push_back(
+      {.rect = {{7, 5}, {7, 5}}, .all_layers = true});
+  // ECO 2: a netlist change — the geometrically smallest net is deleted
+  // (its id stays as an empty tombstone, so every other net keeps its id).
+  // The dirty box is just the freed wire, so the rest of the layout holds.
+  NetId smallest = 0;
+  long long smallest_span = -1;
+  for (NetId id = 0; id < problem->net_count(); ++id) {
+    const Net& net = problem->net(id);
+    if (net.pins.size() < 2) continue;
+    Rect box{net.pins[0].pos, net.pins[0].pos};
+    for (const Pin& pin : net.pins) box = box.bounding_union({pin.pos, pin.pos});
+    const long long span = box.width() + box.height();
+    if (smallest_span < 0 || span < smallest_span) {
+      smallest_span = span;
+      smallest = id;
+    }
+  }
+  service::DeltaJobRequest drop_net;
+  drop_net.edit.remove_nets.push_back(smallest);
+
+  auto layout = base->result;
+  for (const auto* delta : {&drop_net, &blockage}) {
+    const auto id = service.submit_delta(ticket->session, *delta);
+    if (!id.ok()) {
+      std::cerr << "submit_delta failed: " << id.status().to_string() << "\n";
+      return 1;
+    }
+    const auto outcome = service.wait(*id);
+    if (!outcome.ok() || outcome->state != service::JobState::kCompleted ||
+        outcome->delta == nullptr) {
+      std::cerr << "delta job did not complete\n";
+      return 1;
+    }
+
+    // The delta contract, independently audited: verifier-clean against
+    // the edited problem, preserved nets byte-identical to the layout the
+    // session held before this edit.
+    const auto eq = verify_delta_equivalence(
+        *outcome->problem, outcome->result->grid, layout->grid,
+        outcome->delta->preserved);
+    if (!eq.equivalent()) {
+      std::cerr << "delta broke the equivalence contract\n";
+      return 1;
+    }
+    std::cout << "delta job " << outcome->id << ": preserved "
+              << outcome->delta->preserved.size() << " nets, re-routed "
+              << outcome->delta->rerouted.size() << ", failed "
+              << outcome->result->failed.size() << ", dirty box "
+              << outcome->delta->dirty_box << "\n";
+    layout = outcome->result;  // the session's new committed layout
+  }
+
+  const auto info = service.session_info(ticket->session);
+  if (!info.has_value() || info->committed_deltas != 2) {
+    std::cerr << "session did not commit both deltas\n";
+    return 1;
+  }
+  std::cout << "session " << ticket->session << ": " << info->committed_deltas
+            << " deltas committed, layout advanced twice\n";
+  service.close_session(ticket->session);
+  return 0;
+}

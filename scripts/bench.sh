@@ -22,7 +22,8 @@ case "$MODE" in
   *) echo "usage: $0 [--check|--update]" >&2; exit 2 ;;
 esac
 
-BENCHES=(search_kernel net_parallel_speedup obs_overhead service_throughput)
+BENCHES=(search_kernel net_parallel_speedup obs_overhead service_throughput
+         eco_speedup)
 BASELINES=bench/baselines
 
 cmake -B build -S . >/dev/null

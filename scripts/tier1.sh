@@ -25,6 +25,10 @@
 #          result cache, and cancellation tokens are shared mutable state
 #          under concurrent clients, so the TSan leg runs the label; it
 #          also rides the plain suite via ctest's default run.
+#   eco    the incremental/ECO delta-routing surface — the differential-
+#          equivalence fuzz and the invalidation-rule property tests
+#          (`ctest -L eco`). The tests also carry tsan + ubsan, so both
+#          sanitizer legs re-run them shrunk.
 #
 #   scripts/tier1.sh                  # everything
 #   GRIDROUTE_SKIP_TSAN=1 scripts/tier1.sh   # skip the TSan re-run
@@ -44,7 +48,7 @@ cmake --build build -j
 # shrinks the same way — sanitizers need the code paths, not all 200
 # fingerprints.
 SHRINK_ENV=(GRIDROUTE_NETPAR_INSTANCES=20 GRIDROUTE_FAULT_INSTANCES=40
-            GRIDROUTE_LAYER_INSTANCES=30)
+            GRIDROUTE_LAYER_INSTANCES=30 GRIDROUTE_ECO_INSTANCES=25)
 
 if [ "${GRIDROUTE_SKIP_TSAN:-0}" != "1" ]; then
   cmake -B build-tsan -S . -DGRIDROUTE_SANITIZE=thread

@@ -1,0 +1,423 @@
+#include "core/delta.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "search/future_cost.hpp"
+#include "verify/verify.hpp"
+
+namespace gridroute {
+
+namespace {
+
+Rect grow_point(Rect box, Point p) {
+  const Rect cell{p, p};
+  return box.valid() ? box.bounding_union(cell) : cell;
+}
+
+Rect grow_rect(Rect box, const Rect& r) {
+  if (!r.valid()) return box;
+  return box.valid() ? box.bounding_union(r) : r;
+}
+
+Rect nodes_bbox(const std::vector<GridPoint>& nodes) {
+  Rect box{{0, 0}, {-1, -1}};
+  for (const GridPoint& g : nodes) box = grow_point(box, g.pos);
+  return box;
+}
+
+/// Planar bounding box of a net's pins and pre-wire (the same box the
+/// utilization screen prices).
+Rect net_shape_bbox(const Net& net) {
+  Rect box{{0, 0}, {-1, -1}};
+  for (const Pin& p : net.pins) box = grow_point(box, p.pos);
+  for (const Segment& s : net.prewire)
+    box = grow_rect(box, Rect::spanning(s.a.pos, s.b.pos));
+  return box;
+}
+
+Status unknown_net(const char* op, NetId id) {
+  std::ostringstream os;
+  os << "edit: " << op << " names unknown net " << id;
+  return Status::validation_error(os.str());
+}
+
+Status bad_pin_index(const char* op, NetId id, int pin) {
+  std::ostringstream os;
+  os << "edit: " << op << " pin index " << pin
+     << " out of range for base net " << id;
+  return Status::validation_error(os.str());
+}
+
+}  // namespace
+
+StatusOr<Problem> apply_edit(const Problem& base, const ProblemEdit& edit) {
+  Problem out = base;
+  const NetId base_nets = base.net_count();
+  const auto in_base = [base_nets](NetId id) {
+    return id >= 0 && id < base_nets;
+  };
+
+  for (const ProblemEdit::MovePin& m : edit.move_pins) {
+    if (!in_base(m.net)) return unknown_net("move_pin", m.net);
+    auto& pins = out.net(m.net).pins;
+    if (m.pin < 0 || m.pin >= static_cast<int>(base.net(m.net).pins.size()))
+      return bad_pin_index("move_pin", m.net, m.pin);
+    pins[static_cast<std::size_t>(m.pin)].pos = m.to;
+  }
+  for (const ProblemEdit::AddPin& a : edit.add_pins) {
+    if (!in_base(a.net)) return unknown_net("add_pin", a.net);
+    out.net(a.net).pins.push_back(a.pin);
+  }
+  // Removals name base indices. Applied per net in descending index order
+  // (duplicates collapsed) so each erase leaves the smaller indices valid;
+  // pins appended above sit past the base list and are unaffected.
+  std::vector<ProblemEdit::RemovePin> removals = edit.remove_pins;
+  std::sort(removals.begin(), removals.end(),
+            [](const ProblemEdit::RemovePin& a, const ProblemEdit::RemovePin& b) {
+              return a.net != b.net ? a.net < b.net : a.pin > b.pin;
+            });
+  removals.erase(std::unique(removals.begin(), removals.end(),
+                             [](const ProblemEdit::RemovePin& a,
+                                const ProblemEdit::RemovePin& b) {
+                               return a.net == b.net && a.pin == b.pin;
+                             }),
+                 removals.end());
+  for (const ProblemEdit::RemovePin& r : removals) {
+    if (!in_base(r.net)) return unknown_net("remove_pin", r.net);
+    auto& pins = out.net(r.net).pins;
+    if (r.pin < 0 || r.pin >= static_cast<int>(base.net(r.net).pins.size()))
+      return bad_pin_index("remove_pin", r.net, r.pin);
+    pins.erase(pins.begin() + r.pin);
+  }
+  for (const NetId id : edit.remove_nets) {
+    if (!in_base(id)) return unknown_net("remove_net", id);
+    // Tombstone: the id and name stay (ids must be stable across the edit,
+    // and the name keeps the uniqueness rule trivially satisfied), the
+    // geometry goes.
+    Net& net = out.net(id);
+    net.pins.clear();
+    net.prewire.clear();
+    net.previas.clear();
+    net.fixed = false;
+  }
+  for (const Net& n : edit.add_nets) out.add_net(n);
+  for (const ProblemEdit::AddObstacle& o : edit.add_obstacles) {
+    if (o.all_layers)
+      out.region().add_obstacle(o.rect);
+    else
+      out.region().add_obstacle(o.rect, o.layer);
+  }
+  for (const Rect& r : edit.subtract_region) out.region().subtract(r);
+  return out;
+}
+
+void export_net_wire(const RoutingGrid& grid, NetId id,
+                     std::vector<Segment>* segments,
+                     std::vector<PreVia>* vias) {
+  segments->clear();
+  vias->clear();
+  std::vector<GridPoint> nodes = grid.net_nodes(id);
+  const std::unordered_set<GridPoint> owned(nodes.begin(), nodes.end());
+  const auto has = [&owned](int x, int y, Layer l) {
+    return owned.count(GridPoint{{x, y}, l}) != 0;
+  };
+
+  // Maximal horizontal runs, then vertical, then isolated cells — every
+  // owned node is covered by at least one emitted run (junction cells may
+  // appear in two; pre-wire application tolerates same-net overlap).
+  std::sort(nodes.begin(), nodes.end(),
+            [](const GridPoint& a, const GridPoint& b) {
+              if (a.layer != b.layer) return a.layer < b.layer;
+              if (a.pos.y != b.pos.y) return a.pos.y < b.pos.y;
+              return a.pos.x < b.pos.x;
+            });
+  for (const GridPoint& g : nodes) {
+    if (has(g.pos.x - 1, g.pos.y, g.layer)) continue;  // not a run start
+    int x2 = g.pos.x;
+    while (has(x2 + 1, g.pos.y, g.layer)) ++x2;
+    if (x2 > g.pos.x)
+      segments->push_back({g, {{x2, g.pos.y}, g.layer}});
+  }
+  std::sort(nodes.begin(), nodes.end(),
+            [](const GridPoint& a, const GridPoint& b) {
+              if (a.layer != b.layer) return a.layer < b.layer;
+              if (a.pos.x != b.pos.x) return a.pos.x < b.pos.x;
+              return a.pos.y < b.pos.y;
+            });
+  for (const GridPoint& g : nodes) {
+    if (has(g.pos.x, g.pos.y - 1, g.layer)) continue;
+    int y2 = g.pos.y;
+    while (has(g.pos.x, y2 + 1, g.layer)) ++y2;
+    if (y2 > g.pos.y) {
+      segments->push_back({g, {{g.pos.x, y2}, g.layer}});
+    } else if (!has(g.pos.x - 1, g.pos.y, g.layer) &&
+               !has(g.pos.x + 1, g.pos.y, g.layer)) {
+      segments->push_back({g, g});  // isolated cell: a via landing or stub
+    }
+  }
+
+  const int cuts = grid.cut_count();
+  for (const GridPoint& g : nodes) {
+    const int k = layer_index(g.layer);  // cut k's lower landing layer
+    if (k < cuts && grid.via_owner(g.pos, k) == id)
+      vias->push_back({g.pos, k});
+  }
+  std::sort(vias->begin(), vias->end(), [](const PreVia& a, const PreVia& b) {
+    if (a.pos != b.pos) return a.pos < b.pos;
+    return a.cut < b.cut;
+  });
+}
+
+DeltaPlan plan_delta(const Problem& base, const RoutingGrid& base_layout,
+                     const Problem& edited, const ProblemEdit& edit) {
+  DeltaPlan plan;
+  const NetId base_nets = base.net_count();
+
+  // Nets an op named directly.
+  std::unordered_set<NetId> touched;
+  for (const ProblemEdit::MovePin& m : edit.move_pins) touched.insert(m.net);
+  for (const ProblemEdit::AddPin& a : edit.add_pins) touched.insert(a.net);
+  for (const ProblemEdit::RemovePin& r : edit.remove_pins)
+    touched.insert(r.net);
+  for (const NetId id : edit.remove_nets) touched.insert(id);
+
+  // Dirty box: every planar cell whose routing-relevant state the edit
+  // changed — edited pin positions old and new, the base wire an edited or
+  // removed net vacates, new geometry.
+  Rect box{{0, 0}, {-1, -1}};
+  for (const ProblemEdit::MovePin& m : edit.move_pins) {
+    box = grow_point(box, base.net(m.net).pins[static_cast<std::size_t>(m.pin)].pos);
+    box = grow_point(box, m.to);
+  }
+  for (const ProblemEdit::AddPin& a : edit.add_pins)
+    box = grow_point(box, a.pin.pos);
+  for (const ProblemEdit::RemovePin& r : edit.remove_pins)
+    box = grow_point(box, base.net(r.net).pins[static_cast<std::size_t>(r.pin)].pos);
+  for (const NetId id : touched)
+    if (id >= 0 && id < base_nets) {
+      box = grow_rect(box, nodes_bbox(base_layout.net_nodes(id)));
+      box = grow_rect(box, net_shape_bbox(base.net(id)));
+    }
+  for (const Net& n : edit.add_nets) box = grow_rect(box, net_shape_bbox(n));
+  for (const ProblemEdit::AddObstacle& o : edit.add_obstacles)
+    box = grow_rect(box, o.rect);
+  for (const Rect& r : edit.subtract_region) box = grow_rect(box, r);
+  plan.dirty_box = box;
+
+  // Reserved pin cells of the edited problem, the verifier's exclusivity
+  // rule: an any-layer pin reserves its cell on every layer, a committed
+  // pin on its own. Preserved wire may never sit on a foreign reservation.
+  struct Reservation {
+    NetId net;
+    bool any_layer;
+    Layer layer;
+  };
+  std::unordered_map<Point, std::vector<Reservation>> reserved;
+  for (NetId id = 0; id < edited.net_count(); ++id)
+    for (const Pin& p : edited.net(id).pins)
+      reserved[p.pos].push_back({id, p.any_layer, p.layer});
+
+  const auto wire_still_legal = [&](NetId id) {
+    for (const GridPoint& g : base_layout.net_nodes(id)) {
+      if (!edited.region().routable(g)) return false;
+      const auto it = reserved.find(g.pos);
+      if (it == reserved.end()) continue;
+      for (const Reservation& r : it->second)
+        if (r.net != id && (r.any_layer || r.layer == g.layer)) return false;
+    }
+    return true;
+  };
+
+  for (NetId id = 0; id < edited.net_count(); ++id) {
+    const Net& net = edited.net(id);
+    if (id < base_nets && base.net(id).fixed) {
+      // Fixed nets are pre-routed by contract: the router can neither rip
+      // nor re-route them, so they pass through every delta unchanged.
+      plan.preserved.push_back(id);
+      continue;
+    }
+    if (id >= base_nets && net.fixed) continue;  // new pre-routed wire
+    if (net.pins.size() < 2) continue;  // trivial either way, no wire owed
+    bool invalid = id >= base_nets || touched.count(id) != 0 ||
+                   !net_routed_ok(base, base_layout, id);
+    if (!invalid && plan.dirty_box.valid()) {
+      Rect fp = nodes_bbox(base_layout.net_nodes(id));
+      for (const Pin& p : net.pins) fp = grow_point(fp, p.pos);
+      invalid = fp.valid() && fp.inflated(1).intersects(plan.dirty_box);
+    }
+    // Belt and braces on top of the box test: demote any net whose exact
+    // wire the edit made illegal (a new obstacle or pin landing on it).
+    if (!invalid && !wire_still_legal(id)) invalid = true;
+    (invalid ? plan.invalidated : plan.preserved).push_back(id);
+  }
+
+  plan.warm = edited;
+  for (const NetId id : plan.preserved) {
+    if (id < base_nets && base.net(id).fixed) continue;  // already frozen
+    Net& net = plan.warm.net(id);
+    export_net_wire(base_layout, id, &net.prewire, &net.previas);
+    net.fixed = true;
+  }
+  return plan;
+}
+
+double hpwl_utilization(const Problem& problem) {
+  const long long capacity = problem.region().routable_node_count();
+  if (capacity <= 0) return problem.net_count() > 0 ? 2.0 : 0.0;
+  long long demand = 0;
+  for (const Net& net : problem.nets()) {
+    // Half-perimeter of the net's pin + pre-wire bounding box: no connected
+    // wire shape touching every pin can occupy fewer nodes.
+    const Rect box = net_shape_bbox(net);
+    if (box.valid()) demand += (box.hi.x - box.lo.x) + (box.hi.y - box.lo.y) + 1;
+  }
+  return static_cast<double>(demand) / static_cast<double>(capacity);
+}
+
+RoutabilityEstimate assess_routability(const Problem& problem) {
+  RoutabilityEstimate est;
+  est.utilization = hpwl_utilization(problem);
+
+  const Region& region = problem.region();
+  const Rect& b = region.bounds();
+  if (!b.valid()) return est;
+  const LayerStack& stack = region.layers();
+  std::vector<std::int64_t> x_demand(static_cast<std::size_t>(b.width() - 1), 0);
+  std::vector<std::int64_t> y_demand(static_cast<std::size_t>(b.height() - 1), 0);
+  std::vector<std::int64_t> x_cap(x_demand.size(), 0);
+  std::vector<std::int64_t> y_cap(y_demand.size(), 0);
+
+  // Capacity of a cut: adjacent routable node pairs across it, on layers
+  // whose direction rule permits a step along that axis. A net crossing
+  // the cut must make an actual legal planar step across it somewhere, and
+  // wire is exclusively owned — so each crossing net consumes at least one
+  // pair, making demand > capacity a proof of infeasibility.
+  for (int k = 0; k < stack.count(); ++k) {
+    const Layer l = layer_at(k);
+    const bool step_x = !stack.directed(l) || stack.horizontal(l);
+    const bool step_y = !stack.directed(l) || !stack.horizontal(l);
+    for (int y = b.lo.y; y <= b.hi.y; ++y)
+      for (int x = b.lo.x; x <= b.hi.x; ++x) {
+        if (!region.routable({{x, y}, l})) continue;
+        if (step_x && x < b.hi.x && region.routable({{x + 1, y}, l}))
+          ++x_cap[static_cast<std::size_t>(x - b.lo.x)];
+        if (step_y && y < b.hi.y && region.routable({{x, y + 1}, l}))
+          ++y_cap[static_cast<std::size_t>(y - b.lo.y)];
+      }
+  }
+
+  // Demand: a multi-pin net must cross every cut strictly inside its
+  // pin + pre-wire bounding box to connect the pins on either side.
+  for (const Net& net : problem.nets()) {
+    if (net.pins.size() < 2) continue;
+    const Rect box = net_shape_bbox(net);
+    if (!box.valid()) continue;
+    for (int c = box.lo.x; c < box.hi.x; ++c)
+      ++x_demand[static_cast<std::size_t>(c - b.lo.x)];
+    for (int c = box.lo.y; c < box.hi.y; ++c)
+      ++y_demand[static_cast<std::size_t>(c - b.lo.y)];
+  }
+
+  std::vector<std::int64_t> x_over(x_cap.size(), 0);
+  std::vector<std::int64_t> y_over(y_cap.size(), 0);
+  for (std::size_t i = 0; i < x_over.size(); ++i)
+    x_over[i] = std::max<std::int64_t>(0, x_demand[i] - x_cap[i]);
+  for (std::size_t i = 0; i < y_over.size(); ++i)
+    y_over[i] = std::max<std::int64_t>(0, y_demand[i] - y_cap[i]);
+
+  // The congestion map exported as a lower-bound grid (CutLowerBounds);
+  // the corner-to-corner query sums every cut's provable overflow.
+  const search::CutLowerBounds congestion(b.lo, std::move(x_over),
+                                          std::move(y_over));
+  est.cut_overflow = congestion.bound(b.lo, Rect{b.hi, b.hi});
+  return est;
+}
+
+DeltaResult route_delta(const DeltaRequest& request) {
+  if (request.base_problem == nullptr || request.base_layout == nullptr)
+    throw std::invalid_argument(
+        "route_delta: base_problem and base_layout are required");
+  DeltaResult out;
+  const obs::Trace trace(request.trace, 0);
+  const std::int64_t ops = request.edit.op_count();
+
+  StatusOr<Problem> edited = apply_edit(*request.base_problem, request.edit);
+  if (!edited.ok()) {
+    trace.emit(obs::TraceEvent::delta_submitted(ops, 0, false));
+    out.result.status = edited.status();
+    out.result.degradation.push_back({Degradation::Kind::kValidation, 0,
+                                      kNoNet, edited.status().message()});
+    return out;
+  }
+  out.edited = *std::move(edited);
+
+  // The same mandatory admission gate route() runs: an invalid edited
+  // problem is never planned or routed (DESIGN.md §2.1f).
+  const std::vector<Status> issues = out.edited.validate_status();
+  if (!issues.empty()) {
+    trace.emit(obs::TraceEvent::delta_submitted(ops, 0, false));
+    out.result.status = issues.front();
+    out.result.grid = RoutingGrid(out.edited.region(), out.edited.net_count());
+    for (NetId id = 0; id < out.edited.net_count(); ++id) {
+      const Net& net = out.edited.net(id);
+      if (net.pins.size() >= 2 && !net.fixed) out.result.failed.push_back(id);
+    }
+    for (const Status& s : issues)
+      out.result.degradation.push_back(
+          {Degradation::Kind::kValidation, 0, kNoNet, s.message()});
+    return out;
+  }
+
+  DeltaPlan plan = plan_delta(*request.base_problem, *request.base_layout,
+                              out.edited, request.edit);
+  out.dirty_box = plan.dirty_box;
+  out.preserved = plan.preserved;
+  out.rerouted = plan.invalidated;
+  trace.emit(obs::TraceEvent::delta_submitted(
+      ops, plan.dirty_box.valid() ? plan.dirty_box.area() : 0, true));
+  trace.emit(obs::TraceEvent::delta_nets(obs::EventKind::kNetsPreserved,
+                                         plan.preserved));
+  trace.emit(obs::TraceEvent::delta_nets(obs::EventKind::kNetsInvalidated,
+                                         plan.invalidated));
+
+  if (request.prescreen) {
+    const RoutabilityEstimate est = assess_routability(out.edited);
+    if (est.provably_infeasible()) {
+      out.prescreen_rejected = true;
+      // Replay the warm start so the caller still holds every preserved
+      // net's wire; the invalidated nets are failed without an attempt.
+      IncrementalRouter replay(plan.warm, request.options);
+      out.result.grid = replay.grid();
+      out.result.failed = plan.invalidated;
+      std::ostringstream why;
+      why << "routability pre-screen rejected the edit: utilization "
+          << est.utilization << ", provable cut overflow " << est.cut_overflow;
+      out.result.status = Status::resource_error(why.str());
+      out.result.degradation.push_back(
+          {Degradation::Kind::kPrescreen, 0, kNoNet, why.str()});
+      trace.emit(obs::TraceEvent::degraded(
+          kNoNet, static_cast<std::int64_t>(Degradation::Kind::kPrescreen)));
+      return out;
+    }
+  }
+
+  RouteRequest run;
+  run.problem = &plan.warm;
+  run.options = request.options;
+  run.budget = request.budget;
+  run.trace = request.trace;
+  run.extra_attempts = request.extra_attempts;
+  run.improve_passes = request.improve_passes;
+  run.arena = request.arena;
+  run.faults = request.faults;
+  out.result = route(run);
+  return out;
+}
+
+}  // namespace gridroute

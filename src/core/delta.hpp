@@ -1,0 +1,178 @@
+#pragma once
+
+#include <vector>
+
+#include "core/api.hpp"
+#include "geom/rect.hpp"
+#include "grid/routing_grid.hpp"
+#include "problem/problem.hpp"
+#include "util/status.hpp"
+
+namespace gridroute {
+
+/// Incremental/ECO delta routing (DESIGN.md §2.4): re-route a committed
+/// layout after a small problem edit instead of from scratch. The engine
+/// computes the edit's planar dirty box, keeps every net whose footprint
+/// stays clear of it as permanent pre-wire replayed byte-identically onto a
+/// fresh grid, and sends only the invalidated nets back through the
+/// standard route() pipeline (improve included — fixed warm-start nets are
+/// never touched by it).
+
+/// One structural edit of a Problem. Ops are applied in declaration order:
+/// pin moves, then pin additions, then pin removals (indices name the
+/// *base* pin list; additions append past it), then net removals, then net
+/// additions, then obstacles, then region subtraction. NetIds are stable
+/// across the edit: removed nets become empty tombstones that keep their id
+/// and name, added nets take fresh ids past the base count.
+struct ProblemEdit {
+  struct MovePin {
+    NetId net = kNoNet;
+    int pin = 0;  ///< index into the base net's pin list
+    Point to;
+  };
+  struct AddPin {
+    NetId net = kNoNet;
+    Pin pin;
+  };
+  struct RemovePin {
+    NetId net = kNoNet;
+    int pin = 0;  ///< index into the base net's pin list
+  };
+  struct AddObstacle {
+    Rect rect;
+    Layer layer = Layer::kMetal1;
+    bool all_layers = true;
+  };
+
+  std::vector<MovePin> move_pins;
+  std::vector<AddPin> add_pins;
+  std::vector<RemovePin> remove_pins;
+  std::vector<NetId> remove_nets;
+  std::vector<Net> add_nets;
+  std::vector<AddObstacle> add_obstacles;
+  /// Region re-sizing within bounds: rectangles carved out of the region
+  /// (Region::subtract). Growing past the original bounds is not an edit —
+  /// it is a new problem.
+  std::vector<Rect> subtract_region;
+
+  int op_count() const {
+    return static_cast<int>(move_pins.size() + add_pins.size() +
+                            remove_pins.size() + remove_nets.size() +
+                            add_nets.size() + add_obstacles.size() +
+                            subtract_region.size());
+  }
+  bool empty() const { return op_count() == 0; }
+};
+
+/// Applies the edit to a copy of the base problem. Fails (kValidation) on
+/// structurally impossible ops — unknown net ids, pin indices past the base
+/// pin list — without attempting full Problem validation; route_delta runs
+/// the mandatory validate_status() gate on the result.
+StatusOr<Problem> apply_edit(const Problem& base, const ProblemEdit& edit);
+
+/// The invalidation decision for one edit against one committed layout.
+struct DeltaPlan {
+  /// Planar union of every cell the edit touches: old+new positions of
+  /// edited pins, the base wire of edited/removed nets, new obstacle and
+  /// subtraction rectangles. !valid() for an empty edit.
+  Rect dirty_box{{0, 0}, {-1, -1}};
+  /// Nets replayed byte-identically from the base layout (base fixed nets
+  /// included — they pass through unchanged). Disjointness contract: a
+  /// multi-pin net is preserved iff it was routed-ok in the base, was not
+  /// directly edited, and its footprint — pins plus base wire, inflated by
+  /// one cell — misses the dirty box.
+  std::vector<NetId> preserved;
+  /// Multi-pin nets the delta run routes from scratch: new, edited, failed
+  /// in the base, or footprint-intersecting the dirty box.
+  std::vector<NetId> invalidated;
+  /// The edited problem with every preserved net's base wire frozen in as
+  /// fixed pre-wire — the warm-start problem the delta run actually routes.
+  Problem warm;
+};
+
+/// Computes the delta plan. `edited` must be apply_edit's output for the
+/// same (base, edit) pair and must have passed validate_status();
+/// route_delta guarantees both. Exposed separately so tests can probe the
+/// invalidation rule without routing.
+DeltaPlan plan_delta(const Problem& base, const RoutingGrid& base_layout,
+                     const Problem& edited, const ProblemEdit& edit);
+
+/// Exports a net's wire in a grid as maximal straight pre-wire runs plus
+/// the vias it owns — the byte-exact replay form plan_delta freezes
+/// preserved nets with. Deterministic: runs and vias come out sorted.
+void export_net_wire(const RoutingGrid& grid, NetId id,
+                     std::vector<Segment>* segments,
+                     std::vector<PreVia>* vias);
+
+/// Fast routability pre-screen (Kar et al., "Early Routability Assessment
+/// ..."): two sound lower bounds that together reject provably-infeasible
+/// problems before a routing attempt burns search effort.
+struct RoutabilityEstimate {
+  /// Summed half-perimeter wirelength demand (per net: pin+pre-wire bbox
+  /// half-perimeter + 1 cells) over the routable node supply. > 1 proves
+  /// infeasibility: wire cells are exclusively owned.
+  double utilization = 0;
+  /// Summed provable per-cut overflow from the CutLowerBounds congestion
+  /// map: for every grid cut, max(0, spanning-net demand − crossing
+  /// capacity), where capacity counts adjacent routable node pairs on
+  /// layers whose direction rule permits that crossing axis. Any positive
+  /// total proves at least one cut cannot carry the nets that must span it.
+  std::int64_t cut_overflow = 0;
+
+  bool provably_infeasible() const {
+    return utilization > 1.0 || cut_overflow > 0;
+  }
+};
+
+RoutabilityEstimate assess_routability(const Problem& problem);
+
+/// Half-perimeter wirelength demand over routable supply (the utilization
+/// component of assess_routability; also the serving layer's admission
+/// screen). 0 on an empty or zero-capacity region.
+double hpwl_utilization(const Problem& problem);
+
+/// One delta-routing job: a committed base layout plus an edit, and the
+/// same knobs route(RouteRequest) takes for the re-route of the
+/// invalidated nets.
+struct DeltaRequest {
+  const Problem* base_problem = nullptr;      ///< required; not owned
+  const RoutingGrid* base_layout = nullptr;   ///< required; not owned
+  ProblemEdit edit;
+  RouterOptions options;
+  obs::RunBudget budget;
+  obs::TraceSink* trace = nullptr;
+  int extra_attempts = 0;
+  int improve_passes = 0;
+  SearchArena* arena = nullptr;
+  fault::Injector* faults = nullptr;
+  /// Run assess_routability on the edited problem first and reject
+  /// provably-infeasible edits (Degradation::Kind::kPrescreen, status
+  /// kResource) with the warm start replayed but no routing attempted.
+  bool prescreen = true;
+};
+
+/// Everything a delta run produced. `result` is a full RouteResult against
+/// `edited` — grid, stats, failed list, degradations — so the serving
+/// layer and the verifier consume it exactly like a from-scratch result.
+struct DeltaResult {
+  RouteResult result;
+  /// base + edit: the problem `result.grid` answers to. Default-constructed
+  /// when the edit itself was malformed (apply_edit failed).
+  Problem edited;
+  Rect dirty_box{{0, 0}, {-1, -1}};
+  std::vector<NetId> preserved;
+  std::vector<NetId> rerouted;  ///< the plan's invalidated set
+  /// True when the routability pre-screen rejected the edit: preserved nets
+  /// are replayed in result.grid, rerouted nets are failed unattempted.
+  bool prescreen_rejected = false;
+};
+
+/// Routes a delta request. Throws std::invalid_argument when base_problem
+/// or base_layout is null; every other failure degrades the result
+/// (malformed edit / invalid edited problem → kValidation degradation with
+/// an empty or warm-only grid, pre-screen rejection → kPrescreen).
+/// Emits kDeltaSubmitted plus the kNetsPreserved / kNetsInvalidated
+/// partition through `trace` before routing starts.
+DeltaResult route_delta(const DeltaRequest& request);
+
+}  // namespace gridroute

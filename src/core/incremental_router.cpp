@@ -74,6 +74,8 @@ IncrementalRouter::IncrementalRouter(const Problem& problem,
                    static_cast<size_t>(problem.region().height()),
                0) {
   search_.set_future_cost(options_.future_cost);
+  for (NetId id = 0; id < problem_.net_count(); ++id)
+    if (problem_.net(id).fixed) fixed_nets_.push_back(id);
   // Lay down every net's pre-wire before any routing happens. Problems
   // with conflicting or unroutable pre-wire are rejected here (validate()
   // reports the same conflicts with friendlier messages).
@@ -261,12 +263,14 @@ void IncrementalRouter::speculate_net(SpecNet& spec, WaveWorker& w,
     if (!res.found) {
       spec.complete = false;
       // The commit escalates this connection serially; its first weak
-      // probe runs with an empty frozen set, so it too only depends on the
-      // snapshot — pre-compute it here. Deeper escalation (probe retries,
-      // the strong stage) depends on live commit state and stays serial.
+      // probe runs with only the fixed nets frozen (a pure function of the
+      // problem), so it too only depends on the snapshot — pre-compute it
+      // here. Deeper escalation (probe retries, the strong stage) depends
+      // on live commit state and stays serial.
       if (with_probe && options_.enable_weak) {
         req.allow_push = true;
         req.push_history = &history_;
+        req.frozen = fixed_nets_;
         const SearchResult probe = w.router.route(req);
         spec.probe = SpecSearch{probe, w.router.last_expansions(),
                                 w.router.last_overflow_hits()};
@@ -444,6 +448,10 @@ std::vector<std::vector<GridPoint>> IncrementalRouter::wire_components(
 
 bool IncrementalRouter::repair_net(NetId victim) {
   const Net& net = problem_.net(victim);
+  // Unreachable while push probes freeze fixed nets; kept as a hard stop so
+  // no future probe variant can ever "repair" permanent pre-wire onto a
+  // different path (the caller rolls the severing back).
+  if (net.fixed) return false;
   std::ostream* log = options_.log;
   for (int step = 0; step < options_.max_repair_steps; ++step) {
     if (net_routed_ok(problem_, grid_, victim)) return true;
@@ -580,6 +588,10 @@ bool IncrementalRouter::route_connection(NetId id,
 
   req.allow_push = true;
   req.push_history = &history_;
+  // Fixed nets are frozen in every push probe: their pre-wire is permanent
+  // and may never be severed, "repaired", or ripped (empty on problems
+  // without fixed nets — no behavior change there).
+  req.frozen = fixed_nets_;
 
   // Stage 2: weak modification. Each failed attempt freezes its victim set
   // and charges the contested cells, so the next probe proposes a different
@@ -625,7 +637,7 @@ bool IncrementalRouter::route_connection(NetId id,
           req.frozen.push_back(v);
       }
     }
-    req.frozen.clear();
+    req.frozen = fixed_nets_;
   }
 
   // Stage 3: strong modification — rip the blockers up and re-queue them.

@@ -37,6 +37,8 @@ struct Degradation {
     kSinkDisabled,   ///< the trace sink threw; tracing stopped, run went on
     kWaveDisabled,   ///< wave engine unavailable/failed; serial fallback
     kAttemptAborted, ///< a multi-start attempt died; partial result salvaged
+    kPrescreen,      ///< routability pre-screen proved a delta infeasible;
+                     ///< the invalidated nets were never attempted
   };
   Kind kind = Kind::kFault;
   int attempt = 0;     ///< multi-start attempt the fallback happened in
@@ -52,6 +54,7 @@ inline const char* degradation_kind_name(Degradation::Kind kind) {
     case Degradation::Kind::kSinkDisabled: return "sink_disabled";
     case Degradation::Kind::kWaveDisabled: return "wave_disabled";
     case Degradation::Kind::kAttemptAborted: return "attempt_aborted";
+    case Degradation::Kind::kPrescreen: return "prescreen";
   }
   return "unknown";
 }
@@ -363,6 +366,12 @@ class IncrementalRouter {
   PinBlocks pins_;
   WeightedMazeRouter search_;
   std::vector<int> ripup_count_;
+  /// Fixed nets, precomputed once: seeded into every push probe's frozen
+  /// set so neither weak modification nor strong rip-up can ever propose a
+  /// fixed net as a victim — pre-wire is permanent, and a pushed "repair"
+  /// would re-route it (empty on problems without fixed nets, which is the
+  /// common case and keeps those runs bit-identical to before this guard).
+  std::vector<NetId> fixed_nets_;
   /// Per-planar-cell conflict surcharge fed into push probes.
   std::vector<int> history_;
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "geom/point.hpp"
@@ -121,8 +122,17 @@ class RoutingGrid {
   Mark mark() const { return journal_.size(); }
   /// Undoes all mutations performed after the mark, most recent first.
   void rollback(Mark m);
-  /// Drops undo history (state keeps). Call at stable points to bound memory.
-  void commit() { journal_.clear(); }
+  /// Drops undo history (state keeps). Call at stable points to bound
+  /// memory. Starts a new commit epoch: a Mark taken before the commit
+  /// indexes the *discarded* journal and must not feed rollback() afterwards
+  /// — epoch-aware holders (GridTransaction) detect the stale mark through
+  /// commit_epoch() and unwind to the committed state (mark 0) instead.
+  void commit() {
+    journal_.clear();
+    ++commit_epoch_;
+  }
+  /// Journal generation: which commit() era a Mark belongs to.
+  std::uint64_t commit_epoch() const { return commit_epoch_; }
 
   /// Planar bounding box of every cell mutated since the mark (invalid Rect
   /// when nothing changed). Rollbacks shrink the journal, so mutations that
@@ -175,6 +185,7 @@ class RoutingGrid {
   std::vector<std::vector<GridPoint>> net_nodes_;
   std::vector<int> via_counts_;
   std::vector<Entry> journal_;
+  std::uint64_t commit_epoch_ = 0;
 };
 
 /// RAII journal checkpoint: captures a mark on construction and rolls the
@@ -187,25 +198,36 @@ class RoutingGrid {
 class GridTransaction {
  public:
   explicit GridTransaction(RoutingGrid& grid)
-      : grid_(&grid), mark_(grid.mark()) {}
+      : grid_(&grid), mark_(grid.mark()), epoch_(grid.commit_epoch()) {}
   GridTransaction(const GridTransaction&) = delete;
   GridTransaction& operator=(const GridTransaction&) = delete;
   ~GridTransaction() {
-    if (grid_ != nullptr) grid_->rollback(mark_);
+    if (grid_ != nullptr) unwind();
   }
 
   /// Success: leave the mutations in place (disarms the rollback).
   void keep() { grid_ = nullptr; }
   /// Failure handled explicitly: roll back now and disarm.
   void rollback() {
-    if (grid_ != nullptr) grid_->rollback(mark_);
+    if (grid_ != nullptr) unwind();
     grid_ = nullptr;
   }
   RoutingGrid::Mark mark() const { return mark_; }
 
  private:
+  /// A commit() between construction and unwind invalidated mark_: it is a
+  /// position in the journal the commit discarded, and rolling back through
+  /// it would stop partway into whatever was journaled *after* the commit —
+  /// a partial undo of unrelated later work (a half-restored via stack, for
+  /// instance). The nearest state that is still restorable is the committed
+  /// one, so a stale mark unwinds to the journal's start instead.
+  void unwind() {
+    grid_->rollback(grid_->commit_epoch() == epoch_ ? mark_ : 0);
+  }
+
   RoutingGrid* grid_;
   RoutingGrid::Mark mark_;
+  std::uint64_t epoch_;
 };
 
 /// True when a->b is one legal grid step: a planar move on one layer, or a

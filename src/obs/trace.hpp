@@ -20,6 +20,7 @@ namespace gridroute::obs {
 ///   serving layer      kJobSubmitted, kJobAdmitted, kJobRejected,
 ///                      kJobStarted, kJobCachedHit, kJobCompleted,
 ///                      kJobCancelled
+///   ECO / delta        kDeltaSubmitted, kNetsPreserved, kNetsInvalidated
 ///
 /// Payload conventions per kind are documented on TraceEvent. Events carry
 /// no timestamps by design: a trace is a pure function of the routing
@@ -70,6 +71,14 @@ enum class EventKind : std::uint8_t {
                       ///< nets) and undegraded
   kJobCancelled,      ///< value: job id; ok: job had started (partial
                       ///< result salvaged) vs cancelled while queued
+  // Incremental/ECO delta routing (core/delta.hpp emits the triple per
+  // route_delta call; the serving layer additionally emits kDeltaSubmitted
+  // per submit_delta with the job-style payload: value = job id, extra =
+  // session id).
+  kDeltaSubmitted,    ///< value: edit op count; extra: dirty-box planar
+                      ///< area; ok: the edited problem passed validation
+  kNetsPreserved,     ///< value: count; nets: ids replayed as warm start
+  kNetsInvalidated,   ///< value: count; nets: ids ripped and re-routed
 };
 
 /// Stable lower_snake names for export (JSONL, counters, tables).
@@ -101,13 +110,16 @@ inline const char* event_name(EventKind kind) {
     case EventKind::kJobCachedHit: return "job_cached_hit";
     case EventKind::kJobCompleted: return "job_completed";
     case EventKind::kJobCancelled: return "job_cancelled";
+    case EventKind::kDeltaSubmitted: return "delta_submitted";
+    case EventKind::kNetsPreserved: return "nets_preserved";
+    case EventKind::kNetsInvalidated: return "nets_invalidated";
   }
   return "unknown";
 }
 
 /// Number of distinct EventKind values (CountingSink's table size).
 inline constexpr std::size_t kEventKindCount =
-    static_cast<std::size_t>(EventKind::kJobCancelled) + 1;
+    static_cast<std::size_t>(EventKind::kNetsInvalidated) + 1;
 
 /// One structured trace record. Only the fields a kind documents are
 /// meaningful; the rest stay at their defaults. The per-kind factories
@@ -241,6 +253,22 @@ struct TraceEvent {
     e.value = job_id;
     e.extra = extra;
     e.ok = ok;
+    return e;
+  }
+  static TraceEvent delta_submitted(std::int64_t edit_ops,
+                                    std::int64_t dirty_area, bool valid) {
+    TraceEvent e = of(EventKind::kDeltaSubmitted, -1);
+    e.value = edit_ops;
+    e.extra = dirty_area;
+    e.ok = valid;
+    return e;
+  }
+  /// kNetsPreserved / kNetsInvalidated: the partition route_delta decided
+  /// on, id list in `nets`, count duplicated in `value` for counters.
+  static TraceEvent delta_nets(EventKind kind, std::vector<int> ids) {
+    TraceEvent e = of(kind, -1);
+    e.value = static_cast<std::int64_t>(ids.size());
+    e.nets = std::move(ids);
     return e;
   }
 

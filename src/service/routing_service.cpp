@@ -32,33 +32,10 @@ const char* job_state_name(JobState state) {
 }
 
 double estimated_utilization(const Problem& problem) {
-  const long long capacity = problem.region().routable_node_count();
-  if (capacity <= 0) return problem.net_count() > 0 ? 2.0 : 0.0;
-  long long demand = 0;
-  for (const Net& net : problem.nets()) {
-    // Half-perimeter of the net's pin + pre-wire bounding box: no connected
-    // wire shape touching every pin can occupy fewer nodes.
-    bool any = false;
-    Point lo{0, 0}, hi{0, 0};
-    auto grow = [&](Point p) {
-      if (!any) {
-        lo = hi = p;
-        any = true;
-        return;
-      }
-      lo.x = std::min(lo.x, p.x);
-      lo.y = std::min(lo.y, p.y);
-      hi.x = std::max(hi.x, p.x);
-      hi.y = std::max(hi.y, p.y);
-    };
-    for (const Pin& pin : net.pins) grow(pin.pos);
-    for (const Segment& seg : net.prewire) {
-      grow(seg.a.pos);
-      grow(seg.b.pos);
-    }
-    if (any) demand += (hi.x - lo.x) + (hi.y - lo.y) + 1;
-  }
-  return static_cast<double>(demand) / static_cast<double>(capacity);
+  // The estimate lives in the core now (it doubles as the delta
+  // pre-screen's utilization bound); this name stays as the serving-layer
+  // alias the ABI and docs reference.
+  return hpwl_utilization(problem);
 }
 
 /// One job's service-side record. The atomic cancel token is what the
@@ -75,6 +52,26 @@ struct RoutingService::Job {
   bool from_cache = false;
   Clock::time_point admitted_at;
   double queue_wait_ms = 0;
+
+  // ECO session binding. session != 0 ties the job's terminal state to the
+  // session (finalize_locked settles it); a delta job additionally carries
+  // the edit and the base-layout snapshot taken at admission.
+  std::uint64_t session = 0;
+  std::optional<ProblemEdit> edit;
+  std::shared_ptr<const RouteResult> base_layout;
+  bool delta_prescreen = true;
+  std::shared_ptr<const DeltaOutcome> delta;
+};
+
+/// One ECO session: the committed (problem, layout) pair deltas iterate
+/// on. Guarded by RoutingService::mutex_; the shared_ptrs are immutable
+/// snapshots, so a worker that copied them at admission reads lock-free.
+struct RoutingService::Session {
+  std::uint64_t id = 0;
+  std::shared_ptr<const Problem> problem;
+  std::shared_ptr<const RouteResult> layout;  ///< null until the base lands
+  std::uint64_t active_job = 0;               ///< 0 = idle
+  int committed_deltas = 0;
 };
 
 struct RoutingService::CacheSlot {
@@ -107,6 +104,24 @@ void RoutingService::emit(const obs::TraceEvent& event) {
 }
 
 StatusOr<std::uint64_t> RoutingService::submit(JobRequest request) {
+  return submit_impl(std::move(request), /*open_session=*/false, nullptr);
+}
+
+StatusOr<SessionTicket> RoutingService::open_session(JobRequest base) {
+  SessionTicket ticket;
+  StatusOr<std::uint64_t> id =
+      submit_impl(std::move(base), /*open_session=*/true, &ticket.session);
+  if (!id.ok()) return id.status();
+  ticket.base_job = *id;
+  {
+    const std::lock_guard<std::mutex> lock(metrics_mutex_);
+    metrics_.counter("sessions_opened").add();
+  }
+  return ticket;
+}
+
+StatusOr<std::uint64_t> RoutingService::submit_impl(
+    JobRequest request, bool open_session, std::uint64_t* session_out) {
   if (request.problem == nullptr)
     return Status::validation_error("JobRequest::problem must be set");
 
@@ -148,6 +163,17 @@ StatusOr<std::uint64_t> RoutingService::submit(JobRequest request) {
     else if (static_cast<int>(queue_.size()) >= options_.max_queue_depth)
       reject = RejectReason::kQueueFull;
     else {
+      if (open_session) {
+        // Create the session atomically with the enqueue: the base job is
+        // its first in-flight job, so finalize always finds the session.
+        auto session = std::make_shared<Session>();
+        session->id = next_session_++;
+        session->problem = job->request.problem;
+        session->active_job = id;
+        job->session = session->id;
+        sessions_.emplace(session->id, session);
+        *session_out = session->id;
+      }
       job->admitted_at = Clock::now();
       queue_.push_back(job);
       jobs_.emplace(id, job);
@@ -183,6 +209,128 @@ StatusOr<std::uint64_t> RoutingService::submit(JobRequest request) {
   }
   work_cv_.notify_one();
   return id;
+}
+
+StatusOr<std::uint64_t> RoutingService::submit_delta(std::uint64_t session,
+                                                     DeltaJobRequest request) {
+  auto job = std::make_shared<Job>();
+  job->request.options = request.options;
+  job->request.budget = request.budget;
+  job->request.extra_attempts = request.extra_attempts;
+  job->request.improve_passes = request.improve_passes;
+  job->request.use_cache = false;  // delta results are layout-dependent
+  job->request.trace = request.trace;
+  job->edit = std::move(request.edit);
+  job->delta_prescreen = request.prescreen;
+
+  std::uint64_t id = 0;
+  std::optional<RejectReason> reject;
+  Status session_error;
+  std::size_t depth_after = 0;
+  {
+    // One critical section validates the session, claims it, and enqueues:
+    // a claim that could not be enqueued must never leak, and two clients
+    // racing deltas onto one session must serialize here.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    id = next_id_++;
+    job->id = id;
+    if (stopping_) {
+      reject = RejectReason::kShutdown;
+    } else {
+      const auto it = sessions_.find(session);
+      if (it == sessions_.end()) {
+        session_error = Status::validation_error("unknown session id " +
+                                                 std::to_string(session));
+      } else if (it->second->active_job != 0) {
+        session_error = Status::resource_error(
+            "session " + std::to_string(session) + " is busy: job " +
+            std::to_string(it->second->active_job) + " is in flight");
+      } else if (it->second->layout == nullptr) {
+        session_error = Status::validation_error(
+            "session " + std::to_string(session) +
+            " has no committed base layout (base job failed or cancelled?)");
+      } else if (static_cast<int>(queue_.size()) >= options_.max_queue_depth) {
+        reject = RejectReason::kQueueFull;
+      } else {
+        Session& s = *it->second;
+        job->session = session;
+        job->request.problem = s.problem;
+        job->base_layout = s.layout;
+        s.active_job = id;
+        job->admitted_at = Clock::now();
+        queue_.push_back(job);
+        jobs_.emplace(id, job);
+        depth_after = queue_.size();
+      }
+    }
+  }
+  // A session-state failure is a request-shape error, like submit()'s null
+  // problem: reported before the job lifecycle begins.
+  if (!session_error.ok()) return session_error;
+
+  emit(obs::TraceEvent::job(obs::EventKind::kJobSubmitted,
+                            static_cast<std::int64_t>(id)));
+  // Serving-layer delta marker (job-style payload: job id, session id);
+  // route_delta emits the core triple once the job runs.
+  emit(obs::TraceEvent::job(obs::EventKind::kDeltaSubmitted,
+                            static_cast<std::int64_t>(id),
+                            static_cast<std::int64_t>(session)));
+  {
+    const std::lock_guard<std::mutex> lock(metrics_mutex_);
+    metrics_.counter("jobs_submitted").add();
+    metrics_.counter("deltas_submitted").add();
+  }
+
+  if (reject) {
+    emit(obs::TraceEvent::job(obs::EventKind::kJobRejected,
+                              static_cast<std::int64_t>(id),
+                              static_cast<std::int64_t>(*reject)));
+    const char* name = reject_reason_name(*reject);
+    {
+      const std::lock_guard<std::mutex> lock(metrics_mutex_);
+      metrics_.counter(std::string("jobs_rejected_") + name).add();
+    }
+    const std::string message =
+        "delta rejected at admission: " + std::string(name);
+    if (*reject == RejectReason::kShutdown) return Status::cancelled(message);
+    return Status::resource_error(message);
+  }
+
+  emit(obs::TraceEvent::job(obs::EventKind::kJobAdmitted,
+                            static_cast<std::int64_t>(id),
+                            static_cast<std::int64_t>(depth_after)));
+  {
+    const std::lock_guard<std::mutex> lock(metrics_mutex_);
+    metrics_.counter("jobs_admitted").add();
+    auto& peak = metrics_.counter("peak_queue_depth");
+    if (static_cast<long long>(depth_after) > peak.value())
+      peak.add(static_cast<long long>(depth_after) - peak.value());
+  }
+  work_cv_.notify_one();
+  return id;
+}
+
+bool RoutingService::close_session(std::uint64_t session) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end() || it->second->active_job != 0) return false;
+  sessions_.erase(it);
+  return true;
+}
+
+std::optional<SessionInfo> RoutingService::session_info(
+    std::uint64_t session) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) return std::nullopt;
+  const Session& s = *it->second;
+  SessionInfo info;
+  info.id = s.id;
+  info.busy = s.active_job != 0;
+  info.committed_deltas = s.committed_deltas;
+  info.problem = s.problem;
+  info.layout = s.layout;
+  return info;
 }
 
 void RoutingService::worker_loop(SearchArena* arena) {
@@ -286,6 +434,11 @@ void RoutingService::execute(const std::shared_ptr<Job>& job,
     metrics_.timer("queue_wait_ms").record_ms(job->queue_wait_ms);
   }
 
+  if (job->edit.has_value()) {
+    execute_delta(job, arena);
+    return;
+  }
+
   const JobRequest& request = job->request;
   const bool use_cache = options_.cache_capacity > 0 && cacheable(request);
   std::uint64_t hash = 0;
@@ -349,16 +502,89 @@ void RoutingService::execute(const std::shared_ptr<Job>& job,
   emit(done);
 }
 
+void RoutingService::execute_delta(const std::shared_ptr<Job>& job,
+                                   SearchArena* arena) {
+  // The base (problem, layout) snapshot was pinned at admission; the
+  // session claim (active_job) guarantees it cannot advance underneath us.
+  DeltaRequest delta_request;
+  delta_request.base_problem = job->request.problem.get();
+  delta_request.base_layout = &job->base_layout->grid;
+  delta_request.edit = *job->edit;
+  delta_request.options = job->request.options;
+  delta_request.budget = job->request.budget;
+  delta_request.budget.cancel = &job->cancel_token;
+  delta_request.trace = job->request.trace;
+  delta_request.extra_attempts = job->request.extra_attempts;
+  delta_request.improve_passes = job->request.improve_passes;
+  delta_request.prescreen = job->delta_prescreen;
+  if (job->request.extra_attempts <= 0) delta_request.arena = arena;
+
+  DeltaResult delta = route_delta(delta_request);
+
+  auto outcome = std::make_shared<DeltaOutcome>();
+  outcome->dirty_box = delta.dirty_box;
+  outcome->preserved = std::move(delta.preserved);
+  outcome->rerouted = std::move(delta.rerouted);
+  outcome->prescreen_rejected = delta.prescreen_rejected;
+  auto result = std::make_shared<RouteResult>(std::move(delta.result));
+  auto edited = std::make_shared<const Problem>(std::move(delta.edited));
+
+  const bool was_cancelled = job->cancel_token.load(std::memory_order_relaxed);
+  obs::TraceEvent done;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // The outcome's problem is the edited one the grid answers to — for a
+    // clean completion finalize_locked commits exactly this pair into the
+    // session; for anything else the session keeps its old state.
+    job->request.problem = std::move(edited);
+    job->result = std::move(result);
+    job->delta = std::move(outcome);
+    if (was_cancelled) {
+      done = finalize_locked(job, JobState::kCancelled,
+                             Status::cancelled("job cancelled while running; "
+                                               "partial result attached"));
+    } else {
+      done = finalize_locked(job, JobState::kCompleted, Status());
+    }
+  }
+  emit(done);
+}
+
 obs::TraceEvent RoutingService::finalize_locked(
     const std::shared_ptr<Job>& job, JobState state, Status status) {
   job->state = state;
   job->status = std::move(status);
+
+  // Session settlement: every terminal path (worker, cache hit, queued
+  // cancel, shutdown) funnels through here under mutex_, so the claim is
+  // released exactly once — and the committed state advances only on a
+  // clean completion. A cancelled, failed, pre-screened or invalid job
+  // leaves the session's base layout intact.
+  bool delta_committed = false;
+  if (job->session != 0) {
+    const auto it = sessions_.find(job->session);
+    if (it != sessions_.end() && it->second->active_job == job->id) {
+      Session& session = *it->second;
+      session.active_job = 0;
+      if (state == JobState::kCompleted && job->result != nullptr &&
+          job->result->status.ok()) {
+        session.problem = job->request.problem;
+        session.layout = job->result;
+        if (job->edit.has_value()) {
+          ++session.committed_deltas;
+          delta_committed = true;
+        }
+      }
+    }
+  }
+
   {
     const std::lock_guard<std::mutex> lock(metrics_mutex_);
     metrics_
         .counter(state == JobState::kCancelled ? "jobs_cancelled"
                                                : "jobs_completed")
         .add();
+    if (delta_committed) metrics_.counter("deltas_committed").add();
   }
   if (state == JobState::kCancelled)
     return obs::TraceEvent::job(obs::EventKind::kJobCancelled,
@@ -390,6 +616,7 @@ StatusOr<JobOutcome> RoutingService::wait(std::uint64_t id) {
   outcome.problem = job->request.problem;
   outcome.from_cache = job->from_cache;
   outcome.queue_wait_ms = job->queue_wait_ms;
+  outcome.delta = job->delta;
   jobs_.erase(id);  // wait() consumes the record
   return outcome;
 }
@@ -409,6 +636,7 @@ std::optional<JobOutcome> RoutingService::try_outcome(std::uint64_t id) const {
   outcome.problem = job.request.problem;
   outcome.from_cache = job.from_cache;
   outcome.queue_wait_ms = job.queue_wait_ms;
+  outcome.delta = job.delta;
   return outcome;
 }
 
@@ -498,6 +726,9 @@ ServiceStats RoutingService::stats() const {
     out.completed = snap.counter("jobs_completed");
     out.cancelled = snap.counter("jobs_cancelled");
     out.peak_queue_depth = snap.counter("peak_queue_depth");
+    out.sessions_opened = snap.counter("sessions_opened");
+    out.deltas_submitted = snap.counter("deltas_submitted");
+    out.deltas_committed = snap.counter("deltas_committed");
     for (const auto& timer : snap.timers)
       if (timer.name == "queue_wait_ms") out.total_queue_wait_ms = timer.total_ms;
   }

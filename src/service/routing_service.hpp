@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/api.hpp"
+#include "core/delta.hpp"
 #include "obs/budget.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -98,6 +99,15 @@ enum class JobState : std::uint8_t {
 
 const char* job_state_name(JobState state);
 
+/// What an ECO delta job decided, alongside its RouteResult: the
+/// invalidation partition route_delta committed to (see core/delta.hpp).
+struct DeltaOutcome {
+  Rect dirty_box{{0, 0}, {-1, -1}};
+  std::vector<NetId> preserved;  ///< replayed byte-identical from the base
+  std::vector<NetId> rerouted;   ///< ripped and re-routed
+  bool prescreen_rejected = false;
+};
+
 /// Terminal report for one job, returned by wait() (which consumes the
 /// job's service-side record) or peeked by try_outcome().
 struct JobOutcome {
@@ -115,6 +125,43 @@ struct JobOutcome {
   std::shared_ptr<const Problem> problem;
   bool from_cache = false;
   double queue_wait_ms = 0;  ///< admission -> start (0 when never started)
+  /// Delta jobs only: the invalidation partition (null on whole-problem
+  /// jobs). `problem` is then the *edited* problem the result answers to.
+  std::shared_ptr<const DeltaOutcome> delta;
+};
+
+/// Handle returned by open_session(): the session id plus the id of the
+/// base routing job admitted with it. The session holds no layout until
+/// that job completes cleanly.
+struct SessionTicket {
+  std::uint64_t session = 0;
+  std::uint64_t base_job = 0;
+};
+
+/// One ECO delta against a session's committed layout. No use_cache knob:
+/// delta jobs never touch the whole-problem result cache — their identity
+/// depends on the session's committed layout, which the cache key does not
+/// (and must not) capture.
+struct DeltaJobRequest {
+  ProblemEdit edit;
+  RouterOptions options;
+  obs::RunBudget budget;  ///< service adds its cancel token, as for submit()
+  int extra_attempts = 0;
+  int improve_passes = 0;
+  /// Run the routability pre-screen on the edited problem and reject
+  /// provably-infeasible edits without a routing attempt (route_delta's
+  /// kPrescreen degradation; the session layout is left untouched).
+  bool prescreen = true;
+  obs::TraceSink* trace = nullptr;  ///< per-job routing-event sink
+};
+
+/// Snapshot of one session's committed state (session_info()).
+struct SessionInfo {
+  std::uint64_t id = 0;
+  bool busy = false;           ///< a base or delta job is in flight
+  int committed_deltas = 0;    ///< deltas whose result replaced the layout
+  std::shared_ptr<const Problem> problem;      ///< current committed problem
+  std::shared_ptr<const RouteResult> layout;   ///< null until the base lands
 };
 
 /// Counter snapshot of a service's lifetime (see RoutingService::stats;
@@ -131,6 +178,10 @@ struct ServiceStats {
   long long queue_depth = 0;       ///< current
   long long peak_queue_depth = 0;
   double total_queue_wait_ms = 0;  ///< summed over started jobs
+  // Incremental/ECO sessions.
+  long long sessions_opened = 0;
+  long long deltas_submitted = 0;
+  long long deltas_committed = 0;  ///< deltas that advanced a session layout
 };
 
 /// Cheap routability estimate used by the admission pre-screen: the sum of
@@ -174,6 +225,34 @@ class RoutingService {
   /// A null problem is ErrorCode::kValidation.
   StatusOr<std::uint64_t> submit(JobRequest request);
 
+  // -- Incremental/ECO sessions (DESIGN.md §2.4) ---------------------------
+
+  /// Opens a session and admits its base routing job in one step (same
+  /// admission rules as submit(); on rejection no session is created).
+  /// When the base job completes cleanly its result becomes the session's
+  /// committed layout; until then — and after a failed or cancelled base —
+  /// submit_delta() reports the session as having no base.
+  StatusOr<SessionTicket> open_session(JobRequest base);
+
+  /// Admits one delta against the session's committed layout. At most one
+  /// job per session may be in flight (ErrorCode::kResource "busy"
+  /// otherwise); an unknown session or one without a committed base is
+  /// ErrorCode::kValidation. The job routes base-problem + edit with the
+  /// committed layout as warm start; if it completes cleanly, the edited
+  /// problem and new layout atomically replace the session's committed
+  /// state — a cancelled, rejected, pre-screened or invalid delta leaves
+  /// the session exactly as it was. Results are never served from (or
+  /// inserted into) the whole-problem cache.
+  StatusOr<std::uint64_t> submit_delta(std::uint64_t session,
+                                       DeltaJobRequest request);
+
+  /// Closes a session, dropping its committed state. False when the
+  /// session is unknown or still has a job in flight (wait for it first).
+  bool close_session(std::uint64_t session);
+
+  /// Snapshot of a session's committed state; nullopt for unknown ids.
+  std::optional<SessionInfo> session_info(std::uint64_t session) const;
+
   /// Blocks until the job reaches a terminal state and returns its outcome,
   /// consuming the service-side record (a second wait on the same id is
   /// ErrorCode::kValidation "unknown job").
@@ -206,11 +285,21 @@ class RoutingService {
  private:
   struct Job;
   struct CacheSlot;
+  struct Session;
 
   void worker_loop(SearchArena* arena);
   /// Executes one job on a worker: cache lookup, route(), cache insert,
   /// finalization. `arena` is the worker's persistent search scratch.
   void execute(const std::shared_ptr<Job>& job, SearchArena* arena);
+  /// Delta-job arm of execute(): route_delta against the session snapshot
+  /// taken at admission; no cache on either side.
+  void execute_delta(const std::shared_ptr<Job>& job, SearchArena* arena);
+  /// Shared admission path of submit()/open_session(): when `open_session`
+  /// is set, the session is created atomically with the enqueue (so the
+  /// base job can never finalize against a missing session) and its id is
+  /// stored through `session_out`.
+  StatusOr<std::uint64_t> submit_impl(JobRequest request, bool open_session,
+                                      std::uint64_t* session_out);
   /// Marks the job terminal, bumps the terminal counter, wakes waiters
   /// (caller must hold mutex_). Returns the lifecycle event to emit after
   /// the lock is released.
@@ -241,6 +330,11 @@ class RoutingService {
   bool paused_ = false;
   bool stopping_ = false;
   int running_jobs_ = 0;
+
+  // ECO sessions (guarded by mutex_; layouts/problems are immutable shared
+  // snapshots, so workers read them without the lock after admission).
+  std::unordered_map<std::uint64_t, std::shared_ptr<Session>> sessions_;
+  std::uint64_t next_session_ = 1;
 
   // Result cache: LRU list of slots, index from canonical hash to the slots
   // carrying it (several when identities collide under one hash).

@@ -229,4 +229,69 @@ VerifyReport verify(const Problem& problem, const RoutingGrid& grid) {
   return report;
 }
 
+namespace {
+
+/// A net's wire in canonical order: nodes sorted, then a parallel record of
+/// which upward cut each node anchors. Two grids hold byte-identical wire
+/// for the net exactly when these match.
+struct CanonicalWire {
+  std::vector<GridPoint> nodes;
+  std::vector<bool> via_up;  // node i owns the cut above its layer
+
+  friend bool operator==(const CanonicalWire&, const CanonicalWire&) = default;
+};
+
+CanonicalWire canonical_wire(const RoutingGrid& grid, NetId id) {
+  CanonicalWire wire;
+  wire.nodes = grid.net_nodes(id);
+  std::sort(wire.nodes.begin(), wire.nodes.end());
+  wire.via_up.reserve(wire.nodes.size());
+  for (const GridPoint& g : wire.nodes) {
+    const int cut = layer_index(g.layer);
+    wire.via_up.push_back(cut < grid.cut_count() &&
+                          grid.via_owner(g.pos, cut) == id);
+  }
+  return wire;
+}
+
+}  // namespace
+
+DeltaEquivalenceReport verify_delta_equivalence(
+    const Problem& edited, const RoutingGrid& delta_grid,
+    const RoutingGrid& base_grid, const std::vector<NetId>& preserved) {
+  DeltaEquivalenceReport report;
+  report.delta = verify(edited, delta_grid);
+  for (const NetId id : preserved) {
+    if (id < 0 || id >= base_grid.net_count() || id >= delta_grid.net_count()) {
+      report.changed_preserved.push_back(id);
+      continue;
+    }
+    if (canonical_wire(base_grid, id) != canonical_wire(delta_grid, id))
+      report.changed_preserved.push_back(id);
+  }
+  return report;
+}
+
+std::uint64_t net_wire_fingerprint(const RoutingGrid& grid, NetId id) {
+  constexpr std::uint64_t kOffset = 1469598103934665603ull;
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t h = kOffset;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= kPrime;
+    }
+  };
+  if (id < 0 || id >= grid.net_count()) return h;
+  const CanonicalWire wire = canonical_wire(grid, id);
+  for (std::size_t i = 0; i < wire.nodes.size(); ++i) {
+    const GridPoint& g = wire.nodes[i];
+    mix(static_cast<std::uint32_t>(g.pos.x));
+    mix(static_cast<std::uint32_t>(g.pos.y));
+    mix(static_cast<std::uint64_t>(layer_index(g.layer)) |
+        (wire.via_up[i] ? std::uint64_t{1} << 32 : 0));
+  }
+  return h;
+}
+
 }  // namespace gridroute

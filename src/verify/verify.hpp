@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -54,5 +55,34 @@ VerifyReport verify(const Problem& problem, const RoutingGrid& grid);
 /// with a single connected component. The fast path the router itself uses
 /// after each repair.
 bool net_routed_ok(const Problem& problem, const RoutingGrid& grid, NetId id);
+
+/// Differential audit of a delta-routing result against its base layout
+/// (DESIGN.md §2.4). The equivalence contract has two halves: the delta
+/// grid is verifier-clean against the edited problem, and every net the
+/// delta run claimed to preserve is byte-identical — same wire nodes, same
+/// vias — to the base layout.
+struct DeltaEquivalenceReport {
+  VerifyReport delta;  ///< full independent audit of the delta grid
+  /// Preserved nets whose wire or vias differ from the base layout
+  /// (contract violations; empty on an equivalent result).
+  std::vector<NetId> changed_preserved;
+
+  bool equivalent() const {
+    return delta.drc_clean() && changed_preserved.empty();
+  }
+};
+
+/// Audits `delta_grid` against `edited` and compares each net in
+/// `preserved` byte-for-byte with `base_grid`. Net ids must be valid in
+/// both grids (delta planning keeps ids stable, so they are).
+DeltaEquivalenceReport verify_delta_equivalence(
+    const Problem& edited, const RoutingGrid& delta_grid,
+    const RoutingGrid& base_grid, const std::vector<NetId>& preserved);
+
+/// Order-independent fingerprint of one net's wire: FNV-1a over the sorted
+/// node list and the vias the net owns. Equal wire gives equal
+/// fingerprints on any grid; the eco_speedup bench gates preserved-net
+/// identity on this value.
+std::uint64_t net_wire_fingerprint(const RoutingGrid& grid, NetId id);
 
 }  // namespace gridroute

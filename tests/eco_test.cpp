@@ -1,0 +1,472 @@
+// Incremental/ECO delta-routing tests (DESIGN.md §2.4), in two halves:
+//
+//  * Differential-equivalence fuzz: seeded instances from the benchmark
+//    families, each routed from scratch and then hit with one random edit.
+//    The delta result must be verifier-clean against the edited problem,
+//    every preserved net byte-identical to the base layout, and the quality
+//    (failed-net count, wire length) within a stated bound of routing the
+//    edited problem from scratch. GRIDROUTE_ECO_INSTANCES shrinks the run
+//    for sanitizer legs (scripts/tier1.sh sets it).
+//
+//  * Invalidation-rule properties: a net whose footprint (pins + base wire,
+//    inflated by one cell) is disjoint from the dirty box is never ripped —
+//    asserted both on the plan and on the trace ledger (no kNetStart) — and
+//    a net touching it always is, including via-stack dirty boxes on
+//    N >= 3 layer stacks.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "bench_suite/suite.hpp"
+#include "core/api.hpp"
+#include "core/delta.hpp"
+#include "obs/sinks.hpp"
+#include "verify/verify.hpp"
+
+namespace gridroute {
+namespace {
+
+/// Fuzz volume: default 200 seeded instances; the GRIDROUTE_ECO_INSTANCES
+/// environment knob shrinks (or grows) the run.
+int instance_count() {
+  if (const char* env = std::getenv("GRIDROUTE_ECO_INSTANCES")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 200;
+}
+
+RouteResult route_fresh(const Problem& p) {
+  RouteRequest request;
+  request.problem = &p;
+  return route(request);
+}
+
+/// Planar cells carrying any pin of any net — cells an edit must not claim
+/// for a new pin or cover with a new obstacle if the edited problem is to
+/// stay valid.
+std::unordered_set<Point> pin_cells(const Problem& p) {
+  std::unordered_set<Point> cells;
+  for (NetId id = 0; id < p.net_count(); ++id)
+    for (const Pin& pin : p.net(id).pins) cells.insert(pin.pos);
+  return cells;
+}
+
+/// A cell that is in-region, routable on every layer, and free of pins —
+/// a always-legal landing spot for a moved/added pin or a 1x1 obstacle.
+/// Returns false when the sampling budget runs out (dense instance).
+bool pick_free_cell(std::mt19937_64& rng, const Problem& p,
+                    const std::unordered_set<Point>& pins, Point* out) {
+  const Rect& b = p.region().bounds();
+  std::uniform_int_distribution<int> dx(b.lo.x, b.hi.x);
+  std::uniform_int_distribution<int> dy(b.lo.y, b.hi.y);
+  for (int tries = 0; tries < 200; ++tries) {
+    const Point c{dx(rng), dy(rng)};
+    if (!p.region().in_region(c) || pins.count(c)) continue;
+    bool clear = true;
+    for (int k = 0; k < p.region().layer_count(); ++k)
+      if (!p.region().routable({c, layer_at(k)})) {
+        clear = false;
+        break;
+      }
+    if (clear) {
+      *out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// One random edit against `p`. Always produces a valid, non-empty edit:
+/// ops that need a free cell fall back to a net removal when the instance
+/// is too dense to find one.
+ProblemEdit random_edit(std::mt19937_64& rng, const Problem& p) {
+  const auto pins = pin_cells(p);
+  ProblemEdit edit;
+  auto multi_pin_net = [&]() -> NetId {
+    std::vector<NetId> ids;
+    for (NetId id = 0; id < p.net_count(); ++id)
+      if (p.net(id).pins.size() >= 2 && !p.net(id).fixed) ids.push_back(id);
+    if (ids.empty()) return kNoNet;
+    return ids[rng() % ids.size()];
+  };
+  const NetId victim = multi_pin_net();
+  auto fallback_remove = [&]() {
+    edit.remove_nets.push_back(victim >= 0 ? victim : 0);
+  };
+
+  switch (rng() % 7) {
+    case 0: {  // move one pin of an existing net
+      Point to;
+      if (victim < 0 || !pick_free_cell(rng, p, pins, &to)) {
+        fallback_remove();
+        break;
+      }
+      const int pin = static_cast<int>(rng() % p.net(victim).pins.size());
+      edit.move_pins.push_back({victim, pin, to});
+      break;
+    }
+    case 1: {  // add a pin to an existing net
+      Point at;
+      if (victim < 0 || !pick_free_cell(rng, p, pins, &at)) {
+        fallback_remove();
+        break;
+      }
+      edit.add_pins.push_back({victim, Pin{at, Layer::kMetal1, true}});
+      break;
+    }
+    case 2: {  // remove a pin
+      if (victim < 0) {
+        fallback_remove();
+        break;
+      }
+      const int pin = static_cast<int>(rng() % p.net(victim).pins.size());
+      edit.remove_pins.push_back({victim, pin});
+      break;
+    }
+    case 3:  // drop a whole net
+      fallback_remove();
+      break;
+    case 4: {  // add a fresh two-pin net
+      Point a, b;
+      if (!pick_free_cell(rng, p, pins, &a) ||
+          !pick_free_cell(rng, p, pins, &b) || a == b) {
+        fallback_remove();
+        break;
+      }
+      Net net;
+      net.name = "eco_added";
+      net.pins = {{a, Layer::kMetal1, true}, {b, Layer::kMetal1, true}};
+      edit.add_nets.push_back(std::move(net));
+      break;
+    }
+    case 5: {  // new obstacle (sometimes single-layer)
+      Point c;
+      if (!pick_free_cell(rng, p, pins, &c)) {
+        fallback_remove();
+        break;
+      }
+      ProblemEdit::AddObstacle ob;
+      ob.rect = {c, c};
+      ob.all_layers = (rng() % 2) == 0;
+      if (!ob.all_layers)
+        ob.layer = layer_at(static_cast<int>(
+            rng() % static_cast<std::uint64_t>(p.region().layer_count())));
+      edit.add_obstacles.push_back(ob);
+      break;
+    }
+    default: {  // region re-sizing: carve one cell out
+      Point c;
+      if (!pick_free_cell(rng, p, pins, &c)) {
+        fallback_remove();
+        break;
+      }
+      edit.subtract_region.push_back({c, c});
+      break;
+    }
+  }
+  return edit;
+}
+
+/// One seeded instance per index, cycling the benchmark families (two-layer
+/// switchboxes, macro-cell regions with obstacles, and an N=3 stack).
+Problem fuzz_instance(int i) {
+  const std::uint64_t seed = 1000 + static_cast<std::uint64_t>(i);
+  switch (i % 4) {
+    case 0:
+      return suite::random_switchbox(seed, 12, 9, 7).to_problem();
+    case 1:
+      return suite::macrocell_region(seed, 20, 14, 9);
+    case 2:
+      return suite::burstein_class_switchbox(seed, 14, 10, 10).to_problem();
+    default:
+      return suite::multilayer_region(seed, 12, 9, 7, LayerStack(3));
+  }
+}
+
+TEST(EcoFuzz, DeltaEquivalentToBaseAndNearScratchQuality) {
+  const int n = instance_count();
+  for (int i = 0; i < n; ++i) {
+    SCOPED_TRACE("instance " + std::to_string(i));
+    const Problem base = fuzz_instance(i);
+    const RouteResult base_result = route_fresh(base);
+    ASSERT_TRUE(base_result.status.ok());
+
+    std::mt19937_64 rng(0xEC0DE17Au + static_cast<std::uint64_t>(i));
+    DeltaRequest request;
+    request.base_problem = &base;
+    request.base_layout = &base_result.grid;
+    request.edit = random_edit(rng, base);
+    ASSERT_FALSE(request.edit.empty());
+
+    const DeltaResult delta = route_delta(request);
+    ASSERT_TRUE(delta.result.status.ok() ||
+                delta.result.status.code() == ErrorCode::kResource)
+        << delta.result.status.message();
+
+    // The equivalence contract: verifier-clean against the edited problem,
+    // preserved nets byte-identical to the base layout. Holds even for
+    // pre-screen rejections (the warm start is still replayed).
+    const auto eq = verify_delta_equivalence(
+        delta.edited, delta.result.grid, base_result.grid, delta.preserved);
+    EXPECT_TRUE(eq.equivalent())
+        << eq.delta.violations.size() << " violations, "
+        << eq.changed_preserved.size() << " changed preserved nets";
+
+    // Partition sanity: preserved and re-routed sets are disjoint, and
+    // every failure is a net the plan actually attempted.
+    std::unordered_set<NetId> preserved(delta.preserved.begin(),
+                                        delta.preserved.end());
+    std::unordered_set<NetId> rerouted(delta.rerouted.begin(),
+                                       delta.rerouted.end());
+    for (NetId id : delta.preserved) EXPECT_FALSE(rerouted.count(id));
+    for (NetId id : delta.result.failed) EXPECT_TRUE(rerouted.count(id));
+
+    // Quality vs from-scratch on the same edited problem: the warm start
+    // may cost a little (frozen nets constrain the re-route), but stays
+    // within a fixed failed-net slack and a 2x + constant length bound.
+    const RouteResult scratch = route_fresh(delta.edited);
+    if (delta.prescreen_rejected) {
+      // Pre-screen soundness: a provably-infeasible edit must also defeat
+      // the from-scratch run.
+      EXPECT_FALSE(scratch.failed.empty());
+    } else {
+      EXPECT_LE(delta.result.failed.size(), scratch.failed.size() + 3);
+      EXPECT_LE(delta.result.grid.total_nodes(),
+                2 * scratch.grid.total_nodes() + 40);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Invalidation-rule properties
+// ---------------------------------------------------------------------------
+
+/// Two well-separated vertical nets on the default two-layer stack. Net a
+/// lives at x <= 4, net b at x >= 11 — far enough apart that any edit local
+/// to one leaves the other's inflated footprint clear.
+Problem two_island_problem() {
+  Problem p{Region(16, 6)};
+  const NetId a = p.add_net("a");
+  p.net(a).pins = {{{1, 1}, Layer::kMetal1, true},
+                   {{4, 1}, Layer::kMetal1, true}};
+  const NetId b = p.add_net("b");
+  p.net(b).pins = {{{12, 1}, Layer::kMetal1, true},
+                   {{12, 4}, Layer::kMetal1, true}};
+  return p;
+}
+
+TEST(EcoProperty, DisjointNetPreservedTouchingNetRipped) {
+  const Problem base = two_island_problem();
+  const RouteResult base_result = route_fresh(base);
+  ASSERT_TRUE(base_result.status.ok());
+  ASSERT_TRUE(base_result.failed.empty());
+
+  // Obstacle inside net b's bounding box: dirty box = that one cell.
+  ProblemEdit edit;
+  edit.add_obstacles.push_back({{{12, 2}, {12, 2}}, Layer::kMetal1, true});
+
+  obs::ReplaySink ledger;
+  DeltaRequest request;
+  request.base_problem = &base;
+  request.base_layout = &base_result.grid;
+  request.edit = edit;
+  request.trace = &ledger;
+  const DeltaResult delta = route_delta(request);
+
+  // Plan: a (footprint x in [0,5] after inflation) is disjoint from the
+  // dirty cell (12,2) -> preserved; b's footprint contains it -> ripped.
+  EXPECT_EQ(delta.preserved, std::vector<NetId>{0});
+  EXPECT_EQ(delta.rerouted, std::vector<NetId>{1});
+  EXPECT_TRUE(delta.dirty_box.contains(Point{12, 2}));
+  EXPECT_FALSE(delta.dirty_box.intersects({{0, 0}, {5, 5}}));
+
+  // Trace ledger: the preserved net never re-enters the router (no
+  // kNetStart), the invalidated one does; the delta events carry the
+  // partition.
+  bool saw_submitted = false, saw_preserved = false, saw_invalidated = false;
+  for (const obs::TraceEvent& e : ledger.events()) {
+    switch (e.kind) {
+      case obs::EventKind::kNetStart:
+        EXPECT_NE(e.net, 0) << "preserved net was ripped";
+        break;
+      case obs::EventKind::kDeltaSubmitted:
+        saw_submitted = true;
+        EXPECT_TRUE(e.ok);
+        EXPECT_EQ(e.value, edit.op_count());
+        break;
+      case obs::EventKind::kNetsPreserved:
+        saw_preserved = true;
+        EXPECT_EQ(e.nets, std::vector<int>{0});
+        break;
+      case obs::EventKind::kNetsInvalidated:
+        saw_invalidated = true;
+        EXPECT_EQ(e.nets, std::vector<int>{1});
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_TRUE(saw_submitted);
+  EXPECT_TRUE(saw_preserved);
+  EXPECT_TRUE(saw_invalidated);
+
+  // Byte-identity of the preserved net, spot-checked by fingerprint too.
+  EXPECT_EQ(net_wire_fingerprint(base_result.grid, 0),
+            net_wire_fingerprint(delta.result.grid, 0));
+  EXPECT_TRUE(verify_delta_equivalence(delta.edited, delta.result.grid,
+                                       base_result.grid, delta.preserved)
+                  .equivalent());
+  EXPECT_TRUE(delta.result.failed.empty());
+}
+
+TEST(EcoProperty, FootprintInflationBoundaryIsExact) {
+  // A vertical net at x = 5. Footprint after inflation reaches x = 6: a
+  // dirty cell at x = 7 leaves it preserved, at x = 6 invalidates it.
+  Problem p{Region(12, 5)};
+  const NetId a = p.add_net("a");
+  p.net(a).pins = {{{5, 1}, Layer::kMetal1, true},
+                   {{5, 3}, Layer::kMetal1, true}};
+  const RouteResult base = route_fresh(p);
+  ASSERT_TRUE(base.failed.empty());
+
+  for (const auto& [x, preserved] : {std::pair{7, true}, std::pair{6, false}}) {
+    ProblemEdit edit;
+    edit.add_obstacles.push_back({{{x, 2}, {x, 2}}, Layer::kMetal1, true});
+    const auto edited = apply_edit(p, edit);
+    ASSERT_TRUE(edited.ok());
+    const DeltaPlan plan = plan_delta(p, base.grid, *edited, edit);
+    EXPECT_EQ(plan.preserved == std::vector<NetId>{a}, preserved)
+        << "dirty cell at x=" << x;
+    EXPECT_EQ(plan.invalidated == std::vector<NetId>{a}, !preserved);
+  }
+}
+
+TEST(EcoProperty, ViaStackDirtyBoxOnFourLayerStack) {
+  // N = 4 stack. Net a's base wire climbs a via stack at (2,2) through
+  // layers 0..2; net b is a planar column at x = 12. A single-layer
+  // obstacle on layer 2 at the stack cell invalidates a (its wire occupies
+  // that exact node) and preserves b.
+  Region region(16, 6, LayerStack(4));
+  Problem p{std::move(region)};
+  const NetId a = p.add_net("a");
+  p.net(a).pins = {{{2, 1}, layer_at(0), false}, {{2, 4}, layer_at(2), false}};
+  const NetId b = p.add_net("b");
+  p.net(b).pins = {{{12, 1}, layer_at(0), false},
+                   {{12, 4}, layer_at(0), false}};
+  ASSERT_TRUE(p.validate_status().empty());
+
+  // Hand-build the base layout (plan_delta only needs a grid, not a routed
+  // result): a = (2,1..2) on L0, via stack to L2 at (2,2), (2,2..4) on L2;
+  // b = (12,1..4) on L0.
+  RoutingGrid grid(p.region(), p.net_count());
+  for (int y = 1; y <= 2; ++y) ASSERT_TRUE(grid.occupy({{2, y}, layer_at(0)}, a));
+  ASSERT_TRUE(grid.occupy({{2, 2}, layer_at(1)}, a));
+  ASSERT_TRUE(grid.add_via({2, 2}, 0, a));
+  for (int y = 2; y <= 4; ++y) ASSERT_TRUE(grid.occupy({{2, y}, layer_at(2)}, a));
+  ASSERT_TRUE(grid.add_via({2, 2}, 1, a));
+  for (int y = 1; y <= 4; ++y)
+    ASSERT_TRUE(grid.occupy({{12, y}, layer_at(0)}, b));
+  ASSERT_TRUE(verify(p, grid).all_ok());
+
+  ProblemEdit edit;
+  edit.add_obstacles.push_back({{{2, 2}, {2, 2}}, layer_at(2), false});
+  const auto edited = apply_edit(p, edit);
+  ASSERT_TRUE(edited.ok());
+  const DeltaPlan plan = plan_delta(p, grid, *edited, edit);
+
+  EXPECT_EQ(plan.invalidated, std::vector<NetId>{a});
+  EXPECT_EQ(plan.preserved, std::vector<NetId>{b});
+  // The warm problem freezes b's column (wire + no vias) as fixed pre-wire.
+  EXPECT_TRUE(plan.warm.net(b).fixed);
+  EXPECT_FALSE(plan.warm.net(b).prewire.empty());
+  EXPECT_TRUE(plan.warm.net(b).previas.empty());
+  EXPECT_FALSE(plan.warm.net(a).fixed);
+  EXPECT_TRUE(plan.warm.net(a).prewire.empty());
+}
+
+TEST(EcoProperty, ExportNetWireRoundTripsViaStack) {
+  // export_net_wire must reproduce a via stack exactly: one degenerate
+  // landing run per layer plus both cuts, in deterministic order.
+  Region region(6, 6, LayerStack(3));
+  RoutingGrid grid(region, 1);
+  ASSERT_TRUE(grid.occupy({{3, 3}, layer_at(0)}, 0));
+  ASSERT_TRUE(grid.occupy({{3, 3}, layer_at(1)}, 0));
+  ASSERT_TRUE(grid.add_via({3, 3}, 0, 0));
+  ASSERT_TRUE(grid.occupy({{3, 3}, layer_at(2)}, 0));
+  ASSERT_TRUE(grid.add_via({3, 3}, 1, 0));
+
+  std::vector<Segment> segments;
+  std::vector<PreVia> vias;
+  export_net_wire(grid, 0, &segments, &vias);
+  ASSERT_EQ(segments.size(), 3u);  // one single-cell run per layer
+  for (const Segment& s : segments) {
+    EXPECT_EQ(s.a.pos, (Point{3, 3}));
+    EXPECT_EQ(s.b.pos, (Point{3, 3}));
+  }
+  ASSERT_EQ(vias.size(), 2u);
+  EXPECT_EQ(vias[0].cut, 0);
+  EXPECT_EQ(vias[1].cut, 1);
+}
+
+TEST(EcoProperty, PrescreenRejectsProvablyInfeasibleEdit) {
+  // Start from a routable two-net problem, then add a wall of obstacles
+  // that pinches the region to fewer crossing pairs than spanning nets.
+  Problem p{Region(10, 4)};
+  const NetId a = p.add_net("a");
+  p.net(a).pins = {{{0, 1}, Layer::kMetal1, true},
+                   {{9, 1}, Layer::kMetal1, true}};
+  const NetId b = p.add_net("b");
+  p.net(b).pins = {{{0, 2}, Layer::kMetal1, true},
+                   {{9, 2}, Layer::kMetal1, true}};
+  const RouteResult base = route_fresh(p);
+  ASSERT_TRUE(base.failed.empty());
+
+  // Carve out the whole x=5 column: no path can cross it afterwards.
+  ProblemEdit edit;
+  edit.subtract_region.push_back({{5, 0}, {5, 3}});
+
+  DeltaRequest request;
+  request.base_problem = &p;
+  request.base_layout = &base.grid;
+  request.edit = edit;
+  const DeltaResult delta = route_delta(request);
+
+  EXPECT_TRUE(delta.prescreen_rejected);
+  EXPECT_EQ(delta.result.status.code(), ErrorCode::kResource);
+  // Both nets straddle the cut, so both are invalidated and reported
+  // failed without a routing attempt.
+  EXPECT_EQ(delta.result.failed.size(), 2u);
+  ASSERT_EQ(delta.result.degradation.size(), 1u);
+  EXPECT_EQ(delta.result.degradation[0].kind, Degradation::Kind::kPrescreen);
+
+  const RoutabilityEstimate estimate = assess_routability(delta.edited);
+  EXPECT_TRUE(estimate.provably_infeasible());
+  EXPECT_GT(estimate.cut_overflow, 0);
+}
+
+TEST(EcoProperty, MalformedEditDegradesToValidation) {
+  const Problem base = two_island_problem();
+  const RouteResult base_result = route_fresh(base);
+
+  ProblemEdit edit;
+  edit.move_pins.push_back({99, 0, {1, 1}});  // unknown net id
+
+  DeltaRequest request;
+  request.base_problem = &base;
+  request.base_layout = &base_result.grid;
+  request.edit = edit;
+  const DeltaResult delta = route_delta(request);
+  EXPECT_EQ(delta.result.status.code(), ErrorCode::kValidation);
+  ASSERT_FALSE(delta.result.degradation.empty());
+  EXPECT_EQ(delta.result.degradation[0].kind, Degradation::Kind::kValidation);
+}
+
+}  // namespace
+}  // namespace gridroute

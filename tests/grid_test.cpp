@@ -200,6 +200,63 @@ TEST(RoutingGrid, TotalsAggregateAcrossNets) {
   EXPECT_EQ(g.total_vias(), 1);
 }
 
+TEST(GridTransaction, StaleMarkAcrossCommitUnwindsToCommittedState) {
+  // Regression for the ECO delta path: a commit() between a transaction's
+  // construction and its unwind invalidates the captured mark — it indexes
+  // the discarded journal. Rolling back to it raw would stop partway into
+  // whatever was journaled after the commit, here leaving a three-layer via
+  // stack half-restored. The transaction must detect the epoch change and
+  // unwind to the committed state (mark 0) instead.
+  RoutingGrid g(Region(6, 4, LayerStack(3)), 2);
+  g.occupy({{1, 1}, layer_at(0)}, 0);
+  g.commit();
+
+  // Uncommitted pre-transaction work pushes the journal to size 4, so a
+  // stale mark of 4 lands mid-way into the post-commit rip records below.
+  g.occupy({{2, 1}, layer_at(0)}, 0);
+  g.occupy({{2, 2}, layer_at(0)}, 0);
+  g.occupy({{2, 3}, layer_at(0)}, 0);
+  g.occupy({{4, 1}, layer_at(0)}, 0);
+
+  {
+    GridTransaction txn(g);
+    // Net 1 builds a full via stack at (3,1): layers 0..2, both cuts.
+    g.occupy({{3, 1}, layer_at(0)}, 1);
+    g.occupy({{3, 1}, layer_at(1)}, 1);
+    g.add_via({3, 1}, 0, 1);
+    g.occupy({{3, 1}, layer_at(2)}, 1);
+    g.add_via({3, 1}, 1, 1);
+    g.commit();  // the delta engine's stable point — journal discarded
+
+    g.rip_net(1);    // journaled after the commit
+    txn.rollback();  // stale mark: must unwind the whole rip, not 1/5 of it
+  }
+
+  EXPECT_EQ(g.owner({{3, 1}, layer_at(0)}), 1);
+  EXPECT_EQ(g.owner({{3, 1}, layer_at(1)}), 1);
+  EXPECT_EQ(g.owner({{3, 1}, layer_at(2)}), 1);
+  EXPECT_TRUE(g.has_via({3, 1}, 0));
+  EXPECT_TRUE(g.has_via({3, 1}, 1));
+  // Committed pre-transaction wire is untouched by the unwind.
+  EXPECT_EQ(g.owner({{1, 1}, layer_at(0)}), 0);
+  EXPECT_EQ(g.owner({{2, 2}, layer_at(0)}), 0);
+}
+
+TEST(GridTransaction, SameEpochUnwindStillRestoresMark) {
+  // The common case must be unchanged: no commit inside the transaction,
+  // so unwind returns exactly to the captured mark.
+  RoutingGrid g = make_grid();
+  g.occupy({{0, 0}, Layer::kMetal1}, 0);
+  {
+    GridTransaction txn(g);
+    g.occupy({{1, 0}, Layer::kMetal1}, 1);
+    g.occupy({{2, 0}, Layer::kMetal1}, 1);
+    txn.rollback();
+  }
+  EXPECT_EQ(g.owner({{0, 0}, Layer::kMetal1}), 0);
+  EXPECT_EQ(g.node_count(1), 0);
+}
+
 TEST(RoutingGrid, RipAfterRollbackInterleaving) {
   // Rip a net, roll it back, and check the via survives the round-trip.
   RoutingGrid g = make_grid();

@@ -448,5 +448,230 @@ TEST(EstimatedUtilization, OrdersFeasibleAndInfeasible) {
   EXPECT_EQ(estimated_utilization(Problem{Region(4, 4)}), 0.0);
 }
 
+// ---------------------------------------------------------------------------
+// Incremental/ECO sessions (DESIGN.md §2.4)
+// ---------------------------------------------------------------------------
+
+/// A small always-routable region problem for session tests.
+std::shared_ptr<const Problem> session_problem(std::uint64_t seed = 11,
+                                               int nets = 6) {
+  return std::make_shared<const Problem>(
+      suite::random_switchbox(seed, 12, 9, nets).to_problem());
+}
+
+TEST(ServiceSession, OpenSubmitDeltaCommitAdvancesLayout) {
+  const auto p = session_problem();
+  RoutingService service;
+  const auto ticket = service.open_session(job_for(p));
+  ASSERT_TRUE(ticket.ok()) << ticket.status().to_string();
+  const auto base = service.wait(ticket->base_job);
+  ASSERT_TRUE(base.ok());
+  ASSERT_EQ(base->state, JobState::kCompleted);
+
+  auto info = service.session_info(ticket->session);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_FALSE(info->busy);
+  EXPECT_EQ(info->committed_deltas, 0);
+  ASSERT_NE(info->layout, nullptr);
+  EXPECT_EQ(info->layout.get(), base->result.get());
+
+  // Move one pin of net 0 to a free interior cell.
+  DeltaJobRequest delta;
+  delta.edit.move_pins.push_back({0, 0, {5, 4}});
+  const auto id = service.submit_delta(ticket->session, delta);
+  ASSERT_TRUE(id.ok()) << id.status().to_string();
+  const auto outcome = service.wait(*id);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(outcome->state, JobState::kCompleted);
+  ASSERT_NE(outcome->delta, nullptr);
+  EXPECT_FALSE(outcome->from_cache);
+
+  // The equivalence contract holds against the session's base layout.
+  EXPECT_TRUE(verify_delta_equivalence(*outcome->problem,
+                                       outcome->result->grid,
+                                       base->result->grid,
+                                       outcome->delta->preserved)
+                  .equivalent());
+
+  // The session advanced: committed layout is now the delta result.
+  info = service.session_info(ticket->session);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->committed_deltas, 1);
+  EXPECT_EQ(info->layout.get(), outcome->result.get());
+  EXPECT_EQ(info->problem.get(), outcome->problem.get());
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.sessions_opened, 1);
+  EXPECT_EQ(stats.deltas_submitted, 1);
+  EXPECT_EQ(stats.deltas_committed, 1);
+  EXPECT_TRUE(service.close_session(ticket->session));
+}
+
+TEST(ServiceSession, TwoSessionsDoNotCrossContaminate) {
+  // Two clients on different problems, deltas interleaved: each session's
+  // committed state must track its own lineage only.
+  const auto pa = session_problem(21, 6);
+  const auto pb = session_problem(22, 7);
+  ServiceOptions options;
+  options.workers = 2;
+  RoutingService service(options);
+
+  const auto ta = service.open_session(job_for(pa));
+  const auto tb = service.open_session(job_for(pb));
+  ASSERT_TRUE(ta.ok());
+  ASSERT_TRUE(tb.ok());
+  const auto base_a = service.wait(ta->base_job);
+  const auto base_b = service.wait(tb->base_job);
+  ASSERT_TRUE(base_a.ok());
+  ASSERT_TRUE(base_b.ok());
+  ASSERT_EQ(base_a->state, JobState::kCompleted);
+  ASSERT_EQ(base_b->state, JobState::kCompleted);
+
+  DeltaJobRequest da;
+  da.edit.remove_nets.push_back(0);
+  DeltaJobRequest db;
+  db.edit.add_obstacles.push_back({{{6, 4}, {6, 4}}, Layer::kMetal1, true});
+  const auto ja = service.submit_delta(ta->session, da);
+  const auto jb = service.submit_delta(tb->session, db);
+  ASSERT_TRUE(ja.ok());
+  ASSERT_TRUE(jb.ok());
+  const auto oa = service.wait(*ja);
+  const auto ob = service.wait(*jb);
+  ASSERT_TRUE(oa.ok());
+  ASSERT_TRUE(ob.ok());
+  ASSERT_EQ(oa->state, JobState::kCompleted);
+  ASSERT_EQ(ob->state, JobState::kCompleted);
+
+  // Each delta answers to its own base: preserved nets byte-identical to
+  // the session's own committed layout.
+  EXPECT_TRUE(verify_delta_equivalence(*oa->problem, oa->result->grid,
+                                       base_a->result->grid,
+                                       oa->delta->preserved)
+                  .equivalent());
+  EXPECT_TRUE(verify_delta_equivalence(*ob->problem, ob->result->grid,
+                                       base_b->result->grid,
+                                       ob->delta->preserved)
+                  .equivalent());
+
+  // Session snapshots stayed independent: a's problem kept b's edit out
+  // and vice versa (a removed net 0; b gained an obstacle, kept its nets).
+  const auto ia = service.session_info(ta->session);
+  const auto ib = service.session_info(tb->session);
+  ASSERT_TRUE(ia.has_value());
+  ASSERT_TRUE(ib.has_value());
+  EXPECT_NE(ia->problem.get(), ib->problem.get());
+  EXPECT_TRUE(ia->problem->net(0).pins.empty());       // tombstoned in a
+  EXPECT_FALSE(ib->problem->net(0).pins.empty());      // intact in b
+  EXPECT_EQ(ia->committed_deltas, 1);
+  EXPECT_EQ(ib->committed_deltas, 1);
+  EXPECT_EQ(service.stats().sessions_opened, 2);
+}
+
+TEST(ServiceSession, CancelMidDeltaLeavesBaseLayoutCommitted) {
+  // Base: the slow instance under a tight deterministic expansion budget,
+  // so it terminates quickly with a clean partial layout the session
+  // commits. The delta then re-routes the (infeasible, long-running)
+  // remainder unbudgeted — cancelled mid-flight.
+  const auto p = slow_problem();
+  JobRequest base_request = job_for(p);
+  base_request.budget.max_expansions = 2000;
+  RoutingService service;
+  const auto ticket = service.open_session(base_request);
+  ASSERT_TRUE(ticket.ok());
+  const auto base = service.wait(ticket->base_job);
+  ASSERT_TRUE(base.ok());
+  ASSERT_EQ(base->state, JobState::kCompleted);
+  ASSERT_TRUE(base->result->status.ok());
+
+  DeltaJobRequest delta;  // unlimited budget
+  // The instance is provably infeasible, so the pre-screen would settle it
+  // instantly; switch it off to get a genuinely long-running re-route.
+  delta.prescreen = false;
+  // Row 0 of a channel problem carries pins; row 1 is a routing track.
+  delta.edit.add_obstacles.push_back({{{0, 1}, {0, 1}}, Layer::kMetal1, true});
+  const auto id = service.submit_delta(ticket->session, delta);
+  ASSERT_TRUE(id.ok()) << id.status().to_string();
+
+  // Session is busy while the delta is in flight: a second delta bounces.
+  EXPECT_EQ(service.submit_delta(ticket->session, delta).status().code(),
+            ErrorCode::kResource);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (service.stats().started < 2 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_EQ(service.stats().started, 2);
+  service.cancel(*id);
+
+  const auto outcome = service.wait(*id);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(outcome->state, JobState::kCancelled);
+  ASSERT_NE(outcome->result, nullptr);  // verifiable partial
+  EXPECT_TRUE(verify(*outcome->problem, outcome->result->grid).drc_clean());
+
+  // The cancelled delta must not have advanced the session: the committed
+  // layout is still the base result, and the session is free again.
+  const auto info = service.session_info(ticket->session);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_FALSE(info->busy);
+  EXPECT_EQ(info->committed_deltas, 0);
+  EXPECT_EQ(info->layout.get(), base->result.get());
+  EXPECT_EQ(service.stats().deltas_committed, 0);
+}
+
+TEST(ServiceSession, DeltaJobsNeverServedFromCache) {
+  // Prime the whole-problem LRU with the exact problem an empty delta
+  // re-produces. A cache key that ignored the session's committed layout
+  // would serve the delta from it; the contract is that delta jobs bypass
+  // the cache entirely.
+  const auto p = session_problem(33, 6);
+  RoutingService service;
+  const auto warmup = service.submit(job_for(p));
+  ASSERT_TRUE(warmup.ok());
+  ASSERT_TRUE(service.wait(*warmup).ok());
+
+  const auto ticket = service.open_session(job_for(p));
+  ASSERT_TRUE(ticket.ok());
+  const auto base = service.wait(ticket->base_job);
+  ASSERT_TRUE(base.ok());
+  EXPECT_TRUE(base->from_cache);  // same problem: the base may cache-hit
+  const long long hits_before = service.stats().cache_hits;
+
+  DeltaJobRequest delta;  // empty edit: edited problem == base problem
+  const auto id = service.submit_delta(ticket->session, delta);
+  ASSERT_TRUE(id.ok());
+  const auto outcome = service.wait(*id);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(outcome->state, JobState::kCompleted);
+  EXPECT_FALSE(outcome->from_cache);
+  EXPECT_EQ(service.stats().cache_hits, hits_before);
+  // Content-wise the edited problem equals the cached one — which is
+  // exactly why a naive cache key would have matched.
+  EXPECT_EQ(outcome->problem->canonical_hash(), p->canonical_hash());
+}
+
+TEST(ServiceSession, SessionAdmissionErrors) {
+  const auto p = session_problem(44, 5);
+  RoutingService service;
+
+  DeltaJobRequest delta;
+  delta.edit.remove_nets.push_back(0);
+  // Unknown session.
+  EXPECT_EQ(service.submit_delta(77, delta).status().code(),
+            ErrorCode::kValidation);
+  EXPECT_FALSE(service.close_session(77));
+  EXPECT_FALSE(service.session_info(77).has_value());
+
+  const auto ticket = service.open_session(job_for(p));
+  ASSERT_TRUE(ticket.ok());
+  ASSERT_TRUE(service.wait(ticket->base_job).ok());
+
+  // Closing consumes the session; later deltas bounce.
+  EXPECT_TRUE(service.close_session(ticket->session));
+  EXPECT_EQ(service.submit_delta(ticket->session, delta).status().code(),
+            ErrorCode::kValidation);
+}
+
 }  // namespace
 }  // namespace gridroute::service
