@@ -14,9 +14,20 @@
 //                               the determinism fingerprint of the stream
 //   jobs_per_sec                higher-better — end-to-end service rate
 //   cached_jobs_per_sec         higher-better — cache turnaround rate
+//   overload_shed / overload_browned / overload_completed
+//                               exact — the overload phase's admission
+//                               ledger (see below); brown-out policy
+//                               changes must show up here, gated
 // Informational: per-phase wall times, mean queue wait (a drain benchmark
 // queues every job behind the whole stream ahead of it, so the mean says
 // how the backlog feels, not how the router performs).
+//
+// The overload phase bursts kOverloadBurst cache-bypassing jobs into a
+// paused one-worker service (queue bound 32, brown-out threshold 16), so
+// the admission ledger is a pure function of the burst: depths 1..15
+// admit normally, depth 16 trips brown-out and jobs 16..32 are admitted
+// browned (tightened budgets instead of rejects), and jobs 33..48 hit the
+// hard queue bound and shed. 32 complete, 16 shed, 17 browned — exact.
 
 #include <chrono>
 #include <iostream>
@@ -35,6 +46,66 @@ using namespace gridroute;
 namespace {
 
 constexpr int kRepeatRounds = 4;  // cache-hit rounds after the cold one
+constexpr int kOverloadBurst = 48;  // jobs thrown at the overload service
+
+struct OverloadResult {
+  double wall_ms = 0;
+  int shed = 0;       // kResource rejects at the hard queue bound
+  int browned = 0;    // completed carrying a kBrownOut degradation
+  int completed = 0;  // total jobs that reached kCompleted
+};
+
+/// The brown-out phase: burst a paused one-worker service far past its
+/// brown-out threshold, resume, and drain — counting what the admission
+/// policy did with each job.
+OverloadResult run_overload(const std::shared_ptr<const Problem>& p) {
+  service::ServiceOptions options;
+  options.workers = 1;
+  options.start_paused = true;  // the whole burst lands on the queue
+  options.max_queue_depth = 32;
+  options.brownout_queue_threshold = 16;
+  options.brownout_max_expansions = 200000;
+  service::RoutingService service(options);
+
+  OverloadResult out;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::uint64_t> ids;
+  ids.reserve(kOverloadBurst);
+  for (int i = 0; i < kOverloadBurst; ++i) {
+    service::JobRequest request;
+    request.problem = p;
+    request.use_cache = false;  // every admitted job routes for real
+    const auto id = service.submit(std::move(request));
+    if (id.ok())
+      ids.push_back(*id);
+    else if (id.status().code() == ErrorCode::kResource)
+      ++out.shed;
+    else {
+      std::cerr << "overload submit failed unexpectedly: "
+                << id.status().to_string() << "\n";
+      std::exit(2);
+    }
+  }
+  service.resume();
+  for (const std::uint64_t id : ids) {
+    const auto outcome = service.wait(id);
+    if (!outcome.ok() || outcome->state != service::JobState::kCompleted ||
+        outcome->result == nullptr) {
+      std::cerr << "overload job " << id << " did not complete\n";
+      std::exit(2);
+    }
+    ++out.completed;
+    for (const Degradation& d : outcome->result->degradation)
+      if (d.kind == Degradation::Kind::kBrownOut) {
+        ++out.browned;
+        break;
+      }
+  }
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  return out;
+}
 
 struct StreamResult {
   double wall_ms = 0;
@@ -166,6 +237,20 @@ int main(int argc, char** argv) {
   report.add("warm_wall_ms", warm.wall_ms);
   report.add("mean_queue_wait_ms", mean_wait_ms);
 
+  // Overload mode: the burst ledger is exact by construction (see the
+  // header comment), so any change to the admission or brown-out policy
+  // moves a gated number here.
+  const OverloadResult overload = run_overload(pool[1]);  // cross_switchbox
+  report.add("overload_submitted", static_cast<double>(kOverloadBurst),
+             bench::Gate::kExact);
+  report.add("overload_shed", static_cast<double>(overload.shed),
+             bench::Gate::kExact);
+  report.add("overload_browned", static_cast<double>(overload.browned),
+             bench::Gate::kExact);
+  report.add("overload_completed", static_cast<double>(overload.completed),
+             bench::Gate::kExact);
+  report.add("overload_wall_ms", overload.wall_ms);
+
   Table table({"phase", "jobs", "hits", "wall ms", "jobs/s",
                "mean wait ms"});
   table.add_row({"cold", std::to_string(cold.jobs),
@@ -177,6 +262,11 @@ int main(int argc, char** argv) {
                  Table::num(warm.wall_ms, 2),
                  Table::num(cached_jobs_per_sec, 1),
                  Table::num(warm.queue_wait_ms / warm.jobs, 3)});
+  table.add_row({"overload", std::to_string(kOverloadBurst),
+                 "-", Table::num(overload.wall_ms, 2),
+                 Table::num(1000.0 * overload.completed / overload.wall_ms,
+                            1),
+                 "-"});
 
   std::cout << "RoutingService throughput: " << pool.size()
             << " distinct suite instances, submitted cold then "
@@ -186,16 +276,25 @@ int main(int argc, char** argv) {
   std::cout << "\noverall: " << Table::num(jobs_per_sec, 1)
             << " jobs/s, cache hit rate " << Table::num(100.0 * hit_rate, 1)
             << "%, mean queue wait " << Table::num(mean_wait_ms, 3)
-            << " ms\n";
+            << " ms\noverload: " << kOverloadBurst << " burst -> "
+            << overload.completed << " completed (" << overload.browned
+            << " browned out), " << overload.shed << " shed\n";
 
   // The stream invariant the bench itself enforces: the cold round misses
   // everything, the warm rounds hit everything.
-  const bool ledger_ok =
-      cold.cache_hits == 0 && warm.cache_hits == warm.jobs;
+  bool ledger_ok = cold.cache_hits == 0 && warm.cache_hits == warm.jobs;
   if (!ledger_ok)
     std::cerr << "\nerror: cache ledger broke the FIFO invariant (cold hits "
               << cold.cache_hits << ", warm hits " << warm.cache_hits
               << "/" << warm.jobs << ")\n";
+  // And the overload ledger (header comment derives these counts).
+  if (overload.shed != 16 || overload.browned != 17 ||
+      overload.completed != 32) {
+    ledger_ok = false;
+    std::cerr << "\nerror: overload ledger off (shed " << overload.shed
+              << ", browned " << overload.browned << ", completed "
+              << overload.completed << "; expected 16/17/32)\n";
+  }
 
   if (!json_path.empty()) {
     if (const Status s = bench::write_report_file(report, json_path);

@@ -22,9 +22,15 @@
 #          end-to-ends. Indexed layer/cut arithmetic is exactly what UBSan
 #          and ASan watch, so both sanitizer legs pick the label up too.
 #   service the serving layer — RoutingService's worker pool, queue,
-#          result cache, and cancellation tokens are shared mutable state
-#          under concurrent clients, so the TSan leg runs the label; it
-#          also rides the plain suite via ctest's default run.
+#          result cache, cancellation tokens, and the supervision layer
+#          (worker respawn, retry/quarantine, watchdog seat replacement)
+#          are shared mutable state under concurrent clients, so every
+#          sanitizer leg runs the label: TSan for the races, ASan and
+#          UBSan for the unwind/rollback paths the chaos harness drives
+#          through worker teardown and the C ABI handle registry.
+#   chaos  the seed-deterministic fault storm over the serving layer
+#          (tests/chaos_test.cpp) — rides the service label's legs and
+#          shrinks via GRIDROUTE_CHAOS_INSTANCES.
 #   eco    the incremental/ECO delta-routing surface — the differential-
 #          equivalence fuzz and the invalidation-rule property tests
 #          (`ctest -L eco`). The tests also carry tsan + ubsan, so both
@@ -48,7 +54,8 @@ cmake --build build -j
 # shrinks the same way — sanitizers need the code paths, not all 200
 # fingerprints.
 SHRINK_ENV=(GRIDROUTE_NETPAR_INSTANCES=20 GRIDROUTE_FAULT_INSTANCES=40
-            GRIDROUTE_LAYER_INSTANCES=30 GRIDROUTE_ECO_INSTANCES=25)
+            GRIDROUTE_LAYER_INSTANCES=30 GRIDROUTE_ECO_INSTANCES=25
+            GRIDROUTE_CHAOS_INSTANCES=10)
 
 if [ "${GRIDROUTE_SKIP_TSAN:-0}" != "1" ]; then
   cmake -B build-tsan -S . -DGRIDROUTE_SANITIZE=thread
@@ -61,12 +68,12 @@ if [ "${GRIDROUTE_SKIP_UBSAN:-0}" != "1" ]; then
   cmake -B build-ubsan -S . -DGRIDROUTE_SANITIZE=undefined
   cmake --build build-ubsan -j --target gr_all_tests
   (cd build-ubsan &&
-   env "${SHRINK_ENV[@]}" ctest --output-on-failure -L 'ubsan|layer')
+   env "${SHRINK_ENV[@]}" ctest --output-on-failure -L 'ubsan|layer|service')
 fi
 
 if [ "${GRIDROUTE_SKIP_ASAN:-0}" != "1" ]; then
   cmake -B build-asan -S . -DGRIDROUTE_SANITIZE=address
   cmake --build build-asan -j --target gr_all_tests
   (cd build-asan &&
-   env "${SHRINK_ENV[@]}" ctest --output-on-failure -L 'asan|layer')
+   env "${SHRINK_ENV[@]}" ctest --output-on-failure -L 'asan|layer|service')
 fi

@@ -39,6 +39,8 @@ struct Degradation {
     kAttemptAborted, ///< a multi-start attempt died; partial result salvaged
     kPrescreen,      ///< routability pre-screen proved a delta infeasible;
                      ///< the invalidated nets were never attempted
+    kBrownOut,       ///< the serving layer admitted this job under queue
+                     ///< pressure with a tightened budget (DESIGN.md §2.5)
   };
   Kind kind = Kind::kFault;
   int attempt = 0;     ///< multi-start attempt the fallback happened in
@@ -55,6 +57,7 @@ inline const char* degradation_kind_name(Degradation::Kind kind) {
     case Degradation::Kind::kWaveDisabled: return "wave_disabled";
     case Degradation::Kind::kAttemptAborted: return "attempt_aborted";
     case Degradation::Kind::kPrescreen: return "prescreen";
+    case Degradation::Kind::kBrownOut: return "brown_out";
   }
   return "unknown";
 }

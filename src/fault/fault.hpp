@@ -23,6 +23,20 @@ namespace gridroute::fault {
 ///   kBudgetForce   the budget gauge reports exhaustion immediately —
 ///                  models an operator kill switch / zero headroom
 ///   kArenaAlloc    allocating per-worker search scratch fails (bad_alloc)
+///
+/// Service-scoped sites (DESIGN.md §2.5) — these fire *above* the
+/// route(RouteRequest) salvage path, inside RoutingService, and are what
+/// the worker-supervision layer must absorb:
+///
+///   kJobDequeue     a worker dies between popping a job and running it —
+///                   models corrupted queue state / per-job setup OOM
+///   kWorkerBody     the worker body throws outside route()'s own salvage —
+///                   models any unexpected escape (bad_alloc in the result
+///                   plumbing, a broken invariant)
+///   kCacheInsert    inserting a finished result into the LRU cache throws —
+///                   the job must still complete, merely uncached
+///   kSessionCommit  committing a clean delta into its session fails — the
+///                   session's previous committed layout must survive
 enum class Site : std::uint8_t {
   kSearchQuery,
   kWaveSpeculate,
@@ -31,10 +45,14 @@ enum class Site : std::uint8_t {
   kAttemptStart,
   kBudgetForce,
   kArenaAlloc,
+  kJobDequeue,
+  kWorkerBody,
+  kCacheInsert,
+  kSessionCommit,
 };
 
 inline constexpr std::size_t kSiteCount =
-    static_cast<std::size_t>(Site::kArenaAlloc) + 1;
+    static_cast<std::size_t>(Site::kSessionCommit) + 1;
 
 inline const char* site_name(Site site) {
   switch (site) {
@@ -45,6 +63,10 @@ inline const char* site_name(Site site) {
     case Site::kAttemptStart: return "attempt_start";
     case Site::kBudgetForce: return "budget_force";
     case Site::kArenaAlloc: return "arena_alloc";
+    case Site::kJobDequeue: return "job_dequeue";
+    case Site::kWorkerBody: return "worker_body";
+    case Site::kCacheInsert: return "cache_insert";
+    case Site::kSessionCommit: return "session_commit";
   }
   return "unknown";
 }

@@ -21,6 +21,8 @@ namespace gridroute::obs {
 ///                      kJobStarted, kJobCachedHit, kJobCompleted,
 ///                      kJobCancelled
 ///   ECO / delta        kDeltaSubmitted, kNetsPreserved, kNetsInvalidated
+///   resilience         kWorkerDied, kWorkerRespawned, kJobRetried,
+///                      kJobQuarantined, kBrownOutEntered, kBrownOutExited
 ///
 /// Payload conventions per kind are documented on TraceEvent. Events carry
 /// no timestamps by design: a trace is a pure function of the routing
@@ -79,6 +81,16 @@ enum class EventKind : std::uint8_t {
                       ///< area; ok: the edited problem passed validation
   kNetsPreserved,     ///< value: count; nets: ids replayed as warm start
   kNetsInvalidated,   ///< value: count; nets: ids ripped and re-routed
+  // Service resilience (src/service supervision layer; DESIGN.md §2.5).
+  kWorkerDied,        ///< value: worker slot; extra: job id in flight (0 =
+                      ///< none); ok: a replacement will be spawned
+  kWorkerRespawned,   ///< value: worker slot; extra: total respawns so far
+  kJobRetried,        ///< value: job id; extra: retry index (1-based);
+                      ///< ok: always true (the job re-entered the queue)
+  kJobQuarantined,    ///< value: job id; extra: retries burned before
+                      ///< quarantine
+  kBrownOutEntered,   ///< value: queue depth that tripped the threshold
+  kBrownOutExited,    ///< value: queue depth at recovery
 };
 
 /// Stable lower_snake names for export (JSONL, counters, tables).
@@ -113,13 +125,19 @@ inline const char* event_name(EventKind kind) {
     case EventKind::kDeltaSubmitted: return "delta_submitted";
     case EventKind::kNetsPreserved: return "nets_preserved";
     case EventKind::kNetsInvalidated: return "nets_invalidated";
+    case EventKind::kWorkerDied: return "worker_died";
+    case EventKind::kWorkerRespawned: return "worker_respawned";
+    case EventKind::kJobRetried: return "job_retried";
+    case EventKind::kJobQuarantined: return "job_quarantined";
+    case EventKind::kBrownOutEntered: return "brownout_entered";
+    case EventKind::kBrownOutExited: return "brownout_exited";
   }
   return "unknown";
 }
 
 /// Number of distinct EventKind values (CountingSink's table size).
 inline constexpr std::size_t kEventKindCount =
-    static_cast<std::size_t>(EventKind::kNetsInvalidated) + 1;
+    static_cast<std::size_t>(EventKind::kBrownOutExited) + 1;
 
 /// One structured trace record. Only the fields a kind documents are
 /// meaningful; the rest stay at their defaults. The per-kind factories

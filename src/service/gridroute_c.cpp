@@ -4,7 +4,9 @@
 #include <cstring>
 #include <exception>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_set>
 #include <utility>
 
 #include "io/solution_format.hpp"
@@ -74,6 +76,61 @@ char* copy_to_c_string(const std::string& text) {
   return out;
 }
 
+/// Live-handle registry (misuse hardening, see the header contract): every
+/// create registers its pointer, every free checks-and-unregisters, every
+/// use checks membership before dereferencing. A stale or fabricated handle
+/// is thus *detected* — never dereferenced — turning double frees and
+/// use-after-free into typed errors instead of crashes.
+class HandleRegistry {
+ public:
+  void add(const void* handle) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    live_.insert(handle);
+  }
+  bool contains(const void* handle) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return live_.count(handle) != 0;
+  }
+  /// False when the handle was never registered (or already removed).
+  bool remove(const void* handle) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return live_.erase(handle) != 0;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_set<const void*> live_;
+};
+
+HandleRegistry& problem_handles() {
+  static HandleRegistry* registry = new HandleRegistry;
+  return *registry;
+}
+HandleRegistry& service_handles() {
+  static HandleRegistry* registry = new HandleRegistry;
+  return *registry;
+}
+HandleRegistry& result_handles() {
+  static HandleRegistry* registry = new HandleRegistry;
+  return *registry;
+}
+
+/// NULL or not-live: sets gr_last_error and reports invalid.
+bool check_handle(const HandleRegistry& registry, const void* handle,
+                  const char* kind) {
+  if (handle == nullptr) {
+    set_last_error(std::string(kind) + " handle must not be NULL");
+    return false;
+  }
+  if (!registry.contains(handle)) {
+    set_last_error(std::string("invalid ") + kind +
+                   " handle (already freed, or never created by this "
+                   "library)");
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 struct gr_problem {
@@ -113,19 +170,29 @@ gr_status gr_problem_parse(const char* text, gr_problem** out) {
     if (!parsed.ok()) return fail(parsed.status());
     *out = new gr_problem{
         std::make_shared<const Problem>(std::move(parsed).value())};
+    problem_handles().add(*out);
     set_last_error("");
     return GR_STATUS_OK;
   });
 }
 
-void gr_problem_free(gr_problem* problem) { delete problem; }
+void gr_problem_free(gr_problem* problem) {
+  if (problem == nullptr) return;  // free(NULL) convention: silent no-op
+  if (!problem_handles().remove(problem)) {
+    set_last_error("gr_problem_free: double free or invalid handle");
+    return;  // detected misuse: never touch the pointer
+  }
+  delete problem;
+}
 
 int gr_problem_net_count(const gr_problem* problem) {
-  return problem != nullptr ? problem->problem->net_count() : 0;
+  if (!check_handle(problem_handles(), problem, "gr_problem")) return 0;
+  return problem->problem->net_count();
 }
 
 uint64_t gr_problem_canonical_hash(const gr_problem* problem) {
-  return problem != nullptr ? problem->problem->canonical_hash() : 0;
+  if (!check_handle(problem_handles(), problem, "gr_problem")) return 0;
+  return problem->problem->canonical_hash();
 }
 
 void gr_service_options_init(gr_service_options* options) {
@@ -161,12 +228,20 @@ gr_status gr_service_create(const gr_service_options* options,
       opts.prescreen_max_utilization = options->prescreen_max_utilization;
     }
     *out = new gr_service{std::make_unique<RoutingService>(opts)};
+    service_handles().add(*out);
     set_last_error("");
     return GR_STATUS_OK;
   });
 }
 
-void gr_service_free(gr_service* service) { delete service; }
+void gr_service_free(gr_service* service) {
+  if (service == nullptr) return;
+  if (!service_handles().remove(service)) {
+    set_last_error("gr_service_free: double free or invalid handle");
+    return;
+  }
+  delete service;
+}
 
 gr_status gr_service_submit(gr_service* service, const gr_problem* problem,
                             const gr_job_options* options,
@@ -174,8 +249,10 @@ gr_status gr_service_submit(gr_service* service, const gr_problem* problem,
   if (out_job_id == nullptr)
     return fail_validation("out_job_id must not be NULL");
   *out_job_id = 0;
-  if (service == nullptr) return fail_validation("service must not be NULL");
-  if (problem == nullptr) return fail_validation("problem must not be NULL");
+  if (!check_handle(service_handles(), service, "gr_service"))
+    return GR_STATUS_VALIDATION;
+  if (!check_handle(problem_handles(), problem, "gr_problem"))
+    return GR_STATUS_VALIDATION;
   return guarded([&] {
     JobRequest request;
     request.problem = problem->problem;  // shares, never copies, the problem
@@ -198,52 +275,85 @@ gr_status gr_service_wait(gr_service* service, uint64_t job_id,
                           gr_result** out) {
   if (out == nullptr) return fail_validation("out must not be NULL");
   *out = nullptr;
-  if (service == nullptr) return fail_validation("service must not be NULL");
+  if (!check_handle(service_handles(), service, "gr_service"))
+    return GR_STATUS_VALIDATION;
   return guarded([&] {
     auto outcome = service->service->wait(job_id);
     if (!outcome.ok()) return fail(outcome.status());
     *out = new gr_result{std::move(*outcome)};
+    result_handles().add(*out);
     set_last_error("");
     return GR_STATUS_OK;
   });
 }
 
 int gr_service_cancel(gr_service* service, uint64_t job_id) {
-  if (service == nullptr) return 0;
+  if (!check_handle(service_handles(), service, "gr_service")) return 0;
   return service->service->cancel(job_id) ? 1 : 0;
 }
 
+gr_status gr_service_health(const gr_service* service, gr_health* out) {
+  if (out == nullptr) return fail_validation("out must not be NULL");
+  std::memset(out, 0, sizeof(*out));
+  if (!check_handle(service_handles(), service, "gr_service"))
+    return GR_STATUS_VALIDATION;
+  return guarded([&] {
+    const gridroute::service::ServiceHealth health =
+        service->service->health();
+    out->workers_alive = health.workers_alive;
+    out->brownout_active = health.brownout_active ? 1 : 0;
+    out->workers_respawned = health.workers_respawned;
+    out->workers_abandoned = health.workers_abandoned;
+    out->queue_depth = health.queue_depth;
+    out->running_jobs = health.running_jobs;
+    out->jobs_retried = health.jobs_retried;
+    out->jobs_quarantined = health.jobs_quarantined;
+    out->brownouts_entered = health.brownouts_entered;
+    out->watchdog_cancels = health.watchdog_cancels;
+    out->cache_insert_failures = health.cache_insert_failures;
+    set_last_error("");
+    return GR_STATUS_OK;
+  });
+}
+
 gr_job_state gr_result_state(const gr_result* result) {
-  if (result == nullptr) return GR_JOB_CANCELLED;
+  if (!check_handle(result_handles(), result, "gr_result"))
+    return GR_JOB_CANCELLED;
   switch (result->outcome.state) {
     case JobState::kQueued: return GR_JOB_QUEUED;
     case JobState::kRunning: return GR_JOB_RUNNING;
     case JobState::kCompleted: return GR_JOB_COMPLETED;
     case JobState::kRejected: return GR_JOB_REJECTED;
     case JobState::kCancelled: return GR_JOB_CANCELLED;
+    case JobState::kFailed: return GR_JOB_FAILED;
   }
   return GR_JOB_CANCELLED;
 }
 
 int gr_result_from_cache(const gr_result* result) {
-  return result != nullptr && result->outcome.from_cache ? 1 : 0;
+  if (!check_handle(result_handles(), result, "gr_result")) return 0;
+  return result->outcome.from_cache ? 1 : 0;
 }
 
 double gr_result_queue_wait_ms(const gr_result* result) {
-  return result != nullptr ? result->outcome.queue_wait_ms : 0;
+  if (!check_handle(result_handles(), result, "gr_result")) return 0;
+  return result->outcome.queue_wait_ms;
 }
 
 int gr_result_has_solution(const gr_result* result) {
-  return result != nullptr && result->outcome.result != nullptr ? 1 : 0;
+  if (!check_handle(result_handles(), result, "gr_result")) return 0;
+  return result->outcome.result != nullptr ? 1 : 0;
 }
 
 int gr_result_failed_net_count(const gr_result* result) {
-  if (result == nullptr || result->outcome.result == nullptr) return -1;
+  if (!check_handle(result_handles(), result, "gr_result")) return -1;
+  if (result->outcome.result == nullptr) return -1;
   return static_cast<int>(result->outcome.result->failed.size());
 }
 
 char* gr_result_solution_string(const gr_result* result) {
-  if (result == nullptr || result->outcome.result == nullptr ||
+  if (!check_handle(result_handles(), result, "gr_result")) return nullptr;
+  if (result->outcome.result == nullptr ||
       result->outcome.problem == nullptr)
     return nullptr;
   try {
@@ -254,7 +364,14 @@ char* gr_result_solution_string(const gr_result* result) {
   }
 }
 
-void gr_result_free(gr_result* result) { delete result; }
+void gr_result_free(gr_result* result) {
+  if (result == nullptr) return;
+  if (!result_handles().remove(result)) {
+    set_last_error("gr_result_free: double free or invalid handle");
+    return;
+  }
+  delete result;
+}
 
 void gr_string_free(char* text) { std::free(text); }
 

@@ -18,6 +18,13 @@
  *     pointer is valid until the thread's next gridroute call.
  *   - Status codes mirror the C++ ErrorCode taxonomy one-to-one and are
  *     append-only, as are these structs and prototypes.
+ *   - Misuse hardening: every handle-taking function validates the handle
+ *     against a registry of live handles first. A NULL, never-created, or
+ *     already-freed handle returns GR_STATUS_VALIDATION (or a safe default
+ *     for accessors) with gr_last_error() naming the misuse, instead of
+ *     crashing; a double free is a detected no-op. The registry detects
+ *     sequential misuse — it does not make racing a free against a use on
+ *     another thread safe.
  */
 #ifndef GRIDROUTE_SERVICE_GRIDROUTE_C_H_
 #define GRIDROUTE_SERVICE_GRIDROUTE_C_H_
@@ -38,13 +45,16 @@ typedef enum gr_status {
   GR_STATUS_INTERNAL = 5
 } gr_status;
 
-/* service::JobState, value for value. */
+/* service::JobState, value for value. GR_JOB_FAILED is the supervision
+ * layer's typed terminal state: the job was quarantined after exhausting
+ * retries, or the watchdog replaced a worker that ignored its deadline. */
 typedef enum gr_job_state {
   GR_JOB_QUEUED = 0,
   GR_JOB_RUNNING = 1,
   GR_JOB_COMPLETED = 2,
   GR_JOB_REJECTED = 3,
-  GR_JOB_CANCELLED = 4
+  GR_JOB_CANCELLED = 4,
+  GR_JOB_FAILED = 5
 } gr_job_state;
 
 typedef struct gr_problem gr_problem;  /* a parsed routing problem */
@@ -123,6 +133,26 @@ gr_status gr_service_wait(gr_service* service, uint64_t job_id,
 /* Nonzero when the cancel took effect (queued job dequeued, or running
  * job's token raised); 0 for unknown/terminal jobs. */
 int gr_service_cancel(gr_service* service, uint64_t job_id);
+
+/* service::ServiceHealth, flattened (append-only like every struct here):
+ * the resilience snapshot an operator polls — pool integrity, queue
+ * pressure, supervision activity, brown-out state. */
+typedef struct gr_health {
+  int32_t workers_alive;          /* threads currently serving the queue */
+  int32_t brownout_active;        /* nonzero while shedding load */
+  int64_t workers_respawned;      /* supervisor replacements after deaths */
+  int64_t workers_abandoned;      /* watchdog replacements (stuck workers) */
+  int64_t queue_depth;
+  int64_t running_jobs;
+  int64_t jobs_retried;
+  int64_t jobs_quarantined;
+  int64_t brownouts_entered;      /* lifetime brown-out episodes */
+  int64_t watchdog_cancels;
+  int64_t cache_insert_failures;
+} gr_health;
+
+/* Snapshot of the service's health into *out. */
+gr_status gr_service_health(const gr_service* service, gr_health* out);
 
 /* ---- Results ------------------------------------------------------------ */
 

@@ -11,6 +11,19 @@ namespace gridroute::service {
 
 using Clock = std::chrono::steady_clock;
 
+namespace {
+
+double ms_since(Clock::time_point start, Clock::time_point now) {
+  return std::chrono::duration<double, std::milli>(now - start).count();
+}
+
+bool terminal(JobState state) {
+  return state == JobState::kCompleted || state == JobState::kCancelled ||
+         state == JobState::kRejected || state == JobState::kFailed;
+}
+
+}  // namespace
+
 const char* reject_reason_name(RejectReason reason) {
   switch (reason) {
     case RejectReason::kQueueFull: return "queue_full";
@@ -27,6 +40,7 @@ const char* job_state_name(JobState state) {
     case JobState::kCompleted: return "completed";
     case JobState::kRejected: return "rejected";
     case JobState::kCancelled: return "cancelled";
+    case JobState::kFailed: return "failed";
   }
   return "unknown";
 }
@@ -52,6 +66,20 @@ struct RoutingService::Job {
   bool from_cache = false;
   Clock::time_point admitted_at;
   double queue_wait_ms = 0;
+
+  // Resilience bookkeeping (DESIGN.md §2.5).
+  int retries = 0;                        ///< worker-body escapes absorbed
+  std::vector<std::string> fault_history; ///< one entry per escape
+  std::uint64_t eligible_at = 0;  ///< virtual-time backoff gate (0 = now)
+  bool brownout = false;          ///< admitted with a tightened budget
+  /// Whether the *client's* request qualified for the result cache —
+  /// pinned at admission, before the service tightens the budget (the
+  /// deadline default and brown-out must not poison cache identity).
+  bool cache_eligible = false;
+  double max_wall_ms = 0;         ///< effective deadline the watchdog holds
+  Clock::time_point started_at;   ///< set when a worker picks the job up
+  int worker_slot = -1;           ///< seat running the job (-1 = none)
+  bool watchdog_cancelled = false;
 
   // ECO session binding. session != 0 ties the job's terminal state to the
   // session (finalize_locked settles it); a delta job additionally carries
@@ -83,24 +111,25 @@ struct RoutingService::CacheSlot {
 RoutingService::RoutingService(ServiceOptions options)
     : options_(std::move(options)) {
   paused_ = options_.start_paused;
+  if (options_.trace != nullptr) safe_trace_.emplace(options_.trace);
   int workers = options_.workers;
   if (workers <= 0)
     workers =
         static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
-  workers_.reserve(static_cast<std::size_t>(workers));
+  worker_slots_.resize(static_cast<std::size_t>(workers));
+  workers_alive_ = workers;
   for (int i = 0; i < workers; ++i)
-    workers_.emplace_back([this] {
-      // One persistent arena per worker, lent to every plain-run job this
-      // worker executes; epoch stamping keeps the reuse bit-identical.
-      SearchArena arena;
-      worker_loop(&arena);
-    });
+    worker_slots_[static_cast<std::size_t>(i)].thread =
+        std::thread([this, i] { worker_loop(i, 0); });
+  supervisor_ = std::thread([this] { supervisor_loop(); });
 }
 
 RoutingService::~RoutingService() { shutdown(); }
 
 void RoutingService::emit(const obs::TraceEvent& event) {
-  if (options_.trace != nullptr) options_.trace->on_event(event);
+  // The failsafe wrapper means a throwing lifecycle sink degrades tracing,
+  // never the service (the library-side route() sinks have their own).
+  if (safe_trace_.has_value()) safe_trace_->on_event(event);
 }
 
 StatusOr<std::uint64_t> RoutingService::submit(JobRequest request) {
@@ -120,6 +149,34 @@ StatusOr<SessionTicket> RoutingService::open_session(JobRequest base) {
   return ticket;
 }
 
+bool RoutingService::admit_policies_locked(const std::shared_ptr<Job>& job,
+                                           std::size_t depth_after) {
+  job->cache_eligible = options_.cache_capacity > 0 && cacheable(job->request);
+  obs::RunBudget& budget = job->request.budget;
+  if (options_.default_max_wall_ms > 0 && budget.wall_ms <= 0)
+    budget.wall_ms = options_.default_max_wall_ms;
+  bool entered = false;
+  if (options_.brownout_queue_threshold > 0) {
+    if (!brownout_ && static_cast<int>(depth_after) >=
+                          options_.brownout_queue_threshold) {
+      brownout_ = true;
+      entered = true;
+    }
+    if (brownout_) {
+      job->brownout = true;
+      if (options_.brownout_wall_ms > 0 &&
+          (budget.wall_ms <= 0 || budget.wall_ms > options_.brownout_wall_ms))
+        budget.wall_ms = options_.brownout_wall_ms;
+      if (options_.brownout_max_expansions > 0 &&
+          (budget.max_expansions <= 0 ||
+           budget.max_expansions > options_.brownout_max_expansions))
+        budget.max_expansions = options_.brownout_max_expansions;
+    }
+  }
+  job->max_wall_ms = budget.wall_ms;
+  return entered;
+}
+
 StatusOr<std::uint64_t> RoutingService::submit_impl(
     JobRequest request, bool open_session, std::uint64_t* session_out) {
   if (request.problem == nullptr)
@@ -131,6 +188,7 @@ StatusOr<std::uint64_t> RoutingService::submit_impl(
   std::uint64_t id = 0;
   std::optional<RejectReason> reject;
   std::size_t depth_after = 0;
+  bool brownout_entered = false;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     id = next_id_++;
@@ -174,6 +232,9 @@ StatusOr<std::uint64_t> RoutingService::submit_impl(
         sessions_.emplace(session->id, session);
         *session_out = session->id;
       }
+      // Policies run before the push: once queued the job is visible to
+      // workers, and its budget must never change underneath one.
+      brownout_entered = admit_policies_locked(job, queue_.size() + 1);
       job->admitted_at = Clock::now();
       queue_.push_back(job);
       jobs_.emplace(id, job);
@@ -197,12 +258,17 @@ StatusOr<std::uint64_t> RoutingService::submit_impl(
     return Status::resource_error(message);
   }
 
+  if (brownout_entered)
+    emit(obs::TraceEvent::job(obs::EventKind::kBrownOutEntered,
+                              static_cast<std::int64_t>(depth_after)));
   emit(obs::TraceEvent::job(obs::EventKind::kJobAdmitted,
                             static_cast<std::int64_t>(id),
                             static_cast<std::int64_t>(depth_after)));
   {
     const std::lock_guard<std::mutex> lock(metrics_mutex_);
     metrics_.counter("jobs_admitted").add();
+    if (brownout_entered) metrics_.counter("brownouts_entered").add();
+    if (job->brownout) metrics_.counter("jobs_browned_out").add();
     auto& peak = metrics_.counter("peak_queue_depth");
     if (static_cast<long long>(depth_after) > peak.value())
       peak.add(static_cast<long long>(depth_after) - peak.value());
@@ -227,6 +293,7 @@ StatusOr<std::uint64_t> RoutingService::submit_delta(std::uint64_t session,
   std::optional<RejectReason> reject;
   Status session_error;
   std::size_t depth_after = 0;
+  bool brownout_entered = false;
   {
     // One critical section validates the session, claims it, and enqueues:
     // a claim that could not be enqueued must never leak, and two clients
@@ -257,6 +324,7 @@ StatusOr<std::uint64_t> RoutingService::submit_delta(std::uint64_t session,
         job->request.problem = s.problem;
         job->base_layout = s.layout;
         s.active_job = id;
+        brownout_entered = admit_policies_locked(job, queue_.size() + 1);
         job->admitted_at = Clock::now();
         queue_.push_back(job);
         jobs_.emplace(id, job);
@@ -296,12 +364,17 @@ StatusOr<std::uint64_t> RoutingService::submit_delta(std::uint64_t session,
     return Status::resource_error(message);
   }
 
+  if (brownout_entered)
+    emit(obs::TraceEvent::job(obs::EventKind::kBrownOutEntered,
+                              static_cast<std::int64_t>(depth_after)));
   emit(obs::TraceEvent::job(obs::EventKind::kJobAdmitted,
                             static_cast<std::int64_t>(id),
                             static_cast<std::int64_t>(depth_after)));
   {
     const std::lock_guard<std::mutex> lock(metrics_mutex_);
     metrics_.counter("jobs_admitted").add();
+    if (brownout_entered) metrics_.counter("brownouts_entered").add();
+    if (job->brownout) metrics_.counter("jobs_browned_out").add();
     auto& peak = metrics_.counter("peak_queue_depth");
     if (static_cast<long long>(depth_after) > peak.value())
       peak.add(static_cast<long long>(depth_after) - peak.value());
@@ -333,29 +406,272 @@ std::optional<SessionInfo> RoutingService::session_info(
   return info;
 }
 
-void RoutingService::worker_loop(SearchArena* arena) {
+std::shared_ptr<RoutingService::Job> RoutingService::dequeue_locked() {
+  const auto eligible = [this](const std::shared_ptr<Job>& j) {
+    return j->eligible_at <= vnow_;
+  };
+  auto it = std::find_if(queue_.begin(), queue_.end(), eligible);
+  if (it == queue_.end()) {
+    // Every queued job is still backing off. Backoff orders retries behind
+    // fresher work — it never idles a worker — so warp the virtual clock
+    // to the earliest eligibility instead of sleeping.
+    std::uint64_t min_eligible = queue_.front()->eligible_at;
+    for (const std::shared_ptr<Job>& j : queue_)
+      min_eligible = std::min(min_eligible, j->eligible_at);
+    vnow_ = min_eligible;
+    it = std::find_if(queue_.begin(), queue_.end(), eligible);
+  }
+  std::shared_ptr<Job> job = *it;
+  queue_.erase(it);
+  ++vnow_;  // one tick per dequeue: the backoff clock is traffic, not time
+  return job;
+}
+
+void RoutingService::worker_loop(int slot, std::uint64_t generation) {
+  // One persistent arena per worker incarnation, lent to every plain-run
+  // job it executes; epoch stamping keeps the reuse bit-identical. A
+  // respawned worker starts from a fresh arena — a corrupted one dies with
+  // its thread.
+  SearchArena arena;
   for (;;) {
     std::shared_ptr<Job> job;
+    std::optional<obs::TraceEvent> brownout_exit;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] {
-        return stopping_ || (!paused_ && !queue_.empty());
+      work_cv_.wait(lock, [&] {
+        return stopping_ ||
+               worker_slots_[static_cast<std::size_t>(slot)].generation !=
+                   generation ||
+               (!paused_ && !queue_.empty());
       });
       if (stopping_) return;  // shutdown() finalizes what is still queued
-      job = queue_.front();
-      queue_.pop_front();
+      if (worker_slots_[static_cast<std::size_t>(slot)].generation !=
+          generation)
+        return;  // seat was re-issued while we idled
+      job = dequeue_locked();
       job->state = JobState::kRunning;
-      job->queue_wait_ms = std::chrono::duration<double, std::milli>(
-                               Clock::now() - job->admitted_at)
-                               .count();
+      job->started_at = Clock::now();
+      job->worker_slot = slot;
+      job->queue_wait_ms = ms_since(job->admitted_at, job->started_at);
       ++running_jobs_;
+      if (brownout_ && options_.brownout_queue_threshold > 0) {
+        const int exit_threshold =
+            options_.brownout_exit_threshold >= 0
+                ? options_.brownout_exit_threshold
+                : options_.brownout_queue_threshold / 2;
+        if (static_cast<int>(queue_.size()) <= exit_threshold) {
+          brownout_ = false;
+          brownout_exit = obs::TraceEvent::job(
+              obs::EventKind::kBrownOutExited,
+              static_cast<std::int64_t>(queue_.size()));
+        }
+      }
     }
-    execute(job, arena);
+    if (brownout_exit.has_value()) emit(*brownout_exit);
+    try {
+      if (options_.faults != nullptr)
+        options_.faults->maybe_throw(fault::Site::kJobDequeue);
+      execute(job, &arena);
+    } catch (const fault::InjectedFault& f) {
+      absorb_worker_failure(job, slot, f.what(), /*resource=*/false);
+      return;
+    } catch (const std::bad_alloc&) {
+      absorb_worker_failure(job, slot, "std::bad_alloc", /*resource=*/true);
+      return;
+    } catch (const std::exception& e) {
+      absorb_worker_failure(job, slot, e.what(), /*resource=*/false);
+      return;
+    } catch (...) {
+      absorb_worker_failure(job, slot, "unknown exception",
+                            /*resource=*/false);
+      return;
+    }
+    bool stale = false;
     {
       const std::lock_guard<std::mutex> lock(mutex_);
-      --running_jobs_;
+      stale = worker_slots_[static_cast<std::size_t>(slot)].generation !=
+              generation;
+      // An abandoned job was already taken off the running count by the
+      // watchdog when it finalized it; only a live seat decrements here.
+      if (!stale) --running_jobs_;
     }
     done_cv_.notify_all();
+    if (stale) return;  // the watchdog abandoned us mid-job; seat re-issued
+  }
+}
+
+void RoutingService::absorb_worker_failure(const std::shared_ptr<Job>& job,
+                                           int slot, const std::string& what,
+                                           bool resource) {
+  std::vector<obs::TraceEvent> events;
+  bool retried = false;
+  bool quarantined = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job->fault_history.push_back(what);
+    events.push_back(obs::TraceEvent::job(
+        obs::EventKind::kWorkerDied, static_cast<std::int64_t>(slot),
+        static_cast<std::int64_t>(job->id), /*ok=*/!stopping_));
+    if (!terminal(job->state)) {  // the watchdog may have settled it already
+      if (stopping_ || job->cancel_requested ||
+          job->cancel_token.load(std::memory_order_relaxed)) {
+        // The client (or shutdown) no longer wants the job; a retry would
+        // only delay the terminal outcome it is waiting for.
+        if (auto e = finalize_locked(
+                job, JobState::kCancelled,
+                Status::cancelled("job cancelled; worker failed before a "
+                                  "result was produced (" +
+                                  what + ")")))
+          events.push_back(*e);
+      } else if (job->retries < options_.max_retries) {
+        ++job->retries;
+        job->state = JobState::kQueued;
+        job->worker_slot = -1;
+        const int shift = std::min(job->retries - 1, 62);
+        job->eligible_at =
+            vnow_ + (options_.retry_backoff_base << shift);
+        queue_.push_back(job);
+        retried = true;
+        events.push_back(obs::TraceEvent::job(
+            obs::EventKind::kJobRetried, static_cast<std::int64_t>(job->id),
+            static_cast<std::int64_t>(job->retries)));
+      } else {
+        // Poison quarantine: the job has now failed max_retries + 1
+        // workers; assume the job, not the worker, and stop feeding it to
+        // the pool. The typed outcome carries the full fault history.
+        std::string message =
+            "job quarantined after " + std::to_string(job->retries) +
+            " retries; fault history:";
+        for (const std::string& f : job->fault_history)
+          message += " [" + f + "]";
+        Status status = resource ? Status::resource_error(std::move(message))
+                                 : Status::internal_error(std::move(message));
+        quarantined = true;
+        if (auto e =
+                finalize_locked(job, JobState::kFailed, std::move(status)))
+          events.push_back(*e);
+      }
+    }
+    --running_jobs_;
+    --workers_alive_;
+    dead_worker_slots_.push_back(slot);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(metrics_mutex_);
+    metrics_.counter("workers_died").add();
+    if (retried) metrics_.counter("jobs_retried").add();
+    if (quarantined) metrics_.counter("jobs_quarantined").add();
+  }
+  for (const obs::TraceEvent& e : events) emit(e);
+  done_cv_.notify_all();
+  if (retried) work_cv_.notify_one();
+  supervisor_cv_.notify_one();
+}
+
+void RoutingService::supervisor_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    const auto poll = std::chrono::duration<double, std::milli>(
+        std::max(1.0, options_.watchdog_poll_ms));
+    supervisor_cv_.wait_for(lock, poll, [this] {
+      return stopping_ || !dead_worker_slots_.empty();
+    });
+    if (stopping_) return;
+
+    std::vector<obs::TraceEvent> events;
+
+    // Respawn every dead seat with a fresh thread (fresh SearchArena). The
+    // dead thread's handle parks in zombies_ and is joined at shutdown —
+    // it has already returned (or is returning) from worker_loop.
+    while (!dead_worker_slots_.empty()) {
+      const int slot = dead_worker_slots_.back();
+      dead_worker_slots_.pop_back();
+      WorkerSlot& seat = worker_slots_[static_cast<std::size_t>(slot)];
+      if (seat.thread.joinable()) zombies_.push_back(std::move(seat.thread));
+      ++seat.generation;
+      const std::uint64_t generation = seat.generation;
+      seat.thread =
+          std::thread([this, slot, generation] { worker_loop(slot, generation); });
+      ++workers_alive_;
+      long long respawns = 0;
+      {
+        const std::lock_guard<std::mutex> mlock(metrics_mutex_);
+        auto& counter = metrics_.counter("workers_respawned");
+        counter.add();
+        respawns = counter.value();
+      }
+      events.push_back(obs::TraceEvent::job(
+          obs::EventKind::kWorkerRespawned, static_cast<std::int64_t>(slot),
+          static_cast<std::int64_t>(respawns)));
+    }
+
+    // Watchdog scan: escalate running jobs past their wall deadline —
+    // first the cooperative cancel token (salvage-partial at the next
+    // budget checkpoint), then, for a worker provably ignoring it, seat
+    // replacement so the pool cannot be pinned down by one stuck job.
+    const auto now = Clock::now();
+    for (const auto& [id, job] : jobs_) {
+      (void)id;
+      if (job->state != JobState::kRunning || job->max_wall_ms <= 0) continue;
+      const double over = ms_since(job->started_at, now) - job->max_wall_ms;
+      if (over <= options_.watchdog_cancel_grace_ms) continue;
+      if (!job->cancel_requested) {
+        job->cancel_requested = true;
+        job->watchdog_cancelled = true;
+        job->cancel_token.store(true, std::memory_order_relaxed);
+        const std::lock_guard<std::mutex> mlock(metrics_mutex_);
+        metrics_.counter("watchdog_cancels").add();
+      }
+      if (options_.watchdog_replace_grace_ms >
+              options_.watchdog_cancel_grace_ms &&
+          over > options_.watchdog_replace_grace_ms && job->worker_slot >= 0) {
+        const int slot = job->worker_slot;
+        job->fault_history.push_back(
+            "watchdog: wall deadline exceeded and cancel token ignored");
+        if (auto e = finalize_locked(
+                job, JobState::kFailed,
+                Status::internal_error(
+                    "watchdog replaced the worker: job exceeded its " +
+                    std::to_string(job->max_wall_ms) +
+                    " ms deadline and ignored cancellation")))
+          events.push_back(*e);
+        // The job is terminal now; running_jobs_ counts jobs, not threads.
+        // The stale thread skips its own decrement when it finally returns
+        // (generation check in worker_loop).
+        --running_jobs_;
+        // Abandon the seat: the stale thread keeps running until its next
+        // generation check, off the books (zombies_), and a fresh worker
+        // takes over the queue.
+        WorkerSlot& seat = worker_slots_[static_cast<std::size_t>(slot)];
+        ++seat.generation;
+        if (seat.thread.joinable()) zombies_.push_back(std::move(seat.thread));
+        const std::uint64_t generation = seat.generation;
+        seat.thread = std::thread(
+            [this, slot, generation] { worker_loop(slot, generation); });
+        long long respawns = 0;
+        {
+          const std::lock_guard<std::mutex> mlock(metrics_mutex_);
+          metrics_.counter("workers_abandoned").add();
+          auto& counter = metrics_.counter("workers_respawned");
+          counter.add();
+          respawns = counter.value();
+        }
+        events.push_back(obs::TraceEvent::job(
+            obs::EventKind::kWorkerDied, static_cast<std::int64_t>(slot),
+            static_cast<std::int64_t>(job->id), /*ok=*/true));
+        events.push_back(obs::TraceEvent::job(
+            obs::EventKind::kWorkerRespawned, static_cast<std::int64_t>(slot),
+            static_cast<std::int64_t>(respawns)));
+      }
+    }
+
+    if (!events.empty()) {
+      lock.unlock();
+      for (const obs::TraceEvent& e : events) emit(e);
+      done_cv_.notify_all();
+      work_cv_.notify_all();
+      lock.lock();
+    }
   }
 }
 
@@ -405,6 +721,8 @@ std::shared_ptr<const RouteResult> RoutingService::cache_lookup(
 void RoutingService::cache_insert(std::uint64_t hash, std::string identity,
                                   std::shared_ptr<const RouteResult> result) {
   if (options_.cache_capacity <= 0) return;
+  if (options_.faults != nullptr)
+    options_.faults->maybe_throw(fault::Site::kCacheInsert);
   const std::lock_guard<std::mutex> lock(cache_mutex_);
   auto& slots = cache_index_[hash];
   for (auto it : slots)
@@ -425,6 +743,9 @@ void RoutingService::cache_insert(std::uint64_t hash, std::string identity,
 
 void RoutingService::execute(const std::shared_ptr<Job>& job,
                              SearchArena* arena) {
+  if (options_.faults != nullptr)
+    options_.faults->maybe_throw(fault::Site::kWorkerBody);
+
   emit(obs::TraceEvent::job(
       obs::EventKind::kJobStarted, static_cast<std::int64_t>(job->id),
       static_cast<std::int64_t>(job->queue_wait_ms)));
@@ -440,7 +761,10 @@ void RoutingService::execute(const std::shared_ptr<Job>& job,
   }
 
   const JobRequest& request = job->request;
-  const bool use_cache = options_.cache_capacity > 0 && cacheable(request);
+  // cache_eligible was pinned at admission against the *client's* budget,
+  // before the service imposed its deadline default or brown-out ceiling —
+  // those must not change which cache identity a job answers to.
+  const bool use_cache = job->cache_eligible;
   std::uint64_t hash = 0;
   std::string identity;
   if (use_cache) {
@@ -450,18 +774,20 @@ void RoutingService::execute(const std::shared_ptr<Job>& job,
       emit(obs::TraceEvent::job(obs::EventKind::kJobCachedHit,
                                 static_cast<std::int64_t>(job->id),
                                 static_cast<std::int64_t>(hash)));
-      obs::TraceEvent done;
+      std::optional<obs::TraceEvent> done;
       {
         const std::lock_guard<std::mutex> lock(metrics_mutex_);
         metrics_.counter("cache_hits").add();
       }
       {
         const std::lock_guard<std::mutex> lock(mutex_);
-        job->result = hit;
-        job->from_cache = true;
-        done = finalize_locked(job, JobState::kCompleted, Status());
+        if (!terminal(job->state)) {
+          job->result = hit;
+          job->from_cache = true;
+          done = finalize_locked(job, JobState::kCompleted, Status());
+        }
       }
-      emit(done);
+      if (done.has_value()) emit(*done);
       return;
     }
   }
@@ -474,32 +800,56 @@ void RoutingService::execute(const std::shared_ptr<Job>& job,
   route_request.trace = request.trace;
   route_request.extra_attempts = request.extra_attempts;
   route_request.improve_passes = request.improve_passes;
+  route_request.faults = options_.faults;  // route-level sites share the plan
   if (request.extra_attempts <= 0) route_request.arena = arena;
 
   auto result = std::make_shared<RouteResult>(route(route_request));
 
+  if (job->brownout)
+    result->degradation.push_back(
+        {Degradation::Kind::kBrownOut, 0, kNoNet,
+         "admitted under brown-out: budget tightened to shed queue "
+         "pressure"});
+
   const bool was_cancelled =
       job->cancel_token.load(std::memory_order_relaxed);
-  if (use_cache && !was_cancelled && !result->budget_exhausted) {
-    bool sink_tripped = false;
+  if (use_cache && !job->brownout && !was_cancelled &&
+      !result->budget_exhausted) {
+    // Poison guard: only results that are a pure function of
+    // (problem, options) may enter the cache. Any degradation except the
+    // wave-engine serial fallback (which is bit-identical by design) marks
+    // the run impure — an injected fault's rolled-back net, a disabled
+    // sink, a salvaged attempt must never be served to a later client.
+    bool impure = false;
     for (const Degradation& d : result->degradation)
-      sink_tripped |= d.kind == Degradation::Kind::kSinkDisabled;
-    if (!sink_tripped) cache_insert(hash, std::move(identity), result);
-  }
-
-  obs::TraceEvent done;
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    job->result = std::move(result);
-    if (was_cancelled) {
-      done = finalize_locked(job, JobState::kCancelled,
-                             Status::cancelled("job cancelled while running; "
-                                               "partial result attached"));
-    } else {
-      done = finalize_locked(job, JobState::kCompleted, Status());
+      impure |= d.kind != Degradation::Kind::kWaveDisabled;
+    if (!impure) {
+      try {
+        cache_insert(hash, std::move(identity), result);
+      } catch (...) {
+        // A failing cache must never fail the job: the result is in hand,
+        // only its reuse is lost.
+        const std::lock_guard<std::mutex> lock(metrics_mutex_);
+        metrics_.counter("cache_insert_failed").add();
+      }
     }
   }
-  emit(done);
+
+  std::optional<obs::TraceEvent> done;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!terminal(job->state)) {  // the watchdog may have settled it already
+      job->result = std::move(result);
+      if (was_cancelled) {
+        done = finalize_locked(job, JobState::kCancelled,
+                               Status::cancelled("job cancelled while running; "
+                                                 "partial result attached"));
+      } else {
+        done = finalize_locked(job, JobState::kCompleted, Status());
+      }
+    }
+  }
+  if (done.has_value()) emit(*done);
 }
 
 void RoutingService::execute_delta(const std::shared_ptr<Job>& job,
@@ -517,6 +867,7 @@ void RoutingService::execute_delta(const std::shared_ptr<Job>& job,
   delta_request.extra_attempts = job->request.extra_attempts;
   delta_request.improve_passes = job->request.improve_passes;
   delta_request.prescreen = job->delta_prescreen;
+  delta_request.faults = options_.faults;
   if (job->request.extra_attempts <= 0) delta_request.arena = arena;
 
   DeltaResult delta = route_delta(delta_request);
@@ -529,37 +880,46 @@ void RoutingService::execute_delta(const std::shared_ptr<Job>& job,
   auto result = std::make_shared<RouteResult>(std::move(delta.result));
   auto edited = std::make_shared<const Problem>(std::move(delta.edited));
 
+  if (job->brownout)
+    result->degradation.push_back(
+        {Degradation::Kind::kBrownOut, 0, kNoNet,
+         "admitted under brown-out: budget tightened to shed queue "
+         "pressure"});
+
   const bool was_cancelled = job->cancel_token.load(std::memory_order_relaxed);
-  obs::TraceEvent done;
+  std::optional<obs::TraceEvent> done;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    // The outcome's problem is the edited one the grid answers to — for a
-    // clean completion finalize_locked commits exactly this pair into the
-    // session; for anything else the session keeps its old state.
-    job->request.problem = std::move(edited);
-    job->result = std::move(result);
-    job->delta = std::move(outcome);
-    if (was_cancelled) {
-      done = finalize_locked(job, JobState::kCancelled,
-                             Status::cancelled("job cancelled while running; "
-                                               "partial result attached"));
-    } else {
-      done = finalize_locked(job, JobState::kCompleted, Status());
+    if (!terminal(job->state)) {
+      // The outcome's problem is the edited one the grid answers to — for a
+      // clean completion finalize_locked commits exactly this pair into the
+      // session; for anything else the session keeps its old state.
+      job->request.problem = std::move(edited);
+      job->result = std::move(result);
+      job->delta = std::move(outcome);
+      if (was_cancelled) {
+        done = finalize_locked(job, JobState::kCancelled,
+                               Status::cancelled("job cancelled while running; "
+                                                 "partial result attached"));
+      } else {
+        done = finalize_locked(job, JobState::kCompleted, Status());
+      }
     }
   }
-  emit(done);
+  if (done.has_value()) emit(*done);
 }
 
-obs::TraceEvent RoutingService::finalize_locked(
+std::optional<obs::TraceEvent> RoutingService::finalize_locked(
     const std::shared_ptr<Job>& job, JobState state, Status status) {
-  job->state = state;
-  job->status = std::move(status);
+  // Idempotent: the watchdog, a dying worker, and an abandoned worker that
+  // finally returns can all reach here for one job — the first settles it.
+  if (terminal(job->state)) return std::nullopt;
 
   // Session settlement: every terminal path (worker, cache hit, queued
-  // cancel, shutdown) funnels through here under mutex_, so the claim is
-  // released exactly once — and the committed state advances only on a
-  // clean completion. A cancelled, failed, pre-screened or invalid job
-  // leaves the session's base layout intact.
+  // cancel, watchdog, quarantine, shutdown) funnels through here under
+  // mutex_, so the claim is released exactly once — and the committed
+  // state advances only on a clean completion. A cancelled, failed,
+  // pre-screened or invalid job leaves the session's base layout intact.
   bool delta_committed = false;
   if (job->session != 0) {
     const auto it = sessions_.find(job->session);
@@ -568,22 +928,42 @@ obs::TraceEvent RoutingService::finalize_locked(
       session.active_job = 0;
       if (state == JobState::kCompleted && job->result != nullptr &&
           job->result->status.ok()) {
-        session.problem = job->request.problem;
-        session.layout = job->result;
-        if (job->edit.has_value()) {
-          ++session.committed_deltas;
-          delta_committed = true;
+        if (options_.faults != nullptr &&
+            options_.faults->fire(fault::Site::kSessionCommit)) {
+          // Commit failed: the session keeps its previous committed state
+          // and the waiter gets a typed failure instead of a silently
+          // half-applied session. fire() (not maybe_throw) — an exception
+          // must not unwind from under mutex_.
+          job->fault_history.push_back(
+              "injected fault at session_commit (arrival " +
+              std::to_string(
+                  options_.faults->hits(fault::Site::kSessionCommit)) +
+              ")");
+          state = JobState::kFailed;
+          status = Status::internal_error(
+              "session commit failed; the session keeps its previous "
+              "committed layout");
+        } else {
+          session.problem = job->request.problem;
+          session.layout = job->result;
+          if (job->edit.has_value()) {
+            ++session.committed_deltas;
+            delta_committed = true;
+          }
         }
       }
     }
   }
 
+  job->state = state;
+  job->status = std::move(status);
+
   {
     const std::lock_guard<std::mutex> lock(metrics_mutex_);
-    metrics_
-        .counter(state == JobState::kCancelled ? "jobs_cancelled"
-                                               : "jobs_completed")
-        .add();
+    const char* counter = "jobs_completed";
+    if (state == JobState::kCancelled) counter = "jobs_cancelled";
+    if (state == JobState::kFailed) counter = "jobs_failed";
+    metrics_.counter(counter).add();
     if (delta_committed) metrics_.counter("deltas_committed").add();
   }
   if (state == JobState::kCancelled)
@@ -591,6 +971,10 @@ obs::TraceEvent RoutingService::finalize_locked(
                                 static_cast<std::int64_t>(job->id),
                                 /*extra=*/0,
                                 /*ok=*/job->result != nullptr);
+  if (state == JobState::kFailed)
+    return obs::TraceEvent::job(obs::EventKind::kJobQuarantined,
+                                static_cast<std::int64_t>(job->id),
+                                static_cast<std::int64_t>(job->retries));
   const bool clean = job->result != nullptr && job->result->complete() &&
                      job->result->degradation.empty();
   return obs::TraceEvent::job(obs::EventKind::kJobCompleted,
@@ -604,10 +988,7 @@ StatusOr<JobOutcome> RoutingService::wait(std::uint64_t id) {
   if (it == jobs_.end())
     return Status::validation_error("unknown job id " + std::to_string(id));
   const std::shared_ptr<Job> job = it->second;
-  done_cv_.wait(lock, [&] {
-    return job->state == JobState::kCompleted ||
-           job->state == JobState::kCancelled;
-  });
+  done_cv_.wait(lock, [&] { return terminal(job->state); });
   JobOutcome outcome;
   outcome.id = job->id;
   outcome.state = job->state;
@@ -617,6 +998,8 @@ StatusOr<JobOutcome> RoutingService::wait(std::uint64_t id) {
   outcome.from_cache = job->from_cache;
   outcome.queue_wait_ms = job->queue_wait_ms;
   outcome.delta = job->delta;
+  outcome.retries = job->retries;
+  outcome.fault_history = job->fault_history;
   jobs_.erase(id);  // wait() consumes the record
   return outcome;
 }
@@ -626,8 +1009,7 @@ std::optional<JobOutcome> RoutingService::try_outcome(std::uint64_t id) const {
   auto it = jobs_.find(id);
   if (it == jobs_.end()) return std::nullopt;
   const Job& job = *it->second;
-  if (job.state != JobState::kCompleted && job.state != JobState::kCancelled)
-    return std::nullopt;
+  if (!terminal(job.state)) return std::nullopt;
   JobOutcome outcome;
   outcome.id = job.id;
   outcome.state = job.state;
@@ -637,12 +1019,13 @@ std::optional<JobOutcome> RoutingService::try_outcome(std::uint64_t id) const {
   outcome.from_cache = job.from_cache;
   outcome.queue_wait_ms = job.queue_wait_ms;
   outcome.delta = job.delta;
+  outcome.retries = job.retries;
+  outcome.fault_history = job.fault_history;
   return outcome;
 }
 
 bool RoutingService::cancel(std::uint64_t id) {
-  obs::TraceEvent event;
-  bool emit_event = false;
+  std::optional<obs::TraceEvent> event;
   bool cancelled = false;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -654,7 +1037,6 @@ bool RoutingService::cancel(std::uint64_t id) {
       if (qit != queue_.end()) queue_.erase(qit);
       event = finalize_locked(job, JobState::kCancelled,
                               Status::cancelled("job cancelled while queued"));
-      emit_event = true;
       cancelled = true;
     } else if (job->state == JobState::kRunning && !job->cancel_requested) {
       // The worker observes the token at the next budget checkpoint and
@@ -664,8 +1046,8 @@ bool RoutingService::cancel(std::uint64_t id) {
       cancelled = true;
     }
   }
-  if (emit_event) {
-    emit(event);
+  if (event.has_value()) {
+    emit(*event);
     done_cv_.notify_all();
   }
   return cancelled;
@@ -696,10 +1078,10 @@ void RoutingService::shutdown() {
       while (!queue_.empty()) {
         const std::shared_ptr<Job> job = queue_.front();
         queue_.pop_front();
-        events.push_back(
-            finalize_locked(job, JobState::kCancelled,
-                            Status::cancelled("service shut down before the "
-                                              "job ran")));
+        if (auto e = finalize_locked(
+                job, JobState::kCancelled,
+                Status::cancelled("service shut down before the job ran")))
+          events.push_back(*e);
       }
       lock.unlock();
     }
@@ -707,9 +1089,20 @@ void RoutingService::shutdown() {
   for (const obs::TraceEvent& e : events) emit(e);
   if (!events.empty()) done_cv_.notify_all();
   work_cv_.notify_all();
-  for (std::thread& t : workers_)
-    if (t.joinable()) t.join();
-  workers_.clear();
+  supervisor_cv_.notify_all();
+  if (supervisor_.joinable()) supervisor_.join();
+  for (WorkerSlot& seat : worker_slots_)
+    if (seat.thread.joinable()) seat.thread.join();
+  // Abandoned/dead threads parked by the supervisor. The supervisor is
+  // joined, workers are joined — nobody mutates zombies_ anymore. A thread
+  // stuck past watchdog replacement must unblock for this join to return;
+  // that is the documented contract (shutdown waits for running work).
+  // worker_slots_ stays populated until the zombies are gone: a stale
+  // thread's last act is a generation check against its seat.
+  for (std::thread& zombie : zombies_)
+    if (zombie.joinable()) zombie.join();
+  zombies_.clear();
+  worker_slots_.clear();
 }
 
 ServiceStats RoutingService::stats() const {
@@ -729,12 +1122,40 @@ ServiceStats RoutingService::stats() const {
     out.sessions_opened = snap.counter("sessions_opened");
     out.deltas_submitted = snap.counter("deltas_submitted");
     out.deltas_committed = snap.counter("deltas_committed");
+    out.failed = snap.counter("jobs_failed");
+    out.retried = snap.counter("jobs_retried");
+    out.quarantined = snap.counter("jobs_quarantined");
+    out.browned_out = snap.counter("jobs_browned_out");
+    out.workers_respawned = snap.counter("workers_respawned");
     for (const auto& timer : snap.timers)
       if (timer.name == "queue_wait_ms") out.total_queue_wait_ms = timer.total_ms;
   }
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     out.queue_depth = static_cast<long long>(queue_.size());
+  }
+  return out;
+}
+
+ServiceHealth RoutingService::health() const {
+  ServiceHealth out;
+  {
+    const std::lock_guard<std::mutex> lock(metrics_mutex_);
+    const obs::MetricsSnapshot snap = metrics_.snapshot();
+    out.workers_respawned = snap.counter("workers_respawned");
+    out.workers_abandoned = snap.counter("workers_abandoned");
+    out.jobs_retried = snap.counter("jobs_retried");
+    out.jobs_quarantined = snap.counter("jobs_quarantined");
+    out.brownouts_entered = snap.counter("brownouts_entered");
+    out.watchdog_cancels = snap.counter("watchdog_cancels");
+    out.cache_insert_failures = snap.counter("cache_insert_failed");
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out.workers_alive = workers_alive_;
+    out.queue_depth = static_cast<long long>(queue_.size());
+    out.running_jobs = running_jobs_;
+    out.brownout_active = brownout_;
   }
   return out;
 }

@@ -15,6 +15,7 @@
 
 #include "core/api.hpp"
 #include "core/delta.hpp"
+#include "fault/fault.hpp"
 #include "obs/budget.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -60,10 +61,61 @@ struct ServiceOptions {
   /// but no worker pops until resume(). Deterministic queue-state control
   /// for tests and drain-style operations.
   bool start_paused = false;
-  /// Job lifecycle event sink (kJobSubmitted .. kJobCancelled; null = off).
-  /// Must be thread-safe — every worker and every submitting client emits
-  /// into it (all of obs/sinks.hpp qualifies).
+  /// Job lifecycle event sink (kJobSubmitted .. kBrownOutExited; null =
+  /// off). Must be thread-safe — every worker and every submitting client
+  /// emits into it (all of obs/sinks.hpp qualifies). The service wraps it
+  /// in a fault::FailsafeSink: a throwing lifecycle sink degrades tracing,
+  /// never the service.
   obs::TraceSink* trace = nullptr;
+
+  // -- Resilience (DESIGN.md §2.5) -----------------------------------------
+
+  /// Retries granted to a job whose worker body escapes (injected fault,
+  /// bad_alloc, broken invariant above route()'s own salvage). The job is
+  /// re-enqueued with a deterministic virtual-time backoff; a job that
+  /// fails max_retries + 1 times is quarantined (JobState::kFailed with
+  /// its fault history on the outcome). 0 = quarantine on first failure.
+  int max_retries = 2;
+  /// Virtual-time backoff base: retry n waits retry_backoff_base << (n-1)
+  /// dequeue ticks before becoming eligible again. Virtual time advances
+  /// one tick per dequeue — the schedule is seed-deterministic and never
+  /// consults the wall clock.
+  std::uint64_t retry_backoff_base = 1;
+  /// Service-imposed wall deadline (ms) for jobs whose own budget sets
+  /// none; rides the job's RunBudget exactly like a client deadline. The
+  /// watchdog escalates on top of it (see watchdog_* below). 0 = off.
+  double default_max_wall_ms = 0;
+  /// Watchdog escalation step 1: a running job this many ms past its wall
+  /// deadline gets its cancel token raised (salvage-partial at the next
+  /// budget checkpoint), in case the budget itself is being ignored.
+  double watchdog_cancel_grace_ms = 100;
+  /// Watchdog escalation step 2: a job still running this many ms past its
+  /// deadline is finalized kFailed for its waiter, and its worker —
+  /// provably ignoring the cancel token — is abandoned and replaced with a
+  /// fresh one. The abandoned thread is joined at shutdown. 0 = never
+  /// replace (cancel-only watchdog). Must exceed watchdog_cancel_grace_ms
+  /// to leave the cooperative path a window.
+  double watchdog_replace_grace_ms = 0;
+  /// Supervisor poll period (ms) for the watchdog scan.
+  double watchdog_poll_ms = 10;
+  /// Brown-out load shedding: when an admission would leave the queue at
+  /// or above this depth, the service enters brown-out — jobs are still
+  /// admitted (no kResource reject) but with tightened budgets
+  /// (brownout_wall_ms / brownout_max_expansions) and a structured
+  /// Degradation::kBrownOut on their results. 0 = off.
+  int brownout_queue_threshold = 0;
+  /// Queue depth at which brown-out ends (checked at dequeue). -1 = half
+  /// of brownout_queue_threshold. Hysteresis keeps the mode from flapping.
+  int brownout_exit_threshold = -1;
+  /// Budget ceilings imposed on brown-out admissions (each 0 = leave that
+  /// axis alone; a tighter client budget is kept).
+  double brownout_wall_ms = 0;
+  long long brownout_max_expansions = 0;
+  /// Optional deterministic fault injector shared by every job the service
+  /// runs (forwarded into route()/route_delta()) *and* probed at the
+  /// service-scoped sites (kJobDequeue, kWorkerBody, kCacheInsert,
+  /// kSessionCommit). Null = off. Not owned; must outlive the service.
+  fault::Injector* faults = nullptr;
 };
 
 /// One job: everything route(RouteRequest) needs, with the problem owned
@@ -88,13 +140,18 @@ struct JobRequest {
 
 /// Lifecycle of a job. kRejected never enters the queue; kCancelled covers
 /// both a queued job that never ran and a running job stopped mid-flight
-/// (the latter carries a verifiable partial result).
+/// (the latter carries a verifiable partial result). kFailed is the
+/// supervision layer's typed terminal state: the worker body escaped and
+/// retries were exhausted (quarantine), or the watchdog replaced a worker
+/// that ignored its deadline — the outcome's status is ErrorCode::kInternal
+/// (kResource for bad_alloc) and fault_history names every failure.
 enum class JobState : std::uint8_t {
   kQueued,
   kRunning,
   kCompleted,
   kRejected,
   kCancelled,
+  kFailed,
 };
 
 const char* job_state_name(JobState state);
@@ -128,6 +185,13 @@ struct JobOutcome {
   /// Delta jobs only: the invalidation partition (null on whole-problem
   /// jobs). `problem` is then the *edited* problem the result answers to.
   std::shared_ptr<const DeltaOutcome> delta;
+  /// Times the supervision layer re-enqueued this job after a worker-body
+  /// escape (0 on the nominal path).
+  int retries = 0;
+  /// One entry per absorbed worker-body failure, oldest first ("injected
+  /// fault at worker_body (arrival 3)", "std::bad_alloc", ...). Non-empty
+  /// on every kFailed outcome and on retried-then-completed jobs.
+  std::vector<std::string> fault_history;
 };
 
 /// Handle returned by open_session(): the session id plus the id of the
@@ -182,6 +246,30 @@ struct ServiceStats {
   long long sessions_opened = 0;
   long long deltas_submitted = 0;
   long long deltas_committed = 0;  ///< deltas that advanced a session layout
+  // Resilience (DESIGN.md §2.5).
+  long long failed = 0;             ///< jobs finalized kFailed (all causes)
+  long long retried = 0;            ///< retry re-enqueues performed
+  long long quarantined = 0;        ///< kFailed after exhausting retries
+  long long browned_out = 0;        ///< jobs admitted under brown-out
+  long long workers_respawned = 0;  ///< supervisor worker replacements
+};
+
+/// Point-in-time health snapshot of the service (RoutingService::health),
+/// the aggregate an operator dashboards: is the pool intact, is the queue
+/// draining, is supervision absorbing failures, are we shedding load. Also
+/// exposed verbatim through the C ABI as gr_health.
+struct ServiceHealth {
+  int workers_alive = 0;           ///< threads currently serving the queue
+  long long workers_respawned = 0; ///< replacements after worker deaths
+  long long workers_abandoned = 0; ///< watchdog replacements (zombie threads)
+  long long queue_depth = 0;
+  long long running_jobs = 0;      ///< includes work on abandoned threads
+  long long jobs_retried = 0;
+  long long jobs_quarantined = 0;
+  bool brownout_active = false;
+  long long brownouts_entered = 0; ///< lifetime brown-out episodes
+  long long watchdog_cancels = 0;  ///< escalation step 1 firings
+  long long cache_insert_failures = 0;  ///< kCacheInsert faults absorbed
 };
 
 /// Cheap routability estimate used by the admission pre-screen: the sum of
@@ -277,6 +365,8 @@ class RoutingService {
   void shutdown();
 
   ServiceStats stats() const;
+  /// Resilience snapshot (workers, retries, quarantine, brown-out state).
+  ServiceHealth health() const;
   /// Full registry export (counters + queue-wait/run-time histograms).
   obs::MetricsSnapshot metrics() const;
 
@@ -287,10 +377,31 @@ class RoutingService {
   struct CacheSlot;
   struct Session;
 
-  void worker_loop(SearchArena* arena);
+  /// One worker seat in the pool. The generation stamps which incarnation
+  /// of the seat a thread belongs to: the watchdog abandons a stuck worker
+  /// by bumping the generation (the stale thread notices and exits when it
+  /// eventually returns), and the supervisor respawns into the same seat.
+  struct WorkerSlot {
+    std::thread thread;
+    std::uint64_t generation = 0;
+  };
+
+  void worker_loop(int slot, std::uint64_t generation);
+  /// Supervision thread: respawns dead workers and runs the watchdog scan
+  /// (deadline escalation cancel -> replace) every watchdog_poll_ms.
+  void supervisor_loop();
+  /// Worker-body escape handler: records the failure, then re-enqueues the
+  /// job with backoff (retries left) or finalizes it kFailed (quarantine).
+  /// Caller (the dying worker) must NOT hold mutex_.
+  void absorb_worker_failure(const std::shared_ptr<Job>& job, int slot,
+                             const std::string& what, bool resource);
   /// Executes one job on a worker: cache lookup, route(), cache insert,
   /// finalization. `arena` is the worker's persistent search scratch.
   void execute(const std::shared_ptr<Job>& job, SearchArena* arena);
+  /// Pops the next eligible job (virtual-time backoff aware) — caller holds
+  /// mutex_ and has checked the queue is non-empty. Warps vnow_ forward
+  /// when every queued job is still backing off.
+  std::shared_ptr<Job> dequeue_locked();
   /// Delta-job arm of execute(): route_delta against the session snapshot
   /// taken at admission; no cache on either side.
   void execute_delta(const std::shared_ptr<Job>& job, SearchArena* arena);
@@ -300,11 +411,20 @@ class RoutingService {
   /// stored through `session_out`.
   StatusOr<std::uint64_t> submit_impl(JobRequest request, bool open_session,
                                       std::uint64_t* session_out);
+  /// Admission-side resilience policy (caller holds mutex_; the job is not
+  /// yet visible to workers): pins cache eligibility against the client's
+  /// own budget, imposes default_max_wall_ms, applies brown-out
+  /// marking/tightening. Returns true when this admission tripped brown-out
+  /// entry (caller emits the event after dropping the lock).
+  bool admit_policies_locked(const std::shared_ptr<Job>& job,
+                             std::size_t depth_after);
   /// Marks the job terminal, bumps the terminal counter, wakes waiters
   /// (caller must hold mutex_). Returns the lifecycle event to emit after
-  /// the lock is released.
-  obs::TraceEvent finalize_locked(const std::shared_ptr<Job>& job,
-                                  JobState state, Status status);
+  /// the lock is released — or nullopt when the job was already terminal:
+  /// finalize is idempotent, because the watchdog and an abandoned worker
+  /// can both reach it for the same job.
+  std::optional<obs::TraceEvent> finalize_locked(
+      const std::shared_ptr<Job>& job, JobState state, Status status);
   void emit(const obs::TraceEvent& event);
 
   /// Exact cache identity: decision-relevant options rendered to text plus
@@ -331,6 +451,15 @@ class RoutingService {
   bool stopping_ = false;
   int running_jobs_ = 0;
 
+  // Resilience state (guarded by mutex_ unless noted).
+  std::uint64_t vnow_ = 0;          ///< virtual dequeue clock (backoff)
+  bool brownout_ = false;           ///< currently shedding load
+  int workers_alive_ = 0;
+  std::vector<int> dead_worker_slots_;  ///< seats awaiting respawn
+  std::vector<std::thread> zombies_;    ///< dead/abandoned threads; joined
+                                        ///< at shutdown
+  std::condition_variable supervisor_cv_;
+
   // ECO sessions (guarded by mutex_; layouts/problems are immutable shared
   // snapshots, so workers read them without the lock after admission).
   std::unordered_map<std::uint64_t, std::shared_ptr<Session>> sessions_;
@@ -348,7 +477,10 @@ class RoutingService {
   mutable std::mutex metrics_mutex_;
   obs::MetricsRegistry metrics_;
 
-  std::vector<std::thread> workers_;
+  std::vector<WorkerSlot> worker_slots_;  ///< sized once; seats never move
+  std::thread supervisor_;
+  /// Lifecycle-sink failsafe (absorbs a throwing ServiceOptions::trace).
+  std::optional<fault::FailsafeSink> safe_trace_;
 };
 
 }  // namespace gridroute::service

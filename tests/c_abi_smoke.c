@@ -117,13 +117,101 @@ int main(void) {
   /* Cancelling a terminal (consumed) job is a no-op. */
   CHECK(gr_service_cancel(service, job_b) == 0);
 
+  /* Health snapshot: quiet single-worker pool, no supervision activity. */
+  {
+    gr_health health;
+    memset(&health, 0x5a, sizeof(health)); /* prove every field is written */
+    CHECK(gr_service_health(service, &health) == GR_STATUS_OK);
+    CHECK(health.workers_alive == 1);
+    CHECK(health.brownout_active == 0);
+    CHECK(health.workers_respawned == 0);
+    CHECK(health.workers_abandoned == 0);
+    CHECK(health.queue_depth == 0);
+    CHECK(health.running_jobs == 0);
+    CHECK(health.jobs_retried == 0);
+    CHECK(health.jobs_quarantined == 0);
+    CHECK(health.brownouts_entered == 0);
+    CHECK(health.watchdog_cancels == 0);
+    CHECK(health.cache_insert_failures == 0);
+  }
+
+  /* ---- Misuse hardening --------------------------------------------------
+   * NULL, never-created, and already-freed handles must come back as typed
+   * errors (or safe accessor defaults) with gr_last_error() set — never a
+   * crash. A double free is a detected no-op. */
+  {
+    gr_problem* fake_problem = (gr_problem*)&job_options; /* never created */
+    gr_service* fake_service = (gr_service*)&job_options;
+    gr_result* fake_result = (gr_result*)&job_options;
+    gr_health health;
+    gr_result* out_result = (gr_result*)&job_options;
+    uint64_t out_id = 0;
+    gr_problem* null_out = NULL;
+
+    /* NULL handles. */
+    CHECK(gr_problem_parse(NULL, &null_out) == GR_STATUS_VALIDATION);
+    CHECK(null_out == NULL);
+    CHECK(gr_problem_parse(kProblemText, NULL) == GR_STATUS_VALIDATION);
+    CHECK(gr_problem_net_count(NULL) == 0);
+    CHECK(gr_problem_canonical_hash(NULL) == 0);
+    CHECK(gr_service_create(&service_options, NULL) == GR_STATUS_VALIDATION);
+    CHECK(gr_service_submit(NULL, problem, &job_options, &out_id) ==
+          GR_STATUS_VALIDATION);
+    CHECK(strlen(gr_last_error()) > 0);
+    CHECK(gr_service_wait(NULL, 1, &out_result) == GR_STATUS_VALIDATION);
+    CHECK(out_result == NULL);
+    CHECK(gr_service_cancel(NULL, 1) == 0);
+    CHECK(gr_service_health(NULL, &health) == GR_STATUS_VALIDATION);
+    CHECK(gr_result_state(NULL) == GR_JOB_CANCELLED);
+    CHECK(gr_result_has_solution(NULL) == 0);
+    CHECK(gr_result_failed_net_count(NULL) == -1);
+    CHECK(gr_result_solution_string(NULL) == NULL);
+
+    /* Never-created handles: the registry refuses them. */
+    CHECK(gr_problem_net_count(fake_problem) == 0);
+    CHECK(strlen(gr_last_error()) > 0);
+    out_result = (gr_result*)&job_options;
+    CHECK(gr_service_wait(fake_service, 1, &out_result) ==
+          GR_STATUS_VALIDATION);
+    CHECK(out_result == NULL);
+    CHECK(gr_service_health(fake_service, &health) == GR_STATUS_VALIDATION);
+    CHECK(gr_result_solution_string(fake_result) == NULL);
+    CHECK(gr_service_submit(fake_service, problem, &job_options, &out_id) ==
+          GR_STATUS_VALIDATION);
+  }
+
   gr_string_free(solution);
   gr_result_free(first);
   gr_result_free(second);
+
+  /* Already-freed handles: uses are refused, a second free is a detected
+   * no-op (gr_last_error() names it), and the program keeps running. */
+  gr_result_free(first); /* double free: detected, not fatal */
+  CHECK(strlen(gr_last_error()) > 0);
+  CHECK(gr_result_state(first) == GR_JOB_CANCELLED); /* safe default */
+  CHECK(gr_result_has_solution(first) == 0);
+  CHECK(gr_result_solution_string(first) == NULL);
+
   gr_service_free(service);
+  gr_service_free(service); /* double free: detected, not fatal */
+  CHECK(strlen(gr_last_error()) > 0);
+  {
+    uint64_t out_id = 0;
+    gr_health health;
+    CHECK(gr_service_submit(service, problem, &job_options, &out_id) ==
+          GR_STATUS_VALIDATION);
+    CHECK(gr_service_health(service, &health) == GR_STATUS_VALIDATION);
+  }
+
   gr_problem_free(problem);
+  CHECK(gr_problem_net_count(problem) == 0); /* freed: safe default + error */
+  CHECK(strlen(gr_last_error()) > 0);
+  gr_problem_free(problem); /* double free: detected, not fatal */
   gr_problem_free(twin);
   gr_problem_free(bad); /* freeing NULL is legal */
+  gr_result_free(NULL);
+  gr_service_free(NULL);
+  gr_string_free(NULL);
 
   if (g_failures > 0) {
     fprintf(stderr, "%d failure(s)\n", g_failures);

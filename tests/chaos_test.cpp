@@ -1,0 +1,302 @@
+// Chaos/soak harness for the RoutingService resilience layer (DESIGN.md
+// §2.5): seed-deterministic fault schedules fired at every fault::Site —
+// the route()-level sites and the service-scoped ones — under a mixed
+// plain/cached/session/delta workload, asserting the supervision
+// invariants:
+//
+//   1. Every submitted job reaches exactly one terminal outcome: wait()
+//      returns a typed state for every id, and a second wait is an error
+//      (the record was consumed exactly once). No waiter ever hangs.
+//   2. The cache is never poisoned: a from_cache result is bit-identical
+//      to the clean direct route() baseline of its problem.
+//   3. A session's committed base layout survives any mid-delta fault —
+//      the layout pointer is always one of the results that completed
+//      cleanly, never a torn intermediate.
+//   4. After every fault the service still routes a clean job
+//      bit-identically to an unfaulted direct route().
+//   5. A worker killed mid-job provably respawns: health() shows the pool
+//      restored, the trace ledger carries kWorkerDied/kWorkerRespawned,
+//      and the killed job's waiter still gets a typed outcome.
+//
+// GRIDROUTE_CHAOS_INSTANCES shrinks the seeded soak (default 60); the
+// sanitizer legs of scripts/tier1.sh set it low so TSan's slowdown stays
+// inside the timeout. The per-site storm section always runs in full —
+// it is the acceptance gate that every site is survivable.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_suite/suite.hpp"
+#include "core/api.hpp"
+#include "fault/fault.hpp"
+#include "io/solution_format.hpp"
+#include "obs/sinks.hpp"
+#include "service/routing_service.hpp"
+#include "util/rng.hpp"
+#include "verify/verify.hpp"
+
+namespace gridroute::service {
+namespace {
+
+int soak_budget() {
+  if (const char* env = std::getenv("GRIDROUTE_CHAOS_INSTANCES")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 60;
+}
+
+/// Decision-relevant render of a result (layout + failures + deterministic
+/// counters); two runs are bit-identical iff these match.
+std::string artifact(const Problem& p, const RouteResult& r) {
+  std::ostringstream out;
+  out << solution_to_string(p, r.grid);
+  out << "failed:";
+  for (NetId id : r.failed) out << ' ' << id;
+  out << "\nstats: " << r.stats.nets_routed << ' '
+      << r.stats.connections_routed << ' ' << r.stats.expansions;
+  return std::move(out).str();
+}
+
+std::string direct_baseline(const Problem& p) {
+  RouteRequest request;
+  request.problem = &p;
+  return artifact(p, route(request));
+}
+
+std::shared_ptr<const Problem> chaos_problem(std::uint64_t seed) {
+  return std::make_shared<const Problem>(
+      suite::random_switchbox(seed, 12, 9, 5 + seed % 3).to_problem());
+}
+
+/// One chaos run: a service with `faults` armed, a mixed workload driven
+/// through it, every invariant checked.
+void run_chaos_instance(fault::Injector* faults, int workers, int max_retries,
+                        std::uint64_t problem_seed,
+                        const std::string& plan_label) {
+  obs::CountingSink trace;
+  ServiceOptions options;
+  options.workers = workers;
+  options.max_queue_depth = 64;
+  options.cache_capacity = 16;
+  options.max_retries = max_retries;
+  options.trace = &trace;
+  options.faults = faults;
+
+  const auto pa = chaos_problem(problem_seed);
+  const auto pb = chaos_problem(problem_seed + 1);
+  const auto ps = chaos_problem(problem_seed + 2);
+  const std::string baseline_a = direct_baseline(*pa);
+  const std::string baseline_b = direct_baseline(*pb);
+
+  std::vector<std::uint64_t> ids;
+  std::optional<SessionTicket> ticket;
+  {
+    RoutingService service(options);
+
+    // Plain jobs: pa twice (cache-eligible — the second may be served from
+    // the cache), pb once fresh.
+    JobRequest ja1;
+    ja1.problem = pa;
+    JobRequest ja2;
+    ja2.problem = pa;
+    JobRequest jb;
+    jb.problem = pb;
+    for (JobRequest* r : {&ja1, &ja2, &jb}) {
+      auto id = service.submit(std::move(*r));
+      ASSERT_TRUE(id.ok()) << plan_label << ": " << id.status().to_string();
+      ids.push_back(*id);
+    }
+
+    // A session with two deltas layered on it.
+    JobRequest base;
+    base.problem = ps;
+    base.use_cache = false;
+    auto opened = service.open_session(std::move(base));
+    ASSERT_TRUE(opened.ok()) << plan_label;
+    ticket = *opened;
+    ids.push_back(ticket->base_job);
+    const auto base_outcome = service.wait(ticket->base_job);
+    ASSERT_TRUE(base_outcome.ok()) << plan_label;
+    std::shared_ptr<const RouteResult> base_result = base_outcome->result;
+    const bool base_committed = base_outcome->state == JobState::kCompleted &&
+                                base_outcome->result != nullptr &&
+                                base_outcome->result->status.ok() &&
+                                base_outcome->fault_history.empty();
+
+    std::shared_ptr<const RouteResult> d1_result, d2_result;
+    if (base_committed) {
+      DeltaJobRequest d1;
+      d1.edit.move_pins.push_back({0, 0, {6, 4}});
+      auto id1 = service.submit_delta(ticket->session, d1);
+      if (id1.ok()) {
+        const auto o = service.wait(*id1);
+        ASSERT_TRUE(o.ok()) << plan_label;
+        d1_result = o->result;
+      }
+      DeltaJobRequest d2;
+      d2.edit.add_obstacles.push_back(
+          {{{3, 3}, {3, 3}}, Layer::kMetal1, true});
+      auto id2 = service.submit_delta(ticket->session, d2);
+      if (id2.ok()) {
+        const auto o = service.wait(*id2);
+        ASSERT_TRUE(o.ok()) << plan_label;
+        d2_result = o->result;
+      }
+    }
+
+    // Invariant 1: every remaining waiter gets exactly one typed terminal
+    // outcome — and the record is consumed exactly once.
+    for (std::uint64_t id : ids) {
+      if (ticket.has_value() && id == ticket->base_job) continue;  // waited
+      const auto outcome = service.wait(id);
+      ASSERT_TRUE(outcome.ok())
+          << plan_label << ": waiter lost for job " << id;
+      EXPECT_TRUE(outcome->state == JobState::kCompleted ||
+                  outcome->state == JobState::kCancelled ||
+                  outcome->state == JobState::kFailed)
+          << plan_label << ": non-terminal outcome for job " << id;
+      // Invariant 2: a cache-served result is bit-identical to the clean
+      // direct baseline — degraded results must never have been inserted.
+      if (outcome->from_cache) {
+        ASSERT_NE(outcome->result, nullptr) << plan_label;
+        const std::string& expected =
+            outcome->problem == pa ? baseline_a : baseline_b;
+        EXPECT_EQ(artifact(*outcome->problem, *outcome->result), expected)
+            << plan_label << ": poisoned cache entry served to job " << id;
+      }
+      // Any result delivered — full or partial — verifies clean.
+      if (outcome->result != nullptr)
+        EXPECT_TRUE(
+            verify(*outcome->problem, outcome->result->grid).drc_clean())
+            << plan_label;
+      const auto again = service.wait(id);
+      EXPECT_FALSE(again.ok())
+          << plan_label << ": job " << id << " finalized twice";
+    }
+
+    // Invariant 3: the session's committed layout is one of the cleanly
+    // completed results (or absent) — never a torn intermediate.
+    const auto info = service.session_info(ticket->session);
+    ASSERT_TRUE(info.has_value()) << plan_label;
+    EXPECT_FALSE(info->busy) << plan_label;
+    const RouteResult* layout = info->layout.get();
+    EXPECT_TRUE(layout == nullptr || layout == base_result.get() ||
+                layout == d1_result.get() || layout == d2_result.get())
+        << plan_label << ": session committed a layout no job produced";
+    if (layout != nullptr)
+      EXPECT_TRUE(verify(*info->problem, layout->grid).drc_clean())
+          << plan_label;
+
+    // Invariant 5: a worker kill provably heals the pool. The supervisor
+    // respawns dead seats asynchronously, so poll (bounded) until the pool
+    // is whole again rather than racing the respawn.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    ServiceHealth health = service.health();
+    while ((health.workers_alive != workers || health.running_jobs != 0) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      health = service.health();
+    }
+    EXPECT_EQ(health.workers_alive, workers)
+        << plan_label << ": pool not restored";
+    EXPECT_EQ(health.running_jobs, 0) << plan_label;
+    if (faults != nullptr && faults->fired() &&
+        (faults->site() == fault::Site::kJobDequeue ||
+         faults->site() == fault::Site::kWorkerBody)) {
+      EXPECT_GE(health.workers_respawned, 1) << plan_label;
+      EXPECT_GE(trace.count(obs::EventKind::kWorkerDied), 1) << plan_label;
+      EXPECT_GE(trace.count(obs::EventKind::kWorkerRespawned), 1)
+          << plan_label;
+    }
+
+    // Invariant 4: after the fault, a clean fresh job (cache bypassed)
+    // routes bit-identically to an unfaulted direct route().
+    JobRequest clean;
+    clean.problem = pb;
+    clean.use_cache = false;
+    const auto clean_id = service.submit(std::move(clean));
+    ASSERT_TRUE(clean_id.ok()) << plan_label;
+    const auto clean_outcome = service.wait(*clean_id);
+    ASSERT_TRUE(clean_outcome.ok()) << plan_label;
+    ASSERT_EQ(clean_outcome->state, JobState::kCompleted) << plan_label;
+    ASSERT_NE(clean_outcome->result, nullptr) << plan_label;
+    EXPECT_EQ(artifact(*pb, *clean_outcome->result), baseline_b)
+        << plan_label << ": post-fault routing diverged";
+
+    service.shutdown();
+  }
+}
+
+TEST(Chaos, EverySiteStorm) {
+  // The acceptance gate: for every fault::Site (route-level and
+  // service-scoped) and two arrival depths, the mixed workload survives
+  // with all invariants intact. Arrival 1 always fires; the deeper arrival
+  // exercises schedules that land mid-stream (or never — in which case the
+  // run must be equivalent to a fault-free one, which the same invariants
+  // cover).
+  for (std::size_t s = 0; s < fault::kSiteCount; ++s) {
+    const auto site = static_cast<fault::Site>(s);
+    for (const long long arrival : {1LL, 3LL}) {
+      fault::Injector injector = fault::Injector::at(site, arrival);
+      const std::string label = std::string("storm ") + injector.plan();
+      run_chaos_instance(&injector, /*workers=*/2, /*max_retries=*/1,
+                         /*problem_seed=*/1000 + s * 7 +
+                             static_cast<std::uint64_t>(arrival),
+                         label);
+      if (testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(Chaos, SeededSoak) {
+  // Seed-driven schedules: the injector picks site and arrival from the
+  // seed, the workload shape varies with the seed, and every instance is
+  // reproducible from its seed alone.
+  const int budget = soak_budget();
+  for (int seed = 1; seed <= budget; ++seed) {
+    fault::Injector injector(static_cast<std::uint64_t>(seed),
+                             /*max_arrival=*/24);
+    const std::string label =
+        "soak seed=" + std::to_string(seed) + " " + injector.plan();
+    run_chaos_instance(&injector, /*workers=*/1 + seed % 3,
+                       /*max_retries=*/seed % 3,
+                       /*problem_seed=*/2000 + static_cast<std::uint64_t>(seed),
+                       label);
+    if (testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(Chaos, UnfiredScheduleIsBitIdenticalToFaultFree) {
+  // A schedule whose arrival is never reached must leave the service
+  // byte-identical to one with no injector at all — probing an unarmed
+  // site is free.
+  const auto p = chaos_problem(77);
+  const std::string baseline = direct_baseline(*p);
+  fault::Injector injector =
+      fault::Injector::at(fault::Site::kWorkerBody, 1000000);
+  ServiceOptions options;
+  options.faults = &injector;
+  RoutingService service(options);
+  JobRequest request;
+  request.problem = p;
+  request.use_cache = false;
+  const auto outcome = service.wait(*service.submit(std::move(request)));
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(outcome->state, JobState::kCompleted);
+  EXPECT_EQ(artifact(*p, *outcome->result), baseline);
+  EXPECT_FALSE(injector.fired());
+  EXPECT_EQ(service.health().workers_respawned, 0);
+}
+
+}  // namespace
+}  // namespace gridroute::service

@@ -315,6 +315,36 @@ TEST(FaultInjection, MultiStartSurvivesALostAttempt) {
   EXPECT_NE(result.winning_attempt, 1);
 }
 
+TEST(FaultInjection, SiteNameRoundTripIsExhaustive) {
+  // Every Site in [0, kSiteCount) must carry a real, unique diagnostic
+  // name — a newly appended site that forgets its site_name case would
+  // surface as "unknown" in fault histories and quarantine messages, and
+  // this is the test that catches it.
+  std::set<std::string> names;
+  for (std::size_t s = 0; s < fault::kSiteCount; ++s) {
+    const auto site = static_cast<fault::Site>(s);
+    const char* name = fault::site_name(site);
+    ASSERT_NE(name, nullptr) << "site " << s;
+    const std::string as_string(name);
+    EXPECT_FALSE(as_string.empty()) << "site " << s;
+    EXPECT_NE(as_string, "unknown") << "site " << s;
+    names.insert(as_string);
+    // The thrown fault's what() carries the same name, so a quarantined
+    // job's fault_history names the site it died at.
+    EXPECT_NE(std::string(fault::InjectedFault(site, 1).what()).find(name),
+              std::string::npos)
+        << "site " << s;
+  }
+  EXPECT_EQ(names.size(), fault::kSiteCount);  // pairwise distinct
+  // The seeded-injector lottery draws from the same range, so every site —
+  // including the service-scoped ones — is reachable from some seed.
+  std::set<fault::Site> drawn;
+  for (std::uint64_t seed = 0; seed < 512 && drawn.size() < fault::kSiteCount;
+       ++seed)
+    drawn.insert(fault::Injector(seed).site());
+  EXPECT_EQ(drawn.size(), fault::kSiteCount);
+}
+
 // -- WavePool join-path audit ----------------------------------------------
 
 TEST(WavePoolExceptions, DrainsEveryJobJoinsThenRethrows) {

@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -14,6 +16,7 @@
 
 #include "bench_suite/suite.hpp"
 #include "core/api.hpp"
+#include "fault/fault.hpp"
 #include "io/solution_format.hpp"
 #include "obs/sinks.hpp"
 #include "service/routing_service.hpp"
@@ -671,6 +674,389 @@ TEST(ServiceSession, SessionAdmissionErrors) {
   EXPECT_TRUE(service.close_session(ticket->session));
   EXPECT_EQ(service.submit_delta(ticket->session, delta).status().code(),
             ErrorCode::kValidation);
+}
+
+// ---------------------------------------------------------------------------
+// Resilience: supervision, retry/quarantine, watchdog, brown-out
+// (DESIGN.md §2.5). The chaos harness (chaos_test.cpp) storms every fault
+// site; these tests pin the individual mechanisms deterministically.
+// ---------------------------------------------------------------------------
+
+/// Polls health() until the worker pool is whole and idle (the supervisor
+/// respawns seats asynchronously) or the deadline passes.
+ServiceHealth settled_health(const RoutingService& service, int workers) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  ServiceHealth health = service.health();
+  while ((health.workers_alive != workers || health.running_jobs != 0) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    health = service.health();
+  }
+  return health;
+}
+
+TEST(ServiceResilience, WorkerKillIsRetriedAndCompletesIdentically) {
+  // A worker-body escape kills the worker; the supervision layer must
+  // absorb it (typed, no waiter hang), re-queue the job, respawn the seat
+  // — and the retried run must still be bit-identical to a direct route.
+  const auto p = std::make_shared<const Problem>(
+      suite::dense_switchbox().to_problem());
+  const RouteResult baseline = direct_route(*p);
+
+  fault::Injector injector =
+      fault::Injector::at(fault::Site::kWorkerBody, 1);
+  obs::CountingSink sink;
+  ServiceOptions options;
+  options.workers = 1;
+  options.max_retries = 1;
+  options.faults = &injector;
+  options.trace = &sink;
+  RoutingService service(options);
+
+  const auto outcome = service.wait(*service.submit(job_for(p)));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(injector.fired());
+  EXPECT_EQ(outcome->state, JobState::kCompleted);
+  EXPECT_EQ(outcome->retries, 1);
+  ASSERT_EQ(outcome->fault_history.size(), 1u);
+  EXPECT_NE(outcome->fault_history[0].find("worker_body"), std::string::npos);
+  ASSERT_NE(outcome->result, nullptr);
+  EXPECT_EQ(artifact(*p, *outcome->result), artifact(*p, baseline));
+
+  const ServiceHealth health = settled_health(service, 1);
+  EXPECT_EQ(health.workers_alive, 1);
+  EXPECT_GE(health.workers_respawned, 1);
+  EXPECT_EQ(health.jobs_retried, 1);
+  EXPECT_EQ(health.jobs_quarantined, 0);
+  EXPECT_GE(sink.count(obs::EventKind::kWorkerDied), 1);
+  EXPECT_GE(sink.count(obs::EventKind::kWorkerRespawned), 1);
+  EXPECT_EQ(sink.count(obs::EventKind::kJobRetried), 1);
+}
+
+TEST(ServiceResilience, WorkerKillQuarantinesWhenRetriesExhausted) {
+  const auto p = std::make_shared<const Problem>(
+      suite::cross_switchbox().to_problem());
+  fault::Injector injector =
+      fault::Injector::at(fault::Site::kWorkerBody, 1);
+  obs::CountingSink sink;
+  ServiceOptions options;
+  options.workers = 1;
+  options.max_retries = 0;  // first failure is terminal
+  options.faults = &injector;
+  options.trace = &sink;
+  RoutingService service(options);
+
+  const auto outcome = service.wait(*service.submit(job_for(p)));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->state, JobState::kFailed);
+  EXPECT_EQ(outcome->status.code(), ErrorCode::kInternal);
+  EXPECT_EQ(outcome->result, nullptr);
+  EXPECT_EQ(outcome->retries, 0);
+  ASSERT_EQ(outcome->fault_history.size(), 1u);
+  EXPECT_EQ(sink.count(obs::EventKind::kJobQuarantined), 1);
+  EXPECT_EQ(service.stats().failed, 1);
+  EXPECT_EQ(settled_health(service, 1).jobs_quarantined, 1);
+
+  // A quarantined job never lands in the cache: the same problem resubmitted
+  // (injector spent) routes fresh and completes.
+  const auto clean = service.wait(*service.submit(job_for(p)));
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean->state, JobState::kCompleted);
+  EXPECT_FALSE(clean->from_cache);
+  EXPECT_EQ(artifact(*p, *clean->result), artifact(*p, direct_route(*p)));
+}
+
+TEST(ServiceResilience, DefaultWallDeadlineYieldsVerifiablePartial) {
+  // A service-wide wall deadline rides every job whose client set none:
+  // the unbudgeted slow instance terminates with a clean partial instead
+  // of holding a worker forever — and the partial never enters the cache.
+  const auto p = slow_problem();
+  ServiceOptions options;
+  options.default_max_wall_ms = 5;
+  RoutingService service(options);
+
+  const auto outcome = service.wait(*service.submit(job_for(p)));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->state, JobState::kCompleted);  // deadline != cancel
+  ASSERT_NE(outcome->result, nullptr);
+  EXPECT_FALSE(outcome->result->failed.empty());
+  EXPECT_TRUE(verify(*p, outcome->result->grid).drc_clean());
+
+  const auto second = service.wait(*service.submit(job_for(p)));
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->from_cache);
+  EXPECT_EQ(service.stats().cache_hits, 0);
+}
+
+TEST(ServiceResilience, BrownOutTightensInsteadOfRejecting) {
+  // Five unique jobs against workers=1, threshold=3, admitted while
+  // paused: depths 1..5, so job 3 trips brown-out (the tripping job is
+  // itself browned) and jobs 4-5 ride it. Nothing is rejected; browned
+  // jobs complete with a kBrownOut degradation and stay out of the cache.
+  std::vector<std::shared_ptr<const Problem>> problems;
+  for (std::uint64_t s = 0; s < 5; ++s)
+    problems.push_back(std::make_shared<const Problem>(
+        suite::random_switchbox(60 + s, 12, 9, 5).to_problem()));
+
+  obs::CountingSink sink;
+  ServiceOptions options;
+  options.workers = 1;
+  options.start_paused = true;
+  options.max_queue_depth = 16;
+  options.brownout_queue_threshold = 3;
+  options.brownout_max_expansions = 200000;
+  options.trace = &sink;
+  RoutingService service(options);
+
+  std::vector<std::uint64_t> ids;
+  for (const auto& p : problems) {
+    const auto id = service.submit(job_for(p));
+    ASSERT_TRUE(id.ok()) << id.status().to_string();  // shed, not rejected
+    ids.push_back(*id);
+  }
+  EXPECT_EQ(sink.count(obs::EventKind::kBrownOutEntered), 1);
+  service.resume();
+
+  int browned = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto outcome = service.wait(ids[i]);
+    ASSERT_TRUE(outcome.ok());
+    ASSERT_EQ(outcome->state, JobState::kCompleted) << "job " << i;
+    ASSERT_NE(outcome->result, nullptr);
+    bool has_brownout_mark = false;
+    for (const Degradation& d : outcome->result->degradation)
+      has_brownout_mark |= d.kind == Degradation::Kind::kBrownOut;
+    EXPECT_EQ(has_brownout_mark, i >= 2) << "job " << i;
+    browned += has_brownout_mark ? 1 : 0;
+    EXPECT_TRUE(verify(*problems[i], outcome->result->grid).drc_clean());
+  }
+  EXPECT_EQ(browned, 3);
+  EXPECT_EQ(service.stats().browned_out, 3);
+  EXPECT_EQ(service.stats().rejected_queue_full, 0);
+  EXPECT_EQ(sink.count(obs::EventKind::kBrownOutExited), 1);
+
+  const ServiceHealth health = settled_health(service, 1);
+  EXPECT_FALSE(health.brownout_active);
+  EXPECT_EQ(health.brownouts_entered, 1);
+
+  // Browned results never entered the cache: the tripping problem
+  // resubmitted under calm routes fresh.
+  const auto calm = service.wait(*service.submit(job_for(problems[2])));
+  ASSERT_TRUE(calm.ok());
+  EXPECT_FALSE(calm->from_cache);
+}
+
+TEST(ServiceResilience, CacheInsertFaultIsAbsorbedAndNeverPoisons) {
+  const auto p = std::make_shared<const Problem>(
+      suite::dense_switchbox().to_problem());
+  fault::Injector injector =
+      fault::Injector::at(fault::Site::kCacheInsert, 1);
+  ServiceOptions options;
+  options.faults = &injector;
+  RoutingService service(options);
+
+  // First run: the insert blows up after a clean route. The job still
+  // completes; the failure is absorbed and counted.
+  const auto first = service.wait(*service.submit(job_for(p)));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->state, JobState::kCompleted);
+  EXPECT_TRUE(injector.fired());
+  EXPECT_EQ(service.health().cache_insert_failures, 1);
+
+  // Nothing was cached, so the second run routes fresh — and its insert
+  // (injector spent) succeeds, so the third is a hit.
+  const auto second = service.wait(*service.submit(job_for(p)));
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->from_cache);
+  const auto third = service.wait(*service.submit(job_for(p)));
+  ASSERT_TRUE(third.ok());
+  EXPECT_TRUE(third->from_cache);
+  EXPECT_EQ(artifact(*p, *third->result), artifact(*p, *first->result));
+}
+
+TEST(ServiceResilience, SessionCommitFaultKeepsPreviousLayout) {
+  // Arrival 1 is the base commit, arrival 2 the delta commit: the delta
+  // routes fine but its commit fails, so the waiter gets a typed internal
+  // failure and the session still serves the base layout.
+  const auto p = session_problem(55, 6);
+  fault::Injector injector =
+      fault::Injector::at(fault::Site::kSessionCommit, 2);
+  ServiceOptions options;
+  options.faults = &injector;
+  RoutingService service(options);
+
+  const auto ticket = service.open_session(job_for(p));
+  ASSERT_TRUE(ticket.ok());
+  const auto base = service.wait(ticket->base_job);
+  ASSERT_TRUE(base.ok());
+  ASSERT_EQ(base->state, JobState::kCompleted);
+
+  DeltaJobRequest delta;
+  delta.edit.move_pins.push_back({0, 0, {5, 4}});
+  const auto id = service.submit_delta(ticket->session, delta);
+  ASSERT_TRUE(id.ok());
+  const auto outcome = service.wait(*id);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->state, JobState::kFailed);
+  EXPECT_EQ(outcome->status.code(), ErrorCode::kInternal);
+  ASSERT_EQ(outcome->fault_history.size(), 1u);
+  EXPECT_NE(outcome->fault_history[0].find("session_commit"),
+            std::string::npos);
+
+  // The session kept its previous committed state and is free again.
+  const auto info = service.session_info(ticket->session);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_FALSE(info->busy);
+  EXPECT_EQ(info->committed_deltas, 0);
+  EXPECT_EQ(info->layout.get(), base->result.get());
+
+  // The same delta resubmitted (injector spent) commits.
+  const auto retry_id = service.submit_delta(ticket->session, delta);
+  ASSERT_TRUE(retry_id.ok());
+  const auto retried = service.wait(*retry_id);
+  ASSERT_TRUE(retried.ok());
+  ASSERT_EQ(retried->state, JobState::kCompleted);
+  EXPECT_EQ(service.session_info(ticket->session)->committed_deltas, 1);
+}
+
+TEST(ServiceResilience, ShutdownDeliversTerminalOutcomeToEveryWaiter) {
+  // One budgeted job running plus five queued behind it, a blocked waiter
+  // per job — shutdown() must hand every single waiter a typed terminal
+  // outcome (running job finishes, queued jobs cancel). No waiter hangs.
+  const auto slow = slow_problem();
+  const auto quick = std::make_shared<const Problem>(
+      suite::cross_switchbox().to_problem());
+  ServiceOptions options;
+  options.workers = 1;
+  RoutingService service(options);
+
+  std::vector<std::uint64_t> ids;
+  JobRequest running = job_for(slow);
+  running.budget.max_expansions = 200000;  // self-terminates, but not instantly
+  const auto first = service.submit(std::move(running));
+  ASSERT_TRUE(first.ok());
+  ids.push_back(*first);
+  const auto started_by =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (service.stats().started == 0 &&
+         std::chrono::steady_clock::now() < started_by)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_EQ(service.stats().started, 1);
+
+  for (int i = 0; i < 5; ++i) {
+    const auto id = service.submit(job_for(quick));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+
+  std::vector<int> verdicts(ids.size(), -1);  // -1 lost, 0 non-terminal, 1 ok
+  std::vector<std::thread> waiters;
+  waiters.reserve(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    waiters.emplace_back([&, i] {
+      const auto outcome = service.wait(ids[i]);
+      if (!outcome.ok()) return;
+      verdicts[i] = outcome->state == JobState::kCompleted ||
+                            outcome->state == JobState::kCancelled ||
+                            outcome->state == JobState::kFailed
+                        ? 1
+                        : 0;
+    });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  service.shutdown();
+  for (std::thread& t : waiters) t.join();
+  for (std::size_t i = 0; i < verdicts.size(); ++i)
+    EXPECT_EQ(verdicts[i], 1) << "waiter " << i;
+}
+
+/// Per-job routing sink that parks the worker thread on its first event
+/// until open() — a stand-in for a worker wedged somewhere that never
+/// checks the cancel token.
+class GateSink : public obs::TraceSink {
+ public:
+  void on_event(const obs::TraceEvent&) override {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return open_; });
+  }
+  void open() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+TEST(ServiceResilience, WatchdogAbandonsWorkerThatIgnoresCancel) {
+  // A worker parked inside the job's own trace sink never reaches a budget
+  // checkpoint, so the watchdog's cancel is ignored. Escalation must kick
+  // in: the job is finalized kFailed (the waiter unblocks *now*, not when
+  // the thread deigns to return) and the seat is replaced.
+  GateSink gate;  // outlives the service: the zombie thread still holds it
+  const auto p = std::make_shared<const Problem>(
+      suite::dense_switchbox().to_problem());
+  obs::CountingSink sink;
+  ServiceOptions options;
+  options.workers = 1;
+  options.watchdog_cancel_grace_ms = 10;
+  options.watchdog_replace_grace_ms = 50;
+  options.watchdog_poll_ms = 5;
+  options.trace = &sink;
+  RoutingService service(options);
+
+  JobRequest request = job_for(p);
+  request.budget.wall_ms = 20;
+  request.trace = &gate;
+  const auto id = service.submit(std::move(request));
+  ASSERT_TRUE(id.ok());
+
+  const auto outcome = service.wait(*id);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->state, JobState::kFailed);
+  EXPECT_EQ(outcome->status.code(), ErrorCode::kInternal);
+  ASSERT_FALSE(outcome->fault_history.empty());
+  EXPECT_NE(outcome->fault_history.back().find("watchdog"),
+            std::string::npos);
+
+  const ServiceHealth health = settled_health(service, 1);
+  EXPECT_EQ(health.workers_alive, 1);  // replacement seated
+  EXPECT_EQ(health.workers_abandoned, 1);
+  EXPECT_GE(health.watchdog_cancels, 1);
+  EXPECT_GE(sink.count(obs::EventKind::kWorkerDied), 1);
+  EXPECT_GE(sink.count(obs::EventKind::kWorkerRespawned), 1);
+
+  // The replacement worker serves new jobs while the zombie is parked.
+  const auto clean = service.wait(*service.submit(job_for(p)));
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean->state, JobState::kCompleted);
+
+  // Release the wedged thread; shutdown() joins it (documented contract).
+  gate.open();
+  service.shutdown();
+}
+
+TEST(ServiceResilience, HealthSnapshotReflectsQuietPool) {
+  ServiceOptions options;
+  options.workers = 3;
+  RoutingService service(options);
+  const ServiceHealth health = service.health();
+  EXPECT_EQ(health.workers_alive, 3);
+  EXPECT_EQ(health.workers_respawned, 0);
+  EXPECT_EQ(health.workers_abandoned, 0);
+  EXPECT_EQ(health.queue_depth, 0);
+  EXPECT_EQ(health.running_jobs, 0);
+  EXPECT_EQ(health.jobs_retried, 0);
+  EXPECT_EQ(health.jobs_quarantined, 0);
+  EXPECT_FALSE(health.brownout_active);
+  EXPECT_EQ(health.brownouts_entered, 0);
+  EXPECT_EQ(health.watchdog_cancels, 0);
+  EXPECT_EQ(health.cache_insert_failures, 0);
 }
 
 }  // namespace
